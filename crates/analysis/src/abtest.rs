@@ -1,0 +1,211 @@
+//! §3 — A/B-test analysis.
+//!
+//! Two observations in the paper point at controlled experiments:
+//!
+//! 1. **Fraction clustering** (Figure 3): per-CP enabled fractions sit
+//!    near round experiment arms — ~100%, 75%, 66%, 50%, 33%, 25% —
+//!    "percentages that look predetermined".
+//! 2. **Temporal alternation**: repeated visits to the same (CP,
+//!    website) show consistent ON periods followed by OFF periods —
+//!    time-sliced A/B tests over the same population.
+
+use crate::figures::PresenceRow;
+use std::collections::BTreeMap;
+use topics_crawler::record::SiteOutcome;
+use topics_net::domain::Domain;
+
+/// The canonical experiment arms the paper highlights on Figure 3's
+/// y-axis.
+pub const CANONICAL_FRACTIONS: [f64; 6] = [1.0, 0.75, 0.66, 0.50, 0.33, 0.25];
+
+/// The nearest canonical fraction and its distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FractionFit {
+    /// Observed enabled fraction.
+    pub observed: f64,
+    /// Closest canonical arm.
+    pub nearest: f64,
+    /// |observed − nearest|.
+    pub distance: f64,
+}
+
+/// Fit an observed fraction against the canonical arms.
+///
+/// ```
+/// use topics_analysis::abtest::fit_fraction;
+///
+/// let fit = fit_fraction(0.74);
+/// assert_eq!(fit.nearest, 0.75);
+/// assert!(fit.distance < 0.02);
+/// ```
+pub fn fit_fraction(observed: f64) -> FractionFit {
+    let nearest = CANONICAL_FRACTIONS
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            (observed - a)
+                .abs()
+                .partial_cmp(&(observed - b).abs())
+                .expect("finite")
+        })
+        .expect("non-empty arms");
+    FractionFit {
+        observed,
+        nearest,
+        distance: (observed - nearest).abs(),
+    }
+}
+
+/// Share of CPs whose enabled fraction lies within `tolerance` of a
+/// canonical arm — the clustering evidence.
+pub fn clustering_share(rows: &[PresenceRow], tolerance: f64) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let close = rows
+        .iter()
+        .filter(|r| fit_fraction(r.enabled_fraction()).distance <= tolerance)
+        .count();
+    close as f64 / rows.len() as f64
+}
+
+/// One (CP, website) ON/OFF time series from repeated visits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlternationSeries {
+    /// The calling party.
+    pub cp: Domain,
+    /// The website.
+    pub website: Domain,
+    /// Per-round: did the CP call on this site?
+    pub on: Vec<bool>,
+}
+
+impl AlternationSeries {
+    /// Number of ON↔OFF transitions.
+    pub fn transitions(&self) -> usize {
+        self.on.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Longest run of identical values — "consistent alternating
+    /// periods" require runs longer than one round.
+    pub fn longest_run(&self) -> usize {
+        let mut best = 0usize;
+        let mut cur = 0usize;
+        let mut prev: Option<bool> = None;
+        for &x in &self.on {
+            if Some(x) == prev {
+                cur += 1;
+            } else {
+                cur = 1;
+                prev = Some(x);
+            }
+            best = best.max(cur);
+        }
+        best
+    }
+
+    /// True when the series has both ON and OFF phases.
+    pub fn alternates(&self) -> bool {
+        self.on.iter().any(|&x| x) && self.on.iter().any(|&x| !x)
+    }
+}
+
+/// Build per-(CP, website) series from repeated crawl rounds (the output
+/// of `topics_crawler::run_repeated`). Only CPs that call at least once
+/// anywhere appear.
+pub fn alternation_series(rounds: &[Vec<SiteOutcome>]) -> Vec<AlternationSeries> {
+    let mut keys: BTreeMap<(Domain, Domain), Vec<bool>> = BTreeMap::new();
+    // First pass: collect every (cp, website) pair ever calling.
+    for round in rounds {
+        for site in round {
+            if let Some(v) = &site.before {
+                for c in v.topics_calls.iter().filter(|c| c.permitted()) {
+                    keys.entry((c.caller_site.clone(), v.website.clone()))
+                        .or_default();
+                }
+            }
+        }
+    }
+    // Second pass: fill the series round by round.
+    for round in rounds {
+        let mut called_this_round: BTreeMap<(Domain, Domain), bool> = BTreeMap::new();
+        for site in round {
+            if let Some(v) = &site.before {
+                for ((cp, website), _) in keys.iter() {
+                    if *website == v.website {
+                        let on = v
+                            .topics_calls
+                            .iter()
+                            .any(|c| c.permitted() && c.caller_site == *cp);
+                        called_this_round.insert((cp.clone(), website.clone()), on);
+                    }
+                }
+            }
+        }
+        for (key, series) in keys.iter_mut() {
+            series.push(called_this_round.get(key).copied().unwrap_or(false));
+        }
+    }
+    keys.into_iter()
+        .map(|((cp, website), on)| AlternationSeries { cp, website, on })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    #[test]
+    fn fraction_fitting_picks_nearest_arm() {
+        assert_eq!(fit_fraction(0.74).nearest, 0.75);
+        assert_eq!(fit_fraction(0.35).nearest, 0.33);
+        assert_eq!(fit_fraction(0.98).nearest, 1.0);
+        assert_eq!(fit_fraction(0.05).nearest, 0.25);
+        assert!(fit_fraction(0.66).distance < 1e-9);
+    }
+
+    #[test]
+    fn clustering_share_counts_close_rows() {
+        let rows = vec![
+            PresenceRow { cp: d("a.com"), present: 100, called: 76 }, // ~0.75
+            PresenceRow { cp: d("b.com"), present: 100, called: 49 }, // ~0.50
+            PresenceRow { cp: d("c.com"), present: 100, called: 12 }, // 0.12 — off-arm
+        ];
+        let share = clustering_share(&rows, 0.05);
+        assert!((share - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(clustering_share(&[], 0.05), 0.0);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s = AlternationSeries {
+            cp: d("cp.com"),
+            website: d("site.com"),
+            on: vec![true, true, true, false, false, true, true],
+        };
+        assert_eq!(s.transitions(), 2);
+        assert_eq!(s.longest_run(), 3);
+        assert!(s.alternates());
+
+        let flat = AlternationSeries {
+            cp: d("cp.com"),
+            website: d("site.com"),
+            on: vec![true; 5],
+        };
+        assert_eq!(flat.transitions(), 0);
+        assert_eq!(flat.longest_run(), 5);
+        assert!(!flat.alternates());
+
+        let empty = AlternationSeries {
+            cp: d("cp.com"),
+            website: d("site.com"),
+            on: vec![],
+        };
+        assert_eq!(empty.longest_run(), 0);
+        assert!(!empty.alternates());
+    }
+}

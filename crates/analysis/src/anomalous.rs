@@ -1,0 +1,166 @@
+//! §4 — anomalous usage: calls by parties that are not Allowed.
+//!
+//! Observable only because the crawler corrupts the browser's allow-list
+//! (fail-open bug). The paper finds 2,614 such CPs making 3,450 calls in
+//! D_AA; 72% of the calls come from the visited website itself (same
+//! second-level domain, e.g. `www.foo.com` / `ad.foo.net`), the rest from
+//! same-company domains or post-redirect canonical sites; ~95% of the
+//! pages involved embed Google Tag Manager; and every anomalous call uses
+//! the JavaScript `browsingTopics()` entry point.
+
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::{pct, Table};
+use std::collections::BTreeSet;
+use topics_browser::observer::CallType;
+use topics_net::domain::Domain;
+use topics_net::psl::same_second_level_label;
+
+/// The §4 aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalousStats {
+    /// Distinct non-Allowed calling parties (Table 1's 2,614).
+    pub distinct_cps: usize,
+    /// Total anomalous calls (the paper's 3,450).
+    pub total_calls: usize,
+    /// Fraction of calls whose CP shares the website's second-level
+    /// label (the 72%).
+    pub same_second_level_fraction: f64,
+    /// Fraction of anomalous-call *websites* where GTM is present (95%).
+    pub gtm_cooccurrence: f64,
+    /// Fraction of calls per call type — the paper observes 100%
+    /// JavaScript.
+    pub javascript_fraction: f64,
+    /// Fraction of calls executed in the root browsing context.
+    pub root_context_fraction: f64,
+    /// Fraction of calls whose calling script came from GTM.
+    pub gtm_script_fraction: f64,
+}
+
+/// The GTM serving host (for co-occurrence detection).
+const GTM_DOMAIN: &str = "googletagmanager.com";
+
+/// Compute the §4 statistics over a dataset (the paper uses D_AA).
+pub fn anomalous_stats(ds: &Datasets<'_>, id: DatasetId) -> AnomalousStats {
+    let mut cps: BTreeSet<Domain> = BTreeSet::new();
+    let mut total_calls = 0usize;
+    let mut same_label = 0usize;
+    let mut js_calls = 0usize;
+    let mut root_calls = 0usize;
+    let mut gtm_script = 0usize;
+    let mut sites_with_anomalous: usize = 0;
+    let mut sites_with_anomalous_and_gtm: usize = 0;
+
+    for v in ds.visits(id) {
+        let mut any = false;
+        for c in v.topics_calls.iter().filter(|c| c.permitted()) {
+            // The anomalous set is the ¬Allowed ∧ ¬Attested callers; the
+            // lone ¬Allowed ∧ Attested party (distillery.com) is
+            // discussed separately in the paper's §2.4.
+            if ds.outcome().is_allowed(&c.caller_site)
+                || ds.outcome().is_attested(&c.caller_site)
+            {
+                continue;
+            }
+            any = true;
+            cps.insert(c.caller_site.clone());
+            total_calls += 1;
+            // The paper compares against the *visited* website; a
+            // post-redirect canonical CP matches the final site but not
+            // the ranked one — exactly its case (ii).
+            if same_second_level_label(&c.caller_site, &v.website) {
+                same_label += 1;
+            }
+            if c.call_type == CallType::JavaScript {
+                js_calls += 1;
+            }
+            if c.root_context {
+                root_calls += 1;
+            }
+            if c.script_source
+                .as_ref()
+                .is_some_and(|s| topics_net::psl::registrable_domain(s).as_str() == GTM_DOMAIN)
+            {
+                gtm_script += 1;
+            }
+        }
+        if any {
+            sites_with_anomalous += 1;
+            if v
+                .party_domains
+                .iter()
+                .any(|d| d.as_str() == GTM_DOMAIN)
+            {
+                sites_with_anomalous_and_gtm += 1;
+            }
+        }
+    }
+
+    let frac = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    AnomalousStats {
+        distinct_cps: cps.len(),
+        total_calls,
+        same_second_level_fraction: frac(same_label, total_calls),
+        gtm_cooccurrence: frac(sites_with_anomalous_and_gtm, sites_with_anomalous),
+        javascript_fraction: frac(js_calls, total_calls),
+        root_context_fraction: frac(root_calls, total_calls),
+        gtm_script_fraction: frac(gtm_script, total_calls),
+    }
+}
+
+/// Render the §4 statistics as text.
+pub fn render_anomalous(s: &AnomalousStats) -> String {
+    let mut t = Table::new(["metric", "value"]);
+    t.row(vec!["distinct non-Allowed CPs".into(), s.distinct_cps.to_string()]);
+    t.row(vec!["anomalous calls".into(), s.total_calls.to_string()]);
+    t.row(vec![
+        "same second-level label as website".into(),
+        pct(s.same_second_level_fraction),
+    ]);
+    t.row(vec!["GTM on anomalous pages".into(), pct(s.gtm_cooccurrence)]);
+    t.row(vec!["JavaScript call type".into(), pct(s.javascript_fraction)]);
+    t.row(vec!["root-context calls".into(), pct(s.root_context_fraction)]);
+    t.row(vec!["calls from GTM scripts".into(), pct(s.gtm_script_fraction)]);
+    format!("§4 — anomalous usage\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_outcome;
+
+    #[test]
+    fn counts_anomalous_calls_in_daa() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let s = anomalous_stats(&ds, DatasetId::AfterAccept);
+        // Only site-a.com's GTM call (the blocked rogue.net call does not
+        // count; goodads.com is allowed).
+        assert_eq!(s.distinct_cps, 1);
+        assert_eq!(s.total_calls, 1);
+        assert_eq!(s.same_second_level_fraction, 1.0);
+        assert_eq!(s.javascript_fraction, 1.0);
+        assert_eq!(s.root_context_fraction, 1.0);
+        assert_eq!(s.gtm_script_fraction, 1.0);
+        assert_eq!(s.gtm_cooccurrence, 1.0);
+    }
+
+    #[test]
+    fn before_accept_anomalous_includes_ru_site() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let s = anomalous_stats(&ds, DatasetId::BeforeAccept);
+        // site-a's GTM call is anomalous; violator.com is allowed so its
+        // BA calls are questionable, not anomalous.
+        assert_eq!(s.distinct_cps, 1);
+    }
+
+    #[test]
+    fn render_mentions_key_metrics() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let text = render_anomalous(&anomalous_stats(&ds, DatasetId::AfterAccept));
+        assert!(text.contains("second-level"));
+        assert!(text.contains("GTM"));
+        assert!(text.contains("JavaScript"));
+    }
+}

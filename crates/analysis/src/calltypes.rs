@@ -1,0 +1,129 @@
+//! Call-type distribution (§2.2).
+//!
+//! The paper's modified handler logs the API call type — JavaScript,
+//! Fetch or IFrame. This module breaks executed calls down by type and
+//! by caller class, which supports the §4 observation that anomalous
+//! calls are *all* JavaScript while legitimate platforms use the full
+//! integration menu.
+
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::{pct, Table};
+use topics_browser::observer::CallType;
+
+/// Call counts by type for one caller class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TypeCounts {
+    /// `document.browsingTopics()` calls.
+    pub javascript: usize,
+    /// `fetch(…, {browsingTopics: true})` calls.
+    pub fetch: usize,
+    /// `<iframe browsingtopics>` calls.
+    pub iframe: usize,
+}
+
+impl TypeCounts {
+    fn bump(&mut self, t: CallType) {
+        match t {
+            CallType::JavaScript => self.javascript += 1,
+            CallType::Fetch => self.fetch += 1,
+            CallType::Iframe => self.iframe += 1,
+        }
+    }
+
+    /// Total calls.
+    pub fn total(&self) -> usize {
+        self.javascript + self.fetch + self.iframe
+    }
+
+    /// Fraction of one type.
+    pub fn fraction(&self, t: CallType) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = match t {
+            CallType::JavaScript => self.javascript,
+            CallType::Fetch => self.fetch,
+            CallType::Iframe => self.iframe,
+        };
+        k as f64 / n as f64
+    }
+}
+
+/// The full call-type breakdown of one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CallTypeMix {
+    /// Calls by Allowed∧Attested platforms.
+    pub legitimate: TypeCounts,
+    /// Calls by non-Allowed, non-Attested callers (§4 anomalous).
+    pub anomalous: TypeCounts,
+    /// Calls by the remaining class (¬Allowed∧Attested — distillery).
+    pub other: TypeCounts,
+}
+
+/// Compute the call-type mix of a dataset (executed calls only).
+pub fn call_type_mix(ds: &Datasets<'_>, id: DatasetId) -> CallTypeMix {
+    let mut mix = CallTypeMix::default();
+    for (_, c) in ds.calls(id) {
+        let class = ds.classify(&c.caller_site);
+        let bucket = match (class.allowed, class.attested) {
+            (true, true) => &mut mix.legitimate,
+            (false, false) => &mut mix.anomalous,
+            _ => &mut mix.other,
+        };
+        bucket.bump(c.call_type);
+    }
+    mix
+}
+
+/// Render the mix as text.
+pub fn render_call_types(mix: &CallTypeMix) -> String {
+    let mut t = Table::new(["caller class", "JavaScript", "Fetch", "IFrame", "total"]);
+    for (label, c) in [
+        ("Allowed & Attested", &mix.legitimate),
+        ("anomalous (!Allowed)", &mix.anomalous),
+        ("other (!Allowed & Attested)", &mix.other),
+    ] {
+        t.row(vec![
+            label.to_owned(),
+            format!("{} ({})", c.javascript, pct(c.fraction(CallType::JavaScript))),
+            format!("{} ({})", c.fetch, pct(c.fraction(CallType::Fetch))),
+            format!("{} ({})", c.iframe, pct(c.fraction(CallType::Iframe))),
+            c.total().to_string(),
+        ]);
+    }
+    format!("Call types by caller class (§2.2)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_outcome;
+
+    #[test]
+    fn buckets_split_by_class_and_type() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let mix = call_type_mix(&ds, DatasetId::AfterAccept);
+        // goodads.com (allowed & attested) calls via Fetch, twice.
+        assert_eq!(mix.legitimate.fetch, 2);
+        assert_eq!(mix.legitimate.javascript, 0);
+        // The GTM anomalous call is JavaScript.
+        assert_eq!(mix.anomalous.javascript, 1);
+        assert_eq!(mix.anomalous.total(), 1);
+        assert_eq!(mix.anomalous.fraction(CallType::JavaScript), 1.0);
+        // No distillery-class call in the fixture.
+        assert_eq!(mix.other.total(), 0);
+        assert_eq!(mix.other.fraction(CallType::Fetch), 0.0);
+    }
+
+    #[test]
+    fn render_contains_classes() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let text = render_call_types(&call_type_mix(&ds, DatasetId::AfterAccept));
+        assert!(text.contains("Allowed & Attested"));
+        assert!(text.contains("anomalous"));
+        assert!(text.contains("JavaScript"));
+    }
+}

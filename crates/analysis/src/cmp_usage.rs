@@ -1,0 +1,187 @@
+//! Figure 7 — CMPs and questionable calls.
+//!
+//! The paper detects a site's Consent Management Platform
+//! Wappalyzer-style (the CMP's domain among the page's objects) and
+//! compares `P(CMP = x)` with `P(CMP = x | questionable call)`: the two
+//! are roughly equal for most CMPs — questionable calls are CMP-agnostic
+//! — except HubSpot (≈3× over-represented) and LiveRamp, whose gating of
+//! the Topics API is worse. It also quotes `P(questionable | HubSpot)` ≈
+//! 12%, about twice the fleet average.
+
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::{pct, Table};
+use topics_webgen::cmp::{cmp_by_domain, CmpId, CMPS};
+
+/// Per-CMP statistics for Figure 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpRow {
+    /// The CMP.
+    pub cmp: CmpId,
+    /// Sites (D_BA) where the CMP was detected.
+    pub sites: usize,
+    /// Of those, sites with at least one questionable (Before-Accept)
+    /// executed Topics call.
+    pub questionable_sites: usize,
+    /// `P(CMP = x)` over all D_BA sites.
+    pub p_cmp: f64,
+    /// `P(CMP = x | questionable call)`.
+    pub p_cmp_given_questionable: f64,
+}
+
+impl CmpRow {
+    /// `P(questionable | CMP = x)`.
+    pub fn p_questionable_given_cmp(&self) -> f64 {
+        if self.sites == 0 {
+            0.0
+        } else {
+            self.questionable_sites as f64 / self.sites as f64
+        }
+    }
+}
+
+/// Figure 7 aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// One row per CMP, in the registry order of Figure 7.
+    pub rows: Vec<CmpRow>,
+    /// D_BA size.
+    pub total_sites: usize,
+    /// D_BA sites with a questionable call.
+    pub questionable_sites: usize,
+}
+
+impl Fig7 {
+    /// Overall `P(questionable)` across D_BA (the "average probability"
+    /// the paper compares HubSpot's 12% against).
+    pub fn p_questionable(&self) -> f64 {
+        if self.total_sites == 0 {
+            0.0
+        } else {
+            self.questionable_sites as f64 / self.total_sites as f64
+        }
+    }
+}
+
+/// Detect the CMP of a visit (first CMP domain among the page objects).
+fn detect_cmp(party_domains: &[topics_net::domain::Domain]) -> Option<CmpId> {
+    party_domains.iter().find_map(cmp_by_domain)
+}
+
+/// Compute Figure 7 over D_BA.
+pub fn fig7(ds: &Datasets<'_>) -> Fig7 {
+    let mut sites = vec![0usize; CMPS.len()];
+    let mut questionable = vec![0usize; CMPS.len()];
+    let mut total_sites = 0usize;
+    let mut questionable_total = 0usize;
+    for v in ds.visits(DatasetId::BeforeAccept) {
+        total_sites += 1;
+        let has_questionable = v.topics_calls.iter().any(|c| c.permitted());
+        if has_questionable {
+            questionable_total += 1;
+        }
+        if let Some(cmp) = detect_cmp(&v.party_domains) {
+            sites[cmp.0] += 1;
+            if has_questionable {
+                questionable[cmp.0] += 1;
+            }
+        }
+    }
+    let rows = (0..CMPS.len())
+        .map(|i| CmpRow {
+            cmp: CmpId(i),
+            sites: sites[i],
+            questionable_sites: questionable[i],
+            p_cmp: if total_sites == 0 {
+                0.0
+            } else {
+                sites[i] as f64 / total_sites as f64
+            },
+            p_cmp_given_questionable: if questionable_total == 0 {
+                0.0
+            } else {
+                questionable[i] as f64 / questionable_total as f64
+            },
+        })
+        .collect();
+    Fig7 {
+        rows,
+        total_sites,
+        questionable_sites: questionable_total,
+    }
+}
+
+/// Render Figure 7 as text.
+pub fn render_fig7(f: &Fig7) -> String {
+    let mut t = Table::new([
+        "CMP",
+        "P(CMP=x)",
+        "P(CMP=x | questionable)",
+        "P(questionable | CMP=x)",
+        "sites",
+    ]);
+    for r in &f.rows {
+        t.row(vec![
+            r.cmp.spec().name.to_owned(),
+            pct(r.p_cmp),
+            pct(r.p_cmp_given_questionable),
+            pct(r.p_questionable_given_cmp()),
+            r.sites.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 7 — CMPs vs questionable calls (D_BA; P(questionable) = {})\n{}",
+        pct(f.p_questionable()),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_outcome;
+
+    #[test]
+    fn detects_cmps_and_conditionals() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let f = fig7(&ds);
+        assert_eq!(f.total_sites, 3);
+        // site-a (HubSpot) and site-b (no CMP) have questionable calls.
+        assert_eq!(f.questionable_sites, 2);
+        let hubspot = f
+            .rows
+            .iter()
+            .find(|r| r.cmp.spec().name == "HubSpot")
+            .unwrap();
+        assert_eq!(hubspot.sites, 1);
+        assert_eq!(hubspot.questionable_sites, 1);
+        assert_eq!(hubspot.p_questionable_given_cmp(), 1.0);
+        assert!((hubspot.p_cmp - 1.0 / 3.0).abs() < 1e-9);
+        assert!((hubspot.p_cmp_given_questionable - 0.5).abs() < 1e-9);
+        let onetrust = f
+            .rows
+            .iter()
+            .find(|r| r.cmp.spec().name == "OneTrust")
+            .unwrap();
+        assert_eq!(onetrust.sites, 1); // site-c
+        assert_eq!(onetrust.questionable_sites, 0);
+    }
+
+    #[test]
+    fn p_questionable_overall() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let f = fig7(&ds);
+        assert!((f.p_questionable() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_lists_all_cmps() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let text = render_fig7(&fig7(&ds));
+        for cmp in &CMPS {
+            assert!(text.contains(cmp.name), "{} missing", cmp.name);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Market concentration of Topics API usage.
+//!
+//! The paper's Figure 2 shows adoption concentrated in a handful of
+//! giant platforms; this module quantifies that with the standard
+//! concentration measures — top-k share and the Gini coefficient of the
+//! per-CP call-volume distribution — so longitudinal runs can track
+//! whether Topics usage centralises further as deployment matures.
+
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::{pct, Table};
+use std::collections::BTreeMap;
+use topics_net::domain::Domain;
+
+/// Concentration statistics over per-CP call volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concentration {
+    /// Distinct CPs with at least one executed call.
+    pub parties: usize,
+    /// Total executed calls.
+    pub total_calls: usize,
+    /// Share of calls made by the single largest CP.
+    pub top1_share: f64,
+    /// Share of calls made by the five largest CPs.
+    pub top5_share: f64,
+    /// Gini coefficient of the call-volume distribution (0 = perfectly
+    /// even, →1 = a single party makes every call).
+    pub gini: f64,
+}
+
+/// Gini coefficient of a non-negative sample (0 for empty/all-zero).
+pub fn gini(values: &[u64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u64 = values.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n, with i ranked from 1.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Compute the concentration of *legitimate* (Allowed∧Attested) call
+/// volume in one dataset.
+pub fn concentration(ds: &Datasets<'_>, id: DatasetId) -> Concentration {
+    let mut by_cp: BTreeMap<Domain, u64> = BTreeMap::new();
+    for (_, c) in ds.calls(id) {
+        let class = ds.classify(&c.caller_site);
+        if class.allowed && class.attested {
+            *by_cp.entry(c.caller_site.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut volumes: Vec<u64> = by_cp.values().copied().collect();
+    volumes.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = volumes.iter().sum();
+    let share = |k: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            volumes.iter().take(k).sum::<u64>() as f64 / total as f64
+        }
+    };
+    Concentration {
+        parties: volumes.len(),
+        total_calls: total as usize,
+        top1_share: share(1),
+        top5_share: share(5),
+        gini: gini(&volumes),
+    }
+}
+
+/// Render the concentration stats as text.
+pub fn render_concentration(c: &Concentration) -> String {
+    let mut t = Table::new(["metric", "value"]);
+    t.row(vec!["calling parties".into(), c.parties.to_string()]);
+    t.row(vec!["total calls".into(), c.total_calls.to_string()]);
+    t.row(vec!["top-1 share".into(), pct(c.top1_share)]);
+    t.row(vec!["top-5 share".into(), pct(c.top5_share)]);
+    t.row(vec!["Gini coefficient".into(), format!("{:.3}", c.gini)]);
+    format!("Call-volume concentration (legitimate CPs)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_outcome;
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-9, "perfect equality");
+        // One party takes everything among n: G = (n−1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-9, "{g}");
+        // A skewed sample sits strictly between.
+        let mid = gini(&[1, 2, 3, 10]);
+        assert!(mid > 0.2 && mid < 0.75, "{mid}");
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1, 2, 3, 4]);
+        let b = gini(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentration_over_the_fixture() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let c = concentration(&ds, DatasetId::AfterAccept);
+        // Only goodads.com (2 calls) is legitimate in D_AA.
+        assert_eq!(c.parties, 1);
+        assert_eq!(c.total_calls, 2);
+        assert_eq!(c.top1_share, 1.0);
+        assert_eq!(c.top5_share, 1.0);
+        assert_eq!(c.gini, 0.0, "single party: distribution trivially even");
+        let text = render_concentration(&c);
+        assert!(text.contains("Gini"));
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zero() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let c = concentration(&ds, DatasetId::AfterReject);
+        assert_eq!(c.parties, 0);
+        assert_eq!(c.total_calls, 0);
+        assert_eq!(c.top1_share, 0.0);
+    }
+}

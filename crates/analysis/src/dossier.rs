@@ -1,0 +1,268 @@
+//! Per-CP dossier — everything the campaign knows about one calling
+//! party.
+//!
+//! The paper's stated goal includes "improv[ing] practitioners'
+//! awareness"; this is the tool for it: given a calling party's domain,
+//! assemble its classification, presence, per-dataset calling behaviour,
+//! experiment-arm fit, call types, regional footprint and attestation
+//! details into one report.
+
+use crate::abtest::fit_fraction;
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::{pct, Table};
+use std::collections::BTreeSet;
+use topics_browser::observer::CallType;
+use topics_net::domain::Domain;
+use topics_net::psl::registrable_domain;
+use topics_net::region::Region;
+
+/// Behaviour of one CP in one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DatasetBehaviour {
+    /// Websites where the CP was present.
+    pub present: usize,
+    /// Websites where it called.
+    pub calling_sites: usize,
+    /// Total executed calls.
+    pub calls: usize,
+    /// Calls by type (JavaScript, Fetch, IFrame).
+    pub by_type: [usize; 3],
+}
+
+/// The assembled dossier.
+#[derive(Debug, Clone)]
+pub struct Dossier {
+    /// The CP (registrable domain).
+    pub cp: Domain,
+    /// On the allow-list?
+    pub allowed: bool,
+    /// Valid attestation served?
+    pub attested: bool,
+    /// Attestation issue date, when attested.
+    pub attestation_issued: Option<topics_net::clock::Timestamp>,
+    /// Behaviour per dataset, in `[BeforeAccept, AfterAccept,
+    /// AfterReject]` order.
+    pub behaviour: [DatasetBehaviour; 3],
+    /// Presence per region over D_BA ([`Region::ALL`] order).
+    pub presence_by_region: [usize; 5],
+    /// Calling sites per region over D_BA.
+    pub calling_by_region: [usize; 5],
+    /// Websites on which the CP called in D_AA (sample, ≤10).
+    pub example_sites: Vec<Domain>,
+}
+
+const DATASETS: [DatasetId; 3] = [
+    DatasetId::BeforeAccept,
+    DatasetId::AfterAccept,
+    DatasetId::AfterReject,
+];
+
+/// Build the dossier for one CP (the domain is normalised to its
+/// registrable form).
+pub fn dossier(ds: &Datasets<'_>, cp: &Domain) -> Dossier {
+    let cp = registrable_domain(cp);
+    let class = ds.classify(&cp);
+    let attestation_issued = ds
+        .outcome()
+        .attestation_probes
+        .iter()
+        .find(|p| p.domain == cp)
+        .and_then(|p| p.valid.as_ref())
+        .map(|v| v.issued);
+
+    let mut behaviour = [DatasetBehaviour::default(); 3];
+    let mut example_sites: Vec<Domain> = Vec::new();
+    let mut presence_by_region = [0usize; 5];
+    let mut calling_by_region = [0usize; 5];
+
+    for (slot, id) in DATASETS.into_iter().enumerate() {
+        let mut calling_sites: BTreeSet<&Domain> = BTreeSet::new();
+        for v in ds.visits(id) {
+            let present = v.has_party(&cp) || v.website == cp;
+            if !present {
+                continue;
+            }
+            behaviour[slot].present += 1;
+            let mut called_here = false;
+            for c in v.topics_calls.iter().filter(|c| c.permitted()) {
+                if c.caller_site == cp {
+                    called_here = true;
+                    behaviour[slot].calls += 1;
+                    let t = match c.call_type {
+                        CallType::JavaScript => 0,
+                        CallType::Fetch => 1,
+                        CallType::Iframe => 2,
+                    };
+                    behaviour[slot].by_type[t] += 1;
+                }
+            }
+            if called_here {
+                calling_sites.insert(&v.website);
+                if id == DatasetId::AfterAccept && example_sites.len() < 10 {
+                    example_sites.push(v.website.clone());
+                }
+            }
+            if id == DatasetId::BeforeAccept {
+                let ridx = Region::ALL
+                    .iter()
+                    .position(|r| *r == Region::of(&v.website))
+                    .expect("region");
+                presence_by_region[ridx] += 1;
+                if called_here {
+                    calling_by_region[ridx] += 1;
+                }
+            }
+        }
+        behaviour[slot].calling_sites = calling_sites.len();
+    }
+
+    Dossier {
+        cp,
+        allowed: class.allowed,
+        attested: class.attested,
+        attestation_issued,
+        behaviour,
+        presence_by_region,
+        calling_by_region,
+        example_sites,
+    }
+}
+
+impl Dossier {
+    /// Enabled fraction over D_AA (the Figure 3 notion).
+    pub fn enabled_fraction_aa(&self) -> f64 {
+        let b = &self.behaviour[1];
+        if b.present == 0 {
+            0.0
+        } else {
+            b.calling_sites as f64 / b.present as f64
+        }
+    }
+
+    /// Render the dossier as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== Dossier: {} ==\n", self.cp);
+        out.push_str(&format!(
+            "allowed: {}   attested: {}   attestation issued: {}\n",
+            self.allowed,
+            self.attested,
+            self.attestation_issued
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ));
+        let mut t = Table::new(["dataset", "present", "calling sites", "calls", "JS", "Fetch", "IFrame"]);
+        for (label, b) in [
+            ("Before-Accept", &self.behaviour[0]),
+            ("After-Accept", &self.behaviour[1]),
+            ("After-Reject", &self.behaviour[2]),
+        ] {
+            t.row(vec![
+                label.to_owned(),
+                b.present.to_string(),
+                b.calling_sites.to_string(),
+                b.calls.to_string(),
+                b.by_type[0].to_string(),
+                b.by_type[1].to_string(),
+                b.by_type[2].to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        let f = self.enabled_fraction_aa();
+        if self.behaviour[1].calling_sites > 0 {
+            let fit = fit_fraction(f);
+            out.push_str(&format!(
+                "enabled fraction (D_AA): {} — nearest experiment arm {:.0}% (Δ {:.3})\n",
+                pct(f),
+                fit.nearest * 100.0,
+                fit.distance
+            ));
+        }
+
+        let mut geo = Table::new(["region", "present (D_BA)", "calling", "enabled"]);
+        for (i, region) in Region::ALL.iter().enumerate() {
+            let present = self.presence_by_region[i];
+            let calling = self.calling_by_region[i];
+            geo.row(vec![
+                region.label().to_owned(),
+                present.to_string(),
+                calling.to_string(),
+                if present == 0 {
+                    "-".into()
+                } else {
+                    pct(calling as f64 / present as f64)
+                },
+            ]);
+        }
+        out.push_str(&geo.render());
+
+        if !self.example_sites.is_empty() {
+            out.push_str("example calling sites (D_AA): ");
+            out.push_str(
+                &self
+                    .example_sites
+                    .iter()
+                    .map(|d| d.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{d, tiny_outcome};
+
+    #[test]
+    fn dossier_for_a_legitimate_platform() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let dos = dossier(&ds, &d("goodads.com"));
+        assert!(dos.allowed);
+        assert!(dos.attested);
+        assert!(dos.attestation_issued.is_some());
+        // goodads: present on site-c in D_BA (never calls), on site-a and
+        // site-c in D_AA, calling on both via Fetch.
+        assert_eq!(dos.behaviour[0].present, 1);
+        assert_eq!(dos.behaviour[0].calls, 0);
+        assert_eq!(dos.behaviour[1].present, 2);
+        assert_eq!(dos.behaviour[1].calling_sites, 2);
+        assert_eq!(dos.behaviour[1].by_type, [0, 2, 0]);
+        assert_eq!(dos.enabled_fraction_aa(), 1.0);
+        let text = dos.render();
+        assert!(text.contains("goodads.com"));
+        assert!(text.contains("After-Accept"));
+    }
+
+    #[test]
+    fn dossier_for_a_violator() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let dos = dossier(&ds, &d("frame.violator.com"));
+        assert_eq!(dos.cp.as_str(), "violator.com", "normalised to eTLD+1");
+        // Calls on both D_BA sites, JavaScript type.
+        assert_eq!(dos.behaviour[0].calling_sites, 2);
+        assert_eq!(dos.behaviour[0].by_type[0], 2);
+        // Regional split: one .com site, one .ru site.
+        let com = Region::ALL.iter().position(|r| *r == Region::Com).unwrap();
+        let ru = Region::ALL.iter().position(|r| *r == Region::Russia).unwrap();
+        assert_eq!(dos.presence_by_region[com], 1);
+        assert_eq!(dos.calling_by_region[ru], 1);
+    }
+
+    #[test]
+    fn dossier_for_an_unknown_party_is_empty() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let dos = dossier(&ds, &d("never-seen.example.com"));
+        assert!(!dos.allowed);
+        assert!(!dos.attested);
+        assert_eq!(dos.behaviour[0].present, 0);
+        assert_eq!(dos.enabled_fraction_aa(), 0.0);
+        let _ = dos.render();
+    }
+}

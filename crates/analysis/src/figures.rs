@@ -1,0 +1,322 @@
+//! Figures 2, 3, 5 and 6 — per-CP presence, enablement, questionable
+//! calls, and the geographic breakdown.
+
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::{bar_series, pct, Table};
+use std::collections::{BTreeMap, BTreeSet};
+use topics_net::domain::Domain;
+use topics_net::region::Region;
+
+/// One row of Figure 2: websites where a CP is present, and the subset
+/// where it calls the Topics API (D_AA, Allowed∧Attested CPs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresenceRow {
+    /// The calling party (registrable domain).
+    pub cp: Domain,
+    /// Websites where the CP is present.
+    pub present: usize,
+    /// Websites where it called the API.
+    pub called: usize,
+}
+
+impl PresenceRow {
+    /// Fraction of presence sites with a call (Figure 3's "Enabled %").
+    pub fn enabled_fraction(&self) -> f64 {
+        if self.present == 0 {
+            0.0
+        } else {
+            self.called as f64 / self.present as f64
+        }
+    }
+}
+
+/// Presence/called counts for every Allowed∧Attested CP in a dataset.
+///
+/// Presence means any object of the CP's registrable domain was loaded on
+/// the page; called means an executed Topics call attributed to it.
+pub fn presence_rows(ds: &Datasets<'_>, id: DatasetId) -> Vec<PresenceRow> {
+    // Candidate CPs: every allow-listed, attested domain.
+    let candidates: Vec<Domain> = ds
+        .outcome()
+        .allow_list
+        .iter()
+        .filter(|d| ds.outcome().is_attested(d))
+        .cloned()
+        .collect();
+    let mut present: BTreeMap<&Domain, usize> = BTreeMap::new();
+    let mut called: BTreeMap<&Domain, usize> = BTreeMap::new();
+    for v in ds.visits(id) {
+        let callers: BTreeSet<&Domain> = v
+            .topics_calls
+            .iter()
+            .filter(|c| c.permitted())
+            .map(|c| &c.caller_site)
+            .collect();
+        for cp in &candidates {
+            if v.has_party(cp) {
+                *present.entry(cp).or_insert(0) += 1;
+                if callers.contains(cp) {
+                    *called.entry(cp).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<PresenceRow> = candidates
+        .iter()
+        .map(|cp| PresenceRow {
+            cp: cp.clone(),
+            present: present.get(cp).copied().unwrap_or(0),
+            called: called.get(cp).copied().unwrap_or(0),
+        })
+        .filter(|r| r.present > 0)
+        .collect();
+    rows.sort_by(|a, b| b.present.cmp(&a.present).then(a.cp.cmp(&b.cp)));
+    rows
+}
+
+/// Figure 2: the top-N most pervasive Allowed∧Attested CPs in D_AA.
+pub fn fig2(ds: &Datasets<'_>, top: usize) -> Vec<PresenceRow> {
+    presence_rows(ds, DatasetId::AfterAccept)
+        .into_iter()
+        .take(top)
+        .collect()
+}
+
+/// Figure 3: CPs ranked by enabled fraction (among those that call at
+/// all), with their presence counts — the A/B-test fractions.
+pub fn fig3(ds: &Datasets<'_>, top: usize) -> Vec<PresenceRow> {
+    let mut rows: Vec<PresenceRow> = presence_rows(ds, DatasetId::AfterAccept)
+        .into_iter()
+        .filter(|r| r.called > 0 && r.present >= 20) // small-sample noise guard
+        .collect();
+    rows.sort_by(|a, b| {
+        b.enabled_fraction()
+            .partial_cmp(&a.enabled_fraction())
+            .expect("fractions are finite")
+            .then(a.cp.cmp(&b.cp))
+    });
+    rows.truncate(top);
+    rows
+}
+
+/// Render Figure 2 as text.
+pub fn render_fig2(rows: &[PresenceRow]) -> String {
+    let mut t = Table::new(["CP", "present", "called", "enabled"]);
+    for r in rows {
+        t.row(vec![
+            r.cp.as_str().to_owned(),
+            r.present.to_string(),
+            r.called.to_string(),
+            pct(r.enabled_fraction()),
+        ]);
+    }
+    format!(
+        "Figure 2 — websites where a CP is present vs. calling (D_AA)\n{}",
+        t.render()
+    )
+}
+
+/// Render Figure 3 as text.
+pub fn render_fig3(rows: &[PresenceRow]) -> String {
+    let series: Vec<(&str, f64)> = rows
+        .iter()
+        .map(|r| (r.cp.as_str(), r.enabled_fraction() * 100.0))
+        .collect();
+    let mut out = bar_series(
+        "Figure 3 — enabled % per CP (D_AA); top row = presence count",
+        series.iter().map(|(l, v)| (*l, *v)),
+        40,
+    );
+    out.push_str("presence: ");
+    out.push_str(
+        &rows
+            .iter()
+            .map(|r| format!("{}={}", r.cp, r.present))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    out.push('\n');
+    out
+}
+
+/// One row of Figure 5: questionable Before-Accept calls per
+/// Allowed∧Attested CP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuestionableRow {
+    /// The CP.
+    pub cp: Domain,
+    /// Websites with at least one Before-Accept call by this CP.
+    pub websites: usize,
+}
+
+/// Figure 5: Allowed∧Attested CPs calling in D_BA, by website count.
+pub fn fig5(ds: &Datasets<'_>, top: usize) -> Vec<QuestionableRow> {
+    let mut counts: BTreeMap<Domain, BTreeSet<Domain>> = BTreeMap::new();
+    for (website, c) in ds.calls(DatasetId::BeforeAccept) {
+        let class = ds.classify(&c.caller_site);
+        if class.allowed && class.attested {
+            counts
+                .entry(c.caller_site.clone())
+                .or_default()
+                .insert(website.clone());
+        }
+    }
+    let mut rows: Vec<QuestionableRow> = counts
+        .into_iter()
+        .map(|(cp, sites)| QuestionableRow {
+            cp,
+            websites: sites.len(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.cp.cmp(&b.cp)));
+    rows.truncate(top);
+    rows
+}
+
+/// Render Figure 5 as text.
+pub fn render_fig5(rows: &[QuestionableRow]) -> String {
+    let series: Vec<(&str, f64)> = rows
+        .iter()
+        .map(|r| (r.cp.as_str(), r.websites as f64))
+        .collect();
+    bar_series(
+        "Figure 5 — questionable Before-Accept calls by Allowed & Attested CPs (D_BA)",
+        series.iter().map(|(l, v)| (*l, *v)),
+        40,
+    )
+}
+
+/// Figure 6: for selected CPs, presence and enabled % per website region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoRow {
+    /// The CP.
+    pub cp: Domain,
+    /// Per-region `(present, called)` counts, [`Region::ALL`] order.
+    pub by_region: [(usize, usize); 5],
+}
+
+impl GeoRow {
+    /// Enabled fraction in one region.
+    pub fn enabled(&self, region: Region) -> f64 {
+        let idx = Region::ALL.iter().position(|r| *r == region).expect("region");
+        let (present, called) = self.by_region[idx];
+        if present == 0 {
+            0.0
+        } else {
+            called as f64 / present as f64
+        }
+    }
+}
+
+/// Figure 6 over D_BA for the given CPs (the paper uses the top-4
+/// questionable CPs).
+pub fn fig6(ds: &Datasets<'_>, cps: &[Domain]) -> Vec<GeoRow> {
+    let mut rows: Vec<GeoRow> = cps
+        .iter()
+        .map(|cp| GeoRow {
+            cp: cp.clone(),
+            by_region: [(0, 0); 5],
+        })
+        .collect();
+    for v in ds.visits(DatasetId::BeforeAccept) {
+        let region = Region::of(&v.website);
+        let idx = Region::ALL.iter().position(|r| *r == region).expect("region");
+        for row in rows.iter_mut() {
+            if v.has_party(&row.cp) {
+                row.by_region[idx].0 += 1;
+                if v.topics_calls
+                    .iter()
+                    .any(|c| c.permitted() && c.caller_site == row.cp)
+                {
+                    row.by_region[idx].1 += 1;
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Render Figure 6 as text.
+pub fn render_fig6(rows: &[GeoRow]) -> String {
+    let mut t = Table::new(["CP", ".com", ".jp", ".ru", "EU", "Other"]);
+    for r in rows {
+        let mut cells = vec![r.cp.as_str().to_owned()];
+        for (i, region) in Region::ALL.iter().enumerate() {
+            let (present, _) = r.by_region[i];
+            cells.push(format!("{} ({present})", pct(r.enabled(*region))));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 6 — enabled % (presence) per website region (D_BA)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{d, tiny_outcome};
+
+    #[test]
+    fn fig2_counts_presence_and_calls() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let rows = fig2(&ds, 10);
+        // goodads.com present on site-a and site-c in D_AA, calling on both.
+        let goodads = rows.iter().find(|r| r.cp.as_str() == "goodads.com").unwrap();
+        assert_eq!(goodads.present, 2);
+        assert_eq!(goodads.called, 2);
+        assert_eq!(goodads.enabled_fraction(), 1.0);
+        // violator.com present on site-a in D_AA but never calls there.
+        let violator = rows.iter().find(|r| r.cp.as_str() == "violator.com").unwrap();
+        assert_eq!(violator.present, 1);
+        assert_eq!(violator.called, 0);
+    }
+
+    #[test]
+    fn fig3_filters_small_samples() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        // presence counts are tiny (<20), so fig3 is empty on the fixture.
+        assert!(fig3(&ds, 10).is_empty());
+    }
+
+    #[test]
+    fn fig5_ranks_questionable_cps() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let rows = fig5(&ds, 10);
+        assert_eq!(rows.len(), 1, "only violator.com is Allowed∧Attested");
+        assert_eq!(rows[0].cp.as_str(), "violator.com");
+        assert_eq!(rows[0].websites, 2, "site-a and site-b");
+    }
+
+    #[test]
+    fn fig6_buckets_by_region() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let rows = fig6(&ds, &[d("violator.com")]);
+        let row = &rows[0];
+        let idx =
+            |r: Region| Region::ALL.iter().position(|x| *x == r).unwrap();
+        assert_eq!(row.by_region[idx(Region::Com)], (1, 1)); // site-a.com
+        assert_eq!(row.by_region[idx(Region::Russia)], (1, 1)); // site-b.ru
+        assert_eq!(row.by_region[idx(Region::Japan)], (0, 0));
+        assert_eq!(row.enabled(Region::Com), 1.0);
+        assert_eq!(row.enabled(Region::Japan), 0.0);
+    }
+
+    #[test]
+    fn renders_do_not_panic_and_mention_cps() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let f2 = render_fig2(&fig2(&ds, 5));
+        assert!(f2.contains("goodads.com"));
+        let f5 = render_fig5(&fig5(&ds, 5));
+        assert!(f5.contains("violator.com"));
+        let f6 = render_fig6(&fig6(&ds, &[d("violator.com")]));
+        assert!(f6.contains(".ru"));
+        let _ = render_fig3(&fig3(&ds, 5));
+    }
+}

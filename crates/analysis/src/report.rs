@@ -1,0 +1,175 @@
+//! Plain-text rendering of tables and bar series.
+//!
+//! The benchmark harness and the examples print every reproduced table
+//! and figure with these helpers, so the output can be compared
+//! side-by-side with the paper.
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use topics_analysis::report::Table;
+///
+/// let mut t = Table::new(["cp", "calls"]);
+/// t.row(vec!["criteo.com".into(), "1387".into()]);
+/// assert!(t.render().contains("criteo.com"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Render a horizontal bar for a value within `[0, max]`.
+pub fn hbar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    let filled = filled.min(width);
+    let mut s = String::with_capacity(width);
+    for _ in 0..filled {
+        s.push('█');
+    }
+    for _ in filled..width {
+        s.push('·');
+    }
+    s
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Render a labelled bar series (a text "figure").
+pub fn bar_series<'a, I>(title: &str, rows: I, width: usize) -> String
+where
+    I: IntoIterator<Item = (&'a str, f64)>,
+{
+    let rows: Vec<(&str, f64)> = rows.into_iter().collect();
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        let pad = " ".repeat(label_w - label.chars().count());
+        out.push_str(&format!(
+            "{label}{pad}  {}  {value:.1}\n",
+            hbar(value, max, width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["name", "count"]);
+        t.row(vec!["a-long-name".into(), "5".into()]);
+        t.row(vec!["x".into(), "12345".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "count" column starts at the same offset.
+        let col = lines[0].find("count").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "5");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn hbar_bounds() {
+        assert_eq!(hbar(0.0, 10.0, 4), "····");
+        assert_eq!(hbar(10.0, 10.0, 4), "████");
+        assert_eq!(hbar(5.0, 10.0, 4), "██··");
+        assert_eq!(hbar(20.0, 10.0, 4), "████", "clamped");
+        assert_eq!(hbar(1.0, 0.0, 4), "", "degenerate max");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.4567), "45.7%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn bar_series_renders_each_row() {
+        let s = bar_series("Figure X", [("alpha", 10.0), ("beta", 5.0)], 10);
+        assert!(s.starts_with("Figure X\n"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("beta"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

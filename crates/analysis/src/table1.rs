@@ -1,0 +1,157 @@
+//! Table 1 — the overall status of Topics API usage.
+//!
+//! ```text
+//! Allowed                          193
+//! Allowed & !Attested               12
+//! D_AA  Allowed & Attested          47
+//!       !Allowed & Attested          1
+//!       !Allowed                 2,614
+//! D_BA  Allowed & Attested          28
+//!       !Allowed               1,308
+//! ```
+//!
+//! The first two rows are properties of the allow-list and the
+//! attestation probes; the dataset rows count *distinct calling parties
+//! observed calling* in each dataset, bucketed by classification. The
+//! paper marks the D_AA `!Allowed` rows as anomalous (red) and the D_BA
+//! rows as questionable (blue).
+
+use crate::dataset::{DatasetId, Datasets};
+use crate::report::Table;
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1 {
+    /// Domains on the allow-list.
+    pub allowed_total: usize,
+    /// Allow-listed domains without a valid attestation file.
+    pub allowed_not_attested: usize,
+    /// D_AA: distinct Allowed∧Attested callers.
+    pub daa_allowed_attested: usize,
+    /// D_AA: distinct ¬Allowed∧Attested callers (the distillery case).
+    pub daa_not_allowed_attested: usize,
+    /// D_AA: distinct ¬Allowed callers (anomalous usage, §4).
+    pub daa_not_allowed: usize,
+    /// D_BA: distinct Allowed∧Attested callers (questionable usage, §5).
+    pub dba_allowed_attested: usize,
+    /// D_BA: distinct ¬Allowed callers (questionable usage, §5).
+    pub dba_not_allowed: usize,
+}
+
+/// Compute Table 1 from a campaign.
+pub fn table1(ds: &Datasets<'_>) -> Table1 {
+    let outcome = ds.outcome();
+    let allowed_total = outcome.allow_list.len();
+    let allowed_not_attested = outcome
+        .allow_list
+        .iter()
+        .filter(|d| !outcome.is_attested(d))
+        .count();
+
+    let mut t = Table1 {
+        allowed_total,
+        allowed_not_attested,
+        daa_allowed_attested: 0,
+        daa_not_allowed_attested: 0,
+        daa_not_allowed: 0,
+        dba_allowed_attested: 0,
+        dba_not_allowed: 0,
+    };
+    for cp in ds.calling_parties(DatasetId::AfterAccept) {
+        let class = ds.classify(&cp);
+        match (class.allowed, class.attested) {
+            (true, true) => t.daa_allowed_attested += 1,
+            (false, true) => t.daa_not_allowed_attested += 1,
+            (false, false) => t.daa_not_allowed += 1,
+            (true, false) => {} // never observed in the paper; counted nowhere
+        }
+    }
+    for cp in ds.calling_parties(DatasetId::BeforeAccept) {
+        let class = ds.classify(&cp);
+        match (class.allowed, class.attested) {
+            (true, true) => t.dba_allowed_attested += 1,
+            (false, _) => t.dba_not_allowed += 1,
+            (true, false) => {}
+        }
+    }
+    t
+}
+
+impl Table1 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec!["", "Class", "CPs"]);
+        table.row(vec!["".into(), "Allowed".into(), self.allowed_total.to_string()]);
+        table.row(vec![
+            "".into(),
+            "Allowed & !Attested".into(),
+            self.allowed_not_attested.to_string(),
+        ]);
+        table.row(vec![
+            "D_AA".into(),
+            "Allowed & Attested".into(),
+            self.daa_allowed_attested.to_string(),
+        ]);
+        table.row(vec![
+            "D_AA".into(),
+            "!Allowed & Attested".into(),
+            self.daa_not_allowed_attested.to_string(),
+        ]);
+        table.row(vec![
+            "D_AA".into(),
+            "!Allowed (anomalous)".into(),
+            self.daa_not_allowed.to_string(),
+        ]);
+        table.row(vec![
+            "D_BA".into(),
+            "Allowed & Attested (questionable)".into(),
+            self.dba_allowed_attested.to_string(),
+        ]);
+        table.row(vec![
+            "D_BA".into(),
+            "!Allowed (questionable)".into(),
+            self.dba_not_allowed.to_string(),
+        ]);
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_outcome;
+
+    #[test]
+    fn tiny_world_table() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let t = table1(&ds);
+        assert_eq!(t.allowed_total, 3);
+        assert_eq!(t.allowed_not_attested, 1); // unattested-ads.com
+        assert_eq!(t.daa_allowed_attested, 1); // goodads.com
+        assert_eq!(t.daa_not_allowed, 1); // site-a.com via GTM
+        assert_eq!(t.daa_not_allowed_attested, 0);
+        assert_eq!(t.dba_allowed_attested, 1); // violator.com
+        assert_eq!(t.dba_not_allowed, 1); // site-a.com via GTM (pre-consent)
+    }
+
+    #[test]
+    fn blocked_calls_do_not_create_callers() {
+        // rogue.net appears only as a blocked call in tiny_outcome.
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let t = table1(&ds);
+        assert_eq!(t.daa_not_allowed, 1, "rogue.net must not be counted");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        let text = table1(&ds).render();
+        assert!(text.contains("Allowed & !Attested"));
+        assert!(text.contains("D_AA"));
+        assert!(text.contains("D_BA"));
+        assert!(text.contains("questionable"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the analysis layer: rendering is total, the
+//! A/B-fit machinery is mathematically sound, and alternation metrics
+//! hold for arbitrary series.
+
+use proptest::prelude::*;
+use topics_analysis::abtest::{fit_fraction, AlternationSeries, CANONICAL_FRACTIONS};
+use topics_analysis::report::{bar_series, hbar, pct, Table};
+use topics_net::domain::Domain;
+
+proptest! {
+    #[test]
+    fn tables_render_any_cells(
+        headers in prop::collection::vec("[ -~]{0,12}", 1..5),
+        rows in prop::collection::vec(
+            prop::collection::vec("[ -~]{0,16}", 0..5),
+            0..8
+        )
+    ) {
+        let mut t = Table::new(headers.clone());
+        for r in rows {
+            t.row(r);
+        }
+        let text = t.render();
+        // Header line + separator + one line per row.
+        prop_assert_eq!(text.lines().count(), 2 + t.len());
+    }
+
+    #[test]
+    fn hbar_is_total_and_width_bounded(
+        value in -1.0e6f64..1.0e6,
+        max in -10.0f64..1.0e6,
+        width in 0usize..64
+    ) {
+        let bar = hbar(value, max, width);
+        prop_assert!(bar.chars().count() <= width);
+    }
+
+    #[test]
+    fn pct_is_total(x in -10.0f64..10.0) {
+        let s = pct(x);
+        prop_assert!(s.ends_with('%'));
+    }
+
+    #[test]
+    fn bar_series_line_count_matches(
+        labels in prop::collection::vec("[a-z]{1,10}", 0..8)
+    ) {
+        let rows: Vec<(String, f64)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i as f64))
+            .collect();
+        let text = bar_series("T", rows.iter().map(|(l, v)| (l.as_str(), *v)), 20);
+        prop_assert_eq!(text.lines().count(), 1 + labels.len());
+    }
+
+    #[test]
+    fn fit_fraction_picks_the_true_minimum(x in 0.0f64..=1.0) {
+        let fit = fit_fraction(x);
+        prop_assert!(CANONICAL_FRACTIONS.contains(&fit.nearest));
+        for arm in CANONICAL_FRACTIONS {
+            prop_assert!(fit.distance <= (x - arm).abs() + 1e-12);
+        }
+        prop_assert!((fit.distance - (x - fit.nearest).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternation_metrics_are_consistent(on in prop::collection::vec(any::<bool>(), 0..40)) {
+        let s = AlternationSeries {
+            cp: Domain::parse("cp.example").unwrap(),
+            website: Domain::parse("site.example").unwrap(),
+            on: on.clone(),
+        };
+        // Transitions + 1 = number of runs (for non-empty series).
+        if !on.is_empty() {
+            let runs = 1 + s.transitions();
+            prop_assert!(s.longest_run() <= on.len());
+            prop_assert!(s.longest_run() * runs >= on.len(), "pigeonhole");
+            prop_assert_eq!(
+                s.alternates(),
+                on.iter().any(|&x| x) && on.iter().any(|&x| !x)
+            );
+        } else {
+            prop_assert_eq!(s.longest_run(), 0);
+            prop_assert_eq!(s.transitions(), 0);
+            prop_assert!(!s.alternates());
+        }
+    }
+}

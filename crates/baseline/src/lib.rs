@@ -1,0 +1,31 @@
+//! # topics-baseline — the third-party-cookie baseline
+//!
+//! The paper frames the Topics API as the replacement for cookie-based
+//! cross-site tracking (§1) and cites re-identification analyses of the
+//! API ([17, 23]). This crate implements that comparison end to end:
+//!
+//! * [`population`] — synthetic users with interest-driven browsing that
+//!   feeds real per-user [`topics_browser::topics::TopicsEngine`]s;
+//! * [`tracker`] — the classical third-party-cookie tracker: exact
+//!   cross-site profiles and near-total fingerprint uniqueness;
+//! * [`reident`] — the Topics re-identification attack: per-context
+//!   topic histograms and nearest-neighbour linkage, measured against
+//!   the cookie baseline's trivially perfect linkage.
+//!
+//! The `baseline_reident` and `ablation_noise` benches build on these to
+//! chart profiling power versus population size and versus the 5% noise
+//! mechanism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod population;
+pub mod reident;
+pub mod tracker;
+
+pub use population::{generate_population, generate_population_with_noise, SiteUniverse, User};
+pub use reident::{
+    collect_profiles, cookie_match, isolated_fraction, match_profiles, match_profiles_top_k,
+    profile_entropy, MatchResult, TopicProfile,
+};
+pub use tracker::CookieTracker;

@@ -1,0 +1,364 @@
+//! Re-identification: linking the same user across two observation
+//! contexts.
+//!
+//! The Topics adversary (refs [17, 23] of the paper) collects
+//! `browsingTopics()` answers for each user in two disjoint site
+//! contexts, builds a topic histogram per context, and links users by
+//! greedy nearest-neighbour cosine matching. The cookie baseline links
+//! perfectly by construction (the identifier travels with the user), so
+//! the interesting quantity is how far below 100% — and how far above
+//! the 1/N random-guess floor — the Topics attack lands, and how much
+//! the 5% noise mechanism helps.
+
+use crate::population::{SiteUniverse, User};
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_taxonomy::TAXONOMY_SIZE;
+
+/// A per-user topic histogram collected by an adversary in one context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicProfile {
+    /// The user the profile belongs to (ground truth, used for scoring).
+    pub user_id: usize,
+    /// Topic counts indexed by topic id.
+    pub histogram: Vec<f32>,
+}
+
+impl TopicProfile {
+    /// Cosine similarity with another profile.
+    pub fn cosine(&self, other: &TopicProfile) -> f64 {
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for (a, b) in self.histogram.iter().zip(&other.histogram) {
+            dot += f64::from(*a) * f64::from(*b);
+            na += f64::from(*a) * f64::from(*a);
+            nb += f64::from(*b) * f64::from(*b);
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+}
+
+/// Collect topic profiles for every user: the adversary calls the API as
+/// `caller` once per epoch in `epochs`, on each of `context_sites`
+/// (sites where it is embedded), accumulating returned topics.
+///
+/// The call path runs the real engine — caller observation filtering and
+/// the 5% noise included — so the attack sees exactly what a real
+/// Topics caller would.
+pub fn collect_profiles(
+    users: &mut [User],
+    universe: &SiteUniverse,
+    context_sites: &[usize],
+    caller: &Domain,
+    epochs: std::ops::Range<u64>,
+) -> Vec<TopicProfile> {
+    let mut out = Vec::with_capacity(users.len());
+    for user in users.iter_mut() {
+        let mut histogram = vec![0.0f32; TAXONOMY_SIZE + 1];
+        for epoch in epochs.clone() {
+            let now = Timestamp::from_weeks(epoch);
+            for &idx in context_sites {
+                let site = universe.site(idx);
+                // The adversary's presence on the site counts as an
+                // observation, making it eligible for real topics later.
+                user.engine.record_observation(caller, &site, now);
+                if let Some(answer) = user.engine.browsing_topics(caller, &site, now) {
+                    for t in answer.topics {
+                        histogram[t.topic.get() as usize] += 1.0;
+                    }
+                }
+            }
+        }
+        out.push(TopicProfile {
+            user_id: user.id,
+            histogram,
+        });
+    }
+    out
+}
+
+/// Result of a matching experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchResult {
+    /// Users matched to their own other-context profile.
+    pub correct: usize,
+    /// Population size.
+    pub total: usize,
+}
+
+impl MatchResult {
+    /// Top-1 accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// The random-guess floor for this population.
+    pub fn random_floor(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 / self.total as f64
+        }
+    }
+}
+
+/// Match every profile in `b` against `a` by top-1 cosine similarity.
+pub fn match_profiles(a: &[TopicProfile], b: &[TopicProfile]) -> MatchResult {
+    let mut correct = 0;
+    for pb in b {
+        let best = a
+            .iter()
+            .max_by(|x, y| {
+                pb.cosine(x)
+                    .partial_cmp(&pb.cosine(y))
+                    .expect("cosine is finite")
+            })
+            .map(|p| p.user_id);
+        if best == Some(pb.user_id) {
+            correct += 1;
+        }
+    }
+    MatchResult {
+        correct,
+        total: b.len(),
+    }
+}
+
+/// The cookie-baseline equivalent: the identifier travels, so linking is
+/// exact whenever the user visited at least one embedding site in both
+/// contexts (a formality kept for the comparison tables).
+pub fn cookie_match(total: usize) -> MatchResult {
+    MatchResult {
+        correct: total,
+        total,
+    }
+}
+
+/// Top-k linkage: for every profile in `b`, is the true match among the
+/// `k` most similar profiles of `a`? (k = 1 reduces to
+/// [`match_profiles`].) Jha et al. (ref 23 of the paper) report the
+/// attack this way —
+/// even when top-1 fails, a small candidate set often contains the
+/// victim.
+pub fn match_profiles_top_k(a: &[TopicProfile], b: &[TopicProfile], k: usize) -> MatchResult {
+    let mut correct = 0;
+    for pb in b {
+        let mut scored: Vec<(f64, usize)> =
+            a.iter().map(|p| (pb.cosine(p), p.user_id)).collect();
+        scored.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("cosine is finite"));
+        if scored.iter().take(k).any(|(_, id)| *id == pb.user_id) {
+            correct += 1;
+        }
+    }
+    MatchResult {
+        correct,
+        total: b.len(),
+    }
+}
+
+/// Shannon entropy (bits) of one profile's topic distribution — a
+/// coarse "how identifying is this" measure: flat profiles are
+/// anonymous, spiky profiles are fingerprints.
+pub fn profile_entropy(p: &TopicProfile) -> f64 {
+    let total: f64 = p.histogram.iter().map(|&x| f64::from(x)).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -p.histogram
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| {
+            let q = f64::from(x) / total;
+            q * q.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Fraction of profiles whose nearest neighbour within the *same* set is
+/// below `threshold` similarity — profiles isolated in profile space,
+/// i.e. potential unique fingerprints.
+pub fn isolated_fraction(profiles: &[TopicProfile], threshold: f64) -> f64 {
+    if profiles.len() < 2 {
+        return 0.0;
+    }
+    let isolated = profiles
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| {
+            profiles
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j != i)
+                .map(|(_, q)| p.cosine(q))
+                .fold(0.0_f64, f64::max)
+                < threshold
+        })
+        .count();
+    isolated as f64 / profiles.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::generate_population;
+    use std::sync::Arc;
+    use topics_taxonomy::Classifier;
+
+    fn setup(n_users: usize) -> (SiteUniverse, Vec<User>) {
+        let classifier = Arc::new(Classifier::new(13).with_unclassifiable_rate(0.0));
+        let universe = SiteUniverse::generate(13, 600, &classifier);
+        let users = generate_population(13, n_users, &universe, classifier, 8, 30);
+        (universe, users)
+    }
+
+    fn caller(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let a = TopicProfile {
+            user_id: 0,
+            histogram: vec![1.0, 0.0, 2.0],
+        };
+        let b = TopicProfile {
+            user_id: 1,
+            histogram: vec![2.0, 0.0, 4.0],
+        };
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-9, "colinear");
+        let c = TopicProfile {
+            user_id: 2,
+            histogram: vec![0.0, 5.0, 0.0],
+        };
+        assert_eq!(a.cosine(&c), 0.0, "orthogonal");
+        let zero = TopicProfile {
+            user_id: 3,
+            histogram: vec![0.0; 3],
+        };
+        assert_eq!(a.cosine(&zero), 0.0, "degenerate");
+    }
+
+    #[test]
+    fn topics_attack_beats_random_but_loses_to_cookies() {
+        let (universe, mut users) = setup(25);
+        let ctx_a: Vec<usize> = (0..universe.len()).step_by(7).collect();
+        let ctx_b: Vec<usize> = (3..universe.len()).step_by(11).collect();
+        let profiles_a = collect_profiles(
+            &mut users,
+            &universe,
+            &ctx_a,
+            &caller("adv-a.com"),
+            4..8,
+        );
+        let profiles_b = collect_profiles(
+            &mut users,
+            &universe,
+            &ctx_b,
+            &caller("adv-b.com"),
+            4..8,
+        );
+        let result = match_profiles(&profiles_a, &profiles_b);
+        let cookies = cookie_match(users.len());
+        assert_eq!(cookies.accuracy(), 1.0);
+        assert!(
+            result.accuracy() > 3.0 * result.random_floor(),
+            "topics attack should beat random: {} vs floor {}",
+            result.accuracy(),
+            result.random_floor()
+        );
+        assert!(
+            result.accuracy() < 1.0,
+            "topics should not be a perfect identifier"
+        );
+    }
+
+    #[test]
+    fn matching_is_stable() {
+        let (universe, mut users) = setup(10);
+        let ctx: Vec<usize> = (0..50).collect();
+        let a = collect_profiles(&mut users, &universe, &ctx, &caller("x.com"), 4..7);
+        let b = collect_profiles(&mut users, &universe, &ctx, &caller("x.com"), 4..7);
+        // Same caller, same context, same epochs: identical answers.
+        let r = match_profiles(&a, &b);
+        assert_eq!(r.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn top_k_dominates_top_1() {
+        let (universe, mut users) = setup(20);
+        let ctx_a: Vec<usize> = (0..universe.len()).step_by(7).collect();
+        let ctx_b: Vec<usize> = (3..universe.len()).step_by(11).collect();
+        let a = collect_profiles(&mut users, &universe, &ctx_a, &caller("a.com"), 4..8);
+        let b = collect_profiles(&mut users, &universe, &ctx_b, &caller("b.com"), 4..8);
+        let top1 = match_profiles_top_k(&a, &b, 1);
+        let top3 = match_profiles_top_k(&a, &b, 3);
+        let top_all = match_profiles_top_k(&a, &b, a.len());
+        assert_eq!(top1.correct, match_profiles(&a, &b).correct);
+        assert!(top3.correct >= top1.correct);
+        assert_eq!(top_all.accuracy(), 1.0, "k = n always contains the victim");
+    }
+
+    #[test]
+    fn entropy_behaves() {
+        let uniform = TopicProfile {
+            user_id: 0,
+            histogram: vec![1.0; 8],
+        };
+        assert!((profile_entropy(&uniform) - 3.0).abs() < 1e-9, "log2(8)");
+        let point = TopicProfile {
+            user_id: 1,
+            histogram: vec![0.0, 9.0, 0.0],
+        };
+        assert_eq!(profile_entropy(&point), 0.0);
+        let empty = TopicProfile {
+            user_id: 2,
+            histogram: vec![0.0; 4],
+        };
+        assert_eq!(profile_entropy(&empty), 0.0);
+    }
+
+    #[test]
+    fn isolation_metric() {
+        let spike = |id: usize, at: usize| {
+            let mut h = vec![0.0f32; 6];
+            h[at] = 1.0;
+            TopicProfile {
+                user_id: id,
+                histogram: h,
+            }
+        };
+        // Three orthogonal profiles: all isolated at any threshold > 0.
+        let set = vec![spike(0, 0), spike(1, 1), spike(2, 2)];
+        assert_eq!(isolated_fraction(&set, 0.5), 1.0);
+        // Two identical profiles: nobody is isolated.
+        let twins = vec![spike(0, 0), spike(1, 0)];
+        assert_eq!(isolated_fraction(&twins, 0.5), 0.0);
+        assert_eq!(isolated_fraction(&[], 0.5), 0.0);
+        assert_eq!(isolated_fraction(&twins[..1], 0.5), 0.0);
+    }
+
+    #[test]
+    fn match_result_metrics() {
+        let r = MatchResult {
+            correct: 5,
+            total: 20,
+        };
+        assert_eq!(r.accuracy(), 0.25);
+        assert_eq!(r.random_floor(), 0.05);
+        let empty = MatchResult {
+            correct: 0,
+            total: 0,
+        };
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.random_floor(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The classical third-party-cookie tracker — the baseline paradigm the
+//! Topics API is designed to replace (§1).
+//!
+//! A tracker embedded on a fraction of the web sets one identifier
+//! cookie per browser and sees that identifier on every embedding site:
+//! cross-site profiles are exact site lists, and linking two observation
+//! contexts is trivial because the identifier itself travels.
+
+use crate::population::{SiteUniverse, User};
+use std::collections::{BTreeMap, BTreeSet};
+use topics_net::seed;
+
+/// A third-party tracker with a given coverage of the site universe.
+#[derive(Debug, Clone)]
+pub struct CookieTracker {
+    /// Universe indices of the sites embedding this tracker.
+    embedded_on: BTreeSet<usize>,
+}
+
+impl CookieTracker {
+    /// A tracker embedded on ~`coverage` of the universe.
+    pub fn new(seed_val: u64, universe: &SiteUniverse, coverage: f64) -> CookieTracker {
+        let embedded_on = (0..universe.len())
+            .filter(|&i| {
+                seed::bernoulli(seed::derive_idx(seed_val, i as u64), "embed", coverage)
+            })
+            .collect();
+        CookieTracker { embedded_on }
+    }
+
+    /// Number of embedding sites.
+    pub fn coverage(&self) -> usize {
+        self.embedded_on.len()
+    }
+
+    /// True when the tracker sits on universe site `idx`.
+    pub fn embedded(&self, idx: usize) -> bool {
+        self.embedded_on.contains(&idx)
+    }
+
+    /// The profile the tracker builds for one user over `epochs` epochs:
+    /// the exact set of embedding sites the user visited, keyed by the
+    /// user's cookie identifier. With third-party cookies the identifier
+    /// IS the user, so the map key is simply `user.id`.
+    pub fn observe(
+        &self,
+        users: &[User],
+        universe: &SiteUniverse,
+        epochs: u64,
+        visits_per_epoch: usize,
+    ) -> BTreeMap<usize, BTreeSet<usize>> {
+        let mut profiles: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for user in users {
+            let entry = profiles.entry(user.id).or_default();
+            for epoch in 0..epochs {
+                for idx in user.visits_in_epoch(universe, epoch, visits_per_epoch) {
+                    if self.embedded(idx) {
+                        entry.insert(idx);
+                    }
+                }
+            }
+        }
+        profiles
+    }
+
+    /// Fraction of users whose cookie profile is unique in the
+    /// population — with exact site sets this is typically ≈1, the
+    /// fingerprinting power the Topics API intentionally destroys.
+    pub fn uniqueness(profiles: &BTreeMap<usize, BTreeSet<usize>>) -> f64 {
+        if profiles.is_empty() {
+            return 0.0;
+        }
+        let mut counts: BTreeMap<&BTreeSet<usize>, usize> = BTreeMap::new();
+        for p in profiles.values() {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        let unique = profiles
+            .values()
+            .filter(|p| counts[*p] == 1)
+            .count();
+        unique as f64 / profiles.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::generate_population;
+    use std::sync::Arc;
+    use topics_taxonomy::Classifier;
+
+    fn setup() -> (SiteUniverse, Vec<User>, CookieTracker) {
+        let classifier = Arc::new(Classifier::new(9).with_unclassifiable_rate(0.0));
+        let universe = SiteUniverse::generate(9, 500, &classifier);
+        let users = generate_population(9, 40, &universe, classifier, 3, 25);
+        let tracker = CookieTracker::new(9, &universe, 0.4);
+        (universe, users, tracker)
+    }
+
+    #[test]
+    fn coverage_is_close_to_requested() {
+        let (universe, _, tracker) = setup();
+        let frac = tracker.coverage() as f64 / universe.len() as f64;
+        assert!((frac - 0.4).abs() < 0.08, "coverage {frac}");
+    }
+
+    #[test]
+    fn profiles_contain_only_embedded_sites() {
+        let (universe, users, tracker) = setup();
+        let profiles = tracker.observe(&users, &universe, 3, 25);
+        assert_eq!(profiles.len(), users.len());
+        for sites in profiles.values() {
+            for &i in sites {
+                assert!(tracker.embedded(i));
+            }
+        }
+    }
+
+    #[test]
+    fn cookie_profiles_are_nearly_all_unique() {
+        let (universe, users, tracker) = setup();
+        let profiles = tracker.observe(&users, &universe, 3, 25);
+        let u = CookieTracker::uniqueness(&profiles);
+        assert!(u > 0.9, "cookie fingerprints should be unique, got {u}");
+    }
+
+    #[test]
+    fn uniqueness_degenerate_cases() {
+        assert_eq!(CookieTracker::uniqueness(&BTreeMap::new()), 0.0);
+        let mut same = BTreeMap::new();
+        same.insert(0, BTreeSet::from([1, 2]));
+        same.insert(1, BTreeSet::from([1, 2]));
+        assert_eq!(CookieTracker::uniqueness(&same), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation — the allow-list fail-open bug (§2.3).
+//!
+//! Crawls the same world under three browser configurations:
+//!
+//! * **corrupted + fail-open** — Chromium 122's actual behaviour, the
+//!   paper's setup: every anomalous caller executes;
+//! * **healthy list** — a stock browser: anomalous calls are blocked;
+//! * **corrupted + fail-closed** — the fixed browser Google promised:
+//!   everything is blocked, legitimate callers included.
+//!
+//! The §4 findings exist *only* under the first configuration.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, BENCH_SEED};
+use topics_core::analysis::anomalous::anomalous_stats;
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::crawler::campaign::{run_campaign, AllowListSetup};
+use topics_core::{Lab, LabConfig};
+
+fn main() {
+    banner("Ablation — allow-list setups (fail-open bug vs healthy vs fixed)");
+    let lab = Lab::new(LabConfig::quick(BENCH_SEED, 2_000));
+    eprintln!(
+        "{:<28} {:>14} {:>16} {:>14}",
+        "setup", "anomalous CPs", "anomalous calls", "legit callers"
+    );
+    for (setup, label) in [
+        (AllowListSetup::CorruptedFailOpen, "corrupted, fail-open (bug)"),
+        (AllowListSetup::Healthy, "healthy list"),
+        (AllowListSetup::CorruptedFailClosed, "corrupted, fail-closed"),
+    ] {
+        let config = LabConfig::quick(BENCH_SEED, 2_000).with_allow_list(setup).campaign;
+        let outcome = run_campaign(&lab.world, &config);
+        let ds = Datasets::new(&outcome);
+        let anomalous = anomalous_stats(&ds, DatasetId::AfterAccept);
+        let legit = ds
+            .calling_parties(DatasetId::AfterAccept)
+            .iter()
+            .filter(|cp| outcome.is_allowed(cp))
+            .count();
+        eprintln!(
+            "{label:<28} {:>14} {:>16} {:>14}",
+            anomalous.distinct_cps, anomalous.total_calls, legit
+        );
+    }
+    eprintln!("paper shape: anomalous usage collapses to zero once the bug is fixed\n");
+
+    // Benchmark the crawl itself per setup on a tiny slice.
+    let tiny = Lab::new(LabConfig::quick(BENCH_SEED, 200));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    for (setup, name) in [
+        (AllowListSetup::CorruptedFailOpen, "crawl/corrupted_fail_open"),
+        (AllowListSetup::Healthy, "crawl/healthy"),
+        (AllowListSetup::CorruptedFailClosed, "crawl/fail_closed"),
+    ] {
+        let config = LabConfig::quick(BENCH_SEED, 200)
+            .with_allow_list(setup)
+            .with_threads(2)
+            .campaign;
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(run_campaign(&tiny.world, &config)))
+        });
+    }
+    c.final_summary();
+}

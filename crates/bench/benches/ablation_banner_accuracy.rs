@@ -1,0 +1,42 @@
+//! Ablation — Priv-Accept detection accuracy vs D_AA size.
+//!
+//! The paper's After-Accept dataset exists only where the consent
+//! banner could be recognised and clicked (92–95% keyword accuracy on
+//! five languages). This ablation sweeps the share of banners using
+//! quirky, keyword-evading phrasing and measures how the D_AA
+//! population — and with it every After-Accept finding — shrinks.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, BENCH_SEED};
+use topics_core::crawler::campaign::run_campaign;
+use topics_core::webgen::{World, WorldConfig};
+use topics_core::LabConfig;
+
+fn campaign_with_quirky(rate: f64, sites: usize) -> (usize, usize) {
+    let mut wc = WorldConfig::scaled(BENCH_SEED, sites);
+    wc.site_model.quirky_phrase_rate = rate;
+    let world = World::generate(wc);
+    let outcome = run_campaign(&world, &LabConfig::quick(BENCH_SEED, sites).campaign);
+    (outcome.visited_count(), outcome.accepted_count())
+}
+
+fn main() {
+    banner("Ablation — banner phrasing vs Priv-Accept acceptance");
+    eprintln!("{:>14} {:>10} {:>10} {:>12}", "quirky rate", "visited", "accepted", "D_AA share");
+    for rate in [0.0, 0.06, 0.15, 0.30, 0.60] {
+        let (visited, accepted) = campaign_with_quirky(rate, 3_000);
+        eprintln!(
+            "{:>13.0}% {visited:>10} {accepted:>10} {:>11.1}%",
+            rate * 100.0,
+            accepted as f64 / visited.max(1) as f64 * 100.0
+        );
+    }
+    eprintln!("shape: D_AA shrinks as phrasing drifts from the keyword lists; 6% ≈ the paper's 92–95% accuracy\n");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("banner/campaign_500_sites", |b| {
+        b.iter(|| black_box(campaign_with_quirky(0.06, 500)))
+    });
+    c.final_summary();
+}

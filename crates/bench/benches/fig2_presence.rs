@@ -1,0 +1,24 @@
+//! Figure 2 — number of websites where a CP is present vs where it
+//! calls the Topics API (D_AA, Allowed∧Attested CPs, top 15).
+//!
+//! Paper shape: google-analytics the most pervasive but never calling;
+//! doubleclick second, calling on ≈1/3 of its sites; criteo /
+//! rubiconproject / casalemedia leveraging the API the most.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::dataset::Datasets;
+use topics_core::analysis::figures::{fig2, render_fig2};
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    banner("Figure 2 — CP presence vs calls (D_AA)");
+    eprintln!("{}", render_fig2(&fig2(&ds, 15)));
+    eprintln!("paper shape: GA #1 presence & 0 calls; doubleclick ≈1/3 enabled; bing 0 calls\n");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("fig2/presence_rows", |b| b.iter(|| black_box(fig2(&ds, 15))));
+    c.final_summary();
+}

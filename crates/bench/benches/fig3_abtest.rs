@@ -1,0 +1,44 @@
+//! Figure 3 — enabled fraction per CP, the A/B-experiment clusters.
+//!
+//! Paper shape: fractions cluster near 100/75/66/50/33/25% —
+//! authorizedvault ≈100%, criteo and cpx.to 75%, yandex 66%,
+//! doubleclick 33%.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::abtest::{clustering_share, fit_fraction};
+use topics_core::analysis::dataset::Datasets;
+use topics_core::analysis::figures::{fig3, render_fig3};
+use topics_core::analysis::report::pct;
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    banner("Figure 3 — enabled % per CP (A/B fractions)");
+    let rows = fig3(&ds, 15);
+    eprintln!("{}", render_fig3(&rows));
+    for r in &rows {
+        let fit = fit_fraction(r.enabled_fraction());
+        eprintln!(
+            "  {:<24} {:>7}  nearest arm {:>4.0}%  delta {:.3}",
+            r.cp.as_str(),
+            pct(r.enabled_fraction()),
+            fit.nearest * 100.0,
+            fit.distance
+        );
+    }
+    eprintln!(
+        "clustered within 8pp of an arm: {}\npaper shape: clusters at 100/75/66/50/33/25%\n",
+        pct(clustering_share(&rows, 0.08))
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("fig3/enabled_fractions", |b| {
+        b.iter(|| black_box(fig3(&ds, 15)))
+    });
+    c.bench_function("fig3/clustering_share", |b| {
+        b.iter(|| black_box(clustering_share(&rows, 0.08)))
+    });
+    c.final_summary();
+}

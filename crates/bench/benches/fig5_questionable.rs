@@ -1,0 +1,23 @@
+//! Figure 5 — questionable Before-Accept calls by Allowed∧Attested CPs.
+//!
+//! Paper shape: yandex.com first (611 sites) despite not being a top
+//! caller; doubleclick — the top caller — entirely absent.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::dataset::Datasets;
+use topics_core::analysis::figures::{fig5, render_fig5};
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    banner("Figure 5 — questionable Before-Accept calls per CP (D_BA)");
+    let rows = fig5(&ds, 15);
+    eprintln!("{}", render_fig5(&rows));
+    eprintln!("paper shape: yandex.com top (611); doubleclick.net absent\n");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("fig5/questionable_rows", |b| b.iter(|| black_box(fig5(&ds, 15))));
+    c.final_summary();
+}

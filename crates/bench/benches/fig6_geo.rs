@@ -1,0 +1,36 @@
+//! Figure 6 — share of websites where a CP calls, by website TLD region
+//! (.com / .jp / .ru / EU / other), for the top-4 questionable CPs.
+//!
+//! Paper shape: presence varies strongly by region (yandex absent from
+//! Japan, nearly absent from the EU; criteo worldwide) while the
+//! enabled fractions show no clear regional trend — questionable calls
+//! happen even on EU sites where the GDPR definitely applies.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::dataset::Datasets;
+use topics_core::analysis::figures::{fig5, fig6, render_fig6};
+use topics_core::net::region::Region;
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    let top4: Vec<_> = fig5(&ds, 4).into_iter().map(|r| r.cp).collect();
+    banner("Figure 6 — enabled % per website region (D_BA, top-4 questionable CPs)");
+    let rows = fig6(&ds, &top4);
+    eprintln!("{}", render_fig6(&rows));
+    // EU-violation check: calls on GDPR-TLD sites exist.
+    let eu_idx = Region::ALL
+        .iter()
+        .position(|r| *r == Region::EuropeanUnion)
+        .unwrap();
+    let eu_calls: usize = rows.iter().map(|r| r.by_region[eu_idx].1).sum();
+    eprintln!("questionable calls on EU-TLD sites: {eu_calls} (paper: present — a clear GDPR concern)\n");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("fig6/regional_breakdown", |b| {
+        b.iter(|| black_box(fig6(&ds, &top4)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! Figure 7 — probability of observing a CMP with and without a
+//! questionable Topics call.
+//!
+//! Paper shape: the two distributions are roughly equal for most CMPs —
+//! questionable calls are CMP-agnostic — except HubSpot (≈3×
+//! over-represented; P(questionable | HubSpot) ≈ 12%, twice the
+//! average) and LiveRamp.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::cmp_usage::{fig7, render_fig7};
+use topics_core::analysis::dataset::Datasets;
+use topics_core::analysis::report::pct;
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    banner("Figure 7 — CMPs vs questionable calls (D_BA)");
+    let f = fig7(&ds);
+    eprintln!("{}", render_fig7(&f));
+    let hubspot = f.rows.iter().find(|r| r.cmp.spec().name == "HubSpot").unwrap();
+    eprintln!(
+        "HubSpot: P(q|HubSpot) = {} vs average {} ({:.1}×); paper: 12% ≈ 2×\n",
+        pct(hubspot.p_questionable_given_cmp()),
+        pct(f.p_questionable()),
+        hubspot.p_questionable_given_cmp() / f.p_questionable().max(1e-9),
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("fig7/cmp_conditionals", |b| b.iter(|| black_box(fig7(&ds))));
+    c.final_summary();
+}

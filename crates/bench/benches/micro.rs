@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the hot components: the HTML parser, the
+//! TagScript parser, the Topics engine, and a full single-page visit.
+//! These are the per-page costs the 50,000-site campaign multiplies.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::sync::Arc;
+use topics_core::browser::attestation::AttestationStore;
+use topics_core::browser::browser::{Browser, BrowserConfig};
+use topics_core::browser::origin::Site;
+use topics_core::browser::{html, script};
+use topics_core::net::clock::Timestamp;
+use topics_core::net::url::Url;
+use topics_core::taxonomy::Classifier;
+use topics_core::webgen::{World, WorldConfig};
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+
+    // A realistic page: banner + CMP + GTM + tags + pixels.
+    let world = World::generate(WorldConfig::scaled(5, 300));
+    let spec = world
+        .sites()
+        .iter()
+        .find(|s| s.has_banner && s.gtm.is_some() && !s.platforms.is_empty())
+        .expect("a busy page exists");
+    let page = {
+        use topics_core::net::http::{HttpRequest, ResourceKind};
+        use topics_core::net::service::NetworkService;
+        let req = HttpRequest::get(
+            Url::https(spec.domain.clone(), "/"),
+            ResourceKind::Document,
+        );
+        world.fetch(&req, Timestamp::CRAWL_START).unwrap().body
+    };
+    c.bench_function("micro/html_parse_busy_page", |b| {
+        b.iter(|| black_box(html::parse(&page)))
+    });
+
+    let tag = "# tag\ncookie uid deadbeef\nimg https://cp.example/px.gif\nafter 100 {\nconsent {\nab 0.7500 site {\ntopics fetch https://cp.example/bid\n}\n}\nnoconsent {\nab 0.2000 site {\nab 0.7500 site {\ntopics fetch https://cp.example/bid\n}\n}\n}\n}\n";
+    c.bench_function("micro/tagscript_parse", |b| {
+        b.iter(|| black_box(script::parse(tag).unwrap()))
+    });
+
+    // Topics engine with three epochs of history.
+    let classifier = Arc::new(Classifier::new(5).with_unclassifiable_rate(0.0));
+    let caller = topics_core::net::Domain::parse("adnet.example").unwrap();
+    let mut engine =
+        topics_core::browser::topics::TopicsEngine::new(classifier.clone(), 9, true);
+    for epoch in 0..3 {
+        for i in 0..30 {
+            let s = Site::of(&Url::parse(&format!("https://h{epoch}x{i}.com/")).unwrap());
+            engine.record_visit(&s, Timestamp::from_weeks(epoch));
+            engine.record_observation(&caller, &s, Timestamp::from_weeks(epoch));
+        }
+    }
+    let target = Site::of(&Url::parse("https://visited.example/").unwrap());
+    c.bench_function("micro/browsing_topics_call", |b| {
+        b.iter(|| {
+            black_box(engine.browsing_topics(&caller, &target, Timestamp::from_weeks(3)))
+        })
+    });
+
+    // One full page visit through the browser (fresh profile each iter).
+    let url = Url::https(spec.domain.clone(), "/");
+    c.bench_function("micro/full_page_visit", |b| {
+        b.iter(|| {
+            let mut browser = Browser::new(
+                classifier.clone(),
+                AttestationStore::corrupted(),
+                BrowserConfig {
+                    ab_seed: world.seed(),
+                    ..BrowserConfig::default()
+                },
+                17,
+            );
+            black_box(browser.visit(&world, &url, Timestamp::CRAWL_START).unwrap())
+        })
+    });
+
+    c.final_summary();
+}

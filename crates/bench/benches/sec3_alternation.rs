@@ -1,0 +1,48 @@
+//! §3 repeated tests — ON/OFF alternation of A/B arms over time.
+//!
+//! Re-visits a fixed site set every six hours for four simulated days;
+//! the time-windowed experimenters (taboola/casalemedia-style) produce
+//! "consistent alternating periods: for some time, CP, and website, the
+//! usage of the API is ON for all visits, followed by some time when it
+//! is OFF".
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::abtest::alternation_series;
+use topics_core::crawler::campaign::{run_repeated, CampaignConfig};
+use topics_core::net::clock::Timestamp;
+
+fn main() {
+    let sc = shared();
+    banner("§3 — repeated visits: ON/OFF alternation");
+    let urls: Vec<_> = sc.world().tranco_list().into_iter().take(30).collect();
+    let times: Vec<Timestamp> = (0..16)
+        .map(|i| Timestamp::CRAWL_START.plus_millis(i * 6 * 3_600_000))
+        .collect();
+    let config = CampaignConfig::default();
+    let rounds = run_repeated(sc.world(), &urls, &times, &config);
+    let series = alternation_series(&rounds);
+    let alternating = series
+        .iter()
+        .filter(|s| s.alternates() && s.longest_run() >= 2)
+        .count();
+    eprintln!(
+        "{} (CP, website) series over 16 rounds; {alternating} alternate in consistent runs",
+        series.len()
+    );
+    for s in series.iter().filter(|s| s.alternates() && s.longest_run() >= 3).take(6) {
+        let strip: String = s.on.iter().map(|&x| if x { '#' } else { '.' }).collect();
+        eprintln!("  {:<22} on {:<24} {strip}", s.cp.as_str(), s.website.as_str());
+    }
+    eprintln!("paper shape: alternating ON/OFF periods per (CP, website)\n");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("sec3/alternation_series", |b| {
+        b.iter(|| black_box(alternation_series(&rounds)))
+    });
+    c.bench_function("sec3/one_repeated_round", |b| {
+        b.iter(|| black_box(run_repeated(sc.world(), &urls[..5], &times[..1], &config)))
+    });
+    c.final_summary();
+}

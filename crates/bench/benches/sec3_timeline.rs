@@ -1,0 +1,35 @@
+//! §3 — the enrolment timeline extracted from attestation files.
+//!
+//! Paper shape: first attestation June 16th, 2023; roughly a dozen new
+//! enrolments per month until May 2024; the October 2024 re-issuance
+//! adds the `enrollment_site` field (observable by re-probing after
+//! that date).
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::timeline::{render_timeline, timeline};
+use topics_core::crawler::campaign::probe_attestation;
+use topics_core::net::clock::Timestamp;
+use topics_core::net::domain::Domain;
+
+fn main() {
+    let sc = shared();
+    banner("§3 — enrolment timeline");
+    let t = timeline(&sc.outcome);
+    eprintln!("{}", render_timeline(&t));
+
+    // Re-probe one CP after the October 17th, 2024 schema update: the
+    // re-issued file now carries enrollment_site.
+    let criteo = Domain::parse("criteo.com").unwrap();
+    let late = Timestamp::from_days(520);
+    let reprobe = probe_attestation(sc.world(), &criteo, late);
+    eprintln!(
+        "re-probe of criteo.com after 2024-10-17: enrollment_site present = {}\n(paper: 'many of the enrolled CPs had to update their attestations')\n",
+        reprobe.valid.map(|v| v.has_enrollment_site).unwrap_or(false)
+    );
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("sec3/timeline", |b| b.iter(|| black_box(timeline(&sc.outcome))));
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! §4 — anomalous usage by non-allowed callers.
+//!
+//! Paper shape (50k scale): 2,614 non-Allowed CPs make 3,450 calls in
+//! D_AA; 72% of calls share the website's second-level label; ~95% of
+//! the pages carry Google Tag Manager; every call uses the JavaScript
+//! `browsingTopics()` entry point — all observable only because the
+//! allow-list was corrupted and Chromium fails open.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::anomalous::{anomalous_stats, render_anomalous};
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    banner("§4 — anomalous usage (D_AA, non-Allowed callers)");
+    eprintln!("{}", render_anomalous(&anomalous_stats(&ds, DatasetId::AfterAccept)));
+    eprintln!("paper (50k scale): 2,614 CPs / 3,450 calls / 72% same-label / 95% GTM / 100% JS\n");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("sec4/anomalous_stats", |b| {
+        b.iter(|| black_box(anomalous_stats(&ds, DatasetId::AfterAccept)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,26 @@
+//! Table 1 — overall status of Topics API usage.
+//!
+//! Regenerates the Allowed/Attested caller matrix from a crawled
+//! campaign and benchmarks its computation. Paper values (50k scale):
+//! 193 Allowed, 12 Allowed∧¬Attested; D_AA: 47 / 1 / 2,614; D_BA: 28 /
+//! 1,308.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::dataset::Datasets;
+use topics_core::analysis::table1::table1;
+
+fn main() {
+    let sc = shared();
+    let ds = Datasets::new(&sc.outcome);
+    banner("Table 1 — overall status of Topics API usage");
+    eprintln!("{}", table1(&ds).render());
+    eprintln!(
+        "paper (50k scale): Allowed 193; Allowed&!Attested 12; D_AA 47 / 1 / 2,614; D_BA 28 / 1,308\n"
+    );
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("table1/compute", |b| b.iter(|| black_box(table1(&ds))));
+    c.final_summary();
+}

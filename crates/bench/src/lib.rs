@@ -1,0 +1,90 @@
+//! Shared support for the benchmark harness.
+//!
+//! Every bench regenerates one table or figure of the paper. Since a
+//! crawl is the expensive part, each bench binary builds the world and
+//! runs the campaign **once** (cached in a `OnceLock`) and then
+//! benchmarks the analysis it exercises; the regenerated table/figure is
+//! printed around the Criterion run so `cargo bench` output can be
+//! compared against the paper side by side.
+//!
+//! Scale is controlled by two environment variables:
+//!
+//! * `TOPICS_BENCH_SITES` — number of ranked sites (default 6,000);
+//! * `TOPICS_BENCH_FULL=1` — force the paper's full 50,000.
+
+use std::sync::OnceLock;
+use topics_core::crawler::record::CampaignOutcome;
+use topics_core::webgen::World;
+use topics_core::{Lab, LabConfig};
+
+/// The default benchmark scale (sites).
+pub const DEFAULT_SITES: usize = 6_000;
+/// The campaign seed shared by every bench.
+pub const BENCH_SEED: u64 = 2_024;
+
+/// Benchmark scale from the environment.
+pub fn bench_sites() -> usize {
+    if std::env::var("TOPICS_BENCH_FULL").as_deref() == Ok("1") {
+        return 50_000;
+    }
+    std::env::var("TOPICS_BENCH_SITES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SITES)
+}
+
+/// A world plus the campaign crawled on it.
+pub struct SharedCampaign {
+    /// The synthetic web.
+    pub lab: Lab,
+    /// The crawl result.
+    pub outcome: CampaignOutcome,
+}
+
+impl SharedCampaign {
+    /// The world (convenience accessor).
+    pub fn world(&self) -> &World {
+        &self.lab.world
+    }
+}
+
+/// The per-process shared campaign (built on first use).
+pub fn shared() -> &'static SharedCampaign {
+    static SHARED: OnceLock<SharedCampaign> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let sites = bench_sites();
+        eprintln!("[bench setup] generating {sites}-site world (seed {BENCH_SEED}) and crawling …");
+        let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
+        let outcome = lab.run();
+        eprintln!(
+            "[bench setup] crawl done: {} visited, {} accepted",
+            outcome.visited_count(),
+            outcome.accepted_count()
+        );
+        SharedCampaign { lab, outcome }
+    })
+}
+
+/// Print a banner separating the regenerated artefact from Criterion's
+/// timing output.
+pub fn banner(title: &str) {
+    eprintln!("\n================================================================");
+    eprintln!("{title}");
+    eprintln!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_sites_defaults() {
+        // Do not set the env vars here (tests run in parallel); just
+        // check the default path when unset.
+        if std::env::var("TOPICS_BENCH_SITES").is_err()
+            && std::env::var("TOPICS_BENCH_FULL").is_err()
+        {
+            assert_eq!(bench_sites(), DEFAULT_SITES);
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! A tolerant HTML parser for the subset of markup the simulated web
+//! serves and the crawler inspects.
+//!
+//! The measurement pipeline needs four things from a page:
+//!
+//! 1. the `<script>` tags (external `src` or inline body) — these drive
+//!    tag execution and the §4 root-context semantics;
+//! 2. the `<iframe>` tags, including the `browsingtopics` attribute that
+//!    triggers the iframe-type Topics call;
+//! 3. passive subresources (`<img>`, `<link rel=stylesheet>`) so the
+//!    crawler can record "the URL of each first- and third-party object
+//!    downloaded to render the page" (§2.2);
+//! 4. visible clickable text (`<button>`, `<a>`, and container `<div>`s)
+//!    for Priv-Accept's consent-banner detection.
+//!
+//! The parser is a forgiving single-pass tokenizer: unknown tags are
+//! skipped, attributes may be quoted or bare, and malformed markup
+//! degrades to text rather than failing.
+
+/// One attribute on a tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name, lowercased.
+    pub name: String,
+    /// Attribute value; empty for boolean attributes.
+    pub value: String,
+}
+
+/// A parsed node of interest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// `<script src=…>` or `<script>inline</script>`.
+    Script {
+        /// External source URL, if any.
+        src: Option<String>,
+        /// Inline body (empty for external scripts).
+        inline: String,
+        /// All attributes.
+        attrs: Vec<Attr>,
+    },
+    /// `<iframe src=…>`.
+    Iframe {
+        /// Frame document URL.
+        src: String,
+        /// True when the `browsingtopics` attribute is present — the
+        /// iframe-type Topics API call.
+        browsing_topics: bool,
+        /// All attributes.
+        attrs: Vec<Attr>,
+    },
+    /// `<img src=…>`.
+    Img {
+        /// Image URL.
+        src: String,
+    },
+    /// `<link rel=stylesheet href=…>`.
+    Stylesheet {
+        /// Stylesheet URL.
+        href: String,
+    },
+    /// A text-bearing element relevant to banner detection.
+    Clickable {
+        /// `button` or `a`.
+        tag: String,
+        /// Inner text with tags stripped, whitespace collapsed.
+        text: String,
+        /// `id` attribute, if present.
+        id: Option<String>,
+        /// `class` attribute tokens.
+        classes: Vec<String>,
+    },
+    /// A `<div>` with its class list and flattened inner text (used to
+    /// find banner containers).
+    Container {
+        /// `class` attribute tokens.
+        classes: Vec<String>,
+        /// `id` attribute, if present.
+        id: Option<String>,
+        /// Flattened text of the subtree.
+        text: String,
+    },
+}
+
+/// A parsed document.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Nodes in document order.
+    pub nodes: Vec<Node>,
+    /// `<title>` text, if present.
+    pub title: Option<String>,
+}
+
+impl Document {
+    /// All script nodes in order.
+    pub fn scripts(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Script { .. }))
+    }
+
+    /// All clickable (button/anchor) nodes.
+    pub fn clickables(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Clickable { .. }))
+    }
+}
+
+/// Parse a page. Never fails: unparsable input yields fewer nodes.
+///
+/// ```
+/// use topics_browser::html::{parse, Node};
+///
+/// let doc = parse(r#"<script src="https://cdn.example/a.js"></script>"#);
+/// assert!(matches!(&doc.nodes[0], Node::Script { src: Some(_), .. }));
+/// ```
+pub fn parse(html: &str) -> Document {
+    let mut doc = Document::default();
+    let bytes = html.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            i = html[i..].find("-->").map(|j| i + j + 3).unwrap_or(bytes.len());
+            continue;
+        }
+        let Some((tag, attrs, self_closing, after)) = parse_tag(html, i) else {
+            i += 1;
+            continue;
+        };
+        i = after;
+        match tag.as_str() {
+            "script" => {
+                let src = attr(&attrs, "src");
+                let (inline, next) = if self_closing {
+                    (String::new(), i)
+                } else {
+                    read_raw_until_close(html, i, "script")
+                };
+                i = next;
+                doc.nodes.push(Node::Script {
+                    src,
+                    inline: inline.trim().to_owned(),
+                    attrs,
+                });
+            }
+            "iframe" => {
+                if let Some(src) = attr(&attrs, "src") {
+                    let browsing_topics = attrs.iter().any(|a| a.name == "browsingtopics");
+                    doc.nodes.push(Node::Iframe {
+                        src,
+                        browsing_topics,
+                        attrs,
+                    });
+                }
+                if !self_closing {
+                    let (_, next) = read_raw_until_close(html, i, "iframe");
+                    i = next;
+                }
+            }
+            "img" => {
+                if let Some(src) = attr(&attrs, "src") {
+                    doc.nodes.push(Node::Img { src });
+                }
+            }
+            "link" => {
+                let rel = attr(&attrs, "rel").unwrap_or_default();
+                if rel.eq_ignore_ascii_case("stylesheet") {
+                    if let Some(href) = attr(&attrs, "href") {
+                        doc.nodes.push(Node::Stylesheet { href });
+                    }
+                }
+            }
+            "title" => {
+                let (text, next) = read_raw_until_close(html, i, "title");
+                i = next;
+                doc.title = Some(collapse_ws(&text));
+            }
+            "button" | "a" => {
+                let (raw, next) = read_nested_until_close(html, i, &tag);
+                i = next;
+                doc.nodes.push(Node::Clickable {
+                    tag,
+                    text: collapse_ws(&strip_tags(&raw)),
+                    id: attr(&attrs, "id"),
+                    classes: class_list(&attrs),
+                });
+            }
+            "div" => {
+                let (raw, next) = read_nested_until_close(html, i, "div");
+                doc.nodes.push(Node::Container {
+                    classes: class_list(&attrs),
+                    id: attr(&attrs, "id"),
+                    text: collapse_ws(&strip_tags(&raw)),
+                });
+                // Do NOT advance past the div body: nested clickables and
+                // scripts inside it must also be parsed as top-level nodes.
+                let _ = next;
+            }
+            _ => {}
+        }
+    }
+    doc
+}
+
+/// Parse `<tag attr=… >` starting at `start` (which points at `<`).
+/// Returns `(tag_name, attrs, self_closing, index_after_gt)`.
+fn parse_tag(html: &str, start: usize) -> Option<(String, Vec<Attr>, bool, usize)> {
+    let bytes = html.as_bytes();
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return None;
+    }
+    if bytes[i] == b'/' {
+        // Closing tag: skip to '>'.
+        let end = html[i..].find('>').map(|j| i + j + 1)?;
+        return Some((String::new(), Vec::new(), true, end));
+    }
+    let name_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'!') {
+        i += 1;
+    }
+    if i == name_start {
+        return None;
+    }
+    let name = html[name_start..i].to_ascii_lowercase();
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return None;
+        }
+        if bytes[i] == b'>' {
+            i += 1;
+            break;
+        }
+        if bytes[i] == b'/' {
+            self_closing = true;
+            i += 1;
+            continue;
+        }
+        // Attribute name.
+        let an_start = i;
+        while i < bytes.len()
+            && !bytes[i].is_ascii_whitespace()
+            && bytes[i] != b'='
+            && bytes[i] != b'>'
+            && bytes[i] != b'/'
+        {
+            i += 1;
+        }
+        let an = html[an_start..i].to_ascii_lowercase();
+        if an.is_empty() {
+            i += 1;
+            continue;
+        }
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let mut value = String::new();
+        if i < bytes.len() && bytes[i] == b'=' {
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                let quote = bytes[i];
+                i += 1;
+                let v_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                value = html[v_start..i].to_owned();
+                i = (i + 1).min(bytes.len());
+            } else {
+                let v_start = i;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>' {
+                    i += 1;
+                }
+                value = html[v_start..i].to_owned();
+            }
+        }
+        attrs.push(Attr { name: an, value });
+    }
+    Some((name, attrs, self_closing, i))
+}
+
+/// Raw text from `start` to the first `</tag>`, returning (text, index
+/// after the close tag). Used for script/title bodies where markup inside
+/// is not interpreted.
+fn read_raw_until_close(html: &str, start: usize, tag: &str) -> (String, usize) {
+    let close = format!("</{tag}");
+    let lower = html[start..].to_ascii_lowercase();
+    match lower.find(&close) {
+        Some(j) => {
+            let body = html[start..start + j].to_owned();
+            let rest = &html[start + j..];
+            let after = rest.find('>').map(|k| start + j + k + 1).unwrap_or(html.len());
+            (body, after)
+        }
+        None => (html[start..].to_owned(), html.len()),
+    }
+}
+
+/// Like [`read_raw_until_close`] but respects nesting of the same tag
+/// (needed for `<div>` inside `<div>`).
+fn read_nested_until_close(html: &str, start: usize, tag: &str) -> (String, usize) {
+    let open = format!("<{tag}");
+    let close = format!("</{tag}");
+    let lower = html.to_ascii_lowercase();
+    let mut depth = 1usize;
+    let mut i = start;
+    while depth > 0 {
+        let next_open = lower[i..].find(&open).map(|j| i + j);
+        let next_close = lower[i..].find(&close).map(|j| i + j);
+        match (next_open, next_close) {
+            (Some(o), Some(c)) if o < c && is_tag_boundary(&lower, o + open.len()) => {
+                depth += 1;
+                i = o + open.len();
+            }
+            (_, Some(c)) => {
+                depth -= 1;
+                if depth == 0 {
+                    let body = html[start..c].to_owned();
+                    let after = lower[c..]
+                        .find('>')
+                        .map(|k| c + k + 1)
+                        .unwrap_or(html.len());
+                    return (body, after);
+                }
+                i = c + close.len();
+            }
+            _ => break,
+        }
+    }
+    (html[start..].to_owned(), html.len())
+}
+
+/// True when the character at `idx` terminates a tag name (so `<divx`
+/// does not count as `<div`).
+fn is_tag_boundary(lower: &str, idx: usize) -> bool {
+    match lower.as_bytes().get(idx) {
+        Some(b) => b.is_ascii_whitespace() || *b == b'>' || *b == b'/',
+        None => true,
+    }
+}
+
+/// Remove all tags from a fragment, keeping text.
+fn strip_tags(fragment: &str) -> String {
+    let mut out = String::with_capacity(fragment.len());
+    let mut in_tag = false;
+    for ch in fragment.chars() {
+        match ch {
+            '<' => {
+                in_tag = true;
+                out.push(' ');
+            }
+            '>' => in_tag = false,
+            c if !in_tag => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Collapse runs of whitespace to single spaces and trim.
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Fetch an attribute value by (lowercase) name.
+fn attr(attrs: &[Attr], name: &str) -> Option<String> {
+    attrs
+        .iter()
+        .find(|a| a.name == name)
+        .map(|a| a.value.clone())
+}
+
+/// Split the `class` attribute into tokens.
+fn class_list(attrs: &[Attr]) -> Vec<String> {
+    attr(attrs, "class")
+        .map(|c| c.split_whitespace().map(str::to_owned).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_and_inline_scripts() {
+        let doc = parse(
+            r#"<html><head>
+            <script src="https://cdn.example.com/lib.js"></script>
+            <script>topics js</script>
+            </head></html>"#,
+        );
+        let scripts: Vec<_> = doc.scripts().collect();
+        assert_eq!(scripts.len(), 2);
+        match scripts[0] {
+            Node::Script { src, inline, .. } => {
+                assert_eq!(src.as_deref(), Some("https://cdn.example.com/lib.js"));
+                assert!(inline.is_empty());
+            }
+            _ => unreachable!(),
+        }
+        match scripts[1] {
+            Node::Script { src, inline, .. } => {
+                assert!(src.is_none());
+                assert_eq!(inline, "topics js");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn iframe_with_browsingtopics_attribute() {
+        let doc = parse(
+            r#"<iframe src="https://ad.example/frame" browsingtopics></iframe>
+               <iframe src="https://other.example/f2"></iframe>"#,
+        );
+        let frames: Vec<_> = doc
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Iframe {
+                    src,
+                    browsing_topics,
+                    ..
+                } => Some((src.clone(), *browsing_topics)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            frames,
+            vec![
+                ("https://ad.example/frame".to_owned(), true),
+                ("https://other.example/f2".to_owned(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn images_and_stylesheets() {
+        let doc = parse(
+            r#"<img src="https://px.example/p.gif">
+               <link rel="stylesheet" href="/style.css">
+               <link rel="icon" href="/favicon.ico">"#,
+        );
+        assert!(doc.nodes.contains(&Node::Img {
+            src: "https://px.example/p.gif".into()
+        }));
+        assert!(doc.nodes.contains(&Node::Stylesheet {
+            href: "/style.css".into()
+        }));
+        assert!(!doc
+            .nodes
+            .iter()
+            .any(|n| matches!(n, Node::Stylesheet { href } if href == "/favicon.ico")));
+    }
+
+    #[test]
+    fn clickable_text_is_flattened() {
+        let doc = parse(r#"<button id="accept" class="cta big"><b>Accept</b>   all cookies</button>"#);
+        match &doc.nodes[0] {
+            Node::Clickable {
+                tag,
+                text,
+                id,
+                classes,
+            } => {
+                assert_eq!(tag, "button");
+                assert_eq!(text, "Accept all cookies");
+                assert_eq!(id.as_deref(), Some("accept"));
+                assert_eq!(classes, &["cta", "big"]);
+            }
+            n => panic!("unexpected {n:?}"),
+        }
+    }
+
+    #[test]
+    fn banner_div_and_inner_button_both_surface() {
+        let html = r#"
+            <div class="cmp-banner" id="consent">
+              <p>We value your privacy</p>
+              <button>Alle akzeptieren</button>
+            </div>"#;
+        let doc = parse(html);
+        let container = doc
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                Node::Container { classes, text, .. } if classes.contains(&"cmp-banner".into()) => {
+                    Some(text.clone())
+                }
+                _ => None,
+            })
+            .expect("banner container parsed");
+        assert!(container.contains("Alle akzeptieren"));
+        // The button inside is also parsed as its own node.
+        assert!(doc.clickables().any(|n| matches!(
+            n,
+            Node::Clickable { text, .. } if text == "Alle akzeptieren"
+        )));
+    }
+
+    #[test]
+    fn nested_divs_respect_depth() {
+        let html = r#"<div class="outer"><div class="inner">deep</div>tail</div><div class="after">x</div>"#;
+        let doc = parse(html);
+        let texts: Vec<_> = doc
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Container { classes, text, .. } => Some((classes.clone(), text.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(texts.contains(&(vec!["outer".into()], "deep tail".into())));
+        assert!(texts.contains(&(vec!["inner".into()], "deep".into())));
+        assert!(texts.contains(&(vec!["after".into()], "x".into())));
+    }
+
+    #[test]
+    fn title_is_extracted() {
+        let doc = parse("<html><title>  My   Site </title></html>");
+        assert_eq!(doc.title.as_deref(), Some("My Site"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = parse(r#"<!-- <script src="https://evil/x.js"></script> --><img src="/a.png">"#);
+        assert_eq!(doc.nodes.len(), 1);
+        assert!(matches!(&doc.nodes[0], Node::Img { src } if src == "/a.png"));
+    }
+
+    #[test]
+    fn malformed_markup_does_not_panic() {
+        for html in [
+            "<",
+            "<scr",
+            "<script src=",
+            "<script>never closed",
+            "<div><div>unbalanced",
+            "<button>no close",
+            "<iframe src='x'",
+            "< script >",
+            "<a href='#'",
+        ] {
+            let _ = parse(html); // must not panic
+        }
+    }
+
+    #[test]
+    fn bare_and_single_quoted_attributes() {
+        let doc = parse("<img src=/pix.gif><iframe src='https://f.example/a'></iframe>");
+        assert!(matches!(&doc.nodes[0], Node::Img { src } if src == "/pix.gif"));
+        assert!(matches!(&doc.nodes[1], Node::Iframe { src, .. } if src == "https://f.example/a"));
+    }
+
+    #[test]
+    fn gtm_style_snippet_parses() {
+        // The real-world inclusion pattern from Figure 4: a script tag
+        // placed directly in the page HTML.
+        let html = r#"<script src="https://www.googletagmanager.com/gtm.js?id=GTM-XYZ"></script>"#;
+        let doc = parse(html);
+        match &doc.nodes[0] {
+            Node::Script { src, .. } => assert_eq!(
+                src.as_deref(),
+                Some("https://www.googletagmanager.com/gtm.js?id=GTM-XYZ")
+            ),
+            n => panic!("unexpected {n:?}"),
+        }
+    }
+}

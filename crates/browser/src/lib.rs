@@ -1,0 +1,50 @@
+//! # topics-browser — a Chromium-like browser simulator with a full
+//! Topics API implementation
+//!
+//! The paper instruments Chromium 122 (a modified
+//! `BrowsingTopicsSiteDataManagerImpl`) to log every Topics API call while
+//! crawling. This crate is the reproduction's browser: it loads pages from
+//! a simulated network ([`topics_net::NetworkService`]), parses their
+//! HTML, executes third-party tags, maintains browsing contexts with real
+//! origin semantics, and implements the Topics API end to end:
+//!
+//! * [`topics`] — epochs, per-epoch top-5 topics, per-caller observation
+//!   filtering, the 5% noise replacement, sensitive-topic exclusion;
+//! * [`attestation`] — the enrolment allow-list, **including the
+//!   fail-open-on-corruption bug (§2.3)** the paper used to observe
+//!   non-enrolled callers, plus the fixed fail-closed mode for ablations;
+//! * [`origin`]/[`browser`] — the Figure 4 context semantics: scripts
+//!   included with `<script src=…>` execute in the embedding document's
+//!   context (so their `browsingTopics()` calls are attributed to the
+//!   website), iframes get their own context;
+//! * [`html`] — a tolerant parser for the page subset the crawler needs;
+//! * [`script`] — TagScript, the miniature tag language of the synthetic
+//!   web (Topics calls of all three types, script/iframe inclusion,
+//!   consent checks, deterministic A/B gates);
+//! * [`observer`] — the instrumentation surface: every Topics call and
+//!   every downloaded object is reported with the fields the paper logs;
+//! * [`cookies`]/[`cache`] — consent state and the cache cleared between
+//!   the Before-Accept and After-Accept visits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod browser;
+pub mod cache;
+pub mod cookies;
+pub mod html;
+pub mod observer;
+pub mod origin;
+pub mod script;
+pub mod topics;
+
+pub use attestation::{AllowDecision, AttestationStore, EnforcementMode};
+pub use browser::{
+    Browser, BrowserConfig, PageVisit, CONSENT_COOKIE, CONSENT_DENIED, CONSENT_GRANTED,
+};
+pub use observer::{
+    BrowserObserver, CallType, NullObserver, ObjectEvent, RecordingObserver, TopicsCallEvent,
+};
+pub use origin::{Origin, Site};
+pub use topics::{TopicsAnswer, TopicsEngine, NOISE_PROBABILITY};

@@ -1,0 +1,121 @@
+//! Origins and sites.
+//!
+//! The "wrong context" phenomenon in the paper's §4 (Figure 4) is entirely
+//! about origins: a script included via `<script src=…>` executes with the
+//! *embedding document's* origin, while an `<iframe src=…>` creates a new
+//! browsing context whose origin is the iframe's own URL. The Topics API
+//! attributes JavaScript calls to the calling context's origin — so a
+//! Google Tag Manager script embedded directly in the page calls the API
+//! *as the website itself*.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use topics_net::domain::Domain;
+use topics_net::psl::registrable_domain;
+use topics_net::url::{Scheme, Url};
+
+/// A web origin: scheme + host (ports are not modelled).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Origin {
+    /// URL scheme.
+    pub scheme: Scheme,
+    /// Host.
+    pub host: Domain,
+}
+
+impl Origin {
+    /// The origin of a URL.
+    pub fn of(url: &Url) -> Origin {
+        Origin {
+            scheme: url.scheme(),
+            host: url.host().clone(),
+        }
+    }
+
+    /// The *site* (scheme + registrable domain) this origin belongs to —
+    /// the granularity at which the Topics API identifies callers and
+    /// visited sites.
+    pub fn site(&self) -> Site {
+        Site {
+            scheme: self.scheme,
+            registrable: registrable_domain(&self.host),
+        }
+    }
+
+    /// Same-origin check.
+    pub fn same_origin(&self, other: &Origin) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme.as_str(), self.host)
+    }
+}
+
+/// A "site" in the Topics API sense: scheme plus eTLD+1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Site {
+    /// URL scheme.
+    pub scheme: Scheme,
+    /// Registrable domain (eTLD+1).
+    pub registrable: Domain,
+}
+
+impl Site {
+    /// The site of a URL.
+    pub fn of(url: &Url) -> Site {
+        Origin::of(url).site()
+    }
+
+    /// The registrable domain.
+    pub fn domain(&self) -> &Domain {
+        &self.registrable
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme.as_str(), self.registrable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn origin_of_url() {
+        let o = Origin::of(&url("https://www.example.com/page"));
+        assert_eq!(o.to_string(), "https://www.example.com");
+        assert_eq!(o.scheme, Scheme::Https);
+    }
+
+    #[test]
+    fn site_collapses_subdomains() {
+        let a = Origin::of(&url("https://www.example.com/x"));
+        let b = Origin::of(&url("https://cdn.example.com/y"));
+        assert!(!a.same_origin(&b));
+        assert_eq!(a.site(), b.site());
+        assert_eq!(a.site().to_string(), "https://example.com");
+    }
+
+    #[test]
+    fn scheme_distinguishes_origins_and_sites() {
+        let a = Origin::of(&url("https://example.com/"));
+        let b = Origin::of(&url("http://example.com/"));
+        assert!(!a.same_origin(&b));
+        assert_ne!(a.site(), b.site());
+    }
+
+    #[test]
+    fn site_of_multi_label_suffix() {
+        let s = Site::of(&url("https://shop.brand.co.uk/p"));
+        assert_eq!(s.domain().as_str(), "brand.co.uk");
+    }
+}

@@ -1,0 +1,167 @@
+//! `topics-lab` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR]
+//!                    [--allow-list corrupted|healthy|fail-closed]
+//!                    [--reject] [--vantage eu|us]
+//!     Generate a synthetic web, run the Before/After-Accept campaign,
+//!     and write the artefact bundle (campaign.json, report, comparison,
+//!     per-figure CSVs) to DIR (default: ./topics-lab-out).
+//!
+//! topics-lab report  --campaign DIR/campaign.json
+//!     Re-render the evaluation report from a dumped campaign.
+//!
+//! topics-lab compare --campaign DIR/campaign.json [--full-scale]
+//!     Print the paper-vs-measured table from a dumped campaign.
+//!
+//! topics-lab dossier --campaign DIR/campaign.json --cp DOMAIN
+//!     Print everything the campaign knows about one calling party.
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use topics_core::crawler::campaign::AllowListSetup;
+use topics_core::export::{load_campaign, write_bundle};
+use topics_core::{comparison_rows, evaluate, render_comparison, Lab, LabConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us]\n  topics-lab report  --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
+    );
+    ExitCode::from(2)
+}
+
+/// Tiny flag parser: `--name value` pairs plus bare `--flags`.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(rest: Vec<String>) -> Args {
+        Args { rest }
+    }
+    fn value_of(&self, name: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+    fn has(&self, name: &str) -> bool {
+        self.rest.iter().any(|a| a == name)
+    }
+}
+
+fn cmd_crawl(args: &Args) -> Result<(), String> {
+    let seed: u64 = args
+        .value_of("--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()?
+        .unwrap_or(2024);
+    let full = args.has("--full");
+    let sites: usize = if full {
+        50_000
+    } else {
+        args.value_of("--sites")
+            .map(|s| s.parse().map_err(|_| format!("bad --sites {s:?}")))
+            .transpose()?
+            .unwrap_or(5_000)
+    };
+    let out = PathBuf::from(args.value_of("--out").unwrap_or("topics-lab-out"));
+    let allow_list = match args.value_of("--allow-list").unwrap_or("corrupted") {
+        "corrupted" => AllowListSetup::CorruptedFailOpen,
+        "healthy" => AllowListSetup::Healthy,
+        "fail-closed" => AllowListSetup::CorruptedFailClosed,
+        other => return Err(format!("unknown --allow-list {other:?}")),
+    };
+
+    let vantage = match args.value_of("--vantage").unwrap_or("eu") {
+        "eu" => topics_core::net::http::Vantage::Europe,
+        "us" => topics_core::net::http::Vantage::UnitedStates,
+        other => return Err(format!("unknown --vantage {other:?} (eu|us)")),
+    };
+    let consent_action = if args.has("--reject") {
+        topics_core::crawler::ConsentAction::Reject
+    } else {
+        topics_core::crawler::ConsentAction::Accept
+    };
+
+    eprintln!("[topics-lab] generating {sites}-site web (seed {seed}) …");
+    let mut config = LabConfig::quick(seed, sites).with_allow_list(allow_list);
+    config.campaign.vantage = vantage;
+    config.campaign.consent_action = consent_action;
+    let lab = Lab::new(config);
+    eprintln!("[topics-lab] crawling …");
+    let outcome = topics_core::crawler::campaign::run_campaign_with_progress(
+        &lab.world,
+        &lab.campaign,
+        |done, total| eprintln!("[topics-lab]   {done}/{total} sites"),
+    );
+    eprintln!(
+        "[topics-lab] visited {} (D_BA), accepted {} (D_AA); analysing …",
+        outcome.visited_count(),
+        outcome.accepted_count()
+    );
+    let eval = evaluate(&outcome);
+    write_bundle(&out, &outcome, &eval, sites >= 50_000)
+        .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
+    println!("{}", eval.render_report());
+    println!("artefact bundle written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .value_of("--campaign")
+        .ok_or("report needs --campaign FILE")?;
+    let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    let eval = evaluate(&outcome);
+    println!("{}", eval.render_report());
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let path = args
+        .value_of("--campaign")
+        .ok_or("compare needs --campaign FILE")?;
+    let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    let eval = evaluate(&outcome);
+    let full = args.has("--full-scale") || outcome.sites.len() >= 50_000;
+    println!("{}", render_comparison(&comparison_rows(&eval, full)));
+    Ok(())
+}
+
+fn cmd_dossier(args: &Args) -> Result<(), String> {
+    let path = args
+        .value_of("--campaign")
+        .ok_or("dossier needs --campaign FILE")?;
+    let cp = args.value_of("--cp").ok_or("dossier needs --cp DOMAIN")?;
+    let cp = topics_core::net::Domain::parse(cp).map_err(|e| format!("bad --cp: {e}"))?;
+    let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    let ds = topics_core::analysis::dataset::Datasets::new(&outcome);
+    println!("{}", topics_core::analysis::dossier::dossier(&ds, &cp).render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        return usage();
+    };
+    let args = Args::new(argv.collect());
+    let result = match cmd.as_str() {
+        "crawl" => cmd_crawl(&args),
+        "report" => cmd_report(&args),
+        "compare" => cmd_compare(&args),
+        "dossier" => cmd_dossier(&args),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Configuration presets.
+
+use topics_crawler::campaign::{AllowListSetup, CampaignConfig};
+use topics_webgen::WorldConfig;
+
+/// Everything needed to run one lab session: the world to generate and
+/// the campaign to run against it.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// The synthetic web.
+    pub world: WorldConfig,
+    /// The crawl.
+    pub campaign: CampaignConfig,
+}
+
+impl LabConfig {
+    /// The paper's setup at full scale: 50,000 sites, the allow-list
+    /// corrupted on purpose, Before/After-Accept protocol.
+    pub fn paper(seed: u64) -> LabConfig {
+        LabConfig {
+            world: WorldConfig::paper(seed),
+            campaign: CampaignConfig::default(),
+        }
+    }
+
+    /// A scaled-down session (same behaviour rates, fewer sites) for
+    /// tests, examples and quick iterations.
+    pub fn quick(seed: u64, num_sites: usize) -> LabConfig {
+        LabConfig {
+            world: WorldConfig::scaled(seed, num_sites),
+            campaign: CampaignConfig::default(),
+        }
+    }
+
+    /// Switch the allow-list setup (e.g. the fixed-browser ablation).
+    #[must_use]
+    pub fn with_allow_list(mut self, setup: AllowListSetup) -> LabConfig {
+        self.campaign.allow_list = setup;
+        self
+    }
+
+    /// Limit crawl threads (useful under Criterion to reduce variance).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> LabConfig {
+        self.campaign.threads = threads.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_is_full_scale_and_corrupted() {
+        let c = LabConfig::paper(1);
+        assert_eq!(c.world.num_sites, 50_000);
+        assert_eq!(c.campaign.allow_list, AllowListSetup::CorruptedFailOpen);
+    }
+
+    #[test]
+    fn builders_modify_only_their_field() {
+        let c = LabConfig::quick(1, 100)
+            .with_allow_list(AllowListSetup::Healthy)
+            .with_threads(0);
+        assert_eq!(c.world.num_sites, 100);
+        assert_eq!(c.campaign.allow_list, AllowListSetup::Healthy);
+        assert_eq!(c.campaign.threads, 1, "clamped to ≥1");
+    }
+}

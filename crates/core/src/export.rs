@@ -1,0 +1,126 @@
+//! Bundle export: write a campaign's dataset and every reproduced
+//! artefact to a directory.
+
+use crate::lab::Evaluation;
+use std::fs;
+use std::io;
+use std::path::Path;
+use topics_analysis::dataset::{DatasetId, Datasets};
+use topics_analysis::export as csv;
+use topics_crawler::record::CampaignOutcome;
+
+/// File names written by [`write_bundle`].
+pub const BUNDLE_FILES: [&str; 13] = [
+    "campaign.json",
+    "report.txt",
+    "comparison.txt",
+    "calls.csv",
+    "sites.csv",
+    "table1.csv",
+    "fig2_presence.csv",
+    "fig3_fractions.csv",
+    "fig5_questionable.csv",
+    "fig6_geo.csv",
+    "fig7_cmp.csv",
+    "sec4_anomalous.csv",
+    "sec3_timeline.csv",
+];
+
+/// Write the full artefact bundle for a campaign:
+///
+/// * `campaign.json` — the raw dataset (every visit, call and probe),
+///   loadable back with [`load_campaign`];
+/// * `report.txt` / `comparison.txt` — the rendered evaluation and the
+///   paper-vs-measured table;
+/// * one CSV per reproduced table/figure plus the raw calls/sites CSVs
+///   and the enrolment timeline.
+pub fn write_bundle(
+    dir: &Path,
+    outcome: &CampaignOutcome,
+    eval: &Evaluation,
+    full_scale: bool,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let ds = Datasets::new(outcome);
+
+    let json = serde_json::to_string(outcome).expect("campaign serialises");
+    fs::write(dir.join("campaign.json"), json)?;
+    fs::write(dir.join("report.txt"), eval.render_report())?;
+    let rows = crate::compare::comparison_rows(eval, full_scale);
+    fs::write(
+        dir.join("comparison.txt"),
+        crate::compare::render_comparison(&rows),
+    )?;
+
+    fs::write(dir.join("calls.csv"), csv::calls_csv(&ds))?;
+    fs::write(dir.join("sites.csv"), csv::sites_csv(&ds))?;
+    fs::write(dir.join("table1.csv"), csv::table1_csv(&eval.table1))?;
+    fs::write(dir.join("fig2_presence.csv"), csv::presence_csv(&eval.fig2))?;
+    fs::write(dir.join("fig3_fractions.csv"), csv::presence_csv(&eval.fig3))?;
+    fs::write(
+        dir.join("fig5_questionable.csv"),
+        csv::questionable_csv(&eval.fig5),
+    )?;
+    fs::write(dir.join("fig6_geo.csv"), csv::geo_csv(&eval.fig6))?;
+    fs::write(dir.join("fig7_cmp.csv"), csv::cmp_csv(&eval.fig7))?;
+    fs::write(
+        dir.join("sec4_anomalous.csv"),
+        csv::anomalous_csv(&eval.anomalous),
+    )?;
+    fs::write(
+        dir.join("sec3_timeline.csv"),
+        csv::timeline_csv(&eval.timeline),
+    )?;
+    Ok(())
+}
+
+/// Load a campaign dumped by [`write_bundle`].
+pub fn load_campaign(path: &Path) -> io::Result<CampaignOutcome> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad campaign.json: {e}")))
+}
+
+/// Quick sanity accessor used by tests: dataset sizes of a loaded
+/// campaign.
+pub fn dataset_sizes(outcome: &CampaignOutcome) -> (usize, usize) {
+    let ds = Datasets::new(outcome);
+    (
+        ds.len(DatasetId::BeforeAccept),
+        ds.len(DatasetId::AfterAccept),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, Lab, LabConfig};
+
+    #[test]
+    fn bundle_round_trips() {
+        let lab = Lab::new(LabConfig::quick(81, 200).with_threads(2));
+        let outcome = lab.run();
+        let eval = evaluate(&outcome);
+        let dir = std::env::temp_dir().join(format!("topics-lab-test-{}", std::process::id()));
+        write_bundle(&dir, &outcome, &eval, false).unwrap();
+        for f in BUNDLE_FILES {
+            let p = dir.join(f);
+            assert!(p.exists(), "missing {f}");
+            assert!(fs::metadata(&p).unwrap().len() > 0, "{f} is empty");
+        }
+        let back = load_campaign(&dir.join("campaign.json")).unwrap();
+        assert_eq!(dataset_sizes(&back), dataset_sizes(&outcome));
+        assert_eq!(back.allow_list, outcome.allow_list);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("topics-lab-garbage-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("campaign.json");
+        fs::write(&p, "not json at all").unwrap();
+        assert!(load_campaign(&p).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

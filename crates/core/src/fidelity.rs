@@ -1,0 +1,287 @@
+//! Measurement fidelity — crawler measurements vs world ground truth.
+//!
+//! On the real web the paper can never know what it missed; on the
+//! synthetic web the generator's ground truth is available, so the
+//! measurement error of the whole pipeline is itself measurable: how
+//! often does Priv-Accept see a banner that is really there, how much of
+//! a platform's true footprint does presence detection recover, and how
+//! far are the measured A/B fractions from the platforms' true arms?
+//! This is the error bar the paper's numbers implicitly carry.
+
+use topics_analysis::dataset::Datasets;
+use topics_analysis::report::{pct, Table};
+use topics_crawler::record::CampaignOutcome;
+use topics_webgen::{Experiment, World};
+
+/// Banner-detection quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BannerFidelity {
+    /// Visited sites whose spec shows a banner to this campaign.
+    pub with_banner: usize,
+    /// …of which the crawler detected the banner container.
+    pub detected: usize,
+    /// Visited sites without a banner where the crawler reported one.
+    pub false_positives: usize,
+    /// Sites with a detected banner whose accept button was clicked.
+    pub accepted_of_detected: usize,
+}
+
+impl BannerFidelity {
+    /// Detection recall.
+    pub fn recall(&self) -> f64 {
+        if self.with_banner == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.with_banner as f64
+        }
+    }
+}
+
+/// One platform's presence/arm estimation quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformFidelity {
+    /// Platform domain.
+    pub domain: String,
+    /// D_AA sites where the spec embeds the platform.
+    pub truly_embedded: usize,
+    /// …of which presence detection found it.
+    pub observed: usize,
+    /// The platform's true site-level experiment arm, if any.
+    pub true_fraction: Option<f64>,
+    /// The measured enabled fraction over observed sites.
+    pub measured_fraction: f64,
+}
+
+impl PlatformFidelity {
+    /// Presence recall over D_AA.
+    pub fn presence_recall(&self) -> f64 {
+        if self.truly_embedded == 0 {
+            0.0
+        } else {
+            self.observed as f64 / self.truly_embedded as f64
+        }
+    }
+
+    /// |measured − true| arm estimation error, when an arm exists.
+    pub fn fraction_error(&self) -> Option<f64> {
+        self.true_fraction
+            .map(|f| (self.measured_fraction - f).abs())
+    }
+}
+
+/// The full fidelity report.
+#[derive(Debug, Clone)]
+pub struct FidelityReport {
+    /// Banner detection quality over D_BA.
+    pub banner: BannerFidelity,
+    /// Per-platform presence/arm quality (named active platforms with
+    /// enough D_AA presence to estimate a fraction).
+    pub platforms: Vec<PlatformFidelity>,
+}
+
+/// Compare a campaign against the world it crawled. The campaign must
+/// have been run on `world` (same seed/config); a mismatch yields
+/// nonsense numbers, not errors.
+pub fn fidelity(world: &World, outcome: &CampaignOutcome) -> FidelityReport {
+    let ds = Datasets::new(outcome);
+
+    // ---- banner detection --------------------------------------------
+    let mut banner = BannerFidelity {
+        with_banner: 0,
+        detected: 0,
+        false_positives: 0,
+        accepted_of_detected: 0,
+    };
+    for site in &outcome.sites {
+        let Some(before) = &site.before else { continue };
+        let spec = &world.sites()[site.rank];
+        // The EU crawler sees every banner (geo-targeting only hides
+        // them from elsewhere).
+        if spec.has_banner {
+            banner.with_banner += 1;
+            if before.banner_found {
+                banner.detected += 1;
+                if site.accepted() {
+                    banner.accepted_of_detected += 1;
+                }
+            }
+        } else if before.banner_found {
+            banner.false_positives += 1;
+        }
+    }
+
+    // ---- platform presence & arms --------------------------------------
+    let mut platforms = Vec::new();
+    for (idx, p) in world.registry().iter().enumerate() {
+        if p.base_presence <= 0.0 {
+            continue;
+        }
+        let mut truly_embedded = 0usize;
+        let mut observed = 0usize;
+        let mut called = 0usize;
+        for site in &outcome.sites {
+            let Some(after) = &site.after else { continue };
+            let spec = &world.sites()[site.rank];
+            if spec.platforms.iter().any(|(i, _)| *i == idx) {
+                truly_embedded += 1;
+                if after.has_party(&p.domain) {
+                    observed += 1;
+                    if after
+                        .topics_calls
+                        .iter()
+                        .any(|c| c.permitted() && c.caller_site == p.domain)
+                    {
+                        called += 1;
+                    }
+                }
+            }
+        }
+        if truly_embedded < 30 {
+            continue; // not enough signal to judge estimation quality
+        }
+        // Only platforms whose integration is live at the crawl date
+        // have a measurable arm — the future cohort is configured but
+        // dark, so it measures (correctly) as 0%.
+        let crawl_day = outcome.started.millis() / topics_net::clock::MILLIS_PER_DAY;
+        let true_fraction = match p.experiment {
+            Experiment::SiteFraction(f) if p.is_active_at(crawl_day) => Some(f),
+            _ => None,
+        };
+        platforms.push(PlatformFidelity {
+            domain: p.domain.as_str().to_owned(),
+            truly_embedded,
+            observed,
+            true_fraction,
+            measured_fraction: if observed == 0 {
+                0.0
+            } else {
+                called as f64 / observed as f64
+            },
+        });
+    }
+    platforms.sort_by_key(|p| std::cmp::Reverse(p.truly_embedded));
+
+    let _ = ds; // Datasets kept for future cross-checks
+    FidelityReport { banner, platforms }
+}
+
+impl FidelityReport {
+    /// Mean absolute arm-estimation error across platforms with an arm.
+    pub fn mean_fraction_error(&self) -> f64 {
+        let errors: Vec<f64> = self
+            .platforms
+            .iter()
+            .filter_map(PlatformFidelity::fraction_error)
+            .collect();
+        if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().sum::<f64>() / errors.len() as f64
+        }
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Measurement fidelity (crawler vs ground truth) ==\n");
+        let b = &self.banner;
+        out.push_str(&format!(
+            "banner detection: {} / {} real banners found ({}) — {} false positives\n",
+            b.detected,
+            b.with_banner,
+            pct(b.recall()),
+            b.false_positives
+        ));
+        out.push_str(&format!(
+            "accepted {} of {} detected banners ({})\n\n",
+            b.accepted_of_detected,
+            b.detected,
+            pct(if b.detected == 0 {
+                0.0
+            } else {
+                b.accepted_of_detected as f64 / b.detected as f64
+            })
+        ));
+        let mut t = Table::new([
+            "platform",
+            "embedded (truth)",
+            "observed",
+            "recall",
+            "true arm",
+            "measured",
+            "error",
+        ]);
+        for p in self.platforms.iter().take(12) {
+            t.row(vec![
+                p.domain.clone(),
+                p.truly_embedded.to_string(),
+                p.observed.to_string(),
+                pct(p.presence_recall()),
+                p.true_fraction
+                    .map(pct)
+                    .unwrap_or_else(|| "-".into()),
+                pct(p.measured_fraction),
+                p.fraction_error()
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "mean |measured − true| arm error: {:.3}\n",
+            self.mean_fraction_error()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lab, LabConfig};
+
+    #[test]
+    fn fidelity_on_a_small_campaign() {
+        let lab = Lab::new(LabConfig::quick(91, 1_200).with_threads(4));
+        let outcome = lab.run();
+        let report = fidelity(&lab.world, &outcome);
+
+        // Banner containers are plain markup: detection recall is ~100%.
+        assert!(
+            report.banner.recall() > 0.97,
+            "banner recall {}",
+            report.banner.recall()
+        );
+        assert_eq!(report.banner.false_positives, 0);
+        // Acceptance is bounded by language support + quirky phrasing.
+        assert!(report.banner.accepted_of_detected < report.banner.detected);
+
+        // Presence over After-Accept visits is complete: everything the
+        // spec embeds gets loaded and recorded post-consent.
+        for p in &report.platforms {
+            assert!(
+                p.presence_recall() > 0.95,
+                "{} presence recall {}",
+                p.domain,
+                p.presence_recall()
+            );
+        }
+
+        // Arm estimation error is small for well-sampled platforms.
+        let doubleclick = report
+            .platforms
+            .iter()
+            .find(|p| p.domain == "doubleclick.net")
+            .expect("doubleclick is everywhere");
+        assert_eq!(doubleclick.true_fraction, Some(0.33));
+        assert!(
+            doubleclick.fraction_error().unwrap() < 0.08,
+            "doubleclick arm error {:?}",
+            doubleclick.fraction_error()
+        );
+        assert!(report.mean_fraction_error() < 0.15);
+
+        let text = report.render();
+        assert!(text.contains("banner detection"));
+        assert!(text.contains("doubleclick.net"));
+    }
+}

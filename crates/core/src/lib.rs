@@ -1,0 +1,47 @@
+//! # topics-core — the top-level API of the reproduction
+//!
+//! One import gives a downstream user the whole pipeline of "A First
+//! View of Topics API Usage in the Wild" (CoNEXT '24):
+//!
+//! ```no_run
+//! use topics_core::{Lab, LabConfig};
+//!
+//! // Paper-scale: 50,000 sites, corrupted allow-list, Before/After visits.
+//! let lab = Lab::new(LabConfig::paper(42));
+//! let outcome = lab.run();
+//! let eval = topics_core::evaluate(&outcome);
+//! println!("{}", eval.render_report());
+//! ```
+//!
+//! * [`config`] — presets bundling the world and campaign parameters.
+//! * [`lab`] — world construction + campaign execution + evaluation.
+//! * [`compare`] — the paper's reference numbers and paper-vs-measured
+//!   comparison rows (the EXPERIMENTS.md source of truth).
+//! * [`export`] — artefact bundles: campaign JSON dump plus one CSV per
+//!   table/figure (the `topics-lab` CLI writes these).
+//! * [`fidelity`] — crawler measurements vs generator ground truth: the
+//!   pipeline's own measurement error, quantifiable only in simulation.
+//!
+//! The underlying crates are re-exported for direct access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod config;
+pub mod export;
+pub mod fidelity;
+pub mod lab;
+
+pub use compare::{comparison_rows, render_comparison, ComparisonRow};
+pub use fidelity::{fidelity, FidelityReport};
+pub use config::LabConfig;
+pub use lab::{evaluate, Evaluation, Lab};
+
+pub use topics_analysis as analysis;
+pub use topics_baseline as baseline;
+pub use topics_browser as browser;
+pub use topics_crawler as crawler;
+pub use topics_net as net;
+pub use topics_taxonomy as taxonomy;
+pub use topics_webgen as webgen;

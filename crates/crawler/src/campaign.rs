@@ -1,0 +1,464 @@
+//! The measurement campaign: crawl every ranked site, then probe
+//! attestations.
+//!
+//! Reproduces §2.2–2.4: the crawl starts March 30th, 2024, covers the
+//! Tranco top list in about one day, runs with the Topics API opted in
+//! and the browser's attestation allow-list **corrupted on purpose** so
+//! non-enrolled callers are observable, and afterwards probes the
+//! `/.well-known/privacy-sandbox-attestations.json` of every encountered
+//! party (plus every allow-listed domain) to assign the *Attested* label.
+
+use crate::record::{AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutcome};
+use crate::visit::{run_site_full, ConsentAction};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use topics_browser::attestation::{AttestationStore, EnforcementMode};
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::http::{HttpRequest, ResourceKind};
+use topics_net::service::NetworkService;
+use topics_net::url::Url;
+use topics_net::wellknown::{attestation_url, AttestationFile};
+use topics_taxonomy::Classifier;
+
+/// The crawl start: 2024-03-30, i.e. day 303 of the simulation
+/// (origin 2023-06-01).
+pub const CRAWL_START_DAY: u64 = topics_net::clock::CRAWL_START_DAY;
+
+/// The paper's attestation snapshot date: June 6th, 2024 (day 371).
+pub const ATTESTATION_SNAPSHOT_DAY: u64 = 371;
+
+/// How the crawler's browser is configured with respect to the
+/// attestation allow-list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowListSetup {
+    /// The paper's setup: the local list is corrupted and the (buggy)
+    /// browser fails open, executing every call.
+    CorruptedFailOpen,
+    /// A stock browser with a healthy allow-list: non-enrolled calls are
+    /// blocked (they still appear in our instrumentation, marked
+    /// blocked).
+    Healthy,
+    /// The fixed browser with a corrupted list: everything is blocked
+    /// (ablation).
+    CorruptedFailClosed,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Allow-list setup (the paper uses `CorruptedFailOpen`).
+    pub allow_list: AllowListSetup,
+    /// Worker threads for the crawl.
+    pub threads: usize,
+    /// Milliseconds of simulated time between consecutive site starts
+    /// (the paper's crawl covers 50k sites in about one day ⇒ ~1.7s).
+    pub per_site_interval_ms: u64,
+    /// Crawl start time.
+    pub start: Timestamp,
+    /// What to do with recognised banners (the paper accepts; the
+    /// opt-out extension rejects).
+    pub consent_action: ConsentAction,
+    /// Where the crawler connects from (the paper: Europe).
+    pub vantage: topics_net::http::Vantage,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            allow_list: AllowListSetup::CorruptedFailOpen,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            per_site_interval_ms: 1_728, // 86,400,000 ms / 50,000 sites
+            start: Timestamp::from_days(CRAWL_START_DAY),
+            consent_action: ConsentAction::Accept,
+            vantage: topics_net::http::Vantage::Europe,
+        }
+    }
+}
+
+/// A simulated web the campaign can run against: the crawl needs the
+/// network service plus the ranked target list and the allow-list the
+/// browser component updater would have downloaded.
+pub trait CrawlTarget: NetworkService + Sync {
+    /// The ranked URLs to visit, in rank order.
+    fn targets(&self) -> Vec<Url>;
+    /// The domains on the current attestation allow-list.
+    fn allow_list_snapshot(&self) -> Vec<Domain>;
+    /// The campaign seed (drives per-profile seeds and A/B keys).
+    fn campaign_seed(&self) -> u64;
+}
+
+impl CrawlTarget for topics_webgen::World {
+    fn targets(&self) -> Vec<Url> {
+        self.tranco_list()
+    }
+    fn allow_list_snapshot(&self) -> Vec<Domain> {
+        self.allow_list()
+    }
+    fn campaign_seed(&self) -> u64 {
+        self.seed()
+    }
+}
+
+/// Build the browser-side attestation store for a setup.
+pub fn build_store(setup: AllowListSetup, allow_list: &[Domain]) -> AttestationStore {
+    match setup {
+        AllowListSetup::CorruptedFailOpen => AttestationStore::corrupted(),
+        AllowListSetup::Healthy => AttestationStore::healthy(allow_list.iter().cloned()),
+        AllowListSetup::CorruptedFailClosed => {
+            AttestationStore::corrupted().with_mode(EnforcementMode::FailClosed)
+        }
+    }
+}
+
+/// Run the full campaign.
+pub fn run_campaign<W: CrawlTarget + ?Sized>(
+    world: &W,
+    config: &CampaignConfig,
+) -> CampaignOutcome {
+    run_campaign_with_progress(world, config, |_done, _total| {})
+}
+
+/// [`run_campaign`] with a progress callback, invoked roughly every 500
+/// completed sites with `(done, total)` (from whichever worker crosses
+/// the boundary — counts are monotone but not strictly sequential).
+pub fn run_campaign_with_progress<W, F>(
+    world: &W,
+    config: &CampaignConfig,
+    progress: F,
+) -> CampaignOutcome
+where
+    W: CrawlTarget + ?Sized,
+    F: Fn(usize, usize) + Sync,
+{
+    let targets = world.targets();
+    let allow_list = world.allow_list_snapshot();
+    let store = build_store(config.allow_list, &allow_list);
+    let classifier = Arc::new(Classifier::new(world.campaign_seed()));
+    let seed = world.campaign_seed();
+
+    let threads = config.threads.max(1);
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let mut sites: Vec<SiteOutcome> = Vec::with_capacity(targets.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let targets = &targets;
+            let store = store.clone();
+            let classifier = classifier.clone();
+            let done = &done;
+            let progress = &progress;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut rank = t;
+                while rank < targets.len() {
+                    let started = config
+                        .start
+                        .plus_millis(rank as u64 * config.per_site_interval_ms);
+                    out.push(run_site_full(
+                        world,
+                        &targets[rank],
+                        rank,
+                        classifier.clone(),
+                        store.clone(),
+                        seed,
+                        started,
+                        config.consent_action,
+                        config.vantage,
+                    ));
+                    let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    if n % 500 == 0 || n == targets.len() {
+                        progress(n, targets.len());
+                    }
+                    rank += threads;
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            sites.extend(handle.join().expect("crawl worker panicked"));
+        }
+    });
+    sites.sort_by_key(|s| s.rank);
+
+    // ---- Attestation probing (§2.3) ----------------------------------
+    // Probe every encountered party (first and third) plus every domain
+    // on the allow-list, once. The paper's crawl ran on March 30th, 2024
+    // but its attestation snapshot is from June 6th, 2024 (day 371) —
+    // which is how it can see enrolment dates up to May 2024 — so the
+    // probe happens at whichever is later: crawl end or that snapshot
+    // date.
+    let crawl_end = config
+        .start
+        .plus_millis(targets.len() as u64 * config.per_site_interval_ms);
+    let probe_time = crawl_end.max(Timestamp::from_days(ATTESTATION_SNAPSHOT_DAY));
+    let mut to_probe: BTreeSet<Domain> = allow_list.iter().cloned().collect();
+    for s in &sites {
+        for v in s.before.iter().chain(s.after.iter()) {
+            to_probe.extend(v.party_domains.iter().cloned());
+            to_probe.extend(v.topics_calls.iter().map(|c| c.caller_site.clone()));
+        }
+    }
+    let attestation_probes = to_probe
+        .into_iter()
+        .map(|domain| probe_attestation(world, &domain, probe_time))
+        .collect();
+
+    CampaignOutcome {
+        sites,
+        allow_list,
+        attestation_probes,
+        started: config.start,
+    }
+}
+
+/// Probe one domain's attestation file.
+pub fn probe_attestation<S: NetworkService + ?Sized>(
+    service: &S,
+    domain: &Domain,
+    now: Timestamp,
+) -> AttestationProbe {
+    let req = HttpRequest::get(attestation_url(domain), ResourceKind::WellKnown);
+    let valid = match service.fetch(&req, now) {
+        Ok(r) if r.status.is_success() => AttestationFile::parse_and_validate(&r.body)
+            .ok()
+            .map(|f| AttestationInfo {
+                issued: f.issued,
+                has_enrollment_site: f.enrollment_site.is_some(),
+            }),
+        _ => None,
+    };
+    AttestationProbe {
+        domain: domain.clone(),
+        valid,
+    }
+}
+
+/// Re-visit a fixed set of sites repeatedly over time with persistent
+/// per-site consent — the §3 "repeated tests" that expose ON/OFF
+/// alternation of A/B arms. Returns, for each requested time, the
+/// outcomes in the same order as `urls`.
+pub fn run_repeated<W: CrawlTarget + ?Sized>(
+    world: &W,
+    urls: &[Url],
+    times: &[Timestamp],
+    config: &CampaignConfig,
+) -> Vec<Vec<SiteOutcome>> {
+    let allow_list = world.allow_list_snapshot();
+    let store = build_store(config.allow_list, &allow_list);
+    let classifier = Arc::new(Classifier::new(world.campaign_seed()));
+    times
+        .iter()
+        .map(|&t| {
+            urls.iter()
+                .enumerate()
+                .map(|(rank, url)| {
+                    run_site_full(
+                        world,
+                        url,
+                        rank,
+                        classifier.clone(),
+                        store.clone(),
+                        world.campaign_seed(),
+                        t,
+                        config.consent_action,
+                        config.vantage,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Phase;
+    use topics_webgen::{World, WorldConfig};
+
+    fn small_campaign(seed: u64, n: usize) -> (World, CampaignOutcome) {
+        let world = World::generate(WorldConfig::scaled(seed, n));
+        let config = CampaignConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let outcome = run_campaign(&world, &config);
+        (world, outcome)
+    }
+
+    #[test]
+    fn campaign_covers_all_sites_in_rank_order() {
+        let (_, outcome) = small_campaign(51, 400);
+        assert_eq!(outcome.sites.len(), 400);
+        for (i, s) in outcome.sites.iter().enumerate() {
+            assert_eq!(s.rank, i);
+        }
+        let visited = outcome.visited_count();
+        assert!(
+            (320..=380).contains(&visited),
+            "≈87% of 400 visited, got {visited}"
+        );
+        let accepted = outcome.accepted_count();
+        assert!(
+            (80..=180).contains(&accepted),
+            "≈30% accepted, got {accepted}"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (_, a) = small_campaign(53, 150);
+        let (_, b) = small_campaign(53, 150);
+        assert_eq!(a.visited_count(), b.visited_count());
+        assert_eq!(a.accepted_count(), b.accepted_count());
+        for (x, y) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(x.website, y.website);
+            let calls = |s: &SiteOutcome| {
+                s.before
+                    .iter()
+                    .chain(s.after.iter())
+                    .map(|v| v.topics_calls.len())
+                    .sum::<usize>()
+            };
+            assert_eq!(calls(x), calls(y));
+        }
+    }
+
+    #[test]
+    fn corrupted_list_permits_everything_healthy_blocks_unenrolled() {
+        let world = World::generate(WorldConfig::scaled(55, 500));
+        let corrupted = run_campaign(
+            &world,
+            &CampaignConfig {
+                threads: 4,
+                allow_list: AllowListSetup::CorruptedFailOpen,
+                ..Default::default()
+            },
+        );
+        let healthy = run_campaign(
+            &world,
+            &CampaignConfig {
+                threads: 4,
+                allow_list: AllowListSetup::Healthy,
+                ..Default::default()
+            },
+        );
+        let permitted_unallowed = |o: &CampaignOutcome| {
+            o.sites
+                .iter()
+                .flat_map(|s| s.before.iter().chain(s.after.iter()))
+                .flat_map(|v| v.topics_calls.iter())
+                .filter(|c| c.permitted() && !o.is_allowed(&c.caller_site))
+                .count()
+        };
+        assert!(
+            permitted_unallowed(&corrupted) > 0,
+            "fail-open exposes anomalous callers"
+        );
+        assert_eq!(
+            permitted_unallowed(&healthy),
+            0,
+            "a healthy list blocks all non-enrolled callers"
+        );
+    }
+
+    #[test]
+    fn attestation_probes_cover_allow_list_and_match_ground_truth() {
+        let (world, outcome) = small_campaign(57, 200);
+        for p in world.registry() {
+            if p.allowed {
+                let probed = outcome
+                    .attestation_probes
+                    .iter()
+                    .find(|pr| pr.domain == p.domain)
+                    .expect("every allow-listed domain probed");
+                assert_eq!(
+                    probed.valid.is_some(),
+                    p.attested,
+                    "{} attested mismatch",
+                    p.domain
+                );
+            }
+        }
+        // Encountered ranked sites are probed too (and are not attested).
+        let some_site = outcome
+            .sites
+            .iter()
+            .find(|s| s.visited() && s.website.as_str() != "distillery.com")
+            .unwrap();
+        assert!(outcome
+            .attestation_probes
+            .iter()
+            .any(|pr| pr.domain == some_site.website && pr.valid.is_none()));
+    }
+
+    #[test]
+    fn progress_callback_fires_and_reaches_the_total() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let world = World::generate(WorldConfig::scaled(63, 1_000));
+        let calls = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let outcome = super::run_campaign_with_progress(
+            &world,
+            &CampaignConfig {
+                threads: 4,
+                ..Default::default()
+            },
+            |done, total| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(total, 1_000);
+                max_seen.fetch_max(done, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(outcome.sites.len(), 1_000);
+        assert!(calls.load(Ordering::Relaxed) >= 2, "every-500 plus final");
+        assert_eq!(max_seen.load(Ordering::Relaxed), 1_000);
+    }
+
+    #[test]
+    fn visits_are_timestamped_along_the_crawl() {
+        let (_, outcome) = small_campaign(59, 100);
+        let starts: Vec<_> = outcome
+            .sites
+            .iter()
+            .filter_map(|s| s.before.as_ref())
+            .map(|v| v.started)
+            .collect();
+        for w in starts.windows(2) {
+            assert!(w[0] < w[1], "site start times increase with rank");
+        }
+        for s in &outcome.sites {
+            if let (Some(b), Some(a)) = (&s.before, &s.after) {
+                assert!(a.started > b.started);
+                assert_eq!(a.phase, Phase::AfterAccept);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_visits_share_ab_assignment_with_campaigns() {
+        let world = World::generate(WorldConfig::scaled(61, 120));
+        let config = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let urls: Vec<Url> = world.targets().into_iter().take(10).collect();
+        let t0 = Timestamp::from_days(CRAWL_START_DAY);
+        let rounds = run_repeated(&world, &urls, &[t0, t0.plus_days(1)], &config);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].len(), 10);
+        // Same URL at the same time gives identical call sets.
+        let again = run_repeated(&world, &urls, &[t0], &config);
+        for (a, b) in rounds[0].iter().zip(&again[0]) {
+            let count = |s: &SiteOutcome| {
+                s.before
+                    .as_ref()
+                    .map(|v| v.topics_calls.len())
+                    .unwrap_or(0)
+            };
+            assert_eq!(count(a), count(b));
+        }
+    }
+}

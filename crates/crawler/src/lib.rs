@@ -1,0 +1,36 @@
+//! # topics-crawler — the paper's measurement crawler
+//!
+//! The reproduction of the Selenium + Priv-Accept pipeline of §2.2: a
+//! [`topics_browser::Browser`] visits every site of a Tranco-style list
+//! twice — **Before-Accept** and, when the consent banner can be
+//! accepted, **After-Accept** (with the cache cleared in between) — and
+//! records every downloaded object and every Topics API call. After the
+//! crawl, every encountered party is probed for its attestation
+//! well-known file.
+//!
+//! * [`privaccept`] — consent-banner detection and acceptance (keyword
+//!   matching in five languages, like the Priv-Accept tool).
+//! * [`visit`] — the per-site two-visit protocol.
+//! * [`campaign`] — the parallel campaign runner, allow-list setups
+//!   (including the paper's corrupted-on-purpose configuration), the
+//!   attestation prober, and repeated-visit support for the §3 A/B
+//!   alternation experiment.
+//! * [`record`] — the measurement schema handed to `topics-analysis`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod privaccept;
+pub mod record;
+pub mod visit;
+
+pub use campaign::{
+    run_campaign, run_campaign_with_progress, run_repeated, AllowListSetup, CampaignConfig,
+    CrawlTarget,
+};
+pub use visit::{run_site, run_site_full, run_site_with_action, ConsentAction};
+pub use record::{
+    AttestationInfo, AttestationProbe, CampaignOutcome, Phase, SiteOutcome, TopicsCallRecord,
+    VisitRecord,
+};

@@ -1,0 +1,249 @@
+//! Priv-Accept: automatic consent-banner detection and acceptance.
+//!
+//! Reimplements the logic of the tool the paper builds on (Jha et al.,
+//! "The Internet with Privacy Policies", TWEB 2022): keyword matching of
+//! accept-button text in five languages — English, French, Spanish,
+//! German and Italian — reported to be 92–95% accurate on banners in
+//! those languages. The crawler runs detection on the Before-Accept
+//! page; when an accept button matches, it "clicks" it (grants consent)
+//! and performs the After-Accept visit.
+//!
+//! Detection accuracy is *emergent* here: the synthetic web writes its
+//! banners in the site's language with mostly standard but sometimes
+//! quirky phrasing, and these keyword lists either match or miss.
+
+use topics_browser::html::{Document, Node};
+
+/// Accept-button keywords per supported language, lowercase. Matching is
+/// substring-based on the flattened button text, like Priv-Accept's
+/// clickable-element scan.
+pub const ACCEPT_KEYWORDS: [(&str, &[&str]); 5] = [
+    (
+        "english",
+        &[
+            "accept all",
+            "accept cookies",
+            "allow all",
+            "i agree",
+            "agree and close",
+            "accept",
+        ],
+    ),
+    ("french", &["tout accepter", "j'accepte", "accepter"]),
+    ("spanish", &["aceptar todo", "aceptar y cerrar", "aceptar"]),
+    (
+        "german",
+        &["alle akzeptieren", "akzeptieren", "zustimmen", "einverstanden"],
+    ),
+    ("italian", &["accetta tutti", "accetto", "accetta", "consenti"]),
+];
+
+/// Words whose presence marks a clickable as a *reject* control, which
+/// must never be clicked by the accept flow even if an accept keyword
+/// also matches (e.g. "do not accept").
+const REJECT_MARKERS: [&str; 6] = ["reject", "decline", "refuse", "do not", "nur notwendige", "rifiuta"];
+
+/// Reject-button keywords for the opt-out experiment (the After-Reject
+/// protocol, an extension beyond the paper's Before/After-Accept).
+pub const REJECT_KEYWORDS: [&str; 10] = [
+    "reject all",
+    "decline",
+    "refuse",
+    "tout refuser",
+    "rechazar todo",
+    "alle ablehnen",
+    "ablehnen",
+    "rifiuta tutto",
+    "no thanks",
+    "reject",
+];
+
+/// Class/id substrings that mark a container as a privacy banner.
+const BANNER_MARKERS: [&str; 6] = ["consent", "cookie", "privacy", "banner", "cmp", "gdpr"];
+
+/// The result of scanning one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BannerScan {
+    /// A banner container was detected on the page.
+    pub banner_found: bool,
+    /// The text of the accept button that matched, if any.
+    pub accept_button: Option<String>,
+    /// Which language's keyword list matched.
+    pub matched_language: Option<&'static str>,
+    /// The text of the reject button that matched, if any (used by the
+    /// After-Reject opt-out experiment).
+    pub reject_button: Option<String>,
+}
+
+impl BannerScan {
+    /// Whether Priv-Accept would proceed to the After-Accept visit.
+    pub fn can_accept(&self) -> bool {
+        self.accept_button.is_some()
+    }
+
+    /// Whether the opt-out flow can click an explicit reject button.
+    pub fn can_reject(&self) -> bool {
+        self.reject_button.is_some()
+    }
+}
+
+/// Scan a parsed page for a privacy banner and an accept button.
+pub fn scan(document: &Document) -> BannerScan {
+    let banner_found = document.nodes.iter().any(|n| match n {
+        Node::Container { classes, id, .. } => {
+            classes
+                .iter()
+                .any(|c| has_marker(c, &BANNER_MARKERS))
+                || id.as_deref().is_some_and(|i| has_marker(i, &BANNER_MARKERS))
+        }
+        _ => false,
+    });
+
+    let mut accept_button = None;
+    let mut matched_language = None;
+    'outer: for node in document.clickables() {
+        let Node::Clickable { text, .. } = node else {
+            continue;
+        };
+        let lower = text.to_lowercase();
+        if lower.is_empty() || REJECT_MARKERS.iter().any(|m| lower.contains(m)) {
+            continue;
+        }
+        for (lang, keywords) in ACCEPT_KEYWORDS {
+            if keywords.iter().any(|k| lower.contains(k)) {
+                accept_button = Some(text.clone());
+                matched_language = Some(lang);
+                break 'outer;
+            }
+        }
+    }
+
+    let mut reject_button = None;
+    for node in document.clickables() {
+        let Node::Clickable { text, .. } = node else {
+            continue;
+        };
+        let lower = text.to_lowercase();
+        if REJECT_KEYWORDS.iter().any(|k| lower.contains(k)) {
+            reject_button = Some(text.clone());
+            break;
+        }
+    }
+
+    // Priv-Accept only clicks buttons that belong to a banner context;
+    // a bare "accept" link on a bannerless page is not a consent flow.
+    if !banner_found {
+        accept_button = None;
+        matched_language = None;
+        reject_button = None;
+    }
+
+    BannerScan {
+        banner_found,
+        accept_button,
+        matched_language,
+        reject_button,
+    }
+}
+
+fn has_marker(value: &str, markers: &[&str]) -> bool {
+    let lower = value.to_lowercase();
+    markers.iter().any(|m| lower.contains(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topics_browser::html::parse;
+
+    fn banner_page(button_text: &str) -> Document {
+        parse(&format!(
+            r#"<div class="consent-banner"><p>We use cookies.</p>
+               <button id="accept-btn">{button_text}</button>
+               <button id="reject-btn">×</button></div>"#
+        ))
+    }
+
+    #[test]
+    fn detects_standard_phrases_in_all_five_languages() {
+        for phrase in [
+            "Accept all cookies",
+            "Tout accepter",
+            "Aceptar todo",
+            "Alle akzeptieren",
+            "Accetta tutti",
+        ] {
+            let scan_result = scan(&banner_page(phrase));
+            assert!(scan_result.banner_found);
+            assert!(
+                scan_result.can_accept(),
+                "should match standard phrase {phrase:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn misses_quirky_and_unsupported_phrases() {
+        for phrase in [
+            "Sounds good!",       // quirky English
+            "C'est parti",        // quirky French
+            "Принять все",        // Russian (unsupported)
+            "すべて同意する",       // Japanese (unsupported)
+            "Zaakceptuj wszystkie", // Polish (unsupported)
+        ] {
+            let scan_result = scan(&banner_page(phrase));
+            assert!(scan_result.banner_found, "banner still detected");
+            assert!(
+                !scan_result.can_accept(),
+                "should NOT match {phrase:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_banner_means_no_acceptance() {
+        let doc = parse(r#"<div class="content"><button>Accept delivery</button></div>"#);
+        let s = scan(&doc);
+        assert!(!s.banner_found);
+        assert!(!s.can_accept(), "accept text outside a banner is ignored");
+    }
+
+    #[test]
+    fn reject_controls_are_never_clicked() {
+        let doc = parse(
+            r#"<div id="cookie-notice">
+               <button>Do not accept</button>
+               <button>Reject all</button></div>"#,
+        );
+        let s = scan(&doc);
+        assert!(s.banner_found);
+        assert!(!s.can_accept());
+    }
+
+    #[test]
+    fn banner_detected_by_id_or_class() {
+        for html in [
+            r#"<div id="privacy-banner"><button>Accept all</button></div>"#,
+            r#"<div class="site-gdpr-box"><button>Accept all</button></div>"#,
+            r#"<div class="cmp-wrapper"><button>Accept all</button></div>"#,
+        ] {
+            assert!(scan(&parse(html)).can_accept(), "{html}");
+        }
+    }
+
+    #[test]
+    fn matched_language_is_reported() {
+        let s = scan(&banner_page("Alle akzeptieren"));
+        assert_eq!(s.matched_language, Some("german"));
+        let s = scan(&banner_page("Accept all cookies"));
+        assert_eq!(s.matched_language, Some("english"));
+    }
+
+    #[test]
+    fn anchor_buttons_work_too() {
+        let doc = parse(
+            r##"<div class="cookiebar"><a href="#" class="btn">I agree</a></div>"##,
+        );
+        assert!(scan(&doc).can_accept());
+    }
+}

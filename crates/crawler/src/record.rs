@@ -1,0 +1,389 @@
+//! The measurement record schema.
+//!
+//! Mirrors what the paper's modified Chromium logs (§2.2): for every
+//! visited website, the set of first-/third-party objects downloaded, and
+//! for every Topics API call the calling party, the website, the call
+//! type, and the timestamp — plus the context fields our instrumentation
+//! adds (root vs iframe context, script source, allow-list decision).
+
+use serde::{Deserialize, Serialize};
+use topics_browser::attestation::AllowDecision;
+use topics_browser::observer::{CallType, ObjectEvent, TopicsCallEvent};
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::http::ResourceKind;
+use topics_net::psl::registrable_domain;
+
+/// Which of the two visits a record belongs to (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// The first visit, before any interaction with the privacy banner.
+    BeforeAccept,
+    /// The second visit, after consent was granted and the cache cleared.
+    AfterAccept,
+    /// The second visit of the opt-out experiment, after consent was
+    /// explicitly REFUSED (an extension beyond the paper's protocol).
+    AfterReject,
+}
+
+/// One Topics API call, as recorded by the crawler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicsCallRecord {
+    /// Full host attributed as the Calling Party.
+    pub caller: Domain,
+    /// The CP at registrable-domain granularity (the unit of the paper's
+    /// Allowed/Attested classification).
+    pub caller_site: Domain,
+    /// Call type (JavaScript / Fetch / IFrame).
+    pub call_type: CallType,
+    /// True when the call came from the root (top-level) context.
+    pub root_context: bool,
+    /// Host that served the calling script, if external.
+    pub script_source: Option<Domain>,
+    /// The browser's allow-list decision.
+    pub decision: AllowDecision,
+    /// Topics returned to the caller.
+    pub topics_returned: usize,
+    /// Timestamp of the call.
+    pub timestamp: Timestamp,
+}
+
+impl TopicsCallRecord {
+    /// Build from a browser instrumentation event.
+    pub fn from_event(e: &TopicsCallEvent) -> TopicsCallRecord {
+        TopicsCallRecord {
+            caller: e.caller.clone(),
+            caller_site: registrable_domain(&e.caller),
+            call_type: e.call_type,
+            root_context: e.root_context,
+            script_source: e.script_source.clone(),
+            decision: e.decision,
+            topics_returned: e.topics_returned,
+            timestamp: e.timestamp,
+        }
+    }
+
+    /// Whether the call was executed (permitted by the allow-list layer).
+    pub fn permitted(&self) -> bool {
+        self.decision.permits()
+    }
+}
+
+/// One visit to one website.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VisitRecord {
+    /// Which visit this is.
+    pub phase: Phase,
+    /// The ranked website (requested domain) — the identity under which
+    /// the paper's per-website statistics are keyed.
+    pub website: Domain,
+    /// The registrable domain that actually served the page (differs for
+    /// alias redirects — the §4 case-ii signature).
+    pub final_website: Domain,
+    /// Unique registrable domains of every object loaded, including the
+    /// site itself, in first-seen order.
+    pub party_domains: Vec<Domain>,
+    /// Total objects requested (with multiplicity).
+    pub object_count: usize,
+    /// Objects that failed to load.
+    pub failed_objects: usize,
+    /// Every Topics API call observed during the visit.
+    pub topics_calls: Vec<TopicsCallRecord>,
+    /// A privacy banner was detected on the page.
+    pub banner_found: bool,
+    /// When the visit started.
+    pub started: Timestamp,
+    /// Simulated page-load duration (sum of network latencies).
+    #[serde(default)]
+    pub duration_ms: u64,
+}
+
+impl VisitRecord {
+    /// Assemble a record from the browser's per-visit output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        phase: Phase,
+        website: Domain,
+        final_website: Domain,
+        objects: &[ObjectEvent],
+        calls: &[TopicsCallEvent],
+        banner_found: bool,
+        started: Timestamp,
+        duration_ms: u64,
+    ) -> VisitRecord {
+        let mut party_domains: Vec<Domain> = Vec::new();
+        let mut failed = 0usize;
+        for o in objects {
+            if !o.ok {
+                failed += 1;
+            }
+            let reg = registrable_domain(o.url.host());
+            if !party_domains.contains(&reg) {
+                party_domains.push(reg);
+            }
+        }
+        VisitRecord {
+            phase,
+            website,
+            final_website,
+            party_domains,
+            object_count: objects.len(),
+            failed_objects: failed,
+            topics_calls: calls.iter().map(TopicsCallRecord::from_event).collect(),
+            banner_found,
+            started,
+            duration_ms,
+        }
+    }
+
+    /// Third-party registrable domains (everything except the website
+    /// itself and its final serving domain).
+    pub fn third_parties(&self) -> impl Iterator<Item = &Domain> {
+        self.party_domains
+            .iter()
+            .filter(move |d| **d != self.website && **d != self.final_website)
+    }
+
+    /// True when a given party (registrable domain) was present on the
+    /// page — the Figure 2 presence notion.
+    pub fn has_party(&self, party: &Domain) -> bool {
+        self.party_domains.contains(party)
+    }
+}
+
+/// The outcome for one ranked site: up to two visits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteOutcome {
+    /// 0-based Tranco rank.
+    pub rank: usize,
+    /// The ranked domain.
+    pub website: Domain,
+    /// The Before-Accept visit; `None` when the site failed to load
+    /// (DNS/connection errors — the paper loses ≈13% of sites this way).
+    pub before: Option<VisitRecord>,
+    /// The second visit (After-Accept, or After-Reject in the opt-out
+    /// experiment); `None` when no banner interaction succeeded.
+    pub after: Option<VisitRecord>,
+    /// Human-readable failure, if the site could not be visited.
+    pub error: Option<String>,
+}
+
+impl SiteOutcome {
+    /// The site was successfully visited (enters D_BA).
+    pub fn visited(&self) -> bool {
+        self.before.is_some()
+    }
+
+    /// Consent was granted and the second visit ran (enters D_AA).
+    pub fn accepted(&self) -> bool {
+        self.after
+            .as_ref()
+            .is_some_and(|v| v.phase == Phase::AfterAccept)
+    }
+
+    /// Consent was explicitly refused and the second visit ran (the
+    /// opt-out experiment's D_AR).
+    pub fn rejected(&self) -> bool {
+        self.after
+            .as_ref()
+            .is_some_and(|v| v.phase == Phase::AfterReject)
+    }
+}
+
+/// Result of probing a domain's attestation well-known file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestationProbe {
+    /// The probed registrable domain.
+    pub domain: Domain,
+    /// `Some` when a valid Topics attestation was served.
+    pub valid: Option<AttestationInfo>,
+}
+
+/// Extracted fields of a valid attestation file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestationInfo {
+    /// Issue timestamp (the §3 enrolment timeline).
+    pub issued: Timestamp,
+    /// Whether the file carries the post-October-2024 `enrollment_site`.
+    pub has_enrollment_site: bool,
+}
+
+/// Everything a campaign produces — the input to `topics-analysis`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Per-site outcomes in rank order.
+    pub sites: Vec<SiteOutcome>,
+    /// The allow-list snapshot, when the crawler's browser had a healthy
+    /// one; `None` under the paper's corrupted-list configuration — in
+    /// which case the analysis uses the separately downloaded list (the
+    /// paper uses the June 6th, 2024 file).
+    pub allow_list: Vec<Domain>,
+    /// Attestation probes for every encountered party and every
+    /// allow-listed domain.
+    pub attestation_probes: Vec<AttestationProbe>,
+    /// When the crawl started.
+    pub started: Timestamp,
+}
+
+impl CampaignOutcome {
+    /// Number of successfully visited sites (|D_BA|).
+    pub fn visited_count(&self) -> usize {
+        self.sites.iter().filter(|s| s.visited()).count()
+    }
+
+    /// Number of sites with an After-Accept visit (|D_AA|).
+    pub fn accepted_count(&self) -> usize {
+        self.sites.iter().filter(|s| s.accepted()).count()
+    }
+
+    /// Whether a domain served a valid attestation (the paper's
+    /// **Attested** label).
+    pub fn is_attested(&self, domain: &Domain) -> bool {
+        self.attestation_probes
+            .iter()
+            .any(|p| &p.domain == domain && p.valid.is_some())
+    }
+
+    /// Whether a domain is on the allow-list (the paper's **Allowed**).
+    pub fn is_allowed(&self, domain: &Domain) -> bool {
+        self.allow_list.contains(domain)
+    }
+}
+
+/// Helper for tests: count objects of a given kind in raw events.
+pub fn count_kind(objects: &[ObjectEvent], kind: ResourceKind) -> usize {
+    objects.iter().filter(|o| o.kind == kind).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topics_net::url::Url;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    fn obj(url: &str, ok: bool) -> ObjectEvent {
+        ObjectEvent {
+            url: Url::parse(url).unwrap(),
+            kind: ResourceKind::Script,
+            ok,
+            timestamp: Timestamp(1),
+        }
+    }
+
+    #[test]
+    fn assemble_dedups_party_domains() {
+        let objects = vec![
+            obj("https://www.site.com/", true),
+            obj("https://static.ads.com/tag.js", true),
+            obj("https://ads.com/px.gif", true),
+            obj("https://cdn.example.net/lib.js", false),
+        ];
+        let v = VisitRecord::assemble(
+            Phase::BeforeAccept,
+            d("site.com"),
+            d("site.com"),
+            &objects,
+            &[],
+            false,
+            Timestamp(0),
+            420,
+        );
+        assert_eq!(
+            v.party_domains,
+            vec![d("site.com"), d("ads.com"), d("example.net")]
+        );
+        assert_eq!(v.object_count, 4);
+        assert_eq!(v.failed_objects, 1);
+        let tp: Vec<_> = v.third_parties().cloned().collect();
+        assert_eq!(tp, vec![d("ads.com"), d("example.net")]);
+        assert!(v.has_party(&d("ads.com")));
+        assert!(!v.has_party(&d("missing.com")));
+    }
+
+    #[test]
+    fn alias_visits_keep_both_identities() {
+        let objects = vec![obj("https://corp.com/", true)];
+        let v = VisitRecord::assemble(
+            Phase::AfterAccept,
+            d("brand.com"),
+            d("corp.com"),
+            &objects,
+            &[],
+            true,
+            Timestamp(0),
+            180,
+        );
+        let tp: Vec<_> = v.third_parties().collect();
+        assert!(tp.is_empty(), "the serving domain is not a third party");
+    }
+
+    #[test]
+    fn outcome_counts() {
+        let visit = VisitRecord::assemble(
+            Phase::BeforeAccept,
+            d("a.com"),
+            d("a.com"),
+            &[],
+            &[],
+            false,
+            Timestamp(0),
+            0,
+        );
+        let outcome = CampaignOutcome {
+            sites: vec![
+                SiteOutcome {
+                    rank: 0,
+                    website: d("a.com"),
+                    before: Some(visit.clone()),
+                    after: Some(VisitRecord {
+                        phase: Phase::AfterAccept,
+                        ..visit.clone()
+                    }),
+                    error: None,
+                },
+                SiteOutcome {
+                    rank: 1,
+                    website: d("b.com"),
+                    before: None,
+                    after: None,
+                    error: Some("NXDOMAIN".into()),
+                },
+            ],
+            allow_list: vec![d("criteo.com")],
+            attestation_probes: vec![AttestationProbe {
+                domain: d("criteo.com"),
+                valid: Some(AttestationInfo {
+                    issued: Timestamp(5),
+                    has_enrollment_site: false,
+                }),
+            }],
+            started: Timestamp(0),
+        };
+        assert_eq!(outcome.visited_count(), 1);
+        assert_eq!(outcome.accepted_count(), 1);
+        assert!(outcome.is_allowed(&d("criteo.com")));
+        assert!(outcome.is_attested(&d("criteo.com")));
+        assert!(!outcome.is_attested(&d("b.com")));
+    }
+
+    #[test]
+    fn records_serialize_round_trip() {
+        let rec = TopicsCallRecord {
+            caller: d("www.foo.com"),
+            caller_site: d("foo.com"),
+            call_type: CallType::JavaScript,
+            root_context: true,
+            script_source: Some(d("www.googletagmanager.com")),
+            decision: AllowDecision::AllowedFailOpen,
+            topics_returned: 0,
+            timestamp: Timestamp(9),
+        };
+        let j = serde_json::to_string(&rec).unwrap();
+        let back: TopicsCallRecord = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, rec);
+        assert!(back.permitted());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the crawler: banner scanning is total and
+//! consistent, record assembly preserves invariants.
+
+use proptest::prelude::*;
+use topics_browser::html;
+use topics_browser::observer::ObjectEvent;
+use topics_crawler::privaccept::{scan, ACCEPT_KEYWORDS, REJECT_KEYWORDS};
+use topics_crawler::record::{Phase, VisitRecord};
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::http::ResourceKind;
+use topics_net::url::Url;
+
+proptest! {
+    #[test]
+    fn scan_never_panics_on_arbitrary_markup(input in ".*") {
+        let _ = scan(&html::parse(&input));
+    }
+
+    #[test]
+    fn acceptance_requires_a_banner_container(
+        button in "[A-Za-z ]{1,20}",
+        banner_class in prop_oneof![
+            Just("consent-box"),
+            Just("cookie-bar"),
+            Just("plain-nav"),
+            Just("sidebar"),
+        ]
+    ) {
+        let page = format!(
+            r#"<div class="{banner_class}"><button>{button}</button></div>"#
+        );
+        let result = scan(&html::parse(&page));
+        let is_banner_class = banner_class.contains("consent") || banner_class.contains("cookie");
+        prop_assert_eq!(result.banner_found, is_banner_class);
+        if !is_banner_class {
+            prop_assert!(!result.can_accept());
+            prop_assert!(!result.can_reject());
+        }
+        // The scan is deterministic.
+        prop_assert_eq!(scan(&html::parse(&page)), result);
+    }
+
+    #[test]
+    fn every_accept_keyword_is_recognised(
+        (lang_idx, kw_idx) in (0usize..5).prop_flat_map(|l| {
+            let n = ACCEPT_KEYWORDS[l].1.len();
+            (Just(l), 0..n)
+        })
+    ) {
+        let keyword = ACCEPT_KEYWORDS[lang_idx].1[kw_idx];
+        let page = format!(
+            r#"<div class="consent-banner"><button>Please {keyword} now</button></div>"#
+        );
+        let result = scan(&html::parse(&page));
+        prop_assert!(result.can_accept(), "keyword {keyword:?} not matched");
+    }
+
+    #[test]
+    fn every_reject_keyword_is_recognised(idx in 0..REJECT_KEYWORDS.len()) {
+        let keyword = REJECT_KEYWORDS[idx];
+        let page = format!(
+            r#"<div class="cookie-banner"><button>{keyword}</button></div>"#
+        );
+        prop_assert!(scan(&html::parse(&page)).can_reject());
+    }
+
+    #[test]
+    fn visit_record_assembly_invariants(
+        hosts in prop::collection::vec("[a-z]{2,8}", 1..12),
+        fails in prop::collection::vec(any::<bool>(), 1..12)
+    ) {
+        let website = Domain::parse("ranked-site.com").unwrap();
+        let objects: Vec<ObjectEvent> = hosts
+            .iter()
+            .zip(fails.iter().cycle())
+            .enumerate()
+            .map(|(i, (h, &fail))| ObjectEvent {
+                url: Url::parse(&format!("https://sub.{h}.com/obj{i}")).unwrap(),
+                kind: ResourceKind::Script,
+                ok: !fail,
+                timestamp: Timestamp(i as u64),
+            })
+            .collect();
+        let v = VisitRecord::assemble(
+            Phase::BeforeAccept,
+            website.clone(),
+            website.clone(),
+            &objects,
+            &[],
+            false,
+            Timestamp(0),
+            123,
+        );
+        // Count preserved, dedup at registrable-domain level, failures
+        // counted exactly.
+        prop_assert_eq!(v.object_count, objects.len());
+        prop_assert_eq!(
+            v.failed_objects,
+            objects.iter().filter(|o| !o.ok).count()
+        );
+        let mut uniq: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(v.party_domains.len(), uniq.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for d in &v.party_domains {
+            prop_assert!(seen.insert(d.clone()), "duplicate {d}");
+        }
+        // Third parties exclude the ranked site (absent from objects here).
+        prop_assert_eq!(v.third_parties().count(), uniq.len());
+    }
+}

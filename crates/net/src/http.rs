@@ -1,0 +1,407 @@
+//! HTTP request/response types for the simulated web.
+//!
+//! The fidelity target is the subset of HTTP the paper's measurement
+//! depends on: request/response exchange, redirects (`Location`), content
+//! types, and the two Topics-specific headers used by the *fetch* call
+//! type — `Sec-Browsing-Topics` on the request and
+//! `Observe-Browsing-Topics` on the response.
+
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Request method. The simulated web only needs GET (documents,
+/// subresources) and POST (ad requests carrying topics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+}
+
+/// Minimal status codes used by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StatusCode {
+    /// 200
+    Ok,
+    /// 301
+    MovedPermanently,
+    /// 302
+    Found,
+    /// 404
+    NotFound,
+    /// 500
+    InternalServerError,
+}
+
+impl StatusCode {
+    /// Numeric code.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::MovedPermanently => 301,
+            StatusCode::Found => 302,
+            StatusCode::NotFound => 404,
+            StatusCode::InternalServerError => 500,
+        }
+    }
+
+    /// True for 3xx.
+    pub fn is_redirect(self) -> bool {
+        matches!(self, StatusCode::MovedPermanently | StatusCode::Found)
+    }
+
+    /// True for 2xx.
+    pub fn is_success(self) -> bool {
+        matches!(self, StatusCode::Ok)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u16())
+    }
+}
+
+/// A small case-insensitive header map (order-preserving; last set wins on
+/// lookup of duplicates is avoided by `set` replacing in place).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Headers(Vec<(String, String)>);
+
+impl Headers {
+    /// An empty header map.
+    pub fn new() -> Headers {
+        Headers(Vec::new())
+    }
+
+    /// Set a header, replacing any existing value with the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        let value = value.into();
+        for (n, v) in &mut self.0 {
+            if n.eq_ignore_ascii_case(name) {
+                *v = value;
+                return;
+            }
+        }
+        self.0.push((name.to_owned(), value));
+    }
+
+    /// Look up a header case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if the header is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no headers are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Name of the request header carrying topics on fetch-type calls.
+pub const SEC_BROWSING_TOPICS: &str = "Sec-Browsing-Topics";
+/// Name of the response header asking the browser to record observation.
+pub const OBSERVE_BROWSING_TOPICS: &str = "Observe-Browsing-Topics";
+/// Location header for redirects.
+pub const LOCATION: &str = "Location";
+/// Content-Type header.
+pub const CONTENT_TYPE: &str = "Content-Type";
+
+/// A parsed `Sec-Browsing-Topics` header value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicsHeader {
+    /// The topic ids carried by the header.
+    pub topics: Vec<u16>,
+    /// The version token after `;v=` (e.g. `chrome.1:2`).
+    pub version: String,
+}
+
+/// Parse a `Sec-Browsing-Topics` request-header value of the form
+/// `(1 2 3);v=chrome.1:2`. An empty topic list `();v=…` is valid (the
+/// header is sent even when the user has no topics). Returns `None` for
+/// anything malformed.
+///
+/// ```
+/// use topics_net::http::parse_topics_header;
+///
+/// let h = parse_topics_header("(186 265);v=chrome.1:2").unwrap();
+/// assert_eq!(h.topics, vec![186, 265]);
+/// assert_eq!(h.version, "chrome.1:2");
+/// assert!(parse_topics_header("not a header").is_none());
+/// ```
+pub fn parse_topics_header(value: &str) -> Option<TopicsHeader> {
+    let value = value.trim();
+    let rest = value.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let (ids, tail) = rest.split_at(close);
+    let mut topics = Vec::new();
+    for token in ids.split_whitespace() {
+        topics.push(token.parse::<u16>().ok()?);
+    }
+    let version = tail
+        .strip_prefix(')')?
+        .trim_start_matches(';')
+        .strip_prefix("v=")?
+        .to_owned();
+    if version.is_empty() {
+        return None;
+    }
+    Some(TopicsHeader { topics, version })
+}
+
+/// What kind of resource an exchange is for — determines how the browser
+/// treats the response and lets the crawler label records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// A top-level or iframe HTML document.
+    Document,
+    /// An external script (`<script src=…>`).
+    Script,
+    /// A programmatic fetch / XHR issued by a script.
+    Fetch,
+    /// An image / pixel.
+    Image,
+    /// A stylesheet or other passive subresource.
+    Style,
+    /// A `/.well-known/…` probe issued by the crawler itself.
+    WellKnown,
+}
+
+/// Where the simulated client connects from. Real sites geo-target
+/// their consent UX (GDPR banners are often served only to European
+/// visitors), which is why the paper stresses it crawled "from a single
+/// location in Europe" (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Vantage {
+    /// A European client — the paper's vantage; GDPR applies.
+    #[default]
+    Europe,
+    /// A United-States client — GDPR banners may be withheld.
+    UnitedStates,
+}
+
+impl Vantage {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Vantage::Europe => "EU",
+            Vantage::UnitedStates => "US",
+        }
+    }
+}
+
+/// A request on the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// Request headers.
+    pub headers: Headers,
+    /// Kind of resource being requested.
+    pub kind: ResourceKind,
+    /// Request body (POST payloads such as topics sent to ad servers).
+    pub body: Option<String>,
+    /// Where the client connects from (servers geo-target consent UX).
+    #[serde(default)]
+    pub vantage: Vantage,
+}
+
+impl HttpRequest {
+    /// A plain GET request for a resource of the given kind.
+    pub fn get(url: Url, kind: ResourceKind) -> HttpRequest {
+        HttpRequest {
+            method: Method::Get,
+            url,
+            headers: Headers::new(),
+            kind,
+            body: None,
+            vantage: Vantage::default(),
+        }
+    }
+
+    /// A POST request with a body.
+    pub fn post(url: Url, kind: ResourceKind, body: String) -> HttpRequest {
+        HttpRequest {
+            method: Method::Post,
+            url,
+            headers: Headers::new(),
+            kind,
+            body: Some(body),
+            vantage: Vantage::default(),
+        }
+    }
+
+    /// True when this request carries the `Sec-Browsing-Topics` header —
+    /// i.e. it is a fetch-type Topics API call.
+    pub fn has_topics_header(&self) -> bool {
+        self.headers.contains(SEC_BROWSING_TOPICS)
+    }
+}
+
+/// A response from the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// Response headers.
+    pub headers: Headers,
+    /// Response body. For documents this is the page HTML; for scripts the
+    /// scriptlet source; for well-known probes the attestation JSON.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 response with a content type and body.
+    pub fn ok(content_type: &str, body: impl Into<String>) -> HttpResponse {
+        let mut headers = Headers::new();
+        headers.set(CONTENT_TYPE, content_type);
+        HttpResponse {
+            status: StatusCode::Ok,
+            headers,
+            body: body.into(),
+        }
+    }
+
+    /// A 302 redirect to `location`.
+    pub fn redirect(location: &Url) -> HttpResponse {
+        let mut headers = Headers::new();
+        headers.set(LOCATION, location.to_string());
+        HttpResponse {
+            status: StatusCode::Found,
+            headers,
+            body: String::new(),
+        }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: StatusCode::NotFound,
+            headers: Headers::new(),
+            body: String::new(),
+        }
+    }
+
+    /// The redirect target, if this is a redirect with a parsable
+    /// `Location`.
+    pub fn location(&self) -> Option<&str> {
+        if self.status.is_redirect() {
+            self.headers.get(LOCATION)
+        } else {
+            None
+        }
+    }
+
+    /// The `Content-Type` header, if present.
+    pub fn content_type(&self) -> Option<&str> {
+        self.headers.get(CONTENT_TYPE)
+    }
+
+    /// True when the response asks the browser to mark the caller as
+    /// observing topics (`Observe-Browsing-Topics: ?1`).
+    pub fn observes_topics(&self) -> bool {
+        self.headers
+            .get(OBSERVE_BROWSING_TOPICS)
+            .is_some_and(|v| v.trim() == "?1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn headers_are_case_insensitive_and_replacing() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        h.set("CONTENT-TYPE", "text/plain");
+        assert_eq!(h.get("Content-Type"), Some("text/plain"));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn topics_header_detection() {
+        let mut req = HttpRequest::get(url("https://ad.example.com/bid"), ResourceKind::Fetch);
+        assert!(!req.has_topics_header());
+        req.headers.set(SEC_BROWSING_TOPICS, "(123);v=chrome.1");
+        assert!(req.has_topics_header());
+    }
+
+    #[test]
+    fn redirect_roundtrip() {
+        let target = Url::https(Domain::parse("b.com").unwrap(), "/x");
+        let resp = HttpResponse::redirect(&target);
+        assert!(resp.status.is_redirect());
+        assert_eq!(resp.location(), Some("https://b.com/x"));
+        assert_eq!(HttpResponse::ok("text/html", "").location(), None);
+    }
+
+    #[test]
+    fn observe_header_parsing() {
+        let mut resp = HttpResponse::ok("text/html", "");
+        assert!(!resp.observes_topics());
+        resp.headers.set(OBSERVE_BROWSING_TOPICS, "?1");
+        assert!(resp.observes_topics());
+        resp.headers.set(OBSERVE_BROWSING_TOPICS, "?0");
+        assert!(!resp.observes_topics());
+    }
+
+    #[test]
+    fn topics_header_parsing() {
+        let h = parse_topics_header("(123 45 7);v=chrome.1:2").unwrap();
+        assert_eq!(h.topics, vec![123, 45, 7]);
+        assert_eq!(h.version, "chrome.1:2");
+        // Empty topic list is a valid header.
+        let empty = parse_topics_header("();v=chrome.1:2").unwrap();
+        assert!(empty.topics.is_empty());
+        // Malformed variants.
+        for bad in [
+            "",
+            "123;v=chrome.1",
+            "(123;v=chrome.1",
+            "(abc);v=chrome.1",
+            "(1 2)",
+            "(1 2);v=",
+            "(70000);v=chrome.1", // out of u16 range
+        ] {
+            assert!(parse_topics_header(bad).is_none(), "{bad:?}");
+        }
+        // Whitespace tolerance.
+        assert!(parse_topics_header("  (5);v=chrome.1:2  ").is_some());
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(StatusCode::Ok.as_u16(), 200);
+        assert!(StatusCode::Ok.is_success());
+        assert!(!StatusCode::NotFound.is_success());
+        assert!(StatusCode::MovedPermanently.is_redirect());
+        assert_eq!(StatusCode::InternalServerError.to_string(), "500");
+    }
+}

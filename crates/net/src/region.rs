@@ -1,0 +1,126 @@
+//! Geographic classification of websites by top-level domain.
+//!
+//! Figure 6 of the paper breaks questionable Topics API calls down by the
+//! visited website's TLD as a coarse country indicator: `.com`, Japan
+//! (`.jp`), Russia (`.ru`), the European Union (30 TLDs where the GDPR is
+//! in force), and everything else.
+
+use crate::domain::Domain;
+use crate::psl::public_suffix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The TLDs the paper counts as European Union (GDPR in force). The paper
+/// says "30 TLDs for EU countries": the 27 member states plus the EEA
+/// members (Iceland, Liechtenstein, Norway) where the GDPR also applies,
+/// plus the `.eu` TLD itself.
+pub const EU_TLDS: &[&str] = &[
+    "at", "be", "bg", "hr", "cy", "cz", "dk", "ee", "fi", "fr", "de", "gr", "hu", "ie", "it",
+    "lv", "lt", "lu", "mt", "nl", "pl", "pt", "ro", "sk", "si", "es", "se", // 27 member states
+    "is", "li", "no", // EEA
+    "eu",
+];
+
+/// The paper's Figure 6 region buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Generic `.com` websites.
+    Com,
+    /// Japanese websites (`.jp` and `*.jp` suffixes).
+    Japan,
+    /// Russian websites (`.ru` and `*.ru` suffixes).
+    Russia,
+    /// EU/EEA country-code TLDs plus `.eu`.
+    EuropeanUnion,
+    /// Every other TLD (`.net`, `.org`, `.io`, non-EU ccTLDs, …).
+    Other,
+}
+
+impl Region {
+    /// All buckets in the order Figure 6 presents them.
+    pub const ALL: [Region; 5] = [
+        Region::Com,
+        Region::Japan,
+        Region::Russia,
+        Region::EuropeanUnion,
+        Region::Other,
+    ];
+
+    /// Classify a website domain into its Figure 6 bucket.
+    pub fn of(domain: &Domain) -> Region {
+        let suffix = public_suffix(domain);
+        let cc = suffix.rsplit('.').next().unwrap_or(suffix);
+        match cc {
+            "com" => Region::Com,
+            "jp" => Region::Japan,
+            "ru" => Region::Russia,
+            _ if EU_TLDS.contains(&cc) => Region::EuropeanUnion,
+            _ => Region::Other,
+        }
+    }
+
+    /// The label used in the paper's Figure 6 x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Com => ".com",
+            Region::Japan => ".jp",
+            Region::Russia => ".ru",
+            Region::EuropeanUnion => "EU",
+            Region::Other => "Other",
+        }
+    }
+
+    /// True when the GDPR applies to websites in this bucket by TLD. Note
+    /// the paper's footnote: the GDPR actually protects Europeans on *any*
+    /// site; this flag only captures the coarse TLD heuristic.
+    pub fn gdpr_by_tld(self) -> bool {
+        self == Region::EuropeanUnion
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(Region::of(&d("example.com")), Region::Com);
+        assert_eq!(Region::of(&d("example.co.jp")), Region::Japan);
+        assert_eq!(Region::of(&d("example.jp")), Region::Japan);
+        assert_eq!(Region::of(&d("example.ru")), Region::Russia);
+        assert_eq!(Region::of(&d("example.fr")), Region::EuropeanUnion);
+        assert_eq!(Region::of(&d("example.de")), Region::EuropeanUnion);
+        assert_eq!(Region::of(&d("example.eu")), Region::EuropeanUnion);
+        assert_eq!(Region::of(&d("example.org")), Region::Other);
+        assert_eq!(Region::of(&d("example.co.uk")), Region::Other); // post-Brexit
+        assert_eq!(Region::of(&d("example.io")), Region::Other);
+    }
+
+    #[test]
+    fn subdomains_do_not_change_region() {
+        assert_eq!(Region::of(&d("a.b.example.ru")), Region::Russia);
+        assert_eq!(Region::of(&d("shop.example.com.br")), Region::Other);
+    }
+
+    #[test]
+    fn eu_list_has_30_cctlds_plus_eu() {
+        assert_eq!(EU_TLDS.len(), 31);
+        assert!(EU_TLDS.contains(&"eu"));
+    }
+
+    #[test]
+    fn gdpr_flag() {
+        assert!(Region::EuropeanUnion.gdpr_by_tld());
+        assert!(!Region::Com.gdpr_by_tld());
+    }
+}

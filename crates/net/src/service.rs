@@ -1,0 +1,206 @@
+//! The boundary between clients (browser, crawler) and the simulated web.
+//!
+//! `topics-webgen`'s `World` implements [`NetworkService`]; the browser's
+//! page loader and the crawler's well-known prober only ever talk to this
+//! trait, so tests can substitute tiny hand-built services.
+
+use crate::clock::Timestamp;
+use crate::dns::DnsError;
+use crate::domain::Domain;
+use crate::error::NetError;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::url::Url;
+
+/// A simulated web: name resolution plus request handling.
+pub trait NetworkService {
+    /// Resolve a ranked (first-party) site. Failure aborts the visit.
+    fn resolve_ranked(&self, domain: &Domain) -> Result<(), DnsError>;
+
+    /// Resolve a third-party host.
+    fn resolve_third_party(&self, domain: &Domain) -> Result<(), DnsError>;
+
+    /// Handle one HTTP exchange at simulated time `now`.
+    fn fetch(&self, request: &HttpRequest, now: Timestamp) -> Result<HttpResponse, NetError>;
+}
+
+/// Maximum redirect hops before giving up, matching browser defaults.
+pub const MAX_REDIRECTS: usize = 10;
+
+/// The outcome of following a redirect chain.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// The final URL after redirects.
+    pub final_url: Url,
+    /// Every URL visited, in order, including the final one.
+    pub chain: Vec<Url>,
+    /// The final (non-redirect) response.
+    pub response: HttpResponse,
+}
+
+impl FetchOutcome {
+    /// Number of redirect hops taken.
+    pub fn hops(&self) -> usize {
+        self.chain.len() - 1
+    }
+}
+
+/// Issue `request` and follow redirects (up to [`MAX_REDIRECTS`]),
+/// resolving each new host as a third party.
+///
+/// This is the single fetch path used by the browser for subresources and
+/// by the crawler for top-level documents (which resolve the first hop as
+/// ranked before calling this).
+pub fn fetch_following_redirects<S: NetworkService + ?Sized>(
+    service: &S,
+    mut request: HttpRequest,
+    now: Timestamp,
+) -> Result<FetchOutcome, NetError> {
+    let mut chain = vec![request.url.clone()];
+    loop {
+        let response = service.fetch(&request, now)?;
+        if !response.status.is_redirect() {
+            return Ok(FetchOutcome {
+                final_url: request.url,
+                chain,
+                response,
+            });
+        }
+        let location = response.location().ok_or_else(|| NetError::BadRedirect {
+            url: request.url.to_string(),
+        })?;
+        let next = request.url.join(location)?;
+        if chain.len() > MAX_REDIRECTS {
+            return Err(NetError::TooManyRedirects {
+                url: next.to_string(),
+                hops: chain.len(),
+            });
+        }
+        if next.host() != request.url.host() {
+            service.resolve_third_party(next.host())?;
+        }
+        chain.push(next.clone());
+        request.url = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Method, ResourceKind, StatusCode};
+
+    /// A toy service: `/hop{n}` redirects to `/hop{n+1}` until `limit`,
+    /// then serves a body.
+    struct HopService {
+        limit: usize,
+    }
+
+    impl NetworkService for HopService {
+        fn resolve_ranked(&self, _d: &Domain) -> Result<(), DnsError> {
+            Ok(())
+        }
+        fn resolve_third_party(&self, d: &Domain) -> Result<(), DnsError> {
+            if d.as_str() == "dead.example" {
+                Err(DnsError::NameError {
+                    domain: d.as_str().to_owned(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        fn fetch(&self, req: &HttpRequest, _now: Timestamp) -> Result<HttpResponse, NetError> {
+            let n: usize = req
+                .url
+                .path()
+                .strip_prefix("/hop")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            if n >= self.limit {
+                Ok(HttpResponse::ok("text/plain", format!("arrived at {n}")))
+            } else {
+                let next = req.url.with_path(&format!("/hop{}", n + 1));
+                Ok(HttpResponse::redirect(&next))
+            }
+        }
+    }
+
+    fn req(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: Method::Get,
+            url: Url::parse(&format!("https://a.com{path}")).unwrap(),
+            headers: Default::default(),
+            kind: ResourceKind::Document,
+            body: None,
+            vantage: Default::default(),
+        }
+    }
+
+    #[test]
+    fn follows_short_chain() {
+        let svc = HopService { limit: 3 };
+        let out = fetch_following_redirects(&svc, req("/hop0"), Timestamp::ORIGIN).unwrap();
+        assert_eq!(out.hops(), 3);
+        assert_eq!(out.final_url.path(), "/hop3");
+        assert_eq!(out.response.status, StatusCode::Ok);
+        assert_eq!(out.response.body, "arrived at 3");
+    }
+
+    #[test]
+    fn aborts_long_chain() {
+        let svc = HopService { limit: 100 };
+        let err = fetch_following_redirects(&svc, req("/hop0"), Timestamp::ORIGIN).unwrap_err();
+        assert!(matches!(err, NetError::TooManyRedirects { .. }));
+    }
+
+    #[test]
+    fn cross_host_redirect_resolves_target() {
+        struct CrossService;
+        impl NetworkService for CrossService {
+            fn resolve_ranked(&self, _d: &Domain) -> Result<(), DnsError> {
+                Ok(())
+            }
+            fn resolve_third_party(&self, d: &Domain) -> Result<(), DnsError> {
+                if d.as_str() == "dead.example" {
+                    Err(DnsError::Timeout {
+                        domain: d.as_str().into(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            fn fetch(&self, req: &HttpRequest, _n: Timestamp) -> Result<HttpResponse, NetError> {
+                if req.url.host().as_str() == "a.com" {
+                    Ok(HttpResponse::redirect(
+                        &Url::parse("https://dead.example/x").unwrap(),
+                    ))
+                } else {
+                    Ok(HttpResponse::ok("text/plain", "hi"))
+                }
+            }
+        }
+        let err =
+            fetch_following_redirects(&CrossService, req("/"), Timestamp::ORIGIN).unwrap_err();
+        assert!(matches!(err, NetError::Dns(DnsError::Timeout { .. })));
+    }
+
+    #[test]
+    fn redirect_without_location_is_an_error() {
+        struct Broken;
+        impl NetworkService for Broken {
+            fn resolve_ranked(&self, _d: &Domain) -> Result<(), DnsError> {
+                Ok(())
+            }
+            fn resolve_third_party(&self, _d: &Domain) -> Result<(), DnsError> {
+                Ok(())
+            }
+            fn fetch(&self, _r: &HttpRequest, _n: Timestamp) -> Result<HttpResponse, NetError> {
+                Ok(HttpResponse {
+                    status: StatusCode::Found,
+                    headers: Default::default(),
+                    body: String::new(),
+                })
+            }
+        }
+        let err = fetch_following_redirects(&Broken, req("/"), Timestamp::ORIGIN).unwrap_err();
+        assert!(matches!(err, NetError::BadRedirect { .. }));
+    }
+}

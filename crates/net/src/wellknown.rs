@@ -1,0 +1,207 @@
+//! The Privacy Sandbox attestation file.
+//!
+//! Enrolled callers must serve a JSON attestation at
+//! `/.well-known/privacy-sandbox-attestations.json` declaring they will not
+//! use the Topics API for re-identification. The paper labels a party
+//! **Attested** when this file is present and valid, extracts issue dates
+//! to chart the enrolment timeline (§3), and notes the October 2024 schema
+//! update that added the `enrollment_site` field.
+
+use crate::clock::Timestamp;
+use crate::domain::Domain;
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Well-known path for attestation files.
+pub const ATTESTATION_PATH: &str = "/.well-known/privacy-sandbox-attestations.json";
+
+/// Build the attestation probe URL for a party's domain.
+pub fn attestation_url(domain: &Domain) -> Url {
+    Url::https(domain.clone(), ATTESTATION_PATH)
+}
+
+/// The APIs a party can attest for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(non_camel_case_types)]
+pub enum AttestedApi {
+    /// The Topics API.
+    topics_api,
+    /// The Protected Audience API (present in real files; irrelevant to
+    /// the paper but kept for schema fidelity).
+    protected_audience_api,
+    /// Attribution reporting (idem).
+    attribution_reporting_api,
+}
+
+/// One platform entry inside the attestation file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformAttestation {
+    /// Platform name; `chrome` on the files the paper inspects.
+    pub platform: String,
+    /// The APIs attested, each mapped to the declaration that usage
+    /// complies (`ServiceNotUsedForIdentifyingUserAcrossSites`).
+    pub attestations: Vec<ApiAttestation>,
+}
+
+/// Declaration for one API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiAttestation {
+    /// Which API.
+    pub api: AttestedApi,
+    /// The literal compliance declaration from the real schema.
+    #[serde(rename = "ServiceNotUsedForIdentifyingUserAcrossSites")]
+    pub not_used_for_reidentification: bool,
+}
+
+/// A parsed `/.well-known/privacy-sandbox-attestations.json`.
+///
+/// `enrollment_site` was added by the October 17th, 2024 schema update the
+/// paper mentions; files issued before that date omit it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestationFile {
+    /// Schema version.
+    pub attestation_version: u32,
+    /// The enrolled site (added October 2024; optional before).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub enrollment_site: Option<String>,
+    /// Issue timestamp (simulated time; the paper extracts issue dates to
+    /// chart the enrolment timeline).
+    pub issued: Timestamp,
+    /// Per-platform declarations.
+    pub platform_attestations: Vec<PlatformAttestation>,
+}
+
+/// Why an attestation file failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationError {
+    /// The body was not valid JSON for the schema.
+    Malformed,
+    /// No platform entry attests the Topics API.
+    NoTopicsAttestation,
+    /// The compliance declaration is missing/false.
+    DeclarationFalse,
+}
+
+impl fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttestationError::Malformed => "malformed attestation JSON",
+            AttestationError::NoTopicsAttestation => "no topics_api attestation present",
+            AttestationError::DeclarationFalse => "compliance declaration absent or false",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+impl AttestationFile {
+    /// Build a valid Topics attestation issued at `issued` for `site`.
+    /// Files issued on/after the October 2024 schema update carry
+    /// `enrollment_site`; the flag lets world generators model both eras.
+    pub fn for_topics(site: &Domain, issued: Timestamp, with_enrollment_site: bool) -> Self {
+        AttestationFile {
+            attestation_version: if with_enrollment_site { 2 } else { 1 },
+            enrollment_site: with_enrollment_site
+                .then(|| format!("https://{site}")),
+            issued,
+            platform_attestations: vec![PlatformAttestation {
+                platform: "chrome".to_owned(),
+                attestations: vec![ApiAttestation {
+                    api: AttestedApi::topics_api,
+                    not_used_for_reidentification: true,
+                }],
+            }],
+        }
+    }
+
+    /// Serialise to the JSON served at the well-known path.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("attestation serialises")
+    }
+
+    /// Parse and validate a served body: must be schema-valid, contain a
+    /// `topics_api` entry, and declare compliance.
+    pub fn parse_and_validate(body: &str) -> Result<AttestationFile, AttestationError> {
+        let file: AttestationFile =
+            serde_json::from_str(body).map_err(|_| AttestationError::Malformed)?;
+        let topics = file
+            .platform_attestations
+            .iter()
+            .flat_map(|p| p.attestations.iter())
+            .find(|a| a.api == AttestedApi::topics_api)
+            .ok_or(AttestationError::NoTopicsAttestation)?;
+        if !topics.not_used_for_reidentification {
+            return Err(AttestationError::DeclarationFalse);
+        }
+        Ok(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    #[test]
+    fn url_is_the_well_known_path() {
+        let u = attestation_url(&d("criteo.com"));
+        assert_eq!(
+            u.to_string(),
+            "https://criteo.com/.well-known/privacy-sandbox-attestations.json"
+        );
+    }
+
+    #[test]
+    fn round_trip_valid_file() {
+        let f = AttestationFile::for_topics(&d("adtech.com"), Timestamp::from_days(10), true);
+        let json = f.to_json();
+        let back = AttestationFile::parse_and_validate(&json).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.enrollment_site.as_deref(), Some("https://adtech.com"));
+    }
+
+    #[test]
+    fn pre_update_files_lack_enrollment_site() {
+        let f = AttestationFile::for_topics(&d("old.com"), Timestamp::ORIGIN, false);
+        let json = f.to_json();
+        assert!(!json.contains("enrollment_site"));
+        assert!(AttestationFile::parse_and_validate(&json).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(
+            AttestationFile::parse_and_validate("not json"),
+            Err(AttestationError::Malformed)
+        );
+        assert_eq!(
+            AttestationFile::parse_and_validate("{}"),
+            Err(AttestationError::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_non_topics_attestation() {
+        let mut f = AttestationFile::for_topics(&d("x.com"), Timestamp::ORIGIN, true);
+        f.platform_attestations[0].attestations[0].api = AttestedApi::protected_audience_api;
+        assert_eq!(
+            AttestationFile::parse_and_validate(&f.to_json()),
+            Err(AttestationError::NoTopicsAttestation)
+        );
+    }
+
+    #[test]
+    fn rejects_false_declaration() {
+        let mut f = AttestationFile::for_topics(&d("x.com"), Timestamp::ORIGIN, true);
+        f.platform_attestations[0].attestations[0].not_used_for_reidentification = false;
+        assert_eq!(
+            AttestationFile::parse_and_validate(&f.to_json()),
+            Err(AttestationError::DeclarationFalse)
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::psl::{registrable_domain, same_second_level_label, same_site};
+use topics_net::region::Region;
+use topics_net::seed;
+use topics_net::url::Url;
+
+/// Strategy for syntactically valid hostnames (2–4 labels).
+fn valid_domain() -> impl Strategy<Value = String> {
+    let label = "[a-z][a-z0-9]{0,10}";
+    prop::collection::vec(label.prop_map(|s: String| s), 2..=4)
+        .prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #[test]
+    fn domain_parse_never_panics(input in ".*") {
+        let _ = Domain::parse(&input);
+    }
+
+    #[test]
+    fn valid_domains_roundtrip(host in valid_domain()) {
+        let d = Domain::parse(&host).expect("generated hosts are valid");
+        prop_assert_eq!(d.to_string(), host.clone());
+        let re = Domain::parse(d.as_ref()).unwrap();
+        prop_assert_eq!(re, d);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive(host in valid_domain()) {
+        let upper = host.to_ascii_uppercase();
+        prop_assert_eq!(
+            Domain::parse(&host).unwrap(),
+            Domain::parse(&upper).unwrap()
+        );
+    }
+
+    #[test]
+    fn registrable_domain_is_idempotent(host in valid_domain()) {
+        let d = Domain::parse(&host).unwrap();
+        let reg = registrable_domain(&d);
+        prop_assert_eq!(registrable_domain(&reg), reg.clone());
+        // The host is always a subdomain of (or equal to) its
+        // registrable domain.
+        prop_assert!(d.is_subdomain_of(&reg) || d == reg);
+    }
+
+    #[test]
+    fn same_site_is_reflexive_and_symmetric(a in valid_domain(), b in valid_domain()) {
+        let da = Domain::parse(&a).unwrap();
+        let db = Domain::parse(&b).unwrap();
+        prop_assert!(same_site(&da, &da));
+        prop_assert_eq!(same_site(&da, &db), same_site(&db, &da));
+        prop_assert_eq!(
+            same_second_level_label(&da, &db),
+            same_second_level_label(&db, &da)
+        );
+    }
+
+    #[test]
+    fn region_is_total_and_stable(host in valid_domain()) {
+        let d = Domain::parse(&host).unwrap();
+        let r = Region::of(&d);
+        prop_assert_eq!(r, Region::of(&d));
+        prop_assert!(Region::ALL.contains(&r));
+    }
+
+    #[test]
+    fn url_parse_never_panics(input in ".*") {
+        let _ = Url::parse(&input);
+    }
+
+    #[test]
+    fn url_roundtrips_via_display(
+        host in valid_domain(),
+        path in "(/[a-z0-9]{1,8}){0,3}",
+        query in prop::option::of("[a-z0-9=&]{1,12}")
+    ) {
+        let mut s = format!("https://{host}{}", if path.is_empty() { "/" } else { &path });
+        if let Some(q) = &query {
+            s.push('?');
+            s.push_str(q);
+        }
+        let u = Url::parse(&s).expect("constructed URLs are valid");
+        let re = Url::parse(&u.to_string()).unwrap();
+        prop_assert_eq!(re, u);
+    }
+
+    #[test]
+    fn url_join_of_rooted_paths_keeps_host(
+        host in valid_domain(),
+        path in "/[a-z0-9]{1,10}"
+    ) {
+        let base = Url::parse(&format!("https://{host}/")).unwrap();
+        let joined = base.join(&path).unwrap();
+        prop_assert_eq!(joined.host(), base.host());
+        prop_assert_eq!(joined.path(), path.as_str());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_label_sensitive(
+        parent in any::<u64>(),
+        label_a in "[a-z]{1,12}",
+        label_b in "[a-z]{1,12}"
+    ) {
+        prop_assert_eq!(seed::derive(parent, &label_a), seed::derive(parent, &label_a));
+        if label_a != label_b {
+            prop_assert_ne!(seed::derive(parent, &label_a), seed::derive(parent, &label_b));
+        }
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range(s in any::<u64>()) {
+        let x = seed::unit_f64(s);
+        prop_assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn timestamps_produce_valid_civil_dates(ms in 0u64..(400 * 7 * 86_400_000)) {
+        let (y, m, d) = Timestamp(ms).to_date();
+        prop_assert!((2023..=2031).contains(&y));
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        // Formatting is total.
+        let text = Timestamp(ms).to_string();
+        prop_assert!(text.ends_with('Z'));
+    }
+
+    #[test]
+    fn epoch_is_monotone(a in any::<u32>(), b in any::<u32>()) {
+        let (a, b) = (u64::from(a), u64::from(b));
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(Timestamp(lo).epoch() <= Timestamp(hi).epoch());
+    }
+}

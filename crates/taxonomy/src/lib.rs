@@ -1,0 +1,32 @@
+//! # topics-taxonomy — the Topics API taxonomy and page classifier
+//!
+//! The Topics API maps every visited website onto a small, human-curated
+//! taxonomy of advertising interests ("topics"). Chrome ships taxonomy v2
+//! with 469 topics arranged in a tree (e.g. `/Sports/Soccer` under
+//! `/Sports`), plus a model that classifies a hostname into up to a few
+//! topics; an override list pins well-known domains to curated topics.
+//!
+//! This crate reproduces that machinery:
+//!
+//! * [`tree`] — the taxonomy itself: 469 topics, 25 root categories, with
+//!   parent/child navigation and path rendering. Root and prominent
+//!   second-level names mirror the real taxonomy; the long tail is
+//!   synthesised deterministically so the tree has the real shape.
+//! * [`classify`] — the "predefined language model" of the paper's §2.1:
+//!   a deterministic domain→topics classifier with an override table,
+//!   a hash-based fallback, and an *unclassifiable* outcome for domains
+//!   the model cannot label.
+//!
+//! Everything is pure and deterministic: the same domain always yields the
+//! same topics, which the browser-side epoch pipeline depends on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod tree;
+
+pub use classify::{Classification, Classifier};
+pub use tree::{
+    Taxonomy, TaxonomyVersion, Topic, TopicId, TAXONOMY_SIZE, TAXONOMY_V1_SIZE, TAXONOMY_VERSION,
+};

@@ -1,0 +1,441 @@
+//! The Topics taxonomy tree.
+//!
+//! Taxonomy v2 (the one active during the paper's crawl) has 469 topics
+//! under 25 root categories. Topic IDs are small integers assigned in a
+//! stable depth-first order, matching how Chrome exposes them to callers
+//! (`browsingTopics()` returns numeric topic IDs plus a taxonomy version).
+//!
+//! The 25 roots and a curated set of prominent children carry their real
+//! names; the remaining nodes are synthesised deterministically per root so
+//! the tree reaches exactly [`TAXONOMY_SIZE`] nodes with a realistic
+//! breadth/depth profile. Downstream code only depends on the tree's
+//! *structure* (IDs, parentage, size), never on the display names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Number of topics in taxonomy v2 (the default).
+pub const TAXONOMY_SIZE: usize = 469;
+
+/// Number of topics in taxonomy v1 (Chrome's original taxonomy, used
+/// until the v2 migration that was rolling out around the paper's
+/// crawl).
+pub const TAXONOMY_V1_SIZE: usize = 349;
+
+/// Version string reported alongside topics, as Chrome formats it.
+pub const TAXONOMY_VERSION: &str = "2";
+
+/// Which shipped taxonomy a tree models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaxonomyVersion {
+    /// The original 349-topic taxonomy.
+    V1,
+    /// The 469-topic taxonomy active during the paper's crawl.
+    #[default]
+    V2,
+}
+
+impl TaxonomyVersion {
+    /// Number of topics in this version.
+    pub fn size(self) -> usize {
+        match self {
+            TaxonomyVersion::V1 => TAXONOMY_V1_SIZE,
+            TaxonomyVersion::V2 => TAXONOMY_SIZE,
+        }
+    }
+
+    /// The version string Chrome reports alongside answers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaxonomyVersion::V1 => "1",
+            TaxonomyVersion::V2 => "2",
+        }
+    }
+}
+
+/// A topic identifier: `1..=TAXONOMY_SIZE`, stable across runs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TopicId(pub u16);
+
+impl TopicId {
+    /// The numeric id.
+    pub fn get(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One node of the taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topic {
+    /// Stable id (`1..=TAXONOMY_SIZE`).
+    pub id: TopicId,
+    /// Display name of this node (last path segment).
+    pub name: String,
+    /// Parent topic, `None` for the 25 roots.
+    pub parent: Option<TopicId>,
+}
+
+/// The real 25 root categories of the Topics taxonomy.
+const ROOTS: [&str; 25] = [
+    "Arts & Entertainment",
+    "Autos & Vehicles",
+    "Beauty & Fitness",
+    "Books & Literature",
+    "Business & Industrial",
+    "Computers & Electronics",
+    "Finance",
+    "Food & Drink",
+    "Games",
+    "Hobbies & Leisure",
+    "Home & Garden",
+    "Internet & Telecom",
+    "Jobs & Education",
+    "Law & Government",
+    "News",
+    "Online Communities",
+    "People & Society",
+    "Pets & Animals",
+    "Real Estate",
+    "Reference",
+    "Science",
+    "Shopping",
+    "Sports",
+    "Travel & Transportation",
+    "Adult", // placeholder root for sensitive content, never returned
+];
+
+/// Curated real children for prominent roots (root index, child names).
+/// These give the tree recognisable labels where the paper's figures would
+/// show them; the long tail is synthesised.
+const CURATED_CHILDREN: &[(usize, &[&str])] = &[
+    (0, &["Movies", "Music & Audio", "TV Shows & Programs", "Comics", "Humor", "Live Events"]),
+    (1, &["Motor Vehicles (By Type)", "Vehicle Repair & Maintenance", "Motorcycles"]),
+    (2, &["Fitness", "Hair Care", "Skin Care"]),
+    (4, &["Advertising & Marketing", "Aerospace & Defense", "Agriculture & Forestry"]),
+    (5, &["Consumer Electronics", "Software", "Programming", "Network Security"]),
+    (6, &["Banking", "Credit Cards", "Insurance", "Investing", "Loans"]),
+    (7, &["Cooking & Recipes", "Restaurants", "Beverages"]),
+    (8, &["Computer & Video Games", "Board Games", "Card Games", "Gambling"]),
+    (12, &["Education", "Jobs"]),
+    (14, &["Business News", "Politics", "Sports News", "Weather"]),
+    (21, &["Apparel", "Consumer Resources", "Luxury Goods"]),
+    (22, &["Soccer", "Basketball", "Baseball", "Tennis", "Motor Sports", "Winter Sports"]),
+    (23, &["Air Travel", "Hotels & Accommodations", "Car Rentals"]),
+];
+
+/// The full taxonomy, built once per process and per version.
+#[derive(Debug)]
+pub struct Taxonomy {
+    version: TaxonomyVersion,
+    topics: Vec<Topic>,
+    roots: Vec<TopicId>,
+}
+
+impl Taxonomy {
+    /// Access the process-wide taxonomy instance (v2, the version active
+    /// during the paper's crawl).
+    ///
+    /// ```
+    /// use topics_taxonomy::Taxonomy;
+    ///
+    /// let t = Taxonomy::global();
+    /// assert_eq!(t.len(), topics_taxonomy::TAXONOMY_SIZE);
+    /// assert_eq!(t.roots().len(), 25);
+    /// ```
+    pub fn global() -> &'static Taxonomy {
+        Taxonomy::of(TaxonomyVersion::V2)
+    }
+
+    /// Access a specific shipped taxonomy version.
+    pub fn of(version: TaxonomyVersion) -> &'static Taxonomy {
+        static V1: OnceLock<Taxonomy> = OnceLock::new();
+        static V2: OnceLock<Taxonomy> = OnceLock::new();
+        match version {
+            TaxonomyVersion::V1 => V1.get_or_init(|| Taxonomy::build(TaxonomyVersion::V1)),
+            TaxonomyVersion::V2 => V2.get_or_init(|| Taxonomy::build(TaxonomyVersion::V2)),
+        }
+    }
+
+    /// Which shipped version this tree models.
+    pub fn version(&self) -> TaxonomyVersion {
+        self.version
+    }
+
+    /// Build the taxonomy: 25 roots, curated children, then synthesised
+    /// nodes distributed round-robin across roots (with a third level
+    /// under the earliest children) until the version's size is reached.
+    /// Versions are prefix-compatible by construction: every v1 topic id
+    /// means the same thing in v2, as in Chrome's actual migration.
+    fn build(version: TaxonomyVersion) -> Taxonomy {
+        let size = version.size();
+        let mut topics: Vec<Topic> = Vec::with_capacity(size);
+        let mut roots = Vec::with_capacity(ROOTS.len());
+
+        let push = |name: String, parent: Option<TopicId>, topics: &mut Vec<Topic>| {
+            let id = TopicId((topics.len() + 1) as u16);
+            topics.push(Topic { id, name, parent });
+            id
+        };
+
+        for name in ROOTS {
+            let id = push(name.to_owned(), None, &mut topics);
+            roots.push(id);
+        }
+
+        // Curated, real-named children.
+        for &(root_idx, children) in CURATED_CHILDREN {
+            let parent = roots[root_idx];
+            for &c in children {
+                push(c.to_owned(), Some(parent), &mut topics);
+            }
+        }
+
+        // Synthesised second-level nodes, round-robin over roots (skipping
+        // the sensitive root), until 80% of the remaining budget is used.
+        let second_level_budget = {
+            let used = topics.len();
+            ((size - used) * 4) / 5
+        };
+        let mut counters = vec![0usize; ROOTS.len()];
+        let mut second_level: Vec<TopicId> = Vec::new();
+        for i in 0..second_level_budget {
+            let root_idx = i % (ROOTS.len() - 1); // skip "Adult"
+            counters[root_idx] += 1;
+            let name = format!("{} Subtopic {}", ROOTS[root_idx], counters[root_idx]);
+            let id = push(name, Some(roots[root_idx]), &mut topics);
+            second_level.push(id);
+        }
+
+        // Third-level nodes under the earliest second-level nodes.
+        let mut i = 0usize;
+        while topics.len() < size {
+            let parent = second_level[i % second_level.len()];
+            // Names must not contain '/', which is reserved for path
+            // rendering.
+            let name = format!("{} Detail {}", topics[(parent.0 - 1) as usize].name, i + 1);
+            push(name, Some(parent), &mut topics);
+            i += 1;
+        }
+
+        debug_assert_eq!(topics.len(), size);
+        Taxonomy {
+            version,
+            topics,
+            roots,
+        }
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Never true: a taxonomy always has its version's topic count.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Look a topic up by id. Returns `None` for out-of-range ids (e.g. a
+    /// corrupted record).
+    pub fn get(&self, id: TopicId) -> Option<&Topic> {
+        if id.0 == 0 {
+            return None;
+        }
+        self.topics.get((id.0 - 1) as usize)
+    }
+
+    /// The 25 root topics.
+    pub fn roots(&self) -> &[TopicId] {
+        &self.roots
+    }
+
+    /// All topics in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Topic> {
+        self.topics.iter()
+    }
+
+    /// The root ancestor of a topic.
+    pub fn root_of(&self, id: TopicId) -> TopicId {
+        let mut cur = id;
+        while let Some(t) = self.get(cur) {
+            match t.parent {
+                Some(p) => cur = p,
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Ancestors from the topic's parent up to (and including) the root.
+    pub fn ancestors(&self, id: TopicId) -> Vec<TopicId> {
+        let mut out = Vec::new();
+        let mut cur = self.get(id).and_then(|t| t.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.get(p).and_then(|t| t.parent);
+        }
+        out
+    }
+
+    /// True when `desc` is `anc` or lies beneath it.
+    pub fn is_descendant_or_self(&self, desc: TopicId, anc: TopicId) -> bool {
+        desc == anc || self.ancestors(desc).contains(&anc)
+    }
+
+    /// Render the full `/Root/…/Leaf` path of a topic.
+    pub fn path(&self, id: TopicId) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            match self.get(c) {
+                Some(t) => {
+                    parts.push(&t.name);
+                    cur = t.parent;
+                }
+                None => break,
+            }
+        }
+        parts.reverse();
+        let mut out = String::new();
+        for p in parts {
+            out.push('/');
+            out.push_str(p);
+        }
+        out
+    }
+
+    /// The id of the sensitive "Adult" root, which the Topics engine must
+    /// never return to callers.
+    pub fn sensitive_root(&self) -> TopicId {
+        self.roots[ROOTS.len() - 1]
+    }
+
+    /// Ids eligible to be returned to callers (everything outside the
+    /// sensitive subtree).
+    pub fn returnable(&self) -> impl Iterator<Item = TopicId> + '_ {
+        let sensitive = self.sensitive_root();
+        self.topics
+            .iter()
+            .map(|t| t.id)
+            .filter(move |&id| !self.is_descendant_or_self(id, sensitive))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exactly_469_topics_and_25_roots() {
+        let t = Taxonomy::global();
+        assert_eq!(t.len(), TAXONOMY_SIZE);
+        assert_eq!(t.roots().len(), 25);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let t = Taxonomy::global();
+        for (i, topic) in t.iter().enumerate() {
+            assert_eq!(topic.id.0 as usize, i + 1);
+        }
+        assert_eq!(t.get(TopicId(1)).unwrap().name, "Arts & Entertainment");
+        assert!(t.get(TopicId(0)).is_none());
+        assert!(t.get(TopicId(TAXONOMY_SIZE as u16 + 1)).is_none());
+    }
+
+    #[test]
+    fn every_non_root_has_valid_parent() {
+        let t = Taxonomy::global();
+        for topic in t.iter() {
+            if let Some(p) = topic.parent {
+                assert!(t.get(p).is_some(), "dangling parent for {:?}", topic.id);
+                assert!(p < topic.id, "parents precede children in id order");
+            }
+        }
+    }
+
+    #[test]
+    fn root_of_terminates_at_roots() {
+        let t = Taxonomy::global();
+        for topic in t.iter() {
+            let root = t.root_of(topic.id);
+            assert!(t.get(root).unwrap().parent.is_none());
+            assert!(t.roots().contains(&root));
+        }
+    }
+
+    #[test]
+    fn paths_render_with_slash_hierarchy() {
+        let t = Taxonomy::global();
+        // Topic 26 is the first curated child: /Arts & Entertainment/Movies
+        let movies = t
+            .iter()
+            .find(|x| x.name == "Movies")
+            .expect("curated child exists");
+        assert_eq!(t.path(movies.id), "/Arts & Entertainment/Movies");
+        assert_eq!(t.path(TopicId(1)), "/Arts & Entertainment");
+    }
+
+    #[test]
+    fn descendant_relation() {
+        let t = Taxonomy::global();
+        let soccer = t.iter().find(|x| x.name == "Soccer").unwrap();
+        let sports = t.root_of(soccer.id);
+        assert_eq!(t.get(sports).unwrap().name, "Sports");
+        assert!(t.is_descendant_or_self(soccer.id, sports));
+        assert!(t.is_descendant_or_self(sports, sports));
+        assert!(!t.is_descendant_or_self(sports, soccer.id));
+    }
+
+    #[test]
+    fn sensitive_root_excluded_from_returnable() {
+        let t = Taxonomy::global();
+        let sensitive = t.sensitive_root();
+        assert_eq!(t.get(sensitive).unwrap().name, "Adult");
+        let returnable: Vec<_> = t.returnable().collect();
+        assert!(!returnable.contains(&sensitive));
+        // Only the single sensitive root is excluded (it has no synthesised
+        // children because round-robin skips it).
+        assert_eq!(returnable.len(), TAXONOMY_SIZE - 1);
+    }
+
+    #[test]
+    fn taxonomy_v1_is_a_prefix_of_v2() {
+        let v1 = Taxonomy::of(TaxonomyVersion::V1);
+        let v2 = Taxonomy::of(TaxonomyVersion::V2);
+        assert_eq!(v1.len(), TAXONOMY_V1_SIZE);
+        assert_eq!(v2.len(), TAXONOMY_SIZE);
+        assert_eq!(v1.version().as_str(), "1");
+        assert_eq!(v2.version().as_str(), "2");
+        assert_eq!(v1.roots(), v2.roots(), "same 25 roots");
+        // Chrome's migration kept existing ids stable; our builder is
+        // prefix-compatible for the entire second level.
+        let shared = v1
+            .iter()
+            .zip(v2.iter())
+            .take_while(|(a, b)| a.name == b.name && a.parent == b.parent)
+            .count();
+        assert!(shared > 250, "long shared prefix, got {shared}");
+    }
+
+    #[test]
+    fn tree_has_three_levels() {
+        let t = Taxonomy::global();
+        let max_depth = t
+            .iter()
+            .map(|x| t.ancestors(x.id).len())
+            .max()
+            .unwrap();
+        assert_eq!(max_depth, 2, "roots, children, grandchildren");
+    }
+}

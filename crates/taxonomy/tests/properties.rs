@@ -1,0 +1,100 @@
+//! Property-based tests for the taxonomy and classifier.
+
+use proptest::prelude::*;
+use topics_net::domain::Domain;
+use topics_taxonomy::{Classification, Classifier, Taxonomy, TopicId, TAXONOMY_SIZE};
+
+proptest! {
+    #[test]
+    fn classify_is_total_sorted_unique_and_valid(
+        label in "[a-z][a-z0-9]{0,14}",
+        tld in prop_oneof![Just("com"), Just("net"), Just("org"), Just("io"), Just("co.uk")]
+    ) {
+        let taxonomy = Taxonomy::global();
+        let domain = Domain::parse(&format!("{label}.{tld}")).unwrap();
+        let c = Classifier::new(99);
+        match c.classify(&domain) {
+            Classification::Topics(ts) => {
+                prop_assert!(!ts.is_empty() && ts.len() <= 3);
+                let mut sorted = ts.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(&sorted, &ts, "sorted, unique");
+                for t in &ts {
+                    prop_assert!(taxonomy.get(*t).is_some());
+                    prop_assert!(*t != taxonomy.sensitive_root());
+                }
+            }
+            Classification::Unclassifiable => {}
+        }
+    }
+
+    #[test]
+    fn classification_ignores_subdomains(
+        label in "[a-z][a-z0-9]{0,10}",
+        sub in "[a-z][a-z0-9]{0,8}"
+    ) {
+        let c = Classifier::new(5);
+        let apex = Domain::parse(&format!("{label}.com")).unwrap();
+        let deep = Domain::parse(&format!("{sub}.{label}.com")).unwrap();
+        prop_assert_eq!(c.classify(&apex), c.classify(&deep));
+    }
+
+    #[test]
+    fn classifier_seed_changes_fallback_somewhere(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>()
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let ca = Classifier::new(seed_a).with_unclassifiable_rate(0.0);
+        let cb = Classifier::new(seed_b).with_unclassifiable_rate(0.0);
+        // Across 40 domains, the two seeds must disagree at least once —
+        // the fallback is seed-dependent, not a fixed mapping.
+        let mut differs = false;
+        for i in 0..40 {
+            let d = Domain::parse(&format!("probe{i}.com")).unwrap();
+            if ca.classify(&d) != cb.classify(&d) {
+                differs = true;
+                break;
+            }
+        }
+        prop_assert!(differs);
+    }
+
+    #[test]
+    fn topic_navigation_is_consistent(raw in 1u16..=(TAXONOMY_SIZE as u16)) {
+        let taxonomy = Taxonomy::global();
+        let id = TopicId(raw);
+        let topic = taxonomy.get(id).expect("ids in range resolve");
+        prop_assert_eq!(topic.id, id);
+        // path() has one more segment than ancestors().
+        let depth = taxonomy.ancestors(id).len();
+        let path = taxonomy.path(id);
+        prop_assert_eq!(path.matches('/').count(), depth + 1);
+        // Every ancestor is an ancestor-or-self of the topic.
+        for anc in taxonomy.ancestors(id) {
+            prop_assert!(taxonomy.is_descendant_or_self(id, anc));
+            prop_assert!(!taxonomy.is_descendant_or_self(anc, id) || anc == id);
+        }
+        // root_of agrees with the last ancestor (or self for roots).
+        let root = taxonomy.root_of(id);
+        match taxonomy.ancestors(id).last() {
+            Some(&top) => prop_assert_eq!(root, top),
+            None => prop_assert_eq!(root, id),
+        }
+    }
+
+    #[test]
+    fn override_beats_fallback(
+        label in "[a-z][a-z0-9]{0,10}",
+        topic_raw in 1u16..=(TAXONOMY_SIZE as u16)
+    ) {
+        let mut c = Classifier::new(1);
+        let d = Domain::parse(&format!("{label}.com")).unwrap();
+        c.add_override(&d, vec![TopicId(topic_raw)]);
+        prop_assert_eq!(
+            c.classify(&d),
+            Classification::Topics(vec![TopicId(topic_raw)])
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # topics-webgen — the synthetic web ecosystem
+//!
+//! The paper crawls the live top-50,000 websites; this crate generates a
+//! deterministic stand-in. The design rule, documented in DESIGN.md, is
+//! that the generator encodes deployment **behaviour** (who embeds whom,
+//! who calls the Topics API under what gates, how consent is handled) and
+//! never measured outputs: every table and figure of the paper must
+//! *emerge* from crawling this world.
+//!
+//! * [`names`] — deterministic domain names and the TLD mix behind the
+//!   paper's Figure 6 region buckets.
+//! * [`lang`] — site languages and banner phrasing (driving Priv-Accept's
+//!   92–95% detection accuracy).
+//! * [`cmp`] — the fifteen Consent Management Platforms of Figure 7, with
+//!   HubSpot/LiveRamp as the misconfiguration outliers.
+//! * [`parties`] — the ad-platform registry: 193 allowed domains, 12
+//!   without attestation, 47 active callers (28 ignoring consent), the
+//!   named actors of Figures 2/3/5/6, and `distillery.com`.
+//! * [`site`] — per-site ground truth: banners, CMPs, GTM containers
+//!   (the §4 anomalous-call engine), sibling ad frames, parent frames,
+//!   alias redirects, platform embeds, minor third parties.
+//! * [`render`] — page/script rendering with server-side consent gating.
+//! * [`world`] — the assembled [`world::World`], a
+//!   [`topics_net::NetworkService`] the browser can crawl.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cmp;
+pub mod lang;
+pub mod names;
+pub mod parties;
+pub mod render;
+pub mod site;
+pub mod world;
+
+pub use cmp::{CmpId, CmpSpec, CMPS};
+pub use parties::{AdPlatform, ApiStyle, Experiment, RegistryScenario};
+pub use site::{SiteModelConfig, SiteSpec};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,199 @@
+//! Deterministic domain-name generation for the synthetic web.
+//!
+//! Fifty thousand ranked sites plus tens of thousands of long-tail third
+//! parties need plausible, unique, reproducible hostnames. Names are built
+//! from word stems mixed with a seeded hash, so `site_domain(seed, 17)` is
+//! stable forever and never collides with `site_domain(seed, 18)`.
+
+use topics_net::domain::Domain;
+use topics_net::region::EU_TLDS;
+use topics_net::seed;
+
+/// Word stems used to build names (two stems + optional digit = ~4M
+/// combinations before the disambiguating index is even considered).
+const STEMS: [&str; 48] = [
+    "news", "daily", "web", "cloud", "shop", "media", "tech", "play", "data", "live", "smart",
+    "home", "city", "travel", "food", "sport", "game", "star", "blue", "green", "alpha", "nova",
+    "prime", "meta", "micro", "macro", "hyper", "ultra", "info", "zone", "hub", "base", "link",
+    "net", "gate", "port", "stream", "wave", "spark", "pulse", "grid", "core", "path", "view",
+    "max", "pro", "go", "top",
+];
+
+/// TLD pools per coarse region with sampling weights. The mix is chosen so
+/// the 50k-site population matches the paper's Figure 6 buckets: `.com`
+/// dominates, followed by "other", the EU, then `.ru` and `.jp`.
+const TLD_WEIGHTS: &[(&str, u32)] = &[
+    // .com bucket (45%)
+    ("com", 4500),
+    // Japan (4.5%)
+    ("jp", 250),
+    ("co.jp", 150),
+    ("ne.jp", 50),
+    // Russia (6%)
+    ("ru", 500),
+    ("com.ru", 100),
+    // EU (15%)
+    ("de", 250),
+    ("fr", 230),
+    ("it", 180),
+    ("es", 160),
+    ("pl", 140),
+    ("nl", 140),
+    ("se", 80),
+    ("cz", 70),
+    ("ro", 60),
+    ("pt", 50),
+    ("gr", 40),
+    ("hu", 40),
+    ("at", 30),
+    ("be", 30),
+    // Other (29.5%)
+    ("net", 600),
+    ("org", 550),
+    ("io", 300),
+    ("co", 200),
+    ("co.uk", 350),
+    ("com.br", 250),
+    ("in", 200),
+    ("com.au", 150),
+    ("ca", 150),
+    ("ch", 50),
+    ("kr", 50),
+    ("tr", 50),
+    ("mx", 50),
+    ("info", 50),
+    ("biz", 45),
+];
+
+/// Sample a TLD for a ranked site.
+pub fn site_tld(seed_val: u64) -> &'static str {
+    let total: u32 = TLD_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut pick = (seed::splitmix64(seed_val) % u64::from(total)) as u32;
+    for (tld, w) in TLD_WEIGHTS {
+        if pick < *w {
+            return tld;
+        }
+        pick -= w;
+    }
+    "com"
+}
+
+/// Build a unique name label from a seed and index.
+fn label(seed_val: u64, index: u64) -> String {
+    let h = seed::derive_idx(seed_val, index);
+    let a = STEMS[(h % STEMS.len() as u64) as usize];
+    let b = STEMS[((h >> 8) % STEMS.len() as u64) as usize];
+    // The index keeps labels globally unique even when stems collide.
+    format!("{a}{b}{index}")
+}
+
+/// The registrable domain of ranked site number `index` (0-based rank).
+pub fn site_domain(campaign_seed: u64, index: u64) -> Domain {
+    let s = seed::derive(campaign_seed, "site-name");
+    let tld = site_tld(seed::derive_idx(seed::derive(s, "tld"), index));
+    Domain::parse(&format!("{}.{}", label(s, index), tld)).expect("generated labels are valid")
+}
+
+/// The registrable domain of long-tail third party number `index`.
+pub fn minor_party_domain(campaign_seed: u64, index: u64) -> Domain {
+    let s = seed::derive(campaign_seed, "minor-party");
+    // Third-party infrastructure skews heavily to gTLDs.
+    let tld = match seed::derive_idx(seed::derive(s, "tld"), index) % 10 {
+        0..=5 => "com",
+        6..=7 => "net",
+        8 => "io",
+        _ => "org",
+    };
+    Domain::parse(&format!("cdn-{}.{}", label(s, index), tld)).expect("valid")
+}
+
+/// The synthesised domain of a long-tail *allowed* ad platform.
+pub fn adtech_domain(campaign_seed: u64, index: u64) -> Domain {
+    let s = seed::derive(campaign_seed, "adtech-name");
+    let tld = if seed::derive_idx(s, index) % 4 == 0 {
+        "net"
+    } else {
+        "com"
+    };
+    Domain::parse(&format!("adtech-{}.{}", label(s, index), tld)).expect("valid")
+}
+
+/// True when the TLD string belongs to the EU bucket — used by tests to
+/// sanity-check the sampling table.
+pub fn tld_is_eu(tld: &str) -> bool {
+    let cc = tld.rsplit('.').next().unwrap_or(tld);
+    EU_TLDS.contains(&cc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use topics_net::region::Region;
+
+    #[test]
+    fn site_domains_are_unique_and_stable() {
+        let mut seen = HashSet::new();
+        for i in 0..5_000 {
+            let d = site_domain(42, i);
+            assert!(seen.insert(d.clone()), "collision at {i}: {d}");
+            assert_eq!(d, site_domain(42, i), "stability");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_webs() {
+        assert_ne!(site_domain(1, 0), site_domain(2, 0));
+    }
+
+    #[test]
+    fn region_mix_matches_targets() {
+        let n = 20_000u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            let d = site_domain(7, i);
+            *counts.entry(Region::of(&d)).or_insert(0u64) += 1;
+        }
+        let frac = |r: Region| *counts.get(&r).unwrap_or(&0) as f64 / n as f64;
+        assert!((frac(Region::Com) - 0.45).abs() < 0.02, "com {}", frac(Region::Com));
+        assert!((frac(Region::Russia) - 0.06).abs() < 0.01, "ru {}", frac(Region::Russia));
+        assert!((frac(Region::Japan) - 0.045).abs() < 0.01, "jp {}", frac(Region::Japan));
+        assert!(
+            (frac(Region::EuropeanUnion) - 0.15).abs() < 0.02,
+            "eu {}",
+            frac(Region::EuropeanUnion)
+        );
+    }
+
+    #[test]
+    fn minor_and_adtech_pools_do_not_collide_with_sites() {
+        let sites: HashSet<_> = (0..2000).map(|i| site_domain(3, i)).collect();
+        for i in 0..2000 {
+            assert!(!sites.contains(&minor_party_domain(3, i)));
+            assert!(!sites.contains(&adtech_domain(3, i)));
+        }
+    }
+
+    #[test]
+    fn multi_label_suffix_sites_parse_correctly() {
+        // Force many samples; at least some must land on co.uk / co.jp and
+        // still be valid registrable domains.
+        let mut multi = 0;
+        for i in 0..5_000 {
+            let d = site_domain(11, i);
+            if d.as_str().ends_with(".co.uk") || d.as_str().ends_with(".co.jp") {
+                multi += 1;
+                assert_eq!(topics_net::psl::registrable_domain(&d), d);
+            }
+        }
+        assert!(multi > 0, "expected some multi-label-suffix sites");
+    }
+
+    #[test]
+    fn eu_helper_agrees_with_region() {
+        assert!(tld_is_eu("de"));
+        assert!(tld_is_eu("fr"));
+        assert!(!tld_is_eu("co.uk"));
+        assert!(!tld_is_eu("com"));
+    }
+}

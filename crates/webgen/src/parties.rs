@@ -1,0 +1,568 @@
+//! The third-party ecosystem: ad platforms and their Topics strategies.
+//!
+//! This is the ground truth of the synthetic web. Each platform is
+//! described by *behaviour* — where it is embedded, whether it is
+//! enrolled/attested, whether and how often it calls the Topics API,
+//! whether it respects consent — and the paper's tables and figures then
+//! **emerge** from crawling the resulting web, never from these numbers
+//! directly.
+//!
+//! The named platforms reproduce the actors of Figures 2/3/5/6:
+//! `doubleclick.net` as the top caller that never calls before consent,
+//! `yandex.com` as the top Before-Accept violator concentrated on `.ru`
+//! sites, `criteo.com` with a worldwide footprint and a 75% site-level
+//! A/B fraction, `google-analytics.com` and `bing.com` as enrolled
+//! platforms that never call, `distillery.com` as the lone
+//! attested-but-not-allowed party, and so on. A synthesised tail fills the
+//! registry out to the paper's totals: **193 allowed domains, 12 of them
+//! without a valid attestation file, 47 active callers, 28 of which call
+//! before consent**.
+
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::region::Region;
+use topics_net::seed;
+
+use crate::names;
+
+/// How an active platform invokes the Topics API (§2.2: JavaScript,
+/// Fetch, or IFrame call types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiStyle {
+    /// The site embeds `<script src=…/tag.js>`; the tag issues
+    /// `fetch(bid, {browsingTopics: true})` → Fetch-type call attributed
+    /// to the platform's own domain.
+    ScriptFetch,
+    /// The site embeds the platform's iframe; a script inside the frame
+    /// calls `document.browsingTopics()` → JavaScript-type call from the
+    /// frame's (platform) origin.
+    IframeJs,
+    /// The site embeds `<script src=…/tag.js>`; the tag injects
+    /// `<iframe browsingtopics>` → IFrame-type call.
+    ScriptIframe,
+}
+
+/// How the A/B experiment is keyed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Experiment {
+    /// Not calling the Topics API at all (enrolled but inactive).
+    Off,
+    /// Site-level assignment: the platform enables Topics on a stable
+    /// fraction of the websites it appears on (Figure 3's clusters).
+    SiteFraction(f64),
+    /// Time-sliced assignment: ON/OFF alternating windows per
+    /// (platform, website) — the §3 "repeated tests" observation. The
+    /// fields are the ON probability per window and the window hours.
+    TimeWindow {
+        /// Probability a given window is ON.
+        p: f64,
+        /// Window length in hours.
+        hours: u32,
+    },
+}
+
+/// One ad platform.
+#[derive(Debug, Clone)]
+pub struct AdPlatform {
+    /// The platform's registrable domain.
+    pub domain: Domain,
+    /// Present in the browser's attestation allow-list (the paper's
+    /// **Allowed** label; 193 domains on the June 6th, 2024 file).
+    pub allowed: bool,
+    /// Serves a valid `/.well-known/privacy-sandbox-attestations.json`
+    /// (the paper's **Attested** label; 12 Allowed parties fail this).
+    pub attested: bool,
+    /// For non-attested platforms: the well-known URL serves *malformed*
+    /// JSON instead of 404 (a real failure mode of half-finished
+    /// enrolments; the crawler's validator must reject it).
+    pub attestation_malformed: bool,
+    /// Day (since simulation origin, 2023-06-01) the attestation was
+    /// issued — enrolments start June 16th, 2023 and trickle in at about
+    /// a dozen per month (§3).
+    pub enrolled_day: u64,
+    /// First simulation day the platform's Topics integration is live.
+    /// Enrolment (the attestation date) precedes activation: a platform
+    /// can be Allowed∧Attested long before it starts calling, and the
+    /// "future cohort" of the registry activates only after the paper's
+    /// crawl — the behavioural root of §3's slowly-growing adoption and
+    /// the longitudinal experiment.
+    pub activation_day: u64,
+    /// The experiment this platform runs.
+    pub experiment: Experiment,
+    /// How it calls the API when the experiment arm is ON.
+    pub style: ApiStyle,
+    /// True when the platform's tag wraps its Topics call in a consent
+    /// check — such platforms never appear in the Before-Accept data
+    /// (doubleclick); false for the §5 violators (yandex, criteo, …).
+    pub respects_consent: bool,
+    /// For violators: the (site-keyed) probability that the tag fires
+    /// its Topics call even without consent, when it is loaded at all
+    /// pre-consent. Yandex is the most aggressive (§5's top violator
+    /// despite modest popularity); big exchanges leak on a thin slice of
+    /// their footprint. Zero for consent-respecting platforms.
+    pub pre_consent_rate: f64,
+    /// Baseline probability a site embeds this platform.
+    pub base_presence: f64,
+    /// Per-region presence multipliers, indexed by [`Region::ALL`] order
+    /// (.com, .jp, .ru, EU, other).
+    pub region_mult: [f64; 5],
+}
+
+impl AdPlatform {
+    /// Probability this platform is embedded on a site in `region`.
+    pub fn presence_probability(&self, region: Region) -> f64 {
+        let idx = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region in ALL");
+        (self.base_presence * self.region_mult[idx]).clamp(0.0, 1.0)
+    }
+
+    /// True when the platform ever calls the Topics API.
+    pub fn is_active(&self) -> bool {
+        !matches!(self.experiment, Experiment::Off)
+    }
+
+    /// True when the platform's integration is live on simulation day
+    /// `day` — the set the paper's crawl can observe calling.
+    pub fn is_active_at(&self, day: u64) -> bool {
+        self.is_active() && self.activation_day <= day
+    }
+
+    /// Wrap a raw Topics invocation in this platform's experiment arm.
+    fn armed_call(&self, call: &str) -> String {
+        match self.experiment {
+            Experiment::Off => String::new(),
+            Experiment::SiteFraction(f) => format!("ab {f:.4} site {{\n{call}}}\n"),
+            Experiment::TimeWindow { p, hours } => {
+                format!("ab {p:.4} time:{hours}h {{\n{call}}}\n")
+            }
+        }
+    }
+
+    /// Wrap the armed call in the platform's consent behaviour: every
+    /// platform runs its experiment with consent, and violators
+    /// additionally fire — with probability [`Self::pre_consent_rate`]
+    /// per site — when no consent has been given (the §5 questionable
+    /// calls).
+    fn consent_wrapped(&self, call: &str) -> String {
+        let armed = self.armed_call(call);
+        if armed.is_empty() {
+            return String::new();
+        }
+        let mut s = format!("consent {{\n{armed}}}\n");
+        if !self.respects_consent && self.pre_consent_rate > 0.0 {
+            s.push_str(&format!(
+                "noconsent {{\nab {:.4} site {{\n{armed}}}\n}}\n",
+                self.pre_consent_rate
+            ));
+        }
+        // The whole integration only exists once the platform switches
+        // it on.
+        format!("after {} {{\n{s}}}\n", self.activation_day)
+    }
+
+    /// Render this platform's externally-served tag script (TagScript).
+    ///
+    /// Consent-respecting platforms wrap the call in `consent { }`; the
+    /// experiment arm becomes an `ab` gate. Every tag also drops an
+    /// identifier cookie and fires a pixel, like real ad tags.
+    pub fn tag_script(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("# {} tag\n", self.domain));
+        body.push_str(&format!("cookie uid {}\n", short_id(self.domain.as_str())));
+        body.push_str(&format!("img https://{}/px.gif\n", self.domain));
+        match self.style {
+            ApiStyle::ScriptFetch => {
+                let call = format!("topics fetch https://{}/bid\n", self.domain);
+                body.push_str(&self.consent_wrapped(&call));
+            }
+            // IframeJs platforms are embedded as iframes directly; their
+            // tag script (if a site uses the script variant) injects the
+            // frame, and the gating lives in the frame document.
+            ApiStyle::IframeJs => {
+                body.push_str(&format!("iframe https://{}/frame\n", self.domain));
+            }
+            ApiStyle::ScriptIframe => {
+                let call = format!("topics iframe https://{}/afr\n", self.domain);
+                body.push_str(&self.consent_wrapped(&call));
+            }
+        }
+        body
+    }
+
+    /// Render the document served at this platform's `/frame` path (the
+    /// iframe embed used by [`ApiStyle::IframeJs`] platforms). The
+    /// gating mirrors [`AdPlatform::tag_script`].
+    pub fn frame_document(&self) -> String {
+        let script = self.consent_wrapped("topics js\n");
+        format!(
+            "<html><script>\ncookie uid {}\n{script}</script></html>",
+            short_id(self.domain.as_str())
+        )
+    }
+}
+
+/// A stable short identifier derived from a name (cookie values etc.).
+fn short_id(name: &str) -> String {
+    format!("{:08x}", seed::fnv1a(name.as_bytes()) as u32)
+}
+
+/// Paper totals the registry is built to.
+pub mod totals {
+    /// Domains on the allow-list (Table 1).
+    pub const ALLOWED: usize = 193;
+    /// Allowed domains without a valid attestation file (Table 1).
+    pub const ALLOWED_NOT_ATTESTED: usize = 12;
+    /// Active callers (all Allowed ∧ Attested; Table 1, D_AA row).
+    pub const ACTIVE_CALLERS: usize = 47;
+    /// Active callers that also call before consent (Table 1, D_BA row).
+    pub const CONSENT_VIOLATORS: usize = 28;
+}
+
+/// Region multiplier presets.
+const UNIFORM: [f64; 5] = [1.0, 1.0, 1.0, 1.0, 1.0];
+/// Google-scale services: slightly thinner in Russia.
+const GLOBAL_WEST: [f64; 5] = [1.0, 0.8, 0.45, 1.0, 0.9];
+/// Criteo: French roots, strong in Japan, thin in Russia.
+const WORLDWIDE_JP: [f64; 5] = [1.0, 1.6, 0.25, 0.45, 0.8];
+/// Yandex: overwhelmingly Russian, absent from Japan.
+const RUSSIA_HEAVY: [f64; 5] = [0.55, 0.0, 12.0, 0.06, 1.2];
+
+/// Which deployment era the registry models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegistryScenario {
+    /// Early 2024, as the paper measures it: 47 of 193 enrolled
+    /// platforms testing the API on controlled fractions.
+    #[default]
+    Paper2024,
+    /// The what-if the paper's conclusion speculates about: third-party
+    /// cookies are gone and the Topics API is "the de facto standard" —
+    /// every enrolled-and-attested platform calls wherever it is
+    /// embedded, experiments over.
+    FullAdoption,
+}
+
+/// Build the full platform registry for a campaign seed.
+///
+/// The named platforms come first (stable indices), then the synthesised
+/// tail that brings the totals to the paper's 193/12/47/28.
+pub fn build_registry(campaign_seed: u64) -> Vec<AdPlatform> {
+    build_registry_with(campaign_seed, RegistryScenario::Paper2024)
+}
+
+/// [`build_registry`] for an explicit scenario.
+pub fn build_registry_with(
+    campaign_seed: u64,
+    scenario: RegistryScenario,
+) -> Vec<AdPlatform> {
+    let mut registry = build_paper_registry(campaign_seed);
+    if scenario == RegistryScenario::FullAdoption {
+        for p in registry.iter_mut() {
+            if p.allowed && p.attested {
+                // Experiments are over: everyone enrolled calls
+                // everywhere, immediately. Consent behaviour is
+                // unchanged — violators stay violators.
+                p.experiment = Experiment::SiteFraction(1.0);
+                p.activation_day = 0;
+            }
+        }
+    }
+    registry
+}
+
+fn build_paper_registry(campaign_seed: u64) -> Vec<AdPlatform> {
+    let mut v: Vec<AdPlatform> = Vec::with_capacity(200);
+    let d = |s: &str| Domain::parse(s).expect("static platform domains are valid");
+    let site = Experiment::SiteFraction;
+
+    // ---- Named platforms (Figures 2, 3, 5, 6) ----------------------
+    // Enrolled but not calling: google-analytics (not an ad service),
+    // bing, and the presence-only exchanges of Figure 2's long tail.
+    let mut named = vec![
+        AdPlatform { domain: d("google-analytics.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 15, activation_day: 29, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.68, region_mult: GLOBAL_WEST },
+        AdPlatform { domain: d("doubleclick.net"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 15, activation_day: 29, experiment: site(0.33), style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.56, region_mult: GLOBAL_WEST },
+        AdPlatform { domain: d("bing.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 40, activation_day: 54, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.27, region_mult: GLOBAL_WEST },
+        AdPlatform { domain: d("rubiconproject.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 60, activation_day: 74, experiment: site(0.45), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.05, base_presence: 0.17, region_mult: UNIFORM },
+        AdPlatform { domain: d("pubmatic.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 75, activation_day: 89, experiment: site(0.25), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.04, base_presence: 0.16, region_mult: UNIFORM },
+        AdPlatform { domain: d("criteo.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 30, activation_day: 44, experiment: site(0.75), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.10, base_presence: 0.155, region_mult: WORLDWIDE_JP },
+        AdPlatform { domain: d("casalemedia.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 90, activation_day: 104, experiment: Experiment::TimeWindow { p: 0.5, hours: 12 }, style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.10, base_presence: 0.13, region_mult: UNIFORM },
+        AdPlatform { domain: d("3lift.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 100, activation_day: 114, experiment: site(0.38), style: ApiStyle::ScriptIframe, respects_consent: false, pre_consent_rate: 0.07, base_presence: 0.10, region_mult: UNIFORM },
+        AdPlatform { domain: d("openx.net"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 85, activation_day: 99, experiment: site(0.55), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.12, base_presence: 0.097, region_mult: UNIFORM },
+        AdPlatform { domain: d("teads.tv"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 120, activation_day: 134, experiment: site(0.40), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.08, base_presence: 0.081, region_mult: UNIFORM },
+        AdPlatform { domain: d("taboola.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 110, activation_day: 124, experiment: Experiment::TimeWindow { p: 0.5, hours: 24 }, style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.09, base_presence: 0.077, region_mult: UNIFORM },
+        AdPlatform { domain: d("adform.net"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 140, activation_day: 154, experiment: site(0.10), style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.068, region_mult: [0.8, 0.3, 0.3, 2.2, 0.8] },
+        AdPlatform { domain: d("indexww.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 150, activation_day: 164, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.065, region_mult: UNIFORM },
+        AdPlatform { domain: d("quantserve.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 160, activation_day: 174, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.058, region_mult: UNIFORM },
+        AdPlatform { domain: d("yahoo.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 55, activation_day: 69, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.054, region_mult: [1.0, 2.2, 0.3, 0.7, 0.9] },
+        AdPlatform { domain: d("outbrain.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 130, activation_day: 144, experiment: site(0.30), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.08, base_presence: 0.055, region_mult: UNIFORM },
+        AdPlatform { domain: d("creativecdn.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 170, activation_day: 184, experiment: site(0.34), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.20, base_presence: 0.040, region_mult: [0.9, 0.4, 0.8, 1.8, 0.9] },
+        AdPlatform { domain: d("postrelease.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 180, activation_day: 194, experiment: site(0.28), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.18, base_presence: 0.042, region_mult: UNIFORM },
+        AdPlatform { domain: d("authorizedvault.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 200, activation_day: 214, experiment: site(0.98), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.35, base_presence: 0.015, region_mult: UNIFORM },
+        AdPlatform { domain: d("unrulymedia.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 190, activation_day: 204, experiment: site(0.35), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.20, base_presence: 0.013, region_mult: UNIFORM },
+        AdPlatform { domain: d("cpx.to"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 210, activation_day: 224, experiment: site(0.75), style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.008, region_mult: UNIFORM },
+        AdPlatform { domain: d("yandex.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 95, activation_day: 109, experiment: site(0.66), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.6, base_presence: 0.035, region_mult: RUSSIA_HEAVY },
+        AdPlatform { domain: d("yandex.ru"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 95, activation_day: 109, experiment: site(0.66), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.6, base_presence: 0.018, region_mult: RUSSIA_HEAVY },
+        // The lone attested-but-not-allowed party (§2.4): its attestation
+        // file is dated November 2023 (day ~165) yet it never completed
+        // enrolment. It only ever calls on its own website, which the
+        // world generator arranges by ranking distillery.com itself.
+        AdPlatform { domain: d("distillery.com"), allowed: false, attested: true, attestation_malformed: false, enrolled_day: 165, activation_day: 179, experiment: site(1.0), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 1.0, base_presence: 0.0, region_mult: UNIFORM },
+    ];
+    v.append(&mut named);
+
+    // ---- Synthesised tail ------------------------------------------
+    // Bring the totals to 193 allowed / 12 not attested / 47 active /
+    // 28 violators. Named contributions:
+    let named_allowed = v.iter().filter(|p| p.allowed).count();
+    let named_active = v
+        .iter()
+        .filter(|p| p.allowed && p.attested && p.is_active())
+        .count();
+    let named_violators = v
+        .iter()
+        .filter(|p| p.allowed && p.attested && p.is_active() && !p.respects_consent)
+        .count();
+
+    let tail_total = totals::ALLOWED - named_allowed;
+    let tail_active = totals::ACTIVE_CALLERS - named_active;
+    let tail_violators = totals::CONSENT_VIOLATORS - named_violators;
+    let fractions = [1.0, 0.75, 0.66, 0.5, 0.33, 0.25];
+
+    let s = seed::derive(campaign_seed, "party-tail");
+    for i in 0..tail_total {
+        let domain = names::adtech_domain(campaign_seed, i as u64);
+        // The first `tail_active` tail platforms are live callers at
+        // crawl time (all attested); of those the first `tail_violators`
+        // ignore consent. The 12 attestation-less platforms come from
+        // the inactive tail, and a further FUTURE_COHORT of attested
+        // platforms have an experiment configured but switch it on only
+        // after the paper's crawl (the longitudinal-growth cohort).
+        let active = i < tail_active;
+        let future = !active
+            && i >= tail_active + totals::ALLOWED_NOT_ATTESTED
+            && i < tail_active + totals::ALLOWED_NOT_ATTESTED + FUTURE_COHORT;
+        let violator = i < tail_violators;
+        let attested = active || i >= tail_active + totals::ALLOWED_NOT_ATTESTED;
+        let experiment = if active || future {
+            let f = fractions[(seed::derive_idx(s, i as u64) % fractions.len() as u64) as usize];
+            Experiment::SiteFraction(f)
+        } else {
+            Experiment::Off
+        };
+        let style = match seed::derive_idx(seed::derive(s, "style"), i as u64) % 3 {
+            0 => ApiStyle::ScriptFetch,
+            1 => ApiStyle::IframeJs,
+            _ => ApiStyle::ScriptIframe,
+        };
+        let presence = 0.0008
+            + seed::unit_f64(seed::derive_idx(seed::derive(s, "presence"), i as u64)) * 0.012;
+        // Live callers must have enrolled (and activated) before the
+        // crawl; everyone else enrols anywhere from June 2023 to May
+        // 2024.
+        let day_draw = seed::derive_idx(seed::derive(s, "day"), i as u64);
+        let enrolled_day = if active {
+            16 + day_draw % 250 // ≤ day 266 → activation before the crawl
+        } else {
+            16 + day_draw % 330 // Jun 2023 – May 2024
+        };
+        let activation_day = if future {
+            // Switch-on dates spread across the year after the crawl.
+            320 + seed::derive_idx(seed::derive(s, "future-act"), i as u64) % 160
+        } else {
+            enrolled_day + 14 + seed::derive_idx(seed::derive(s, "act"), i as u64) % 22
+        };
+        // Of the attestation-less platforms, every other one serves a
+        // malformed file instead of nothing.
+        let attestation_malformed = !attested && (i - tail_active) % 2 == 0;
+        v.push(AdPlatform {
+            domain,
+            allowed: true,
+            attested,
+            attestation_malformed,
+            enrolled_day,
+            activation_day,
+            experiment,
+            style,
+            respects_consent: !violator,
+            pre_consent_rate: if violator { 0.25 } else { 0.0 },
+            base_presence: presence,
+            region_mult: UNIFORM,
+        });
+    }
+    v
+}
+
+/// Number of attested platforms whose experiment activates only after
+/// the crawl (observable by longitudinal re-crawls; see the
+/// `longitudinal` example).
+pub const FUTURE_COHORT: usize = 25;
+
+/// Timestamp of a platform's attestation issuance.
+pub fn attestation_issued(platform: &AdPlatform) -> Timestamp {
+    Timestamp::from_days(platform.enrolled_day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_totals() {
+        let reg = build_registry(1);
+        let allowed = reg.iter().filter(|p| p.allowed).count();
+        let allowed_not_attested = reg.iter().filter(|p| p.allowed && !p.attested).count();
+        let crawl = topics_net::clock::CRAWL_START_DAY;
+        let active = reg
+            .iter()
+            .filter(|p| p.allowed && p.attested && p.is_active_at(crawl))
+            .count();
+        let violators = reg
+            .iter()
+            .filter(|p| p.allowed && p.attested && p.is_active_at(crawl) && !p.respects_consent)
+            .count();
+        // The future cohort is configured but not yet live.
+        let future = reg
+            .iter()
+            .filter(|p| p.is_active() && !p.is_active_at(crawl))
+            .count();
+        assert_eq!(future, FUTURE_COHORT);
+        assert_eq!(allowed, totals::ALLOWED);
+        assert_eq!(allowed_not_attested, totals::ALLOWED_NOT_ATTESTED);
+        assert_eq!(active, totals::ACTIVE_CALLERS);
+        assert_eq!(violators, totals::CONSENT_VIOLATORS);
+        // Exactly one attested-but-not-allowed party: distillery.com.
+        let odd: Vec<_> = reg.iter().filter(|p| !p.allowed && p.attested).collect();
+        assert_eq!(odd.len(), 1);
+        assert_eq!(odd[0].domain.as_str(), "distillery.com");
+    }
+
+    #[test]
+    fn active_callers_are_all_allowed_and_attested_except_distillery() {
+        let reg = build_registry(2);
+        for p in reg.iter().filter(|p| p.is_active()) {
+            if p.domain.as_str() == "distillery.com" {
+                continue;
+            }
+            assert!(p.allowed && p.attested, "{} active but not A&A", p.domain);
+        }
+    }
+
+    #[test]
+    fn doubleclick_respects_consent_yandex_does_not() {
+        let reg = build_registry(3);
+        let get = |n: &str| reg.iter().find(|p| p.domain.as_str() == n).unwrap();
+        assert!(get("doubleclick.net").respects_consent);
+        assert!(get("google-analytics.com").experiment == Experiment::Off);
+        assert!(!get("yandex.com").respects_consent);
+        assert!(!get("criteo.com").respects_consent);
+    }
+
+    #[test]
+    fn yandex_is_russian_criteo_is_worldwide() {
+        let reg = build_registry(4);
+        let yandex = reg.iter().find(|p| p.domain.as_str() == "yandex.com").unwrap();
+        assert_eq!(yandex.presence_probability(Region::Japan), 0.0);
+        assert!(yandex.presence_probability(Region::Russia) > 0.3);
+        assert!(yandex.presence_probability(Region::Russia) > 10.0 * yandex.presence_probability(Region::Com));
+        let criteo = reg.iter().find(|p| p.domain.as_str() == "criteo.com").unwrap();
+        assert!(criteo.presence_probability(Region::Japan) > criteo.presence_probability(Region::Com));
+        for r in Region::ALL {
+            assert!(criteo.presence_probability(r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn presence_probability_is_clamped() {
+        let p = AdPlatform {
+            domain: Domain::parse("x.com").unwrap(),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 0,
+            activation_day: 0,
+            experiment: Experiment::Off,
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.5,
+            region_mult: [4.0; 5],
+        };
+        assert_eq!(p.presence_probability(Region::Com), 1.0);
+    }
+
+    #[test]
+    fn tag_scripts_parse_and_contain_expected_calls() {
+        let reg = build_registry(5);
+        for p in &reg {
+            let script = p.tag_script();
+            let stmts = topics_browser::script::parse(&script)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{script}", p.domain));
+            let n_topics = topics_browser::script::count_topics_statements(&stmts);
+            match (p.is_active(), p.style) {
+                (false, _) => assert_eq!(n_topics, 0, "{}", p.domain),
+                (true, ApiStyle::IframeJs) => {
+                    // The script variant injects a frame; the call lives in
+                    // the frame document.
+                    assert_eq!(n_topics, 0, "{}", p.domain);
+                    let frame = p.frame_document();
+                    assert!(frame.contains("topics js"), "{}", p.domain);
+                }
+                (true, _) => {
+                    let expected = if p.respects_consent || p.pre_consent_rate == 0.0 {
+                        1 // one call in the consent branch
+                    } else {
+                        2 // consent branch + noconsent violator branch
+                    };
+                    assert_eq!(n_topics, expected, "{}", p.domain);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consent_wrapper_matches_behaviour() {
+        let reg = build_registry(6);
+        let dc = reg.iter().find(|p| p.domain.as_str() == "doubleclick.net").unwrap();
+        assert!(dc.tag_script().contains("consent {"));
+        assert!(!dc.tag_script().contains("noconsent {"));
+        let yx = reg.iter().find(|p| p.domain.as_str() == "yandex.com").unwrap();
+        assert!(
+            yx.frame_document().contains("noconsent {"),
+            "violators also fire without consent"
+        );
+    }
+
+    #[test]
+    fn enrolment_timeline_spans_june_2023_to_may_2024() {
+        let reg = build_registry(7);
+        let days: Vec<u64> = reg.iter().filter(|p| p.allowed).map(|p| p.enrolled_day).collect();
+        let min = *days.iter().min().unwrap();
+        let max = *days.iter().max().unwrap();
+        assert!(min >= 15, "first attestation June 16th, 2023 (day 15)");
+        assert!(max < 365, "enrolment continues until May 2024");
+        // Spread: roughly a dozen per month → no month empty in between.
+        let mut by_month = std::collections::BTreeMap::new();
+        for d in &days {
+            *by_month.entry(d / 30).or_insert(0) += 1;
+        }
+        assert!(by_month.len() >= 10, "enrolments spread over ≥10 months");
+    }
+
+    #[test]
+    fn registry_is_deterministic_per_seed() {
+        let a = build_registry(9);
+        let b = build_registry(9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.base_presence, y.base_presence);
+        }
+        let c = build_registry(10);
+        // Tail names differ across seeds.
+        assert_ne!(
+            a.last().unwrap().domain,
+            c.last().unwrap().domain
+        );
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-site ground truth: banners, CMPs, GTM containers, embeds.
+//!
+//! A [`SiteSpec`] is everything the world needs to render one ranked
+//! website: its consent setup (banner? CMP? correctly configured?), its
+//! Google-Tag-Manager container (the §4 anomalous-call engine), its
+//! embedded ad platforms (gated on consent or not), the long tail of
+//! minor third parties, and the structural quirks behind the paper's §4
+//! taxonomy — sibling-domain ad frames (same second-level label),
+//! corporate parent frames, and alias domains that redirect to a
+//! canonical site.
+
+use crate::cmp::{sample_cmp, CmpId};
+use crate::lang::{site_language, Language};
+use crate::names;
+use crate::parties::AdPlatform;
+use topics_net::domain::Domain;
+use topics_net::psl::{public_suffix, second_level_label};
+use topics_net::region::Region;
+use topics_net::seed;
+
+/// Tunable parameters of the site model. The defaults are calibrated to
+/// the paper's aggregates (≈30% After-Accept rate, ≈45% of sites with a
+/// Topics call, ≈2.6k anomalous CPs, ≈1.3k Before-Accept callers, …);
+/// every number is a *behavioural* rate, never a measured output.
+#[derive(Debug, Clone)]
+pub struct SiteModelConfig {
+    /// Privacy-banner presence per region (.com, .jp, .ru, EU, other).
+    pub banner_rate: [f64; 5],
+    /// Of bannered sites, the share using a commercial CMP (§5); the
+    /// rest run homegrown banners.
+    pub cmp_given_banner: f64,
+    /// Probability a homegrown banner actually gates third parties
+    /// before consent (most do not — the paper's "shallow-but-in-good-
+    /// faith behaviour").
+    pub homegrown_gates: f64,
+    /// Probability a banner uses quirky phrasing that keyword matching
+    /// misses (drives Priv-Accept's 92–95% accuracy).
+    pub quirky_phrase_rate: f64,
+    /// Google Tag Manager presence per region.
+    pub gtm_rate: [f64; 5],
+    /// Of GTM containers, the share with the `browsingTopics()`-calling
+    /// tag (the §4 mystery call).
+    pub gtm_topics_tag_rate: f64,
+    /// Of topics-tagged containers, the share correctly gated on consent
+    /// (Google Consent Mode configured).
+    pub gtm_consent_gated_rate: f64,
+    /// The same share on sites whose CMP breaks Consent-Mode integration
+    /// (HubSpot/LiveRamp — the Figure 7 anomaly).
+    pub gtm_consent_gated_rate_leaky_cmp: f64,
+    /// Of topics-tagged containers, the share that fire the call twice
+    /// per page (drives the calls > callers multiplicity in §4).
+    pub gtm_double_fire_rate: f64,
+    /// Of topics-tagged GTM sites, the share loading GTM inside an
+    /// iframe on a *sibling domain* (`ad.<label>.net`) — same
+    /// second-level label, different suffix (the `www.foo.com` /
+    /// `ad.foo.net` case).
+    pub sibling_frame_rate: f64,
+    /// Share of sites embedding a corporate-parent iframe whose content
+    /// calls the API (the `windows.com` / `microsoft.com` case).
+    pub parent_frame_rate: f64,
+    /// Of parent frames, the share whose content actually calls.
+    pub parent_frame_topics_rate: f64,
+    /// Share of ranked entries that are alias domains 302-redirecting to
+    /// a canonical domain owned by the same company (§4 case ii).
+    pub alias_rate: f64,
+    /// Share of sites embedding the secondary analytics library that
+    /// also calls `browsingTopics()` (the ≈5% of anomalous pages
+    /// without GTM).
+    pub extra_lib_rate: f64,
+    /// Pool size for long-tail minor third parties.
+    pub minor_pool: u64,
+    /// Minimum minor parties per site.
+    pub minor_min: u64,
+    /// Maximum additional minor parties per site.
+    pub minor_span: u64,
+}
+
+impl Default for SiteModelConfig {
+    fn default() -> Self {
+        SiteModelConfig {
+            banner_rate: [0.45, 0.30, 0.13, 0.78, 0.34],
+            cmp_given_banner: 0.55,
+            homegrown_gates: 0.55,
+            quirky_phrase_rate: 0.06,
+            gtm_rate: [0.65, 0.50, 0.35, 0.60, 0.55],
+            gtm_topics_tag_rate: 0.22,
+            gtm_consent_gated_rate: 0.83,
+            gtm_consent_gated_rate_leaky_cmp: 0.05,
+            gtm_double_fire_rate: 0.30,
+            sibling_frame_rate: 0.08,
+            parent_frame_rate: 0.12,
+            parent_frame_topics_rate: 0.50,
+            alias_rate: 0.03,
+            extra_lib_rate: 0.02,
+            minor_pool: 18_000,
+            minor_min: 3,
+            minor_span: 12,
+        }
+    }
+}
+
+/// Server-side failure modes a small share of real sites exhibit; the
+/// crawler must survive all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pathology {
+    /// `/` redirects to itself forever.
+    RedirectLoop,
+    /// `/` answers 500.
+    ServerError,
+    /// `/` serves an empty body.
+    EmptyPage,
+}
+
+/// A site's Google Tag Manager container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GtmContainer {
+    /// Container id embedded in the `gtm.js?id=…` URL.
+    pub container_id: String,
+    /// The container includes the tag that calls `browsingTopics()`.
+    pub has_topics_tag: bool,
+    /// The tag is gated on consent (Google Consent Mode).
+    pub consent_gated: bool,
+    /// The tag fires twice per page.
+    pub double_fire: bool,
+}
+
+/// Ground truth for one ranked website.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// 0-based Tranco rank.
+    pub rank: usize,
+    /// The ranked (registrable) domain.
+    pub domain: Domain,
+    /// Figure 6 region bucket.
+    pub region: Region,
+    /// Site language (drives banner text).
+    pub language: Language,
+    /// The site shows a privacy banner.
+    pub has_banner: bool,
+    /// The banner is served only to European visitors; clients from
+    /// elsewhere get the page in its implied-consent form (common on
+    /// `.com` properties, rare on EU-TLD sites).
+    pub banner_geo_targeted: bool,
+    /// The banner's accept button uses quirky phrasing.
+    pub banner_quirky: bool,
+    /// The CMP in use, if any.
+    pub cmp: Option<CmpId>,
+    /// The CMP is misconfigured (third parties run before consent).
+    pub cmp_misconfigured: bool,
+    /// Derived: ad-platform tags are withheld until consent.
+    pub gates_pre_consent: bool,
+    /// The GTM container, if the site uses GTM.
+    pub gtm: Option<GtmContainer>,
+    /// GTM is loaded inside an iframe on this sibling domain instead of
+    /// the page itself.
+    pub sibling_frame: Option<Domain>,
+    /// A corporate-parent iframe embedded on the page, with a flag for
+    /// whether its content calls the API.
+    pub parent_frame: Option<(Domain, bool)>,
+    /// This ranked entry redirects to a canonical domain; the canonical
+    /// serves the actual page.
+    pub alias_of: Option<Domain>,
+    /// Embedded ad platforms: registry index + whether the embed is
+    /// consent-gated on this site.
+    pub platforms: Vec<(usize, bool)>,
+    /// Long-tail minor third parties (indices into the minor-name pool).
+    pub minor_parties: Vec<u64>,
+    /// The secondary topics-calling analytics library is embedded.
+    pub extra_lib: bool,
+    /// Server-side failure mode, if any (≈0.3% of sites).
+    pub pathology: Option<Pathology>,
+}
+
+impl SiteSpec {
+    /// The domain that actually serves the page content (canonical for
+    /// aliases, the ranked domain otherwise).
+    pub fn content_domain(&self) -> &Domain {
+        self.alias_of.as_ref().unwrap_or(&self.domain)
+    }
+
+    /// True when, pre-consent, this site's anomalous GTM tag would fire
+    /// (used by world-level sanity tests).
+    pub fn gtm_fires_pre_consent(&self) -> bool {
+        self.gtm
+            .as_ref()
+            .is_some_and(|g| g.has_topics_tag && !g.consent_gated)
+    }
+}
+
+fn region_index(region: Region) -> usize {
+    Region::ALL.iter().position(|r| *r == region).expect("region")
+}
+
+/// Generate the spec of ranked site `rank`.
+pub fn generate_site(
+    campaign_seed: u64,
+    rank: usize,
+    registry: &[AdPlatform],
+    config: &SiteModelConfig,
+) -> SiteSpec {
+    let domain = special_domain(rank).unwrap_or_else(|| names::site_domain(campaign_seed, rank as u64));
+    let region = Region::of(&domain);
+    let ridx = region_index(region);
+    let s = seed::derive(seed::derive(campaign_seed, "site-spec"), domain.as_str());
+    let language = site_language(&domain, seed::derive(campaign_seed, "lang"));
+
+    let has_banner = seed::bernoulli(s, "banner", config.banner_rate[ridx]);
+    // EU-TLD sites show their banner to everyone; elsewhere, a sizeable
+    // share geo-target it at European visitors only.
+    let geo_target_rate = if region == Region::EuropeanUnion { 0.05 } else { 0.45 };
+    let banner_geo_targeted = has_banner && seed::bernoulli(s, "banner-geo", geo_target_rate);
+    let banner_quirky = has_banner && seed::bernoulli(s, "quirky", config.quirky_phrase_rate);
+    let cmp = (has_banner && seed::bernoulli(s, "cmp?", config.cmp_given_banner))
+        .then(|| sample_cmp(seed::unit_f64(seed::derive(s, "cmp-pick"))));
+    let cmp_misconfigured = cmp
+        .map(|c| seed::bernoulli(s, "cmp-misconfig", c.spec().misconfiguration_rate))
+        .unwrap_or(false);
+    let gates_pre_consent = match cmp {
+        Some(_) => !cmp_misconfigured,
+        None => has_banner && seed::bernoulli(s, "homegrown-gates", config.homegrown_gates),
+    };
+
+    let alias_of = seed::bernoulli(s, "alias", config.alias_rate)
+        .then(|| canonical_domain(campaign_seed, rank as u64));
+
+    let has_gtm = seed::bernoulli(s, "gtm", config.gtm_rate[ridx]);
+    let gtm = has_gtm.then(|| {
+        // Alias sites always carry the topics tag so the §4 case-(ii)
+        // redirect scenario materialises.
+        let has_topics_tag =
+            alias_of.is_some() || seed::bernoulli(s, "gtm-topics", config.gtm_topics_tag_rate);
+        // Consent-Mode integration works less often on sites using the
+        // leaky CMPs (the Figure 7 HubSpot/LiveRamp anomaly).
+        let gated_rate = if cmp.is_some_and(|c| c.spec().breaks_consent_mode) {
+            config.gtm_consent_gated_rate_leaky_cmp
+        } else {
+            config.gtm_consent_gated_rate
+        };
+        GtmContainer {
+            container_id: format!("GTM-{rank}"),
+            has_topics_tag,
+            consent_gated: seed::bernoulli(s, "gtm-gated", gated_rate),
+            double_fire: seed::bernoulli(s, "gtm-double", config.gtm_double_fire_rate),
+        }
+    });
+
+    let sibling_frame = gtm
+        .as_ref()
+        .filter(|g| g.has_topics_tag && seed::bernoulli(s, "sibling", config.sibling_frame_rate))
+        .map(|_| sibling_domain(&domain));
+
+    // Corporate-parent frames are a big-site pattern and co-occur with
+    // GTM (the paper sees GTM on ~95% of anomalous pages, so the non-GTM
+    // anomalous sources must stay rare).
+    let parent_frame = (has_gtm && seed::bernoulli(s, "parent", config.parent_frame_rate))
+        .then(|| {
+        let idx = seed::derive(s, "parent-pick") % 400;
+        // The "does the parent's frame call the API" flag is a property
+        // of the parent company, so it must be derived per parent index —
+        // every site embedding the same parent sees the same behaviour.
+        let calls = seed::bernoulli(
+            seed::derive_idx(seed::derive(campaign_seed, "parent-frame-calls"), idx),
+            "calls",
+            config.parent_frame_topics_rate,
+        );
+            (parent_company_domain(campaign_seed, idx), calls)
+        });
+
+    // Ad-platform embedding: one Bernoulli per registry entry, with a
+    // rank-dependent density multiplier (popular sites carry more ads).
+    let density = if rank < 5_000 {
+        1.3
+    } else if rank < 30_000 {
+        1.0
+    } else {
+        0.75
+    };
+    let mut platforms = Vec::new();
+    for (i, p) in registry.iter().enumerate() {
+        if p.base_presence <= 0.0 {
+            continue; // first-party-only platforms (distillery)
+        }
+        let prob = (p.presence_probability(region) * density).clamp(0.0, 1.0);
+        if seed::bernoulli(seed::derive(s, p.domain.as_str()), "embed", prob) {
+            // A gated embed is withheld from the pre-consent page.
+            platforms.push((i, gates_pre_consent));
+        }
+    }
+
+    // Long-tail minor parties: a power-law draw over the pool so that a
+    // few CDNs are everywhere and the tail is huge.
+    let count =
+        config.minor_min + seed::derive(s, "minor-count") % (config.minor_span + 1);
+    let mut minor_parties = Vec::with_capacity(count as usize);
+    for k in 0..count {
+        let u = seed::unit_f64(seed::derive_idx(seed::derive(s, "minor"), k));
+        let idx = ((config.minor_pool as f64) * u.powf(2.2)) as u64;
+        let idx = idx.min(config.minor_pool - 1);
+        if !minor_parties.contains(&idx) {
+            minor_parties.push(idx);
+        }
+    }
+
+    let extra_lib = seed::bernoulli(s, "extra-lib", config.extra_lib_rate);
+
+    let pathology = if seed::bernoulli(s, "pathology", 0.003) {
+        Some(match seed::derive(s, "pathology-kind") % 3 {
+            0 => Pathology::RedirectLoop,
+            1 => Pathology::ServerError,
+            _ => Pathology::EmptyPage,
+        })
+    } else {
+        None
+    };
+
+    let mut spec = SiteSpec {
+        rank,
+        domain,
+        region,
+        language,
+        has_banner,
+        banner_geo_targeted,
+        banner_quirky,
+        cmp,
+        cmp_misconfigured,
+        gates_pre_consent,
+        gtm,
+        sibling_frame,
+        parent_frame,
+        alias_of,
+        platforms,
+        minor_parties,
+        extra_lib,
+        pathology,
+    };
+
+    // distillery.com is pinned: the paper *observed* its first-party
+    // Topics usage after consent, so its banner must be detectable and
+    // its page must not hide behind an alias.
+    if spec.domain.as_str() == "distillery.com" {
+        spec.has_banner = true;
+        spec.banner_geo_targeted = false;
+        spec.banner_quirky = false;
+        spec.language = Language::English;
+        spec.alias_of = None;
+        spec.pathology = None;
+    }
+    spec
+}
+
+/// Ranks that carry real-world domains instead of generated names.
+/// `distillery.com` must exist as a ranked site: the paper observes it
+/// using the Topics API "on the distillery.com website only".
+pub fn special_domain(rank: usize) -> Option<Domain> {
+    special_domain_ranks()
+        .iter()
+        .find(|(r, _)| *r == rank)
+        .map(|(_, d)| d.clone())
+}
+
+/// All pinned `(rank, domain)` pairs. These domains also bypass the
+/// random DNS-failure model, since the paper positively observed them.
+pub fn special_domain_ranks() -> &'static [(usize, Domain)] {
+    use std::sync::OnceLock;
+    static PINNED: OnceLock<Vec<(usize, Domain)>> = OnceLock::new();
+    PINNED.get_or_init(|| {
+        vec![(1_200, Domain::parse("distillery.com").expect("valid"))]
+    })
+}
+
+/// The sibling ad domain for a site: same second-level label, different
+/// suffix (`www.foo.com` → `ad.foo.net`).
+pub fn sibling_domain(site: &Domain) -> Domain {
+    let label = second_level_label(site);
+    let alt = if public_suffix(site) == "net" { "org" } else { "net" };
+    Domain::parse(&format!("ad.{label}.{alt}")).expect("derived sibling is valid")
+}
+
+/// The canonical domain an alias redirects to.
+pub fn canonical_domain(campaign_seed: u64, rank: u64) -> Domain {
+    let s = seed::derive(campaign_seed, "canonical");
+    let h = seed::derive_idx(s, rank);
+    Domain::parse(&format!("corpsite{rank}x{:04x}.com", h as u16)).expect("valid")
+}
+
+/// A shared corporate-parent domain (several brands embed the same
+/// parent).
+pub fn parent_company_domain(campaign_seed: u64, idx: u64) -> Domain {
+    let s = seed::derive(campaign_seed, "parentco");
+    let h = seed::derive_idx(s, idx);
+    Domain::parse(&format!("holdinggroup{idx}x{:03x}.com", (h as u16) & 0xfff)).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties::build_registry;
+
+    fn world(n: usize) -> (Vec<AdPlatform>, Vec<SiteSpec>) {
+        let reg = build_registry(11);
+        let cfg = SiteModelConfig::default();
+        let sites = (0..n).map(|r| generate_site(11, r, &reg, &cfg)).collect();
+        (reg, sites)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = world(50);
+        let (_, b) = world(50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.platforms, y.platforms);
+            assert_eq!(x.minor_parties, y.minor_parties);
+        }
+    }
+
+    #[test]
+    fn banner_rates_follow_region() {
+        let (_, sites) = world(8_000);
+        let rate = |r: Region| {
+            let of_region: Vec<_> = sites.iter().filter(|s| s.region == r).collect();
+            of_region.iter().filter(|s| s.has_banner).count() as f64 / of_region.len() as f64
+        };
+        assert!(rate(Region::EuropeanUnion) > 0.70);
+        assert!(rate(Region::Russia) < 0.20);
+        assert!((rate(Region::Com) - 0.45).abs() < 0.06);
+    }
+
+    #[test]
+    fn cmp_only_on_bannered_sites() {
+        let (_, sites) = world(3_000);
+        for s in &sites {
+            if s.cmp.is_some() {
+                assert!(s.has_banner);
+            }
+            if s.cmp_misconfigured {
+                assert!(s.cmp.is_some());
+                assert!(!s.gates_pre_consent, "misconfigured CMPs do not gate");
+            }
+        }
+    }
+
+    #[test]
+    fn distillery_is_ranked() {
+        let (_, sites) = world(1_201);
+        assert_eq!(sites[1_200].domain.as_str(), "distillery.com");
+    }
+
+    #[test]
+    fn sibling_domains_share_second_level_label() {
+        let (_, sites) = world(6_000);
+        let mut seen = 0;
+        for s in &sites {
+            if let Some(sib) = &s.sibling_frame {
+                seen += 1;
+                assert!(topics_net::psl::same_second_level_label(&s.domain, sib));
+                assert_ne!(topics_net::psl::registrable_domain(sib), s.domain);
+                // Sibling frames only exist alongside a topics-tagged GTM.
+                assert!(s.gtm.as_ref().unwrap().has_topics_tag);
+            }
+        }
+        assert!(seen > 0, "some sibling frames generated");
+    }
+
+    #[test]
+    fn alias_sites_have_canonical_and_topics_gtm() {
+        let (_, sites) = world(10_000);
+        let aliases: Vec<_> = sites.iter().filter(|s| s.alias_of.is_some()).collect();
+        assert!(
+            aliases.len() > 100 && aliases.len() < 350,
+            "~2% of 10k, got {}",
+            aliases.len()
+        );
+        for a in &aliases {
+            assert_ne!(a.content_domain(), &a.domain);
+            if let Some(gtm) = &a.gtm {
+                assert!(gtm.has_topics_tag);
+            }
+        }
+    }
+
+    #[test]
+    fn platform_presence_tracks_ground_truth() {
+        let (reg, sites) = world(8_000);
+        let dc = reg
+            .iter()
+            .position(|p| p.domain.as_str() == "doubleclick.net")
+            .unwrap();
+        let present = sites
+            .iter()
+            .filter(|s| s.platforms.iter().any(|(i, _)| *i == dc))
+            .count() as f64
+            / sites.len() as f64;
+        assert!((present - 0.56).abs() < 0.07, "doubleclick at {present}");
+
+        // Yandex concentrates on .ru sites.
+        let yx = reg
+            .iter()
+            .position(|p| p.domain.as_str() == "yandex.com")
+            .unwrap();
+        let ru_sites: Vec<_> = sites.iter().filter(|s| s.region == Region::Russia).collect();
+        let jp_sites: Vec<_> = sites.iter().filter(|s| s.region == Region::Japan).collect();
+        let yx_ru = ru_sites
+            .iter()
+            .filter(|s| s.platforms.iter().any(|(i, _)| *i == yx))
+            .count() as f64
+            / ru_sites.len() as f64;
+        assert!(yx_ru > 0.3, "yandex on .ru at {yx_ru}");
+        assert!(jp_sites
+            .iter()
+            .all(|s| !s.platforms.iter().any(|(i, _)| *i == yx)));
+    }
+
+    #[test]
+    fn gated_embeds_follow_site_gating() {
+        let (_, sites) = world(2_000);
+        for s in &sites {
+            for (_, gated) in &s.platforms {
+                assert_eq!(*gated, s.gates_pre_consent);
+            }
+        }
+    }
+
+    #[test]
+    fn minor_party_counts_are_bounded_and_unique() {
+        let cfg = SiteModelConfig::default();
+        let (_, sites) = world(1_000);
+        for s in &sites {
+            assert!(s.minor_parties.len() as u64 <= cfg.minor_min + cfg.minor_span);
+            let mut sorted = s.minor_parties.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), s.minor_parties.len());
+            for &i in &s.minor_parties {
+                assert!(i < cfg.minor_pool);
+            }
+        }
+    }
+
+    #[test]
+    fn gtm_pre_consent_fire_rate_is_a_few_percent() {
+        let (_, sites) = world(12_000);
+        let firing = sites.iter().filter(|s| s.gtm_fires_pre_consent()).count() as f64
+            / sites.len() as f64;
+        assert!(
+            (0.015..0.06).contains(&firing),
+            "pre-consent GTM fire rate {firing}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the world generator: every site spec must
+//! satisfy the model's structural invariants for arbitrary seeds and
+//! ranks, and the rendered artefacts must always parse.
+
+use proptest::prelude::*;
+use topics_webgen::parties::build_registry;
+use topics_webgen::render;
+use topics_webgen::site::{generate_site, sibling_domain, SiteModelConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn site_specs_satisfy_structural_invariants(
+        seed in any::<u64>(),
+        rank in 0usize..30_000
+    ) {
+        let registry = build_registry(seed);
+        let config = SiteModelConfig::default();
+        let spec = generate_site(seed, rank, &registry, &config);
+
+        prop_assert_eq!(spec.rank, rank);
+        // CMP implies banner; misconfiguration implies CMP and no gating.
+        if spec.cmp.is_some() {
+            prop_assert!(spec.has_banner);
+        }
+        if spec.cmp_misconfigured {
+            prop_assert!(spec.cmp.is_some());
+            prop_assert!(!spec.gates_pre_consent);
+        }
+        // Quirky phrasing only exists on bannered sites.
+        if spec.banner_quirky {
+            prop_assert!(spec.has_banner);
+        }
+        // Sibling frames require a topics-tagged GTM container and share
+        // the second-level label.
+        if let Some(sib) = &spec.sibling_frame {
+            let gtm = spec.gtm.as_ref().expect("sibling implies GTM");
+            prop_assert!(gtm.has_topics_tag);
+            prop_assert!(topics_net::psl::same_second_level_label(&spec.domain, sib));
+        }
+        // Parent frames only exist alongside GTM (keeps §4's 95% GTM
+        // co-occurrence).
+        if spec.parent_frame.is_some() {
+            prop_assert!(spec.gtm.is_some());
+        }
+        // Platform indices are in range and unique.
+        let mut seen = std::collections::BTreeSet::new();
+        for (idx, gated) in &spec.platforms {
+            prop_assert!(*idx < registry.len());
+            prop_assert!(seen.insert(*idx), "duplicate platform index");
+            prop_assert_eq!(*gated, spec.gates_pre_consent);
+        }
+        // Minor-party indices are unique and inside the pool.
+        let mut minors = spec.minor_parties.clone();
+        let before = minors.len();
+        minors.sort_unstable();
+        minors.dedup();
+        prop_assert_eq!(minors.len(), before);
+        prop_assert!(minors.iter().all(|&i| i < config.minor_pool));
+        // Aliases point away from the ranked domain.
+        if let Some(canon) = &spec.alias_of {
+            prop_assert!(canon != &spec.domain);
+        }
+        // Generation is deterministic.
+        let again = generate_site(seed, rank, &registry, &config);
+        prop_assert_eq!(spec.domain, again.domain);
+        prop_assert_eq!(spec.platforms, again.platforms);
+        prop_assert_eq!(spec.gtm, again.gtm);
+    }
+
+    #[test]
+    fn rendered_pages_parse_and_respect_consent(
+        seed in any::<u64>(),
+        rank in 0usize..5_000,
+        consented in any::<bool>()
+    ) {
+        let registry = build_registry(seed);
+        let config = SiteModelConfig::default();
+        let spec = generate_site(seed, rank, &registry, &config);
+        let html = render::render_page(&spec, &registry, consented, |i| {
+            topics_webgen::names::minor_party_domain(seed, i)
+        });
+        let doc = topics_browser::html::parse(&html);
+        prop_assert!(!doc.nodes.is_empty());
+        // The banner is present exactly when unconsented on a bannered
+        // site.
+        let has_banner_markup = html.contains("consent-banner");
+        prop_assert_eq!(has_banner_markup, spec.has_banner && !consented);
+        // All inline scripts are valid TagScript.
+        for node in &doc.nodes {
+            if let topics_browser::html::Node::Script { src: None, inline, .. } = node {
+                prop_assert!(topics_browser::script::parse(inline).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn platform_scripts_always_parse(seed in any::<u64>()) {
+        let registry = build_registry(seed);
+        for p in registry.iter().take(30) {
+            prop_assert!(topics_browser::script::parse(&p.tag_script()).is_ok());
+            let frame = topics_browser::html::parse(&p.frame_document());
+            for node in &frame.nodes {
+                if let topics_browser::html::Node::Script { src: None, inline, .. } = node {
+                    prop_assert!(topics_browser::script::parse(inline).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_domains_always_differ_but_share_label(label in "[a-z][a-z0-9]{0,12}") {
+        for tld in ["com", "net", "org", "co.uk"] {
+            let site = topics_net::domain::Domain::parse(&format!("{label}.{tld}")).unwrap();
+            let sib = sibling_domain(&site);
+            prop_assert!(topics_net::psl::same_second_level_label(&site, &sib));
+            prop_assert!(topics_net::psl::registrable_domain(&sib) != site);
+        }
+    }
+
+    #[test]
+    fn full_adoption_scenario_activates_every_enrolled_platform(seed in any::<u64>()) {
+        use topics_webgen::parties::{build_registry_with, RegistryScenario, Experiment};
+        let paper = build_registry_with(seed, RegistryScenario::Paper2024);
+        let full = build_registry_with(seed, RegistryScenario::FullAdoption);
+        prop_assert_eq!(paper.len(), full.len());
+        for (p, f) in paper.iter().zip(&full) {
+            prop_assert_eq!(&p.domain, &f.domain);
+            // Identity and consent behaviour never change with the era.
+            prop_assert_eq!(p.allowed, f.allowed);
+            prop_assert_eq!(p.attested, f.attested);
+            prop_assert_eq!(p.respects_consent, f.respects_consent);
+            if f.allowed && f.attested {
+                prop_assert_eq!(f.experiment, Experiment::SiteFraction(1.0));
+                prop_assert_eq!(f.activation_day, 0);
+                prop_assert!(f.is_active_at(0));
+            } else {
+                prop_assert_eq!(f.experiment, p.experiment);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_totals_hold_for_any_seed(seed in any::<u64>()) {
+        use topics_webgen::parties::totals;
+        let reg = build_registry(seed);
+        prop_assert_eq!(reg.iter().filter(|p| p.allowed).count(), totals::ALLOWED);
+        prop_assert_eq!(
+            reg.iter().filter(|p| p.allowed && !p.attested).count(),
+            totals::ALLOWED_NOT_ATTESTED
+        );
+        let crawl = topics_net::clock::CRAWL_START_DAY;
+        prop_assert_eq!(
+            reg.iter()
+                .filter(|p| p.allowed && p.attested && p.is_active_at(crawl))
+                .count(),
+            totals::ACTIVE_CALLERS
+        );
+        prop_assert_eq!(
+            reg.iter()
+                .filter(|p| p.allowed
+                    && p.attested
+                    && p.is_active_at(crawl)
+                    && !p.respects_consent)
+                .count(),
+            totals::CONSENT_VIOLATORS
+        );
+    }
+}

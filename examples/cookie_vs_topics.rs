@@ -1,0 +1,72 @@
+//! Cookies vs Topics — the profiling-power comparison motivating the
+//! paper's introduction.
+//!
+//! Simulates a population of users with interest-driven browsing, then
+//! compares:
+//!
+//! * the classical **third-party-cookie tracker**: exact cross-site
+//!   profiles, near-total fingerprint uniqueness, trivially perfect
+//!   cross-context linkage;
+//! * the **Topics adversary** (refs [17, 23]): per-context topic
+//!   histograms collected through the real in-browser Topics engine
+//!   (epochs, top-5, caller filtering, 5% noise), linked by
+//!   nearest-neighbour matching.
+//!
+//! ```sh
+//! cargo run --release --example cookie_vs_topics
+//! ```
+
+use std::sync::Arc;
+use topics_core::baseline::{
+    collect_profiles, cookie_match, generate_population, match_profiles, CookieTracker,
+    SiteUniverse,
+};
+use topics_core::net::domain::Domain;
+use topics_core::taxonomy::Classifier;
+
+fn main() {
+    let seed = 2024;
+    let classifier = Arc::new(Classifier::new(seed).with_unclassifiable_rate(0.0));
+    let universe = SiteUniverse::generate(seed, 1_500, &classifier);
+    println!("site universe: {} sites\n", universe.len());
+
+    println!(
+        "{:>6} {:>18} {:>18} {:>14} {:>12}",
+        "users", "cookie-linkage", "cookie-unique", "topics-top1", "random-floor"
+    );
+    for &n in &[20usize, 50, 100, 200] {
+        let mut users =
+            generate_population(seed, n, &universe, classifier.clone(), 8, 30);
+
+        // Cookie baseline: exact site-set profiles.
+        let tracker = CookieTracker::new(seed, &universe, 0.4);
+        let cookie_profiles = tracker.observe(&users, &universe, 8, 30);
+        let uniqueness = CookieTracker::uniqueness(&cookie_profiles);
+        let cookie = cookie_match(n);
+
+        // Topics attack: two disjoint observation contexts.
+        let ctx_a: Vec<usize> = (0..universe.len()).step_by(5).collect();
+        let ctx_b: Vec<usize> = (2..universe.len()).step_by(7).collect();
+        let adv_a = Domain::parse("adversary-a.com").unwrap();
+        let adv_b = Domain::parse("adversary-b.com").unwrap();
+        let profiles_a = collect_profiles(&mut users, &universe, &ctx_a, &adv_a, 4..8);
+        let profiles_b = collect_profiles(&mut users, &universe, &ctx_b, &adv_b, 4..8);
+        let topics = match_profiles(&profiles_a, &profiles_b);
+
+        println!(
+            "{n:>6} {:>17.1}% {:>17.1}% {:>13.1}% {:>11.2}%",
+            cookie.accuracy() * 100.0,
+            uniqueness * 100.0,
+            topics.accuracy() * 100.0,
+            topics.random_floor() * 100.0,
+        );
+    }
+
+    println!(
+        "\nThird-party cookies identify everyone exactly; the Topics API\n\
+         leaks enough interest signal to beat random guessing by a wide\n\
+         margin (the re-identification risk of refs [17, 23]) while\n\
+         falling far short of a deterministic identifier — the privacy\n\
+         trade the paper's measured ecosystem is experimenting with."
+    );
+}

@@ -1,0 +1,33 @@
+//! Measurement error — what the paper's pipeline cannot see about
+//! itself.
+//!
+//! A crawl of the real web has unknowable blind spots: how many banners
+//! did Priv-Accept miss, how much of a platform's footprint escaped
+//! presence detection, how far is a measured A/B fraction from the
+//! platform's real arm? On the synthetic web the ground truth is known,
+//! so the whole pipeline's error bars can be printed.
+//!
+//! ```sh
+//! cargo run --release --example measurement_error
+//! ```
+
+use topics_core::{fidelity, Lab, LabConfig};
+
+fn main() {
+    let seed = 2024;
+    let sites = 15_000;
+    eprintln!("building a {sites}-site web (seed {seed}) and crawling …");
+    let lab = Lab::new(LabConfig::quick(seed, sites));
+    let outcome = lab.run();
+    let report = fidelity(&lab.world, &outcome);
+    println!("{}", report.render());
+    println!(
+        "Reading: banner *detection* is near-perfect (the container is in\n\
+         the markup), but *acceptance* is capped by language coverage and\n\
+         phrasing — which is exactly why the paper's After-Accept dataset\n\
+         covers ~30% of sites, not 52%. Presence recall over After-Accept\n\
+         visits is complete, and the A/B arm estimates converge on the\n\
+         platforms' true fractions as presence grows — the basis for\n\
+         trusting Figure 3's clusters."
+    );
+}

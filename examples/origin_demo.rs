@@ -1,0 +1,138 @@
+//! Figure 4 demonstration — the "wrong context" mechanism behind the
+//! paper's §4 anomalous calls.
+//!
+//! Builds a three-page micro-web by hand and shows how the browser
+//! attributes `browsingTopics()` calls:
+//!
+//! 1. a GTM-style script included via `<script src=…>` executes in the
+//!    page's root context → the call is attributed to the WEBSITE;
+//! 2. the same logic inside an `<iframe>` is attributed to the frame's
+//!    own origin;
+//! 3. with a healthy allow-list the website-attributed call is blocked,
+//!    but with the corrupted list (the Chromium fail-open bug, §2.3) it
+//!    executes.
+//!
+//! ```sh
+//! cargo run --example origin_demo
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use topics_core::browser::attestation::AttestationStore;
+use topics_core::browser::browser::{Browser, BrowserConfig};
+use topics_core::net::clock::Timestamp;
+use topics_core::net::dns::DnsError;
+use topics_core::net::domain::Domain;
+use topics_core::net::http::{HttpRequest, HttpResponse};
+use topics_core::net::service::NetworkService;
+use topics_core::net::url::Url;
+use topics_core::net::NetError;
+use topics_core::taxonomy::Classifier;
+
+/// A miniature hand-built web.
+struct MicroWeb {
+    pages: HashMap<String, (&'static str, String)>,
+}
+
+impl MicroWeb {
+    fn new() -> MicroWeb {
+        let mut pages = HashMap::new();
+        pages.insert(
+            "https://news.example/".to_owned(),
+            (
+                "text/html",
+                r#"<html>
+                  <script src="https://tagmanager.example/gtm.js"></script>
+                  <iframe src="https://adplatform.example/frame"></iframe>
+                </html>"#
+                    .to_owned(),
+            ),
+        );
+        pages.insert(
+            "https://tagmanager.example/gtm.js".to_owned(),
+            ("text/javascript", "# gtm-like container\ntopics js\n".to_owned()),
+        );
+        pages.insert(
+            "https://adplatform.example/frame".to_owned(),
+            (
+                "text/html",
+                "<html><script>topics js</script></html>".to_owned(),
+            ),
+        );
+        MicroWeb { pages }
+    }
+}
+
+impl NetworkService for MicroWeb {
+    fn resolve_ranked(&self, _d: &Domain) -> Result<(), DnsError> {
+        Ok(())
+    }
+    fn resolve_third_party(&self, _d: &Domain) -> Result<(), DnsError> {
+        Ok(())
+    }
+    fn fetch(&self, req: &HttpRequest, _now: Timestamp) -> Result<HttpResponse, NetError> {
+        let key = format!(
+            "{}://{}{}",
+            req.url.scheme().as_str(),
+            req.url.host(),
+            req.url.path()
+        );
+        Ok(match self.pages.get(&key) {
+            Some((ct, body)) => HttpResponse::ok(ct, body.clone()),
+            None => HttpResponse::not_found(),
+        })
+    }
+}
+
+fn run(store: AttestationStore, label: &str) {
+    println!("--- {label} ---");
+    let classifier = Arc::new(Classifier::new(1));
+    let mut browser = Browser::new(classifier, store, BrowserConfig::default(), 7);
+    let visit = browser
+        .visit(
+            &MicroWeb::new(),
+            &Url::parse("https://news.example/").unwrap(),
+            Timestamp::CRAWL_START,
+        )
+        .expect("micro-web always loads");
+    for call in &visit.topics_calls {
+        println!(
+            "  caller = {:<22} context = {:<6} via = {:<22} type = {:<10} decision = {:?}",
+            call.caller.as_str(),
+            if call.root_context { "ROOT" } else { "iframe" },
+            call.script_source
+                .as_ref()
+                .map(|d| d.as_str())
+                .unwrap_or("(inline)"),
+            format!("{:?}", call.call_type),
+            call.decision,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 4 — the origin mechanism with scripts and iframes\n");
+    println!(
+        "The page news.example includes a tag-manager script directly\n\
+         (root context) and an ad platform via an iframe (own context).\n"
+    );
+
+    // The paper's crawler: corrupted allow-list, everything executes.
+    run(
+        AttestationStore::corrupted(),
+        "corrupted allow-list (fail-open bug, the paper's setup)",
+    );
+
+    // A stock browser: only the enrolled ad platform may call.
+    run(
+        AttestationStore::healthy([Domain::parse("adplatform.example").unwrap()]),
+        "healthy allow-list (only adplatform.example enrolled)",
+    );
+
+    println!(
+        "Note how the script-included tag is attributed to news.example —\n\
+         the website itself — exactly the §4 anomalous-call signature,\n\
+         while the iframe call belongs to adplatform.example."
+    );
+}

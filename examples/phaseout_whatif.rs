@@ -1,0 +1,99 @@
+//! What-if: the cookie phase-out completes and the Topics API becomes
+//! "the de facto standard for behavioural advertising" (the paper's
+//! conclusion).
+//!
+//! Crawls the same 10,000-site web under two registries:
+//!
+//! * **Paper 2024** — 47 of 193 enrolled platforms testing the API on
+//!   controlled A/B fractions (what the paper measured);
+//! * **Full adoption** — every enrolled-and-attested platform calls on
+//!   every site where it is embedded, experiments over.
+//!
+//! and compares what a user's browser would experience.
+//!
+//! ```sh
+//! cargo run --release --example phaseout_whatif
+//! ```
+
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::crawler::campaign::{run_campaign, CampaignConfig};
+use topics_core::webgen::{RegistryScenario, World, WorldConfig};
+
+struct Observed {
+    coverage: f64,
+    callers: usize,
+    calls_per_covered_site: f64,
+    questionable_cps: usize,
+}
+
+fn observe(scenario: RegistryScenario, seed: u64, sites: usize) -> Observed {
+    let mut wc = WorldConfig::scaled(seed, sites);
+    wc.scenario = scenario;
+    let world = World::generate(wc);
+    let outcome = run_campaign(&world, &CampaignConfig::default());
+    let ds = Datasets::new(&outcome);
+    let legit_calls = ds
+        .calls(DatasetId::AfterAccept)
+        .filter(|(_, c)| {
+            let class = ds.classify(&c.caller_site);
+            class.allowed && class.attested
+        })
+        .count();
+    let covered = (ds.legitimate_coverage(DatasetId::AfterAccept)
+        * ds.len(DatasetId::AfterAccept) as f64)
+        .max(1.0);
+    Observed {
+        coverage: ds.legitimate_coverage(DatasetId::AfterAccept),
+        callers: ds
+            .calling_parties(DatasetId::AfterAccept)
+            .iter()
+            .filter(|cp| outcome.is_allowed(cp) && outcome.is_attested(cp))
+            .count(),
+        calls_per_covered_site: legit_calls as f64 / covered,
+        questionable_cps: ds
+            .calling_parties(DatasetId::BeforeAccept)
+            .iter()
+            .filter(|cp| outcome.is_allowed(cp))
+            .count(),
+    }
+}
+
+fn main() {
+    let seed = 2024;
+    let sites = 10_000;
+    eprintln!("crawling the same {sites}-site web under both scenarios …");
+    let paper = observe(RegistryScenario::Paper2024, seed, sites);
+    let full = observe(RegistryScenario::FullAdoption, seed, sites);
+
+    println!(
+        "{:<44} {:>14} {:>16}",
+        "metric", "paper 2024", "full adoption"
+    );
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:<44} {:>13.1}% {:>15.1}%",
+        "D_AA sites with ≥1 legitimate Topics call",
+        paper.coverage * 100.0,
+        full.coverage * 100.0
+    );
+    println!(
+        "{:<44} {:>14} {:>16}",
+        "distinct legitimate callers observed", paper.callers, full.callers
+    );
+    println!(
+        "{:<44} {:>14.1} {:>16.1}",
+        "legitimate calls per covered site", paper.calls_per_covered_site, full.calls_per_covered_site
+    );
+    println!(
+        "{:<44} {:>14} {:>16}",
+        "questionable (Before-Accept) enrolled CPs", paper.questionable_cps, full.questionable_cps
+    );
+
+    println!(
+        "\nWith experiments over, nearly every ad-carrying page queries the\n\
+         user's topics — often several times per view — and every consent\n\
+         violator fires at full rate. The paper's early-2024 snapshot is a\n\
+         fraction of the steady state its conclusion anticipates; the gap\n\
+         between the two columns is how much deployment headroom was left."
+    );
+}

@@ -1,0 +1,27 @@
+//! Quickstart: generate a small synthetic web, run the measurement
+//! campaign, and print the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs at 5,000 sites in a few seconds. For the full 50,000-site
+//! reproduction use `full_campaign`.
+
+use topics_core::{comparison_rows, evaluate, render_comparison, Lab, LabConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    let sites = 5_000;
+    eprintln!("generating a {sites}-site web (seed {seed}) …");
+    let lab = Lab::new(LabConfig::quick(seed, sites));
+    eprintln!("crawling (Before-Accept + After-Accept, corrupted allow-list) …");
+    let outcome = lab.run();
+    let eval = evaluate(&outcome);
+    println!("{}", eval.render_report());
+    println!("== Paper vs measured (rates only at this scale) ==");
+    println!("{}", render_comparison(&comparison_rows(&eval, false)));
+}

@@ -1,0 +1,100 @@
+//! A single user's Topics state, week by week — the §2.1 mechanism made
+//! visible (the left half of the paper's Figure 1).
+//!
+//! Simulates one user browsing for five one-week epochs, printing after
+//! each epoch: the sites visited, the epoch's top-5 topics (with the
+//! random padding marked), and what two different callers — one that
+//! observed the user everywhere, one that never did — receive from
+//! `browsingTopics()`.
+//!
+//! ```sh
+//! cargo run --example user_week
+//! ```
+
+use std::sync::Arc;
+use topics_core::browser::origin::Site;
+use topics_core::browser::topics::TopicsEngine;
+use topics_core::net::clock::Timestamp;
+use topics_core::net::url::Url;
+use topics_core::taxonomy::{Classifier, Taxonomy};
+
+fn site(name: &str) -> Site {
+    Site::of(&Url::parse(&format!("https://{name}/")).unwrap())
+}
+
+fn main() {
+    let taxonomy = Taxonomy::global();
+    let classifier = Arc::new(Classifier::new(2024).with_unclassifiable_rate(0.0));
+    let mut engine = TopicsEngine::new(classifier, 7, true);
+    let observer = topics_core::net::Domain::parse("everywhere-ads.com").unwrap();
+    let stranger = topics_core::net::Domain::parse("new-entrant.com").unwrap();
+
+    // A user with stable habits plus some one-off visits.
+    let habits = ["morning-news.com", "football-scores.net", "recipe-box.org"];
+    let one_offs = [
+        vec!["flight-deals.com", "hotel-browse.com"],
+        vec!["game-reviews.net"],
+        vec!["tax-help.org", "bank-rates.com", "loan-compare.net"],
+        vec!["garden-tools.com"],
+        vec!["movie-times.net", "series-guide.com"],
+    ];
+
+    for epoch in 0..5u64 {
+        let now = Timestamp::from_weeks(epoch);
+        let mut visited: Vec<&str> = habits.to_vec();
+        visited.extend(one_offs[epoch as usize].iter());
+        for name in &visited {
+            let s = site(name);
+            engine.record_visit(&s, now);
+            // The pervasive ad network is embedded on every page.
+            engine.record_observation(&observer, &s, now);
+        }
+        println!("— epoch {epoch} ({}) —", now);
+        println!("  visited: {}", visited.join(", "));
+        print!("  top-5:   ");
+        for t in engine.top5(epoch) {
+            let name = &taxonomy.get(t.topic).expect("valid id").name;
+            print!("[{}{}] ", name, if t.real { "" } else { " •random" });
+        }
+        println!();
+
+        if epoch >= 1 {
+            let ask = site("publisher-page.com");
+            let seen = engine
+                .browsing_topics(&observer, &ask, now)
+                .expect("enabled");
+            let blind = engine
+                .browsing_topics(&stranger, &ask, now)
+                .expect("enabled");
+            let render = |answer: &topics_core::browser::topics::TopicsAnswer| {
+                if answer.topics.is_empty() {
+                    "(nothing)".to_owned()
+                } else {
+                    answer
+                        .topics
+                        .iter()
+                        .map(|t| {
+                            format!(
+                                "{}{}",
+                                taxonomy.get(t.topic).expect("valid").name,
+                                if t.noised { " •random" } else { "" }
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            };
+            println!("  everywhere-ads.com receives: {}", render(&seen));
+            println!("  new-entrant.com   receives: {}", render(&blind));
+        }
+        println!();
+    }
+
+    println!(
+        "The pervasive observer gradually learns the user's interests; the\n\
+         newcomer — having observed nothing — receives only the occasional\n\
+         random topic (the 5% plausible-deniability noise and the padding\n\
+         of thin epochs). That per-caller filtering is what the enrolment\n\
+         and attestation rules of §2.3 protect."
+    );
+}

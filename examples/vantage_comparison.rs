@@ -1,0 +1,82 @@
+//! Vantage-point comparison — the paper's §6 limitation, measured.
+//!
+//! "Our experiments were conducted from a single location in Europe, and
+//! we cannot rule out the possibility that websites may exhibit
+//! different behavior based on a user's location." Here the same
+//! synthetic web is crawled twice: once from Europe (the paper's
+//! vantage) and once from the United States, where geo-targeted sites
+//! withhold their GDPR banner and run in an implied-consent regime.
+//!
+//! ```sh
+//! cargo run --release --example vantage_comparison
+//! ```
+
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::crawler::campaign::{run_campaign, CampaignConfig};
+use topics_core::net::http::Vantage;
+use topics_core::{Lab, LabConfig};
+
+struct View {
+    visited: usize,
+    banners_seen: usize,
+    accepted: usize,
+    pre_consent_callers: usize,
+    pre_consent_sites: usize,
+}
+
+fn crawl(lab: &Lab, vantage: Vantage) -> View {
+    let config = CampaignConfig {
+        vantage,
+        ..CampaignConfig::default()
+    };
+    let outcome = run_campaign(&lab.world, &config);
+    let ds = Datasets::new(&outcome);
+    let banners_seen = ds
+        .visits(DatasetId::BeforeAccept)
+        .filter(|v| v.banner_found)
+        .count();
+    let pre_consent_sites = ds
+        .visits(DatasetId::BeforeAccept)
+        .filter(|v| v.topics_calls.iter().any(|c| c.permitted()))
+        .count();
+    View {
+        visited: outcome.visited_count(),
+        banners_seen,
+        accepted: outcome.accepted_count(),
+        pre_consent_callers: ds.calling_parties(DatasetId::BeforeAccept).len(),
+        pre_consent_sites,
+    }
+}
+
+fn main() {
+    let seed = 2024;
+    let sites = 10_000;
+    eprintln!("building a {sites}-site web and crawling from two vantages …");
+    let lab = Lab::new(LabConfig::quick(seed, sites));
+    let eu = crawl(&lab, Vantage::Europe);
+    let us = crawl(&lab, Vantage::UnitedStates);
+
+    println!(
+        "{:<46} {:>12} {:>12}",
+        "metric", "EU vantage", "US vantage"
+    );
+    println!("{}", "-".repeat(72));
+    for (label, a, b) in [
+        ("sites visited (D_BA)", eu.visited, us.visited),
+        ("banners encountered", eu.banners_seen, us.banners_seen),
+        ("banners accepted (D_AA)", eu.accepted, us.accepted),
+        ("first-visit Topics callers", eu.pre_consent_callers, us.pre_consent_callers),
+        ("first-visit sites with a call", eu.pre_consent_sites, us.pre_consent_sites),
+    ] {
+        println!("{label:<46} {a:>12} {b:>12}");
+    }
+
+    println!(
+        "\nFrom the US, geo-targeted sites withhold their GDPR banner and\n\
+         serve the implied-consent page: fewer banners and a smaller D_AA,\n\
+         but MORE first-visit Topics activity — the ungated tags run\n\
+         immediately. A Europe-only crawl therefore *under*-estimates how\n\
+         much topics traffic a non-European user leaks, exactly the bias\n\
+         the paper flags in §6."
+    );
+}

@@ -1,0 +1,212 @@
+//! End-to-end integration: world generation → crawl → records.
+//!
+//! Exercises the full pipeline the paper describes in §2 at a reduced
+//! scale and checks the *mechanisms* (not the full-scale counts, which
+//! the `full_campaign` example and EXPERIMENTS.md cover).
+
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::browser::observer::CallType;
+use topics_core::crawler::record::Phase;
+use topics_core::{evaluate, Lab, LabConfig};
+
+const SEED: u64 = 90_210;
+const SITES: usize = 1_500;
+
+fn run() -> &'static topics_core::crawler::record::CampaignOutcome {
+    use std::sync::OnceLock;
+    static OUTCOME: OnceLock<topics_core::crawler::record::CampaignOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| Lab::new(LabConfig::quick(SEED, SITES)).run())
+}
+
+#[test]
+fn campaign_produces_both_datasets() {
+    let outcome = run();
+    assert_eq!(outcome.sites.len(), SITES);
+    let visited = outcome.visited_count();
+    let accepted = outcome.accepted_count();
+    // ≈86.8% visited, ≈34% of those accepted.
+    assert!((1_230..=1_380).contains(&visited), "visited {visited}");
+    assert!((330..=620).contains(&accepted), "accepted {accepted}");
+    for s in &outcome.sites {
+        if let Some(after) = &s.after {
+            assert_eq!(after.phase, Phase::AfterAccept);
+            assert!(s.before.is_some(), "D_AA ⊂ D_BA");
+        }
+        if s.before.is_none() {
+            assert!(s.error.is_some(), "failed sites carry an error");
+        }
+    }
+}
+
+#[test]
+fn all_call_types_appear_in_the_wild() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let mut js = 0;
+    let mut fetch = 0;
+    let mut iframe = 0;
+    for (_, c) in ds.calls(DatasetId::AfterAccept) {
+        match c.call_type {
+            CallType::JavaScript => js += 1,
+            CallType::Fetch => fetch += 1,
+            CallType::Iframe => iframe += 1,
+        }
+    }
+    assert!(js > 0, "JavaScript calls present");
+    assert!(fetch > 0, "Fetch calls present");
+    assert!(iframe > 0, "IFrame calls present");
+    // Anomalous (non-allowed, non-attested) callers use JavaScript
+    // exclusively, like the paper's §4 observation. distillery.com — the
+    // lone ¬Allowed ∧ Attested party — is exempt: it runs a first-party
+    // fetch-type integration.
+    for (_, c) in ds.calls(DatasetId::AfterAccept) {
+        if !outcome.is_allowed(&c.caller_site) && !outcome.is_attested(&c.caller_site) {
+            assert_eq!(c.call_type, CallType::JavaScript);
+        }
+    }
+}
+
+#[test]
+fn consent_gating_shows_in_the_diff_between_visits() {
+    let outcome = run();
+    // On at least some sites the After-Accept visit must surface parties
+    // that the Before-Accept visit did not load (server-side gating).
+    let mut sites_with_new_parties = 0;
+    for s in &outcome.sites {
+        if let (Some(before), Some(after)) = (&s.before, &s.after) {
+            let new: Vec<_> = after
+                .party_domains
+                .iter()
+                .filter(|d| !before.party_domains.contains(d))
+                .collect();
+            if !new.is_empty() {
+                sites_with_new_parties += 1;
+            }
+        }
+    }
+    assert!(
+        sites_with_new_parties > 20,
+        "gated tags appear after consent on many sites: {sites_with_new_parties}"
+    );
+}
+
+#[test]
+fn doubleclick_never_calls_before_accept_but_yandex_does() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let dba_callers = ds.calling_parties(DatasetId::BeforeAccept);
+    assert!(
+        !dba_callers.iter().any(|d| d.as_str() == "doubleclick.net"),
+        "doubleclick respects consent"
+    );
+    assert!(
+        dba_callers.iter().any(|d| d.as_str().starts_with("yandex")),
+        "yandex calls before consent"
+    );
+}
+
+#[test]
+fn attestation_probes_separate_allowed_and_attested() {
+    let outcome = run();
+    // 193 allowed domains; exactly 12 of them not attested.
+    assert_eq!(outcome.allow_list.len(), 193);
+    let not_attested = outcome
+        .allow_list
+        .iter()
+        .filter(|d| !outcome.is_attested(d))
+        .count();
+    assert_eq!(not_attested, 12);
+    // distillery.com is attested but not allowed.
+    let distillery = topics_core::net::Domain::parse("distillery.com").unwrap();
+    assert!(outcome.is_attested(&distillery));
+    assert!(!outcome.is_allowed(&distillery));
+}
+
+#[test]
+fn crawler_survives_pathological_sites() {
+    // A bigger world so all three pathologies (redirect loop, 500,
+    // empty page) occur; the campaign must complete and classify them
+    // sensibly.
+    let outcome = Lab::new(LabConfig::quick(4242, 3_000).with_threads(8)).run();
+    let lab = Lab::new(LabConfig::quick(4242, 3_000));
+    let mut loops = 0;
+    let mut errors_or_empty = 0;
+    for spec in lab.world.sites().iter().filter(|s| s.pathology.is_some()) {
+        let site = &outcome.sites[spec.rank];
+        match spec.pathology.unwrap() {
+            topics_core::webgen::site::Pathology::RedirectLoop => {
+                // Either DNS killed it first or the redirect guard did.
+                if let Some(err) = &site.error {
+                    if err.contains("redirects") {
+                        loops += 1;
+                    }
+                }
+                assert!(!site.accepted());
+            }
+            topics_core::webgen::site::Pathology::ServerError
+            | topics_core::webgen::site::Pathology::EmptyPage => {
+                // These pages load (or fail DNS) but never yield a banner.
+                if site.visited() {
+                    errors_or_empty += 1;
+                    let v = site.before.as_ref().unwrap();
+                    assert!(!v.banner_found);
+                    assert!(v.topics_calls.is_empty());
+                }
+                assert!(!site.accepted());
+            }
+        }
+    }
+    assert!(loops > 0, "some redirect loops were caught by the guard");
+    assert!(errors_or_empty > 0, "some degenerate pages were visited");
+}
+
+#[test]
+fn reject_protocol_keeps_gated_tags_hidden() {
+    use topics_core::crawler::campaign::{run_campaign, CampaignConfig};
+    use topics_core::crawler::ConsentAction;
+    let lab = Lab::new(LabConfig::quick(SEED, 800));
+    let config = CampaignConfig {
+        consent_action: ConsentAction::Reject,
+        ..CampaignConfig::default()
+    };
+    let outcome = run_campaign(&lab.world, &config);
+    let rejected = outcome.sites.iter().filter(|s| s.rejected()).count();
+    assert!(rejected > 100, "reject buttons are clicked: {rejected}");
+    assert_eq!(
+        outcome.accepted_count(),
+        0,
+        "the reject campaign never accepts"
+    );
+    let ds = Datasets::new(&outcome);
+    for s in &outcome.sites {
+        if let (Some(before), Some(after)) = (&s.before, &s.after) {
+            assert_eq!(after.phase, Phase::AfterReject);
+            // No consent ⇒ no gated tag may appear.
+            for d in &after.party_domains {
+                assert!(
+                    before.party_domains.contains(d),
+                    "{d} appeared only after REJECTION on {}",
+                    s.website
+                );
+            }
+        }
+    }
+    // Respectful platforms never call after a refusal; violators and
+    // ungated GTM containers still do.
+    let dr_callers = ds.calling_parties(DatasetId::AfterReject);
+    assert!(!dr_callers.iter().any(|d| d.as_str() == "doubleclick.net"));
+    assert!(!dr_callers.is_empty(), "some callers defy the refusal");
+}
+
+#[test]
+fn evaluation_runs_on_the_small_campaign() {
+    let outcome = run();
+    let eval = evaluate(outcome);
+    assert_eq!(eval.table1.allowed_total, 193);
+    assert!(eval.stats.unique_third_parties > 500);
+    assert!(eval.stats.legitimate_coverage_aa > 0.3);
+    assert!(!eval.fig2.is_empty());
+    assert!(!eval.fig5.is_empty());
+    let report = eval.render_report();
+    assert!(report.contains("Figure 7"));
+}

@@ -1,0 +1,121 @@
+//! Integration: determinism and configuration isolation.
+//!
+//! The whole workspace derives from a single campaign seed; two runs
+//! with the same seed must agree bit for bit, different seeds must
+//! differ, and the allow-list ablation setups must only change what
+//! they claim to change.
+
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::crawler::campaign::AllowListSetup;
+use topics_core::crawler::record::CampaignOutcome;
+use topics_core::{Lab, LabConfig};
+
+const SITES: usize = 600;
+
+fn run(seed: u64) -> CampaignOutcome {
+    Lab::new(LabConfig::quick(seed, SITES)).run()
+}
+
+fn call_signature(outcome: &CampaignOutcome) -> Vec<(String, String, usize)> {
+    outcome
+        .sites
+        .iter()
+        .flat_map(|s| s.before.iter().chain(s.after.iter()))
+        .map(|v| {
+            (
+                v.website.as_str().to_owned(),
+                format!("{:?}", v.phase),
+                v.topics_calls.len(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.visited_count(), b.visited_count());
+    assert_eq!(a.accepted_count(), b.accepted_count());
+    assert_eq!(call_signature(&a), call_signature(&b));
+    // Full record equality via serde.
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(ja, jb, "identical seeds produce identical campaigns");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(11);
+    let b = run(12);
+    assert_ne!(call_signature(&a), call_signature(&b));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let world_cfg = LabConfig::quick(31, SITES);
+    let lab = Lab::new(world_cfg.clone().with_threads(1));
+    let single = lab.run();
+    let lab8 = Lab::new(world_cfg.with_threads(8));
+    let eight = lab8.run();
+    assert_eq!(call_signature(&single), call_signature(&eight));
+}
+
+#[test]
+fn allow_list_setups_only_change_decisions() {
+    let corrupted = Lab::new(LabConfig::quick(41, SITES)).run();
+    let healthy =
+        Lab::new(LabConfig::quick(41, SITES).with_allow_list(AllowListSetup::Healthy)).run();
+
+    // Same sites visited, same objects loaded.
+    assert_eq!(corrupted.visited_count(), healthy.visited_count());
+    for (a, b) in corrupted.sites.iter().zip(&healthy.sites) {
+        assert_eq!(a.website, b.website);
+        match (&a.before, &b.before) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.party_domains, y.party_domains);
+                assert_eq!(x.object_count, y.object_count);
+            }
+            (None, None) => {}
+            _ => panic!("visit success must not depend on the allow-list"),
+        }
+    }
+
+    // But executed calls differ: the healthy browser blocks non-enrolled
+    // callers.
+    let executed_unallowed = |o: &CampaignOutcome| {
+        let ds = Datasets::new(o);
+        ds.calls(DatasetId::AfterAccept)
+            .filter(|(_, c)| !o.is_allowed(&c.caller_site))
+            .count()
+    };
+    assert!(executed_unallowed(&corrupted) > 0);
+    assert_eq!(executed_unallowed(&healthy), 0);
+
+    // Legitimate (allowed) callers behave identically in both setups.
+    let legit_calls = |o: &CampaignOutcome| {
+        let ds = Datasets::new(o);
+        let mut v: Vec<String> = ds
+            .calls(DatasetId::AfterAccept)
+            .filter(|(_, c)| o.is_allowed(&c.caller_site))
+            .map(|(site, c)| format!("{site}:{}", c.caller_site))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(legit_calls(&corrupted), legit_calls(&healthy));
+}
+
+#[test]
+fn fixed_browser_blocks_everything_under_corruption() {
+    let fixed = Lab::new(
+        LabConfig::quick(51, SITES).with_allow_list(AllowListSetup::CorruptedFailClosed),
+    )
+    .run();
+    let ds = Datasets::new(&fixed);
+    assert_eq!(
+        ds.calls(DatasetId::AfterAccept).count() + ds.calls(DatasetId::BeforeAccept).count(),
+        0,
+        "fail-closed + corrupt DB executes no calls at all"
+    );
+}

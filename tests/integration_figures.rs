@@ -1,0 +1,136 @@
+//! Integration: figure-level shape checks on a mid-size crawl.
+//!
+//! Each test asserts one qualitative finding of the paper's evaluation
+//! on a 4,000-site campaign — large enough for the named platforms'
+//! statistics to stabilise.
+
+use topics_core::analysis::abtest::{clustering_share, fit_fraction};
+use topics_core::analysis::anomalous::anomalous_stats;
+use topics_core::analysis::cmp_usage::fig7;
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::analysis::figures::{fig2, fig3, fig5, fig6};
+use topics_core::analysis::timeline::timeline;
+use topics_core::crawler::record::CampaignOutcome;
+use topics_core::net::region::Region;
+use topics_core::{Lab, LabConfig};
+
+const SEED: u64 = 777;
+const SITES: usize = 4_000;
+
+fn run() -> &'static CampaignOutcome {
+    use std::sync::OnceLock;
+    static OUTCOME: OnceLock<CampaignOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| Lab::new(LabConfig::quick(SEED, SITES)).run())
+}
+
+#[test]
+fn fig2_shape_ga_first_doubleclick_third_enabled() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let rows = fig2(&ds, 15);
+    assert!(rows.len() >= 10, "at least ten pervasive CPs");
+    // google-analytics is the most pervasive and never calls.
+    assert_eq!(rows[0].cp.as_str(), "google-analytics.com");
+    assert_eq!(rows[0].called, 0);
+    // doubleclick is second and calls on roughly a third of its sites.
+    assert_eq!(rows[1].cp.as_str(), "doubleclick.net");
+    let dc = rows[1].enabled_fraction();
+    assert!((0.25..=0.42).contains(&dc), "doubleclick enabled {dc}");
+    // bing is present but never calls.
+    let bing = rows.iter().find(|r| r.cp.as_str() == "bing.com").unwrap();
+    assert_eq!(bing.called, 0);
+}
+
+#[test]
+fn fig3_fractions_cluster_on_canonical_arms() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let rows = fig3(&ds, 15);
+    assert!(!rows.is_empty());
+    // Most CPs sit near an arm.
+    assert!(clustering_share(&rows, 0.10) > 0.7);
+    // criteo's arm is 75%.
+    if let Some(criteo) = rows.iter().find(|r| r.cp.as_str() == "criteo.com") {
+        assert_eq!(fit_fraction(criteo.enabled_fraction()).nearest, 0.75);
+    }
+    // The ranking is by enabled fraction, descending.
+    for w in rows.windows(2) {
+        assert!(w[0].enabled_fraction() >= w[1].enabled_fraction());
+    }
+}
+
+#[test]
+fn fig5_yandex_tops_and_doubleclick_is_absent() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let rows = fig5(&ds, 15);
+    assert!(!rows.is_empty());
+    assert!(
+        rows[0].cp.as_str().starts_with("yandex"),
+        "top questionable CP is yandex, got {}",
+        rows[0].cp
+    );
+    assert!(rows.iter().all(|r| r.cp.as_str() != "doubleclick.net"));
+    assert!(rows.iter().all(|r| r.cp.as_str() != "google-analytics.com"));
+}
+
+#[test]
+fn fig6_yandex_is_russian_criteo_is_global() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let yandex = topics_core::net::Domain::parse("yandex.com").unwrap();
+    let criteo = topics_core::net::Domain::parse("criteo.com").unwrap();
+    let rows = fig6(&ds, &[yandex, criteo]);
+    let idx = |r: Region| Region::ALL.iter().position(|x| *x == r).unwrap();
+    let (yx, cr) = (&rows[0], &rows[1]);
+    // Yandex: no Japan presence; Russia dominates its footprint.
+    assert_eq!(yx.by_region[idx(Region::Japan)].0, 0);
+    assert!(yx.by_region[idx(Region::Russia)].0 > yx.by_region[idx(Region::EuropeanUnion)].0);
+    // Criteo: present in every region, including Japan.
+    for r in Region::ALL {
+        assert!(cr.by_region[idx(r)].0 > 0, "criteo missing from {r}");
+    }
+}
+
+#[test]
+fn fig7_hubspot_is_the_leaky_cmp() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let f = fig7(&ds);
+    assert!(f.total_sites > 3_000);
+    assert!(f.questionable_sites > 0);
+    let hubspot = f.rows.iter().find(|r| r.cmp.spec().name == "HubSpot").unwrap();
+    let onetrust = f.rows.iter().find(|r| r.cmp.spec().name == "OneTrust").unwrap();
+    // HubSpot leaks more than the market leader.
+    assert!(
+        hubspot.p_questionable_given_cmp() > onetrust.p_questionable_given_cmp(),
+        "HubSpot {} vs OneTrust {}",
+        hubspot.p_questionable_given_cmp(),
+        onetrust.p_questionable_given_cmp()
+    );
+    // OneTrust is the most observed CMP.
+    assert!(f.rows.iter().all(|r| r.sites <= onetrust.sites));
+}
+
+#[test]
+fn sec4_anomalous_calls_are_first_party_javascript_with_gtm() {
+    let outcome = run();
+    let ds = Datasets::new(outcome);
+    let s = anomalous_stats(&ds, DatasetId::AfterAccept);
+    assert!(s.distinct_cps > 50, "anomalous CPs at this scale: {}", s.distinct_cps);
+    assert!(s.total_calls >= s.distinct_cps);
+    assert_eq!(s.javascript_fraction, 1.0, "all anomalous calls are JS");
+    assert!(s.same_second_level_fraction > 0.55);
+    assert!(s.gtm_cooccurrence > 0.85);
+}
+
+#[test]
+fn timeline_starts_june_2023_and_spreads() {
+    let outcome = run();
+    let t = timeline(outcome);
+    let (y, m, d) = t.first.unwrap().to_date();
+    assert_eq!((y, m, d), (2023, 6, 16), "first attestation June 16th, 2023");
+    assert!(t.by_month.len() >= 10);
+    assert_eq!(t.total, 193 - 12 + 1, "181 attested allowed + distillery");
+    assert_eq!(t.with_enrollment_site, 0, "probed before October 2024");
+}

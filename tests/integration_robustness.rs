@@ -1,0 +1,155 @@
+//! Cross-seed robustness: the paper's qualitative findings must hold on
+//! *any* synthetic web drawn from the model, not just the calibrated
+//! default seed — a guard against seed-overfitting.
+
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::{comparison_rows, evaluate, Lab, LabConfig};
+
+const SITES: usize = 2_500;
+
+fn check_seed(seed: u64) {
+    let outcome = Lab::new(LabConfig::quick(seed, SITES)).run();
+    let eval = evaluate(&outcome);
+    let ds = Datasets::new(&outcome);
+
+    // Rate-style shape checks (the scale-independent subset of the
+    // EXPERIMENTS bands) must pass for every seed.
+    let rows = comparison_rows(&eval, false);
+    let failures: Vec<String> = rows
+        .iter()
+        .filter(|r| r.ok == Some(false))
+        // Per-CP fraction rows are noisy at 2.5k sites, and legitimate
+        // coverage is rank-sensitive (the top of the Tranco list carries
+        // more ads than the full 50k, so a 2.5k prefix overshoots the
+        // 50k band). The structural and rate rows must hold everywhere.
+        .filter(|r| {
+            !matches!(
+                r.metric,
+                // Per-CP fractions and the HubSpot conditionals rest on
+                // a few dozen samples at 2.5k sites; they are verified at
+                // full scale (EXPERIMENTS.md) and via ordering checks in
+                // integration_figures.
+                "criteo.com enabled fraction"
+                    | "D_AA sites with ≥1 legitimate call"
+                    | "HubSpot over-representation"
+                    | "P(questionable | HubSpot)"
+            )
+        })
+        .map(|r| format!("{} / {} = {}", r.experiment, r.metric, r.measured))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "seed {seed}: shape deviations at small scale: {failures:?}"
+    );
+
+    // Qualitative invariants.
+    assert!(
+        !ds.calling_parties(DatasetId::BeforeAccept)
+            .iter()
+            .any(|d| d.as_str() == "doubleclick.net"),
+        "seed {seed}: doubleclick called before consent"
+    );
+    assert!(
+        eval.anomalous.javascript_fraction == 1.0 || eval.anomalous.total_calls == 0,
+        "seed {seed}: anomalous calls must be JavaScript-only"
+    );
+    assert!(
+        eval.table1.allowed_total == 193 && eval.table1.allowed_not_attested == 12,
+        "seed {seed}: registry totals broke"
+    );
+}
+
+#[test]
+fn findings_hold_across_seeds() {
+    // Three seeds far from the calibrated 2024.
+    for seed in [1u64, 987_654_321, 0xDEAD_BEEF] {
+        check_seed(seed);
+    }
+}
+
+#[test]
+fn us_vantage_sees_fewer_banners_but_not_fewer_sites() {
+    use topics_core::crawler::campaign::{run_campaign, CampaignConfig};
+    use topics_core::net::http::Vantage;
+    let lab = Lab::new(LabConfig::quick(55, 1_200));
+    let eu = run_campaign(&lab.world, &CampaignConfig::default());
+    let us = run_campaign(
+        &lab.world,
+        &CampaignConfig {
+            vantage: Vantage::UnitedStates,
+            ..CampaignConfig::default()
+        },
+    );
+    // Reachability is vantage-independent.
+    assert_eq!(eu.visited_count(), us.visited_count());
+    let banners = |o: &topics_core::crawler::record::CampaignOutcome| {
+        o.sites
+            .iter()
+            .filter_map(|s| s.before.as_ref())
+            .filter(|v| v.banner_found)
+            .count()
+    };
+    assert!(
+        banners(&us) < banners(&eu),
+        "geo-targeted banners disappear from the US: {} vs {}",
+        banners(&us),
+        banners(&eu)
+    );
+    assert!(us.accepted_count() < eu.accepted_count());
+    // Geo-targeted implied-consent pages surface MORE parties on the
+    // first visit from the US.
+    let first_visit_parties = |o: &topics_core::crawler::record::CampaignOutcome| {
+        o.sites
+            .iter()
+            .filter_map(|s| s.before.as_ref())
+            .map(|v| v.party_domains.len())
+            .sum::<usize>()
+    };
+    assert!(first_visit_parties(&us) >= first_visit_parties(&eu));
+}
+
+#[test]
+fn world_fetch_is_total_for_arbitrary_urls() {
+    use topics_core::net::http::{HttpRequest, ResourceKind};
+    use topics_core::net::service::NetworkService;
+    use topics_core::net::url::Url;
+    use topics_core::net::Timestamp;
+    let lab = Lab::new(LabConfig::quick(77, 200));
+    // Every path/host combination must return a response, never panic.
+    let hosts = [
+        "www.googletagmanager.com",
+        "webstats-metrics.com",
+        "doubleclick.net",
+        "static.doubleclick.net",
+        "cdn.onetrust.com",
+        "cdn-unknown-minor.com",
+        "totally-unknown.zz",
+        "distillery.com",
+    ];
+    let paths = [
+        "/",
+        "/gtm.js",
+        "/gtm.js?id=GTM-abc",
+        "/gtm.js?id=GTM-999999999",
+        "/tag.js",
+        "/frame",
+        "/bid",
+        "/.well-known/privacy-sandbox-attestations.json",
+        "/nonexistent",
+        "/adframe",
+        "/pframe",
+        "/a/b/c/d",
+    ];
+    for host in hosts {
+        for path in paths {
+            let url = Url::parse(&format!("https://{host}{path}")).unwrap();
+            let req = HttpRequest::get(url, ResourceKind::Document);
+            let resp = lab
+                .world
+                .fetch(&req, Timestamp::CRAWL_START)
+                .expect("fetch is total");
+            // Bodies of successful responses are non-pathological.
+            assert!(resp.body.len() < 1 << 20);
+        }
+    }
+}
