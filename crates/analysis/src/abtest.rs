@@ -171,9 +171,21 @@ mod tests {
     #[test]
     fn clustering_share_counts_close_rows() {
         let rows = vec![
-            PresenceRow { cp: d("a.com"), present: 100, called: 76 }, // ~0.75
-            PresenceRow { cp: d("b.com"), present: 100, called: 49 }, // ~0.50
-            PresenceRow { cp: d("c.com"), present: 100, called: 12 }, // 0.12 — off-arm
+            PresenceRow {
+                cp: d("a.com"),
+                present: 100,
+                called: 76,
+            }, // ~0.75
+            PresenceRow {
+                cp: d("b.com"),
+                present: 100,
+                called: 49,
+            }, // ~0.50
+            PresenceRow {
+                cp: d("c.com"),
+                present: 100,
+                called: 12,
+            }, // 0.12 — off-arm
         ];
         let share = clustering_share(&rows, 0.05);
         assert!((share - 2.0 / 3.0).abs() < 1e-9);

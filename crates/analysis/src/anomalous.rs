@@ -56,9 +56,7 @@ pub fn anomalous_stats(ds: &Datasets<'_>, id: DatasetId) -> AnomalousStats {
             // The anomalous set is the ¬Allowed ∧ ¬Attested callers; the
             // lone ¬Allowed ∧ Attested party (distillery.com) is
             // discussed separately in the paper's §2.4.
-            if ds.outcome().is_allowed(&c.caller_site)
-                || ds.outcome().is_attested(&c.caller_site)
-            {
+            if ds.outcome().is_allowed(&c.caller_site) || ds.outcome().is_attested(&c.caller_site) {
                 continue;
             }
             any = true;
@@ -85,17 +83,19 @@ pub fn anomalous_stats(ds: &Datasets<'_>, id: DatasetId) -> AnomalousStats {
         }
         if any {
             sites_with_anomalous += 1;
-            if v
-                .party_domains
-                .iter()
-                .any(|d| d.as_str() == GTM_DOMAIN)
-            {
+            if v.party_domains.iter().any(|d| d.as_str() == GTM_DOMAIN) {
                 sites_with_anomalous_and_gtm += 1;
             }
         }
     }
 
-    let frac = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let frac = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     AnomalousStats {
         distinct_cps: cps.len(),
         total_calls,
@@ -110,16 +110,31 @@ pub fn anomalous_stats(ds: &Datasets<'_>, id: DatasetId) -> AnomalousStats {
 /// Render the §4 statistics as text.
 pub fn render_anomalous(s: &AnomalousStats) -> String {
     let mut t = Table::new(["metric", "value"]);
-    t.row(vec!["distinct non-Allowed CPs".into(), s.distinct_cps.to_string()]);
+    t.row(vec![
+        "distinct non-Allowed CPs".into(),
+        s.distinct_cps.to_string(),
+    ]);
     t.row(vec!["anomalous calls".into(), s.total_calls.to_string()]);
     t.row(vec![
         "same second-level label as website".into(),
         pct(s.same_second_level_fraction),
     ]);
-    t.row(vec!["GTM on anomalous pages".into(), pct(s.gtm_cooccurrence)]);
-    t.row(vec!["JavaScript call type".into(), pct(s.javascript_fraction)]);
-    t.row(vec!["root-context calls".into(), pct(s.root_context_fraction)]);
-    t.row(vec!["calls from GTM scripts".into(), pct(s.gtm_script_fraction)]);
+    t.row(vec![
+        "GTM on anomalous pages".into(),
+        pct(s.gtm_cooccurrence),
+    ]);
+    t.row(vec![
+        "JavaScript call type".into(),
+        pct(s.javascript_fraction),
+    ]);
+    t.row(vec![
+        "root-context calls".into(),
+        pct(s.root_context_fraction),
+    ]);
+    t.row(vec![
+        "calls from GTM scripts".into(),
+        pct(s.gtm_script_fraction),
+    ]);
     format!("§4 — anomalous usage\n{}", t.render())
 }
 

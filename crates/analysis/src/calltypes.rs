@@ -86,7 +86,11 @@ pub fn render_call_types(mix: &CallTypeMix) -> String {
     ] {
         t.row(vec![
             label.to_owned(),
-            format!("{} ({})", c.javascript, pct(c.fraction(CallType::JavaScript))),
+            format!(
+                "{} ({})",
+                c.javascript,
+                pct(c.fraction(CallType::JavaScript))
+            ),
             format!("{} ({})", c.fetch, pct(c.fraction(CallType::Fetch))),
             format!("{} ({})", c.iframe, pct(c.fraction(CallType::Iframe))),
             c.total().to_string(),

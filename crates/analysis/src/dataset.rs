@@ -53,14 +53,8 @@ impl<'a> Datasets<'a> {
         use topics_crawler::record::Phase;
         self.outcome.sites.iter().filter_map(move |s| match id {
             DatasetId::BeforeAccept => s.before.as_ref(),
-            DatasetId::AfterAccept => s
-                .after
-                .as_ref()
-                .filter(|v| v.phase == Phase::AfterAccept),
-            DatasetId::AfterReject => s
-                .after
-                .as_ref()
-                .filter(|v| v.phase == Phase::AfterReject),
+            DatasetId::AfterAccept => s.after.as_ref().filter(|v| v.phase == Phase::AfterAccept),
+            DatasetId::AfterReject => s.after.as_ref().filter(|v| v.phase == Phase::AfterReject),
         })
     }
 

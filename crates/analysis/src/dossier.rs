@@ -150,7 +150,15 @@ impl Dossier {
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "-".into()),
         ));
-        let mut t = Table::new(["dataset", "present", "calling sites", "calls", "JS", "Fetch", "IFrame"]);
+        let mut t = Table::new([
+            "dataset",
+            "present",
+            "calling sites",
+            "calls",
+            "JS",
+            "Fetch",
+            "IFrame",
+        ]);
         for (label, b) in [
             ("Before-Accept", &self.behaviour[0]),
             ("After-Accept", &self.behaviour[1]),
@@ -249,7 +257,10 @@ mod tests {
         assert_eq!(dos.behaviour[0].by_type[0], 2);
         // Regional split: one .com site, one .ru site.
         let com = Region::ALL.iter().position(|r| *r == Region::Com).unwrap();
-        let ru = Region::ALL.iter().position(|r| *r == Region::Russia).unwrap();
+        let ru = Region::ALL
+            .iter()
+            .position(|r| *r == Region::Russia)
+            .unwrap();
         assert_eq!(dos.presence_by_region[com], 1);
         assert_eq!(dos.calling_by_region[ru], 1);
     }

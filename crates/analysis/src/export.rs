@@ -157,8 +157,9 @@ pub fn geo_csv(rows: &[GeoRow]) -> String {
 
 /// Figure 7 as CSV.
 pub fn cmp_csv(f: &Fig7) -> String {
-    let mut out =
-        String::from("cmp,sites,questionable_sites,p_cmp,p_cmp_given_questionable,p_questionable_given_cmp\n");
+    let mut out = String::from(
+        "cmp,sites,questionable_sites,p_cmp,p_cmp_given_questionable,p_questionable_given_cmp\n",
+    );
     for r in &f.rows {
         out.push_str(&csv_line([
             r.cmp.spec().name,
@@ -249,7 +250,10 @@ mod tests {
         assert_eq!(presence_csv(&p).lines().count(), 1 + p.len());
         let q = figures::fig5(&ds, 10);
         assert_eq!(questionable_csv(&q).lines().count(), 1 + q.len());
-        let g = figures::fig6(&ds, &[topics_net::domain::Domain::parse("violator.com").unwrap()]);
+        let g = figures::fig6(
+            &ds,
+            &[topics_net::domain::Domain::parse("violator.com").unwrap()],
+        );
         assert_eq!(geo_csv(&g).lines().count(), 1 + 5);
         let f7 = cmp_usage::fig7(&ds);
         assert_eq!(cmp_csv(&f7).lines().count(), 1 + 15);

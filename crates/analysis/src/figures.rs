@@ -198,7 +198,10 @@ pub struct GeoRow {
 impl GeoRow {
     /// Enabled fraction in one region.
     pub fn enabled(&self, region: Region) -> f64 {
-        let idx = Region::ALL.iter().position(|r| *r == region).expect("region");
+        let idx = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region");
         let (present, called) = self.by_region[idx];
         if present == 0 {
             0.0
@@ -220,7 +223,10 @@ pub fn fig6(ds: &Datasets<'_>, cps: &[Domain]) -> Vec<GeoRow> {
         .collect();
     for v in ds.visits(DatasetId::BeforeAccept) {
         let region = Region::of(&v.website);
-        let idx = Region::ALL.iter().position(|r| *r == region).expect("region");
+        let idx = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region");
         for row in rows.iter_mut() {
             if v.has_party(&row.cp) {
                 row.by_region[idx].0 += 1;
@@ -264,12 +270,18 @@ mod tests {
         let ds = Datasets::new(&outcome);
         let rows = fig2(&ds, 10);
         // goodads.com present on site-a and site-c in D_AA, calling on both.
-        let goodads = rows.iter().find(|r| r.cp.as_str() == "goodads.com").unwrap();
+        let goodads = rows
+            .iter()
+            .find(|r| r.cp.as_str() == "goodads.com")
+            .unwrap();
         assert_eq!(goodads.present, 2);
         assert_eq!(goodads.called, 2);
         assert_eq!(goodads.enabled_fraction(), 1.0);
         // violator.com present on site-a in D_AA but never calls there.
-        let violator = rows.iter().find(|r| r.cp.as_str() == "violator.com").unwrap();
+        let violator = rows
+            .iter()
+            .find(|r| r.cp.as_str() == "violator.com")
+            .unwrap();
         assert_eq!(violator.present, 1);
         assert_eq!(violator.called, 0);
     }
@@ -298,8 +310,7 @@ mod tests {
         let ds = Datasets::new(&outcome);
         let rows = fig6(&ds, &[d("violator.com")]);
         let row = &rows[0];
-        let idx =
-            |r: Region| Region::ALL.iter().position(|x| *x == r).unwrap();
+        let idx = |r: Region| Region::ALL.iter().position(|x| *x == r).unwrap();
         assert_eq!(row.by_region[idx(Region::Com)], (1, 1)); // site-a.com
         assert_eq!(row.by_region[idx(Region::Russia)], (1, 1)); // site-b.ru
         assert_eq!(row.by_region[idx(Region::Japan)], (0, 0));

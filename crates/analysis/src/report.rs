@@ -109,7 +109,11 @@ where
 {
     let rows: Vec<(&str, f64)> = rows.into_iter().collect();
     let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = format!("{title}\n");
     for (label, value) in rows {
         let pad = " ".repeat(label_w - label.chars().count());

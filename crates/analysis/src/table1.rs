@@ -81,7 +81,11 @@ impl Table1 {
     /// Render in the paper's layout.
     pub fn render(&self) -> String {
         let mut table = Table::new(vec!["", "Class", "CPs"]);
-        table.row(vec!["".into(), "Allowed".into(), self.allowed_total.to_string()]);
+        table.row(vec![
+            "".into(),
+            "Allowed".into(),
+            self.allowed_total.to_string(),
+        ]);
         table.row(vec![
             "".into(),
             "Allowed & !Attested".into(),

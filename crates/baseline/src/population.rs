@@ -93,15 +93,19 @@ pub struct User {
 
 impl User {
     /// The sites this user visited in `epoch` (deterministic).
-    pub fn visits_in_epoch(&self, universe: &SiteUniverse, epoch: u64, per_epoch: usize) -> Vec<usize> {
+    pub fn visits_in_epoch(
+        &self,
+        universe: &SiteUniverse,
+        epoch: u64,
+        per_epoch: usize,
+    ) -> Vec<usize> {
         let s = seed::derive_idx(seed::derive(self.seed, "visits"), epoch);
         let mut out = Vec::with_capacity(per_epoch);
         for k in 0..per_epoch {
             let pick = seed::derive_idx(s, k as u64);
             // 80% interest-driven, 20% random exploration.
             let idx = if seed::unit_f64(seed::derive(pick, "drive")) < 0.8 {
-                let interest =
-                    self.interests[(pick % self.interests.len() as u64) as usize];
+                let interest = self.interests[(pick % self.interests.len() as u64) as usize];
                 let candidates = universe.sites_with_topic(interest);
                 if candidates.is_empty() {
                     (pick % universe.len() as u64) as usize
@@ -173,8 +177,8 @@ pub fn generate_population_with_noise(
         let mut interests = Vec::with_capacity(n_interests);
         let mut attempt = 0u64;
         while interests.len() < n_interests && attempt < 64 {
-            let t = available
-                [(seed::derive_idx(seed::derive(s, "interest"), attempt) % available.len() as u64) as usize];
+            let t = available[(seed::derive_idx(seed::derive(s, "interest"), attempt)
+                % available.len() as u64) as usize];
             attempt += 1;
             if !interests.contains(&t) {
                 interests.push(t);

@@ -152,8 +152,7 @@ pub fn cookie_match(total: usize) -> MatchResult {
 pub fn match_profiles_top_k(a: &[TopicProfile], b: &[TopicProfile], k: usize) -> MatchResult {
     let mut correct = 0;
     for pb in b {
-        let mut scored: Vec<(f64, usize)> =
-            a.iter().map(|p| (pb.cosine(p), p.user_id)).collect();
+        let mut scored: Vec<(f64, usize)> = a.iter().map(|p| (pb.cosine(p), p.user_id)).collect();
         scored.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("cosine is finite"));
         if scored.iter().take(k).any(|(_, id)| *id == pb.user_id) {
             correct += 1;
@@ -252,20 +251,10 @@ mod tests {
         let (universe, mut users) = setup(25);
         let ctx_a: Vec<usize> = (0..universe.len()).step_by(7).collect();
         let ctx_b: Vec<usize> = (3..universe.len()).step_by(11).collect();
-        let profiles_a = collect_profiles(
-            &mut users,
-            &universe,
-            &ctx_a,
-            &caller("adv-a.com"),
-            4..8,
-        );
-        let profiles_b = collect_profiles(
-            &mut users,
-            &universe,
-            &ctx_b,
-            &caller("adv-b.com"),
-            4..8,
-        );
+        let profiles_a =
+            collect_profiles(&mut users, &universe, &ctx_a, &caller("adv-a.com"), 4..8);
+        let profiles_b =
+            collect_profiles(&mut users, &universe, &ctx_b, &caller("adv-b.com"), 4..8);
         let result = match_profiles(&profiles_a, &profiles_b);
         let cookies = cookie_match(users.len());
         assert_eq!(cookies.accuracy(), 1.0);

@@ -21,9 +21,7 @@ impl CookieTracker {
     /// A tracker embedded on ~`coverage` of the universe.
     pub fn new(seed_val: u64, universe: &SiteUniverse, coverage: f64) -> CookieTracker {
         let embedded_on = (0..universe.len())
-            .filter(|&i| {
-                seed::bernoulli(seed::derive_idx(seed_val, i as u64), "embed", coverage)
-            })
+            .filter(|&i| seed::bernoulli(seed::derive_idx(seed_val, i as u64), "embed", coverage))
             .collect();
         CookieTracker { embedded_on }
     }
@@ -74,10 +72,7 @@ impl CookieTracker {
         for p in profiles.values() {
             *counts.entry(p).or_insert(0) += 1;
         }
-        let unique = profiles
-            .values()
-            .filter(|p| counts[*p] == 1)
-            .count();
+        let unique = profiles.values().filter(|p| counts[*p] == 1).count();
         unique as f64 / profiles.len() as f64
     }
 }

@@ -26,11 +26,19 @@ fn main() {
         "setup", "anomalous CPs", "anomalous calls", "legit callers"
     );
     for (setup, label) in [
-        (AllowListSetup::CorruptedFailOpen, "corrupted, fail-open (bug)"),
+        (
+            AllowListSetup::CorruptedFailOpen,
+            "corrupted, fail-open (bug)",
+        ),
         (AllowListSetup::Healthy, "healthy list"),
-        (AllowListSetup::CorruptedFailClosed, "corrupted, fail-closed"),
+        (
+            AllowListSetup::CorruptedFailClosed,
+            "corrupted, fail-closed",
+        ),
     ] {
-        let config = LabConfig::quick(BENCH_SEED, 2_000).with_allow_list(setup).campaign;
+        let config = LabConfig::quick(BENCH_SEED, 2_000)
+            .with_allow_list(setup)
+            .campaign;
         let outcome = run_campaign(&lab.world, &config);
         let ds = Datasets::new(&outcome);
         let anomalous = anomalous_stats(&ds, DatasetId::AfterAccept);
@@ -50,7 +58,10 @@ fn main() {
     let tiny = Lab::new(LabConfig::quick(BENCH_SEED, 200));
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     for (setup, name) in [
-        (AllowListSetup::CorruptedFailOpen, "crawl/corrupted_fail_open"),
+        (
+            AllowListSetup::CorruptedFailOpen,
+            "crawl/corrupted_fail_open",
+        ),
         (AllowListSetup::Healthy, "crawl/healthy"),
         (AllowListSetup::CorruptedFailClosed, "crawl/fail_closed"),
     ] {

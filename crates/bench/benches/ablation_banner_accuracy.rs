@@ -23,7 +23,10 @@ fn campaign_with_quirky(rate: f64, sites: usize) -> (usize, usize) {
 
 fn main() {
     banner("Ablation — banner phrasing vs Priv-Accept acceptance");
-    eprintln!("{:>14} {:>10} {:>10} {:>12}", "quirky rate", "visited", "accepted", "D_AA share");
+    eprintln!(
+        "{:>14} {:>10} {:>10} {:>12}",
+        "quirky rate", "visited", "accepted", "D_AA share"
+    );
     for rate in [0.0, 0.06, 0.15, 0.30, 0.60] {
         let (visited, accepted) = campaign_with_quirky(rate, 3_000);
         eprintln!(

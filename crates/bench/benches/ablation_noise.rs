@@ -18,9 +18,8 @@ use topics_core::taxonomy::Classifier;
 fn accuracy_at(noise: f64, users_n: usize) -> f64 {
     let classifier = Arc::new(Classifier::new(BENCH_SEED).with_unclassifiable_rate(0.0));
     let universe = SiteUniverse::generate(BENCH_SEED, 1_200, &classifier);
-    let mut users = generate_population_with_noise(
-        BENCH_SEED, users_n, &universe, classifier, 8, 30, noise,
-    );
+    let mut users =
+        generate_population_with_noise(BENCH_SEED, users_n, &universe, classifier, 8, 30, noise);
     let ctx_a: Vec<usize> = (0..universe.len()).step_by(5).collect();
     let ctx_b: Vec<usize> = (2..universe.len()).step_by(7).collect();
     let a = collect_profiles(
@@ -45,7 +44,11 @@ fn main() {
     eprintln!("{:>8} {:>22}", "noise", "top-1 linkage accuracy");
     for noise in [0.0, 0.05, 0.15, 0.30, 0.60] {
         let acc = accuracy_at(noise, 60);
-        let marker = if (noise - 0.05).abs() < 1e-9 { "  ← Chrome default" } else { "" };
+        let marker = if (noise - 0.05).abs() < 1e-9 {
+            "  ← Chrome default"
+        } else {
+            ""
+        };
         eprintln!("{:>7.0}% {:>21.1}%{marker}", noise * 100.0, acc * 100.0);
     }
     eprintln!("shape: accuracy decreases monotonically as noise rises\n");

@@ -31,8 +31,20 @@ fn main() {
         let cookie_profiles = tracker.observe(&users, &universe, 8, 30);
         let ctx_a: Vec<usize> = (0..universe.len()).step_by(5).collect();
         let ctx_b: Vec<usize> = (2..universe.len()).step_by(7).collect();
-        let a = collect_profiles(&mut users, &universe, &ctx_a, &Domain::parse("adv-a.com").unwrap(), 4..8);
-        let b = collect_profiles(&mut users, &universe, &ctx_b, &Domain::parse("adv-b.com").unwrap(), 4..8);
+        let a = collect_profiles(
+            &mut users,
+            &universe,
+            &ctx_a,
+            &Domain::parse("adv-a.com").unwrap(),
+            4..8,
+        );
+        let b = collect_profiles(
+            &mut users,
+            &universe,
+            &ctx_b,
+            &Domain::parse("adv-b.com").unwrap(),
+            4..8,
+        );
         let topics = match_profiles(&a, &b);
         eprintln!(
             "{n:>6} {:>13.1}% {:>15.1}% {:>13.1}% {:>12.2}%",
@@ -42,7 +54,9 @@ fn main() {
             topics.random_floor() * 100.0,
         );
     }
-    eprintln!("shape: cookies = perfect identifier; Topics beats random but decays with crowd size\n");
+    eprintln!(
+        "shape: cookies = perfect identifier; Topics beats random but decays with crowd size\n"
+    );
 
     let mut users = generate_population(BENCH_SEED, 40, &universe, classifier.clone(), 8, 30);
     let ctx: Vec<usize> = (0..universe.len()).step_by(5).collect();

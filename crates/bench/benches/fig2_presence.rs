@@ -19,6 +19,8 @@ fn main() {
     eprintln!("paper shape: GA #1 presence & 0 calls; doubleclick ≈1/3 enabled; bing 0 calls\n");
 
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("fig2/presence_rows", |b| b.iter(|| black_box(fig2(&ds, 15))));
+    c.bench_function("fig2/presence_rows", |b| {
+        b.iter(|| black_box(fig2(&ds, 15)))
+    });
     c.final_summary();
 }

@@ -18,6 +18,8 @@ fn main() {
     eprintln!("paper shape: yandex.com top (611); doubleclick.net absent\n");
 
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("fig5/questionable_rows", |b| b.iter(|| black_box(fig5(&ds, 15))));
+    c.bench_function("fig5/questionable_rows", |b| {
+        b.iter(|| black_box(fig5(&ds, 15)))
+    });
     c.final_summary();
 }

@@ -26,7 +26,9 @@ fn main() {
         .position(|r| *r == Region::EuropeanUnion)
         .unwrap();
     let eu_calls: usize = rows.iter().map(|r| r.by_region[eu_idx].1).sum();
-    eprintln!("questionable calls on EU-TLD sites: {eu_calls} (paper: present — a clear GDPR concern)\n");
+    eprintln!(
+        "questionable calls on EU-TLD sites: {eu_calls} (paper: present — a clear GDPR concern)\n"
+    );
 
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     c.bench_function("fig6/regional_breakdown", |b| {

@@ -19,7 +19,11 @@ fn main() {
     banner("Figure 7 — CMPs vs questionable calls (D_BA)");
     let f = fig7(&ds);
     eprintln!("{}", render_fig7(&f));
-    let hubspot = f.rows.iter().find(|r| r.cmp.spec().name == "HubSpot").unwrap();
+    let hubspot = f
+        .rows
+        .iter()
+        .find(|r| r.cmp.spec().name == "HubSpot")
+        .unwrap();
     eprintln!(
         "HubSpot: P(q|HubSpot) = {} vs average {} ({:.1}×); paper: 12% ≈ 2×\n",
         pct(hubspot.p_questionable_given_cmp()),

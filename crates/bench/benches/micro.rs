@@ -27,10 +27,7 @@ fn main() {
     let page = {
         use topics_core::net::http::{HttpRequest, ResourceKind};
         use topics_core::net::service::NetworkService;
-        let req = HttpRequest::get(
-            Url::https(spec.domain.clone(), "/"),
-            ResourceKind::Document,
-        );
+        let req = HttpRequest::get(Url::https(spec.domain.clone(), "/"), ResourceKind::Document);
         world.fetch(&req, Timestamp::CRAWL_START).unwrap().body
     };
     c.bench_function("micro/html_parse_busy_page", |b| {
@@ -45,8 +42,7 @@ fn main() {
     // Topics engine with three epochs of history.
     let classifier = Arc::new(Classifier::new(5).with_unclassifiable_rate(0.0));
     let caller = topics_core::net::Domain::parse("adnet.example").unwrap();
-    let mut engine =
-        topics_core::browser::topics::TopicsEngine::new(classifier.clone(), 9, true);
+    let mut engine = topics_core::browser::topics::TopicsEngine::new(classifier.clone(), 9, true);
     for epoch in 0..3 {
         for i in 0..30 {
             let s = Site::of(&Url::parse(&format!("https://h{epoch}x{i}.com/")).unwrap());
@@ -56,9 +52,7 @@ fn main() {
     }
     let target = Site::of(&Url::parse("https://visited.example/").unwrap());
     c.bench_function("micro/browsing_topics_call", |b| {
-        b.iter(|| {
-            black_box(engine.browsing_topics(&caller, &target, Timestamp::from_weeks(3)))
-        })
+        b.iter(|| black_box(engine.browsing_topics(&caller, &target, Timestamp::from_weeks(3))))
     });
 
     // One full page visit through the browser (fresh profile each iter).

@@ -31,9 +31,17 @@ fn main() {
         "{} (CP, website) series over 16 rounds; {alternating} alternate in consistent runs",
         series.len()
     );
-    for s in series.iter().filter(|s| s.alternates() && s.longest_run() >= 3).take(6) {
+    for s in series
+        .iter()
+        .filter(|s| s.alternates() && s.longest_run() >= 3)
+        .take(6)
+    {
         let strip: String = s.on.iter().map(|&x| if x { '#' } else { '.' }).collect();
-        eprintln!("  {:<22} on {:<24} {strip}", s.cp.as_str(), s.website.as_str());
+        eprintln!(
+            "  {:<22} on {:<24} {strip}",
+            s.cp.as_str(),
+            s.website.as_str()
+        );
     }
     eprintln!("paper shape: alternating ON/OFF periods per (CP, website)\n");
 

@@ -30,6 +30,8 @@ fn main() {
     );
 
     let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("sec3/timeline", |b| b.iter(|| black_box(timeline(&sc.outcome))));
+    c.bench_function("sec3/timeline", |b| {
+        b.iter(|| black_box(timeline(&sc.outcome)))
+    });
     c.final_summary();
 }

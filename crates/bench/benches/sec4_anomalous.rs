@@ -16,7 +16,10 @@ fn main() {
     let sc = shared();
     let ds = Datasets::new(&sc.outcome);
     banner("§4 — anomalous usage (D_AA, non-Allowed callers)");
-    eprintln!("{}", render_anomalous(&anomalous_stats(&ds, DatasetId::AfterAccept)));
+    eprintln!(
+        "{}",
+        render_anomalous(&anomalous_stats(&ds, DatasetId::AfterAccept))
+    );
     eprintln!("paper (50k scale): 2,614 CPs / 3,450 calls / 72% same-label / 95% GTM / 100% JS\n");
 
     let mut c = Criterion::default().sample_size(10).configure_from_args();

@@ -12,10 +12,13 @@
 //! * `TOPICS_BENCH_SITES` — number of ranked sites (default 6,000);
 //! * `TOPICS_BENCH_FULL=1` — force the paper's full 50,000.
 
+use serde::Serialize;
 use std::sync::OnceLock;
+use std::time::Instant;
 use topics_core::crawler::record::CampaignOutcome;
 use topics_core::webgen::World;
 use topics_core::{Lab, LabConfig};
+use topics_obs::{MetricsSnapshot, Obs};
 
 /// The default benchmark scale (sites).
 pub const DEFAULT_SITES: usize = 6_000;
@@ -39,6 +42,8 @@ pub struct SharedCampaign {
     pub lab: Lab,
     /// The crawl result.
     pub outcome: CampaignOutcome,
+    /// Metrics snapshot of the setup crawl.
+    pub metrics: MetricsSnapshot,
 }
 
 impl SharedCampaign {
@@ -48,20 +53,78 @@ impl SharedCampaign {
     }
 }
 
+/// Machine-readable summary of the setup crawl, written next to the
+/// bench invocation (or to `TOPICS_BENCH_SUMMARY`) so CI can track
+/// crawl throughput across runs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchSummary {
+    /// Ranked sites crawled.
+    pub sites: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Wall-clock milliseconds the setup crawl took.
+    pub crawl_wall_ms: u64,
+    /// Successfully visited sites (|D_BA|).
+    pub visited: usize,
+    /// Banner-accepted sites (|D_AA|).
+    pub accepted: usize,
+}
+
+/// Where the bench summary is written: `TOPICS_BENCH_SUMMARY`, or
+/// `BENCH_summary.json` in the working directory.
+pub fn summary_path() -> std::path::PathBuf {
+    std::env::var("TOPICS_BENCH_SUMMARY")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("BENCH_summary.json"))
+}
+
 /// The per-process shared campaign (built on first use).
 pub fn shared() -> &'static SharedCampaign {
     static SHARED: OnceLock<SharedCampaign> = OnceLock::new();
     SHARED.get_or_init(|| {
         let sites = bench_sites();
-        eprintln!("[bench setup] generating {sites}-site world (seed {BENCH_SEED}) and crawling …");
-        let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
-        let outcome = lab.run();
-        eprintln!(
-            "[bench setup] crawl done: {} visited, {} accepted",
-            outcome.visited_count(),
-            outcome.accepted_count()
+        let obs = Obs::with_stderr_echo();
+        obs.events.info(
+            "bench-setup",
+            vec![
+                ("sites".into(), sites.into()),
+                ("seed".into(), BENCH_SEED.into()),
+            ],
         );
-        SharedCampaign { lab, outcome }
+        let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
+        let crawl_started = Instant::now();
+        let run = lab.run_observed(&obs);
+        let summary = BenchSummary {
+            sites,
+            seed: BENCH_SEED,
+            crawl_wall_ms: crawl_started.elapsed().as_millis() as u64,
+            visited: run.visited_count(),
+            accepted: run.accepted_count(),
+        };
+        obs.events.info(
+            "bench-crawl-done",
+            vec![
+                ("visited".into(), summary.visited.into()),
+                ("accepted".into(), summary.accepted.into()),
+                ("crawl_wall_ms".into(), summary.crawl_wall_ms.into()),
+            ],
+        );
+        let path = summary_path();
+        let json = serde_json::to_string(&summary).expect("summary serialises");
+        if let Err(e) = std::fs::write(&path, json) {
+            obs.events.error(
+                "bench-summary-write-failed",
+                vec![
+                    ("path".into(), path.display().to_string().into()),
+                    ("error".into(), e.to_string().into()),
+                ],
+            );
+        }
+        SharedCampaign {
+            lab,
+            metrics: run.metrics,
+            outcome: run.outcome,
+        }
     })
 }
 

@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn healthy_list_allows_only_enrolled() {
         let store = AttestationStore::healthy([d("criteo.com"), d("doubleclick.net")]);
-        assert_eq!(store.check(&d("criteo.com")), AllowDecision::AllowedEnrolled);
+        assert_eq!(
+            store.check(&d("criteo.com")),
+            AllowDecision::AllowedEnrolled
+        );
         assert_eq!(
             store.check(&d("bidder.criteo.com")),
             AllowDecision::AllowedEnrolled,
@@ -205,8 +208,8 @@ mod tests {
 
     #[test]
     fn fail_closed_does_not_affect_healthy_list() {
-        let store = AttestationStore::healthy([d("criteo.com")])
-            .with_mode(EnforcementMode::FailClosed);
+        let store =
+            AttestationStore::healthy([d("criteo.com")]).with_mode(EnforcementMode::FailClosed);
         assert!(store.check(&d("criteo.com")).permits());
         assert!(!store.check(&d("other.com")).permits());
     }

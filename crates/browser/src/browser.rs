@@ -22,12 +22,13 @@ use crate::html::{self, Document, Node};
 use crate::observer::{BrowserObserver, CallType, NullObserver, ObjectEvent, TopicsCallEvent};
 use crate::origin::{Origin, Site};
 use crate::script::{self, AbScope, Stmt};
-use crate::topics::TopicsEngine;
+use crate::topics::{TopicsEngine, TopicsMetrics};
 use std::sync::Arc;
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
 use topics_net::http::{HttpRequest, HttpResponse, ResourceKind, Vantage, SEC_BROWSING_TOPICS};
 use topics_net::latency::LatencyModel;
+use topics_net::metrics::NetMetrics;
 use topics_net::psl::registrable_domain;
 use topics_net::seed;
 use topics_net::service::{fetch_following_redirects, NetworkService};
@@ -118,8 +119,18 @@ struct VisitState {
 impl VisitState {
     /// Advance simulated time by one network exchange and return its
     /// timestamp — records are ordered and spaced by real latencies.
-    fn tick_network(&mut self, model: &LatencyModel, host: &Domain, kind: ResourceKind) -> Timestamp {
-        self.elapsed_ms += model.exchange_ms(host, kind);
+    fn tick_network(
+        &mut self,
+        model: &LatencyModel,
+        host: &Domain,
+        kind: ResourceKind,
+        net: Option<&NetMetrics>,
+    ) -> Timestamp {
+        let ms = model.exchange_ms(host, kind);
+        if let Some(net) = net {
+            net.record_exchange(kind, ms);
+        }
+        self.elapsed_ms += ms;
         self.started.plus_millis(self.elapsed_ms)
     }
 
@@ -155,6 +166,8 @@ pub struct Browser {
     config: BrowserConfig,
     latency: LatencyModel,
     visit_counter: u64,
+    net_metrics: Option<NetMetrics>,
+    topics_metrics: Option<TopicsMetrics>,
 }
 
 impl Browser {
@@ -178,6 +191,8 @@ impl Browser {
             config,
             latency,
             visit_counter: 0,
+            net_metrics: None,
+            topics_metrics: None,
         }
     }
 
@@ -185,6 +200,22 @@ impl Browser {
     #[must_use]
     pub fn with_observer(mut self, observer: Arc<dyn BrowserObserver>) -> Browser {
         self.observer = observer;
+        self
+    }
+
+    /// Attach network-layer metrics (request counts, exchange latencies,
+    /// DNS failures).
+    #[must_use]
+    pub fn with_net_metrics(mut self, metrics: NetMetrics) -> Browser {
+        self.net_metrics = Some(metrics);
+        self
+    }
+
+    /// Attach Topics-call metrics (per-type call counts, permit/block
+    /// split, topics handed out).
+    #[must_use]
+    pub fn with_topics_metrics(mut self, metrics: TopicsMetrics) -> Browser {
+        self.topics_metrics = Some(metrics);
         self
     }
 
@@ -239,7 +270,12 @@ impl Browser {
         now: Timestamp,
     ) -> Result<PageVisit, NetError> {
         self.visit_counter += 1;
-        service.resolve_ranked(url.host())?;
+        if let Err(e) = service.resolve_ranked(url.host()) {
+            if let Some(net) = &self.net_metrics {
+                net.record_dns_failure();
+            }
+            return Err(e.into());
+        }
 
         // Follow document redirects by hand so cookies are re-evaluated
         // per hop — an alias domain's redirect target must see its own
@@ -272,7 +308,12 @@ impl Browser {
                 });
             }
             if next.host() != current.host() {
-                service.resolve_third_party(next.host())?;
+                if let Err(e) = service.resolve_third_party(next.host()) {
+                    if let Some(net) = &self.net_metrics {
+                        net.record_dns_failure();
+                    }
+                    return Err(e.into());
+                }
             }
             chain.push(next.clone());
             current = next;
@@ -292,7 +333,12 @@ impl Browser {
         // each cost a round trip.
         let mut ts = now;
         for hop in &outcome.chain {
-            ts = state.tick_network(&self.latency, hop.host(), ResourceKind::Document);
+            ts = state.tick_network(
+                &self.latency,
+                hop.host(),
+                ResourceKind::Document,
+                self.net_metrics.as_ref(),
+            );
         }
         let doc_event = ObjectEvent {
             url: outcome.final_url.clone(),
@@ -341,7 +387,9 @@ impl Browser {
                         self.load_and_run_script(service, &url, ctx, state);
                     }
                 }
-                Node::Script { src: None, inline, .. } => {
+                Node::Script {
+                    src: None, inline, ..
+                } => {
                     if let Ok(stmts) = script::parse(inline) {
                         let inline_ctx = ExecCtx {
                             script_source: None,
@@ -420,13 +468,16 @@ impl Browser {
         }
         let mut extra_header: Option<String> = None;
         if browsing_topics {
-            let header =
-                self.record_topics_call(url.host(), CallType::Iframe, None, ctx, state);
+            let header = self.record_topics_call(url.host(), CallType::Iframe, None, ctx, state);
             extra_header = header;
         }
-        let Some(response) =
-            self.fetch_subresource_with_header(service, url, ResourceKind::Document, state, extra_header)
-        else {
+        let Some(response) = self.fetch_subresource_with_header(
+            service,
+            url,
+            ResourceKind::Document,
+            state,
+            extra_header,
+        ) else {
             return;
         };
         let child_doc = html::parse(&response.body);
@@ -605,10 +656,12 @@ impl Browser {
         let mut topics_returned = 0usize;
         let mut header = None;
         if decision.permits() {
-            if let Some(answer) =
-                self.engine
-                    .browsing_topics_with_options(caller, &state.top_site, timestamp, observe)
-            {
+            if let Some(answer) = self.engine.browsing_topics_with_options(
+                caller,
+                &state.top_site,
+                timestamp,
+                observe,
+            ) {
                 topics_returned = answer.topics.len();
                 if !answer.topics.is_empty()
                     && matches!(call_type, CallType::Fetch | CallType::Iframe)
@@ -625,6 +678,9 @@ impl Browser {
                     ));
                 }
             }
+        }
+        if let Some(m) = &self.topics_metrics {
+            m.record_call(call_type, decision.permits(), topics_returned);
         }
         let event = TopicsCallEvent {
             caller: caller.clone(),
@@ -677,8 +733,14 @@ impl Browser {
                 return Some(cached);
             }
         }
-        let timestamp = state.tick_network(&self.latency, url.host(), kind);
+        let timestamp =
+            state.tick_network(&self.latency, url.host(), kind, self.net_metrics.as_ref());
         let resolved = service.resolve_third_party(url.host());
+        if resolved.is_err() {
+            if let Some(net) = &self.net_metrics {
+                net.record_dns_failure();
+            }
+        }
         let response = resolved.map_err(NetError::from).and_then(|()| {
             let mut request = HttpRequest::get(url.clone(), kind);
             request.vantage = self.config.vantage;
@@ -742,7 +804,12 @@ mod tests {
             Ok(())
         }
         fn fetch(&self, req: &HttpRequest, _now: Timestamp) -> Result<HttpResponse, NetError> {
-            let key = format!("{}://{}{}", req.url.scheme().as_str(), req.url.host(), req.url.path());
+            let key = format!(
+                "{}://{}{}",
+                req.url.scheme().as_str(),
+                req.url.host(),
+                req.url.path()
+            );
             match self.pages.get(&key) {
                 Some(body) => {
                     let ct = if req.kind == ResourceKind::Script {
@@ -813,7 +880,11 @@ mod tests {
             .unwrap();
         assert_eq!(visit.topics_calls.len(), 1);
         let call = &visit.topics_calls[0];
-        assert_eq!(call.caller.as_str(), "adplatform.com", "caller is the FRAME");
+        assert_eq!(
+            call.caller.as_str(),
+            "adplatform.com",
+            "caller is the FRAME"
+        );
         assert!(!call.root_context);
         assert_eq!(call.website.as_str(), "news.example");
     }
@@ -827,10 +898,7 @@ mod tests {
                    <iframe src="https://enrolled.com/frame"></iframe>"#,
             )
             .page("https://notenrolled.com/tag.js", "topics js")
-            .page(
-                "https://enrolled.com/frame",
-                "<script>topics js</script>",
-            );
+            .page("https://enrolled.com/frame", "<script>topics js</script>");
         let mut b = browser(AttestationStore::healthy([d("enrolled.com")]));
         let visit = b
             .visit(&web, &url("https://news.example/"), Timestamp::ORIGIN)
@@ -872,10 +940,7 @@ mod tests {
                 "https://shop.example/",
                 r#"<script src="https://goodactor.com/tag.js"></script>"#,
             )
-            .page(
-                "https://goodactor.com/tag.js",
-                "consent {\ntopics js\n}",
-            );
+            .page("https://goodactor.com/tag.js", "consent {\ntopics js\n}");
         let mut b = browser(AttestationStore::corrupted());
         let u = url("https://shop.example/");
         // Before-Accept: no call.
@@ -928,12 +993,10 @@ mod tests {
     #[test]
     fn time_window_gate_alternates() {
         let tag = "ab 0.5 time:6h {\ntopics js\n}";
-        let web = TinyWeb::new()
-            .page("https://cp-tags.com/tag.js", tag)
-            .page(
-                "https://onesite.example/",
-                r#"<script src="https://cp-tags.com/tag.js"></script>"#,
-            );
+        let web = TinyWeb::new().page("https://cp-tags.com/tag.js", tag).page(
+            "https://onesite.example/",
+            r#"<script src="https://cp-tags.com/tag.js"></script>"#,
+        );
         let mut b = browser(AttestationStore::corrupted());
         let mut pattern = Vec::new();
         for hour in (0..96).step_by(6) {
@@ -961,7 +1024,10 @@ mod tests {
                    <img src="https://px.example/p.gif">
                    <link rel="stylesheet" href="/main.css">"#,
             )
-            .page("https://lib.example/l.js", "img https://beacon.example/b.gif")
+            .page(
+                "https://lib.example/l.js",
+                "img https://beacon.example/b.gif",
+            )
             .page("https://media.example/main.css", "body{}")
             .page("https://px.example/p.gif", "gif")
             .page("https://beacon.example/b.gif", "gif");
@@ -990,7 +1056,10 @@ mod tests {
     #[test]
     fn script_inclusion_cycles_are_bounded() {
         let web = TinyWeb::new()
-            .page("https://loop.example/", r#"<script src="https://a.example/a.js"></script>"#)
+            .page(
+                "https://loop.example/",
+                r#"<script src="https://a.example/a.js"></script>"#,
+            )
             .page("https://a.example/a.js", "script https://b.example/b.js")
             .page("https://b.example/b.js", "script https://a.example/a.js");
         let mut b = browser(AttestationStore::corrupted());
@@ -1061,7 +1130,8 @@ mod tests {
         for epoch in 0..3 {
             for i in 0..20 {
                 let s = Site::of(&url(&format!("https://hist{epoch}x{i}.com/")));
-                b.topics_engine_mut().record_visit(&s, Timestamp::from_weeks(epoch));
+                b.topics_engine_mut()
+                    .record_visit(&s, Timestamp::from_weeks(epoch));
                 b.topics_engine_mut().record_observation(
                     &d("adnet.com"),
                     &s,
@@ -1070,7 +1140,11 @@ mod tests {
             }
         }
         let visit = b
-            .visit(&HeaderCheck, &url("https://pub.example/"), Timestamp::from_weeks(3))
+            .visit(
+                &HeaderCheck,
+                &url("https://pub.example/"),
+                Timestamp::from_weeks(3),
+            )
             .unwrap();
         assert_eq!(visit.topics_calls.len(), 1);
         let call = &visit.topics_calls[0];
@@ -1081,8 +1155,7 @@ mod tests {
 
     #[test]
     fn disabled_topics_setting_suppresses_everything() {
-        let web = TinyWeb::new()
-            .page("https://news.example/", "<script>topics js</script>");
+        let web = TinyWeb::new().page("https://news.example/", "<script>topics js</script>");
         let classifier = Arc::new(Classifier::new(5));
         let config = BrowserConfig {
             topics_enabled: false,
@@ -1119,10 +1192,9 @@ mod tests {
                         "text/html",
                         r#"<script src="https://adnet.com/tag.js"></script>"#,
                     ),
-                    "/tag.js" => HttpResponse::ok(
-                        "text/tagscript",
-                        "topics fetch https://adnet.com/bid",
-                    ),
+                    "/tag.js" => {
+                        HttpResponse::ok("text/tagscript", "topics fetch https://adnet.com/bid")
+                    }
                     _ => HttpResponse::ok("application/json", "{}"),
                 })
             }
@@ -1136,7 +1208,8 @@ mod tests {
         for epoch in 0..3 {
             for i in 0..20 {
                 let s = Site::of(&url(&format!("https://h{epoch}x{i}.com/")));
-                b.topics_engine_mut().record_visit(&s, Timestamp::from_weeks(epoch));
+                b.topics_engine_mut()
+                    .record_visit(&s, Timestamp::from_weeks(epoch));
                 b.topics_engine_mut().record_observation(
                     &d("adnet.com"),
                     &s,
@@ -1185,7 +1258,10 @@ mod tests {
     #[test]
     fn cache_survives_within_profile_until_cleared() {
         let web = TinyWeb::new()
-            .page("https://s.example/", r#"<img src="https://cdn.example/i.png">"#)
+            .page(
+                "https://s.example/",
+                r#"<img src="https://cdn.example/i.png">"#,
+            )
             .page("https://cdn.example/i.png", "png");
         let mut b = browser(AttestationStore::corrupted());
         let u = url("https://s.example/");

@@ -125,7 +125,10 @@ pub fn parse(html: &str) -> Document {
         }
         // Comment?
         if html[i..].starts_with("<!--") {
-            i = html[i..].find("-->").map(|j| i + j + 3).unwrap_or(bytes.len());
+            i = html[i..]
+                .find("-->")
+                .map(|j| i + j + 3)
+                .unwrap_or(bytes.len());
             continue;
         }
         let Some((tag, attrs, self_closing, after)) = parse_tag(html, i) else {
@@ -302,7 +305,10 @@ fn read_raw_until_close(html: &str, start: usize, tag: &str) -> (String, usize) 
         Some(j) => {
             let body = html[start..start + j].to_owned();
             let rest = &html[start + j..];
-            let after = rest.find('>').map(|k| start + j + k + 1).unwrap_or(html.len());
+            let after = rest
+                .find('>')
+                .map(|k| start + j + k + 1)
+                .unwrap_or(html.len());
             (body, after)
         }
         None => (html[start..].to_owned(), html.len()),
@@ -468,7 +474,8 @@ mod tests {
 
     #[test]
     fn clickable_text_is_flattened() {
-        let doc = parse(r#"<button id="accept" class="cta big"><b>Accept</b>   all cookies</button>"#);
+        let doc =
+            parse(r#"<button id="accept" class="cta big"><b>Accept</b>   all cookies</button>"#);
         match &doc.nodes[0] {
             Node::Clickable {
                 tag,

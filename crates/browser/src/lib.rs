@@ -47,4 +47,4 @@ pub use observer::{
     BrowserObserver, CallType, NullObserver, ObjectEvent, RecordingObserver, TopicsCallEvent,
 };
 pub use origin::{Origin, Site};
-pub use topics::{TopicsAnswer, TopicsEngine, NOISE_PROBABILITY};
+pub use topics::{TopicsAnswer, TopicsEngine, TopicsMetrics, NOISE_PROBABILITY};

@@ -20,6 +20,7 @@
 //!   minimum exposure probability);
 //! * topics under the sensitive root are never returned.
 
+use crate::observer::CallType;
 use crate::origin::Site;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -27,6 +28,7 @@ use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
 use topics_net::psl::registrable_domain;
 use topics_net::seed;
+use topics_obs::{Counter, MetricsRegistry};
 use topics_taxonomy::{Classification, Classifier, Taxonomy, TopicId};
 
 /// Probability that an epoch's answer is replaced by a random topic.
@@ -35,6 +37,55 @@ pub const NOISE_PROBABILITY: f64 = 0.05;
 pub const TOP_N: usize = 5;
 /// Number of past epochs an answer draws from.
 pub const EPOCH_WINDOW: u64 = 3;
+
+/// Pre-resolved counters for the Topics call path, recorded by the
+/// [`crate::Browser`] at the single point every call goes through.
+///
+/// Series recorded:
+/// * `topics_api_calls_total{type="javascript"|"fetch"|"iframe"}` — one
+///   per invocation, whatever the enrolment decision;
+/// * `topics_api_permitted_total` / `topics_api_blocked_total` — the
+///   allow-list decision split;
+/// * `topics_api_topics_returned_total` — total topics handed out.
+#[derive(Debug, Clone)]
+pub struct TopicsMetrics {
+    js: Counter,
+    fetch: Counter,
+    iframe: Counter,
+    permitted: Counter,
+    blocked: Counter,
+    topics_returned: Counter,
+}
+
+impl TopicsMetrics {
+    /// Resolve the handles in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> TopicsMetrics {
+        let call = |t: &str| registry.labeled_counter("topics_api_calls_total", "type", t);
+        TopicsMetrics {
+            js: call("javascript"),
+            fetch: call("fetch"),
+            iframe: call("iframe"),
+            permitted: registry.counter("topics_api_permitted_total"),
+            blocked: registry.counter("topics_api_blocked_total"),
+            topics_returned: registry.counter("topics_api_topics_returned_total"),
+        }
+    }
+
+    /// Record one `browsingTopics()` invocation.
+    pub fn record_call(&self, call_type: CallType, permitted: bool, topics_returned: usize) {
+        match call_type {
+            CallType::JavaScript => self.js.inc(),
+            CallType::Fetch => self.fetch.inc(),
+            CallType::Iframe => self.iframe.inc(),
+        }
+        if permitted {
+            self.permitted.inc();
+        } else {
+            self.blocked.inc();
+        }
+        self.topics_returned.add(topics_returned as u64);
+    }
+}
 
 /// Per-epoch browsing record.
 #[derive(Debug, Clone, Default)]
@@ -456,11 +507,15 @@ mod tests {
         }
         let now = Timestamp::from_weeks(3);
         let stranger = d("stranger.com");
-        let a = e.browsing_topics(&stranger, &site("news.com"), now).unwrap();
+        let a = e
+            .browsing_topics(&stranger, &site("news.com"), now)
+            .unwrap();
         // The stranger never observed the user: every returned topic must
         // be a 5% noise replacement (usually none at all).
         assert!(a.topics.iter().all(|t| t.noised), "{:?}", a.topics);
-        let b = e.browsing_topics(&observer, &site("news.com"), now).unwrap();
+        let b = e
+            .browsing_topics(&observer, &site("news.com"), now)
+            .unwrap();
         assert!(b.topics.len() >= a.topics.iter().filter(|t| !t.noised).count());
     }
 
@@ -478,7 +533,11 @@ mod tests {
             }
             for s in 0..10 {
                 let a = e
-                    .browsing_topics(&caller, &site(&format!("visit{s}.com")), Timestamp::from_weeks(3))
+                    .browsing_topics(
+                        &caller,
+                        &site(&format!("visit{s}.com")),
+                        Timestamp::from_weeks(3),
+                    )
                     .unwrap();
                 // Count slots, not topics: each epoch contributes one slot.
                 total += 3;
@@ -544,7 +603,11 @@ mod tests {
         let mut got_real = false;
         for probe in 0..30 {
             let a = e2
-                .browsing_topics(&loud, &site(&format!("probe{probe}.com")), Timestamp::from_weeks(1))
+                .browsing_topics(
+                    &loud,
+                    &site(&format!("probe{probe}.com")),
+                    Timestamp::from_weeks(1),
+                )
                 .unwrap();
             if a.topics.iter().any(|t| !t.noised) {
                 got_real = true;
@@ -564,7 +627,11 @@ mod tests {
         }
         for s in 0..50 {
             let a = e
-                .browsing_topics(&caller, &site(&format!("check{s}.com")), Timestamp::from_weeks(3))
+                .browsing_topics(
+                    &caller,
+                    &site(&format!("check{s}.com")),
+                    Timestamp::from_weeks(3),
+                )
                 .unwrap();
             assert!(a.topics.iter().all(|t| t.topic != sensitive));
         }

@@ -3,13 +3,21 @@
 //! ```text
 //! topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR]
 //!                    [--allow-list corrupted|healthy|fail-closed]
-//!                    [--reject] [--vantage eu|us]
+//!                    [--reject] [--vantage eu|us] [--quiet]
+//!                    [--metrics-out FILE] [--events-out FILE]
 //!     Generate a synthetic web, run the Before/After-Accept campaign,
 //!     and write the artefact bundle (campaign.json, report, comparison,
-//!     per-figure CSVs) to DIR (default: ./topics-lab-out).
+//!     per-figure CSVs) to DIR (default: ./topics-lab-out). With
+//!     --metrics-out / --events-out, also write the Prometheus-style
+//!     metrics snapshot and the JSONL event stream (relative paths land
+//!     next to campaign.json).
 //!
 //! topics-lab report  --campaign DIR/campaign.json
 //!     Re-render the evaluation report from a dumped campaign.
+//!
+//! topics-lab metrics --campaign DIR/campaign.json
+//!     Re-derive the metrics snapshot from a dumped campaign and print
+//!     it in Prometheus text format.
 //!
 //! topics-lab compare --campaign DIR/campaign.json [--full-scale]
 //!     Print the paper-vs-measured table from a dumped campaign.
@@ -17,16 +25,22 @@
 //! topics-lab dossier --campaign DIR/campaign.json --cp DOMAIN
 //!     Print everything the campaign knows about one calling party.
 //! ```
+//!
+//! Progress logging goes through the structured event log (echoed to
+//! stderr); `--quiet` or `TOPICS_LOG=off` silences it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use topics_core::crawler::campaign::AllowListSetup;
 use topics_core::export::{load_campaign, write_bundle};
-use topics_core::{comparison_rows, evaluate, render_comparison, Lab, LabConfig};
+use topics_core::obs::Obs;
+use topics_core::{
+    comparison_rows, evaluate, metrics_snapshot_of, render_comparison, Lab, LabConfig,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us]\n  topics-lab report  --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
     );
     ExitCode::from(2)
 }
@@ -40,21 +54,38 @@ impl Args {
     fn new(rest: Vec<String>) -> Args {
         Args { rest }
     }
-    fn value_of(&self, name: &str) -> Option<&str> {
-        self.rest
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.rest.get(i + 1))
-            .map(String::as_str)
+
+    /// The value following `--name`, if the flag is present. A following
+    /// token that is itself a flag does not count — `--out --reject`
+    /// is an error, not an output directory named `--reject`.
+    fn value_of(&self, name: &str) -> Result<Option<&str>, String> {
+        let Some(i) = self.rest.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        match self.rest.get(i + 1).map(String::as_str) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("flag {name} requires a value")),
+        }
     }
+
     fn has(&self, name: &str) -> bool {
         self.rest.iter().any(|a| a == name)
     }
 }
 
+/// Resolve an output path: relative paths land next to the bundle.
+fn resolve_out(out_dir: &std::path::Path, value: &str) -> PathBuf {
+    let p = PathBuf::from(value);
+    if p.is_absolute() {
+        p
+    } else {
+        out_dir.join(p)
+    }
+}
+
 fn cmd_crawl(args: &Args) -> Result<(), String> {
     let seed: u64 = args
-        .value_of("--seed")
+        .value_of("--seed")?
         .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
         .transpose()?
         .unwrap_or(2024);
@@ -62,20 +93,20 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     let sites: usize = if full {
         50_000
     } else {
-        args.value_of("--sites")
+        args.value_of("--sites")?
             .map(|s| s.parse().map_err(|_| format!("bad --sites {s:?}")))
             .transpose()?
             .unwrap_or(5_000)
     };
-    let out = PathBuf::from(args.value_of("--out").unwrap_or("topics-lab-out"));
-    let allow_list = match args.value_of("--allow-list").unwrap_or("corrupted") {
+    let out = PathBuf::from(args.value_of("--out")?.unwrap_or("topics-lab-out"));
+    let allow_list = match args.value_of("--allow-list")?.unwrap_or("corrupted") {
         "corrupted" => AllowListSetup::CorruptedFailOpen,
         "healthy" => AllowListSetup::Healthy,
         "fail-closed" => AllowListSetup::CorruptedFailClosed,
         other => return Err(format!("unknown --allow-list {other:?}")),
     };
 
-    let vantage = match args.value_of("--vantage").unwrap_or("eu") {
+    let vantage = match args.value_of("--vantage")?.unwrap_or("eu") {
         "eu" => topics_core::net::http::Vantage::Europe,
         "us" => topics_core::net::http::Vantage::UnitedStates,
         other => return Err(format!("unknown --vantage {other:?} (eu|us)")),
@@ -85,34 +116,74 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     } else {
         topics_core::crawler::ConsentAction::Accept
     };
+    let metrics_out = args
+        .value_of("--metrics-out")?
+        .map(|v| resolve_out(&out, v));
+    let events_out = args.value_of("--events-out")?.map(|v| resolve_out(&out, v));
 
-    eprintln!("[topics-lab] generating {sites}-site web (seed {seed}) …");
+    let obs = if args.has("--quiet") {
+        Obs::new()
+    } else {
+        Obs::with_stderr_echo()
+    };
+
+    obs.events.info(
+        "world-gen",
+        vec![("sites".into(), sites.into()), ("seed".into(), seed.into())],
+    );
     let mut config = LabConfig::quick(seed, sites).with_allow_list(allow_list);
     config.campaign.vantage = vantage;
     config.campaign.consent_action = consent_action;
-    let lab = Lab::new(config);
-    eprintln!("[topics-lab] crawling …");
-    let outcome = topics_core::crawler::campaign::run_campaign_with_progress(
-        &lab.world,
-        &lab.campaign,
-        |done, total| eprintln!("[topics-lab]   {done}/{total} sites"),
+    let lab = {
+        let _span = obs.phase("world-gen");
+        Lab::new(config)
+    };
+
+    obs.events.info("crawl-start", vec![]);
+    let run = lab.run_observed(&obs);
+    obs.events.info(
+        "crawl-done",
+        vec![
+            ("visited".into(), run.visited_count().into()),
+            ("accepted".into(), run.accepted_count().into()),
+        ],
     );
-    eprintln!(
-        "[topics-lab] visited {} (D_BA), accepted {} (D_AA); analysing …",
-        outcome.visited_count(),
-        outcome.accepted_count()
-    );
-    let eval = evaluate(&outcome);
-    write_bundle(&out, &outcome, &eval, sites >= 50_000)
-        .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
+
+    let eval = {
+        let _span = obs.phase("analysis");
+        evaluate(&run.outcome)
+    };
+    {
+        let _span = obs.phase("export");
+        write_bundle(&out, &run.outcome, &eval, sites >= 50_000)
+            .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
+    }
+
+    if let Some(path) = &metrics_out {
+        // Snapshot at write time so every phase gauge is included.
+        let prom = obs.metrics.snapshot().render_prometheus();
+        std::fs::write(path, prom)
+            .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &events_out {
+        std::fs::write(path, obs.events.to_jsonl())
+            .map_err(|e| format!("writing events to {}: {e}", path.display()))?;
+    }
+
     println!("{}", eval.render_report());
     println!("artefact bundle written to {}", out.display());
+    if let Some(p) = &metrics_out {
+        println!("metrics snapshot written to {}", p.display());
+    }
+    if let Some(p) = &events_out {
+        println!("event stream written to {}", p.display());
+    }
     Ok(())
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
     let path = args
-        .value_of("--campaign")
+        .value_of("--campaign")?
         .ok_or("report needs --campaign FILE")?;
     let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
     let eval = evaluate(&outcome);
@@ -120,9 +191,18 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let path = args
+        .value_of("--campaign")?
+        .ok_or("metrics needs --campaign FILE")?;
+    let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    print!("{}", metrics_snapshot_of(&outcome).render_prometheus());
+    Ok(())
+}
+
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let path = args
-        .value_of("--campaign")
+        .value_of("--campaign")?
         .ok_or("compare needs --campaign FILE")?;
     let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
     let eval = evaluate(&outcome);
@@ -133,13 +213,16 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 
 fn cmd_dossier(args: &Args) -> Result<(), String> {
     let path = args
-        .value_of("--campaign")
+        .value_of("--campaign")?
         .ok_or("dossier needs --campaign FILE")?;
-    let cp = args.value_of("--cp").ok_or("dossier needs --cp DOMAIN")?;
+    let cp = args.value_of("--cp")?.ok_or("dossier needs --cp DOMAIN")?;
     let cp = topics_core::net::Domain::parse(cp).map_err(|e| format!("bad --cp: {e}"))?;
     let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
     let ds = topics_core::analysis::dataset::Datasets::new(&outcome);
-    println!("{}", topics_core::analysis::dossier::dossier(&ds, &cp).render());
+    println!(
+        "{}",
+        topics_core::analysis::dossier::dossier(&ds, &cp).render()
+    );
     Ok(())
 }
 
@@ -152,6 +235,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "crawl" => cmd_crawl(&args),
         "report" => cmd_report(&args),
+        "metrics" => cmd_metrics(&args),
         "compare" => cmd_compare(&args),
         "dossier" => cmd_dossier(&args),
         "--help" | "-h" | "help" => return usage(),

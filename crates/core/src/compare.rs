@@ -149,7 +149,10 @@ pub fn comparison_rows(eval: &Evaluation, full_scale: bool) -> Vec<ComparisonRow
         format!("{ga_never_calls:?}"),
         ga_never_calls,
     ));
-    let dc = eval.fig2.iter().find(|r| r.cp.as_str() == "doubleclick.net");
+    let dc = eval
+        .fig2
+        .iter()
+        .find(|r| r.cp.as_str() == "doubleclick.net");
     rows.push(row(
         "Fig. 2",
         "doubleclick enabled fraction",
@@ -170,7 +173,9 @@ pub fn comparison_rows(eval: &Evaluation, full_scale: bool) -> Vec<ComparisonRow
         "Fig. 3",
         "criteo.com enabled fraction",
         "75%",
-        criteo.map(|r| pct(r.enabled_fraction())).unwrap_or_default(),
+        criteo
+            .map(|r| pct(r.enabled_fraction()))
+            .unwrap_or_default(),
         criteo.map(|r| fit_fraction(r.enabled_fraction()).nearest == 0.75),
     ));
 
@@ -244,7 +249,9 @@ pub fn comparison_rows(eval: &Evaluation, full_scale: bool) -> Vec<ComparisonRow
         "Fig. 7",
         "HubSpot over-representation",
         "≈3×",
-        hubspot_ratio.map(|r| format!("{r:.1}×")).unwrap_or_default(),
+        hubspot_ratio
+            .map(|r| format!("{r:.1}×"))
+            .unwrap_or_default(),
         hubspot_ratio.map(|r| (1.5..=4.5).contains(&r)),
     ));
     let hubspot_q = hubspot.map(|h| h.p_questionable_given_cmp());
@@ -320,7 +327,12 @@ mod tests {
             .iter()
             .find(|r| r.metric == "visited / attempted")
             .unwrap();
-        assert_eq!(visit.ok, Some(true), "visit rate in band: {}", visit.measured);
+        assert_eq!(
+            visit.ok,
+            Some(true),
+            "visit rate in band: {}",
+            visit.measured
+        );
         // Table-level identity checks hold at any scale.
         let allowed = rows.iter().find(|r| r.metric == "Allowed").unwrap();
         assert_eq!(allowed.ok, Some(true));

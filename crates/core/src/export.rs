@@ -56,7 +56,10 @@ pub fn write_bundle(
     fs::write(dir.join("sites.csv"), csv::sites_csv(&ds))?;
     fs::write(dir.join("table1.csv"), csv::table1_csv(&eval.table1))?;
     fs::write(dir.join("fig2_presence.csv"), csv::presence_csv(&eval.fig2))?;
-    fs::write(dir.join("fig3_fractions.csv"), csv::presence_csv(&eval.fig3))?;
+    fs::write(
+        dir.join("fig3_fractions.csv"),
+        csv::presence_csv(&eval.fig3),
+    )?;
     fs::write(
         dir.join("fig5_questionable.csv"),
         csv::questionable_csv(&eval.fig5),
@@ -77,8 +80,12 @@ pub fn write_bundle(
 /// Load a campaign dumped by [`write_bundle`].
 pub fn load_campaign(path: &Path) -> io::Result<CampaignOutcome> {
     let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad campaign.json: {e}")))
+    serde_json::from_str(&json).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad campaign.json: {e}"),
+        )
+    })
 }
 
 /// Quick sanity accessor used by tests: dataset sizes of a loaded

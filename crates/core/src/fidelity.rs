@@ -216,9 +216,7 @@ impl FidelityReport {
                 p.truly_embedded.to_string(),
                 p.observed.to_string(),
                 pct(p.presence_recall()),
-                p.true_fraction
-                    .map(pct)
-                    .unwrap_or_else(|| "-".into()),
+                p.true_fraction.map(pct).unwrap_or_else(|| "-".into()),
                 pct(p.measured_fraction),
                 p.fraction_error()
                     .map(|e| format!("{e:.3}"))

@@ -13,8 +13,10 @@ use topics_analysis::figures::{
 use topics_analysis::report::pct;
 use topics_analysis::table1::{table1, Table1};
 use topics_analysis::timeline::{render_timeline, timeline, Timeline};
-use topics_crawler::campaign::{run_campaign, CampaignConfig};
+use topics_crawler::campaign::{run_campaign_observed, CampaignConfig};
+use topics_crawler::metrics::tally_outcome;
 use topics_crawler::record::CampaignOutcome;
+use topics_obs::{MetricsRegistry, MetricsSnapshot, Obs};
 use topics_webgen::World;
 
 /// A built world plus a campaign configuration, ready to run.
@@ -23,6 +25,35 @@ pub struct Lab {
     pub world: World,
     /// The crawl parameters.
     pub campaign: CampaignConfig,
+}
+
+/// A finished campaign: the outcome plus the metrics snapshot taken
+/// right after the crawl. Derefs to [`CampaignOutcome`], so existing
+/// call sites keep working unchanged.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The measurement records.
+    pub outcome: CampaignOutcome,
+    /// Snapshot of every metric the run produced (live crawl series
+    /// plus the authoritative tally).
+    pub metrics: MetricsSnapshot,
+}
+
+impl std::ops::Deref for CampaignRun {
+    type Target = CampaignOutcome;
+    fn deref(&self) -> &CampaignOutcome {
+        &self.outcome
+    }
+}
+
+/// The tally-only metrics snapshot of an outcome (a fresh registry fed
+/// through [`tally_outcome`]). This is what the `topics-lab metrics`
+/// subcommand re-renders from a saved `campaign.json` — by construction
+/// it reconciles with the §2.4 report numbers.
+pub fn metrics_snapshot_of(outcome: &CampaignOutcome) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    tally_outcome(outcome, &registry);
+    registry.snapshot()
 }
 
 impl Lab {
@@ -34,9 +65,32 @@ impl Lab {
         }
     }
 
-    /// Run the measurement campaign.
-    pub fn run(&self) -> CampaignOutcome {
-        run_campaign(&self.world, &self.campaign)
+    /// Run the measurement campaign with a private observability handle
+    /// and return the outcome together with its metrics snapshot.
+    pub fn run(&self) -> CampaignRun {
+        self.run_observed(&Obs::new())
+    }
+
+    /// Run the measurement campaign against a caller-supplied
+    /// observability handle (the CLI passes one wired to stderr and the
+    /// JSONL sink). Live series fill `obs.metrics` while the crawl runs;
+    /// the authoritative tally is added before the snapshot is taken.
+    pub fn run_observed(&self, obs: &Obs) -> CampaignRun {
+        let outcome =
+            run_campaign_observed(&self.world, &self.campaign, Some(obs), |done, total| {
+                obs.events.info(
+                    "progress",
+                    vec![
+                        ("done".to_owned(), done.into()),
+                        ("total".to_owned(), total.into()),
+                    ],
+                );
+            });
+        tally_outcome(&outcome, &obs.metrics);
+        CampaignRun {
+            metrics: obs.metrics.snapshot(),
+            outcome,
+        }
     }
 }
 

@@ -34,14 +34,15 @@ pub mod fidelity;
 pub mod lab;
 
 pub use compare::{comparison_rows, render_comparison, ComparisonRow};
-pub use fidelity::{fidelity, FidelityReport};
 pub use config::LabConfig;
-pub use lab::{evaluate, Evaluation, Lab};
+pub use fidelity::{fidelity, FidelityReport};
+pub use lab::{evaluate, metrics_snapshot_of, CampaignRun, Evaluation, Lab};
 
 pub use topics_analysis as analysis;
 pub use topics_baseline as baseline;
 pub use topics_browser as browser;
 pub use topics_crawler as crawler;
 pub use topics_net as net;
+pub use topics_obs as obs;
 pub use topics_taxonomy as taxonomy;
 pub use topics_webgen as webgen;

@@ -8,8 +8,9 @@
 //! `/.well-known/privacy-sandbox-attestations.json` of every encountered
 //! party (plus every allow-listed domain) to assign the *Attested* label.
 
+use crate::metrics::CrawlMetrics;
 use crate::record::{AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutcome};
-use crate::visit::{run_site_full, ConsentAction};
+use crate::visit::{run_site_full, run_site_instrumented, ConsentAction};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use topics_browser::attestation::{AttestationStore, EnforcementMode};
@@ -19,6 +20,7 @@ use topics_net::http::{HttpRequest, ResourceKind};
 use topics_net::service::NetworkService;
 use topics_net::url::Url;
 use topics_net::wellknown::{attestation_url, AttestationFile};
+use topics_obs::{FieldValue, Level, Obs};
 use topics_taxonomy::Classifier;
 
 /// The crawl start: 2024-03-30, i.e. day 303 of the simulation
@@ -133,6 +135,24 @@ where
     W: CrawlTarget + ?Sized,
     F: Fn(usize, usize) + Sync,
 {
+    run_campaign_observed(world, config, None, progress)
+}
+
+/// [`run_campaign_with_progress`] with observability attached: live
+/// per-worker throughput counters, browser-level network and
+/// Topics-call series, per-site visit events, and `crawl` /
+/// `attestation-probe` phase spans in the event log.
+pub fn run_campaign_observed<W, F>(
+    world: &W,
+    config: &CampaignConfig,
+    obs: Option<&Obs>,
+    progress: F,
+) -> CampaignOutcome
+where
+    W: CrawlTarget + ?Sized,
+    F: Fn(usize, usize) + Sync,
+{
+    let metrics = obs.map(|o| CrawlMetrics::new(&o.metrics));
     let targets = world.targets();
     let allow_list = world.allow_list_snapshot();
     let store = build_store(config.allow_list, &allow_list);
@@ -141,6 +161,7 @@ where
 
     let threads = config.threads.max(1);
     let done = std::sync::atomic::AtomicUsize::new(0);
+    let crawl_span = obs.map(|o| o.events.span("crawl"));
     let mut sites: Vec<SiteOutcome> = Vec::with_capacity(targets.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -150,14 +171,19 @@ where
             let classifier = classifier.clone();
             let done = &done;
             let progress = &progress;
+            let metrics = metrics.clone();
             handles.push(scope.spawn(move || {
+                let worker_sites = obs.map(|o| {
+                    o.metrics
+                        .labeled_counter("crawl_worker_sites_total", "worker", &t.to_string())
+                });
                 let mut out = Vec::new();
                 let mut rank = t;
                 while rank < targets.len() {
                     let started = config
                         .start
                         .plus_millis(rank as u64 * config.per_site_interval_ms);
-                    out.push(run_site_full(
+                    let outcome = run_site_instrumented(
                         world,
                         &targets[rank],
                         rank,
@@ -167,7 +193,28 @@ where
                         started,
                         config.consent_action,
                         config.vantage,
-                    ));
+                        metrics.as_ref(),
+                    );
+                    if let Some(c) = &worker_sites {
+                        c.inc();
+                    }
+                    if let Some(o) = obs {
+                        o.events.event(
+                            Level::Debug,
+                            "visit",
+                            Some(started.millis()),
+                            vec![
+                                ("rank".to_owned(), FieldValue::U64(rank as u64)),
+                                (
+                                    "website".to_owned(),
+                                    FieldValue::Str(outcome.website.to_string()),
+                                ),
+                                ("visited".to_owned(), FieldValue::Bool(outcome.visited())),
+                                ("accepted".to_owned(), FieldValue::Bool(outcome.accepted())),
+                            ],
+                        );
+                    }
+                    out.push(outcome);
                     let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                     if n % 500 == 0 || n == targets.len() {
                         progress(n, targets.len());
@@ -182,6 +229,15 @@ where
         }
     });
     sites.sort_by_key(|s| s.rank);
+    if let Some(mut span) = crawl_span {
+        span.field("sites", targets.len());
+        if let Some(o) = obs {
+            o.metrics
+                .labeled_gauge("phase_wall_us", "phase", "crawl")
+                .set(span.elapsed_us() as i64);
+        }
+        span.end();
+    }
 
     // ---- Attestation probing (§2.3) ----------------------------------
     // Probe every encountered party (first and third) plus every domain
@@ -201,10 +257,26 @@ where
             to_probe.extend(v.topics_calls.iter().map(|c| c.caller_site.clone()));
         }
     }
-    let attestation_probes = to_probe
+    let probe_span = obs.map(|o| o.events.span("attestation-probe"));
+    let probes_sent = obs.map(|o| o.metrics.counter("attestation_probes_sent_total"));
+    let attestation_probes: Vec<AttestationProbe> = to_probe
         .into_iter()
-        .map(|domain| probe_attestation(world, &domain, probe_time))
+        .map(|domain| {
+            if let Some(c) = &probes_sent {
+                c.inc();
+            }
+            probe_attestation(world, &domain, probe_time)
+        })
         .collect();
+    if let Some(mut span) = probe_span {
+        span.field("probes", attestation_probes.len());
+        if let Some(o) = obs {
+            o.metrics
+                .labeled_gauge("phase_wall_us", "phase", "attestation-probe")
+                .set(span.elapsed_us() as i64);
+        }
+        span.end();
+    }
 
     CampaignOutcome {
         sites,
@@ -221,15 +293,16 @@ pub fn probe_attestation<S: NetworkService + ?Sized>(
     now: Timestamp,
 ) -> AttestationProbe {
     let req = HttpRequest::get(attestation_url(domain), ResourceKind::WellKnown);
-    let valid = match service.fetch(&req, now) {
-        Ok(r) if r.status.is_success() => AttestationFile::parse_and_validate(&r.body)
-            .ok()
-            .map(|f| AttestationInfo {
-                issued: f.issued,
-                has_enrollment_site: f.enrollment_site.is_some(),
-            }),
-        _ => None,
-    };
+    let valid =
+        match service.fetch(&req, now) {
+            Ok(r) if r.status.is_success() => AttestationFile::parse_and_validate(&r.body)
+                .ok()
+                .map(|f| AttestationInfo {
+                    issued: f.issued,
+                    has_enrollment_site: f.enrollment_site.is_some(),
+                }),
+            _ => None,
+        };
     AttestationProbe {
         domain: domain.clone(),
         valid,
@@ -452,12 +525,8 @@ mod tests {
         // Same URL at the same time gives identical call sets.
         let again = run_repeated(&world, &urls, &[t0], &config);
         for (a, b) in rounds[0].iter().zip(&again[0]) {
-            let count = |s: &SiteOutcome| {
-                s.before
-                    .as_ref()
-                    .map(|v| v.topics_calls.len())
-                    .unwrap_or(0)
-            };
+            let count =
+                |s: &SiteOutcome| s.before.as_ref().map(|v| v.topics_calls.len()).unwrap_or(0);
             assert_eq!(count(a), count(b));
         }
     }

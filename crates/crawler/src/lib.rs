@@ -21,16 +21,20 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod metrics;
 pub mod privaccept;
 pub mod record;
 pub mod visit;
 
 pub use campaign::{
-    run_campaign, run_campaign_with_progress, run_repeated, AllowListSetup, CampaignConfig,
-    CrawlTarget,
+    run_campaign, run_campaign_observed, run_campaign_with_progress, run_repeated, AllowListSetup,
+    CampaignConfig, CrawlTarget,
 };
-pub use visit::{run_site, run_site_full, run_site_with_action, ConsentAction};
+pub use metrics::{tally_outcome, CrawlMetrics, CALL_CLASSES};
 pub use record::{
     AttestationInfo, AttestationProbe, CampaignOutcome, Phase, SiteOutcome, TopicsCallRecord,
     VisitRecord,
+};
+pub use visit::{
+    run_site, run_site_full, run_site_instrumented, run_site_with_action, ConsentAction,
 };

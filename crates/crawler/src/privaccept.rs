@@ -33,15 +33,30 @@ pub const ACCEPT_KEYWORDS: [(&str, &[&str]); 5] = [
     ("spanish", &["aceptar todo", "aceptar y cerrar", "aceptar"]),
     (
         "german",
-        &["alle akzeptieren", "akzeptieren", "zustimmen", "einverstanden"],
+        &[
+            "alle akzeptieren",
+            "akzeptieren",
+            "zustimmen",
+            "einverstanden",
+        ],
     ),
-    ("italian", &["accetta tutti", "accetto", "accetta", "consenti"]),
+    (
+        "italian",
+        &["accetta tutti", "accetto", "accetta", "consenti"],
+    ),
 ];
 
 /// Words whose presence marks a clickable as a *reject* control, which
 /// must never be clicked by the accept flow even if an accept keyword
 /// also matches (e.g. "do not accept").
-const REJECT_MARKERS: [&str; 6] = ["reject", "decline", "refuse", "do not", "nur notwendige", "rifiuta"];
+const REJECT_MARKERS: [&str; 6] = [
+    "reject",
+    "decline",
+    "refuse",
+    "do not",
+    "nur notwendige",
+    "rifiuta",
+];
 
 /// Reject-button keywords for the opt-out experiment (the After-Reject
 /// protocol, an extension beyond the paper's Before/After-Accept).
@@ -91,10 +106,10 @@ impl BannerScan {
 pub fn scan(document: &Document) -> BannerScan {
     let banner_found = document.nodes.iter().any(|n| match n {
         Node::Container { classes, id, .. } => {
-            classes
-                .iter()
-                .any(|c| has_marker(c, &BANNER_MARKERS))
-                || id.as_deref().is_some_and(|i| has_marker(i, &BANNER_MARKERS))
+            classes.iter().any(|c| has_marker(c, &BANNER_MARKERS))
+                || id
+                    .as_deref()
+                    .is_some_and(|i| has_marker(i, &BANNER_MARKERS))
         }
         _ => false,
     });
@@ -185,18 +200,15 @@ mod tests {
     #[test]
     fn misses_quirky_and_unsupported_phrases() {
         for phrase in [
-            "Sounds good!",       // quirky English
-            "C'est parti",        // quirky French
-            "Принять все",        // Russian (unsupported)
+            "Sounds good!",         // quirky English
+            "C'est parti",          // quirky French
+            "Принять все",          // Russian (unsupported)
             "すべて同意する",       // Japanese (unsupported)
             "Zaakceptuj wszystkie", // Polish (unsupported)
         ] {
             let scan_result = scan(&banner_page(phrase));
             assert!(scan_result.banner_found, "banner still detected");
-            assert!(
-                !scan_result.can_accept(),
-                "should NOT match {phrase:?}"
-            );
+            assert!(!scan_result.can_accept(), "should NOT match {phrase:?}");
         }
     }
 
@@ -241,9 +253,7 @@ mod tests {
 
     #[test]
     fn anchor_buttons_work_too() {
-        let doc = parse(
-            r##"<div class="cookiebar"><a href="#" class="btn">I agree</a></div>"##,
-        );
+        let doc = parse(r##"<div class="cookiebar"><a href="#" class="btn">I agree</a></div>"##);
         assert!(scan(&doc).can_accept());
     }
 }

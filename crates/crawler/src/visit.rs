@@ -7,6 +7,7 @@
 //! visit once more (**After-Accept**). Sites that fail DNS/connection are
 //! dropped, as in the paper.
 
+use crate::metrics::CrawlMetrics;
 use crate::privaccept;
 use crate::record::{Phase, SiteOutcome, VisitRecord};
 use std::sync::Arc;
@@ -75,7 +76,46 @@ pub fn run_site_full<S: NetworkService + ?Sized>(
     vantage: topics_net::http::Vantage,
 ) -> SiteOutcome {
     run_site_inner(
-        service, url, rank, classifier, attestation, campaign_seed, started, action, vantage,
+        service,
+        url,
+        rank,
+        classifier,
+        attestation,
+        campaign_seed,
+        started,
+        action,
+        vantage,
+        None,
+    )
+}
+
+/// [`run_site_full`] with live crawl metrics attached: the browser
+/// records network and Topics-call series while the visit runs, and the
+/// visit/banner outcome counters are bumped before returning.
+#[allow(clippy::too_many_arguments)]
+pub fn run_site_instrumented<S: NetworkService + ?Sized>(
+    service: &S,
+    url: &Url,
+    rank: usize,
+    classifier: Arc<Classifier>,
+    attestation: AttestationStore,
+    campaign_seed: u64,
+    started: Timestamp,
+    action: ConsentAction,
+    vantage: topics_net::http::Vantage,
+    metrics: Option<&CrawlMetrics>,
+) -> SiteOutcome {
+    run_site_inner(
+        service,
+        url,
+        rank,
+        classifier,
+        attestation,
+        campaign_seed,
+        started,
+        action,
+        vantage,
+        metrics,
     )
 }
 
@@ -102,6 +142,7 @@ pub fn run_site_with_action<S: NetworkService + ?Sized>(
         started,
         action,
         topics_net::http::Vantage::Europe,
+        None,
     )
 }
 
@@ -116,6 +157,7 @@ fn run_site_inner<S: NetworkService + ?Sized>(
     started: Timestamp,
     action: ConsentAction,
     vantage: topics_net::http::Vantage,
+    metrics: Option<&CrawlMetrics>,
 ) -> SiteOutcome {
     let website = registrable_domain(url.host());
     let profile_seed = seed::derive(seed::derive(campaign_seed, "profile"), website.as_str());
@@ -126,20 +168,31 @@ fn run_site_inner<S: NetworkService + ?Sized>(
         ..BrowserConfig::default()
     };
     let mut browser = Browser::new(classifier, attestation, config, profile_seed);
+    if let Some(m) = metrics {
+        browser = browser
+            .with_net_metrics(m.net.clone())
+            .with_topics_metrics(m.topics.clone());
+    }
 
     // ---- Before-Accept ----------------------------------------------
     let before_visit = match browser.visit(service, url, started) {
         Ok(v) => v,
         Err(e) => {
+            if let Some(m) = metrics {
+                m.visits_failed.inc();
+            }
             return SiteOutcome {
                 rank,
                 website,
                 before: None,
                 after: None,
                 error: Some(e.to_string()),
-            }
+            };
         }
     };
+    if let Some(m) = metrics {
+        m.visits_ok.inc();
+    }
     let scan = privaccept::scan(&before_visit.document);
     let final_website = before_visit.website();
     let before = VisitRecord::assemble(
@@ -164,10 +217,16 @@ fn run_site_inner<S: NetworkService + ?Sized>(
         let phase = match action {
             ConsentAction::Accept => {
                 browser.grant_consent(&site, click_time);
+                if let Some(m) = metrics {
+                    m.banner_accepted.inc();
+                }
                 Phase::AfterAccept
             }
             ConsentAction::Reject => {
                 browser.deny_consent(&site, click_time);
+                if let Some(m) = metrics {
+                    m.banner_rejected.inc();
+                }
                 Phase::AfterReject
             }
         };
@@ -253,14 +312,8 @@ mod tests {
             }
         }
         // DNS failure rate ≈13%, acceptance ≈30%: sanity bands.
-        assert!(
-            (230..=280).contains(&visited),
-            "visited {visited} of 300"
-        );
-        assert!(
-            (50..=140).contains(&accepted),
-            "accepted {accepted} of 300"
-        );
+        assert!((230..=280).contains(&visited), "visited {visited} of 300");
+        assert!((50..=140).contains(&accepted), "accepted {accepted} of 300");
     }
 
     #[test]

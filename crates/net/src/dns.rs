@@ -219,7 +219,10 @@ mod tests {
             }
         }
         assert!(nx > 0 && to > 0 && cr > 0, "nx={nx} to={to} cr={cr}");
-        assert!(nx > to && nx > cr, "NXDOMAIN should dominate: {nx}/{to}/{cr}");
+        assert!(
+            nx > to && nx > cr,
+            "NXDOMAIN should dominate: {nx}/{to}/{cr}"
+        );
     }
 
     #[test]
@@ -227,10 +230,7 @@ mod tests {
         let dns = SimDns::new(DnsPolicy::paper(), 11);
         let n = 20_000;
         let fails = (0..n)
-            .filter(|i| {
-                dns.resolve_third_party(&d(&format!("tp{i}.io")))
-                    .is_err()
-            })
+            .filter(|i| dns.resolve_third_party(&d(&format!("tp{i}.io"))).is_err())
             .count();
         assert!((fails as f64 / n as f64) < 0.02);
     }

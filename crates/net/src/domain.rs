@@ -167,8 +167,14 @@ mod tests {
         assert_eq!(Domain::parse("a..b"), Err(DomainError::EmptyLabel));
         assert_eq!(Domain::parse(".a.b"), Err(DomainError::EmptyLabel));
         assert_eq!(Domain::parse("a.b."), Err(DomainError::EmptyLabel));
-        assert_eq!(Domain::parse("localhost"), Err(DomainError::NotFullyQualified));
-        assert_eq!(Domain::parse("exa mple.com"), Err(DomainError::BadCharacter));
+        assert_eq!(
+            Domain::parse("localhost"),
+            Err(DomainError::NotFullyQualified)
+        );
+        assert_eq!(
+            Domain::parse("exa mple.com"),
+            Err(DomainError::BadCharacter)
+        );
         assert_eq!(Domain::parse("-a.com"), Err(DomainError::BadHyphen));
         assert_eq!(Domain::parse("a-.com"), Err(DomainError::BadHyphen));
         let long_label = format!("{}.com", "a".repeat(64));

@@ -108,8 +108,7 @@ mod tests {
                 > m.exchange_ms(&host, ResourceKind::Image)
         );
         assert!(
-            m.exchange_ms(&host, ResourceKind::Script)
-                >= m.exchange_ms(&host, ResourceKind::Style)
+            m.exchange_ms(&host, ResourceKind::Script) >= m.exchange_ms(&host, ResourceKind::Style)
         );
     }
 
@@ -133,6 +132,9 @@ mod tests {
             .collect();
         let min = *rtts.iter().min().unwrap();
         let max = *rtts.iter().max().unwrap();
-        assert!(max - min > 150, "RTTs should use most of the band: {min}..{max}");
+        assert!(
+            max - min > 150,
+            "RTTs should use most of the band: {min}..{max}"
+        );
     }
 }

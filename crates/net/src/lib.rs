@@ -28,6 +28,8 @@
 //! * [`latency`] — a deterministic per-host/per-kind latency model, so
 //!   page-load durations (and the paper's ≈one-day crawl span) are
 //!   emergent quantities.
+//! * [`metrics`] — observability hooks ([`metrics::NetMetrics`]): request
+//!   counts per resource kind, exchange-latency histogram, DNS failures.
 //! * [`clock`] — simulated time ([`clock::Timestamp`], [`clock::SimClock`]);
 //!   no wall clock is used anywhere in the workspace.
 //! * [`seed`] — seed-derivation utilities (splitmix64 / FNV-1a) so that all
@@ -43,6 +45,7 @@ pub mod domain;
 pub mod error;
 pub mod http;
 pub mod latency;
+pub mod metrics;
 pub mod psl;
 pub mod region;
 pub mod seed;
@@ -55,6 +58,7 @@ pub use dns::{DnsError, DnsPolicy, SimDns};
 pub use domain::Domain;
 pub use error::NetError;
 pub use http::{HttpRequest, HttpResponse, Method, StatusCode};
+pub use metrics::NetMetrics;
 pub use region::Region;
 pub use service::NetworkService;
 pub use url::Url;

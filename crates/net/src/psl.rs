@@ -14,28 +14,18 @@ use crate::domain::Domain;
 /// suffix.
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
     // United Kingdom
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk",
-    // Japan
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
-    // Brazil
-    "com.br", "net.br", "org.br", "gov.br",
-    // Australia
-    "com.au", "net.au", "org.au",
-    // India
-    "co.in", "net.in", "org.in",
-    // Russia (historic suffixes)
-    "com.ru", "net.ru", "org.ru",
-    // China
-    "com.cn", "net.cn", "org.cn",
-    // Mexico / Argentina
-    "com.mx", "com.ar",
-    // South Korea / Taiwan
-    "co.kr", "or.kr", "com.tw",
-    // Europe misc
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk", // Japan
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp", // Brazil
+    "com.br", "net.br", "org.br", "gov.br", // Australia
+    "com.au", "net.au", "org.au", // India
+    "co.in", "net.in", "org.in", // Russia (historic suffixes)
+    "com.ru", "net.ru", "org.ru", // China
+    "com.cn", "net.cn", "org.cn", // Mexico / Argentina
+    "com.mx", "com.ar", // South Korea / Taiwan
+    "co.kr", "or.kr", "com.tw", // Europe misc
     "com.pl", "net.pl", "com.gr", "com.pt", "com.ro", "co.at",
     // New Zealand / South Africa
-    "co.nz", "co.za",
-    // Turkey
+    "co.nz", "co.za", // Turkey
     "com.tr",
 ];
 
@@ -143,8 +133,14 @@ mod tests {
     #[test]
     fn simple_tld() {
         assert_eq!(public_suffix(&d("www.example.com")), "com");
-        assert_eq!(registrable_domain(&d("www.example.com")).as_str(), "example.com");
-        assert_eq!(registrable_domain(&d("example.com")).as_str(), "example.com");
+        assert_eq!(
+            registrable_domain(&d("www.example.com")).as_str(),
+            "example.com"
+        );
+        assert_eq!(
+            registrable_domain(&d("example.com")).as_str(),
+            "example.com"
+        );
     }
 
     #[test]
@@ -174,7 +170,10 @@ mod tests {
     fn second_level_cross_suffix_match() {
         // The paper's motivating example: www.foo.com vs ad.foo.net.
         assert!(same_second_level_label(&d("www.foo.com"), &d("ad.foo.net")));
-        assert!(!same_second_level_label(&d("www.foo.com"), &d("www.bar.com")));
+        assert!(!same_second_level_label(
+            &d("www.foo.com"),
+            &d("www.bar.com")
+        ));
         assert_eq!(second_level_label(&d("www.foo.co.uk")), "foo");
     }
 

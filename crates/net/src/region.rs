@@ -15,8 +15,8 @@ use std::fmt;
 /// members (Iceland, Liechtenstein, Norway) where the GDPR also applies,
 /// plus the `.eu` TLD itself.
 pub const EU_TLDS: &[&str] = &[
-    "at", "be", "bg", "hr", "cy", "cz", "dk", "ee", "fi", "fr", "de", "gr", "hu", "ie", "it",
-    "lv", "lt", "lu", "mt", "nl", "pl", "pt", "ro", "sk", "si", "es", "se", // 27 member states
+    "at", "be", "bg", "hr", "cy", "cz", "dk", "ee", "fi", "fr", "de", "gr", "hu", "ie", "it", "lv",
+    "lt", "lu", "mt", "nl", "pl", "pt", "ro", "sk", "si", "es", "se", // 27 member states
     "is", "li", "no", // EEA
     "eu",
 ];

@@ -12,9 +12,7 @@ use std::str::FromStr;
 
 /// URL scheme. The simulated web is HTTPS-first; HTTP exists so redirects
 /// to HTTPS can be modelled.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Scheme {
     /// `http://`
     Http,

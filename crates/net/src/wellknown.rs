@@ -103,8 +103,7 @@ impl AttestationFile {
     pub fn for_topics(site: &Domain, issued: Timestamp, with_enrollment_site: bool) -> Self {
         AttestationFile {
             attestation_version: if with_enrollment_site { 2 } else { 1 },
-            enrollment_site: with_enrollment_site
-                .then(|| format!("https://{site}")),
+            enrollment_site: with_enrollment_site.then(|| format!("https://{site}")),
             issued,
             platform_attestations: vec![PlatformAttestation {
                 platform: "chrome".to_owned(),

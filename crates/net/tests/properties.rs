@@ -11,8 +11,7 @@ use topics_net::url::Url;
 /// Strategy for syntactically valid hostnames (2–4 labels).
 fn valid_domain() -> impl Strategy<Value = String> {
     let label = "[a-z][a-z0-9]{0,10}";
-    prop::collection::vec(label.prop_map(|s: String| s), 2..=4)
-        .prop_map(|labels| labels.join("."))
+    prop::collection::vec(label.prop_map(|s: String| s), 2..=4).prop_map(|labels| labels.join("."))
 }
 
 proptest! {

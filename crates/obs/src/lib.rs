@@ -1,0 +1,133 @@
+//! # topics-obs — observability for the reproduction pipeline
+//!
+//! A dependency-light metrics + structured-event layer shared by every
+//! stage of the crawl pipeline (world generation, crawl, attestation
+//! probing, analysis, export):
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of named atomic counters,
+//!   gauges and fixed-bucket latency histograms, snapshotted into a
+//!   serialisable [`MetricsSnapshot`] with a Prometheus-style text
+//!   exposition;
+//! * [`events`] — an append-only structured [`EventLog`] with phase
+//!   spans and a JSONL sink, carrying both the simulated campaign clock
+//!   and wall-clock timings.
+//!
+//! The two halves are bundled in [`Obs`], the handle the pipeline
+//! threads share. Determinism contract: every metric derived from the
+//! simulated world is reproducible bit-for-bit for a fixed seed; every
+//! wall-clock measurement carries `wall` in its metric name so
+//! [`MetricsSnapshot::strip_wall_clock`] can separate the two.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+
+pub use events::{Event, EventLog, FieldValue, Level, SpanGuard};
+pub use metrics::{
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+
+use std::time::Instant;
+
+/// The shared observability handle: one metric registry plus one event
+/// log. Cheap to share across crawl workers behind an `Arc` (all inner
+/// state is atomic or mutex-guarded).
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Named counters, gauges and histograms.
+    pub metrics: MetricsRegistry,
+    /// The structured event stream.
+    pub events: EventLog,
+}
+
+impl Obs {
+    /// A silent observability handle (no stderr echo).
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// An observability handle that echoes info events to stderr (the
+    /// CLI front end), unless `TOPICS_LOG=off`.
+    pub fn with_stderr_echo() -> Obs {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            events: EventLog::new().with_stderr_echo(),
+        }
+    }
+
+    /// Start a pipeline phase: on drop the guard records a `span` event
+    /// and sets the `phase_wall_us{phase="…"}` gauge. Wall-clock by
+    /// design — phase gauges are stripped before determinism
+    /// comparisons.
+    pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            obs: self,
+            name: name.to_owned(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Guard returned by [`Obs::phase`].
+pub struct PhaseGuard<'a> {
+    obs: &'a Obs,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let us = self.started.elapsed().as_micros().max(1) as u64;
+        self.obs
+            .metrics
+            .labeled_gauge("phase_wall_us", "phase", &self.name)
+            .set(us as i64);
+        self.obs.events.event(
+            Level::Info,
+            "span",
+            None,
+            vec![
+                ("phase".to_owned(), FieldValue::Str(self.name.clone())),
+                ("wall_us".to_owned(), FieldValue::U64(us)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_guard_sets_gauge_and_records_span() {
+        let obs = Obs::new();
+        obs.phase("world-gen");
+        let snapshot = obs.metrics.snapshot();
+        assert!(snapshot.gauge("phase_wall_us{phase=\"world-gen\"}") >= 1);
+        let events = obs.events.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "span");
+        assert_eq!(
+            events[0].field("phase"),
+            Some(&FieldValue::Str("world-gen".to_owned()))
+        );
+    }
+
+    #[test]
+    fn obs_is_sync_and_send() {
+        fn check<T: Send + Sync>() {}
+        check::<Obs>();
+    }
+
+    #[test]
+    fn stripped_snapshot_drops_phase_gauges() {
+        let obs = Obs::new();
+        obs.phase("crawl");
+        obs.metrics.counter("visits_total").inc();
+        let s = obs.metrics.snapshot().strip_wall_clock();
+        assert!(s.gauges.is_empty());
+        assert_eq!(s.counter("visits_total"), 1);
+    }
+}

@@ -1,0 +1,464 @@
+//! Metric primitives: named atomic counters, gauges and fixed-bucket
+//! histograms, registered once and snapshotted into a serialisable,
+//! deterministic structure.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! clones over atomics, so the hot paths (one network exchange, one
+//! Topics call) never take the registry lock — the lock is only held
+//! while resolving a name to a handle or while snapshotting.
+//!
+//! Metric names follow Prometheus conventions. A name may carry a single
+//! label pair in curly braces (e.g. `topics_calls_total{class="legitimate"}`,
+//! built with [`labeled`]); the part before the brace is the *base name*
+//! used for `# TYPE` grouping in the text exposition. Metrics whose base
+//! name contains `wall` are wall-clock measurements and are removed by
+//! [`MetricsSnapshot::strip_wall_clock`], which is what makes same-seed
+//! snapshots byte-identical across runs.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default histogram bucket upper bounds for latency-style observations,
+/// in milliseconds.
+pub const DEFAULT_LATENCY_BUCKETS_MS: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000,
+];
+
+/// Build a labelled metric name: `name{label="value"}`.
+pub fn labeled(name: &str, label: &str, value: &str) -> String {
+    format!("{name}{{{label}=\"{value}\"}}")
+}
+
+/// The base name of a possibly-labelled metric (the part before `{`).
+pub fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (latest-value semantics).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add to the value (negative deltas allowed).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// One slot per bound plus the `+Inf` slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle for non-negative integer observations
+/// (typically latencies in milliseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) observation counts; one entry per
+    /// bound plus the trailing `+Inf` entry.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0 < q <= 1`) as the upper bound of the
+    /// bucket where the cumulative count crosses `q * count`. Values in
+    /// the `+Inf` bucket report the last finite bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self
+                    .bounds
+                    .get(i)
+                    .or(self.bounds.last())
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The process-wide registry of named metrics.
+///
+/// Resolving the same name twice returns handles over the same atomic, so
+/// concurrent workers can each hold their own clone.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a counter with one label pair.
+    pub fn labeled_counter(&self, name: &str, label: &str, value: &str) -> Counter {
+        self.counter(&labeled(name, label, value))
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a gauge with one label pair.
+    pub fn labeled_gauge(&self, name: &str, label: &str, value: &str) -> Gauge {
+        self.gauge(&labeled(name, label, value))
+    }
+
+    /// Get or create a histogram with the default latency buckets. The
+    /// name must be label-free (histograms expand into their own
+    /// `le`-labelled series in the exposition).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, DEFAULT_LATENCY_BUCKETS_MS)
+    }
+
+    /// Get or create a histogram with explicit bucket bounds. Bounds are
+    /// fixed at first registration; later calls return the existing
+    /// histogram regardless of the bounds passed.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[u64]) -> Histogram {
+        debug_assert!(!name.contains('{'), "histogram names must be label-free");
+        self.histograms
+            .lock()
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Copy every registered metric into a serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry: serialisable,
+/// comparable, and renderable as Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by (possibly labelled) name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by (possibly labelled) name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, 0 when absent. Accepts labelled names.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter sharing `base` as base name (i.e. across all
+    /// label values).
+    pub fn counter_sum(&self, base: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| base_name(k) == base)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Remove every wall-clock metric (base name containing `wall`).
+    /// Everything left derives from the simulated clock and the seeded
+    /// campaign, so two same-seed runs produce byte-identical stripped
+    /// snapshots.
+    #[must_use]
+    pub fn strip_wall_clock(mut self) -> MetricsSnapshot {
+        self.counters.retain(|k, _| !base_name(k).contains("wall"));
+        self.gauges.retain(|k, _| !base_name(k).contains("wall"));
+        self.histograms
+            .retain(|k, _| !base_name(k).contains("wall"));
+        self
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Histograms expand into cumulative `_bucket{le=…}` series plus
+    /// `_sum`/`_count`, followed by p50/p90/p99 estimate gauges.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Option<String> = None;
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if typed.as_deref() != Some(base) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                typed = Some(base.to_owned());
+            }
+        };
+        for (name, value) in &self.counters {
+            type_line(&mut out, base_name(name), "counter");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            type_line(&mut out, base_name(name), "gauge");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cumulative += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_owned(),
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{name}_quantile{{q=\"{label}\"}} {}\n",
+                    h.quantile(q)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x_total").get(), 3);
+        assert_eq!(r.snapshot().counter("x_total"), 3);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series_with_shared_base() {
+        let r = MetricsRegistry::new();
+        r.labeled_counter("calls_total", "class", "a").add(2);
+        r.labeled_counter("calls_total", "class", "b").add(3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("calls_total{class=\"a\"}"), 2);
+        assert_eq!(s.counter_sum("calls_total"), 5);
+    }
+
+    #[test]
+    fn gauges_hold_latest_value() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.snapshot().gauge("depth"), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_buckets("lat_ms", &[10, 100, 1000]);
+        for v in [1, 5, 9, 50, 99, 200] {
+            h.observe(v);
+        }
+        h.observe(5_000); // +Inf bucket
+        let s = r.snapshot();
+        let snap = &s.histograms["lat_ms"];
+        assert_eq!(snap.buckets, vec![3, 2, 1, 1]);
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 1 + 5 + 9 + 50 + 99 + 200 + 5_000);
+        assert_eq!(snap.quantile(0.5), 100);
+        assert_eq!(snap.quantile(0.99), 1000, "+Inf reports last bound");
+        assert!(snap.mean() > 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_buckets_and_quantiles() {
+        let r = MetricsRegistry::new();
+        r.labeled_counter("calls_total", "class", "a").inc();
+        r.labeled_counter("calls_total", "class", "b").inc();
+        r.gauge("phase_wall_us").set(12);
+        r.histogram_with_buckets("lat_ms", &[10, 100]).observe(7);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE calls_total counter"));
+        // One TYPE line for both labelled series.
+        assert_eq!(text.matches("# TYPE calls_total").count(), 1);
+        assert!(text.contains("calls_total{class=\"a\"} 1"));
+        assert!(text.contains("# TYPE lat_ms histogram"));
+        assert!(text.contains("lat_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_ms_count 1"));
+        assert!(text.contains("lat_ms_quantile{q=\"0.5\"} 10"));
+    }
+
+    #[test]
+    fn strip_wall_clock_removes_only_wall_metrics() {
+        let r = MetricsRegistry::new();
+        r.counter("visits_total").inc();
+        r.labeled_gauge("phase_wall_us", "phase", "crawl").set(99);
+        r.histogram("crawl_wall_ms").observe(1);
+        let s = r.snapshot().strip_wall_clock();
+        assert_eq!(s.counter("visits_total"), 1);
+        assert!(s.gauges.is_empty());
+        assert!(s.histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total").add(7);
+        r.gauge("b").set(-2);
+        r.histogram_with_buckets("h_ms", &[1, 2]).observe(2);
+        let s = r.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -221,8 +221,7 @@ mod tests {
 
     #[test]
     fn v1_model_stays_inside_the_v1_tree() {
-        let c = Classifier::new_with_version(9, TaxonomyVersion::V1)
-            .with_unclassifiable_rate(0.0);
+        let c = Classifier::new_with_version(9, TaxonomyVersion::V1).with_unclassifiable_rate(0.0);
         assert_eq!(c.taxonomy_version(), TaxonomyVersion::V1);
         for i in 0..2_000 {
             if let Classification::Topics(t) = c.classify(&d(&format!("v1site{i}.com"))) {

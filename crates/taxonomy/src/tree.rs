@@ -55,9 +55,7 @@ impl TaxonomyVersion {
 }
 
 /// A topic identifier: `1..=TAXONOMY_SIZE`, stable across runs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TopicId(pub u16);
 
 impl TopicId {
@@ -117,19 +115,75 @@ const ROOTS: [&str; 25] = [
 /// These give the tree recognisable labels where the paper's figures would
 /// show them; the long tail is synthesised.
 const CURATED_CHILDREN: &[(usize, &[&str])] = &[
-    (0, &["Movies", "Music & Audio", "TV Shows & Programs", "Comics", "Humor", "Live Events"]),
-    (1, &["Motor Vehicles (By Type)", "Vehicle Repair & Maintenance", "Motorcycles"]),
+    (
+        0,
+        &[
+            "Movies",
+            "Music & Audio",
+            "TV Shows & Programs",
+            "Comics",
+            "Humor",
+            "Live Events",
+        ],
+    ),
+    (
+        1,
+        &[
+            "Motor Vehicles (By Type)",
+            "Vehicle Repair & Maintenance",
+            "Motorcycles",
+        ],
+    ),
     (2, &["Fitness", "Hair Care", "Skin Care"]),
-    (4, &["Advertising & Marketing", "Aerospace & Defense", "Agriculture & Forestry"]),
-    (5, &["Consumer Electronics", "Software", "Programming", "Network Security"]),
-    (6, &["Banking", "Credit Cards", "Insurance", "Investing", "Loans"]),
+    (
+        4,
+        &[
+            "Advertising & Marketing",
+            "Aerospace & Defense",
+            "Agriculture & Forestry",
+        ],
+    ),
+    (
+        5,
+        &[
+            "Consumer Electronics",
+            "Software",
+            "Programming",
+            "Network Security",
+        ],
+    ),
+    (
+        6,
+        &["Banking", "Credit Cards", "Insurance", "Investing", "Loans"],
+    ),
     (7, &["Cooking & Recipes", "Restaurants", "Beverages"]),
-    (8, &["Computer & Video Games", "Board Games", "Card Games", "Gambling"]),
+    (
+        8,
+        &[
+            "Computer & Video Games",
+            "Board Games",
+            "Card Games",
+            "Gambling",
+        ],
+    ),
     (12, &["Education", "Jobs"]),
     (14, &["Business News", "Politics", "Sports News", "Weather"]),
     (21, &["Apparel", "Consumer Resources", "Luxury Goods"]),
-    (22, &["Soccer", "Basketball", "Baseball", "Tennis", "Motor Sports", "Winter Sports"]),
-    (23, &["Air Travel", "Hotels & Accommodations", "Car Rentals"]),
+    (
+        22,
+        &[
+            "Soccer",
+            "Basketball",
+            "Baseball",
+            "Tennis",
+            "Motor Sports",
+            "Winter Sports",
+        ],
+    ),
+    (
+        23,
+        &["Air Travel", "Hotels & Accommodations", "Car Rentals"],
+    ),
 ];
 
 /// The full taxonomy, built once per process and per version.
@@ -431,11 +485,7 @@ mod tests {
     #[test]
     fn tree_has_three_levels() {
         let t = Taxonomy::global();
-        let max_depth = t
-            .iter()
-            .map(|x| t.ancestors(x.id).len())
-            .max()
-            .unwrap();
+        let max_depth = t.iter().map(|x| t.ancestors(x.id).len()).max().unwrap();
         assert_eq!(max_depth, 2, "roots, children, grandchildren");
     }
 }

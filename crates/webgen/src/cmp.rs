@@ -43,21 +43,111 @@ pub struct CmpSpec {
 
 /// The fifteen CMPs of Figure 7, with OneTrust the clear market leader.
 pub const CMPS: [CmpSpec; 15] = [
-    CmpSpec { name: "OneTrust", domain: "onetrust.com", market_weight: 300, misconfiguration_rate: 0.055, breaks_consent_mode: false },
-    CmpSpec { name: "HubSpot", domain: "hubspot.com", market_weight: 95, misconfiguration_rate: 0.12, breaks_consent_mode: true },
-    CmpSpec { name: "LiveRamp", domain: "liveramp.com", market_weight: 55, misconfiguration_rate: 0.11, breaks_consent_mode: true },
-    CmpSpec { name: "Cookiebot", domain: "cookiebot.com", market_weight: 140, misconfiguration_rate: 0.05, breaks_consent_mode: false },
-    CmpSpec { name: "TrustArc", domain: "trustarc.com", market_weight: 90, misconfiguration_rate: 0.055, breaks_consent_mode: false },
-    CmpSpec { name: "Didomi", domain: "didomi.io", market_weight: 85, misconfiguration_rate: 0.05, breaks_consent_mode: false },
-    CmpSpec { name: "Sourcepoint", domain: "sourcepoint.com", market_weight: 70, misconfiguration_rate: 0.05, breaks_consent_mode: false },
-    CmpSpec { name: "Osano", domain: "osano.com", market_weight: 55, misconfiguration_rate: 0.055, breaks_consent_mode: false },
-    CmpSpec { name: "Iubenda", domain: "iubenda.com", market_weight: 55, misconfiguration_rate: 0.05, breaks_consent_mode: false },
-    CmpSpec { name: "CookieYes", domain: "cookieyes.com", market_weight: 50, misconfiguration_rate: 0.055, breaks_consent_mode: false },
-    CmpSpec { name: "Usercentrics", domain: "usercentrics.eu", market_weight: 45, misconfiguration_rate: 0.05, breaks_consent_mode: false },
-    CmpSpec { name: "CookieScript", domain: "cookie-script.com", market_weight: 35, misconfiguration_rate: 0.055, breaks_consent_mode: false },
-    CmpSpec { name: "Civic", domain: "civiccomputing.com", market_weight: 30, misconfiguration_rate: 0.05, breaks_consent_mode: false },
-    CmpSpec { name: "Cookie Information", domain: "cookieinformation.com", market_weight: 25, misconfiguration_rate: 0.055, breaks_consent_mode: false },
-    CmpSpec { name: "SFBX", domain: "sfbx.io", market_weight: 20, misconfiguration_rate: 0.05, breaks_consent_mode: false },
+    CmpSpec {
+        name: "OneTrust",
+        domain: "onetrust.com",
+        market_weight: 300,
+        misconfiguration_rate: 0.055,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "HubSpot",
+        domain: "hubspot.com",
+        market_weight: 95,
+        misconfiguration_rate: 0.12,
+        breaks_consent_mode: true,
+    },
+    CmpSpec {
+        name: "LiveRamp",
+        domain: "liveramp.com",
+        market_weight: 55,
+        misconfiguration_rate: 0.11,
+        breaks_consent_mode: true,
+    },
+    CmpSpec {
+        name: "Cookiebot",
+        domain: "cookiebot.com",
+        market_weight: 140,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "TrustArc",
+        domain: "trustarc.com",
+        market_weight: 90,
+        misconfiguration_rate: 0.055,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Didomi",
+        domain: "didomi.io",
+        market_weight: 85,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Sourcepoint",
+        domain: "sourcepoint.com",
+        market_weight: 70,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Osano",
+        domain: "osano.com",
+        market_weight: 55,
+        misconfiguration_rate: 0.055,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Iubenda",
+        domain: "iubenda.com",
+        market_weight: 55,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "CookieYes",
+        domain: "cookieyes.com",
+        market_weight: 50,
+        misconfiguration_rate: 0.055,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Usercentrics",
+        domain: "usercentrics.eu",
+        market_weight: 45,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "CookieScript",
+        domain: "cookie-script.com",
+        market_weight: 35,
+        misconfiguration_rate: 0.055,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Civic",
+        domain: "civiccomputing.com",
+        market_weight: 30,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "Cookie Information",
+        domain: "cookieinformation.com",
+        market_weight: 25,
+        misconfiguration_rate: 0.055,
+        breaks_consent_mode: false,
+    },
+    CmpSpec {
+        name: "SFBX",
+        domain: "sfbx.io",
+        market_weight: 20,
+        misconfiguration_rate: 0.05,
+        breaks_consent_mode: false,
+    },
 ];
 
 impl CmpId {
@@ -103,7 +193,9 @@ mod tests {
         assert_eq!(CMPS.len(), 15);
         assert_eq!(CMPS[0].name, "OneTrust");
         // OneTrust has the largest market weight.
-        assert!(CMPS.iter().all(|c| c.market_weight <= CMPS[0].market_weight));
+        assert!(CMPS
+            .iter()
+            .all(|c| c.market_weight <= CMPS[0].market_weight));
     }
 
     #[test]
@@ -150,6 +242,9 @@ mod tests {
             let sub = Domain::parse(&format!("cdn.{}", spec.domain)).unwrap();
             assert_eq!(cmp_by_domain(&sub), Some(id));
         }
-        assert_eq!(cmp_by_domain(&Domain::parse("unrelated.com").unwrap()), None);
+        assert_eq!(
+            cmp_by_domain(&Domain::parse("unrelated.com").unwrap()),
+            None
+        );
     }
 }

@@ -178,9 +178,7 @@ mod tests {
     #[test]
     fn com_sites_are_mostly_english() {
         let english = (0..2000)
-            .filter(|i| {
-                site_language(&d(&format!("s{i}.com")), 9) == Language::English
-            })
+            .filter(|i| site_language(&d(&format!("s{i}.com")), 9) == Language::English)
             .count();
         assert!(
             (1550..1950).contains(&english),

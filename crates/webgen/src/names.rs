@@ -155,9 +155,21 @@ mod tests {
             *counts.entry(Region::of(&d)).or_insert(0u64) += 1;
         }
         let frac = |r: Region| *counts.get(&r).unwrap_or(&0) as f64 / n as f64;
-        assert!((frac(Region::Com) - 0.45).abs() < 0.02, "com {}", frac(Region::Com));
-        assert!((frac(Region::Russia) - 0.06).abs() < 0.01, "ru {}", frac(Region::Russia));
-        assert!((frac(Region::Japan) - 0.045).abs() < 0.01, "jp {}", frac(Region::Japan));
+        assert!(
+            (frac(Region::Com) - 0.45).abs() < 0.02,
+            "com {}",
+            frac(Region::Com)
+        );
+        assert!(
+            (frac(Region::Russia) - 0.06).abs() < 0.01,
+            "ru {}",
+            frac(Region::Russia)
+        );
+        assert!(
+            (frac(Region::Japan) - 0.045).abs() < 0.01,
+            "jp {}",
+            frac(Region::Japan)
+        );
         assert!(
             (frac(Region::EuropeanUnion) - 0.15).abs() < 0.02,
             "eu {}",

@@ -252,10 +252,7 @@ pub fn build_registry(campaign_seed: u64) -> Vec<AdPlatform> {
 }
 
 /// [`build_registry`] for an explicit scenario.
-pub fn build_registry_with(
-    campaign_seed: u64,
-    scenario: RegistryScenario,
-) -> Vec<AdPlatform> {
+pub fn build_registry_with(campaign_seed: u64, scenario: RegistryScenario) -> Vec<AdPlatform> {
     let mut registry = build_paper_registry(campaign_seed);
     if scenario == RegistryScenario::FullAdoption {
         for p in registry.iter_mut() {
@@ -280,34 +277,346 @@ fn build_paper_registry(campaign_seed: u64) -> Vec<AdPlatform> {
     // Enrolled but not calling: google-analytics (not an ad service),
     // bing, and the presence-only exchanges of Figure 2's long tail.
     let mut named = vec![
-        AdPlatform { domain: d("google-analytics.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 15, activation_day: 29, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.68, region_mult: GLOBAL_WEST },
-        AdPlatform { domain: d("doubleclick.net"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 15, activation_day: 29, experiment: site(0.33), style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.56, region_mult: GLOBAL_WEST },
-        AdPlatform { domain: d("bing.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 40, activation_day: 54, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.27, region_mult: GLOBAL_WEST },
-        AdPlatform { domain: d("rubiconproject.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 60, activation_day: 74, experiment: site(0.45), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.05, base_presence: 0.17, region_mult: UNIFORM },
-        AdPlatform { domain: d("pubmatic.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 75, activation_day: 89, experiment: site(0.25), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.04, base_presence: 0.16, region_mult: UNIFORM },
-        AdPlatform { domain: d("criteo.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 30, activation_day: 44, experiment: site(0.75), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.10, base_presence: 0.155, region_mult: WORLDWIDE_JP },
-        AdPlatform { domain: d("casalemedia.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 90, activation_day: 104, experiment: Experiment::TimeWindow { p: 0.5, hours: 12 }, style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.10, base_presence: 0.13, region_mult: UNIFORM },
-        AdPlatform { domain: d("3lift.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 100, activation_day: 114, experiment: site(0.38), style: ApiStyle::ScriptIframe, respects_consent: false, pre_consent_rate: 0.07, base_presence: 0.10, region_mult: UNIFORM },
-        AdPlatform { domain: d("openx.net"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 85, activation_day: 99, experiment: site(0.55), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.12, base_presence: 0.097, region_mult: UNIFORM },
-        AdPlatform { domain: d("teads.tv"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 120, activation_day: 134, experiment: site(0.40), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.08, base_presence: 0.081, region_mult: UNIFORM },
-        AdPlatform { domain: d("taboola.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 110, activation_day: 124, experiment: Experiment::TimeWindow { p: 0.5, hours: 24 }, style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.09, base_presence: 0.077, region_mult: UNIFORM },
-        AdPlatform { domain: d("adform.net"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 140, activation_day: 154, experiment: site(0.10), style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.068, region_mult: [0.8, 0.3, 0.3, 2.2, 0.8] },
-        AdPlatform { domain: d("indexww.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 150, activation_day: 164, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.065, region_mult: UNIFORM },
-        AdPlatform { domain: d("quantserve.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 160, activation_day: 174, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.058, region_mult: UNIFORM },
-        AdPlatform { domain: d("yahoo.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 55, activation_day: 69, experiment: Experiment::Off, style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.054, region_mult: [1.0, 2.2, 0.3, 0.7, 0.9] },
-        AdPlatform { domain: d("outbrain.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 130, activation_day: 144, experiment: site(0.30), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.08, base_presence: 0.055, region_mult: UNIFORM },
-        AdPlatform { domain: d("creativecdn.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 170, activation_day: 184, experiment: site(0.34), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.20, base_presence: 0.040, region_mult: [0.9, 0.4, 0.8, 1.8, 0.9] },
-        AdPlatform { domain: d("postrelease.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 180, activation_day: 194, experiment: site(0.28), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 0.18, base_presence: 0.042, region_mult: UNIFORM },
-        AdPlatform { domain: d("authorizedvault.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 200, activation_day: 214, experiment: site(0.98), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.35, base_presence: 0.015, region_mult: UNIFORM },
-        AdPlatform { domain: d("unrulymedia.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 190, activation_day: 204, experiment: site(0.35), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.20, base_presence: 0.013, region_mult: UNIFORM },
-        AdPlatform { domain: d("cpx.to"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 210, activation_day: 224, experiment: site(0.75), style: ApiStyle::ScriptFetch, respects_consent: true, pre_consent_rate: 0.0, base_presence: 0.008, region_mult: UNIFORM },
-        AdPlatform { domain: d("yandex.com"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 95, activation_day: 109, experiment: site(0.66), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.6, base_presence: 0.035, region_mult: RUSSIA_HEAVY },
-        AdPlatform { domain: d("yandex.ru"), allowed: true, attested: true, attestation_malformed: false, enrolled_day: 95, activation_day: 109, experiment: site(0.66), style: ApiStyle::IframeJs, respects_consent: false, pre_consent_rate: 0.6, base_presence: 0.018, region_mult: RUSSIA_HEAVY },
+        AdPlatform {
+            domain: d("google-analytics.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 15,
+            activation_day: 29,
+            experiment: Experiment::Off,
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.68,
+            region_mult: GLOBAL_WEST,
+        },
+        AdPlatform {
+            domain: d("doubleclick.net"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 15,
+            activation_day: 29,
+            experiment: site(0.33),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.56,
+            region_mult: GLOBAL_WEST,
+        },
+        AdPlatform {
+            domain: d("bing.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 40,
+            activation_day: 54,
+            experiment: Experiment::Off,
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.27,
+            region_mult: GLOBAL_WEST,
+        },
+        AdPlatform {
+            domain: d("rubiconproject.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 60,
+            activation_day: 74,
+            experiment: site(0.45),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.05,
+            base_presence: 0.17,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("pubmatic.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 75,
+            activation_day: 89,
+            experiment: site(0.25),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: false,
+            pre_consent_rate: 0.04,
+            base_presence: 0.16,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("criteo.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 30,
+            activation_day: 44,
+            experiment: site(0.75),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.10,
+            base_presence: 0.155,
+            region_mult: WORLDWIDE_JP,
+        },
+        AdPlatform {
+            domain: d("casalemedia.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 90,
+            activation_day: 104,
+            experiment: Experiment::TimeWindow { p: 0.5, hours: 12 },
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.10,
+            base_presence: 0.13,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("3lift.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 100,
+            activation_day: 114,
+            experiment: site(0.38),
+            style: ApiStyle::ScriptIframe,
+            respects_consent: false,
+            pre_consent_rate: 0.07,
+            base_presence: 0.10,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("openx.net"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 85,
+            activation_day: 99,
+            experiment: site(0.55),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: false,
+            pre_consent_rate: 0.12,
+            base_presence: 0.097,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("teads.tv"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 120,
+            activation_day: 134,
+            experiment: site(0.40),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.08,
+            base_presence: 0.081,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("taboola.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 110,
+            activation_day: 124,
+            experiment: Experiment::TimeWindow { p: 0.5, hours: 24 },
+            style: ApiStyle::ScriptFetch,
+            respects_consent: false,
+            pre_consent_rate: 0.09,
+            base_presence: 0.077,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("adform.net"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 140,
+            activation_day: 154,
+            experiment: site(0.10),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.068,
+            region_mult: [0.8, 0.3, 0.3, 2.2, 0.8],
+        },
+        AdPlatform {
+            domain: d("indexww.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 150,
+            activation_day: 164,
+            experiment: Experiment::Off,
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.065,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("quantserve.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 160,
+            activation_day: 174,
+            experiment: Experiment::Off,
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.058,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("yahoo.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 55,
+            activation_day: 69,
+            experiment: Experiment::Off,
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.054,
+            region_mult: [1.0, 2.2, 0.3, 0.7, 0.9],
+        },
+        AdPlatform {
+            domain: d("outbrain.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 130,
+            activation_day: 144,
+            experiment: site(0.30),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.08,
+            base_presence: 0.055,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("creativecdn.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 170,
+            activation_day: 184,
+            experiment: site(0.34),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: false,
+            pre_consent_rate: 0.20,
+            base_presence: 0.040,
+            region_mult: [0.9, 0.4, 0.8, 1.8, 0.9],
+        },
+        AdPlatform {
+            domain: d("postrelease.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 180,
+            activation_day: 194,
+            experiment: site(0.28),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: false,
+            pre_consent_rate: 0.18,
+            base_presence: 0.042,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("authorizedvault.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 200,
+            activation_day: 214,
+            experiment: site(0.98),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.35,
+            base_presence: 0.015,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("unrulymedia.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 190,
+            activation_day: 204,
+            experiment: site(0.35),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.20,
+            base_presence: 0.013,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("cpx.to"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 210,
+            activation_day: 224,
+            experiment: site(0.75),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: true,
+            pre_consent_rate: 0.0,
+            base_presence: 0.008,
+            region_mult: UNIFORM,
+        },
+        AdPlatform {
+            domain: d("yandex.com"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 95,
+            activation_day: 109,
+            experiment: site(0.66),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.6,
+            base_presence: 0.035,
+            region_mult: RUSSIA_HEAVY,
+        },
+        AdPlatform {
+            domain: d("yandex.ru"),
+            allowed: true,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 95,
+            activation_day: 109,
+            experiment: site(0.66),
+            style: ApiStyle::IframeJs,
+            respects_consent: false,
+            pre_consent_rate: 0.6,
+            base_presence: 0.018,
+            region_mult: RUSSIA_HEAVY,
+        },
         // The lone attested-but-not-allowed party (§2.4): its attestation
         // file is dated November 2023 (day ~165) yet it never completed
         // enrolment. It only ever calls on its own website, which the
         // world generator arranges by ranking distillery.com itself.
-        AdPlatform { domain: d("distillery.com"), allowed: false, attested: true, attestation_malformed: false, enrolled_day: 165, activation_day: 179, experiment: site(1.0), style: ApiStyle::ScriptFetch, respects_consent: false, pre_consent_rate: 1.0, base_presence: 0.0, region_mult: UNIFORM },
+        AdPlatform {
+            domain: d("distillery.com"),
+            allowed: false,
+            attested: true,
+            attestation_malformed: false,
+            enrolled_day: 165,
+            activation_day: 179,
+            experiment: site(1.0),
+            style: ApiStyle::ScriptFetch,
+            respects_consent: false,
+            pre_consent_rate: 1.0,
+            base_presence: 0.0,
+            region_mult: UNIFORM,
+        },
     ];
     v.append(&mut named);
 
@@ -461,12 +770,23 @@ mod tests {
     #[test]
     fn yandex_is_russian_criteo_is_worldwide() {
         let reg = build_registry(4);
-        let yandex = reg.iter().find(|p| p.domain.as_str() == "yandex.com").unwrap();
+        let yandex = reg
+            .iter()
+            .find(|p| p.domain.as_str() == "yandex.com")
+            .unwrap();
         assert_eq!(yandex.presence_probability(Region::Japan), 0.0);
         assert!(yandex.presence_probability(Region::Russia) > 0.3);
-        assert!(yandex.presence_probability(Region::Russia) > 10.0 * yandex.presence_probability(Region::Com));
-        let criteo = reg.iter().find(|p| p.domain.as_str() == "criteo.com").unwrap();
-        assert!(criteo.presence_probability(Region::Japan) > criteo.presence_probability(Region::Com));
+        assert!(
+            yandex.presence_probability(Region::Russia)
+                > 10.0 * yandex.presence_probability(Region::Com)
+        );
+        let criteo = reg
+            .iter()
+            .find(|p| p.domain.as_str() == "criteo.com")
+            .unwrap();
+        assert!(
+            criteo.presence_probability(Region::Japan) > criteo.presence_probability(Region::Com)
+        );
         for r in Region::ALL {
             assert!(criteo.presence_probability(r) > 0.0);
         }
@@ -523,10 +843,16 @@ mod tests {
     #[test]
     fn consent_wrapper_matches_behaviour() {
         let reg = build_registry(6);
-        let dc = reg.iter().find(|p| p.domain.as_str() == "doubleclick.net").unwrap();
+        let dc = reg
+            .iter()
+            .find(|p| p.domain.as_str() == "doubleclick.net")
+            .unwrap();
         assert!(dc.tag_script().contains("consent {"));
         assert!(!dc.tag_script().contains("noconsent {"));
-        let yx = reg.iter().find(|p| p.domain.as_str() == "yandex.com").unwrap();
+        let yx = reg
+            .iter()
+            .find(|p| p.domain.as_str() == "yandex.com")
+            .unwrap();
         assert!(
             yx.frame_document().contains("noconsent {"),
             "violators also fire without consent"
@@ -536,7 +862,11 @@ mod tests {
     #[test]
     fn enrolment_timeline_spans_june_2023_to_may_2024() {
         let reg = build_registry(7);
-        let days: Vec<u64> = reg.iter().filter(|p| p.allowed).map(|p| p.enrolled_day).collect();
+        let days: Vec<u64> = reg
+            .iter()
+            .filter(|p| p.allowed)
+            .map(|p| p.enrolled_day)
+            .collect();
         let min = *days.iter().min().unwrap();
         let max = *days.iter().max().unwrap();
         assert!(min >= 15, "first attestation June 16th, 2023 (day 15)");
@@ -560,9 +890,6 @@ mod tests {
         }
         let c = build_registry(10);
         // Tail names differ across seeds.
-        assert_ne!(
-            a.last().unwrap().domain,
-            c.last().unwrap().domain
-        );
+        assert_ne!(a.last().unwrap().domain, c.last().unwrap().domain);
     }
 }

@@ -49,7 +49,11 @@ pub fn render_page_for(
     let mut html = String::with_capacity(2048);
     let content = spec.content_domain();
     html.push_str("<html><head>\n");
-    html.push_str(&format!("<title>{} — {}</title>\n", content, spec.language.banner_prose()));
+    html.push_str(&format!(
+        "<title>{} — {}</title>\n",
+        content,
+        spec.language.banner_prose()
+    ));
     html.push_str("<link rel=\"stylesheet\" href=\"/main.css\">\n");
 
     // CMP loader: present whenever the site uses a CMP (that is what the
@@ -199,9 +203,7 @@ pub fn render_gtm_container(gtm: &GtmContainer) -> String {
 /// container inside the sibling's browsing context, so the call is
 /// attributed to `ad.<label>.net` instead of the page.
 pub fn render_sibling_frame(container_id: &str) -> String {
-    format!(
-        "<html><script src=\"https://{GTM_HOST}/gtm.js?id={container_id}\"></script></html>"
-    )
+    format!("<html><script src=\"https://{GTM_HOST}/gtm.js?id={container_id}\"></script></html>")
 }
 
 /// Render a corporate-parent frame document. When `calls_topics`, the
@@ -239,13 +241,11 @@ pub fn render_minor_script(domain: &Domain) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::names;
     use crate::parties::build_registry;
     use crate::site::{generate_site, SiteModelConfig};
-    use crate::names;
 
-    fn spec_with(
-        f: impl Fn(&mut SiteSpec),
-    ) -> (Vec<AdPlatform>, SiteSpec) {
+    fn spec_with(f: impl Fn(&mut SiteSpec)) -> (Vec<AdPlatform>, SiteSpec) {
         let reg = build_registry(21);
         let cfg = SiteModelConfig::default();
         let mut spec = generate_site(21, 3, &reg, &cfg);

@@ -188,7 +188,10 @@ impl SiteSpec {
 }
 
 fn region_index(region: Region) -> usize {
-    Region::ALL.iter().position(|r| *r == region).expect("region")
+    Region::ALL
+        .iter()
+        .position(|r| *r == region)
+        .expect("region")
 }
 
 /// Generate the spec of ranked site `rank`.
@@ -198,7 +201,8 @@ pub fn generate_site(
     registry: &[AdPlatform],
     config: &SiteModelConfig,
 ) -> SiteSpec {
-    let domain = special_domain(rank).unwrap_or_else(|| names::site_domain(campaign_seed, rank as u64));
+    let domain =
+        special_domain(rank).unwrap_or_else(|| names::site_domain(campaign_seed, rank as u64));
     let region = Region::of(&domain);
     let ridx = region_index(region);
     let s = seed::derive(seed::derive(campaign_seed, "site-spec"), domain.as_str());
@@ -207,7 +211,11 @@ pub fn generate_site(
     let has_banner = seed::bernoulli(s, "banner", config.banner_rate[ridx]);
     // EU-TLD sites show their banner to everyone; elsewhere, a sizeable
     // share geo-target it at European visitors only.
-    let geo_target_rate = if region == Region::EuropeanUnion { 0.05 } else { 0.45 };
+    let geo_target_rate = if region == Region::EuropeanUnion {
+        0.05
+    } else {
+        0.45
+    };
     let banner_geo_targeted = has_banner && seed::bernoulli(s, "banner-geo", geo_target_rate);
     let banner_quirky = has_banner && seed::bernoulli(s, "quirky", config.quirky_phrase_rate);
     let cmp = (has_banner && seed::bernoulli(s, "cmp?", config.cmp_given_banner))
@@ -252,17 +260,17 @@ pub fn generate_site(
     // Corporate-parent frames are a big-site pattern and co-occur with
     // GTM (the paper sees GTM on ~95% of anomalous pages, so the non-GTM
     // anomalous sources must stay rare).
-    let parent_frame = (has_gtm && seed::bernoulli(s, "parent", config.parent_frame_rate))
-        .then(|| {
-        let idx = seed::derive(s, "parent-pick") % 400;
-        // The "does the parent's frame call the API" flag is a property
-        // of the parent company, so it must be derived per parent index —
-        // every site embedding the same parent sees the same behaviour.
-        let calls = seed::bernoulli(
-            seed::derive_idx(seed::derive(campaign_seed, "parent-frame-calls"), idx),
-            "calls",
-            config.parent_frame_topics_rate,
-        );
+    let parent_frame =
+        (has_gtm && seed::bernoulli(s, "parent", config.parent_frame_rate)).then(|| {
+            let idx = seed::derive(s, "parent-pick") % 400;
+            // The "does the parent's frame call the API" flag is a property
+            // of the parent company, so it must be derived per parent index —
+            // every site embedding the same parent sees the same behaviour.
+            let calls = seed::bernoulli(
+                seed::derive_idx(seed::derive(campaign_seed, "parent-frame-calls"), idx),
+                "calls",
+                config.parent_frame_topics_rate,
+            );
             (parent_company_domain(campaign_seed, idx), calls)
         });
 
@@ -289,8 +297,7 @@ pub fn generate_site(
 
     // Long-tail minor parties: a power-law draw over the pool so that a
     // few CDNs are everywhere and the tail is huge.
-    let count =
-        config.minor_min + seed::derive(s, "minor-count") % (config.minor_span + 1);
+    let count = config.minor_min + seed::derive(s, "minor-count") % (config.minor_span + 1);
     let mut minor_parties = Vec::with_capacity(count as usize);
     for k in 0..count {
         let u = seed::unit_f64(seed::derive_idx(seed::derive(s, "minor"), k));
@@ -363,16 +370,18 @@ pub fn special_domain(rank: usize) -> Option<Domain> {
 pub fn special_domain_ranks() -> &'static [(usize, Domain)] {
     use std::sync::OnceLock;
     static PINNED: OnceLock<Vec<(usize, Domain)>> = OnceLock::new();
-    PINNED.get_or_init(|| {
-        vec![(1_200, Domain::parse("distillery.com").expect("valid"))]
-    })
+    PINNED.get_or_init(|| vec![(1_200, Domain::parse("distillery.com").expect("valid"))])
 }
 
 /// The sibling ad domain for a site: same second-level label, different
 /// suffix (`www.foo.com` → `ad.foo.net`).
 pub fn sibling_domain(site: &Domain) -> Domain {
     let label = second_level_label(site);
-    let alt = if public_suffix(site) == "net" { "org" } else { "net" };
+    let alt = if public_suffix(site) == "net" {
+        "org"
+    } else {
+        "net"
+    };
     Domain::parse(&format!("ad.{label}.{alt}")).expect("derived sibling is valid")
 }
 
@@ -498,7 +507,10 @@ mod tests {
             .iter()
             .position(|p| p.domain.as_str() == "yandex.com")
             .unwrap();
-        let ru_sites: Vec<_> = sites.iter().filter(|s| s.region == Region::Russia).collect();
+        let ru_sites: Vec<_> = sites
+            .iter()
+            .filter(|s| s.region == Region::Russia)
+            .collect();
         let jp_sites: Vec<_> = sites.iter().filter(|s| s.region == Region::Japan).collect();
         let yx_ru = ru_sites
             .iter()
@@ -540,8 +552,8 @@ mod tests {
     #[test]
     fn gtm_pre_consent_fire_rate_is_a_few_percent() {
         let (_, sites) = world(12_000);
-        let firing = sites.iter().filter(|s| s.gtm_fires_pre_consent()).count() as f64
-            / sites.len() as f64;
+        let firing =
+            sites.iter().filter(|s| s.gtm_fires_pre_consent()).count() as f64 / sites.len() as f64;
         assert!(
             (0.015..0.06).contains(&firing),
             "pre-consent GTM fire rate {firing}"

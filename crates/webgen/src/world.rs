@@ -196,9 +196,10 @@ impl World {
                 }
                 let consented = Self::request_consented(req);
                 let visitor_is_eu = req.vantage == topics_net::http::Vantage::Europe;
-                let html = render::render_page_for(spec, &self.registry, consented, visitor_is_eu, |i| {
-                    self.minor_domain(i)
-                });
+                let html =
+                    render::render_page_for(spec, &self.registry, consented, visitor_is_eu, |i| {
+                        self.minor_domain(i)
+                    });
                 HttpResponse::ok("text/html", html)
             }
             "/main.css" => HttpResponse::ok("text/css", "body { margin: 0 }"),
@@ -256,8 +257,8 @@ impl World {
                 }
                 // Files re-issued after the October 2024 schema update
                 // carry the `enrollment_site` field (§3).
-                let with_site = now.millis() / topics_net::clock::MILLIS_PER_DAY
-                    >= ENROLLMENT_SITE_UPDATE_DAY;
+                let with_site =
+                    now.millis() / topics_net::clock::MILLIS_PER_DAY >= ENROLLMENT_SITE_UPDATE_DAY;
                 let file = AttestationFile::for_topics(&p.domain, issued, with_site);
                 HttpResponse::ok("application/json", file.to_json())
             }
@@ -376,9 +377,10 @@ impl NetworkService for World {
             if path == "/" {
                 let consented = Self::request_consented(req);
                 let visitor_is_eu = req.vantage == topics_net::http::Vantage::Europe;
-                let html = render::render_page_for(spec, &self.registry, consented, visitor_is_eu, |i| {
-                    self.minor_domain(i)
-                });
+                let html =
+                    render::render_page_for(spec, &self.registry, consented, visitor_is_eu, |i| {
+                        self.minor_domain(i)
+                    });
                 return Ok(HttpResponse::ok("text/html", html));
             }
             return Ok(match path {
@@ -408,10 +410,7 @@ impl NetworkService for World {
         // Minor third parties (cdn-*): inert scripts and pixels.
         if reg.as_str().starts_with("cdn-") {
             return Ok(match path {
-                "/lib.js" => HttpResponse::ok(
-                    "text/javascript",
-                    render::render_minor_script(&reg),
-                ),
+                "/lib.js" => HttpResponse::ok("text/javascript", render::render_minor_script(&reg)),
                 "/p.gif" | "/b.gif" => HttpResponse::ok("image/gif", "GIF89a"),
                 _ => HttpResponse::not_found(),
             });
@@ -468,7 +467,10 @@ mod tests {
         assert!(loc.contains(alias.alias_of.as_ref().unwrap().as_str()));
         let r2 = get(&w, &loc);
         assert_eq!(r2.status, StatusCode::Ok);
-        assert!(r2.body.contains("gtm.js"), "alias canonicals carry GTM+topics");
+        assert!(
+            r2.body.contains("gtm.js"),
+            "alias canonicals carry GTM+topics"
+        );
     }
 
     #[test]
@@ -480,7 +482,10 @@ mod tests {
             .find(|s| s.gtm.as_ref().is_some_and(|g| g.has_topics_tag))
             .expect("some topics-tagged GTM site");
         let id = &with_gtm.gtm.as_ref().unwrap().container_id;
-        let r = get(&w, &format!("https://www.googletagmanager.com/gtm.js?id={id}"));
+        let r = get(
+            &w,
+            &format!("https://www.googletagmanager.com/gtm.js?id={id}"),
+        );
         assert_eq!(r.status, StatusCode::Ok);
         assert!(r.body.contains("topics js"));
         // Unknown container 404s.
@@ -546,8 +551,7 @@ mod tests {
     fn attestation_files_gain_enrollment_site_after_october_2024() {
         let w = world(50);
         let req = HttpRequest::get(
-            Url::parse("https://criteo.com/.well-known/privacy-sandbox-attestations.json")
-                .unwrap(),
+            Url::parse("https://criteo.com/.well-known/privacy-sandbox-attestations.json").unwrap(),
             ResourceKind::WellKnown,
         );
         let late = Timestamp::from_days(ENROLLMENT_SITE_UPDATE_DAY + 1);
@@ -562,9 +566,7 @@ mod tests {
         let gating = w
             .sites()
             .iter()
-            .find(|s| {
-                s.gates_pre_consent && !s.platforms.is_empty() && s.alias_of.is_none()
-            })
+            .find(|s| s.gates_pre_consent && !s.platforms.is_empty() && s.alias_of.is_none())
             .expect("a gating site with platforms");
         let before = get(&w, &format!("https://{}/", gating.domain));
         let after = get_consented(&w, &format!("https://{}/", gating.domain));

@@ -76,9 +76,18 @@ fn main() {
         "observed {} (CP, website) series: {alternating} alternate in runs, {constant} constant",
         series.len()
     );
-    for s in series.iter().filter(|s| s.alternates() && s.longest_run() >= 3).take(8) {
+    for s in series
+        .iter()
+        .filter(|s| s.alternates() && s.longest_run() >= 3)
+        .take(8)
+    {
         let strip: String = s.on.iter().map(|&x| if x { '#' } else { '.' }).collect();
-        println!("  {:<20} on {:<22} {}", s.cp.as_str(), s.website.as_str(), strip);
+        println!(
+            "  {:<20} on {:<22} {}",
+            s.cp.as_str(),
+            s.website.as_str(),
+            strip
+        );
     }
     println!(
         "\nConsistent runs of ON followed by OFF per (CP, website) — the\n\

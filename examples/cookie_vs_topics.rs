@@ -35,8 +35,7 @@ fn main() {
         "users", "cookie-linkage", "cookie-unique", "topics-top1", "random-floor"
     );
     for &n in &[20usize, 50, 100, 200] {
-        let mut users =
-            generate_population(seed, n, &universe, classifier.clone(), 8, 30);
+        let mut users = generate_population(seed, n, &universe, classifier.clone(), 8, 30);
 
         // Cookie baseline: exact site-set profiles.
         let tracker = CookieTracker::new(seed, &universe, 0.4);

@@ -38,9 +38,7 @@ fn main() {
         let callers = ds
             .calling_parties(DatasetId::AfterAccept)
             .into_iter()
-            .filter(|cp| {
-                outcome.is_allowed(cp) && outcome.is_attested(cp)
-            })
+            .filter(|cp| outcome.is_allowed(cp) && outcome.is_attested(cp))
             .count();
         let t = timeline(&outcome);
         let (y, m, d) = Timestamp::from_days(day).to_date();

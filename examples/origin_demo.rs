@@ -50,7 +50,10 @@ impl MicroWeb {
         );
         pages.insert(
             "https://tagmanager.example/gtm.js".to_owned(),
-            ("text/javascript", "# gtm-like container\ntopics js\n".to_owned()),
+            (
+                "text/javascript",
+                "# gtm-like container\ntopics js\n".to_owned(),
+            ),
         );
         pages.insert(
             "https://adplatform.example/frame".to_owned(),

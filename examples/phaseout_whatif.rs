@@ -82,7 +82,9 @@ fn main() {
     );
     println!(
         "{:<44} {:>14.1} {:>16.1}",
-        "legitimate calls per covered site", paper.calls_per_covered_site, full.calls_per_covered_site
+        "legitimate calls per covered site",
+        paper.calls_per_covered_site,
+        full.calls_per_covered_site
     );
     println!(
         "{:<44} {:>14} {:>16}",

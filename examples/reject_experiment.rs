@@ -64,7 +64,10 @@ fn main() {
     let mut rows: Vec<_> = by_cp.into_iter().collect();
     rows.sort_by_key(|(_, calls)| std::cmp::Reverse(*calls));
     println!("Topics calls AFTER explicit rejection, by calling party:");
-    println!("{:<26} {:>7} {:>10} {:>10}", "CP", "calls", "allowed", "attested");
+    println!(
+        "{:<26} {:>7} {:>10} {:>10}",
+        "CP", "calls", "allowed", "attested"
+    );
     for (cp, calls) in rows.iter().take(15) {
         println!(
             "{:<26} {:>7} {:>10} {:>10}",

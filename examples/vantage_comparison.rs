@@ -56,17 +56,22 @@ fn main() {
     let eu = crawl(&lab, Vantage::Europe);
     let us = crawl(&lab, Vantage::UnitedStates);
 
-    println!(
-        "{:<46} {:>12} {:>12}",
-        "metric", "EU vantage", "US vantage"
-    );
+    println!("{:<46} {:>12} {:>12}", "metric", "EU vantage", "US vantage");
     println!("{}", "-".repeat(72));
     for (label, a, b) in [
         ("sites visited (D_BA)", eu.visited, us.visited),
         ("banners encountered", eu.banners_seen, us.banners_seen),
         ("banners accepted (D_AA)", eu.accepted, us.accepted),
-        ("first-visit Topics callers", eu.pre_consent_callers, us.pre_consent_callers),
-        ("first-visit sites with a call", eu.pre_consent_sites, us.pre_consent_sites),
+        (
+            "first-visit Topics callers",
+            eu.pre_consent_callers,
+            us.pre_consent_callers,
+        ),
+        (
+            "first-visit sites with a call",
+            eu.pre_consent_sites,
+            us.pre_consent_sites,
+        ),
     ] {
         println!("{label:<46} {a:>12} {b:>12}");
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, tests.
+#
+# Run from the repo root. Every step must pass; the script stops at the
+# first failure. This is the same sequence the project expects a PR to
+# be green on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "CI OK"

@@ -15,7 +15,7 @@ const SITES: usize = 1_500;
 fn run() -> &'static topics_core::crawler::record::CampaignOutcome {
     use std::sync::OnceLock;
     static OUTCOME: OnceLock<topics_core::crawler::record::CampaignOutcome> = OnceLock::new();
-    OUTCOME.get_or_init(|| Lab::new(LabConfig::quick(SEED, SITES)).run())
+    OUTCOME.get_or_init(|| Lab::new(LabConfig::quick(SEED, SITES)).run().outcome)
 }
 
 #[test]

@@ -8,11 +8,11 @@
 use topics_core::analysis::dataset::{DatasetId, Datasets};
 use topics_core::crawler::campaign::AllowListSetup;
 use topics_core::crawler::record::CampaignOutcome;
-use topics_core::{Lab, LabConfig};
+use topics_core::{CampaignRun, Lab, LabConfig};
 
 const SITES: usize = 600;
 
-fn run(seed: u64) -> CampaignOutcome {
+fn run(seed: u64) -> CampaignRun {
     Lab::new(LabConfig::quick(seed, SITES)).run()
 }
 
@@ -39,9 +39,66 @@ fn same_seed_is_bit_identical() {
     assert_eq!(a.accepted_count(), b.accepted_count());
     assert_eq!(call_signature(&a), call_signature(&b));
     // Full record equality via serde.
-    let ja = serde_json::to_string(&a).unwrap();
-    let jb = serde_json::to_string(&b).unwrap();
+    let ja = serde_json::to_string(&a.outcome).unwrap();
+    let jb = serde_json::to_string(&b.outcome).unwrap();
     assert_eq!(ja, jb, "identical seeds produce identical campaigns");
+}
+
+#[test]
+fn same_seed_metrics_snapshots_are_byte_identical_without_wall_clock() {
+    let a = run(13);
+    let b = run(13);
+    // Wall-clock series (phase gauges, anything with "wall" in the
+    // name) legitimately differ between runs; everything else — counts
+    // and simulated-time histograms — must agree bit for bit.
+    let sa = a.metrics.clone().strip_wall_clock();
+    let sb = b.metrics.clone().strip_wall_clock();
+    let ja = serde_json::to_string(&sa).unwrap();
+    let jb = serde_json::to_string(&sb).unwrap();
+    assert_eq!(ja, jb, "stripped metric snapshots are byte-identical");
+}
+
+#[test]
+fn metrics_reconcile_with_the_outcome_and_report_counts() {
+    let run = run(17);
+    let s = &run.metrics;
+    // The tally series equal the outcome's own §2.4 aggregates …
+    assert_eq!(s.counter("sites_attempted_total"), SITES as u64);
+    assert_eq!(s.counter("visits_total"), run.visited_count() as u64);
+    assert_eq!(
+        s.counter("banner_accepted_total"),
+        run.accepted_count() as u64
+    );
+    // … the live counters agree with the tally taken from the records …
+    assert_eq!(
+        s.counter("crawl_visits_ok_total"),
+        s.counter("visits_total")
+    );
+    assert_eq!(
+        s.counter("crawl_banner_accepted_total"),
+        s.counter("banner_accepted_total")
+    );
+    // … per-worker live counters sum to the attempted total …
+    assert_eq!(
+        s.counter_sum("crawl_worker_sites_total"),
+        s.counter("sites_attempted_total")
+    );
+    // … and the class partition covers every recorded call exactly once.
+    let recorded: usize = run
+        .sites
+        .iter()
+        .flat_map(|site| site.before.iter().chain(site.after.iter()))
+        .map(|v| v.topics_calls.len())
+        .sum();
+    assert_eq!(s.counter("topics_calls_recorded_total"), recorded as u64);
+    assert_eq!(s.counter_sum("topics_calls_total"), recorded as u64);
+    // The browser-side live series counts the same executed calls the
+    // engine-enabled browser observed (every call is either permitted or
+    // blocked).
+    assert_eq!(
+        s.counter("topics_api_permitted_total") + s.counter("topics_api_blocked_total"),
+        s.counter_sum("topics_api_calls_total")
+    );
 }
 
 #[test]
@@ -108,10 +165,9 @@ fn allow_list_setups_only_change_decisions() {
 
 #[test]
 fn fixed_browser_blocks_everything_under_corruption() {
-    let fixed = Lab::new(
-        LabConfig::quick(51, SITES).with_allow_list(AllowListSetup::CorruptedFailClosed),
-    )
-    .run();
+    let fixed =
+        Lab::new(LabConfig::quick(51, SITES).with_allow_list(AllowListSetup::CorruptedFailClosed))
+            .run();
     let ds = Datasets::new(&fixed);
     assert_eq!(
         ds.calls(DatasetId::AfterAccept).count() + ds.calls(DatasetId::BeforeAccept).count(),

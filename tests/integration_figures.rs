@@ -20,7 +20,7 @@ const SITES: usize = 4_000;
 fn run() -> &'static CampaignOutcome {
     use std::sync::OnceLock;
     static OUTCOME: OnceLock<CampaignOutcome> = OnceLock::new();
-    OUTCOME.get_or_init(|| Lab::new(LabConfig::quick(SEED, SITES)).run())
+    OUTCOME.get_or_init(|| Lab::new(LabConfig::quick(SEED, SITES)).run().outcome)
 }
 
 #[test]
@@ -99,8 +99,16 @@ fn fig7_hubspot_is_the_leaky_cmp() {
     let f = fig7(&ds);
     assert!(f.total_sites > 3_000);
     assert!(f.questionable_sites > 0);
-    let hubspot = f.rows.iter().find(|r| r.cmp.spec().name == "HubSpot").unwrap();
-    let onetrust = f.rows.iter().find(|r| r.cmp.spec().name == "OneTrust").unwrap();
+    let hubspot = f
+        .rows
+        .iter()
+        .find(|r| r.cmp.spec().name == "HubSpot")
+        .unwrap();
+    let onetrust = f
+        .rows
+        .iter()
+        .find(|r| r.cmp.spec().name == "OneTrust")
+        .unwrap();
     // HubSpot leaks more than the market leader.
     assert!(
         hubspot.p_questionable_given_cmp() > onetrust.p_questionable_given_cmp(),
@@ -117,7 +125,11 @@ fn sec4_anomalous_calls_are_first_party_javascript_with_gtm() {
     let outcome = run();
     let ds = Datasets::new(outcome);
     let s = anomalous_stats(&ds, DatasetId::AfterAccept);
-    assert!(s.distinct_cps > 50, "anomalous CPs at this scale: {}", s.distinct_cps);
+    assert!(
+        s.distinct_cps > 50,
+        "anomalous CPs at this scale: {}",
+        s.distinct_cps
+    );
     assert!(s.total_calls >= s.distinct_cps);
     assert_eq!(s.javascript_fraction, 1.0, "all anomalous calls are JS");
     assert!(s.same_second_level_fraction > 0.55);
@@ -129,7 +141,11 @@ fn timeline_starts_june_2023_and_spreads() {
     let outcome = run();
     let t = timeline(outcome);
     let (y, m, d) = t.first.unwrap().to_date();
-    assert_eq!((y, m, d), (2023, 6, 16), "first attestation June 16th, 2023");
+    assert_eq!(
+        (y, m, d),
+        (2023, 6, 16),
+        "first attestation June 16th, 2023"
+    );
     assert!(t.by_month.len() >= 10);
     assert_eq!(t.total, 193 - 12 + 1, "181 attested allowed + distillery");
     assert_eq!(t.with_enrollment_site, 0, "probed before October 2024");
