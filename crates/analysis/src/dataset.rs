@@ -8,7 +8,9 @@
 //! the aggregate counts quoted in §2.4.
 
 use std::collections::BTreeSet;
-use topics_crawler::record::{CampaignOutcome, TopicsCallRecord, VisitRecord};
+use topics_crawler::record::{
+    CampaignOutcome, OutcomeCounts, TopicsCallRecord, VisitOutcome, VisitRecord,
+};
 use topics_net::domain::Domain;
 
 /// Which dataset a query runs over.
@@ -118,6 +120,35 @@ impl<'a> Datasets<'a> {
         d[d.len() / 2]
     }
 
+    /// Per-outcome site counts (complete / degraded / failed). The
+    /// analysis keeps degraded sites — partial data beats no data, as in
+    /// the paper's own lossy crawl — but reports surface the count so
+    /// rate-style results can be read with the right error bars.
+    pub fn outcome_counts(&self) -> OutcomeCounts {
+        self.outcome.outcome_counts()
+    }
+
+    /// Sites that entered the dataset despite fault-layer intervention
+    /// (retries, a per-visit timeout, or a lost second visit).
+    pub fn degraded_site_count(&self) -> usize {
+        self.outcome
+            .sites
+            .iter()
+            .filter(|s| s.outcome() == VisitOutcome::Degraded)
+            .count()
+    }
+
+    /// Fraction of *visited* sites whose records are degraded — the
+    /// number a report quotes next to any rate computed from D_BA/D_AA
+    /// under fault injection.
+    pub fn degraded_share(&self) -> f64 {
+        let visited = self.outcome.visited_count();
+        if visited == 0 {
+            return 0.0;
+        }
+        self.degraded_site_count() as f64 / visited as f64
+    }
+
     /// Share of a dataset's websites with at least one executed call
     /// from an Allowed∧Attested CP (§3: ≈45% for D_AA).
     pub fn legitimate_coverage(&self, id: DatasetId) -> f64 {
@@ -183,6 +214,22 @@ mod tests {
                 attested: false
             }
         );
+    }
+
+    #[test]
+    fn degraded_sites_stay_in_the_dataset_but_are_counted() {
+        let outcome = tiny_outcome();
+        let ds = Datasets::new(&outcome);
+        // site-b.ru carries retry stats: still a D_BA member…
+        assert_eq!(ds.len(DatasetId::BeforeAccept), 3);
+        // …but surfaced as degraded coverage.
+        assert_eq!(ds.degraded_site_count(), 1);
+        let counts = ds.outcome_counts();
+        assert_eq!(counts.degraded, 1);
+        assert_eq!(counts.failed, 1);
+        assert_eq!(counts.total(), outcome.sites.len());
+        let share = ds.degraded_share();
+        assert!((share - 1.0 / 3.0).abs() < 1e-9, "{share}");
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use topics_browser::attestation::AllowDecision;
 use topics_browser::observer::CallType;
 use topics_crawler::record::{
-    AttestationInfo, AttestationProbe, CampaignOutcome, Phase, SiteOutcome, TopicsCallRecord,
-    VisitRecord,
+    AttestationInfo, AttestationProbe, CampaignOutcome, FaultStats, Phase, SiteOutcome,
+    TopicsCallRecord, VisitRecord,
 };
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
@@ -134,6 +134,7 @@ pub(crate) fn tiny_outcome() -> CampaignOutcome {
                 false,
             )),
             error: None,
+            faults: FaultStats::default(),
         },
         SiteOutcome {
             rank: 1,
@@ -148,6 +149,12 @@ pub(crate) fn tiny_outcome() -> CampaignOutcome {
             )),
             after: None,
             error: None,
+            // Exercises the degraded-coverage path: the site stays in
+            // D_BA even though its exchanges needed retries.
+            faults: FaultStats {
+                retries: 2,
+                ..FaultStats::default()
+            },
         },
         SiteOutcome {
             rank: 2,
@@ -169,6 +176,7 @@ pub(crate) fn tiny_outcome() -> CampaignOutcome {
                 false,
             )),
             error: None,
+            faults: FaultStats::default(),
         },
         SiteOutcome {
             rank: 3,
@@ -176,6 +184,7 @@ pub(crate) fn tiny_outcome() -> CampaignOutcome {
             before: None,
             after: None,
             error: Some("NXDOMAIN".into()),
+            faults: FaultStats::default(),
         },
     ];
 

@@ -31,7 +31,10 @@ use topics_net::latency::LatencyModel;
 use topics_net::metrics::NetMetrics;
 use topics_net::psl::registrable_domain;
 use topics_net::seed;
-use topics_net::service::{fetch_following_redirects, NetworkService};
+use topics_net::service::{
+    fetch_exchange_with_retry, fetch_following_redirects_retrying, NetworkService, RetryPolicy,
+    RetryStats,
+};
 use topics_net::url::Url;
 use topics_net::NetError;
 use topics_taxonomy::Classifier;
@@ -64,6 +67,10 @@ pub struct BrowserConfig {
     /// geo-targeted consent UX behaves differently elsewhere — its §6
     /// limitation).
     pub vantage: Vantage,
+    /// Retry policy for document and subresource exchanges. Defaults to
+    /// [`RetryPolicy::none`]; campaigns enable it only under an active
+    /// fault profile so the retry layer is zero-cost when faults are off.
+    pub retry: RetryPolicy,
 }
 
 impl Default for BrowserConfig {
@@ -74,6 +81,7 @@ impl Default for BrowserConfig {
             max_scripts_per_visit: 256,
             ab_seed: 0,
             vantage: Vantage::Europe,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -96,6 +104,10 @@ pub struct PageVisit {
     pub objects: Vec<ObjectEvent>,
     /// Every Topics API call observed, in order.
     pub topics_calls: Vec<TopicsCallEvent>,
+    /// Retry attempts issued while loading the page (0 unless a retry
+    /// policy is active *and* transient failures occurred; backoff time
+    /// is already folded into `duration_ms`).
+    pub retries: u32,
 }
 
 impl PageVisit {
@@ -114,6 +126,17 @@ struct VisitState {
     elapsed_ms: u64,
     started: Timestamp,
     visit_nonce: u64,
+    retries: u32,
+}
+
+impl VisitState {
+    /// Account for what the retry layer did on one fetch: retries are
+    /// counted and the simulated time spent waiting extends the page
+    /// load.
+    fn absorb_retries(&mut self, stats: RetryStats) {
+        self.retries += stats.retries;
+        self.elapsed_ms += stats.waited_ms;
+    }
 }
 
 impl VisitState {
@@ -282,6 +305,7 @@ impl Browser {
         // consent cookie, exactly as a real browser would send it.
         let mut current = url.clone();
         let mut chain = vec![current.clone()];
+        let mut doc_retry = RetryStats::default();
         let outcome = loop {
             let mut request = HttpRequest::get(current.clone(), ResourceKind::Document);
             request.vantage = self.config.vantage;
@@ -289,7 +313,15 @@ impl Browser {
             if !cookie_header.is_empty() {
                 request.headers.set("Cookie", cookie_header);
             }
-            let response = service.fetch(&request, now)?;
+            let (result, stats) = fetch_exchange_with_retry(
+                service,
+                &request,
+                now.plus_millis(doc_retry.waited_ms),
+                &self.config.retry,
+                self.net_metrics.as_ref(),
+            );
+            doc_retry.absorb(stats);
+            let response = result?;
             if !response.status.is_redirect() {
                 break topics_net::service::FetchOutcome {
                     final_url: current,
@@ -328,7 +360,9 @@ impl Browser {
             elapsed_ms: 0,
             started: now,
             visit_nonce: self.visit_counter,
+            retries: 0,
         };
+        state.absorb_retries(doc_retry);
         // The document itself is the first recorded object; redirects
         // each cost a round trip.
         let mut ts = now;
@@ -368,6 +402,7 @@ impl Browser {
             document,
             objects: state.objects,
             topics_calls: state.calls,
+            retries: state.retries,
         })
     }
 
@@ -741,18 +776,29 @@ impl Browser {
                 net.record_dns_failure();
             }
         }
-        let response = resolved.map_err(NetError::from).and_then(|()| {
-            let mut request = HttpRequest::get(url.clone(), kind);
-            request.vantage = self.config.vantage;
-            let cookie_header = self.cookies.header_for(&Site::of(url));
-            if !cookie_header.is_empty() {
-                request.headers.set("Cookie", cookie_header);
+        let response = match resolved {
+            Err(e) => Err(NetError::from(e)),
+            Ok(()) => {
+                let mut request = HttpRequest::get(url.clone(), kind);
+                request.vantage = self.config.vantage;
+                let cookie_header = self.cookies.header_for(&Site::of(url));
+                if !cookie_header.is_empty() {
+                    request.headers.set("Cookie", cookie_header);
+                }
+                if let Some(h) = &topics_header {
+                    request.headers.set(SEC_BROWSING_TOPICS, h.clone());
+                }
+                let (result, stats) = fetch_following_redirects_retrying(
+                    service,
+                    request,
+                    timestamp,
+                    &self.config.retry,
+                    self.net_metrics.as_ref(),
+                );
+                state.absorb_retries(stats);
+                result
             }
-            if let Some(h) = &topics_header {
-                request.headers.set(SEC_BROWSING_TOPICS, h.clone());
-            }
-            fetch_following_redirects(service, request, timestamp)
-        });
+        };
         let (ok, response) = match response {
             Ok(outcome) if outcome.response.status.is_success() => (true, Some(outcome.response)),
             Ok(_) | Err(_) => (false, None),

@@ -5,12 +5,16 @@
 //!                    [--allow-list corrupted|healthy|fail-closed]
 //!                    [--reject] [--vantage eu|us] [--quiet]
 //!                    [--metrics-out FILE] [--events-out FILE]
+//!                    [--fault-profile off|light|heavy|RATE] [--fault-seed S]
 //!     Generate a synthetic web, run the Before/After-Accept campaign,
 //!     and write the artefact bundle (campaign.json, report, comparison,
 //!     per-figure CSVs) to DIR (default: ./topics-lab-out). With
 //!     --metrics-out / --events-out, also write the Prometheus-style
 //!     metrics snapshot and the JSONL event stream (relative paths land
-//!     next to campaign.json).
+//!     next to campaign.json). --fault-profile injects seeded network
+//!     faults (DNS failures, resets, 5xx, slow responses, truncated
+//!     attestations) at a named band or uniform RATE in [0,1];
+//!     --fault-seed repositions the faults without changing the world.
 //!
 //! topics-lab report  --campaign DIR/campaign.json
 //!     Re-render the evaluation report from a dumped campaign.
@@ -40,7 +44,7 @@ use topics_core::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
     );
     ExitCode::from(2)
 }
@@ -71,6 +75,32 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.rest.iter().any(|a| a == name)
     }
+
+    /// Reject flags no subcommand knows about (and stray positional
+    /// tokens), so `--fault-profil heavy` fails loudly instead of
+    /// silently running fault-free. `value_flags` consume the following
+    /// token when it is not itself a flag — the same pairing rule as
+    /// [`Args::value_of`].
+    fn reject_unknown(&self, value_flags: &[&str], bare_flags: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.rest.len() {
+            let tok = self.rest[i].as_str();
+            if value_flags.contains(&tok) {
+                if self.rest.get(i + 1).is_some_and(|v| !v.starts_with("--")) {
+                    i += 2;
+                    continue;
+                }
+                i += 1; // missing value: value_of reports the error
+            } else if bare_flags.contains(&tok) {
+                i += 1;
+            } else if tok.starts_with("--") {
+                return Err(format!("unknown flag {tok:?}"));
+            } else {
+                return Err(format!("unexpected argument {tok:?}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Resolve an output path: relative paths land next to the bundle.
@@ -84,6 +114,20 @@ fn resolve_out(out_dir: &std::path::Path, value: &str) -> PathBuf {
 }
 
 fn cmd_crawl(args: &Args) -> Result<(), String> {
+    args.reject_unknown(
+        &[
+            "--sites",
+            "--seed",
+            "--out",
+            "--allow-list",
+            "--vantage",
+            "--metrics-out",
+            "--events-out",
+            "--fault-profile",
+            "--fault-seed",
+        ],
+        &["--full", "--reject", "--quiet"],
+    )?;
     let seed: u64 = args
         .value_of("--seed")?
         .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
@@ -120,6 +164,15 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         .value_of("--metrics-out")?
         .map(|v| resolve_out(&out, v));
     let events_out = args.value_of("--events-out")?.map(|v| resolve_out(&out, v));
+    let fault_profile = args
+        .value_of("--fault-profile")?
+        .map(topics_core::net::fault::FaultProfile::parse)
+        .transpose()?
+        .unwrap_or_else(topics_core::net::fault::FaultProfile::off);
+    let fault_seed: Option<u64> = args
+        .value_of("--fault-seed")?
+        .map(|s| s.parse().map_err(|_| format!("bad --fault-seed {s:?}")))
+        .transpose()?;
 
     let obs = if args.has("--quiet") {
         Obs::new()
@@ -131,9 +184,20 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         "world-gen",
         vec![("sites".into(), sites.into()), ("seed".into(), seed.into())],
     );
-    let mut config = LabConfig::quick(seed, sites).with_allow_list(allow_list);
+    let mut config = LabConfig::quick(seed, sites)
+        .with_allow_list(allow_list)
+        .with_fault_profile(fault_profile.clone());
+    if let Some(s) = fault_seed {
+        config = config.with_fault_seed(s);
+    }
     config.campaign.vantage = vantage;
     config.campaign.consent_action = consent_action;
+    if !fault_profile.is_off() {
+        obs.events.info(
+            "fault-injection",
+            vec![("profile".into(), format!("{fault_profile:?}").into())],
+        );
+    }
     let lab = {
         let _span = obs.phase("world-gen");
         Lab::new(config)
@@ -182,6 +246,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--campaign"], &[])?;
     let path = args
         .value_of("--campaign")?
         .ok_or("report needs --campaign FILE")?;
@@ -192,6 +257,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_metrics(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--campaign"], &[])?;
     let path = args
         .value_of("--campaign")?
         .ok_or("metrics needs --campaign FILE")?;
@@ -201,6 +267,7 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--campaign"], &["--full-scale"])?;
     let path = args
         .value_of("--campaign")?
         .ok_or("compare needs --campaign FILE")?;
@@ -212,6 +279,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_dossier(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--campaign", "--cp"], &[])?;
     let path = args
         .value_of("--campaign")?
         .ok_or("dossier needs --campaign FILE")?;
@@ -247,5 +315,90 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::new(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn value_of_returns_the_following_token() {
+        let a = args(&["--sites", "250", "--quiet"]);
+        assert_eq!(a.value_of("--sites").unwrap(), Some("250"));
+        assert_eq!(a.value_of("--seed").unwrap(), None);
+        assert!(a.has("--quiet"));
+    }
+
+    #[test]
+    fn a_flag_never_consumes_another_flag_as_its_value() {
+        // Regression: `--out --reject` must be "missing value", not an
+        // output directory literally named "--reject".
+        let a = args(&["--out", "--reject"]);
+        let err = a.value_of("--out").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        assert!(a.has("--reject"), "the flag is still visible as itself");
+    }
+
+    #[test]
+    fn trailing_flag_with_missing_value_is_an_error() {
+        let a = args(&["--fault-profile"]);
+        assert!(a
+            .value_of("--fault-profile")
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn fault_flags_parse_named_bands_and_rates() {
+        use topics_core::net::fault::FaultProfile;
+        let a = args(&["--fault-profile", "light", "--fault-seed", "7"]);
+        let profile = a
+            .value_of("--fault-profile")
+            .unwrap()
+            .map(FaultProfile::parse)
+            .transpose()
+            .unwrap()
+            .unwrap();
+        assert_eq!(profile, FaultProfile::light());
+        assert_eq!(a.value_of("--fault-seed").unwrap(), Some("7"));
+        let rate = FaultProfile::parse("0.25").unwrap();
+        assert!(!rate.is_off());
+        assert!(FaultProfile::parse("1.5").is_err());
+        assert!(FaultProfile::parse("surprise").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        // A typo'd fault flag must not silently run a fault-free crawl.
+        let a = args(&["--fault-profil", "heavy"]);
+        let err = a.reject_unknown(&["--fault-profile"], &[]).unwrap_err();
+        assert!(err.contains("--fault-profil"), "{err}");
+
+        let ok = args(&["--fault-profile", "heavy", "--quiet"]);
+        assert!(ok
+            .reject_unknown(&["--fault-profile"], &["--quiet"])
+            .is_ok());
+    }
+
+    #[test]
+    fn stray_positionals_and_flag_valued_flags_are_rejected() {
+        let a = args(&["extra"]);
+        assert!(a
+            .reject_unknown(&["--campaign"], &[])
+            .unwrap_err()
+            .contains("unexpected argument"));
+        // `--campaign --full-scale` leaves --full-scale as a bare flag
+        // (known), and value_of then reports the missing value.
+        let b = args(&["--campaign", "--full-scale"]);
+        assert!(b.reject_unknown(&["--campaign"], &["--full-scale"]).is_ok());
+        assert!(b
+            .value_of("--campaign")
+            .unwrap_err()
+            .contains("requires a value"));
     }
 }

@@ -1,6 +1,7 @@
 //! Configuration presets.
 
 use topics_crawler::campaign::{AllowListSetup, CampaignConfig};
+use topics_net::fault::FaultProfile;
 use topics_webgen::WorldConfig;
 
 /// Everything needed to run one lab session: the world to generate and
@@ -45,6 +46,24 @@ impl LabConfig {
         self.campaign.threads = threads.max(1);
         self
     }
+
+    /// Inject network faults at the given profile (CLI
+    /// `--fault-profile`). The default is [`FaultProfile::off`], which
+    /// leaves the campaign byte-identical to a fault-free build.
+    #[must_use]
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> LabConfig {
+        self.campaign.fault = profile;
+        self
+    }
+
+    /// Pin the fault-plan seed (CLI `--fault-seed`) instead of deriving
+    /// it from the world seed — lets two runs share a world but differ
+    /// in where faults land.
+    #[must_use]
+    pub fn with_fault_seed(mut self, fault_seed: u64) -> LabConfig {
+        self.campaign.fault_seed = Some(fault_seed);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +85,18 @@ mod tests {
         assert_eq!(c.world.num_sites, 100);
         assert_eq!(c.campaign.allow_list, AllowListSetup::Healthy);
         assert_eq!(c.campaign.threads, 1, "clamped to ≥1");
+    }
+
+    #[test]
+    fn fault_builders_configure_the_campaign() {
+        let c = LabConfig::quick(1, 100);
+        assert!(c.campaign.fault.is_off(), "faults default to off");
+        assert_eq!(c.campaign.fault_seed, None);
+        let c = c
+            .with_fault_profile(FaultProfile::light())
+            .with_fault_seed(99);
+        assert_eq!(c.campaign.fault, FaultProfile::light());
+        assert_eq!(c.campaign.fault_seed, Some(99));
+        assert!(c.campaign.fault_plan(1).is_active());
     }
 }

@@ -109,6 +109,9 @@ pub struct CampaignStats {
     pub legitimate_coverage_aa: f64,
     /// Median simulated page-load time across D_BA (latency model).
     pub median_page_load_ms: u64,
+    /// Per-outcome site counts: `complete + degraded + failed ==
+    /// attempted`. Degraded is always 0 without a fault profile.
+    pub outcomes: topics_crawler::record::OutcomeCounts,
 }
 
 /// Everything the paper's evaluation section reports, computed from one
@@ -152,6 +155,7 @@ pub fn evaluate(outcome: &CampaignOutcome) -> Evaluation {
             unique_third_parties: ds.unique_third_parties(),
             legitimate_coverage_aa: ds.legitimate_coverage(DatasetId::AfterAccept),
             median_page_load_ms: ds.median_visit_duration_ms(DatasetId::BeforeAccept),
+            outcomes: ds.outcome_counts(),
         },
         table1: table1(&ds),
         fig2: fig2(&ds, 15),
@@ -179,11 +183,22 @@ impl Evaluation {
             pct(self.stats.accepted as f64 / self.stats.visited.max(1) as f64),
         ));
         out.push_str(&format!(
-            "unique third parties {}  legitimate coverage of D_AA {}  median page load {} ms\n\n",
+            "unique third parties {}  legitimate coverage of D_AA {}  median page load {} ms\n",
             self.stats.unique_third_parties,
             pct(self.stats.legitimate_coverage_aa),
             self.stats.median_page_load_ms,
         ));
+        out.push_str(&format!(
+            "site outcomes: {} complete, {} degraded, {} failed\n",
+            self.stats.outcomes.complete, self.stats.outcomes.degraded, self.stats.outcomes.failed,
+        ));
+        if self.stats.outcomes.degraded > 0 {
+            out.push_str(&format!(
+                "NOTE: degraded coverage on {} of {} visited sites (retries/timeouts under fault injection) — rate-style results carry extra noise\n",
+                self.stats.outcomes.degraded, self.stats.visited,
+            ));
+        }
+        out.push('\n');
         out.push_str("== Table 1 ==\n");
         out.push_str(&self.table1.render());
         out.push('\n');
@@ -221,8 +236,16 @@ mod tests {
         assert!(eval.stats.visited > 480);
         assert!(eval.stats.accepted > 100);
         assert!(eval.stats.unique_third_parties > 100);
+        // Without faults the outcome partition is degenerate.
+        assert_eq!(eval.stats.outcomes.degraded, 0);
+        assert_eq!(eval.stats.outcomes.total(), 600);
         // The report renders every section.
         let report = eval.render_report();
+        assert!(report.contains("site outcomes:"));
+        assert!(
+            !report.contains("NOTE: degraded"),
+            "no degraded note without faults"
+        );
         for needle in [
             "Table 1",
             "Figure 2",

@@ -10,16 +10,21 @@
 
 use crate::metrics::CrawlMetrics;
 use crate::record::{AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutcome};
-use crate::visit::{run_site_full, run_site_instrumented, ConsentAction};
+use crate::visit::{
+    run_site_full, run_site_with_policy, ConsentAction, VisitPolicy, DEFAULT_VISIT_TIMEOUT_MS,
+};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use topics_browser::attestation::{AttestationStore, EnforcementMode};
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
+use topics_net::fault::{FaultMetrics, FaultPlan, FaultProfile, FaultyService};
 use topics_net::http::{HttpRequest, ResourceKind};
-use topics_net::service::NetworkService;
+use topics_net::metrics::NetMetrics;
+use topics_net::seed;
+use topics_net::service::{NetworkService, RetryPolicy};
 use topics_net::url::Url;
-use topics_net::wellknown::{attestation_url, AttestationFile};
+use topics_net::wellknown::{attestation_url, AttestationError, AttestationFile};
 use topics_obs::{FieldValue, Level, Obs};
 use topics_taxonomy::Classifier;
 
@@ -63,6 +68,19 @@ pub struct CampaignConfig {
     pub consent_action: ConsentAction,
     /// Where the crawler connects from (the paper: Europe).
     pub vantage: topics_net::http::Vantage,
+    /// Fault-injection profile; [`FaultProfile::off`] (the default)
+    /// keeps the campaign byte-identical to a build without the layer.
+    pub fault: FaultProfile,
+    /// Seed for the fault plan; `None` derives one from the campaign
+    /// seed so faults are reproducible without extra configuration.
+    pub fault_seed: Option<u64>,
+    /// Per-exchange retry policy. Only honoured while the fault profile
+    /// is active — with faults off the crawler never retries, which is
+    /// what makes the fault layer provably zero-cost when disabled.
+    pub retry: RetryPolicy,
+    /// Per-visit simulated time budget (see
+    /// [`DEFAULT_VISIT_TIMEOUT_MS`]).
+    pub visit_timeout_ms: u64,
 }
 
 impl Default for CampaignConfig {
@@ -76,6 +94,33 @@ impl Default for CampaignConfig {
             start: Timestamp::from_days(CRAWL_START_DAY),
             consent_action: ConsentAction::Accept,
             vantage: topics_net::http::Vantage::Europe,
+            fault: FaultProfile::off(),
+            fault_seed: None,
+            retry: RetryPolicy::standard(),
+            visit_timeout_ms: DEFAULT_VISIT_TIMEOUT_MS,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The fault plan this campaign runs under.
+    pub fn fault_plan(&self, campaign_seed: u64) -> FaultPlan {
+        let fault_seed = self
+            .fault_seed
+            .unwrap_or_else(|| seed::derive(campaign_seed, "faults"));
+        FaultPlan::new(self.fault.clone(), fault_seed)
+    }
+
+    /// The per-visit policy implied by the fault plan: retries are only
+    /// enabled when faults can actually occur.
+    pub fn visit_policy(&self, plan: &FaultPlan) -> VisitPolicy {
+        VisitPolicy {
+            retry: if plan.is_active() {
+                self.retry
+            } else {
+                RetryPolicy::none()
+            },
+            visit_timeout_ms: self.visit_timeout_ms,
         }
     }
 }
@@ -155,9 +200,28 @@ where
     let metrics = obs.map(|o| CrawlMetrics::new(&o.metrics));
     let targets = world.targets();
     let allow_list = world.allow_list_snapshot();
-    let store = build_store(config.allow_list, &allow_list);
+    let plan = config.fault_plan(world.campaign_seed());
+    let policy = config.visit_policy(&plan);
+    // The §2.3 corruption coin: under fault injection, a campaign that
+    // asked for a *healthy* allow-list may find its downloaded component
+    // corrupt — which (in the buggy browser) silently fails open, exactly
+    // the failure mode the paper stumbled into. The paper's own setup
+    // corrupts the list on purpose, so it cannot be corrupted further.
+    let effective_setup =
+        if plan.corrupt_allow_list() && config.allow_list == AllowListSetup::Healthy {
+            AllowListSetup::CorruptedFailOpen
+        } else {
+            config.allow_list
+        };
+    let store = build_store(effective_setup, &allow_list);
     let classifier = Arc::new(Classifier::new(world.campaign_seed()));
     let seed = world.campaign_seed();
+    let fault_metrics = obs.map(|o| FaultMetrics::new(&o.metrics));
+    let faulty = match fault_metrics {
+        Some(fm) => FaultyService::new(world, plan.clone()).with_metrics(fm),
+        None => FaultyService::new(world, plan.clone()),
+    };
+    let service: &FaultyService<'_, W> = &faulty;
 
     let threads = config.threads.max(1);
     let done = std::sync::atomic::AtomicUsize::new(0);
@@ -183,8 +247,8 @@ where
                     let started = config
                         .start
                         .plus_millis(rank as u64 * config.per_site_interval_ms);
-                    let outcome = run_site_instrumented(
-                        world,
+                    let outcome = run_site_with_policy(
+                        service,
                         &targets[rank],
                         rank,
                         classifier.clone(),
@@ -194,6 +258,7 @@ where
                         config.consent_action,
                         config.vantage,
                         metrics.as_ref(),
+                        &policy,
                     );
                     if let Some(c) = &worker_sites {
                         c.inc();
@@ -265,7 +330,13 @@ where
             if let Some(c) = &probes_sent {
                 c.inc();
             }
-            probe_attestation(world, &domain, probe_time)
+            probe_attestation_retrying(
+                service,
+                &domain,
+                probe_time,
+                &policy.retry,
+                metrics.as_ref().map(|m| &m.net),
+            )
         })
         .collect();
     if let Some(mut span) = probe_span {
@@ -286,26 +357,71 @@ where
     }
 }
 
-/// Probe one domain's attestation file.
+/// Probe one domain's attestation file (single attempt, no retries —
+/// the pre-fault-layer behaviour, kept for benchmarks and ablations).
 pub fn probe_attestation<S: NetworkService + ?Sized>(
     service: &S,
     domain: &Domain,
     now: Timestamp,
 ) -> AttestationProbe {
-    let req = HttpRequest::get(attestation_url(domain), ResourceKind::WellKnown);
-    let valid =
-        match service.fetch(&req, now) {
-            Ok(r) if r.status.is_success() => AttestationFile::parse_and_validate(&r.body)
-                .ok()
-                .map(|f| AttestationInfo {
-                    issued: f.issued,
-                    has_enrollment_site: f.enrollment_site.is_some(),
-                }),
-            _ => None,
+    probe_attestation_retrying(service, domain, now, &RetryPolicy::none(), None)
+}
+
+/// [`probe_attestation`] with bounded retry on the simulated clock.
+///
+/// Transient failures — connection resets, injected timeouts, HTTP 5xx,
+/// and *malformed* attestation JSON (what a fault-truncated body parses
+/// as) — are re-fetched after backoff, each attempt drawing a fresh
+/// fault coin because simulated time has advanced. Definitive answers
+/// (404, a well-formed file that fails validation, a dead DNS name)
+/// return immediately.
+pub fn probe_attestation_retrying<S: NetworkService + ?Sized>(
+    service: &S,
+    domain: &Domain,
+    now: Timestamp,
+    policy: &RetryPolicy,
+    metrics: Option<&NetMetrics>,
+) -> AttestationProbe {
+    let url = attestation_url(domain);
+    let key = seed::derive_idx(seed::fnv1a(url.to_string().as_bytes()), now.millis());
+    let req = HttpRequest::get(url, ResourceKind::WellKnown);
+    let mut waited = 0u64;
+    let mut attempt = 1u32;
+    loop {
+        let result = service.fetch(&req, now.plus_millis(waited));
+        let transient = match &result {
+            Ok(r) if r.status.is_success() => match AttestationFile::parse_and_validate(&r.body) {
+                Ok(f) => {
+                    return AttestationProbe {
+                        domain: domain.clone(),
+                        valid: Some(AttestationInfo {
+                            issued: f.issued,
+                            has_enrollment_site: f.enrollment_site.is_some(),
+                        }),
+                    }
+                }
+                Err(AttestationError::Malformed) => true,
+                Err(_) => false,
+            },
+            Ok(r) => r.status.is_server_error(),
+            Err(e) => e.is_transient(),
         };
-    AttestationProbe {
-        domain: domain.clone(),
-        valid,
+        if !transient || attempt >= policy.max_attempts {
+            if transient && !policy.is_none() {
+                if let Some(m) = metrics {
+                    m.record_retries_exhausted();
+                }
+            }
+            return AttestationProbe {
+                domain: domain.clone(),
+                valid: None,
+            };
+        }
+        waited += policy.backoff_ms(attempt, key);
+        attempt += 1;
+        if let Some(m) = metrics {
+            m.record_retry();
+        }
     }
 }
 

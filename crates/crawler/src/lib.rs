@@ -27,14 +27,15 @@ pub mod record;
 pub mod visit;
 
 pub use campaign::{
-    run_campaign, run_campaign_observed, run_campaign_with_progress, run_repeated, AllowListSetup,
-    CampaignConfig, CrawlTarget,
+    probe_attestation, probe_attestation_retrying, run_campaign, run_campaign_observed,
+    run_campaign_with_progress, run_repeated, AllowListSetup, CampaignConfig, CrawlTarget,
 };
 pub use metrics::{tally_outcome, CrawlMetrics, CALL_CLASSES};
 pub use record::{
-    AttestationInfo, AttestationProbe, CampaignOutcome, Phase, SiteOutcome, TopicsCallRecord,
-    VisitRecord,
+    AttestationInfo, AttestationProbe, CampaignOutcome, FaultStats, OutcomeCounts, Phase,
+    SiteOutcome, TopicsCallRecord, VisitOutcome, VisitRecord,
 };
 pub use visit::{
-    run_site, run_site_full, run_site_instrumented, run_site_with_action, ConsentAction,
+    run_site, run_site_full, run_site_instrumented, run_site_with_action, run_site_with_policy,
+    ConsentAction, VisitPolicy,
 };

@@ -49,6 +49,12 @@ pub struct CrawlMetrics {
     pub banner_accepted: Counter,
     /// `crawl_banner_rejected_total` — banners rejected (opt-out runs).
     pub banner_rejected: Counter,
+    /// `crawl_visits_degraded_total` — sites kept in the dataset despite
+    /// retries, a lost second visit, or a timeout (fault campaigns only).
+    pub visits_degraded: Counter,
+    /// `crawl_visits_timed_out_total` — visits abandoned past the
+    /// per-visit simulated time budget.
+    pub visits_timed_out: Counter,
 }
 
 impl CrawlMetrics {
@@ -61,6 +67,8 @@ impl CrawlMetrics {
             visits_failed: registry.counter("crawl_visits_failed_total"),
             banner_accepted: registry.counter("crawl_banner_accepted_total"),
             banner_rejected: registry.counter("crawl_banner_rejected_total"),
+            visits_degraded: registry.counter("crawl_visits_degraded_total"),
+            visits_timed_out: registry.counter("crawl_visits_timed_out_total"),
         }
     }
 }
@@ -169,6 +177,38 @@ pub fn tally_outcome(outcome: &CampaignOutcome, registry: &MetricsRegistry) {
     registry
         .counter("attestation_probes_attested_total")
         .add(attested.len() as u64);
+
+    // Fault-layer reconciliation: the three outcome classes partition
+    // the attempted sites, and the per-site retry/timeout stats roll up
+    // into campaign totals. All fixed-label so the snapshot shape is
+    // stable whether or not faults were injected.
+    let counts = outcome.outcome_counts();
+    for (label, n) in [
+        ("complete", counts.complete),
+        ("degraded", counts.degraded),
+        ("failed", counts.failed),
+    ] {
+        registry
+            .labeled_counter("sites_outcome_total", "outcome", label)
+            .add(n as u64);
+    }
+    registry.counter("site_retries_total").add(
+        outcome
+            .sites
+            .iter()
+            .map(|s| u64::from(s.faults.retries))
+            .sum(),
+    );
+    registry
+        .counter("site_visits_timed_out_total")
+        .add(outcome.sites.iter().filter(|s| s.faults.timed_out).count() as u64);
+    registry.counter("site_second_visit_lost_total").add(
+        outcome
+            .sites
+            .iter()
+            .filter(|s| s.faults.second_visit_failed)
+            .count() as u64,
+    );
 }
 
 #[cfg(test)]
@@ -230,5 +270,14 @@ mod tests {
             .map(|site| site.before.iter().count() + site.after.iter().count())
             .sum();
         assert_eq!(s.histograms["visit_sim_duration_ms"].count, visits as u64);
+        // The outcome classes partition the attempted sites; without a
+        // fault profile nothing is degraded.
+        assert_eq!(s.counter_sum("sites_outcome_total"), 300);
+        assert_eq!(s.counter("sites_outcome_total{outcome=\"degraded\"}"), 0);
+        assert_eq!(
+            s.counter("sites_outcome_total{outcome=\"failed\"}"),
+            s.counter("visits_failed_total")
+        );
+        assert_eq!(s.counter("site_retries_total"), 0);
     }
 }

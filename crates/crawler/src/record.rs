@@ -151,6 +151,46 @@ impl VisitRecord {
     }
 }
 
+/// Fault-layer bookkeeping for one site: what the retry/backoff layer
+/// had to do to produce (or fail to produce) the visits.
+///
+/// Serialized only when non-zero, so campaigns run without fault
+/// injection emit byte-identical records to builds that predate the
+/// fault layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Network retries issued across both visits (document hops and
+    /// subresources).
+    #[serde(default)]
+    pub retries: u32,
+    /// A visit blew through the per-visit time budget.
+    #[serde(default)]
+    pub timed_out: bool,
+    /// The banner was actionable but the second visit failed, so the
+    /// site is missing from D_AA/D_AR despite consent interaction.
+    #[serde(default)]
+    pub second_visit_failed: bool,
+}
+
+impl FaultStats {
+    /// True when nothing fault-related happened (the serde skip gate).
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// The typed health of one site's crawl, derived from the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VisitOutcome {
+    /// The site was visited and no fault-layer intervention was needed.
+    Complete,
+    /// The site is in the dataset, but retries fired, a visit timed out,
+    /// or the second visit was lost — its records may undercount.
+    Degraded,
+    /// The site never made it into D_BA.
+    Failed,
+}
+
 /// The outcome for one ranked site: up to two visits.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteOutcome {
@@ -166,12 +206,26 @@ pub struct SiteOutcome {
     pub after: Option<VisitRecord>,
     /// Human-readable failure, if the site could not be visited.
     pub error: Option<String>,
+    /// What the fault/retry layer observed while crawling this site.
+    #[serde(default, skip_serializing_if = "FaultStats::is_zero")]
+    pub faults: FaultStats,
 }
 
 impl SiteOutcome {
     /// The site was successfully visited (enters D_BA).
     pub fn visited(&self) -> bool {
         self.before.is_some()
+    }
+
+    /// The typed health of this site's crawl.
+    pub fn outcome(&self) -> VisitOutcome {
+        if !self.visited() {
+            VisitOutcome::Failed
+        } else if !self.faults.is_zero() {
+            VisitOutcome::Degraded
+        } else {
+            VisitOutcome::Complete
+        }
     }
 
     /// Consent was granted and the second visit ran (enters D_AA).
@@ -225,10 +279,42 @@ pub struct CampaignOutcome {
     pub started: Timestamp,
 }
 
+/// Per-[`VisitOutcome`] site counts; `complete + degraded + failed`
+/// always equals the number of attempted sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Sites crawled with no fault-layer intervention.
+    pub complete: usize,
+    /// Sites in the dataset with degraded coverage.
+    pub degraded: usize,
+    /// Sites that never entered D_BA.
+    pub failed: usize,
+}
+
+impl OutcomeCounts {
+    /// Total attempted sites.
+    pub fn total(&self) -> usize {
+        self.complete + self.degraded + self.failed
+    }
+}
+
 impl CampaignOutcome {
     /// Number of successfully visited sites (|D_BA|).
     pub fn visited_count(&self) -> usize {
         self.sites.iter().filter(|s| s.visited()).count()
+    }
+
+    /// Partition the attempted sites by [`VisitOutcome`].
+    pub fn outcome_counts(&self) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for s in &self.sites {
+            match s.outcome() {
+                VisitOutcome::Complete => counts.complete += 1,
+                VisitOutcome::Degraded => counts.degraded += 1,
+                VisitOutcome::Failed => counts.failed += 1,
+            }
+        }
+        counts
     }
 
     /// Number of sites with an After-Accept visit (|D_AA|).
@@ -343,6 +429,7 @@ mod tests {
                         ..visit.clone()
                     }),
                     error: None,
+                    faults: FaultStats::default(),
                 },
                 SiteOutcome {
                     rank: 1,
@@ -350,6 +437,7 @@ mod tests {
                     before: None,
                     after: None,
                     error: Some("NXDOMAIN".into()),
+                    faults: FaultStats::default(),
                 },
             ],
             allow_list: vec![d("criteo.com")],
@@ -367,6 +455,53 @@ mod tests {
         assert!(outcome.is_allowed(&d("criteo.com")));
         assert!(outcome.is_attested(&d("criteo.com")));
         assert!(!outcome.is_attested(&d("b.com")));
+        let counts = outcome.outcome_counts();
+        assert_eq!(
+            counts,
+            OutcomeCounts {
+                complete: 1,
+                degraded: 0,
+                failed: 1
+            }
+        );
+        assert_eq!(counts.total(), outcome.sites.len());
+    }
+
+    #[test]
+    fn fault_stats_drive_the_outcome_and_stay_out_of_clean_json() {
+        let visit = VisitRecord::assemble(
+            Phase::BeforeAccept,
+            d("a.com"),
+            d("a.com"),
+            &[],
+            &[],
+            false,
+            Timestamp(0),
+            0,
+        );
+        let mut site = SiteOutcome {
+            rank: 0,
+            website: d("a.com"),
+            before: Some(visit),
+            after: None,
+            error: None,
+            faults: FaultStats::default(),
+        };
+        assert_eq!(site.outcome(), VisitOutcome::Complete);
+        let clean = serde_json::to_string(&site).unwrap();
+        assert!(
+            !clean.contains("faults"),
+            "zero fault stats are skipped so rate-0 output is byte-stable"
+        );
+        // Old-format JSON (no `faults` key) still deserializes.
+        let back: SiteOutcome = serde_json::from_str(&clean).unwrap();
+        assert!(back.faults.is_zero());
+
+        site.faults.retries = 2;
+        assert_eq!(site.outcome(), VisitOutcome::Degraded);
+        assert!(serde_json::to_string(&site).unwrap().contains("retries"));
+        site.before = None;
+        assert_eq!(site.outcome(), VisitOutcome::Failed);
     }
 
     #[test]

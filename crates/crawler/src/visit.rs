@@ -9,7 +9,7 @@
 
 use crate::metrics::CrawlMetrics;
 use crate::privaccept;
-use crate::record::{Phase, SiteOutcome, VisitRecord};
+use crate::record::{FaultStats, Phase, SiteOutcome, VisitRecord};
 use std::sync::Arc;
 use topics_browser::attestation::AttestationStore;
 use topics_browser::browser::{Browser, BrowserConfig};
@@ -17,13 +17,38 @@ use topics_browser::origin::Site;
 use topics_net::clock::Timestamp;
 use topics_net::psl::registrable_domain;
 use topics_net::seed;
-use topics_net::service::NetworkService;
+use topics_net::service::{NetworkService, RetryPolicy};
 use topics_net::url::Url;
 use topics_taxonomy::Classifier;
 
 /// How long after the Before-Accept visit the After-Accept one starts
 /// (banner interaction plus cache clearing).
 pub const ACCEPT_DELAY_MS: u64 = 30_000;
+
+/// Default per-visit simulated time budget. Generous — fault-free page
+/// loads finish well under a minute — so it only ever fires when
+/// injected slow-responses and backoff waits pile up.
+pub const DEFAULT_VISIT_TIMEOUT_MS: u64 = 120_000;
+
+/// Resilience knobs for one site visit: how hard to retry individual
+/// exchanges, and when to declare the whole visit dead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisitPolicy {
+    /// Per-exchange retry/backoff policy handed to the browser.
+    pub retry: RetryPolicy,
+    /// Abandon a visit whose simulated duration exceeds this budget.
+    pub visit_timeout_ms: u64,
+}
+
+impl Default for VisitPolicy {
+    /// No retries, 120 s budget — the exact pre-fault-layer behaviour.
+    fn default() -> VisitPolicy {
+        VisitPolicy {
+            retry: RetryPolicy::none(),
+            visit_timeout_ms: DEFAULT_VISIT_TIMEOUT_MS,
+        }
+    }
+}
 
 /// What the crawler does with a recognised consent banner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +111,7 @@ pub fn run_site_full<S: NetworkService + ?Sized>(
         action,
         vantage,
         None,
+        &VisitPolicy::default(),
     )
 }
 
@@ -116,6 +142,38 @@ pub fn run_site_instrumented<S: NetworkService + ?Sized>(
         action,
         vantage,
         metrics,
+        &VisitPolicy::default(),
+    )
+}
+
+/// [`run_site_instrumented`] with an explicit [`VisitPolicy`] — the
+/// entry point the campaign runner uses when a fault profile is active.
+#[allow(clippy::too_many_arguments)]
+pub fn run_site_with_policy<S: NetworkService + ?Sized>(
+    service: &S,
+    url: &Url,
+    rank: usize,
+    classifier: Arc<Classifier>,
+    attestation: AttestationStore,
+    campaign_seed: u64,
+    started: Timestamp,
+    action: ConsentAction,
+    vantage: topics_net::http::Vantage,
+    metrics: Option<&CrawlMetrics>,
+    policy: &VisitPolicy,
+) -> SiteOutcome {
+    run_site_inner(
+        service,
+        url,
+        rank,
+        classifier,
+        attestation,
+        campaign_seed,
+        started,
+        action,
+        vantage,
+        metrics,
+        policy,
     )
 }
 
@@ -143,6 +201,7 @@ pub fn run_site_with_action<S: NetworkService + ?Sized>(
         action,
         topics_net::http::Vantage::Europe,
         None,
+        &VisitPolicy::default(),
     )
 }
 
@@ -158,6 +217,7 @@ fn run_site_inner<S: NetworkService + ?Sized>(
     action: ConsentAction,
     vantage: topics_net::http::Vantage,
     metrics: Option<&CrawlMetrics>,
+    policy: &VisitPolicy,
 ) -> SiteOutcome {
     let website = registrable_domain(url.host());
     let profile_seed = seed::derive(seed::derive(campaign_seed, "profile"), website.as_str());
@@ -165,6 +225,7 @@ fn run_site_inner<S: NetworkService + ?Sized>(
         topics_enabled: true, // the paper manually opts in (§2.2)
         ab_seed: campaign_seed,
         vantage,
+        retry: policy.retry,
         ..BrowserConfig::default()
     };
     let mut browser = Browser::new(classifier, attestation, config, profile_seed);
@@ -173,9 +234,29 @@ fn run_site_inner<S: NetworkService + ?Sized>(
             .with_net_metrics(m.net.clone())
             .with_topics_metrics(m.topics.clone());
     }
+    let mut faults = FaultStats::default();
 
     // ---- Before-Accept ----------------------------------------------
     let before_visit = match browser.visit(service, url, started) {
+        Ok(v) if v.duration_ms > policy.visit_timeout_ms => {
+            faults.retries += v.retries;
+            faults.timed_out = true;
+            if let Some(m) = metrics {
+                m.visits_failed.inc();
+                m.visits_timed_out.inc();
+            }
+            return SiteOutcome {
+                rank,
+                website,
+                before: None,
+                after: None,
+                error: Some(format!(
+                    "visit timed out: {} ms > {} ms budget",
+                    v.duration_ms, policy.visit_timeout_ms
+                )),
+                faults,
+            };
+        }
         Ok(v) => v,
         Err(e) => {
             if let Some(m) = metrics {
@@ -187,9 +268,11 @@ fn run_site_inner<S: NetworkService + ?Sized>(
                 before: None,
                 after: None,
                 error: Some(e.to_string()),
+                faults,
             };
         }
     };
+    faults.retries += before_visit.retries;
     if let Some(m) = metrics {
         m.visits_ok.inc();
     }
@@ -233,7 +316,17 @@ fn run_site_inner<S: NetworkService + ?Sized>(
         browser.clear_cache(); // §2.2: reload all objects
         let after_started = started.plus_millis(ACCEPT_DELAY_MS);
         match browser.visit(service, url, after_started) {
+            Ok(v) if v.duration_ms > policy.visit_timeout_ms => {
+                faults.retries += v.retries;
+                faults.timed_out = true;
+                faults.second_visit_failed = true;
+                if let Some(m) = metrics {
+                    m.visits_timed_out.inc();
+                }
+                None
+            }
             Ok(v) => {
+                faults.retries += v.retries;
                 let fw = v.website();
                 Some(VisitRecord::assemble(
                     phase,
@@ -250,19 +343,29 @@ fn run_site_inner<S: NetworkService + ?Sized>(
             // cannot kill it, only the site itself) drops the site from
             // the second dataset but keeps it in D_BA, like the paper's
             // pipeline.
-            Err(_) => None,
+            Err(_) => {
+                faults.second_visit_failed = true;
+                None
+            }
         }
     } else {
         None
     };
 
-    SiteOutcome {
+    let outcome = SiteOutcome {
         rank,
         website,
         before: Some(before),
         after,
         error: None,
+        faults,
+    };
+    if let Some(m) = metrics {
+        if outcome.outcome() == crate::record::VisitOutcome::Degraded {
+            m.visits_degraded.inc();
+        }
     }
+    outcome
 }
 
 #[cfg(test)]

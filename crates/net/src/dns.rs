@@ -44,6 +44,15 @@ impl DnsError {
             | DnsError::ConnectionRefused { domain } => domain,
         }
     }
+
+    /// True for kinds that would be worth retrying against a real
+    /// resolver. Note that both [`SimDns`] and the fault layer decide
+    /// *per registrable domain*, so within one simulated campaign even
+    /// these kinds are sticky; the retry layer therefore treats DNS
+    /// failures as final and this classification is informational.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DnsError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for DnsError {
@@ -223,6 +232,13 @@ mod tests {
             nx > to && nx > cr,
             "NXDOMAIN should dominate: {nx}/{to}/{cr}"
         );
+    }
+
+    #[test]
+    fn transience_is_informational_only() {
+        assert!(DnsError::Timeout { domain: "x".into() }.is_transient());
+        assert!(!DnsError::NameError { domain: "x".into() }.is_transient());
+        assert!(!DnsError::ConnectionRefused { domain: "x".into() }.is_transient());
     }
 
     #[test]

@@ -13,6 +13,20 @@ pub enum NetError {
         /// Host we attempted to connect to.
         host: String,
     },
+    /// The connection was reset mid-exchange (injected by the fault
+    /// layer; transient — a retry may succeed).
+    ConnectionReset {
+        /// Host whose connection was reset.
+        host: String,
+    },
+    /// The client gave up waiting for a slow response (injected by the
+    /// fault layer; transient — a retry may succeed).
+    TimedOut {
+        /// Requested URL, for diagnostics.
+        url: String,
+        /// Simulated milliseconds waited before giving up.
+        after_ms: u64,
+    },
     /// The server has no resource at the requested path.
     NotFound {
         /// Requested URL, for diagnostics.
@@ -44,6 +58,12 @@ impl fmt::Display for NetError {
         match self {
             NetError::Dns(e) => write!(f, "dns error: {e}"),
             NetError::ConnectionFailed { host } => write!(f, "connection to {host} failed"),
+            NetError::ConnectionReset { host } => {
+                write!(f, "connection to {host} reset by peer")
+            }
+            NetError::TimedOut { url, after_ms } => {
+                write!(f, "timed out after {after_ms} ms fetching {url}")
+            }
             NetError::NotFound { url } => write!(f, "no resource at {url}"),
             NetError::TooManyRedirects { url, hops } => {
                 write!(f, "gave up after {hops} redirects at {url}")
@@ -67,7 +87,23 @@ impl NetError {
     /// "domain name resolution or connection-related errors" causing
     /// 50,000 − 43,405 sites to be dropped).
     pub fn is_visit_fatal(&self) -> bool {
-        matches!(self, NetError::Dns(_) | NetError::ConnectionFailed { .. })
+        matches!(
+            self,
+            NetError::Dns(_)
+                | NetError::ConnectionFailed { .. }
+                | NetError::ConnectionReset { .. }
+                | NetError::TimedOut { .. }
+        )
+    }
+
+    /// True for failures a bounded retry may fix: resets and timeouts.
+    /// DNS failures are sticky in the simulation (the fault layer decides
+    /// per registrable domain), so they are deliberately *not* transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NetError::ConnectionReset { .. } | NetError::TimedOut { .. }
+        )
     }
 }
 
@@ -92,5 +128,19 @@ mod tests {
         assert!(NetError::ConnectionFailed { host: "x".into() }.is_visit_fatal());
         assert!(!NetError::NotFound { url: "u".into() }.is_visit_fatal());
         assert!(!NetError::BadRedirect { url: "u".into() }.is_visit_fatal());
+    }
+
+    #[test]
+    fn transience_classification() {
+        let reset = NetError::ConnectionReset { host: "x".into() };
+        let timeout = NetError::TimedOut {
+            url: "https://x/y".into(),
+            after_ms: 10_000,
+        };
+        assert!(reset.is_transient() && reset.is_visit_fatal());
+        assert!(timeout.is_transient() && timeout.is_visit_fatal());
+        assert!(!NetError::Dns(DnsError::Timeout { domain: "x".into() }).is_transient());
+        assert!(!NetError::ConnectionFailed { host: "x".into() }.is_transient());
+        assert!(timeout.to_string().contains("10000 ms"));
     }
 }

@@ -56,6 +56,11 @@ impl StatusCode {
     pub fn is_success(self) -> bool {
         matches!(self, StatusCode::Ok)
     }
+
+    /// True for 5xx — the retryable server-side failures.
+    pub fn is_server_error(self) -> bool {
+        matches!(self, StatusCode::InternalServerError)
+    }
 }
 
 impl fmt::Display for StatusCode {
@@ -293,6 +298,15 @@ impl HttpResponse {
         }
     }
 
+    /// A 500 response (used by the fault layer and pathological sites).
+    pub fn server_error(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: StatusCode::InternalServerError,
+            headers: Headers::new(),
+            body: body.into(),
+        }
+    }
+
     /// A 404 response.
     pub fn not_found() -> HttpResponse {
         HttpResponse {
@@ -403,5 +417,10 @@ mod tests {
         assert!(!StatusCode::NotFound.is_success());
         assert!(StatusCode::MovedPermanently.is_redirect());
         assert_eq!(StatusCode::InternalServerError.to_string(), "500");
+        assert!(StatusCode::InternalServerError.is_server_error());
+        assert!(!StatusCode::NotFound.is_server_error());
+        let resp = HttpResponse::server_error("boom");
+        assert!(resp.status.is_server_error());
+        assert_eq!(resp.body, "boom");
     }
 }

@@ -22,7 +22,12 @@
 //! * [`http`] — request/response types, headers, status codes and the
 //!   `Sec-Browsing-Topics` request header used by fetch-type Topics calls.
 //! * [`service`] — the [`service::NetworkService`] trait a simulated web
-//!   must implement, plus redirect-following helpers.
+//!   must implement, plus redirect-following helpers and the bounded
+//!   retry/backoff layer ([`service::RetryPolicy`]).
+//! * [`fault`] — seeded, deterministic fault injection
+//!   ([`fault::FaultPlan`] / [`fault::FaultyService`]): DNS failures,
+//!   connection resets, HTTP 5xx, slow responses, truncated attestation
+//!   JSON, and corrupt-allow-list scenarios at tunable rates.
 //! * [`wellknown`] — the `/.well-known/privacy-sandbox-attestations.json`
 //!   file format (parsing, validation, issue dates).
 //! * [`latency`] — a deterministic per-host/per-kind latency model, so
@@ -43,6 +48,7 @@ pub mod clock;
 pub mod dns;
 pub mod domain;
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod latency;
 pub mod metrics;
@@ -57,6 +63,7 @@ pub use clock::{SimClock, Timestamp};
 pub use dns::{DnsError, DnsPolicy, SimDns};
 pub use domain::Domain;
 pub use error::NetError;
+pub use fault::{FaultPlan, FaultProfile, FaultyService};
 pub use http::{HttpRequest, HttpResponse, Method, StatusCode};
 pub use metrics::NetMetrics;
 pub use region::Region;

@@ -39,12 +39,18 @@ fn kind_index(kind: ResourceKind) -> usize {
 /// * `net_requests_total{kind="document"|…}` — one per exchange;
 /// * `net_request_latency_ms` — histogram of simulated exchange
 ///   latencies (deterministic: they come from the seeded latency model);
-/// * `net_dns_failures_total` — failed resolutions.
+/// * `net_dns_failures_total` — failed resolutions;
+/// * `net_retries_total` — retry attempts issued by the backoff layer;
+/// * `net_retries_exhausted_total` — exchanges that still failed after
+///   the retry budget (always ≤ `net_retries_total` when retries are
+///   enabled, which the chaos suite asserts).
 #[derive(Debug, Clone)]
 pub struct NetMetrics {
     by_kind: [Counter; 6],
     latency: Histogram,
     dns_failures: Counter,
+    retries: Counter,
+    retries_exhausted: Counter,
 }
 
 impl NetMetrics {
@@ -56,6 +62,8 @@ impl NetMetrics {
             by_kind,
             latency: registry.histogram("net_request_latency_ms"),
             dns_failures: registry.counter("net_dns_failures_total"),
+            retries: registry.counter("net_retries_total"),
+            retries_exhausted: registry.counter("net_retries_exhausted_total"),
         }
     }
 
@@ -69,6 +77,16 @@ impl NetMetrics {
     /// Record a failed DNS resolution.
     pub fn record_dns_failure(&self) {
         self.dns_failures.inc();
+    }
+
+    /// Record one retry attempt issued after a transient failure.
+    pub fn record_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// Record an exchange that still failed after the retry budget.
+    pub fn record_retries_exhausted(&self) {
+        self.retries_exhausted.inc();
     }
 }
 
@@ -84,12 +102,17 @@ mod tests {
         m.record_exchange(ResourceKind::Image, 30);
         m.record_exchange(ResourceKind::Image, 25);
         m.record_dns_failure();
+        m.record_retry();
+        m.record_retry();
+        m.record_retries_exhausted();
         let s = registry.snapshot();
         assert_eq!(s.counter("net_requests_total{kind=\"document\"}"), 1);
         assert_eq!(s.counter("net_requests_total{kind=\"image\"}"), 2);
         assert_eq!(s.counter_sum("net_requests_total"), 3);
         assert_eq!(s.histograms["net_request_latency_ms"].count, 3);
         assert_eq!(s.counter("net_dns_failures_total"), 1);
+        assert_eq!(s.counter("net_retries_total"), 2);
+        assert_eq!(s.counter("net_retries_exhausted_total"), 1);
     }
 
     #[test]

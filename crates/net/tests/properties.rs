@@ -3,10 +3,12 @@
 use proptest::prelude::*;
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
+use topics_net::http::parse_topics_header;
 use topics_net::psl::{registrable_domain, same_second_level_label, same_site};
 use topics_net::region::Region;
 use topics_net::seed;
 use topics_net::url::Url;
+use topics_net::wellknown::AttestationFile;
 
 /// Strategy for syntactically valid hostnames (2–4 labels).
 fn valid_domain() -> impl Strategy<Value = String> {
@@ -86,6 +88,65 @@ proptest! {
         let u = Url::parse(&s).expect("constructed URLs are valid");
         let re = Url::parse(&u.to_string()).unwrap();
         prop_assert_eq!(re, u);
+    }
+
+    #[test]
+    fn url_display_then_parse_is_a_fixed_point(input in ".{0,80}") {
+        // For any string that parses at all, display → parse → display
+        // converges after one step (parsing is idempotent through the
+        // canonical form).
+        if let Ok(u) = Url::parse(&input) {
+            let canonical = u.to_string();
+            let re = Url::parse(&canonical).expect("canonical form reparses");
+            prop_assert_eq!(&re, &u);
+            prop_assert_eq!(re.to_string(), canonical);
+        }
+    }
+
+    #[test]
+    fn topics_header_parse_never_panics(input in ".*") {
+        let _ = parse_topics_header(&input);
+    }
+
+    #[test]
+    fn topics_header_roundtrips(
+        topics in prop::collection::vec(any::<u16>(), 0..8),
+        version in "[a-z]{1,8}\\.[0-9]{1,2}:[0-9]{1,2}"
+    ) {
+        // The header the browser would emit — `(1 2 3);v=chrome.1:2`,
+        // with the empty list `();v=…` also legal.
+        let ids = topics
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let value = format!("({ids});v={version}");
+        let parsed = parse_topics_header(&value).expect("emitted headers parse");
+        prop_assert_eq!(parsed.topics, topics);
+        prop_assert_eq!(parsed.version, version);
+    }
+
+    #[test]
+    fn attestation_parse_is_total_over_truncations(
+        host in valid_domain(),
+        days in 0u64..1000,
+        with_site in any::<bool>(),
+        cut in any::<u16>()
+    ) {
+        // The fault layer serves truncated attestation bodies; the
+        // parser must reject them with an error, never a panic, and the
+        // full body must keep round-tripping.
+        let d = Domain::parse(&host).unwrap();
+        let file = AttestationFile::for_topics(&d, Timestamp::from_days(days), with_site);
+        let json = file.to_json();
+        prop_assert_eq!(
+            AttestationFile::parse_and_validate(&json).as_ref(),
+            Ok(&file)
+        );
+        prop_assert!(json.is_ascii(), "any byte offset is a char boundary");
+        let cut = usize::from(cut) % (json.len() + 1);
+        let _ = AttestationFile::parse_and_validate(&json[..cut]);
+        let _ = AttestationFile::parse_and_validate(&json[cut..]);
     }
 
     #[test]

@@ -8,6 +8,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== no undocumented #[ignore] =="
+# A bare `#[ignore]` silently removes coverage; every ignored test must
+# carry a reason: `#[ignore = "why"]`. Vendored code is exempt.
+if grep -rn --include='*.rs' -E '#\[ignore\]' crates tests examples 2>/dev/null; then
+    echo "error: bare #[ignore] found — use #[ignore = \"reason\"]" >&2
+    exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -16,5 +24,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
 cargo test -q
+
+echo "== chaos suite (fault injection) =="
+cargo test -q -p topics-core --test integration_faults
+
+echo "== property suites =="
+cargo test -q -p topics-net --test properties
+cargo test -q -p topics-browser --test properties
 
 echo "CI OK"

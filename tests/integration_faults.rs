@@ -1,0 +1,150 @@
+//! Chaos suite: the campaign must survive injected network faults.
+//!
+//! Three fault bands are exercised — 0% (provably inert), 5% (the
+//! paper-like lossy-crawl band, where the §3/§4 shape checks must still
+//! hold), and 25% (a hostile network where the only promises are "no
+//! panic" and "the books balance"). Faults are drawn from the seeded
+//! [`FaultPlan`], so every assertion here is deterministic: a band that
+//! passes once passes forever.
+
+use topics_core::crawler::record::OutcomeCounts;
+use topics_core::net::fault::FaultProfile;
+use topics_core::{comparison_rows, evaluate, CampaignRun, Lab, LabConfig};
+
+const SITES: usize = 1_200;
+const SEED: u64 = 2_024;
+
+fn run_with(profile: FaultProfile) -> CampaignRun {
+    Lab::new(LabConfig::quick(SEED, SITES).with_fault_profile(profile)).run()
+}
+
+/// The outcome partition must cover every attempted site exactly once,
+/// in both the records and the metric tally.
+fn assert_books_balance(run: &CampaignRun) -> OutcomeCounts {
+    let counts = run.outcome_counts();
+    assert_eq!(
+        counts.total(),
+        SITES,
+        "complete + degraded + failed must equal the attempted sites"
+    );
+    let s = &run.metrics;
+    assert_eq!(s.counter_sum("sites_outcome_total"), SITES as u64);
+    assert_eq!(
+        s.counter("sites_outcome_total{outcome=\"complete\"}"),
+        counts.complete as u64
+    );
+    assert_eq!(
+        s.counter("sites_outcome_total{outcome=\"degraded\"}"),
+        counts.degraded as u64
+    );
+    assert_eq!(
+        s.counter("sites_outcome_total{outcome=\"failed\"}"),
+        counts.failed as u64
+    );
+    // A retry sequence that ran out of attempts contributed at least one
+    // retry first, so the counters can never cross.
+    assert!(
+        s.counter("net_retries_total") >= s.counter("net_retries_exhausted_total"),
+        "retries ({}) must dominate exhausted sequences ({})",
+        s.counter("net_retries_total"),
+        s.counter("net_retries_exhausted_total"),
+    );
+    counts
+}
+
+#[test]
+fn a_zero_rate_fault_profile_is_provably_inert() {
+    let plain = Lab::new(LabConfig::quick(SEED, SITES)).run();
+    for profile in [FaultProfile::off(), FaultProfile::uniform(0.0)] {
+        let faulty = run_with(profile.clone());
+        let jp = serde_json::to_string(&plain.outcome).unwrap();
+        let jf = serde_json::to_string(&faulty.outcome).unwrap();
+        assert_eq!(
+            jp, jf,
+            "outcome under {profile:?} must be byte-identical to a plain run"
+        );
+        let sp = serde_json::to_string(&plain.metrics.clone().strip_wall_clock()).unwrap();
+        let sf = serde_json::to_string(&faulty.metrics.clone().strip_wall_clock()).unwrap();
+        assert_eq!(sp, sf, "metrics under {profile:?} match a plain run");
+        let counts = assert_books_balance(&faulty);
+        assert_eq!(counts.degraded, 0, "nothing degrades at rate 0");
+        assert_eq!(faulty.metrics.counter_sum("net_faults_injected_total"), 0);
+        assert_eq!(faulty.metrics.counter("net_retries_total"), 0);
+    }
+}
+
+#[test]
+fn light_faults_degrade_coverage_but_not_the_findings() {
+    // 5% ≈ the band of the paper's own crawl losses (§2.4 loses 13.2%
+    // of its 50,000 targets before any fault injection).
+    let run = run_with(FaultProfile::light());
+    let counts = assert_books_balance(&run);
+    assert!(
+        counts.degraded > 0,
+        "a 5% fault rate must leave visible retry scars"
+    );
+    assert!(
+        counts.complete > 0,
+        "most of the crawl still comes back clean"
+    );
+    assert!(
+        run.metrics.counter_sum("net_faults_injected_total") > 0,
+        "the plan actually fired"
+    );
+
+    // The paper's rate-style findings must survive the lossy crawl. §2.4
+    // and Table 1 rows are excluded by construction: visit rate and the
+    // Attested registry are exactly what fault injection perturbs. The
+    // remaining metric exclusions mirror integration_robustness — rows
+    // that are noisy at small scale even without faults.
+    let eval = evaluate(&run.outcome);
+    let failures: Vec<String> = comparison_rows(&eval, false)
+        .iter()
+        .filter(|r| r.ok == Some(false))
+        .filter(|r| {
+            r.experiment.starts_with("§3")
+                || r.experiment.starts_with("§4")
+                || r.experiment.starts_with("Fig.")
+        })
+        .filter(|r| {
+            !matches!(
+                r.metric,
+                "criteo.com enabled fraction"
+                    | "D_AA sites with ≥1 legitimate call"
+                    | "HubSpot over-representation"
+                    | "P(questionable | HubSpot)"
+            )
+        })
+        .map(|r| format!("{} / {} = {}", r.experiment, r.metric, r.measured))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "§3/§4/figure shape checks broke under 5% faults: {failures:?}"
+    );
+}
+
+#[test]
+fn heavy_faults_never_panic_and_the_report_owns_up_to_it() {
+    // 25% is far past anything the paper saw; the promises shrink to
+    // totality and honest bookkeeping.
+    let run = run_with(FaultProfile::heavy());
+    let counts = assert_books_balance(&run);
+    assert!(
+        counts.degraded + counts.failed > 0,
+        "a hostile network leaves marks"
+    );
+    let s = &run.metrics;
+    assert!(s.counter_sum("net_faults_injected_total") > 0);
+    assert!(s.counter("net_retries_total") > 0, "retries were attempted");
+
+    // The report must label the degraded coverage instead of quoting
+    // rates as if the crawl were clean.
+    let eval = evaluate(&run.outcome);
+    assert_eq!(eval.stats.outcomes, counts);
+    let report = eval.render_report();
+    assert!(report.contains("site outcomes:"));
+    assert!(
+        report.contains("NOTE: degraded coverage"),
+        "report must flag degraded coverage under heavy faults"
+    );
+}
