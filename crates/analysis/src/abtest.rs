@@ -10,7 +10,7 @@
 //!    time-sliced A/B tests over the same population.
 
 use crate::figures::PresenceRow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use topics_crawler::record::SiteOutcome;
 use topics_net::domain::Domain;
 
@@ -114,39 +114,50 @@ impl AlternationSeries {
 /// of `topics_crawler::run_repeated`). Only CPs that call at least once
 /// anywhere appear.
 pub fn alternation_series(rounds: &[Vec<SiteOutcome>]) -> Vec<AlternationSeries> {
-    let mut keys: BTreeMap<(Domain, Domain), Vec<bool>> = BTreeMap::new();
     // First pass: collect every (cp, website) pair ever calling.
+    let mut key_set: BTreeSet<(Domain, Domain)> = BTreeSet::new();
     for round in rounds {
         for site in round {
             if let Some(v) = &site.before {
                 for c in v.topics_calls.iter().filter(|c| c.permitted()) {
-                    keys.entry((c.caller_site.clone(), v.website.clone()))
-                        .or_default();
+                    key_set.insert((c.caller_site.clone(), v.website.clone()));
                 }
             }
         }
     }
-    // Second pass: fill the series round by round.
+    let keys: Vec<(Domain, Domain)> = key_set.into_iter().collect();
+    // Group key slots by website so each visit in the second pass only
+    // touches its own site's series instead of scanning every key.
+    let mut slots_by_website: BTreeMap<&Domain, Vec<usize>> = BTreeMap::new();
+    for (i, (_, website)) in keys.iter().enumerate() {
+        slots_by_website.entry(website).or_default().push(i);
+    }
+    // Second pass: fill the series round by round. A key whose website
+    // was not visited in a round stays OFF; when a round visits a
+    // website more than once, the last visit wins (map-overwrite
+    // semantics of the direct computation).
+    let mut series: Vec<Vec<bool>> = vec![Vec::with_capacity(rounds.len()); keys.len()];
     for round in rounds {
-        let mut called_this_round: BTreeMap<(Domain, Domain), bool> = BTreeMap::new();
+        let mut on_this_round = vec![false; keys.len()];
         for site in round {
             if let Some(v) = &site.before {
-                for ((cp, website), _) in keys.iter() {
-                    if *website == v.website {
-                        let on = v
+                if let Some(slots) = slots_by_website.get(&v.website) {
+                    for &i in slots {
+                        let cp = &keys[i].0;
+                        on_this_round[i] = v
                             .topics_calls
                             .iter()
                             .any(|c| c.permitted() && c.caller_site == *cp);
-                        called_this_round.insert((cp.clone(), website.clone()), on);
                     }
                 }
             }
         }
-        for (key, series) in keys.iter_mut() {
-            series.push(called_this_round.get(key).copied().unwrap_or(false));
+        for (s, on) in series.iter_mut().zip(&on_this_round) {
+            s.push(*on);
         }
     }
     keys.into_iter()
+        .zip(series)
         .map(|((cp, website), on)| AlternationSeries { cp, website, on })
         .collect()
 }

@@ -50,13 +50,14 @@ pub fn anomalous_stats(ds: &Datasets<'_>, id: DatasetId) -> AnomalousStats {
     let mut sites_with_anomalous: usize = 0;
     let mut sites_with_anomalous_and_gtm: usize = 0;
 
+    let idx = ds.index();
     for v in ds.visits(id) {
         let mut any = false;
         for c in v.topics_calls.iter().filter(|c| c.permitted()) {
             // The anomalous set is the ¬Allowed ∧ ¬Attested callers; the
             // lone ¬Allowed ∧ Attested party (distillery.com) is
             // discussed separately in the paper's §2.4.
-            if ds.outcome().is_allowed(&c.caller_site) || ds.outcome().is_attested(&c.caller_site) {
+            if idx.is_allowed(&c.caller_site) || idx.is_attested(&c.caller_site) {
                 continue;
             }
             any = true;

@@ -63,9 +63,10 @@ pub struct CallTypeMix {
 
 /// Compute the call-type mix of a dataset (executed calls only).
 pub fn call_type_mix(ds: &Datasets<'_>, id: DatasetId) -> CallTypeMix {
+    let idx = ds.index();
     let mut mix = CallTypeMix::default();
-    for (_, c) in ds.calls(id) {
-        let class = ds.classify(&c.caller_site);
+    for (_, c) in idx.calls(id) {
+        let class = idx.classify(&c.caller_site);
         let bucket = match (class.allowed, class.attested) {
             (true, true) => &mut mix.legitimate,
             (false, false) => &mut mix.anomalous,

@@ -8,9 +8,9 @@
 //! the Topics API is worse. It also quotes `P(questionable | HubSpot)` ≈
 //! 12%, about twice the fleet average.
 
-use crate::dataset::{DatasetId, Datasets};
+use crate::dataset::Datasets;
 use crate::report::{pct, Table};
-use topics_webgen::cmp::{cmp_by_domain, CmpId, CMPS};
+use topics_webgen::cmp::{CmpId, CMPS};
 
 /// Per-CMP statistics for Figure 7.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,26 +62,21 @@ impl Fig7 {
     }
 }
 
-/// Detect the CMP of a visit (first CMP domain among the page objects).
-fn detect_cmp(party_domains: &[topics_net::domain::Domain]) -> Option<CmpId> {
-    party_domains.iter().find_map(cmp_by_domain)
-}
-
-/// Compute Figure 7 over D_BA.
+/// Compute Figure 7 over D_BA (reads the index's per-visit CMP and
+/// questionable tags).
 pub fn fig7(ds: &Datasets<'_>) -> Fig7 {
     let mut sites = vec![0usize; CMPS.len()];
     let mut questionable = vec![0usize; CMPS.len()];
     let mut total_sites = 0usize;
     let mut questionable_total = 0usize;
-    for v in ds.visits(DatasetId::BeforeAccept) {
+    for tags in ds.index().ba_tags() {
         total_sites += 1;
-        let has_questionable = v.topics_calls.iter().any(|c| c.permitted());
-        if has_questionable {
+        if tags.questionable {
             questionable_total += 1;
         }
-        if let Some(cmp) = detect_cmp(&v.party_domains) {
+        if let Some(cmp) = tags.cmp {
             sites[cmp.0] += 1;
-            if has_questionable {
+            if tags.questionable {
                 questionable[cmp.0] += 1;
             }
         }

@@ -51,11 +51,12 @@ pub fn gini(values: &[u64]) -> f64 {
 /// Compute the concentration of *legitimate* (Allowed∧Attested) call
 /// volume in one dataset.
 pub fn concentration(ds: &Datasets<'_>, id: DatasetId) -> Concentration {
-    let mut by_cp: BTreeMap<Domain, u64> = BTreeMap::new();
-    for (_, c) in ds.calls(id) {
-        let class = ds.classify(&c.caller_site);
+    let idx = ds.index();
+    let mut by_cp: BTreeMap<&Domain, u64> = BTreeMap::new();
+    for (_, c) in idx.calls(id) {
+        let class = idx.classify(&c.caller_site);
         if class.allowed && class.attested {
-            *by_cp.entry(c.caller_site.clone()).or_insert(0) += 1;
+            *by_cp.entry(&c.caller_site).or_insert(0) += 1;
         }
     }
     let mut volumes: Vec<u64> = by_cp.values().copied().collect();

@@ -7,6 +7,7 @@
 //! over both, the Allowed/Attested classification of calling parties, and
 //! the aggregate counts quoted in §2.4.
 
+use crate::index::CampaignIndex;
 use std::collections::BTreeSet;
 use topics_crawler::record::{
     CampaignOutcome, OutcomeCounts, TopicsCallRecord, VisitOutcome, VisitRecord,
@@ -35,14 +36,22 @@ pub struct CpClass {
 }
 
 /// Analysis wrapper around a campaign outcome.
+///
+/// Construction builds a [`CampaignIndex`] in one pass, so every query
+/// (and every figure/table module consuming the wrapper) reads the
+/// shared index instead of re-scanning the outcome.
 pub struct Datasets<'a> {
     outcome: &'a CampaignOutcome,
+    index: CampaignIndex<'a>,
 }
 
 impl<'a> Datasets<'a> {
-    /// Wrap a campaign outcome.
+    /// Wrap a campaign outcome (builds the one-pass index).
     pub fn new(outcome: &'a CampaignOutcome) -> Datasets<'a> {
-        Datasets { outcome }
+        Datasets {
+            outcome,
+            index: CampaignIndex::new(outcome),
+        }
     }
 
     /// The underlying outcome.
@@ -50,24 +59,24 @@ impl<'a> Datasets<'a> {
         self.outcome
     }
 
+    /// The shared one-pass index.
+    pub fn index(&self) -> &CampaignIndex<'a> {
+        &self.index
+    }
+
     /// Iterate over the visits of a dataset, with the ranked website.
     pub fn visits(&self, id: DatasetId) -> impl Iterator<Item = &'a VisitRecord> + '_ {
-        use topics_crawler::record::Phase;
-        self.outcome.sites.iter().filter_map(move |s| match id {
-            DatasetId::BeforeAccept => s.before.as_ref(),
-            DatasetId::AfterAccept => s.after.as_ref().filter(|v| v.phase == Phase::AfterAccept),
-            DatasetId::AfterReject => s.after.as_ref().filter(|v| v.phase == Phase::AfterReject),
-        })
+        self.index.visits(id).iter().copied()
     }
 
     /// Number of sites in a dataset.
     pub fn len(&self, id: DatasetId) -> usize {
-        self.visits(id).count()
+        self.index.visits(id).len()
     }
 
     /// True when the dataset has no visits.
     pub fn is_empty(&self, id: DatasetId) -> bool {
-        self.visits(id).next().is_none()
+        self.index.visits(id).is_empty()
     }
 
     /// All *executed* Topics calls of a dataset, paired with the website
@@ -77,37 +86,27 @@ impl<'a> Datasets<'a> {
         &self,
         id: DatasetId,
     ) -> impl Iterator<Item = (&'a Domain, &'a TopicsCallRecord)> + '_ {
-        self.visits(id).flat_map(|v| {
-            v.topics_calls
-                .iter()
-                .filter(|c| c.permitted())
-                .map(move |c| (&v.website, c))
-        })
+        self.index.calls(id).iter().copied()
     }
 
     /// Classify a calling party (registrable domain).
     pub fn classify(&self, cp: &Domain) -> CpClass {
-        CpClass {
-            allowed: self.outcome.is_allowed(cp),
-            attested: self.outcome.is_attested(cp),
-        }
+        self.index.classify(cp)
     }
 
     /// Distinct calling parties (registrable domains) of a dataset.
     pub fn calling_parties(&self, id: DatasetId) -> BTreeSet<Domain> {
-        self.calls(id).map(|(_, c)| c.caller_site.clone()).collect()
+        self.index
+            .calling_parties(id)
+            .iter()
+            .map(|d| (*d).clone())
+            .collect()
     }
 
     /// Distinct third parties across D_BA (§2.4 quotes 19,534 in
     /// addition to the 43,405 first parties).
     pub fn unique_third_parties(&self) -> usize {
-        let mut set = BTreeSet::new();
-        for v in self.visits(DatasetId::BeforeAccept) {
-            for d in v.third_parties() {
-                set.insert(d.clone());
-            }
-        }
-        set.len()
+        self.index.unique_third_parties()
     }
 
     /// Median simulated page-load duration of a dataset, in ms.

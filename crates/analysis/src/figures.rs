@@ -3,7 +3,6 @@
 
 use crate::dataset::{DatasetId, Datasets};
 use crate::report::{bar_series, pct, Table};
-use std::collections::{BTreeMap, BTreeSet};
 use topics_net::domain::Domain;
 use topics_net::region::Region;
 
@@ -35,38 +34,18 @@ impl PresenceRow {
 /// Presence means any object of the CP's registrable domain was loaded on
 /// the page; called means an executed Topics call attributed to it.
 pub fn presence_rows(ds: &Datasets<'_>, id: DatasetId) -> Vec<PresenceRow> {
-    // Candidate CPs: every allow-listed, attested domain.
-    let candidates: Vec<Domain> = ds
-        .outcome()
-        .allow_list
+    let idx = ds.index();
+    let counts = idx.presence(id);
+    let mut rows: Vec<PresenceRow> = idx
+        .candidates()
         .iter()
-        .filter(|d| ds.outcome().is_attested(d))
-        .cloned()
-        .collect();
-    let mut present: BTreeMap<&Domain, usize> = BTreeMap::new();
-    let mut called: BTreeMap<&Domain, usize> = BTreeMap::new();
-    for v in ds.visits(id) {
-        let callers: BTreeSet<&Domain> = v
-            .topics_calls
-            .iter()
-            .filter(|c| c.permitted())
-            .map(|c| &c.caller_site)
-            .collect();
-        for cp in &candidates {
-            if v.has_party(cp) {
-                *present.entry(cp).or_insert(0) += 1;
-                if callers.contains(cp) {
-                    *called.entry(cp).or_insert(0) += 1;
-                }
+        .map(|cp| {
+            let c = counts.get(*cp).copied().unwrap_or_default();
+            PresenceRow {
+                cp: (*cp).clone(),
+                present: c.present,
+                called: c.called,
             }
-        }
-    }
-    let mut rows: Vec<PresenceRow> = candidates
-        .iter()
-        .map(|cp| PresenceRow {
-            cp: cp.clone(),
-            present: present.get(cp).copied().unwrap_or(0),
-            called: called.get(cp).copied().unwrap_or(0),
         })
         .filter(|r| r.present > 0)
         .collect();
@@ -151,20 +130,16 @@ pub struct QuestionableRow {
 
 /// Figure 5: Allowed∧Attested CPs calling in D_BA, by website count.
 pub fn fig5(ds: &Datasets<'_>, top: usize) -> Vec<QuestionableRow> {
-    let mut counts: BTreeMap<Domain, BTreeSet<Domain>> = BTreeMap::new();
-    for (website, c) in ds.calls(DatasetId::BeforeAccept) {
-        let class = ds.classify(&c.caller_site);
-        if class.allowed && class.attested {
-            counts
-                .entry(c.caller_site.clone())
-                .or_default()
-                .insert(website.clone());
-        }
-    }
-    let mut rows: Vec<QuestionableRow> = counts
-        .into_iter()
+    let idx = ds.index();
+    let mut rows: Vec<QuestionableRow> = idx
+        .calling_sites(DatasetId::BeforeAccept)
+        .iter()
+        .filter(|(cp, _)| {
+            let class = idx.classify(cp);
+            class.allowed && class.attested
+        })
         .map(|(cp, sites)| QuestionableRow {
-            cp,
+            cp: (**cp).clone(),
             websites: sites.len(),
         })
         .collect();
@@ -221,11 +196,15 @@ pub fn fig6(ds: &Datasets<'_>, cps: &[Domain]) -> Vec<GeoRow> {
             by_region: [(0, 0); 5],
         })
         .collect();
-    for v in ds.visits(DatasetId::BeforeAccept) {
-        let region = Region::of(&v.website);
+    let index = ds.index();
+    for (v, tags) in index
+        .visits(DatasetId::BeforeAccept)
+        .iter()
+        .zip(index.ba_tags())
+    {
         let idx = Region::ALL
             .iter()
-            .position(|r| *r == region)
+            .position(|r| *r == tags.region)
             .expect("region");
         for row in rows.iter_mut() {
             if v.has_party(&row.cp) {

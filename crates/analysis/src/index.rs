@@ -1,0 +1,297 @@
+//! One-pass index over a campaign outcome.
+//!
+//! Every figure/table module used to re-scan all visits and re-derive
+//! the Allowed/Attested classification with linear probes into
+//! `allow_list` / `attestation_probes`. [`CampaignIndex`] materialises
+//! all of that once — per-CP class sets, per-dataset visit and call
+//! slices, per-CP presence/calling-site aggregates, and per-site CMP /
+//! TLD-region tags — so `report` pays a single pass instead of a dozen.
+//!
+//! The index borrows from the outcome; every aggregate is defined to
+//! reproduce the direct computation bit for bit (see the
+//! `index_equivalence` integration suite).
+
+use std::collections::{BTreeMap, BTreeSet};
+use topics_crawler::record::{CampaignOutcome, Phase, TopicsCallRecord, VisitRecord};
+use topics_net::domain::Domain;
+use topics_net::region::Region;
+use topics_webgen::cmp::{cmp_by_domain, CmpId};
+
+use crate::dataset::{CpClass, DatasetId};
+
+/// Presence aggregate of one Allowed∧Attested CP in one dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresenceCount {
+    /// Websites where the CP was present (the Figure 2 notion).
+    pub present: usize,
+    /// Of those, websites where it also called the API.
+    pub called: usize,
+}
+
+/// Per-visit tags of a Before-Accept visit (aligned with
+/// [`CampaignIndex::visits`] for [`DatasetId::BeforeAccept`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisitTags {
+    /// First CMP domain among the page objects, Wappalyzer-style.
+    pub cmp: Option<CmpId>,
+    /// TLD-derived website region.
+    pub region: Region,
+    /// At least one executed Topics call on the visit.
+    pub questionable: bool,
+}
+
+fn dataset_slot(id: DatasetId) -> usize {
+    match id {
+        DatasetId::BeforeAccept => 0,
+        DatasetId::AfterAccept => 1,
+        DatasetId::AfterReject => 2,
+    }
+}
+
+/// The one-pass index. Borrows the outcome; build it once per analysis
+/// session (``Datasets::new`` does) and let every consumer share it.
+pub struct CampaignIndex<'a> {
+    outcome: &'a CampaignOutcome,
+    allowed: BTreeSet<&'a Domain>,
+    attested: BTreeSet<&'a Domain>,
+    /// Allowed∧Attested domains in allow-list order (the Figure 2
+    /// candidate set).
+    candidates: Vec<&'a Domain>,
+    visits: [Vec<&'a VisitRecord>; 3],
+    calls: [Vec<(&'a Domain, &'a TopicsCallRecord)>; 3],
+    calling_parties: [BTreeSet<&'a Domain>; 3],
+    presence: [BTreeMap<&'a Domain, PresenceCount>; 3],
+    calling_sites: [BTreeMap<&'a Domain, BTreeSet<&'a Domain>>; 3],
+    ba_tags: Vec<VisitTags>,
+    unique_third_parties: usize,
+}
+
+impl<'a> CampaignIndex<'a> {
+    /// Build the index in one pass over the outcome.
+    pub fn new(outcome: &'a CampaignOutcome) -> CampaignIndex<'a> {
+        let allowed: BTreeSet<&Domain> = outcome.allow_list.iter().collect();
+        let attested: BTreeSet<&Domain> = outcome
+            .attestation_probes
+            .iter()
+            .filter(|p| p.valid.is_some())
+            .map(|p| &p.domain)
+            .collect();
+        let candidates: Vec<&Domain> = outcome
+            .allow_list
+            .iter()
+            .filter(|d| attested.contains(d))
+            .collect();
+        let candidate_set: BTreeSet<&Domain> = candidates.iter().copied().collect();
+
+        let mut visits: [Vec<&VisitRecord>; 3] = Default::default();
+        let mut calls: [Vec<(&Domain, &TopicsCallRecord)>; 3] = Default::default();
+        let mut calling_parties: [BTreeSet<&Domain>; 3] = Default::default();
+        let mut presence: [BTreeMap<&Domain, PresenceCount>; 3] = Default::default();
+        let mut calling_sites: [BTreeMap<&Domain, BTreeSet<&Domain>>; 3] = Default::default();
+        let mut ba_tags: Vec<VisitTags> = Vec::new();
+        let mut third_parties: BTreeSet<&Domain> = BTreeSet::new();
+
+        for site in &outcome.sites {
+            let classified =
+                site.before
+                    .iter()
+                    .map(|v| (v, 0usize))
+                    .chain(site.after.iter().filter_map(|v| match v.phase {
+                        Phase::AfterAccept => Some((v, 1)),
+                        Phase::AfterReject => Some((v, 2)),
+                        Phase::BeforeAccept => None,
+                    }));
+            for (v, slot) in classified {
+                visits[slot].push(v);
+                // Permitted callers of this visit, deduplicated — both
+                // the presence `called` notion and the calling-site sets
+                // count a CP once per visit.
+                let mut visit_callers: BTreeSet<&Domain> = BTreeSet::new();
+                for c in &v.topics_calls {
+                    if c.permitted() {
+                        calls[slot].push((&v.website, c));
+                        calling_parties[slot].insert(&c.caller_site);
+                        visit_callers.insert(&c.caller_site);
+                        calling_sites[slot]
+                            .entry(&c.caller_site)
+                            .or_default()
+                            .insert(&v.website);
+                    }
+                }
+                // Presence of the Allowed∧Attested candidates: invert
+                // the legacy candidates×visits scan — walk the page's
+                // (deduplicated) party domains and count candidates.
+                let page_parties: BTreeSet<&Domain> = v.party_domains.iter().collect();
+                for p in &page_parties {
+                    if candidate_set.contains(p) {
+                        let e = presence[slot].entry(p).or_default();
+                        e.present += 1;
+                        if visit_callers.contains(p) {
+                            e.called += 1;
+                        }
+                    }
+                }
+                if slot == 0 {
+                    for d in v.third_parties() {
+                        third_parties.insert(d);
+                    }
+                    ba_tags.push(VisitTags {
+                        cmp: v.party_domains.iter().find_map(cmp_by_domain),
+                        region: Region::of(&v.website),
+                        questionable: !visit_callers.is_empty(),
+                    });
+                }
+            }
+        }
+
+        CampaignIndex {
+            outcome,
+            allowed,
+            attested,
+            candidates,
+            visits,
+            calls,
+            calling_parties,
+            presence,
+            calling_sites,
+            ba_tags,
+            unique_third_parties: third_parties.len(),
+        }
+    }
+
+    /// The underlying outcome.
+    pub fn outcome(&self) -> &'a CampaignOutcome {
+        self.outcome
+    }
+
+    /// Whether a domain is on the allow-list.
+    pub fn is_allowed(&self, d: &Domain) -> bool {
+        self.allowed.contains(d)
+    }
+
+    /// Whether a domain served a valid attestation.
+    pub fn is_attested(&self, d: &Domain) -> bool {
+        self.attested.contains(d)
+    }
+
+    /// Two-axis CP classification, O(log n).
+    pub fn classify(&self, d: &Domain) -> CpClass {
+        CpClass {
+            allowed: self.is_allowed(d),
+            attested: self.is_attested(d),
+        }
+    }
+
+    /// Allowed∧Attested domains in allow-list order — Figure 2's
+    /// candidate CPs.
+    pub fn candidates(&self) -> &[&'a Domain] {
+        &self.candidates
+    }
+
+    /// The visits of one dataset, in site-rank order.
+    pub fn visits(&self, id: DatasetId) -> &[&'a VisitRecord] {
+        &self.visits[dataset_slot(id)]
+    }
+
+    /// Every executed call of one dataset with its website, in visit
+    /// order.
+    pub fn calls(&self, id: DatasetId) -> &[(&'a Domain, &'a TopicsCallRecord)] {
+        &self.calls[dataset_slot(id)]
+    }
+
+    /// Distinct calling parties of one dataset.
+    pub fn calling_parties(&self, id: DatasetId) -> &BTreeSet<&'a Domain> {
+        &self.calling_parties[dataset_slot(id)]
+    }
+
+    /// Per-candidate presence/called counts of one dataset.
+    pub fn presence(&self, id: DatasetId) -> &BTreeMap<&'a Domain, PresenceCount> {
+        &self.presence[dataset_slot(id)]
+    }
+
+    /// Per-CP distinct websites with an executed call, one dataset.
+    pub fn calling_sites(&self, id: DatasetId) -> &BTreeMap<&'a Domain, BTreeSet<&'a Domain>> {
+        &self.calling_sites[dataset_slot(id)]
+    }
+
+    /// Per-visit CMP/region/questionable tags of the Before-Accept
+    /// dataset, aligned with `visits(BeforeAccept)`.
+    pub fn ba_tags(&self) -> &[VisitTags] {
+        &self.ba_tags
+    }
+
+    /// Distinct third parties across D_BA.
+    pub fn unique_third_parties(&self) -> usize {
+        self.unique_third_parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{d, tiny_outcome};
+
+    #[test]
+    fn class_sets_match_linear_scans() {
+        let outcome = tiny_outcome();
+        let idx = CampaignIndex::new(&outcome);
+        let mut everyone: BTreeSet<Domain> = outcome.allow_list.iter().cloned().collect();
+        everyone.extend(outcome.attestation_probes.iter().map(|p| p.domain.clone()));
+        everyone.insert(d("site-a.com"));
+        for domain in &everyone {
+            assert_eq!(idx.is_allowed(domain), outcome.is_allowed(domain));
+            assert_eq!(idx.is_attested(domain), outcome.is_attested(domain));
+        }
+    }
+
+    #[test]
+    fn visit_and_call_slices_follow_site_order() {
+        let outcome = tiny_outcome();
+        let idx = CampaignIndex::new(&outcome);
+        assert_eq!(idx.visits(DatasetId::BeforeAccept).len(), 3);
+        assert_eq!(idx.visits(DatasetId::AfterAccept).len(), 2);
+        assert!(idx.visits(DatasetId::AfterReject).is_empty());
+        assert!(idx
+            .calls(DatasetId::AfterAccept)
+            .iter()
+            .all(|(_, c)| c.permitted()));
+    }
+
+    #[test]
+    fn presence_counts_match_has_party() {
+        let outcome = tiny_outcome();
+        let idx = CampaignIndex::new(&outcome);
+        let goodads = d("goodads.com");
+        let aa = idx.presence(DatasetId::AfterAccept);
+        let counts = aa[&goodads];
+        let mut present = 0;
+        let mut called = 0;
+        for v in idx.visits(DatasetId::AfterAccept) {
+            if v.has_party(&goodads) {
+                present += 1;
+                if v.topics_calls
+                    .iter()
+                    .any(|c| c.permitted() && c.caller_site == goodads)
+                {
+                    called += 1;
+                }
+            }
+        }
+        assert_eq!(counts.present, present);
+        assert_eq!(counts.called, called);
+    }
+
+    #[test]
+    fn ba_tags_align_with_visits() {
+        let outcome = tiny_outcome();
+        let idx = CampaignIndex::new(&outcome);
+        let visits = idx.visits(DatasetId::BeforeAccept);
+        let tags = idx.ba_tags();
+        assert_eq!(visits.len(), tags.len());
+        for (v, t) in visits.iter().zip(tags) {
+            assert_eq!(t.region, Region::of(&v.website));
+            assert_eq!(t.cmp, v.party_domains.iter().find_map(cmp_by_domain));
+            assert_eq!(t.questionable, v.topics_calls.iter().any(|c| c.permitted()));
+        }
+    }
+}

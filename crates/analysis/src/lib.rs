@@ -6,6 +6,8 @@
 //!
 //! * [`dataset`] — the D_BA / D_AA views and the Allowed/Attested CP
 //!   classification (§2.3–2.4).
+//! * [`index`] — the shared one-pass [`CampaignIndex`] every module
+//!   reads instead of re-scanning the outcome.
 //! * [`mod@table1`] — Table 1, the overall usage matrix.
 //! * [`figures`] — Figures 2 (presence vs calls), 3 (enabled fractions),
 //!   5 (questionable calls per CP) and 6 (geographic breakdown).
@@ -36,6 +38,7 @@ pub mod dataset;
 pub mod dossier;
 pub mod export;
 pub mod figures;
+pub mod index;
 pub mod report;
 pub mod table1;
 pub mod timeline;
@@ -51,5 +54,6 @@ pub use concentration::{concentration, gini, Concentration};
 pub use dataset::{CpClass, DatasetId, Datasets};
 pub use dossier::{dossier, Dossier};
 pub use figures::{fig2, fig3, fig5, fig6, GeoRow, PresenceRow, QuestionableRow};
+pub use index::{CampaignIndex, PresenceCount, VisitTags};
 pub use table1::{table1, Table1};
 pub use timeline::{timeline, Timeline};

@@ -40,12 +40,13 @@ pub struct Table1 {
 
 /// Compute Table 1 from a campaign.
 pub fn table1(ds: &Datasets<'_>) -> Table1 {
-    let outcome = ds.outcome();
-    let allowed_total = outcome.allow_list.len();
-    let allowed_not_attested = outcome
+    let idx = ds.index();
+    let allowed_total = ds.outcome().allow_list.len();
+    let allowed_not_attested = ds
+        .outcome()
         .allow_list
         .iter()
-        .filter(|d| !outcome.is_attested(d))
+        .filter(|d| !idx.is_attested(d))
         .count();
 
     let mut t = Table1 {
@@ -57,8 +58,8 @@ pub fn table1(ds: &Datasets<'_>) -> Table1 {
         dba_allowed_attested: 0,
         dba_not_allowed: 0,
     };
-    for cp in ds.calling_parties(DatasetId::AfterAccept) {
-        let class = ds.classify(&cp);
+    for cp in idx.calling_parties(DatasetId::AfterAccept) {
+        let class = idx.classify(cp);
         match (class.allowed, class.attested) {
             (true, true) => t.daa_allowed_attested += 1,
             (false, true) => t.daa_not_allowed_attested += 1,
@@ -66,8 +67,8 @@ pub fn table1(ds: &Datasets<'_>) -> Table1 {
             (true, false) => {} // never observed in the paper; counted nowhere
         }
     }
-    for cp in ds.calling_parties(DatasetId::BeforeAccept) {
-        let class = ds.classify(&cp);
+    for cp in idx.calling_parties(DatasetId::BeforeAccept) {
+        let class = idx.classify(cp);
         match (class.allowed, class.attested) {
             (true, true) => t.dba_allowed_attested += 1,
             (false, _) => t.dba_not_allowed += 1,

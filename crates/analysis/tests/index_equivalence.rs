@@ -1,0 +1,550 @@
+//! Index equivalence: every figure and table ported to the shared
+//! [`topics_analysis::CampaignIndex`] must produce *identical* results to
+//! the legacy direct computation (a fresh scan over the raw outcome per
+//! query). The legacy versions are reimplemented here, verbatim from the
+//! pre-index code, and compared on a real generated campaign — so a
+//! semantic drift in the index (dedup rules, ordering, classification)
+//! fails loudly instead of silently changing the paper's numbers.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+
+use topics_analysis::abtest::{alternation_series, AlternationSeries};
+use topics_analysis::anomalous::{anomalous_stats, AnomalousStats};
+use topics_analysis::calltypes::{call_type_mix, CallTypeMix};
+use topics_analysis::cmp_usage::{fig7, CmpRow, Fig7};
+use topics_analysis::concentration::{concentration, gini, Concentration};
+use topics_analysis::dataset::{DatasetId, Datasets};
+use topics_analysis::figures::{fig5, fig6, presence_rows, GeoRow, PresenceRow, QuestionableRow};
+use topics_analysis::table1::{table1, Table1};
+use topics_browser::observer::CallType;
+use topics_crawler::campaign::{
+    run_campaign, run_repeated, CampaignConfig, CrawlTarget, CRAWL_START_DAY,
+};
+use topics_crawler::record::{CampaignOutcome, Phase, SiteOutcome, TopicsCallRecord, VisitRecord};
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::psl::{registrable_domain, same_second_level_label};
+use topics_net::region::Region;
+use topics_webgen::cmp::{cmp_by_domain, CmpId, CMPS};
+use topics_webgen::{World, WorldConfig};
+
+const SITES: usize = 400;
+
+/// One shared campaign for every test in this file.
+fn campaign() -> &'static CampaignOutcome {
+    static OUTCOME: OnceLock<CampaignOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| {
+        let world = World::generate(WorldConfig::scaled(23, SITES));
+        let config = CampaignConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        run_campaign(&world, &config)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Legacy direct computations (pre-index), scanning the raw outcome.
+// ---------------------------------------------------------------------
+
+fn legacy_visits(o: &CampaignOutcome, id: DatasetId) -> Vec<&VisitRecord> {
+    o.sites
+        .iter()
+        .filter_map(move |s| match id {
+            DatasetId::BeforeAccept => s.before.as_ref(),
+            DatasetId::AfterAccept => s.after.as_ref().filter(|v| v.phase == Phase::AfterAccept),
+            DatasetId::AfterReject => s.after.as_ref().filter(|v| v.phase == Phase::AfterReject),
+        })
+        .collect()
+}
+
+fn legacy_calls(o: &CampaignOutcome, id: DatasetId) -> Vec<(&Domain, &TopicsCallRecord)> {
+    legacy_visits(o, id)
+        .into_iter()
+        .flat_map(|v| {
+            v.topics_calls
+                .iter()
+                .filter(|c| c.permitted())
+                .map(move |c| (&v.website, c))
+        })
+        .collect()
+}
+
+fn legacy_calling_parties(o: &CampaignOutcome, id: DatasetId) -> BTreeSet<Domain> {
+    legacy_calls(o, id)
+        .into_iter()
+        .map(|(_, c)| c.caller_site.clone())
+        .collect()
+}
+
+fn legacy_table1(o: &CampaignOutcome) -> Table1 {
+    let allowed_total = o.allow_list.len();
+    let allowed_not_attested = o.allow_list.iter().filter(|d| !o.is_attested(d)).count();
+    let mut t = Table1 {
+        allowed_total,
+        allowed_not_attested,
+        daa_allowed_attested: 0,
+        daa_not_allowed_attested: 0,
+        daa_not_allowed: 0,
+        dba_allowed_attested: 0,
+        dba_not_allowed: 0,
+    };
+    for cp in legacy_calling_parties(o, DatasetId::AfterAccept) {
+        match (o.is_allowed(&cp), o.is_attested(&cp)) {
+            (true, true) => t.daa_allowed_attested += 1,
+            (false, true) => t.daa_not_allowed_attested += 1,
+            (false, false) => t.daa_not_allowed += 1,
+            (true, false) => {}
+        }
+    }
+    for cp in legacy_calling_parties(o, DatasetId::BeforeAccept) {
+        match (o.is_allowed(&cp), o.is_attested(&cp)) {
+            (true, true) => t.dba_allowed_attested += 1,
+            (false, _) => t.dba_not_allowed += 1,
+            (true, false) => {}
+        }
+    }
+    t
+}
+
+fn legacy_presence_rows(o: &CampaignOutcome, id: DatasetId) -> Vec<PresenceRow> {
+    let candidates: Vec<Domain> = o
+        .allow_list
+        .iter()
+        .filter(|d| o.is_attested(d))
+        .cloned()
+        .collect();
+    let mut present: BTreeMap<&Domain, usize> = BTreeMap::new();
+    let mut called: BTreeMap<&Domain, usize> = BTreeMap::new();
+    for v in legacy_visits(o, id) {
+        let callers: BTreeSet<&Domain> = v
+            .topics_calls
+            .iter()
+            .filter(|c| c.permitted())
+            .map(|c| &c.caller_site)
+            .collect();
+        for cp in &candidates {
+            if v.has_party(cp) {
+                *present.entry(cp).or_insert(0) += 1;
+                if callers.contains(cp) {
+                    *called.entry(cp).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<PresenceRow> = candidates
+        .iter()
+        .map(|cp| PresenceRow {
+            cp: cp.clone(),
+            present: present.get(cp).copied().unwrap_or(0),
+            called: called.get(cp).copied().unwrap_or(0),
+        })
+        .filter(|r| r.present > 0)
+        .collect();
+    rows.sort_by(|a, b| b.present.cmp(&a.present).then(a.cp.cmp(&b.cp)));
+    rows
+}
+
+fn legacy_fig5(o: &CampaignOutcome, top: usize) -> Vec<QuestionableRow> {
+    let mut counts: BTreeMap<Domain, BTreeSet<Domain>> = BTreeMap::new();
+    for (website, c) in legacy_calls(o, DatasetId::BeforeAccept) {
+        if o.is_allowed(&c.caller_site) && o.is_attested(&c.caller_site) {
+            counts
+                .entry(c.caller_site.clone())
+                .or_default()
+                .insert(website.clone());
+        }
+    }
+    let mut rows: Vec<QuestionableRow> = counts
+        .into_iter()
+        .map(|(cp, sites)| QuestionableRow {
+            cp,
+            websites: sites.len(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.cp.cmp(&b.cp)));
+    rows.truncate(top);
+    rows
+}
+
+fn legacy_fig6(o: &CampaignOutcome, cps: &[Domain]) -> Vec<GeoRow> {
+    let mut rows: Vec<GeoRow> = cps
+        .iter()
+        .map(|cp| GeoRow {
+            cp: cp.clone(),
+            by_region: [(0, 0); 5],
+        })
+        .collect();
+    for v in legacy_visits(o, DatasetId::BeforeAccept) {
+        let region = Region::of(&v.website);
+        let idx = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region");
+        for row in rows.iter_mut() {
+            if v.has_party(&row.cp) {
+                row.by_region[idx].0 += 1;
+                if v.topics_calls
+                    .iter()
+                    .any(|c| c.permitted() && c.caller_site == row.cp)
+                {
+                    row.by_region[idx].1 += 1;
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn legacy_fig7(o: &CampaignOutcome) -> Fig7 {
+    let detect_cmp = |party_domains: &[Domain]| -> Option<CmpId> {
+        party_domains.iter().find_map(cmp_by_domain)
+    };
+    let mut sites = vec![0usize; CMPS.len()];
+    let mut questionable = vec![0usize; CMPS.len()];
+    let mut total_sites = 0usize;
+    let mut questionable_total = 0usize;
+    for v in legacy_visits(o, DatasetId::BeforeAccept) {
+        total_sites += 1;
+        let has_questionable = v.topics_calls.iter().any(|c| c.permitted());
+        if has_questionable {
+            questionable_total += 1;
+        }
+        if let Some(cmp) = detect_cmp(&v.party_domains) {
+            sites[cmp.0] += 1;
+            if has_questionable {
+                questionable[cmp.0] += 1;
+            }
+        }
+    }
+    let rows = (0..CMPS.len())
+        .map(|i| CmpRow {
+            cmp: CmpId(i),
+            sites: sites[i],
+            questionable_sites: questionable[i],
+            p_cmp: if total_sites == 0 {
+                0.0
+            } else {
+                sites[i] as f64 / total_sites as f64
+            },
+            p_cmp_given_questionable: if questionable_total == 0 {
+                0.0
+            } else {
+                questionable[i] as f64 / questionable_total as f64
+            },
+        })
+        .collect();
+    Fig7 {
+        rows,
+        total_sites,
+        questionable_sites: questionable_total,
+    }
+}
+
+fn legacy_anomalous(o: &CampaignOutcome, id: DatasetId) -> AnomalousStats {
+    const GTM_DOMAIN: &str = "googletagmanager.com";
+    let mut cps: BTreeSet<Domain> = BTreeSet::new();
+    let mut total_calls = 0usize;
+    let mut same_label = 0usize;
+    let mut js_calls = 0usize;
+    let mut root_calls = 0usize;
+    let mut gtm_script = 0usize;
+    let mut sites_with_anomalous = 0usize;
+    let mut sites_with_anomalous_and_gtm = 0usize;
+    for v in legacy_visits(o, id) {
+        let mut any = false;
+        for c in v.topics_calls.iter().filter(|c| c.permitted()) {
+            if o.is_allowed(&c.caller_site) || o.is_attested(&c.caller_site) {
+                continue;
+            }
+            any = true;
+            cps.insert(c.caller_site.clone());
+            total_calls += 1;
+            if same_second_level_label(&c.caller_site, &v.website) {
+                same_label += 1;
+            }
+            if c.call_type == CallType::JavaScript {
+                js_calls += 1;
+            }
+            if c.root_context {
+                root_calls += 1;
+            }
+            if c.script_source
+                .as_ref()
+                .is_some_and(|s| registrable_domain(s).as_str() == GTM_DOMAIN)
+            {
+                gtm_script += 1;
+            }
+        }
+        if any {
+            sites_with_anomalous += 1;
+            if v.party_domains.iter().any(|d| d.as_str() == GTM_DOMAIN) {
+                sites_with_anomalous_and_gtm += 1;
+            }
+        }
+    }
+    let frac = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    AnomalousStats {
+        distinct_cps: cps.len(),
+        total_calls,
+        same_second_level_fraction: frac(same_label, total_calls),
+        gtm_cooccurrence: frac(sites_with_anomalous_and_gtm, sites_with_anomalous),
+        javascript_fraction: frac(js_calls, total_calls),
+        root_context_fraction: frac(root_calls, total_calls),
+        gtm_script_fraction: frac(gtm_script, total_calls),
+    }
+}
+
+fn legacy_call_type_mix(o: &CampaignOutcome, id: DatasetId) -> CallTypeMix {
+    let mut mix = CallTypeMix::default();
+    for (_, c) in legacy_calls(o, id) {
+        let bucket = match (o.is_allowed(&c.caller_site), o.is_attested(&c.caller_site)) {
+            (true, true) => &mut mix.legitimate,
+            (false, false) => &mut mix.anomalous,
+            _ => &mut mix.other,
+        };
+        match c.call_type {
+            CallType::JavaScript => bucket.javascript += 1,
+            CallType::Fetch => bucket.fetch += 1,
+            CallType::Iframe => bucket.iframe += 1,
+        }
+    }
+    mix
+}
+
+fn legacy_concentration(o: &CampaignOutcome, id: DatasetId) -> Concentration {
+    let mut by_cp: BTreeMap<Domain, u64> = BTreeMap::new();
+    for (_, c) in legacy_calls(o, id) {
+        if o.is_allowed(&c.caller_site) && o.is_attested(&c.caller_site) {
+            *by_cp.entry(c.caller_site.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut volumes: Vec<u64> = by_cp.values().copied().collect();
+    volumes.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = volumes.iter().sum();
+    let share = |k: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            volumes.iter().take(k).sum::<u64>() as f64 / total as f64
+        }
+    };
+    Concentration {
+        parties: volumes.len(),
+        total_calls: total as usize,
+        top1_share: share(1),
+        top5_share: share(5),
+        gini: gini(&volumes),
+    }
+}
+
+fn legacy_alternation_series(rounds: &[Vec<SiteOutcome>]) -> Vec<AlternationSeries> {
+    let mut keys: BTreeMap<(Domain, Domain), Vec<bool>> = BTreeMap::new();
+    for round in rounds {
+        for site in round {
+            if let Some(v) = &site.before {
+                for c in v.topics_calls.iter().filter(|c| c.permitted()) {
+                    keys.entry((c.caller_site.clone(), v.website.clone()))
+                        .or_default();
+                }
+            }
+        }
+    }
+    for round in rounds {
+        let mut called_this_round: BTreeMap<(Domain, Domain), bool> = BTreeMap::new();
+        for site in round {
+            if let Some(v) = &site.before {
+                for ((cp, website), _) in keys.iter() {
+                    if *website == v.website {
+                        let on = v
+                            .topics_calls
+                            .iter()
+                            .any(|c| c.permitted() && c.caller_site == *cp);
+                        called_this_round.insert((cp.clone(), website.clone()), on);
+                    }
+                }
+            }
+        }
+        for (key, series) in keys.iter_mut() {
+            series.push(called_this_round.get(key).copied().unwrap_or(false));
+        }
+    }
+    keys.into_iter()
+        .map(|((cp, website), on)| AlternationSeries { cp, website, on })
+        .collect()
+}
+
+fn legacy_unique_third_parties(o: &CampaignOutcome) -> usize {
+    let mut set = BTreeSet::new();
+    for v in legacy_visits(o, DatasetId::BeforeAccept) {
+        for d in v.third_parties() {
+            set.insert(d.clone());
+        }
+    }
+    set.len()
+}
+
+// ---------------------------------------------------------------------
+// Equivalence tests.
+// ---------------------------------------------------------------------
+
+const ALL_DATASETS: [DatasetId; 3] = [
+    DatasetId::BeforeAccept,
+    DatasetId::AfterAccept,
+    DatasetId::AfterReject,
+];
+
+#[test]
+fn dataset_queries_match_direct_scans() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    for id in ALL_DATASETS {
+        assert_eq!(ds.len(id), legacy_visits(o, id).len(), "{id:?} len");
+        let ported: Vec<_> = ds
+            .calls(id)
+            .map(|(w, c)| (w.clone(), c.caller_site.clone(), c.call_type))
+            .collect();
+        let legacy: Vec<_> = legacy_calls(o, id)
+            .into_iter()
+            .map(|(w, c)| (w.clone(), c.caller_site.clone(), c.call_type))
+            .collect();
+        assert_eq!(ported, legacy, "{id:?} calls (order included)");
+        assert_eq!(
+            ds.calling_parties(id),
+            legacy_calling_parties(o, id),
+            "{id:?} calling parties"
+        );
+    }
+    assert_eq!(ds.unique_third_parties(), legacy_unique_third_parties(o));
+    // The campaign is non-trivial: both core datasets carry calls.
+    assert!(ds.calls(DatasetId::AfterAccept).count() > 0);
+    assert!(ds.calls(DatasetId::BeforeAccept).count() > 0);
+}
+
+#[test]
+fn classification_matches_the_outcome() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    let mut parties: BTreeSet<&Domain> = o.allow_list.iter().collect();
+    for v in legacy_visits(o, DatasetId::AfterAccept) {
+        parties.extend(v.topics_calls.iter().map(|c| &c.caller_site));
+        parties.extend(v.party_domains.iter());
+    }
+    for d in parties {
+        let class = ds.classify(d);
+        assert_eq!(class.allowed, o.is_allowed(d), "{d}");
+        assert_eq!(class.attested, o.is_attested(d), "{d}");
+    }
+}
+
+#[test]
+fn table1_matches_legacy() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    let t = table1(&ds);
+    assert_eq!(t, legacy_table1(o));
+    assert!(t.daa_allowed_attested > 0, "non-vacuous campaign");
+}
+
+#[test]
+fn presence_rows_match_legacy_in_every_dataset() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    for id in ALL_DATASETS {
+        let ported = presence_rows(&ds, id);
+        let legacy = legacy_presence_rows(o, id);
+        assert_eq!(ported, legacy, "{id:?} presence rows (order included)");
+    }
+    assert!(!presence_rows(&ds, DatasetId::AfterAccept).is_empty());
+}
+
+#[test]
+fn fig5_matches_legacy() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    for top in [3, 10, usize::MAX] {
+        assert_eq!(fig5(&ds, top), legacy_fig5(o, top), "top={top}");
+    }
+}
+
+#[test]
+fn fig6_matches_legacy_on_the_top_questionable_cps() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    let cps: Vec<Domain> = fig5(&ds, 4).into_iter().map(|r| r.cp).collect();
+    assert!(!cps.is_empty(), "need at least one questionable CP");
+    assert_eq!(fig6(&ds, &cps), legacy_fig6(o, &cps));
+}
+
+#[test]
+fn fig7_matches_legacy() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    let ported = fig7(&ds);
+    assert_eq!(ported, legacy_fig7(o));
+    assert!(ported.total_sites > 0);
+}
+
+#[test]
+fn anomalous_stats_match_legacy() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    for id in [DatasetId::AfterAccept, DatasetId::BeforeAccept] {
+        let ported = anomalous_stats(&ds, id);
+        assert_eq!(ported, legacy_anomalous(o, id), "{id:?}");
+    }
+    assert!(
+        anomalous_stats(&ds, DatasetId::AfterAccept).total_calls > 0,
+        "non-vacuous: the corrupted allow-list yields anomalous calls"
+    );
+}
+
+#[test]
+fn call_type_mix_matches_legacy() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    for id in ALL_DATASETS {
+        assert_eq!(
+            call_type_mix(&ds, id),
+            legacy_call_type_mix(o, id),
+            "{id:?}"
+        );
+    }
+}
+
+#[test]
+fn concentration_matches_legacy() {
+    let o = campaign();
+    let ds = Datasets::new(o);
+    for id in [DatasetId::AfterAccept, DatasetId::BeforeAccept] {
+        assert_eq!(
+            concentration(&ds, id),
+            legacy_concentration(o, id),
+            "{id:?}"
+        );
+    }
+}
+
+#[test]
+fn alternation_series_match_legacy() {
+    let world = World::generate(WorldConfig::scaled(29, 150));
+    let config = CampaignConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let urls = world.targets().into_iter().take(40).collect::<Vec<_>>();
+    let t0 = Timestamp::from_days(CRAWL_START_DAY);
+    let times: Vec<Timestamp> = (0..6).map(|d| t0.plus_days(d)).collect();
+    let rounds = run_repeated(&world, &urls, &times, &config);
+    let ported = alternation_series(&rounds);
+    let legacy = legacy_alternation_series(&rounds);
+    assert_eq!(ported, legacy);
+    assert!(!ported.is_empty(), "some CP calls in some round");
+}

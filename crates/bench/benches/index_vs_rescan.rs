@@ -1,0 +1,112 @@
+//! One-pass `CampaignIndex` vs per-figure rescans.
+//!
+//! `Datasets::new` now materialises the shared index once; every table
+//! and figure reads it. The `rescan/*` benches reproduce the legacy
+//! shape — each figure re-deriving its own dataset slices, class
+//! lookups, and presence counts from the raw outcome — to keep the
+//! speedup measurable after the port.
+
+use criterion::Criterion;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hint::black_box;
+use topics_bench::{banner, shared};
+use topics_core::analysis::dataset::{DatasetId, Datasets};
+use topics_core::analysis::figures::PresenceRow;
+use topics_core::analysis::{figures, table1};
+use topics_core::crawler::record::{CampaignOutcome, Phase, VisitRecord};
+use topics_core::evaluate;
+use topics_core::net::domain::Domain;
+
+fn legacy_visits(o: &CampaignOutcome, id: DatasetId) -> Vec<&VisitRecord> {
+    o.sites
+        .iter()
+        .filter_map(move |s| match id {
+            DatasetId::BeforeAccept => s.before.as_ref(),
+            DatasetId::AfterAccept => s.after.as_ref().filter(|v| v.phase == Phase::AfterAccept),
+            DatasetId::AfterReject => s.after.as_ref().filter(|v| v.phase == Phase::AfterReject),
+        })
+        .collect()
+}
+
+/// The legacy presence scan: every candidate CP × every visit of the
+/// dataset (the hot spot the index's inverted single pass replaces).
+fn legacy_presence_rows(o: &CampaignOutcome, id: DatasetId) -> Vec<PresenceRow> {
+    let candidates: Vec<Domain> = o
+        .allow_list
+        .iter()
+        .filter(|d| o.is_attested(d))
+        .cloned()
+        .collect();
+    let mut present: BTreeMap<&Domain, usize> = BTreeMap::new();
+    let mut called: BTreeMap<&Domain, usize> = BTreeMap::new();
+    for v in legacy_visits(o, id) {
+        let callers: BTreeSet<&Domain> = v
+            .topics_calls
+            .iter()
+            .filter(|c| c.permitted())
+            .map(|c| &c.caller_site)
+            .collect();
+        for cp in &candidates {
+            if v.has_party(cp) {
+                *present.entry(cp).or_insert(0) += 1;
+                if callers.contains(cp) {
+                    *called.entry(cp).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<PresenceRow> = candidates
+        .iter()
+        .map(|cp| PresenceRow {
+            cp: cp.clone(),
+            present: present.get(cp).copied().unwrap_or(0),
+            called: called.get(cp).copied().unwrap_or(0),
+        })
+        .filter(|r| r.present > 0)
+        .collect();
+    rows.sort_by(|a, b| b.present.cmp(&a.present).then(a.cp.cmp(&b.cp)));
+    rows
+}
+
+fn main() {
+    let sc = shared();
+    let outcome = &sc.outcome;
+
+    banner("CampaignIndex build + figure regeneration vs legacy rescans");
+
+    let mut c = Criterion::default().configure_from_args();
+
+    // Building the wrapper now includes the one-pass index.
+    c.bench_function("index/build", |b| {
+        b.iter(|| black_box(Datasets::new(outcome)))
+    });
+
+    // Presence counts, both ways — the figure the index helps most.
+    c.bench_function("index/presence_rows", |b| {
+        let ds = Datasets::new(outcome);
+        b.iter(|| black_box(figures::presence_rows(&ds, DatasetId::AfterAccept)))
+    });
+    c.bench_function("rescan/presence_rows", |b| {
+        b.iter(|| black_box(legacy_presence_rows(outcome, DatasetId::AfterAccept)))
+    });
+
+    // Table 1 through one shared wrapper vs a wrapper per call (the
+    // legacy pattern: every consumer re-derived its own scans).
+    c.bench_function("index/table1_amortised", |b| {
+        let ds = Datasets::new(outcome);
+        b.iter(|| black_box(table1::table1(&ds)))
+    });
+    c.bench_function("rescan/table1_fresh", |b| {
+        b.iter(|| {
+            let ds = Datasets::new(outcome);
+            black_box(table1::table1(&ds))
+        })
+    });
+
+    // The full report, end to end (index built once inside).
+    c.bench_function("index/full_evaluation", |b| {
+        b.iter(|| black_box(evaluate(outcome)))
+    });
+
+    c.final_summary();
+}

@@ -1,0 +1,91 @@
+//! CI perf smoke for the attestation-probe phase.
+//!
+//! Runs one quick campaign at `TOPICS_BENCH_SITES` (CI uses 2,000) and
+//! compares the live `phase_wall_us{phase="attestation-probe"}` gauge
+//! against the committed `BENCH_summary.json` baseline. Exits non-zero
+//! when the probe phase takes more than 1.5× the recorded baseline; a
+//! missing baseline or a scale mismatch skips the check (exit 0) so the
+//! smoke never blocks unrelated work.
+//!
+//! Re-record the baseline with `TOPICS_PERF_RECORD=1` (writes the
+//! summary file instead of comparing).
+
+use std::time::Instant;
+use topics_bench::{
+    bench_sites, read_summary, summary_path, BenchSummary, BENCH_SEED, PROBE_WALL_GAUGE,
+};
+use topics_core::{Lab, LabConfig};
+
+/// Regression threshold: fail when current > baseline × 3/2.
+const NUM: u64 = 3;
+const DEN: u64 = 2;
+
+/// Identical campaign runs per invocation; the minimum probe wall time
+/// is compared (single samples on busy 1-core runners vary ~2×).
+const RUNS: usize = 3;
+
+fn main() {
+    let sites = bench_sites();
+    let path = summary_path();
+    let record = std::env::var("TOPICS_PERF_RECORD").as_deref() == Ok("1");
+
+    // Wall-clock is noisy on shared runners; the best of a few identical
+    // runs is a stable estimate of what the phase actually costs.
+    let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
+    let started = Instant::now();
+    let mut run = lab.run();
+    let crawl_wall_ms = started.elapsed().as_millis() as u64;
+    let mut probe_wall_us = run.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64;
+    for _ in 1..RUNS {
+        run = lab.run();
+        probe_wall_us = probe_wall_us.min(run.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64);
+    }
+    println!(
+        "perf-smoke: sites={sites} visited={} probe_wall_us={probe_wall_us} (best of {RUNS}) crawl_wall_ms={crawl_wall_ms}",
+        run.visited_count(),
+    );
+
+    if record {
+        let summary = BenchSummary {
+            sites,
+            seed: BENCH_SEED,
+            crawl_wall_ms,
+            visited: run.visited_count(),
+            accepted: run.accepted_count(),
+            probe_wall_us,
+        };
+        let json = serde_json::to_string(&summary).expect("summary serialises");
+        std::fs::write(&path, json).expect("baseline written");
+        println!("perf-smoke: baseline recorded at {}", path.display());
+        return;
+    }
+
+    let Some(baseline) = read_summary(&path) else {
+        println!(
+            "perf-smoke: no baseline at {} — skipping comparison",
+            path.display()
+        );
+        return;
+    };
+    if baseline.sites != sites || baseline.probe_wall_us == 0 {
+        println!(
+            "perf-smoke: baseline scale mismatch (baseline sites={}, probe_wall_us={}) — skipping",
+            baseline.sites, baseline.probe_wall_us
+        );
+        return;
+    }
+    let limit = baseline.probe_wall_us.saturating_mul(NUM) / DEN;
+    if probe_wall_us > limit {
+        eprintln!(
+            "perf-smoke FAIL: probe phase {probe_wall_us} µs > {limit} µs \
+             ({NUM}/{DEN} × baseline {} µs)",
+            baseline.probe_wall_us
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf-smoke OK: probe phase {probe_wall_us} µs ≤ {limit} µs \
+         ({NUM}/{DEN} × baseline {} µs)",
+        baseline.probe_wall_us
+    );
+}

@@ -12,13 +12,16 @@
 //! * `TOPICS_BENCH_SITES` — number of ranked sites (default 6,000);
 //! * `TOPICS_BENCH_FULL=1` — force the paper's full 50,000.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 use std::time::Instant;
 use topics_core::crawler::record::CampaignOutcome;
 use topics_core::webgen::World;
 use topics_core::{Lab, LabConfig};
 use topics_obs::{MetricsSnapshot, Obs};
+
+/// The live gauge holding the attestation-probe phase wall time.
+pub const PROBE_WALL_GAUGE: &str = "phase_wall_us{phase=\"attestation-probe\"}";
 
 /// The default benchmark scale (sites).
 pub const DEFAULT_SITES: usize = 6_000;
@@ -56,7 +59,7 @@ impl SharedCampaign {
 /// Machine-readable summary of the setup crawl, written next to the
 /// bench invocation (or to `TOPICS_BENCH_SUMMARY`) so CI can track
 /// crawl throughput across runs.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSummary {
     /// Ranked sites crawled.
     pub sites: usize,
@@ -68,6 +71,17 @@ pub struct BenchSummary {
     pub visited: usize,
     /// Banner-accepted sites (|D_AA|).
     pub accepted: usize,
+    /// Wall-clock microseconds of the attestation-probe phase
+    /// ([`PROBE_WALL_GAUGE`]); 0 in summaries from older builds.
+    #[serde(default)]
+    pub probe_wall_us: u64,
+}
+
+/// Read a previously written [`BenchSummary`] (e.g. the committed
+/// baseline); `None` when missing or unparsable.
+pub fn read_summary(path: &std::path::Path) -> Option<BenchSummary> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
 }
 
 /// Where the bench summary is written: `TOPICS_BENCH_SUMMARY`, or
@@ -100,6 +114,7 @@ pub fn shared() -> &'static SharedCampaign {
             crawl_wall_ms: crawl_started.elapsed().as_millis() as u64,
             visited: run.visited_count(),
             accepted: run.accepted_count(),
+            probe_wall_us: run.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64,
         };
         obs.events.info(
             "bench-crawl-done",

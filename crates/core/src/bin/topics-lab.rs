@@ -6,6 +6,7 @@
 //!                    [--reject] [--vantage eu|us] [--quiet]
 //!                    [--metrics-out FILE] [--events-out FILE]
 //!                    [--fault-profile off|light|heavy|RATE] [--fault-seed S]
+//!                    [--probe-threads N]
 //!     Generate a synthetic web, run the Before/After-Accept campaign,
 //!     and write the artefact bundle (campaign.json, report, comparison,
 //!     per-figure CSVs) to DIR (default: ./topics-lab-out). With
@@ -15,6 +16,9 @@
 //!     faults (DNS failures, resets, 5xx, slow responses, truncated
 //!     attestations) at a named band or uniform RATE in [0,1];
 //!     --fault-seed repositions the faults without changing the world.
+//!     --probe-threads bounds the attestation-probe worker pool (default:
+//!     the crawl thread count); the outputs are byte-identical for every
+//!     value.
 //!
 //! topics-lab report  --campaign DIR/campaign.json
 //!     Re-render the evaluation report from a dumped campaign.
@@ -44,7 +48,7 @@ use topics_core::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
     );
     ExitCode::from(2)
 }
@@ -103,6 +107,14 @@ impl Args {
     }
 }
 
+/// Strict `--probe-threads` parse: a positive integer, nothing else.
+fn parse_probe_threads(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --probe-threads {s:?} (want an integer ≥ 1)")),
+    }
+}
+
 /// Resolve an output path: relative paths land next to the bundle.
 fn resolve_out(out_dir: &std::path::Path, value: &str) -> PathBuf {
     let p = PathBuf::from(value);
@@ -125,6 +137,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
             "--events-out",
             "--fault-profile",
             "--fault-seed",
+            "--probe-threads",
         ],
         &["--full", "--reject", "--quiet"],
     )?;
@@ -173,6 +186,10 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         .value_of("--fault-seed")?
         .map(|s| s.parse().map_err(|_| format!("bad --fault-seed {s:?}")))
         .transpose()?;
+    let probe_threads: Option<usize> = args
+        .value_of("--probe-threads")?
+        .map(parse_probe_threads)
+        .transpose()?;
 
     let obs = if args.has("--quiet") {
         Obs::new()
@@ -189,6 +206,9 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         .with_fault_profile(fault_profile.clone());
     if let Some(s) = fault_seed {
         config = config.with_fault_seed(s);
+    }
+    if let Some(n) = probe_threads {
+        config = config.with_probe_threads(n);
     }
     config.campaign.vantage = vantage;
     config.campaign.consent_action = consent_action;
@@ -370,6 +390,31 @@ mod tests {
         assert!(!rate.is_off());
         assert!(FaultProfile::parse("1.5").is_err());
         assert!(FaultProfile::parse("surprise").is_err());
+    }
+
+    #[test]
+    fn probe_threads_flag_parses_strictly() {
+        let a = args(&["--probe-threads", "8"]);
+        let n = a
+            .value_of("--probe-threads")
+            .unwrap()
+            .map(parse_probe_threads)
+            .transpose()
+            .unwrap();
+        assert_eq!(n, Some(8));
+        // Absent flag means "inherit the crawl thread count".
+        assert_eq!(args(&[]).value_of("--probe-threads").unwrap(), None);
+        // Zero, negatives, fractions and words are all hard errors.
+        for bad in ["0", "-3", "2.5", "many", ""] {
+            let err = parse_probe_threads(bad).unwrap_err();
+            assert!(err.contains("--probe-threads"), "{err}");
+        }
+        // A following flag is a missing value, not a thread count.
+        let b = args(&["--probe-threads", "--quiet"]);
+        assert!(b
+            .value_of("--probe-threads")
+            .unwrap_err()
+            .contains("requires a value"));
     }
 
     #[test]

@@ -47,6 +47,22 @@ impl LabConfig {
         self
     }
 
+    /// Limit attestation-probe threads (CLI `--probe-threads`); the
+    /// probe results are byte-identical for every value.
+    #[must_use]
+    pub fn with_probe_threads(mut self, threads: usize) -> LabConfig {
+        self.campaign.probe_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Memoise attestation-probe results across campaigns in this
+    /// process (benches and ablation sweeps re-run the same world).
+    #[must_use]
+    pub fn with_probe_cache(mut self) -> LabConfig {
+        self.campaign.probe_cache = true;
+        self
+    }
+
     /// Inject network faults at the given profile (CLI
     /// `--fault-profile`). The default is [`FaultProfile::off`], which
     /// leaves the campaign byte-identical to a fault-free build.
@@ -85,6 +101,16 @@ mod tests {
         assert_eq!(c.world.num_sites, 100);
         assert_eq!(c.campaign.allow_list, AllowListSetup::Healthy);
         assert_eq!(c.campaign.threads, 1, "clamped to ≥1");
+    }
+
+    #[test]
+    fn probe_builders_configure_the_campaign() {
+        let c = LabConfig::quick(1, 100);
+        assert_eq!(c.campaign.probe_threads, None, "defaults to crawl threads");
+        assert!(!c.campaign.probe_cache, "cache defaults off");
+        let c = c.with_probe_threads(0).with_probe_cache();
+        assert_eq!(c.campaign.probe_threads, Some(1), "clamped to ≥1");
+        assert!(c.campaign.probe_cache);
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::record::{AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutc
 use crate::visit::{
     run_site_full, run_site_with_policy, ConsentAction, VisitPolicy, DEFAULT_VISIT_TIMEOUT_MS,
 };
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use topics_browser::attestation::{AttestationStore, EnforcementMode};
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
@@ -81,6 +82,15 @@ pub struct CampaignConfig {
     /// Per-visit simulated time budget (see
     /// [`DEFAULT_VISIT_TIMEOUT_MS`]).
     pub visit_timeout_ms: u64,
+    /// Worker threads for the attestation-probe phase; `None` (the
+    /// default) reuses [`CampaignConfig::threads`]. The probe result
+    /// vector is byte-identical for every value.
+    pub probe_threads: Option<usize>,
+    /// Memoise probe results across campaigns in this process (keyed by
+    /// world fingerprint, probe time, and domain). Off by default so a
+    /// fresh process and a warm one report identical live metrics;
+    /// benches, ablations, and `run_repeated` drivers opt in.
+    pub probe_cache: bool,
 }
 
 impl Default for CampaignConfig {
@@ -98,6 +108,8 @@ impl Default for CampaignConfig {
             fault_seed: None,
             retry: RetryPolicy::standard(),
             visit_timeout_ms: DEFAULT_VISIT_TIMEOUT_MS,
+            probe_threads: None,
+            probe_cache: false,
         }
     }
 }
@@ -135,6 +147,13 @@ pub trait CrawlTarget: NetworkService + Sync {
     fn allow_list_snapshot(&self) -> Vec<Domain>;
     /// The campaign seed (drives per-profile seeds and A/B keys).
     fn campaign_seed(&self) -> u64;
+    /// A fingerprint identifying the served content, or `None` if the
+    /// target cannot guarantee two instances with the same fingerprint
+    /// serve identical responses. Only targets returning `Some` can
+    /// participate in the process-wide probe memo cache.
+    fn probe_cache_key(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl CrawlTarget for topics_webgen::World {
@@ -146,6 +165,9 @@ impl CrawlTarget for topics_webgen::World {
     }
     fn campaign_seed(&self) -> u64 {
         self.seed()
+    }
+    fn probe_cache_key(&self) -> Option<u64> {
+        Some(self.fingerprint())
     }
 }
 
@@ -226,6 +248,11 @@ where
     let threads = config.threads.max(1);
     let done = std::sync::atomic::AtomicUsize::new(0);
     let crawl_span = obs.map(|o| o.events.span("crawl"));
+    if let Some(o) = obs {
+        o.metrics
+            .labeled_gauge("phase_workers", "phase", "crawl")
+            .set(threads as i64);
+    }
     let mut sites: Vec<SiteOutcome> = Vec::with_capacity(targets.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -315,29 +342,82 @@ where
         .start
         .plus_millis(targets.len() as u64 * config.per_site_interval_ms);
     let probe_time = crawl_end.max(Timestamp::from_days(ATTESTATION_SNAPSHOT_DAY));
-    let mut to_probe: BTreeSet<Domain> = allow_list.iter().cloned().collect();
+    // Collect by reference: each distinct domain is cloned exactly once,
+    // inside the probe result it ends up in anyway.
+    let mut to_probe: BTreeSet<&Domain> = allow_list.iter().collect();
     for s in &sites {
         for v in s.before.iter().chain(s.after.iter()) {
-            to_probe.extend(v.party_domains.iter().cloned());
-            to_probe.extend(v.topics_calls.iter().map(|c| c.caller_site.clone()));
+            to_probe.extend(v.party_domains.iter());
+            to_probe.extend(v.topics_calls.iter().map(|c| &c.caller_site));
         }
     }
+    let domains: Vec<&Domain> = to_probe.into_iter().collect();
+    let probe_threads = config.probe_threads.unwrap_or(threads).max(1);
     let probe_span = obs.map(|o| o.events.span("attestation-probe"));
-    let probes_sent = obs.map(|o| o.metrics.counter("attestation_probes_sent_total"));
-    let attestation_probes: Vec<AttestationProbe> = to_probe
-        .into_iter()
-        .map(|domain| {
-            if let Some(c) = &probes_sent {
-                c.inc();
+    if let Some(o) = obs {
+        o.metrics
+            .labeled_gauge("phase_workers", "phase", "attestation-probe")
+            .set(probe_threads as i64);
+    }
+
+    // The memo cache only applies when the target vouches for its
+    // content (a fingerprint) and no fault plan can perturb responses.
+    let memo_key = if config.probe_cache && !plan.is_active() {
+        world.probe_cache_key().map(|fp| (fp, probe_time.millis()))
+    } else {
+        None
+    };
+    let mut results: Vec<Option<AttestationProbe>> = Vec::new();
+    results.resize_with(domains.len(), || None);
+    let mut pending: Vec<(usize, &Domain)> = Vec::with_capacity(domains.len());
+    match memo_key {
+        Some(key) => {
+            let cache = probe_memo().lock();
+            match cache.get(&key) {
+                Some(warm) => {
+                    for (i, d) in domains.iter().enumerate() {
+                        match warm.get(*d) {
+                            Some(p) => results[i] = Some(p.clone()),
+                            None => pending.push((i, *d)),
+                        }
+                    }
+                }
+                None => pending.extend(domains.iter().copied().enumerate()),
             }
-            probe_attestation_retrying(
-                service,
-                &domain,
-                probe_time,
-                &policy.retry,
-                metrics.as_ref().map(|m| &m.net),
-            )
-        })
+        }
+        None => pending.extend(domains.iter().copied().enumerate()),
+    }
+    if let Some(o) = obs {
+        if memo_key.is_some() {
+            o.metrics
+                .counter("attestation_probe_cache_hits_total")
+                .add((domains.len() - pending.len()) as u64);
+        }
+    }
+    let fetched = probe_indexed(
+        service,
+        &pending,
+        probe_time,
+        &policy.retry,
+        probe_threads,
+        obs,
+        metrics.as_ref().map(|m| &m.net),
+    );
+    if let Some(key) = memo_key {
+        if !fetched.is_empty() {
+            let mut cache = probe_memo().lock();
+            let warm = cache.entry(key).or_default();
+            for (_, probe) in &fetched {
+                warm.insert(probe.domain.clone(), probe.clone());
+            }
+        }
+    }
+    for (idx, probe) in fetched {
+        results[idx] = Some(probe);
+    }
+    let attestation_probes: Vec<AttestationProbe> = results
+        .into_iter()
+        .map(|p| p.expect("every probe slot is filled"))
         .collect();
     if let Some(mut span) = probe_span {
         span.field("probes", attestation_probes.len());
@@ -355,6 +435,128 @@ where
         attestation_probes,
         started: config.start,
     }
+}
+
+/// The process-wide probe memo: `(world fingerprint, probe-time millis)`
+/// scopes a map from domain to its probe result. Entries are only ever
+/// written (and read) for fault-free campaigns against targets that
+/// vouch for their content via [`CrawlTarget::probe_cache_key`], so a
+/// warm hit is byte-identical to a fresh fetch.
+type ProbeMemo = HashMap<(u64, u64), HashMap<Domain, AttestationProbe>>;
+
+fn probe_memo() -> &'static parking_lot::Mutex<ProbeMemo> {
+    static PROBE_MEMO: OnceLock<parking_lot::Mutex<ProbeMemo>> = OnceLock::new();
+    PROBE_MEMO.get_or_init(|| parking_lot::Mutex::new(HashMap::new()))
+}
+
+/// Drop every memoised probe result (test/bench hygiene).
+pub fn clear_probe_memo() {
+    probe_memo().lock().clear();
+}
+
+/// Probe every domain in `domains` (pre-sorted by the caller) at
+/// `probe_time`, fanning the work across `threads` scoped workers.
+///
+/// Workers claim domains through a shared atomic cursor over the stable
+/// slice and ship each result back tagged with its index, so the
+/// returned vector is byte-identical to a sequential pass regardless of
+/// `threads`. Retry backoff keys derive from the domain and timestamp
+/// alone ([`probe_attestation_retrying`]), so fault schedules reproduce
+/// under any worker layout too.
+pub fn probe_domains<S: NetworkService + Sync + ?Sized>(
+    service: &S,
+    domains: &[&Domain],
+    probe_time: Timestamp,
+    retry: &RetryPolicy,
+    threads: usize,
+    obs: Option<&Obs>,
+    net_metrics: Option<&NetMetrics>,
+) -> Vec<AttestationProbe> {
+    let pending: Vec<(usize, &Domain)> = domains.iter().copied().enumerate().collect();
+    let mut results: Vec<Option<AttestationProbe>> = Vec::new();
+    results.resize_with(domains.len(), || None);
+    for (idx, probe) in probe_indexed(
+        service,
+        &pending,
+        probe_time,
+        retry,
+        threads,
+        obs,
+        net_metrics,
+    ) {
+        results[idx] = Some(probe);
+    }
+    results
+        .into_iter()
+        .map(|p| p.expect("every probe slot is filled"))
+        .collect()
+}
+
+/// Probe the `(slot, domain)` pairs in `pending`, returning each result
+/// tagged with its slot. One code path for any worker count: workers
+/// pull the next pair via an atomic cursor, so finish order is racy but
+/// the tagged results are not.
+fn probe_indexed<S: NetworkService + Sync + ?Sized>(
+    service: &S,
+    pending: &[(usize, &Domain)],
+    probe_time: Timestamp,
+    retry: &RetryPolicy,
+    threads: usize,
+    obs: Option<&Obs>,
+    net_metrics: Option<&NetMetrics>,
+) -> Vec<(usize, AttestationProbe)> {
+    let probes_sent = obs.map(|o| o.metrics.counter("attestation_probes_sent_total"));
+    let probe_one = |domain: &Domain| {
+        if let Some(c) = &probes_sent {
+            c.inc();
+        }
+        probe_attestation_retrying(service, domain, probe_time, retry, net_metrics)
+    };
+    let threads = threads.max(1).min(pending.len());
+    if threads <= 1 {
+        return pending
+            .iter()
+            .map(|&(idx, domain)| (idx, probe_one(domain)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<(usize, AttestationProbe)> = Vec::with_capacity(pending.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let cursor = &cursor;
+            let probe_one = &probe_one;
+            handles.push(scope.spawn(move || {
+                let mut mine: Vec<(usize, AttestationProbe)> = Vec::new();
+                loop {
+                    let at = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(idx, domain)) = pending.get(at) else {
+                        break;
+                    };
+                    mine.push((idx, probe_one(domain)));
+                }
+                if let Some(o) = obs {
+                    // Which worker won which domain is scheduler-racy, so
+                    // per-worker tallies live in the event log, not the
+                    // (byte-compared) metrics snapshot.
+                    o.events.event(
+                        Level::Debug,
+                        "probe-worker",
+                        None,
+                        vec![
+                            ("worker".to_owned(), FieldValue::U64(t as u64)),
+                            ("domains".to_owned(), FieldValue::U64(mine.len() as u64)),
+                        ],
+                    );
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            out.extend(handle.join().expect("probe worker panicked"));
+        }
+    });
+    out
 }
 
 /// Probe one domain's attestation file (single attempt, no retries —
@@ -624,6 +826,104 @@ mod tests {
                 assert_eq!(a.phase, Phase::AfterAccept);
             }
         }
+    }
+
+    #[test]
+    fn probe_thread_count_does_not_change_probe_results() {
+        let world = World::generate(WorldConfig::scaled(71, 150));
+        let outcomes: Vec<CampaignOutcome> = [1usize, 3, 8]
+            .iter()
+            .map(|&pt| {
+                run_campaign(
+                    &world,
+                    &CampaignConfig {
+                        threads: 2,
+                        probe_threads: Some(pt),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(
+            outcomes[0].attestation_probes,
+            outcomes[1].attestation_probes
+        );
+        assert_eq!(
+            outcomes[0].attestation_probes,
+            outcomes[2].attestation_probes
+        );
+    }
+
+    #[test]
+    fn probe_domains_matches_sequential_order_for_any_thread_count() {
+        let world = World::generate(WorldConfig::scaled(77, 80));
+        let allow = world.allow_list_snapshot();
+        let domains: Vec<&Domain> = allow.iter().collect();
+        let t = Timestamp::from_days(ATTESTATION_SNAPSHOT_DAY);
+        let seq = probe_domains(&world, &domains, t, &RetryPolicy::none(), 1, None, None);
+        for threads in [2, 5, 16] {
+            let par = probe_domains(
+                &world,
+                &domains,
+                t,
+                &RetryPolicy::none(),
+                threads,
+                None,
+                None,
+            );
+            assert_eq!(seq, par, "probe order diverged at {threads} threads");
+        }
+        assert_eq!(seq.len(), domains.len());
+        for (d, p) in domains.iter().zip(&seq) {
+            assert_eq!(**d, p.domain);
+        }
+    }
+
+    #[test]
+    fn probe_memo_cache_is_transparent_and_skips_refetch() {
+        use topics_obs::Obs;
+        let world = World::generate(WorldConfig::scaled(79, 120));
+        clear_probe_memo();
+        let cold = run_campaign(
+            &world,
+            &CampaignConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let warm_cfg = CampaignConfig {
+            threads: 2,
+            probe_cache: true,
+            ..Default::default()
+        };
+        let first = run_campaign(&world, &warm_cfg);
+        let obs = Obs::new();
+        let second = run_campaign_observed(&world, &warm_cfg, Some(&obs), |_, _| {});
+        assert_eq!(cold.attestation_probes, first.attestation_probes);
+        assert_eq!(first.attestation_probes, second.attestation_probes);
+        let s = obs.metrics.snapshot();
+        assert_eq!(
+            s.counter("attestation_probes_sent_total"),
+            0,
+            "warm run re-fetches nothing"
+        );
+        assert_eq!(
+            s.counter("attestation_probe_cache_hits_total"),
+            second.attestation_probes.len() as u64
+        );
+        // A fault profile disables the cache even when requested.
+        let faulty_cfg = CampaignConfig {
+            threads: 2,
+            probe_cache: true,
+            fault: FaultProfile::uniform(0.05),
+            ..Default::default()
+        };
+        let obs2 = Obs::new();
+        run_campaign_observed(&world, &faulty_cfg, Some(&obs2), |_, _| {});
+        let s2 = obs2.metrics.snapshot();
+        assert_eq!(s2.counter("attestation_probe_cache_hits_total"), 0);
+        assert!(s2.counter("attestation_probes_sent_total") > 0);
+        clear_probe_memo();
     }
 
     #[test]

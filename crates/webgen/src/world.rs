@@ -19,6 +19,7 @@ use topics_net::dns::{DnsError, DnsPolicy, SimDns};
 use topics_net::domain::Domain;
 use topics_net::http::{HttpRequest, HttpResponse, OBSERVE_BROWSING_TOPICS};
 use topics_net::psl::registrable_domain;
+use topics_net::seed;
 
 use topics_net::service::NetworkService;
 use topics_net::url::Url;
@@ -127,6 +128,13 @@ impl World {
     /// The campaign seed.
     pub fn seed(&self) -> u64 {
         self.config.seed
+    }
+
+    /// A stable hash of the full construction config. Two worlds with
+    /// equal fingerprints serve identical content for the same request
+    /// and timestamp, so the value is safe to use as a memo-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        seed::fnv1a(format!("{:?}", self.config).as_bytes())
     }
 
     /// The ranked site list, in rank order — the crawl targets.

@@ -32,4 +32,11 @@ echo "== property suites =="
 cargo test -q -p topics-net --test properties
 cargo test -q -p topics-browser --test properties
 
+echo "== perf smoke (attestation-probe phase vs committed baseline) =="
+# Fails when the probe phase takes >1.5× the BENCH_summary.json
+# baseline at the same scale; skips itself when the baseline is missing
+# or was recorded at a different TOPICS_BENCH_SITES.
+TOPICS_BENCH_SITES=2000 timeout 300 \
+    cargo run --release -q -p topics-bench --bin perf_smoke
+
 echo "CI OK"

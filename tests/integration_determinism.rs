@@ -178,6 +178,39 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn probe_thread_count_does_not_change_campaign_or_tallies() {
+    use topics_core::metrics_snapshot_of;
+    // The probe phase shards across a worker pool, but the campaign
+    // record and the tally metrics derived from it must be byte-identical
+    // for any `--probe-threads` — with and without fault injection.
+    for fault in [None, Some("0.05")] {
+        let mut reference: Option<(String, String)> = None;
+        for pt in [1usize, 4, 8] {
+            let mut cfg = LabConfig::quick(61, SITES).with_probe_threads(pt);
+            if let Some(rate) = fault {
+                cfg = cfg.with_fault_profile(FaultProfile::parse(rate).unwrap());
+            }
+            let run = Lab::new(cfg).run();
+            let campaign = serde_json::to_string(&run.outcome).unwrap();
+            let tally = serde_json::to_string(&metrics_snapshot_of(&run.outcome)).unwrap();
+            match &reference {
+                None => reference = Some((campaign, tally)),
+                Some((c, t)) => {
+                    assert_eq!(
+                        c, &campaign,
+                        "campaign.json differs at probe_threads={pt}, fault={fault:?}"
+                    );
+                    assert_eq!(
+                        t, &tally,
+                        "metrics tally differs at probe_threads={pt}, fault={fault:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn allow_list_setups_only_change_decisions() {
     let corrupted = Lab::new(LabConfig::quick(41, SITES)).run();
     let healthy =
