@@ -28,15 +28,16 @@ use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
 use topics_net::http::{HttpRequest, HttpResponse, ResourceKind, Vantage, SEC_BROWSING_TOPICS};
 use topics_net::latency::LatencyModel;
-use topics_net::metrics::NetMetrics;
+use topics_net::metrics::{kind_label, NetMetrics};
 use topics_net::psl::registrable_domain;
 use topics_net::seed;
 use topics_net::service::{
-    fetch_exchange_with_retry, fetch_following_redirects_retrying, NetworkService, RetryPolicy,
+    fetch_exchange_traced, fetch_following_redirects_traced, NetworkService, RetryPolicy,
     RetryStats,
 };
 use topics_net::url::Url;
 use topics_net::NetError;
+use topics_obs::TraceBuilder;
 use topics_taxonomy::Classifier;
 
 /// Name of the consent cookie a granted privacy banner sets. The
@@ -117,8 +118,10 @@ impl PageVisit {
     }
 }
 
-/// Per-visit mutable state.
-struct VisitState {
+/// Per-visit mutable state. The optional trace builder is borrowed from
+/// the crawl worker for the duration of one page visit, so span
+/// recording never touches shared tracer state on the hot path.
+struct VisitState<'t> {
     top_site: Site,
     objects: Vec<ObjectEvent>,
     calls: Vec<TopicsCallEvent>,
@@ -127,9 +130,10 @@ struct VisitState {
     started: Timestamp,
     visit_nonce: u64,
     retries: u32,
+    trace: Option<&'t mut TraceBuilder>,
 }
 
-impl VisitState {
+impl VisitState<'_> {
     /// Account for what the retry layer did on one fetch: retries are
     /// counted and the simulated time spent waiting extends the page
     /// load.
@@ -137,9 +141,7 @@ impl VisitState {
         self.retries += stats.retries;
         self.elapsed_ms += stats.waited_ms;
     }
-}
 
-impl VisitState {
     /// Advance simulated time by one network exchange and return its
     /// timestamp — records are ordered and spaced by real latencies.
     fn tick_network(
@@ -162,6 +164,44 @@ impl VisitState {
     fn tick_local(&mut self) -> Timestamp {
         self.elapsed_ms += 1;
         self.started.plus_millis(self.elapsed_ms)
+    }
+
+    /// Current position of the simulated clock within this visit.
+    fn sim_now_ms(&self) -> u64 {
+        self.started.plus_millis(self.elapsed_ms).millis()
+    }
+
+    /// Open a trace span at the current simulated time.
+    fn trace_open(&mut self, name: &str) -> Option<usize> {
+        let sim = self.sim_now_ms();
+        self.trace.as_deref_mut().map(|tb| tb.open(name, Some(sim)))
+    }
+
+    /// Attach a field to an open trace span.
+    fn trace_field(
+        &mut self,
+        span: Option<usize>,
+        key: &str,
+        value: impl Into<topics_obs::FieldValue>,
+    ) {
+        if let (Some(tb), Some(idx)) = (self.trace.as_deref_mut(), span) {
+            tb.field(idx, key, value);
+        }
+    }
+
+    /// Close a trace span at the current simulated time.
+    fn trace_close(&mut self, span: Option<usize>) {
+        let sim = self.sim_now_ms();
+        if let (Some(tb), Some(idx)) = (self.trace.as_deref_mut(), span) {
+            tb.close(idx, Some(sim));
+        }
+    }
+
+    /// Record a point-in-time trace leaf at `sim` milliseconds.
+    fn trace_leaf_at(&mut self, name: &str, sim: u64) -> Option<usize> {
+        self.trace
+            .as_deref_mut()
+            .map(|tb| tb.leaf(name, Some(sim), Some(sim)))
     }
 }
 
@@ -292,10 +332,64 @@ impl Browser {
         url: &Url,
         now: Timestamp,
     ) -> Result<PageVisit, NetError> {
+        self.visit_traced(service, url, now, "page", None)
+    }
+
+    /// [`Browser::visit`] recording a span tree into `trace` (when
+    /// given): a `page-load` span encloses the document `fetch`,
+    /// per-resource `fetch` spans, `script` executions and `topics-call`
+    /// leaves, all stamped on the simulated clock. `phase_label` tags
+    /// the page-load span with the crawl phase that requested it.
+    pub fn visit_traced<S: NetworkService + ?Sized>(
+        &mut self,
+        service: &S,
+        url: &Url,
+        now: Timestamp,
+        phase_label: &str,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> Result<PageVisit, NetError> {
+        let start_ms = now.millis();
+        let page_span = trace.as_deref_mut().map(|tb| {
+            let idx = tb.open("page-load", Some(start_ms));
+            tb.field(idx, "url", url.to_string());
+            tb.field(idx, "phase", phase_label);
+            idx
+        });
+        let result = self.visit_inner(service, url, now, trace.as_deref_mut());
+        if let (Some(tb), Some(idx)) = (trace, page_span) {
+            match &result {
+                Ok(v) => {
+                    tb.field(idx, "ok", true);
+                    tb.close(idx, Some(start_ms + v.duration_ms));
+                }
+                Err(e) => {
+                    tb.field(idx, "ok", false);
+                    tb.field(idx, "error", e.kind());
+                    tb.close(idx, Some(start_ms));
+                }
+            }
+        }
+        result
+    }
+
+    fn visit_inner<S: NetworkService + ?Sized>(
+        &mut self,
+        service: &S,
+        url: &Url,
+        now: Timestamp,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> Result<PageVisit, NetError> {
         self.visit_counter += 1;
         if let Err(e) = service.resolve_ranked(url.host()) {
             if let Some(net) = &self.net_metrics {
                 net.record_dns_failure();
+            }
+            if let Some(tb) = trace.as_deref_mut() {
+                let leaf = tb.leaf("fetch", Some(now.millis()), Some(now.millis()));
+                tb.field(leaf, "host", url.host().as_str());
+                tb.field(leaf, "kind", kind_label(ResourceKind::Document));
+                tb.field(leaf, "ok", false);
+                tb.field(leaf, "error", "dns");
             }
             return Err(e.into());
         }
@@ -306,6 +400,12 @@ impl Browser {
         let mut current = url.clone();
         let mut chain = vec![current.clone()];
         let mut doc_retry = RetryStats::default();
+        let doc_span = trace.as_deref_mut().map(|tb| {
+            let idx = tb.open("fetch", Some(now.millis()));
+            tb.field(idx, "host", url.host().as_str());
+            tb.field(idx, "kind", kind_label(ResourceKind::Document));
+            idx
+        });
         let outcome = loop {
             let mut request = HttpRequest::get(current.clone(), ResourceKind::Document);
             request.vantage = self.config.vantage;
@@ -313,12 +413,13 @@ impl Browser {
             if !cookie_header.is_empty() {
                 request.headers.set("Cookie", cookie_header);
             }
-            let (result, stats) = fetch_exchange_with_retry(
+            let (result, stats) = fetch_exchange_traced(
                 service,
                 &request,
                 now.plus_millis(doc_retry.waited_ms),
                 &self.config.retry,
                 self.net_metrics.as_ref(),
+                trace.as_deref_mut(),
             );
             doc_retry.absorb(stats);
             let response = result?;
@@ -361,6 +462,7 @@ impl Browser {
             started: now,
             visit_nonce: self.visit_counter,
             retries: 0,
+            trace,
         };
         state.absorb_retries(doc_retry);
         // The document itself is the first recorded object; redirects
@@ -374,6 +476,9 @@ impl Browser {
                 self.net_metrics.as_ref(),
             );
         }
+        state.trace_field(doc_span, "ok", outcome.response.status.is_success());
+        state.trace_field(doc_span, "redirects", outcome.chain.len() as u64 - 1);
+        state.trace_close(doc_span);
         let doc_event = ObjectEvent {
             url: outcome.final_url.clone(),
             kind: ResourceKind::Document,
@@ -412,7 +517,7 @@ impl Browser {
         service: &S,
         document: &Document,
         ctx: &ExecCtx,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
         base: &Url,
     ) {
         for node in &document.nodes {
@@ -465,18 +570,25 @@ impl Browser {
         service: &S,
         url: &Url,
         ctx: &ExecCtx,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
     ) {
         if state.scripts_executed >= self.config.max_scripts_per_visit {
             return;
         }
         state.scripts_executed += 1;
+        let span = state.trace_open("script");
+        state.trace_field(span, "host", url.host().as_str());
         let Some(response) = self.fetch_subresource(service, url, ResourceKind::Script, state)
         else {
+            state.trace_field(span, "ok", false);
+            state.trace_close(span);
             return;
         };
         let Ok(stmts) = script::parse(&response.body) else {
-            return; // a broken third-party script fails silently, as on the web
+            // a broken third-party script fails silently, as on the web
+            state.trace_field(span, "ok", false);
+            state.trace_close(span);
+            return;
         };
         let script_ctx = ExecCtx {
             frame_origin: ctx.frame_origin.clone(), // unchanged: root context!
@@ -485,6 +597,8 @@ impl Browser {
         };
         let base = url.clone();
         self.execute(service, &stmts, &script_ctx, state, &base);
+        state.trace_field(span, "ok", true);
+        state.trace_close(span);
     }
 
     /// Create a child browsing context for an iframe and process its
@@ -496,7 +610,7 @@ impl Browser {
         url: &Url,
         browsing_topics: bool,
         ctx: &ExecCtx,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
     ) {
         if ctx.depth >= self.config.max_frame_depth {
             return;
@@ -530,7 +644,7 @@ impl Browser {
         service: &S,
         stmts: &[Stmt],
         ctx: &ExecCtx,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
         base: &Url,
     ) {
         for stmt in stmts {
@@ -635,7 +749,7 @@ impl Browser {
     /// itself — so distinct gates in one script draw independent coins
     /// while repeated gates with the same parameters agree (real
     /// experimentation systems salt assignments by experiment id).
-    fn ab_decision(&self, p: f64, scope: AbScope, ctx: &ExecCtx, state: &VisitState) -> bool {
+    fn ab_decision(&self, p: f64, scope: AbScope, ctx: &ExecCtx, state: &VisitState<'_>) -> bool {
         let party = ctx
             .script_source
             .as_ref()
@@ -665,7 +779,7 @@ impl Browser {
         call_type: CallType,
         script_source: Option<Domain>,
         ctx: &ExecCtx,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
     ) -> Option<String> {
         self.record_topics_call_with_options(caller, call_type, script_source, ctx, state, true)
     }
@@ -680,7 +794,7 @@ impl Browser {
         call_type: CallType,
         script_source: Option<Domain>,
         ctx: &ExecCtx,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
         observe: bool,
     ) -> Option<String> {
         if !self.engine.enabled() {
@@ -717,6 +831,11 @@ impl Browser {
         if let Some(m) = &self.topics_metrics {
             m.record_call(call_type, decision.permits(), topics_returned);
         }
+        let leaf = state.trace_leaf_at("topics-call", timestamp.millis());
+        state.trace_field(leaf, "caller", caller.as_str());
+        state.trace_field(leaf, "type", call_type.label());
+        state.trace_field(leaf, "permitted", decision.permits());
+        state.trace_field(leaf, "topics", topics_returned);
         let event = TopicsCallEvent {
             caller: caller.clone(),
             website: state.top_site.domain().clone(),
@@ -739,7 +858,7 @@ impl Browser {
         service: &S,
         url: &Url,
         kind: ResourceKind,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
     ) -> Option<HttpResponse> {
         self.fetch_subresource_with_header(service, url, kind, state, None)
     }
@@ -749,7 +868,7 @@ impl Browser {
         service: &S,
         url: &Url,
         kind: ResourceKind,
-        state: &mut VisitState,
+        state: &mut VisitState<'_>,
         topics_header: Option<String>,
     ) -> Option<HttpResponse> {
         // Cache hit: no network, but the object was still "used by the
@@ -757,6 +876,11 @@ impl Browser {
         if topics_header.is_none() {
             if let Some(cached) = self.cache.lookup(url) {
                 let timestamp = state.tick_local();
+                let leaf = state.trace_leaf_at("fetch", timestamp.millis());
+                state.trace_field(leaf, "host", url.host().as_str());
+                state.trace_field(leaf, "kind", kind_label(kind));
+                state.trace_field(leaf, "cached", true);
+                state.trace_field(leaf, "ok", true);
                 let event = ObjectEvent {
                     url: url.clone(),
                     kind,
@@ -768,6 +892,9 @@ impl Browser {
                 return Some(cached);
             }
         }
+        let span = state.trace_open("fetch");
+        state.trace_field(span, "host", url.host().as_str());
+        state.trace_field(span, "kind", kind_label(kind));
         let timestamp =
             state.tick_network(&self.latency, url.host(), kind, self.net_metrics.as_ref());
         let resolved = service.resolve_third_party(url.host());
@@ -775,6 +902,7 @@ impl Browser {
             if let Some(net) = &self.net_metrics {
                 net.record_dns_failure();
             }
+            state.trace_field(span, "error", "dns");
         }
         let response = match resolved {
             Err(e) => Err(NetError::from(e)),
@@ -788,12 +916,13 @@ impl Browser {
                 if let Some(h) = &topics_header {
                     request.headers.set(SEC_BROWSING_TOPICS, h.clone());
                 }
-                let (result, stats) = fetch_following_redirects_retrying(
+                let (result, stats) = fetch_following_redirects_traced(
                     service,
                     request,
                     timestamp,
                     &self.config.retry,
                     self.net_metrics.as_ref(),
+                    state.trace.as_deref_mut(),
                 );
                 state.absorb_retries(stats);
                 result
@@ -803,6 +932,8 @@ impl Browser {
             Ok(outcome) if outcome.response.status.is_success() => (true, Some(outcome.response)),
             Ok(_) | Err(_) => (false, None),
         };
+        state.trace_field(span, "ok", ok);
+        state.trace_close(span);
         if let Some(r) = &response {
             self.cache.store(url, r);
         }

@@ -6,7 +6,7 @@
 //!                    [--reject] [--vantage eu|us] [--quiet]
 //!                    [--metrics-out FILE] [--events-out FILE]
 //!                    [--fault-profile off|light|heavy|RATE] [--fault-seed S]
-//!                    [--probe-threads N]
+//!                    [--probe-threads N] [--trace-out FILE]
 //!     Generate a synthetic web, run the Before/After-Accept campaign,
 //!     and write the artefact bundle (campaign.json, report, comparison,
 //!     per-figure CSVs) to DIR (default: ./topics-lab-out). With
@@ -18,7 +18,20 @@
 //!     --fault-seed repositions the faults without changing the world.
 //!     --probe-threads bounds the attestation-probe worker pool (default:
 //!     the crawl thread count); the outputs are byte-identical for every
-//!     value.
+//!     value. --trace-out enables hierarchical span tracing and writes
+//!     the sealed trace: a `.json` extension selects Chrome trace-event
+//!     format (loadable in Perfetto / chrome://tracing), anything else
+//!     one span per line as JSONL (what `doctor` reads).
+//!
+//! topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]
+//!     Run-health report over a finished campaign and its trace: outcome
+//!     partition, trace/metric reconciliation, critical path, per-phase
+//!     self/total time, worker utilization, retry hot-spots, and the
+//!     top-N slowest visits. --campaign accepts the bundle directory or
+//!     the campaign.json path; --trace defaults to trace.jsonl next to
+//!     it. Exits non-zero when the trace has integrity violations
+//!     (orphan spans, duplicate IDs, negative durations) or the trace
+//!     and the metric tally disagree.
 //!
 //! topics-lab report  --campaign DIR/campaign.json
 //!     Re-render the evaluation report from a dumped campaign.
@@ -43,12 +56,12 @@ use topics_core::crawler::campaign::AllowListSetup;
 use topics_core::export::{load_campaign, write_bundle};
 use topics_core::obs::Obs;
 use topics_core::{
-    comparison_rows, evaluate, metrics_snapshot_of, render_comparison, Lab, LabConfig,
+    comparison_rows, diagnose, evaluate, metrics_snapshot_of, render_comparison, Lab, LabConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]"
     );
     ExitCode::from(2)
 }
@@ -138,6 +151,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
             "--fault-profile",
             "--fault-seed",
             "--probe-threads",
+            "--trace-out",
         ],
         &["--full", "--reject", "--quiet"],
     )?;
@@ -190,12 +204,16 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         .value_of("--probe-threads")?
         .map(parse_probe_threads)
         .transpose()?;
+    let trace_out = args.value_of("--trace-out")?.map(|v| resolve_out(&out, v));
 
-    let obs = if args.has("--quiet") {
+    let mut obs = if args.has("--quiet") {
         Obs::new()
     } else {
         Obs::with_stderr_echo()
     };
+    if trace_out.is_some() {
+        obs = obs.with_trace();
+    }
 
     obs.events.info(
         "world-gen",
@@ -253,6 +271,16 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         std::fs::write(path, obs.events.to_jsonl())
             .map_err(|e| format!("writing events to {}: {e}", path.display()))?;
     }
+    if let Some(path) = &trace_out {
+        let trace = obs.trace.finish();
+        let body = if path.extension().is_some_and(|e| e == "json") {
+            trace.to_chrome_json()
+        } else {
+            trace.to_jsonl()
+        };
+        std::fs::write(path, body)
+            .map_err(|e| format!("writing trace to {}: {e}", path.display()))?;
+    }
 
     println!("{}", eval.render_report());
     println!("artefact bundle written to {}", out.display());
@@ -261,6 +289,9 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     }
     if let Some(p) = &events_out {
         println!("event stream written to {}", p.display());
+    }
+    if let Some(p) = &trace_out {
+        println!("trace written to {}", p.display());
     }
     Ok(())
 }
@@ -314,6 +345,59 @@ fn cmd_dossier(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Strict `--top` parse: a positive integer, nothing else.
+fn parse_top(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --top {s:?} (want an integer ≥ 1)")),
+    }
+}
+
+/// Resolve `--campaign` for `doctor`: a bundle directory means its
+/// `campaign.json`.
+fn resolve_campaign(path: &str) -> PathBuf {
+    let p = PathBuf::from(path);
+    if p.is_dir() {
+        p.join("campaign.json")
+    } else {
+        p
+    }
+}
+
+fn cmd_doctor(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--campaign", "--trace", "--top"], &[])?;
+    let campaign = resolve_campaign(
+        args.value_of("--campaign")?
+            .ok_or("doctor needs --campaign DIR|FILE")?,
+    );
+    let trace_path = match args.value_of("--trace")? {
+        Some(p) => PathBuf::from(p),
+        None => campaign.with_file_name("trace.jsonl"),
+    };
+    let top = args
+        .value_of("--top")?
+        .map(parse_top)
+        .transpose()?
+        .unwrap_or(10);
+
+    let outcome = load_campaign(&campaign).map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("reading trace {}: {e}", trace_path.display()))?;
+    let trace = topics_core::obs::Trace::from_jsonl(&text)
+        .map_err(|e| format!("parsing trace {}: {e}", trace_path.display()))?;
+
+    let report = diagnose(&outcome, &trace, top);
+    print!("{}", report.render());
+    if report.is_healthy() {
+        Ok(())
+    } else {
+        Err(format!(
+            "doctor found {} violation(s)",
+            report.violations().len()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
@@ -326,6 +410,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&args),
         "compare" => cmd_compare(&args),
         "dossier" => cmd_dossier(&args),
+        "doctor" => cmd_doctor(&args),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown subcommand {other:?}")),
     };
@@ -415,6 +500,68 @@ mod tests {
             .value_of("--probe-threads")
             .unwrap_err()
             .contains("requires a value"));
+    }
+
+    #[test]
+    fn trace_out_flag_is_accepted_and_strict() {
+        // The crawl flag set accepts --trace-out as a value flag.
+        let a = args(&["--trace-out", "trace.jsonl", "--quiet"]);
+        assert!(a.reject_unknown(&["--trace-out"], &["--quiet"]).is_ok());
+        assert_eq!(a.value_of("--trace-out").unwrap(), Some("trace.jsonl"));
+        // A following flag is a missing value, not a file name.
+        let b = args(&["--trace-out", "--quiet"]);
+        assert!(b
+            .value_of("--trace-out")
+            .unwrap_err()
+            .contains("requires a value"));
+        // A typo stays a hard error — no silent untraced run.
+        let c = args(&["--trace-ou", "trace.jsonl"]);
+        assert!(c
+            .reject_unknown(&["--trace-out"], &[])
+            .unwrap_err()
+            .contains("--trace-ou"));
+        // Relative paths land in the bundle directory, absolute ones win.
+        let out = std::path::Path::new("bundle");
+        assert_eq!(resolve_out(out, "trace.jsonl"), out.join("trace.jsonl"));
+        assert_eq!(
+            resolve_out(out, "/tmp/t.json"),
+            PathBuf::from("/tmp/t.json")
+        );
+    }
+
+    #[test]
+    fn doctor_flags_parse_strictly() {
+        let a = args(&["--campaign", "out", "--trace", "t.jsonl", "--top", "5"]);
+        assert!(a
+            .reject_unknown(&["--campaign", "--trace", "--top"], &[])
+            .is_ok());
+        assert_eq!(a.value_of("--campaign").unwrap(), Some("out"));
+        assert_eq!(a.value_of("--trace").unwrap(), Some("t.jsonl"));
+        assert_eq!(
+            a.value_of("--top").unwrap().map(parse_top).transpose(),
+            Ok(Some(5))
+        );
+        // --top rejects zero, words and fractions.
+        for bad in ["0", "-1", "2.5", "lots", ""] {
+            assert!(parse_top(bad).unwrap_err().contains("--top"), "{bad:?}");
+        }
+        // Unknown doctor flags are rejected, same as every subcommand.
+        let b = args(&["--campaign", "out", "--trase", "t.jsonl"]);
+        assert!(b
+            .reject_unknown(&["--campaign", "--trace", "--top"], &[])
+            .unwrap_err()
+            .contains("--trase"));
+        // A campaign file path passes through; only directories gain
+        // the campaign.json suffix (exercised with a real temp dir).
+        assert_eq!(
+            resolve_campaign("bundle/campaign.json"),
+            PathBuf::from("bundle/campaign.json")
+        );
+        let dir = std::env::temp_dir();
+        assert_eq!(
+            resolve_campaign(dir.to_str().unwrap()),
+            dir.join("campaign.json")
+        );
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Run-health doctor: reconcile a saved campaign with its trace.
+//!
+//! The doctor cross-checks three independent records of the same run —
+//! the measurement dataset (`campaign.json`), the authoritative metric
+//! tally recomputed from it, and the span trace — and renders one
+//! report: outcome partition, trace/metric reconciliation, critical
+//! path, per-phase self/total time, worker utilization, retry
+//! hot-spots, and the slowest visits. Any structural trace violation or
+//! reconciliation mismatch makes the report unhealthy (the CLI exits
+//! non-zero on those).
+
+use crate::lab::metrics_snapshot_of;
+use topics_crawler::record::{CampaignOutcome, OutcomeCounts};
+use topics_obs::profile::{integrity, profile, Integrity, Profile};
+use topics_obs::{FieldValue, Trace};
+
+/// One trace-vs-metric reconciliation line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reconciliation {
+    /// What is being compared (e.g. `visit spans vs sites_attempted_total`).
+    pub check: String,
+    /// Count seen in the trace.
+    pub traced: u64,
+    /// Count from the metric tally.
+    pub tallied: u64,
+    /// True when the counts agree under the check's rule.
+    pub ok: bool,
+}
+
+/// The full doctor output for one campaign + trace pair.
+#[derive(Debug, Clone)]
+pub struct DoctorReport {
+    /// Sites attempted (length of the outcome's site list).
+    pub attempted: usize,
+    /// Per-outcome site partition.
+    pub outcomes: OutcomeCounts,
+    /// Structural trace checks (orphans, duplicates, negative spans).
+    pub integrity: Integrity,
+    /// Trace-vs-metric count checks.
+    pub reconciliation: Vec<Reconciliation>,
+    /// Analyzer output: critical path, phases, workers, retries,
+    /// slowest visits.
+    pub profile: Profile,
+}
+
+fn u64_field(trace: &Trace, span_name: &str, key: &str) -> u64 {
+    trace
+        .spans
+        .iter()
+        .filter(|s| s.name == span_name)
+        .map(|s| match s.field(key) {
+            Some(FieldValue::U64(v)) => *v,
+            Some(FieldValue::I64(v)) => *v as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Diagnose a campaign against its trace. `top_n` bounds the
+/// slowest-visit list.
+pub fn diagnose(outcome: &CampaignOutcome, trace: &Trace, top_n: usize) -> DoctorReport {
+    let snapshot = metrics_snapshot_of(outcome);
+    let mut reconciliation = Vec::new();
+
+    // Every attempted site opens exactly one visit span — strict.
+    let visit_spans = trace.count_named("visit") as u64;
+    let attempted = snapshot.counter("sites_attempted_total");
+    reconciliation.push(Reconciliation {
+        check: "visit spans == sites_attempted_total".to_owned(),
+        traced: visit_spans,
+        tallied: attempted,
+        ok: visit_spans == attempted,
+    });
+
+    // Timed-out visits run the full page (tracing their Topics calls)
+    // but contribute no VisitRecord, so the trace may legitimately hold
+    // MORE calls than the dataset — never fewer.
+    let call_spans = trace.count_named("topics-call") as u64;
+    let recorded = snapshot.counter("topics_calls_recorded_total");
+    reconciliation.push(Reconciliation {
+        check: "topics-call spans >= topics_calls_recorded_total".to_owned(),
+        traced: call_spans,
+        tallied: recorded,
+        ok: call_spans >= recorded,
+    });
+
+    // The probe tally counts every probed domain; the trace only spans
+    // network probes, with cache hits summarized on the phase span.
+    let probe_spans = trace.count_named("probe") as u64;
+    let cache_hits = u64_field(trace, "attestation-probe", "cache_hits");
+    let probes = snapshot.counter("attestation_probes_total");
+    reconciliation.push(Reconciliation {
+        check: "probe spans + cache_hits == attestation_probes_total".to_owned(),
+        traced: probe_spans + cache_hits,
+        tallied: probes,
+        ok: probe_spans + cache_hits == probes,
+    });
+
+    DoctorReport {
+        attempted: outcome.sites.len(),
+        outcomes: outcome.outcome_counts(),
+        integrity: integrity(trace),
+        reconciliation,
+        profile: profile(trace, top_n),
+    }
+}
+
+impl DoctorReport {
+    /// Every violation found: structural trace problems plus failed
+    /// reconciliation checks. Empty iff [`DoctorReport::is_healthy`].
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = self.integrity.violations();
+        for r in self.reconciliation.iter().filter(|r| !r.ok) {
+            out.push(format!(
+                "reconciliation failed: {} (trace {}, tally {})",
+                r.check, r.traced, r.tallied
+            ));
+        }
+        out
+    }
+
+    /// True when the trace is structurally sound and every
+    /// reconciliation check passed.
+    pub fn is_healthy(&self) -> bool {
+        self.integrity.is_clean() && self.reconciliation.iter().all(|r| r.ok)
+    }
+
+    /// Render the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Doctor: run health ==\n");
+        out.push_str(&format!(
+            "sites: {} attempted — {} complete, {} degraded, {} failed\n",
+            self.attempted, self.outcomes.complete, self.outcomes.degraded, self.outcomes.failed,
+        ));
+        out.push('\n');
+
+        out.push_str("== Trace/metric reconciliation ==\n");
+        for r in &self.reconciliation {
+            out.push_str(&format!(
+                "[{}] {} (trace {}, tally {})\n",
+                if r.ok { "ok" } else { "FAIL" },
+                r.check,
+                r.traced,
+                r.tallied,
+            ));
+        }
+        out.push('\n');
+
+        out.push_str("== Phases (simulated unless noted) ==\n");
+        for p in &self.profile.phases {
+            out.push_str(&format!(
+                "{:<18} total {:>9} ms  self {:>9} ms{}\n",
+                p.name,
+                p.total_ms,
+                p.self_ms,
+                if p.simulated { "" } else { "  (wall)" },
+            ));
+        }
+        out.push('\n');
+
+        out.push_str("== Critical path ==\n");
+        for hop in &self.profile.critical_path {
+            let label = if hop.label.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", hop.label)
+            };
+            out.push_str(&format!(
+                "  {}{} [{}..{} ms]\n",
+                hop.name, label, hop.start_ms, hop.end_ms,
+            ));
+        }
+        out.push('\n');
+
+        out.push_str("== Worker utilization ==\n");
+        let idle = self.profile.idle_fractions();
+        if idle.is_empty() {
+            out.push_str("no worker spans in trace (stripped or single-pass run)\n");
+        } else {
+            for (phase, frac) in &idle {
+                out.push_str(&format!("{phase:<18} idle fraction {:.1}%\n", frac * 100.0));
+            }
+            for w in &self.profile.workers {
+                out.push_str(&format!(
+                    "  {} worker {}: {} items, busy {} µs of {} µs\n",
+                    w.phase, w.worker, w.items, w.busy_us, w.span_us,
+                ));
+            }
+        }
+        out.push('\n');
+
+        out.push_str("== Retry hot-spots ==\n");
+        if self.profile.retry_clusters.is_empty() {
+            out.push_str("no retries recorded\n");
+        } else {
+            for c in &self.profile.retry_clusters {
+                out.push_str(&format!(
+                    "window @{:>9} ms: {} retries ({})\n",
+                    c.window_start_ms,
+                    c.retries,
+                    c.hosts.join(", "),
+                ));
+            }
+        }
+        out.push('\n');
+
+        out.push_str("== Slowest visits ==\n");
+        for v in &self.profile.slowest_visits {
+            out.push_str(&format!(
+                "{:<28} rank {:>5}  {:>7} ms  (dominant: {} {} ms)\n",
+                v.domain, v.rank, v.duration_ms, v.dominant, v.dominant_ms,
+            ));
+        }
+
+        let violations = self.violations();
+        if !violations.is_empty() {
+            out.push('\n');
+            out.push_str("== Violations ==\n");
+            for v in &violations {
+                out.push_str(&format!("- {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabConfig;
+    use topics_obs::Obs;
+
+    fn traced_run() -> (CampaignOutcome, Trace) {
+        let obs = Obs::new().with_trace();
+        let lab = crate::Lab::new(LabConfig::quick(31, 40).with_threads(2));
+        let run = lab.run_observed(&obs);
+        (run.outcome, obs.trace.finish())
+    }
+
+    #[test]
+    fn healthy_run_reconciles_and_renders() {
+        let (outcome, trace) = traced_run();
+        let report = diagnose(&outcome, &trace, 5);
+        assert!(report.is_healthy(), "violations: {:?}", report.violations());
+        assert_eq!(report.attempted, 40);
+        assert_eq!(report.reconciliation.len(), 3);
+        let text = report.render();
+        for needle in [
+            "Doctor: run health",
+            "Trace/metric reconciliation",
+            "Critical path",
+            "Worker utilization",
+            "Slowest visits",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+        assert!(!text.contains("FAIL"));
+        assert!(!text.contains("Violations"));
+    }
+
+    #[test]
+    fn corrupted_trace_fails_doctor() {
+        let (outcome, mut trace) = traced_run();
+        // Inject an orphan span and drop a visit span.
+        let visit_idx = trace
+            .spans
+            .iter()
+            .position(|s| s.name == "visit")
+            .expect("trace has visits");
+        trace.spans[visit_idx].parent = Some(999_999);
+        let report = diagnose(&outcome, &trace, 5);
+        assert!(!report.is_healthy());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.contains("orphan span")));
+        assert!(report.render().contains("Violations"));
+    }
+
+    #[test]
+    fn missing_visit_span_breaks_reconciliation() {
+        let (outcome, mut trace) = traced_run();
+        let visit_idx = trace
+            .spans
+            .iter()
+            .position(|s| s.name == "visit")
+            .expect("trace has visits");
+        trace.spans[visit_idx].name = "not-a-visit".to_owned();
+        let report = diagnose(&outcome, &trace, 5);
+        assert!(!report.is_healthy());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.contains("sites_attempted_total")));
+    }
+}

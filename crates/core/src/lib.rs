@@ -17,6 +17,8 @@
 //! * [`lab`] — world construction + campaign execution + evaluation.
 //! * [`compare`] — the paper's reference numbers and paper-vs-measured
 //!   comparison rows (the EXPERIMENTS.md source of truth).
+//! * [`doctor`] — run-health report reconciling a saved campaign with
+//!   its span trace (the `topics-lab doctor` subcommand).
 //! * [`export`] — artefact bundles: campaign JSON dump plus one CSV per
 //!   table/figure (the `topics-lab` CLI writes these).
 //! * [`fidelity`] — crawler measurements vs generator ground truth: the
@@ -29,12 +31,14 @@
 
 pub mod compare;
 pub mod config;
+pub mod doctor;
 pub mod export;
 pub mod fidelity;
 pub mod lab;
 
 pub use compare::{comparison_rows, render_comparison, ComparisonRow};
 pub use config::LabConfig;
+pub use doctor::{diagnose, DoctorReport};
 pub use fidelity::{fidelity, FidelityReport};
 pub use lab::{evaluate, metrics_snapshot_of, CampaignRun, Evaluation, Lab};
 

@@ -11,7 +11,7 @@
 use crate::metrics::CrawlMetrics;
 use crate::record::{AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutcome};
 use crate::visit::{
-    run_site_full, run_site_with_policy, ConsentAction, VisitPolicy, DEFAULT_VISIT_TIMEOUT_MS,
+    run_site_full, run_site_traced, ConsentAction, VisitPolicy, DEFAULT_VISIT_TIMEOUT_MS,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,7 +26,7 @@ use topics_net::seed;
 use topics_net::service::{NetworkService, RetryPolicy};
 use topics_net::url::Url;
 use topics_net::wellknown::{attestation_url, AttestationError, AttestationFile};
-use topics_obs::{FieldValue, Level, Obs};
+use topics_obs::{FieldValue, Level, Obs, TraceBuilder, Tracer};
 use topics_taxonomy::Classifier;
 
 /// The crawl start: 2024-03-30, i.e. day 303 of the simulation
@@ -248,12 +248,20 @@ where
     let threads = config.threads.max(1);
     let done = std::sync::atomic::AtomicUsize::new(0);
     let crawl_span = obs.map(|o| o.events.span("crawl"));
+    // Trace wiring: each worker records its visits into private builders
+    // (no shared state on the hot path); the coordinator attaches them
+    // under the `crawl` phase span in rank order, so span IDs are
+    // byte-identical for every thread count. Worker utilization rides
+    // along as operational spans, excluded from the stripped view.
+    let tracer: Option<&Tracer> = obs.map(|o| &o.trace).filter(|t| t.is_enabled());
+    let crawl_tspan = tracer.map(|t| t.phase("crawl"));
     if let Some(o) = obs {
         o.metrics
             .labeled_gauge("phase_workers", "phase", "crawl")
             .set(threads as i64);
     }
-    let mut sites: Vec<SiteOutcome> = Vec::with_capacity(targets.len());
+    let mut pairs: Vec<(SiteOutcome, Option<TraceBuilder>)> = Vec::with_capacity(targets.len());
+    let mut worker_traces: Vec<TraceBuilder> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
@@ -268,13 +276,25 @@ where
                     o.metrics
                         .labeled_counter("crawl_worker_sites_total", "worker", &t.to_string())
                 });
-                let mut out = Vec::new();
+                let mut op = tracer.and_then(Tracer::visit_builder);
+                let op_span = op.as_mut().map(|tb| {
+                    let idx = tb.open_op("worker", None);
+                    tb.field(idx, "phase", "crawl");
+                    tb.field(idx, "worker", t);
+                    idx
+                });
+                let worker_started = std::time::Instant::now();
+                let mut busy_us = 0u64;
+                let mut items = 0u64;
+                let mut out: Vec<(SiteOutcome, Option<TraceBuilder>)> = Vec::new();
                 let mut rank = t;
                 while rank < targets.len() {
                     let started = config
                         .start
                         .plus_millis(rank as u64 * config.per_site_interval_ms);
-                    let outcome = run_site_with_policy(
+                    let mut vtrace = tracer.and_then(Tracer::visit_builder);
+                    let item_started = std::time::Instant::now();
+                    let outcome = run_site_traced(
                         service,
                         &targets[rank],
                         rank,
@@ -286,7 +306,10 @@ where
                         config.vantage,
                         metrics.as_ref(),
                         &policy,
+                        vtrace.as_mut(),
                     );
+                    busy_us += item_started.elapsed().as_micros() as u64;
+                    items += 1;
                     if let Some(c) = &worker_sites {
                         c.inc();
                     }
@@ -306,21 +329,47 @@ where
                             ],
                         );
                     }
-                    out.push(outcome);
+                    out.push((outcome, vtrace));
                     let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                     if n % 500 == 0 || n == targets.len() {
                         progress(n, targets.len());
                     }
                     rank += threads;
                 }
-                out
+                if let (Some(tb), Some(idx)) = (op.as_mut(), op_span) {
+                    tb.field(idx, "busy_us", busy_us);
+                    tb.field(idx, "span_us", worker_started.elapsed().as_micros() as u64);
+                    tb.field(idx, "items", items);
+                    tb.close(idx, None);
+                }
+                (out, op)
             }));
         }
         for handle in handles {
-            sites.extend(handle.join().expect("crawl worker panicked"));
+            let (out, op) = handle.join().expect("crawl worker panicked");
+            pairs.extend(out);
+            worker_traces.extend(op);
         }
     });
-    sites.sort_by_key(|s| s.rank);
+    pairs.sort_by_key(|(s, _)| s.rank);
+    let mut sites: Vec<SiteOutcome> = Vec::with_capacity(pairs.len());
+    let mut crawl_sim_end = config.start.millis();
+    for (site, vtrace) in pairs {
+        if let (Some(span), Some(tb)) = (crawl_tspan.as_ref(), vtrace) {
+            if let Some(end) = tb.max_sim_end() {
+                crawl_sim_end = crawl_sim_end.max(end);
+            }
+            span.attach(tb);
+        }
+        sites.push(site);
+    }
+    if let Some(span) = crawl_tspan {
+        for tb in worker_traces {
+            span.attach(tb);
+        }
+        span.field("sites", sites.len());
+        span.end(Some((config.start.millis(), crawl_sim_end)));
+    }
     if let Some(mut span) = crawl_span {
         span.field("sites", targets.len());
         if let Some(o) = obs {
@@ -354,6 +403,7 @@ where
     let domains: Vec<&Domain> = to_probe.into_iter().collect();
     let probe_threads = config.probe_threads.unwrap_or(threads).max(1);
     let probe_span = obs.map(|o| o.events.span("attestation-probe"));
+    let probe_tspan = tracer.map(|t| t.phase("attestation-probe"));
     if let Some(o) = obs {
         o.metrics
             .labeled_gauge("phase_workers", "phase", "attestation-probe")
@@ -394,26 +444,48 @@ where
                 .add((domains.len() - pending.len()) as u64);
         }
     }
-    let fetched = probe_indexed(
+    let cache_hits = domains.len() - pending.len();
+    let (fetched, probe_workers) = probe_indexed(
         service,
         &pending,
         probe_time,
         &policy.retry,
         probe_threads,
         obs,
+        tracer,
         metrics.as_ref().map(|m| &m.net),
     );
     if let Some(key) = memo_key {
         if !fetched.is_empty() {
             let mut cache = probe_memo().lock();
             let warm = cache.entry(key).or_default();
-            for (_, probe) in &fetched {
+            for (_, probe, _) in &fetched {
                 warm.insert(probe.domain.clone(), probe.clone());
             }
         }
     }
-    for (idx, probe) in fetched {
+    let mut probe_traces: Vec<Option<TraceBuilder>> = Vec::new();
+    probe_traces.resize_with(domains.len(), || None);
+    for (idx, probe, ptrace) in fetched {
         results[idx] = Some(probe);
+        probe_traces[idx] = ptrace;
+    }
+    // Attach probe span trees in slot (= sorted-domain) order so trace
+    // output is independent of which worker won which domain.
+    if let Some(span) = probe_tspan {
+        let mut sim_end = probe_time.millis();
+        for tb in probe_traces.into_iter().flatten() {
+            if let Some(end) = tb.max_sim_end() {
+                sim_end = sim_end.max(end);
+            }
+            span.attach(tb);
+        }
+        for tb in probe_workers {
+            span.attach(tb);
+        }
+        span.field("probes", pending.len());
+        span.field("cache_hits", cache_hits);
+        span.end(Some((probe_time.millis(), sim_end)));
     }
     let attestation_probes: Vec<AttestationProbe> = results
         .into_iter()
@@ -475,15 +547,17 @@ pub fn probe_domains<S: NetworkService + Sync + ?Sized>(
     let pending: Vec<(usize, &Domain)> = domains.iter().copied().enumerate().collect();
     let mut results: Vec<Option<AttestationProbe>> = Vec::new();
     results.resize_with(domains.len(), || None);
-    for (idx, probe) in probe_indexed(
+    let (fetched, _workers) = probe_indexed(
         service,
         &pending,
         probe_time,
         retry,
         threads,
         obs,
+        None,
         net_metrics,
-    ) {
+    );
+    for (idx, probe, _) in fetched {
         results[idx] = Some(probe);
     }
     results
@@ -493,9 +567,11 @@ pub fn probe_domains<S: NetworkService + Sync + ?Sized>(
 }
 
 /// Probe the `(slot, domain)` pairs in `pending`, returning each result
-/// tagged with its slot. One code path for any worker count: workers
-/// pull the next pair via an atomic cursor, so finish order is racy but
-/// the tagged results are not.
+/// tagged with its slot (plus its span tree when tracing), and one
+/// operational worker-utilization builder per probe worker. One code
+/// path for any worker count: workers pull the next pair via an atomic
+/// cursor, so finish order is racy but the tagged results are not.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn probe_indexed<S: NetworkService + Sync + ?Sized>(
     service: &S,
     pending: &[(usize, &Domain)],
@@ -503,37 +579,62 @@ fn probe_indexed<S: NetworkService + Sync + ?Sized>(
     retry: &RetryPolicy,
     threads: usize,
     obs: Option<&Obs>,
+    tracer: Option<&Tracer>,
     net_metrics: Option<&NetMetrics>,
-) -> Vec<(usize, AttestationProbe)> {
+) -> (
+    Vec<(usize, AttestationProbe, Option<TraceBuilder>)>,
+    Vec<TraceBuilder>,
+) {
     let probes_sent = obs.map(|o| o.metrics.counter("attestation_probes_sent_total"));
     let probe_one = |domain: &Domain| {
         if let Some(c) = &probes_sent {
             c.inc();
         }
-        probe_attestation_retrying(service, domain, probe_time, retry, net_metrics)
+        let mut tb = tracer.and_then(Tracer::visit_builder);
+        let probe =
+            probe_attestation_traced(service, domain, probe_time, retry, net_metrics, tb.as_mut());
+        (probe, tb)
     };
     let threads = threads.max(1).min(pending.len());
     if threads <= 1 {
-        return pending
+        let out = pending
             .iter()
-            .map(|&(idx, domain)| (idx, probe_one(domain)))
+            .map(|&(idx, domain)| {
+                let (probe, tb) = probe_one(domain);
+                (idx, probe, tb)
+            })
             .collect();
+        return (out, Vec::new());
     }
     let cursor = AtomicUsize::new(0);
-    let mut out: Vec<(usize, AttestationProbe)> = Vec::with_capacity(pending.len());
+    let mut out: Vec<(usize, AttestationProbe, Option<TraceBuilder>)> =
+        Vec::with_capacity(pending.len());
+    let mut workers: Vec<TraceBuilder> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let cursor = &cursor;
             let probe_one = &probe_one;
             handles.push(scope.spawn(move || {
-                let mut mine: Vec<(usize, AttestationProbe)> = Vec::new();
+                let mut op = tracer.and_then(Tracer::visit_builder);
+                let op_span = op.as_mut().map(|tb| {
+                    let idx = tb.open_op("worker", None);
+                    tb.field(idx, "phase", "attestation-probe");
+                    tb.field(idx, "worker", t);
+                    idx
+                });
+                let worker_started = std::time::Instant::now();
+                let mut busy_us = 0u64;
+                let mut mine: Vec<(usize, AttestationProbe, Option<TraceBuilder>)> = Vec::new();
                 loop {
                     let at = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(idx, domain)) = pending.get(at) else {
                         break;
                     };
-                    mine.push((idx, probe_one(domain)));
+                    let item_started = std::time::Instant::now();
+                    let (probe, tb) = probe_one(domain);
+                    busy_us += item_started.elapsed().as_micros() as u64;
+                    mine.push((idx, probe, tb));
                 }
                 if let Some(o) = obs {
                     // Which worker won which domain is scheduler-racy, so
@@ -549,14 +650,22 @@ fn probe_indexed<S: NetworkService + Sync + ?Sized>(
                         ],
                     );
                 }
-                mine
+                if let (Some(tb), Some(idx)) = (op.as_mut(), op_span) {
+                    tb.field(idx, "busy_us", busy_us);
+                    tb.field(idx, "span_us", worker_started.elapsed().as_micros() as u64);
+                    tb.field(idx, "items", mine.len());
+                    tb.close(idx, None);
+                }
+                (mine, op)
             }));
         }
         for handle in handles {
-            out.extend(handle.join().expect("probe worker panicked"));
+            let (mine, op) = handle.join().expect("probe worker panicked");
+            out.extend(mine);
+            workers.extend(op);
         }
     });
-    out
+    (out, workers)
 }
 
 /// Probe one domain's attestation file (single attempt, no retries —
@@ -584,9 +693,38 @@ pub fn probe_attestation_retrying<S: NetworkService + ?Sized>(
     policy: &RetryPolicy,
     metrics: Option<&NetMetrics>,
 ) -> AttestationProbe {
+    probe_attestation_traced(service, domain, now, policy, metrics, None)
+}
+
+/// [`probe_attestation_retrying`] recording a `probe` span (with a
+/// `retry` leaf per backoff wait) into `trace` when given.
+pub fn probe_attestation_traced<S: NetworkService + ?Sized>(
+    service: &S,
+    domain: &Domain,
+    now: Timestamp,
+    policy: &RetryPolicy,
+    metrics: Option<&NetMetrics>,
+    mut trace: Option<&mut TraceBuilder>,
+) -> AttestationProbe {
     let url = attestation_url(domain);
     let key = seed::derive_idx(seed::fnv1a(url.to_string().as_bytes()), now.millis());
     let req = HttpRequest::get(url, ResourceKind::WellKnown);
+    let span = trace.as_deref_mut().map(|tb| {
+        let idx = tb.open("probe", Some(now.millis()));
+        tb.field(idx, "domain", domain.as_str());
+        idx
+    });
+    let finish =
+        |probe: AttestationProbe, trace: Option<&mut TraceBuilder>, waited: u64, retries: u64| {
+            if let (Some(tb), Some(idx)) = (trace, span) {
+                tb.field(idx, "attested", probe.valid.is_some());
+                if retries > 0 {
+                    tb.field(idx, "retries", retries);
+                }
+                tb.close(idx, Some(now.millis() + waited + 1));
+            }
+            probe
+        };
     let mut waited = 0u64;
     let mut attempt = 1u32;
     loop {
@@ -594,13 +732,18 @@ pub fn probe_attestation_retrying<S: NetworkService + ?Sized>(
         let transient = match &result {
             Ok(r) if r.status.is_success() => match AttestationFile::parse_and_validate(&r.body) {
                 Ok(f) => {
-                    return AttestationProbe {
-                        domain: domain.clone(),
-                        valid: Some(AttestationInfo {
-                            issued: f.issued,
-                            has_enrollment_site: f.enrollment_site.is_some(),
-                        }),
-                    }
+                    return finish(
+                        AttestationProbe {
+                            domain: domain.clone(),
+                            valid: Some(AttestationInfo {
+                                issued: f.issued,
+                                has_enrollment_site: f.enrollment_site.is_some(),
+                            }),
+                        },
+                        trace,
+                        waited,
+                        u64::from(attempt - 1),
+                    )
                 }
                 Err(AttestationError::Malformed) => true,
                 Err(_) => false,
@@ -614,12 +757,25 @@ pub fn probe_attestation_retrying<S: NetworkService + ?Sized>(
                     m.record_retries_exhausted();
                 }
             }
-            return AttestationProbe {
-                domain: domain.clone(),
-                valid: None,
-            };
+            return finish(
+                AttestationProbe {
+                    domain: domain.clone(),
+                    valid: None,
+                },
+                trace,
+                waited,
+                u64::from(attempt - 1),
+            );
         }
-        waited += policy.backoff_ms(attempt, key);
+        let backoff = policy.backoff_ms(attempt, key);
+        if let Some(tb) = trace.as_deref_mut() {
+            let failed_at = now.millis() + waited;
+            let leaf = tb.leaf("retry", Some(failed_at), Some(failed_at + backoff));
+            tb.field(leaf, "host", domain.as_str());
+            tb.field(leaf, "attempt", u64::from(attempt));
+            tb.field(leaf, "backoff_ms", backoff);
+        }
+        waited += backoff;
         attempt += 1;
         if let Some(m) = metrics {
             m.record_retry();

@@ -191,6 +191,17 @@ pub enum VisitOutcome {
     Failed,
 }
 
+impl VisitOutcome {
+    /// Stable lower-case label (metric label values, trace span fields).
+    pub fn label(self) -> &'static str {
+        match self {
+            VisitOutcome::Complete => "complete",
+            VisitOutcome::Degraded => "degraded",
+            VisitOutcome::Failed => "failed",
+        }
+    }
+}
+
 /// The outcome for one ranked site: up to two visits.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteOutcome {

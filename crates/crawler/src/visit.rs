@@ -19,6 +19,7 @@ use topics_net::psl::registrable_domain;
 use topics_net::seed;
 use topics_net::service::{NetworkService, RetryPolicy};
 use topics_net::url::Url;
+use topics_obs::TraceBuilder;
 use topics_taxonomy::Classifier;
 
 /// How long after the Before-Accept visit the After-Accept one starts
@@ -112,6 +113,7 @@ pub fn run_site_full<S: NetworkService + ?Sized>(
         vantage,
         None,
         &VisitPolicy::default(),
+        None,
     )
 }
 
@@ -143,6 +145,7 @@ pub fn run_site_instrumented<S: NetworkService + ?Sized>(
         vantage,
         metrics,
         &VisitPolicy::default(),
+        None,
     )
 }
 
@@ -174,6 +177,42 @@ pub fn run_site_with_policy<S: NetworkService + ?Sized>(
         vantage,
         metrics,
         policy,
+        None,
+    )
+}
+
+/// [`run_site_with_policy`] recording the visit's span tree into
+/// `trace`: a `visit` span (domain, rank, outcome, retries) wrapping the
+/// browser's `page-load` trees and a `consent-click` leaf at the moment
+/// the banner button is clicked.
+#[allow(clippy::too_many_arguments)]
+pub fn run_site_traced<S: NetworkService + ?Sized>(
+    service: &S,
+    url: &Url,
+    rank: usize,
+    classifier: Arc<Classifier>,
+    attestation: AttestationStore,
+    campaign_seed: u64,
+    started: Timestamp,
+    action: ConsentAction,
+    vantage: topics_net::http::Vantage,
+    metrics: Option<&CrawlMetrics>,
+    policy: &VisitPolicy,
+    trace: Option<&mut TraceBuilder>,
+) -> SiteOutcome {
+    run_site_inner(
+        service,
+        url,
+        rank,
+        classifier,
+        attestation,
+        campaign_seed,
+        started,
+        action,
+        vantage,
+        metrics,
+        policy,
+        trace,
     )
 }
 
@@ -202,6 +241,7 @@ pub fn run_site_with_action<S: NetworkService + ?Sized>(
         topics_net::http::Vantage::Europe,
         None,
         &VisitPolicy::default(),
+        None,
     )
 }
 
@@ -218,8 +258,15 @@ fn run_site_inner<S: NetworkService + ?Sized>(
     vantage: topics_net::http::Vantage,
     metrics: Option<&CrawlMetrics>,
     policy: &VisitPolicy,
+    mut trace: Option<&mut TraceBuilder>,
 ) -> SiteOutcome {
     let website = registrable_domain(url.host());
+    let visit_span = trace.as_deref_mut().map(|tb| {
+        let idx = tb.open("visit", Some(started.millis()));
+        tb.field(idx, "domain", website.as_str());
+        tb.field(idx, "rank", rank);
+        idx
+    });
     let profile_seed = seed::derive(seed::derive(campaign_seed, "profile"), website.as_str());
     let config = BrowserConfig {
         topics_enabled: true, // the paper manually opts in (§2.2)
@@ -237,41 +284,55 @@ fn run_site_inner<S: NetworkService + ?Sized>(
     let mut faults = FaultStats::default();
 
     // ---- Before-Accept ----------------------------------------------
-    let before_visit = match browser.visit(service, url, started) {
-        Ok(v) if v.duration_ms > policy.visit_timeout_ms => {
-            faults.retries += v.retries;
-            faults.timed_out = true;
-            if let Some(m) = metrics {
-                m.visits_failed.inc();
-                m.visits_timed_out.inc();
+    let before_visit =
+        match browser.visit_traced(service, url, started, "before-accept", trace.as_deref_mut()) {
+            Ok(v) if v.duration_ms > policy.visit_timeout_ms => {
+                faults.retries += v.retries;
+                faults.timed_out = true;
+                if let Some(m) = metrics {
+                    m.visits_failed.inc();
+                    m.visits_timed_out.inc();
+                }
+                if let (Some(tb), Some(idx)) = (trace, visit_span) {
+                    tb.field(idx, "outcome", "failed");
+                    tb.field(idx, "retries", u64::from(faults.retries));
+                    tb.field(idx, "error", "timeout");
+                    tb.close(idx, Some(started.millis() + v.duration_ms));
+                }
+                return SiteOutcome {
+                    rank,
+                    website,
+                    before: None,
+                    after: None,
+                    error: Some(format!(
+                        "visit timed out: {} ms > {} ms budget",
+                        v.duration_ms, policy.visit_timeout_ms
+                    )),
+                    faults,
+                };
             }
-            return SiteOutcome {
-                rank,
-                website,
-                before: None,
-                after: None,
-                error: Some(format!(
-                    "visit timed out: {} ms > {} ms budget",
-                    v.duration_ms, policy.visit_timeout_ms
-                )),
-                faults,
-            };
-        }
-        Ok(v) => v,
-        Err(e) => {
-            if let Some(m) = metrics {
-                m.visits_failed.inc();
+            Ok(v) => v,
+            Err(e) => {
+                if let Some(m) = metrics {
+                    m.visits_failed.inc();
+                }
+                if let (Some(tb), Some(idx)) = (trace, visit_span) {
+                    tb.field(idx, "outcome", "failed");
+                    tb.field(idx, "retries", u64::from(faults.retries));
+                    tb.field(idx, "error", e.kind());
+                    tb.close(idx, Some(started.millis()));
+                }
+                return SiteOutcome {
+                    rank,
+                    website,
+                    before: None,
+                    after: None,
+                    error: Some(e.to_string()),
+                    faults,
+                };
             }
-            return SiteOutcome {
-                rank,
-                website,
-                before: None,
-                after: None,
-                error: Some(e.to_string()),
-                faults,
-            };
-        }
-    };
+        };
+    let mut end_ms = started.millis() + before_visit.duration_ms;
     faults.retries += before_visit.retries;
     if let Some(m) = metrics {
         m.visits_ok.inc();
@@ -297,6 +358,15 @@ fn run_site_inner<S: NetworkService + ?Sized>(
     let after = if proceed {
         let click_time = started.plus_millis(ACCEPT_DELAY_MS / 2);
         let site = Site::of(&Url::https(final_website.clone(), "/"));
+        if let Some(tb) = trace.as_deref_mut() {
+            let click_ms = click_time.millis();
+            let leaf = tb.leaf("consent-click", Some(click_ms), Some(click_ms));
+            let label = match action {
+                ConsentAction::Accept => "accept",
+                ConsentAction::Reject => "reject",
+            };
+            tb.field(leaf, "action", label);
+        }
         let phase = match action {
             ConsentAction::Accept => {
                 browser.grant_consent(&site, click_time);
@@ -315,7 +385,17 @@ fn run_site_inner<S: NetworkService + ?Sized>(
         };
         browser.clear_cache(); // §2.2: reload all objects
         let after_started = started.plus_millis(ACCEPT_DELAY_MS);
-        match browser.visit(service, url, after_started) {
+        let after_label = match phase {
+            Phase::AfterReject => "after-reject",
+            _ => "after-accept",
+        };
+        match browser.visit_traced(
+            service,
+            url,
+            after_started,
+            after_label,
+            trace.as_deref_mut(),
+        ) {
             Ok(v) if v.duration_ms > policy.visit_timeout_ms => {
                 faults.retries += v.retries;
                 faults.timed_out = true;
@@ -323,10 +403,12 @@ fn run_site_inner<S: NetworkService + ?Sized>(
                 if let Some(m) = metrics {
                     m.visits_timed_out.inc();
                 }
+                end_ms = end_ms.max(after_started.millis() + v.duration_ms);
                 None
             }
             Ok(v) => {
                 faults.retries += v.retries;
+                end_ms = end_ms.max(after_started.millis() + v.duration_ms);
                 let fw = v.website();
                 Some(VisitRecord::assemble(
                     phase,
@@ -364,6 +446,11 @@ fn run_site_inner<S: NetworkService + ?Sized>(
         if outcome.outcome() == crate::record::VisitOutcome::Degraded {
             m.visits_degraded.inc();
         }
+    }
+    if let (Some(tb), Some(idx)) = (trace, visit_span) {
+        tb.field(idx, "outcome", outcome.outcome().label());
+        tb.field(idx, "retries", u64::from(outcome.faults.retries));
+        tb.close(idx, Some(end_ms));
     }
     outcome
 }

@@ -105,6 +105,20 @@ impl NetError {
             NetError::ConnectionReset { .. } | NetError::TimedOut { .. }
         )
     }
+
+    /// A short stable kind label (trace span fields, metrics labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetError::Dns(_) => "dns",
+            NetError::ConnectionFailed { .. } => "connection-failed",
+            NetError::ConnectionReset { .. } => "connection-reset",
+            NetError::TimedOut { .. } => "timed-out",
+            NetError::NotFound { .. } => "not-found",
+            NetError::TooManyRedirects { .. } => "too-many-redirects",
+            NetError::BadRedirect { .. } => "bad-redirect",
+            NetError::BadUrl { .. } => "bad-url",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::http::{HttpRequest, HttpResponse};
 use crate::metrics::NetMetrics;
 use crate::seed;
 use crate::url::Url;
+use topics_obs::TraceBuilder;
 
 /// A simulated web: name resolution plus request handling.
 pub trait NetworkService {
@@ -124,6 +125,21 @@ pub fn fetch_exchange_with_retry<S: NetworkService + ?Sized>(
     policy: &RetryPolicy,
     metrics: Option<&NetMetrics>,
 ) -> (Result<HttpResponse, NetError>, RetryStats) {
+    fetch_exchange_traced(service, request, now, policy, metrics, None)
+}
+
+/// [`fetch_exchange_with_retry`] with span emission: every retry adds a
+/// `retry` leaf span covering the backoff window on the simulated
+/// clock, with the host, 1-based failed attempt, backoff delay, and the
+/// failure kind that triggered it.
+pub fn fetch_exchange_traced<S: NetworkService + ?Sized>(
+    service: &S,
+    request: &HttpRequest,
+    now: Timestamp,
+    policy: &RetryPolicy,
+    metrics: Option<&NetMetrics>,
+    mut trace: Option<&mut TraceBuilder>,
+) -> (Result<HttpResponse, NetError>, RetryStats) {
     let key = seed::derive_idx(
         seed::fnv1a(request.url.to_string().as_bytes()),
         now.millis(),
@@ -153,7 +169,20 @@ pub fn fetch_exchange_with_retry<S: NetworkService + ?Sized>(
         if let Some(m) = metrics {
             m.record_retry();
         }
-        stats.waited_ms += policy.backoff_ms(attempt, key);
+        let backoff = policy.backoff_ms(attempt, key);
+        if let Some(tb) = trace.as_deref_mut() {
+            let failed_at = now.millis() + stats.waited_ms;
+            let span = tb.leaf("retry", Some(failed_at), Some(failed_at + backoff));
+            tb.field(span, "host", request.url.host().as_str());
+            tb.field(span, "attempt", u64::from(attempt));
+            tb.field(span, "backoff_ms", backoff);
+            let cause = match &result {
+                Ok(_) => "http-5xx",
+                Err(e) => e.kind(),
+            };
+            tb.field(span, "cause", cause);
+        }
+        stats.waited_ms += backoff;
     }
 }
 
@@ -194,20 +223,34 @@ pub fn fetch_following_redirects<S: NetworkService + ?Sized>(
 /// for simulated time spent on retries.
 pub fn fetch_following_redirects_retrying<S: NetworkService + ?Sized>(
     service: &S,
-    mut request: HttpRequest,
+    request: HttpRequest,
     now: Timestamp,
     policy: &RetryPolicy,
     metrics: Option<&NetMetrics>,
 ) -> (Result<FetchOutcome, NetError>, RetryStats) {
+    fetch_following_redirects_traced(service, request, now, policy, metrics, None)
+}
+
+/// [`fetch_following_redirects_retrying`] with `retry` span emission
+/// (see [`fetch_exchange_traced`]).
+pub fn fetch_following_redirects_traced<S: NetworkService + ?Sized>(
+    service: &S,
+    mut request: HttpRequest,
+    now: Timestamp,
+    policy: &RetryPolicy,
+    metrics: Option<&NetMetrics>,
+    mut trace: Option<&mut TraceBuilder>,
+) -> (Result<FetchOutcome, NetError>, RetryStats) {
     let mut chain = vec![request.url.clone()];
     let mut total = RetryStats::default();
     loop {
-        let (result, stats) = fetch_exchange_with_retry(
+        let (result, stats) = fetch_exchange_traced(
             service,
             &request,
             now.plus_millis(total.waited_ms),
             policy,
             metrics,
+            trace.as_deref_mut(),
         );
         total.absorb(stats);
         let response = match result {

@@ -337,4 +337,68 @@ mod tests {
     fn default_log_does_not_echo() {
         assert!(!EventLog::new().echo_enabled());
     }
+
+    #[test]
+    fn jsonl_escapes_quotes_backslashes_and_newlines() {
+        let log = EventLog::new();
+        log.info(
+            "tricky",
+            vec![
+                ("quote".to_owned(), "say \"hi\"".into()),
+                ("backslash".to_owned(), "C:\\topics\\lab".into()),
+                ("newline".to_owned(), "line1\nline2\r\ttab".into()),
+                ("unicode".to_owned(), "smørrebrød → ☂".into()),
+            ],
+        );
+        let jsonl = log.to_jsonl();
+        // Raw control characters never appear inside a line; the log
+        // still yields exactly one line for one event.
+        let lines: Vec<&str> = jsonl.split('\n').filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\\\"hi\\\""));
+        assert!(lines[0].contains("C:\\\\topics\\\\lab"));
+        assert!(lines[0].contains("line1\\nline2"));
+        assert!(!lines[0].contains('\r'));
+        // And the escaped payload round-trips exactly.
+        let back: Event = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back, log.events()[0]);
+        assert_eq!(
+            back.field("newline"),
+            Some(&FieldValue::Str("line1\nline2\r\ttab".to_owned()))
+        );
+    }
+
+    #[test]
+    fn span_guards_record_fields_under_concurrent_phases() {
+        let log = std::sync::Arc::new(EventLog::new());
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25usize {
+                    let mut span = log.span(&format!("phase-{t}"));
+                    span.field("worker", t);
+                    span.field("iter", i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 8 * 25, "every span event recorded");
+        for t in 0..8usize {
+            let mine: Vec<_> = events
+                .iter()
+                .filter(|e| e.field("phase") == Some(&FieldValue::Str(format!("phase-{t}"))))
+                .collect();
+            assert_eq!(mine.len(), 25, "no cross-phase loss for phase-{t}");
+            // Extra fields stay attached to their own span event and
+            // arrive in per-thread order.
+            for (i, e) in mine.iter().enumerate() {
+                assert_eq!(e.field("worker"), Some(&FieldValue::U64(t as u64)));
+                assert_eq!(e.field("iter"), Some(&FieldValue::U64(i as u64)));
+            }
+        }
+    }
 }

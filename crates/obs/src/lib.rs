@@ -23,23 +23,31 @@
 
 pub mod events;
 pub mod metrics;
+pub mod profile;
+pub mod trace;
 
 pub use events::{Event, EventLog, FieldValue, Level, SpanGuard};
 pub use metrics::{
     labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
+pub use profile::{profile, Integrity, Profile};
+pub use trace::{SpanRecord, Trace, TraceBuilder, Tracer, TracerSpan};
 
 use std::time::Instant;
 
-/// The shared observability handle: one metric registry plus one event
-/// log. Cheap to share across crawl workers behind an `Arc` (all inner
-/// state is atomic or mutex-guarded).
+/// The shared observability handle: one metric registry, one event
+/// log, and one (default-disabled) span tracer. Cheap to share across
+/// crawl workers behind an `Arc` (all inner state is atomic or
+/// mutex-guarded).
 #[derive(Debug, Default)]
 pub struct Obs {
     /// Named counters, gauges and histograms.
     pub metrics: MetricsRegistry,
     /// The structured event stream.
     pub events: EventLog,
+    /// Hierarchical span tracer; disabled unless [`Obs::with_trace`]
+    /// was called (disabled recording costs one branch per span site).
+    pub trace: Tracer,
 }
 
 impl Obs {
@@ -54,18 +62,28 @@ impl Obs {
         Obs {
             metrics: MetricsRegistry::new(),
             events: EventLog::new().with_stderr_echo(),
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Enable hierarchical span tracing (CLI `--trace-out`).
+    #[must_use]
+    pub fn with_trace(mut self) -> Obs {
+        self.trace = Tracer::enabled();
+        self
     }
 
     /// Start a pipeline phase: on drop the guard records a `span` event
     /// and sets the `phase_wall_us{phase="…"}` gauge. Wall-clock by
     /// design — phase gauges are stripped before determinism
-    /// comparisons.
+    /// comparisons. When tracing is enabled the guard also opens a
+    /// top-level trace span of the same name.
     pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
         PhaseGuard {
             obs: self,
             name: name.to_owned(),
             started: Instant::now(),
+            _span: self.trace.phase(name),
         }
     }
 }
@@ -75,6 +93,7 @@ pub struct PhaseGuard<'a> {
     obs: &'a Obs,
     name: String,
     started: Instant,
+    _span: TracerSpan<'a>,
 }
 
 impl Drop for PhaseGuard<'_> {
@@ -119,6 +138,20 @@ mod tests {
     fn obs_is_sync_and_send() {
         fn check<T: Send + Sync>() {}
         check::<Obs>();
+    }
+
+    #[test]
+    fn phase_guard_opens_trace_span_when_tracing() {
+        let obs = Obs::new().with_trace();
+        obs.phase("analysis");
+        let trace = obs.trace.finish();
+        let span = trace.spans.iter().find(|s| s.name == "analysis").unwrap();
+        assert_eq!(span.parent, Some(1));
+        assert!(span.wall_end_us >= span.wall_start_us);
+        // Tracing off (the default): nothing recorded.
+        let silent = Obs::new();
+        silent.phase("analysis");
+        assert!(silent.trace.is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,6 +26,16 @@ use std::sync::Arc;
 pub const DEFAULT_LATENCY_BUCKETS_MS: &[u64] = &[
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000,
 ];
+
+/// Default cap on distinct label values per `(base name, label)` pair.
+/// The first `DEFAULT_LABEL_CAP` values each get their own series;
+/// later values collapse into the [`OTHER_LABEL`] bucket, so a
+/// 50k-site campaign labelling per-CP series cannot blow up the
+/// Prometheus render.
+pub const DEFAULT_LABEL_CAP: usize = 64;
+
+/// Overflow bucket used once a label exceeds the cardinality cap.
+pub const OTHER_LABEL: &str = "other";
 
 /// Build a labelled metric name: `name{label="value"}`.
 pub fn labeled(name: &str, label: &str, value: &str) -> String {
@@ -154,27 +164,42 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Estimate the `q`-quantile (`0 < q <= 1`) as the upper bound of the
-    /// bucket where the cumulative count crosses `q * count`. Values in
-    /// the `+Inf` bucket report the last finite bound.
+    /// Estimate the `q`-quantile as the upper bound of the bucket where
+    /// the cumulative count crosses `q × count`. Values in the `+Inf`
+    /// bucket report the last finite bound.
+    ///
+    /// Edge cases are defined, not panics:
+    /// * empty histogram → the documented sentinel `0`;
+    /// * `q <= 0.0` (and `NaN`) → the bucket of the smallest
+    ///   observation;
+    /// * `q >= 1.0` → the bucket of the largest observation;
+    /// * a histogram with no finite bounds (every observation in
+    ///   `+Inf`) → the sentinel `0`.
+    ///
+    /// Use [`HistogramSnapshot::quantile_checked`] to distinguish the
+    /// sentinel from a genuine `0` bound.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_checked(q).unwrap_or(0)
+    }
+
+    /// [`HistogramSnapshot::quantile`] without the sentinel: `None` for
+    /// an empty histogram or when the answer falls in the `+Inf` bucket
+    /// of a histogram with no finite bounds.
+    pub fn quantile_checked(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        // NaN compares false on both sides and clamps to the minimum.
+        let q = if q > 0.0 { q.min(1.0) } else { 0.0 };
+        let target = (q * self.count as f64).ceil().clamp(1.0, self.count as f64) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return self
-                    .bounds
-                    .get(i)
-                    .or(self.bounds.last())
-                    .copied()
-                    .unwrap_or(0);
+                return self.bounds.get(i).or(self.bounds.last()).copied();
             }
         }
-        self.bounds.last().copied().unwrap_or(0)
+        self.bounds.last().copied()
     }
 
     /// Mean observed value (0 when empty).
@@ -191,17 +216,63 @@ impl HistogramSnapshot {
 ///
 /// Resolving the same name twice returns handles over the same atomic, so
 /// concurrent workers can each hold their own clone.
-#[derive(Debug, Default)]
+///
+/// Labelled series are cardinality-bounded: per `(base name, label)`
+/// pair, only the first [`DEFAULT_LABEL_CAP`] distinct values (or the
+/// cap set with [`MetricsRegistry::with_label_cap`]) get their own
+/// series; later values collapse into `label="other"`.
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    label_cap: usize,
+    /// Distinct values seen per `name\u{0}label` key.
+    label_values: Mutex<BTreeMap<String, BTreeSet<String>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: Mutex::default(),
+            gauges: Mutex::default(),
+            histograms: Mutex::default(),
+            label_cap: DEFAULT_LABEL_CAP,
+            label_values: Mutex::default(),
+        }
+    }
 }
 
 impl MetricsRegistry {
-    /// An empty registry.
+    /// An empty registry with the default label-cardinality cap.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry::default()
+    }
+
+    /// Override the label-cardinality cap (≥ 1).
+    #[must_use]
+    pub fn with_label_cap(mut self, cap: usize) -> MetricsRegistry {
+        self.label_cap = cap.max(1);
+        self
+    }
+
+    /// Apply the cardinality cap: the first `label_cap` distinct values
+    /// pass through; later values collapse into [`OTHER_LABEL`].
+    fn capped<'v>(&self, name: &str, label: &str, value: &'v str) -> &'v str {
+        if value == OTHER_LABEL {
+            return value;
+        }
+        let key = format!("{name}\u{0}{label}");
+        let mut seen = self.label_values.lock();
+        let values = seen.entry(key).or_default();
+        if values.contains(value) {
+            value
+        } else if values.len() < self.label_cap {
+            values.insert(value.to_owned());
+            value
+        } else {
+            OTHER_LABEL
+        }
     }
 
     /// Get or create a counter.
@@ -213,8 +284,10 @@ impl MetricsRegistry {
             .clone()
     }
 
-    /// Get or create a counter with one label pair.
+    /// Get or create a counter with one label pair. Distinct values per
+    /// `(name, label)` are capped; overflow goes to `label="other"`.
     pub fn labeled_counter(&self, name: &str, label: &str, value: &str) -> Counter {
+        let value = self.capped(name, label, value);
         self.counter(&labeled(name, label, value))
     }
 
@@ -227,8 +300,10 @@ impl MetricsRegistry {
             .clone()
     }
 
-    /// Get or create a gauge with one label pair.
+    /// Get or create a gauge with one label pair. Distinct values per
+    /// `(name, label)` are capped; overflow goes to `label="other"`.
     pub fn labeled_gauge(&self, name: &str, label: &str, value: &str) -> Gauge {
+        let value = self.capped(name, label, value);
         self.gauge(&labeled(name, label, value))
     }
 
@@ -325,14 +400,17 @@ impl MetricsSnapshot {
     /// Render the snapshot in the Prometheus text exposition format.
     ///
     /// Histograms expand into cumulative `_bucket{le=…}` series plus
-    /// `_sum`/`_count`, followed by p50/p90/p99 estimate gauges.
+    /// `_sum`/`_count`, followed by p50/p90/p99 estimate gauges. Each
+    /// base name gets exactly one `# HELP` and one `# TYPE` line, even
+    /// when it appears in more than one section (the CI lint checks
+    /// this invariant).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let mut typed: Option<String> = None;
+        let mut described: BTreeSet<String> = BTreeSet::new();
         let mut type_line = |out: &mut String, base: &str, kind: &str| {
-            if typed.as_deref() != Some(base) {
+            if described.insert(base.to_owned()) {
+                out.push_str(&format!("# HELP {base} topics-lab {kind}\n"));
                 out.push_str(&format!("# TYPE {base} {kind}\n"));
-                typed = Some(base.to_owned());
             }
         };
         for (name, value) in &self.counters {
@@ -344,7 +422,7 @@ impl MetricsSnapshot {
             out.push_str(&format!("{name} {value}\n"));
         }
         for (name, h) in &self.histograms {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            type_line(&mut out, name, "histogram");
             let mut cumulative = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {
                 cumulative += c;
@@ -448,6 +526,99 @@ mod tests {
         assert_eq!(s.counter("visits_total"), 1);
         assert!(s.gauges.is_empty());
         assert!(s.histograms.is_empty());
+    }
+
+    #[test]
+    fn label_cardinality_is_capped_into_other() {
+        let r = MetricsRegistry::new().with_label_cap(2);
+        r.labeled_counter("cp_calls_total", "cp", "cp0.example")
+            .inc();
+        r.labeled_counter("cp_calls_total", "cp", "cp1.example")
+            .inc();
+        // Over the cap: both land in the `other` bucket…
+        r.labeled_counter("cp_calls_total", "cp", "cp2.example")
+            .inc();
+        r.labeled_counter("cp_calls_total", "cp", "cp3.example")
+            .inc();
+        // …while already-admitted values keep their own series…
+        r.labeled_counter("cp_calls_total", "cp", "cp0.example")
+            .inc();
+        // …and other labels/names have their own budget.
+        r.labeled_gauge("cp_depth", "cp", "cp9.example").set(4);
+        let s = r.snapshot();
+        assert_eq!(s.counter("cp_calls_total{cp=\"cp0.example\"}"), 2);
+        assert_eq!(s.counter("cp_calls_total{cp=\"cp1.example\"}"), 1);
+        assert_eq!(s.counter("cp_calls_total{cp=\"cp2.example\"}"), 0);
+        assert_eq!(s.counter("cp_calls_total{cp=\"other\"}"), 2);
+        assert_eq!(s.counter_sum("cp_calls_total"), 5, "no observations lost");
+        assert_eq!(s.gauge("cp_depth{cp=\"cp9.example\"}"), 4);
+        // Series count is bounded by cap + 1.
+        let series = s
+            .counters
+            .keys()
+            .filter(|k| base_name(k) == "cp_calls_total")
+            .count();
+        assert_eq!(series, 3);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_defined() {
+        // Empty histogram: documented sentinel.
+        let empty = HistogramSnapshot {
+            bounds: vec![10, 100],
+            buckets: vec![0, 0, 0],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile_checked(0.5), None);
+
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_buckets("m", &[10, 100, 1000]);
+        for v in [5, 50, 500] {
+            h.observe(v);
+        }
+        let snap = r.snapshot().histograms["m"].clone();
+        // q clamps into [0, 1]; 0 → smallest, 1 → largest observation.
+        assert_eq!(snap.quantile(0.0), 10);
+        assert_eq!(snap.quantile(-3.0), 10);
+        assert_eq!(snap.quantile(1.0), 1000);
+        assert_eq!(snap.quantile(7.5), 1000);
+        assert_eq!(snap.quantile(f64::NAN), 10, "NaN clamps to the minimum");
+
+        // Single bucket of finite bound.
+        let hb = r.histogram_with_buckets("one", &[42]);
+        hb.observe(1);
+        let one = r.snapshot().histograms["one"].clone();
+        assert_eq!(one.quantile(0.5), 42);
+        assert_eq!(one.quantile(1.0), 42);
+
+        // No finite bounds at all: every observation is +Inf → sentinel.
+        let hinf = r.histogram_with_buckets("inf", &[]);
+        hinf.observe(9);
+        let inf = r.snapshot().histograms["inf"].clone();
+        assert_eq!(inf.quantile(0.5), 0);
+        assert_eq!(inf.quantile_checked(0.5), None);
+    }
+
+    #[test]
+    fn prometheus_help_and_type_lines_are_unique() {
+        let r = MetricsRegistry::new();
+        r.labeled_counter("calls_total", "class", "a").inc();
+        r.labeled_counter("calls_total", "class", "b").inc();
+        r.gauge("depth").set(1);
+        r.histogram_with_buckets("lat_ms", &[10]).observe(1);
+        let text = r.snapshot().render_prometheus();
+        let mut meta: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# HELP") || l.starts_with("# TYPE"))
+            .collect();
+        let total = meta.len();
+        meta.sort_unstable();
+        meta.dedup();
+        assert_eq!(meta.len(), total, "duplicate HELP/TYPE lines");
+        assert!(text.contains("# HELP calls_total topics-lab counter"));
+        assert!(text.contains("# HELP lat_ms topics-lab histogram"));
     }
 
     #[test]

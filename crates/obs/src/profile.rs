@@ -1,0 +1,506 @@
+//! Trace analysis: critical path, per-phase self/total time, worker
+//! utilization, retry-storm clusters, slowest visits, and structural
+//! integrity checks over a sealed [`Trace`].
+//!
+//! Everything here is computed from simulated-clock span bounds where
+//! available (deterministic) and falls back to wall time only for spans
+//! that never touch campaign time (e.g. `world-gen`).
+
+use crate::trace::{SpanRecord, Trace};
+use std::collections::BTreeMap;
+
+/// Width of a retry-cluster window on the simulated clock.
+const RETRY_WINDOW_MS: u64 = 60_000;
+/// Number of retry clusters reported.
+const RETRY_CLUSTERS: usize = 5;
+
+/// Structural problems found in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Integrity {
+    /// Spans whose `parent` ID does not exist in the trace.
+    pub orphans: Vec<u64>,
+    /// IDs used by more than one span.
+    pub duplicates: Vec<u64>,
+    /// Spans with inverted durations (end before start, either clock).
+    pub negative: Vec<u64>,
+    /// Non-root spans with no parent link at all.
+    pub rootless: Vec<u64>,
+}
+
+impl Integrity {
+    /// True when the trace is structurally sound.
+    pub fn is_clean(&self) -> bool {
+        self.orphans.is_empty()
+            && self.duplicates.is_empty()
+            && self.negative.is_empty()
+            && self.rootless.is_empty()
+    }
+
+    /// Human-readable violation lines (empty when clean).
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.orphans.is_empty() {
+            out.push(format!(
+                "{} orphan span(s) (missing parent): IDs {:?}",
+                self.orphans.len(),
+                preview(&self.orphans)
+            ));
+        }
+        if !self.duplicates.is_empty() {
+            out.push(format!(
+                "{} duplicate span ID(s): {:?}",
+                self.duplicates.len(),
+                preview(&self.duplicates)
+            ));
+        }
+        if !self.negative.is_empty() {
+            out.push(format!(
+                "{} span(s) with negative duration: IDs {:?}",
+                self.negative.len(),
+                preview(&self.negative)
+            ));
+        }
+        if !self.rootless.is_empty() {
+            out.push(format!(
+                "{} non-root span(s) without a parent: IDs {:?}",
+                self.rootless.len(),
+                preview(&self.rootless)
+            ));
+        }
+        out
+    }
+}
+
+fn preview(ids: &[u64]) -> Vec<u64> {
+    ids.iter().take(8).copied().collect()
+}
+
+/// Check a trace for orphan spans, duplicate IDs, and negative
+/// durations.
+pub fn integrity(trace: &Trace) -> Integrity {
+    let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+    for s in &trace.spans {
+        *seen.entry(s.id).or_insert(0) += 1;
+    }
+    let duplicates: Vec<u64> = seen
+        .iter()
+        .filter(|(_, &n)| n > 1)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut orphans = Vec::new();
+    let mut rootless = Vec::new();
+    let mut negative = Vec::new();
+    for s in &trace.spans {
+        match s.parent {
+            Some(p) => {
+                if !seen.contains_key(&p) {
+                    orphans.push(s.id);
+                }
+            }
+            None => {
+                if s.id != 1 {
+                    rootless.push(s.id);
+                }
+            }
+        }
+        let sim_bad = matches!((s.sim_start_ms, s.sim_end_ms), (Some(a), Some(b)) if b < a);
+        let wall_bad = s.wall_start_us > 0 && s.wall_end_us > 0 && s.wall_end_us < s.wall_start_us;
+        if sim_bad || wall_bad {
+            negative.push(s.id);
+        }
+    }
+    Integrity {
+        orphans,
+        duplicates,
+        negative,
+        rootless,
+    }
+}
+
+/// Total vs self time of one top-level phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase span name (`world-gen`, `crawl`, `attestation-probe`, …).
+    pub name: String,
+    /// Phase duration: simulated ms when the phase has simulated
+    /// bounds, otherwise wall-clock ms.
+    pub total_ms: u64,
+    /// Time not covered by any direct child (same clock as `total_ms`).
+    pub self_ms: u64,
+    /// True when the stats are on the simulated clock.
+    pub simulated: bool,
+}
+
+/// One hop of the campaign critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// Span name.
+    pub name: String,
+    /// Best identifying field (domain, host, or phase name).
+    pub label: String,
+    /// Simulated start (ms).
+    pub start_ms: u64,
+    /// Simulated end (ms).
+    pub end_ms: u64,
+}
+
+/// Utilization of one worker thread in one phase (from operational
+/// `worker` spans — wall-clock, non-deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStat {
+    /// Phase the worker served.
+    pub phase: String,
+    /// Worker index.
+    pub worker: u64,
+    /// Wall µs spent inside work items.
+    pub busy_us: u64,
+    /// Wall µs the worker span covered.
+    pub span_us: u64,
+    /// Items processed.
+    pub items: u64,
+}
+
+/// A burst of retries inside one simulated-minute window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryCluster {
+    /// Window start on the simulated clock (ms).
+    pub window_start_ms: u64,
+    /// Retry attempts inside the window.
+    pub retries: usize,
+    /// Up to three sample hosts seen retrying.
+    pub hosts: Vec<String>,
+}
+
+/// One of the slowest visits, with its dominant child span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowVisit {
+    /// Visited domain.
+    pub domain: String,
+    /// Tranco-style rank, when recorded.
+    pub rank: u64,
+    /// Simulated visit duration (ms).
+    pub duration_ms: u64,
+    /// Name of the longest direct child span (`page-load`, `fetch`, …).
+    pub dominant: String,
+    /// That child's simulated duration (ms).
+    pub dominant_ms: u64,
+}
+
+/// The full analyzer output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Per-phase total vs self time, in sealed span order.
+    pub phases: Vec<PhaseStat>,
+    /// Root-to-leaf chain of latest-finishing spans on the simulated
+    /// clock.
+    pub critical_path: Vec<Hop>,
+    /// Per-worker utilization (empty when the trace has no worker
+    /// spans, e.g. a stripped trace).
+    pub workers: Vec<WorkerStat>,
+    /// Retry windows ordered by retry count, densest first.
+    pub retry_clusters: Vec<RetryCluster>,
+    /// Top-N visits by simulated duration.
+    pub slowest_visits: Vec<SlowVisit>,
+}
+
+impl Profile {
+    /// Idle fraction per phase, aggregated over that phase's workers:
+    /// `1 − Σbusy / Σspan`. Empty when no worker spans were recorded.
+    pub fn idle_fractions(&self) -> Vec<(String, f64)> {
+        let mut acc: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for w in &self.workers {
+            let e = acc.entry(&w.phase).or_insert((0, 0));
+            e.0 += w.busy_us;
+            e.1 += w.span_us;
+        }
+        acc.into_iter()
+            .filter(|(_, (_, span))| *span > 0)
+            .map(|(phase, (busy, span))| {
+                let idle = 1.0 - (busy as f64 / span as f64).min(1.0);
+                (phase.to_owned(), idle)
+            })
+            .collect()
+    }
+}
+
+fn label_of(s: &SpanRecord) -> String {
+    for key in ["domain", "host", "phase", "url"] {
+        if let Some(v) = s.field(key) {
+            return v.to_string();
+        }
+    }
+    String::new()
+}
+
+fn u64_field(s: &SpanRecord, key: &str) -> u64 {
+    match s.field(key) {
+        Some(crate::events::FieldValue::U64(v)) => *v,
+        Some(crate::events::FieldValue::I64(v)) => *v as u64,
+        _ => 0,
+    }
+}
+
+/// Analyze a sealed trace. `top_n` bounds the slowest-visit list.
+pub fn profile(trace: &Trace, top_n: usize) -> Profile {
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            children.entry(p).or_default().push(i);
+        }
+    }
+
+    // Per-phase total vs self time.
+    let mut phases = Vec::new();
+    for &pi in children.get(&1).map(Vec::as_slice).unwrap_or(&[]) {
+        let p = &trace.spans[pi];
+        if p.op {
+            continue;
+        }
+        let (total_ms, simulated) = match p.sim_duration_ms() {
+            Some(d) => (d, true),
+            None => (p.wall_duration_us() / 1000, false),
+        };
+        let self_ms = if simulated {
+            let (ps, pe) = (p.sim_start_ms.unwrap(), p.sim_end_ms.unwrap());
+            let mut intervals: Vec<(u64, u64)> = children
+                .get(&p.id)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|&ci| {
+                    let c = &trace.spans[ci];
+                    match (c.sim_start_ms, c.sim_end_ms) {
+                        (Some(a), Some(b)) if b > a => Some((a.max(ps), b.min(pe))),
+                        _ => None,
+                    }
+                })
+                .filter(|(a, b)| b > a)
+                .collect();
+            intervals.sort_unstable();
+            let mut covered = 0u64;
+            let mut cursor = ps;
+            for (a, b) in intervals {
+                let a = a.max(cursor);
+                if b > a {
+                    covered += b - a;
+                    cursor = b;
+                }
+            }
+            total_ms.saturating_sub(covered)
+        } else {
+            total_ms
+        };
+        phases.push(PhaseStat {
+            name: p.name.clone(),
+            total_ms,
+            self_ms,
+            simulated,
+        });
+    }
+
+    // Critical path: from the root, repeatedly descend into the child
+    // that finishes last on the simulated clock.
+    let mut critical_path = Vec::new();
+    let mut cursor = 1u64;
+    while let Some(kids) = children.get(&cursor) {
+        let next = kids
+            .iter()
+            .map(|&i| &trace.spans[i])
+            .filter(|s| !s.op && s.sim_end_ms.is_some())
+            .max_by_key(|s| (s.sim_end_ms, std::cmp::Reverse(s.id)));
+        let Some(next) = next else { break };
+        critical_path.push(Hop {
+            name: next.name.clone(),
+            label: label_of(next),
+            start_ms: next.sim_start_ms.unwrap_or(0),
+            end_ms: next.sim_end_ms.unwrap_or(0),
+        });
+        cursor = next.id;
+    }
+
+    // Worker utilization from operational `worker` spans.
+    let workers: Vec<WorkerStat> = trace
+        .spans
+        .iter()
+        .filter(|s| s.op && s.name == "worker")
+        .map(|s| WorkerStat {
+            phase: s
+                .field("phase")
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "?".to_owned()),
+            worker: u64_field(s, "worker"),
+            busy_us: u64_field(s, "busy_us"),
+            span_us: u64_field(s, "span_us").max(s.wall_duration_us()),
+            items: u64_field(s, "items"),
+        })
+        .collect();
+
+    // Retry storms: bucket retry spans into simulated-minute windows.
+    let mut buckets: BTreeMap<u64, (usize, Vec<String>)> = BTreeMap::new();
+    for s in trace.spans.iter().filter(|s| s.name == "retry") {
+        let Some(start) = s.sim_start_ms else {
+            continue;
+        };
+        let entry = buckets.entry(start / RETRY_WINDOW_MS).or_default();
+        entry.0 += 1;
+        if entry.1.len() < 3 {
+            let host = label_of(s);
+            if !host.is_empty() && !entry.1.contains(&host) {
+                entry.1.push(host);
+            }
+        }
+    }
+    let mut retry_clusters: Vec<RetryCluster> = buckets
+        .into_iter()
+        .map(|(window, (retries, hosts))| RetryCluster {
+            window_start_ms: window * RETRY_WINDOW_MS,
+            retries,
+            hosts,
+        })
+        .collect();
+    retry_clusters.sort_by_key(|c| (std::cmp::Reverse(c.retries), c.window_start_ms));
+    retry_clusters.truncate(RETRY_CLUSTERS);
+
+    // Slowest visits with their dominant child span.
+    let mut visits: Vec<&SpanRecord> = trace.spans.iter().filter(|s| s.name == "visit").collect();
+    visits.sort_by_key(|s| (std::cmp::Reverse(s.sim_duration_ms().unwrap_or(0)), s.id));
+    let slowest_visits = visits
+        .into_iter()
+        .take(top_n)
+        .map(|v| {
+            let dominant = children
+                .get(&v.id)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .map(|&i| &trace.spans[i])
+                .max_by_key(|c| (c.sim_duration_ms().unwrap_or(0), std::cmp::Reverse(c.id)));
+            SlowVisit {
+                domain: label_of(v),
+                rank: u64_field(v, "rank"),
+                duration_ms: v.sim_duration_ms().unwrap_or(0),
+                dominant: dominant.map(|d| d.name.clone()).unwrap_or_default(),
+                dominant_ms: dominant.and_then(|d| d.sim_duration_ms()).unwrap_or(0),
+            }
+        })
+        .collect();
+
+    Profile {
+        phases,
+        critical_path,
+        workers,
+        retry_clusters,
+        slowest_visits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn traced_campaign() -> Trace {
+        let tracer = Tracer::enabled();
+        let crawl = tracer.phase("crawl");
+        for (i, (start, end)) in [(0u64, 300u64), (0, 900), (100, 500)].iter().enumerate() {
+            let mut b = tracer.visit_builder().unwrap();
+            let v = b.open("visit", Some(*start));
+            b.field(v, "domain", format!("site{i}.example"));
+            b.field(v, "rank", i + 1);
+            let f = b.open("fetch", Some(*start));
+            b.field(f, "host", format!("site{i}.example"));
+            b.close(f, Some(start + (end - start) / 2));
+            if i == 1 {
+                let r = b.leaf("retry", Some(start + 10), Some(start + 200));
+                b.field(r, "host", "site1.example");
+                b.field(r, "attempt", 1usize);
+            }
+            b.close(v, Some(*end));
+            crawl.attach(b);
+        }
+        let mut w = tracer.visit_builder().unwrap();
+        let ws = w.open_op("worker", None);
+        w.field(ws, "phase", "crawl");
+        w.field(ws, "worker", 0usize);
+        w.field(ws, "busy_us", 750u64);
+        w.field(ws, "span_us", 1000u64);
+        w.field(ws, "items", 3usize);
+        w.close(ws, None);
+        crawl.attach(w);
+        crawl.end(Some((0, 900)));
+        tracer.finish()
+    }
+
+    #[test]
+    fn clean_trace_passes_integrity() {
+        let t = traced_campaign();
+        let report = integrity(&t);
+        assert!(report.is_clean(), "violations: {:?}", report.violations());
+    }
+
+    #[test]
+    fn orphan_duplicate_and_negative_spans_are_detected() {
+        let mut t = traced_campaign();
+        // Orphan: point a span at a parent that does not exist.
+        t.spans[2].parent = Some(9999);
+        // Duplicate: reuse an ID.
+        let dup = t.spans[3].clone();
+        t.spans.push(dup);
+        // Negative: invert a simulated duration.
+        let last = t.spans.len() - 1;
+        t.spans[last].sim_start_ms = Some(100);
+        t.spans[last].sim_end_ms = Some(50);
+        let report = integrity(&t);
+        assert!(!report.is_clean());
+        assert!(report.orphans.contains(&t.spans[2].id));
+        assert!(!report.duplicates.is_empty());
+        assert!(!report.negative.is_empty());
+        assert_eq!(report.violations().len(), 3);
+    }
+
+    #[test]
+    fn critical_path_follows_latest_finisher() {
+        let t = traced_campaign();
+        let p = profile(&t, 10);
+        assert_eq!(p.critical_path[0].name, "crawl");
+        assert_eq!(p.critical_path[1].name, "visit");
+        assert_eq!(p.critical_path[1].label, "site1.example");
+        assert_eq!(p.critical_path[1].end_ms, 900);
+    }
+
+    #[test]
+    fn phase_self_time_subtracts_child_cover() {
+        let t = traced_campaign();
+        let p = profile(&t, 10);
+        let crawl = p.phases.iter().find(|s| s.name == "crawl").unwrap();
+        assert!(crawl.simulated);
+        assert_eq!(crawl.total_ms, 900);
+        // Visits cover [0,900] completely.
+        assert_eq!(crawl.self_ms, 0);
+    }
+
+    #[test]
+    fn worker_idle_fraction_and_retry_clusters() {
+        let t = traced_campaign();
+        let p = profile(&t, 10);
+        let idle = p.idle_fractions();
+        assert_eq!(idle.len(), 1);
+        assert_eq!(idle[0].0, "crawl");
+        assert!((idle[0].1 - 0.25).abs() < 1e-9);
+        assert_eq!(p.retry_clusters.len(), 1);
+        assert_eq!(p.retry_clusters[0].retries, 1);
+        assert_eq!(p.retry_clusters[0].hosts, vec!["site1.example".to_owned()]);
+    }
+
+    #[test]
+    fn slowest_visits_rank_by_sim_duration_with_dominant_child() {
+        let t = traced_campaign();
+        let p = profile(&t, 2);
+        assert_eq!(p.slowest_visits.len(), 2);
+        assert_eq!(p.slowest_visits[0].domain, "site1.example");
+        assert_eq!(p.slowest_visits[0].duration_ms, 900);
+        assert_eq!(p.slowest_visits[0].dominant, "fetch");
+        assert_eq!(p.slowest_visits[0].dominant_ms, 450);
+        assert_eq!(p.slowest_visits[1].domain, "site2.example");
+    }
+}

@@ -1,0 +1,752 @@
+//! Hierarchical trace spans: causal, per-visit span trees for the
+//! campaign pipeline.
+//!
+//! The event log ([`crate::events`]) answers *what happened*; traces
+//! answer *where the time went*. A [`Tracer`] owns one span tree per
+//! campaign: `campaign → phase → visit → {fetch, retry, consent-click,
+//! topics-call, probe}`. Every span carries both clocks — the simulated
+//! campaign clock (`sim_start_ms`/`sim_end_ms`, deterministic) and wall
+//! time in microseconds since the tracer's epoch (operational).
+//!
+//! ## Lock discipline and determinism
+//!
+//! Crawl and probe workers never touch the shared tracer on the hot
+//! path. Each unit of work (one visit, one probe) records into a
+//! private [`TraceBuilder`] — a plain `Vec` with local parent indices —
+//! and the coordinating thread *attaches* finished builders under a
+//! phase span in a deterministic order (visits by rank, probes by slot
+//! index). Span IDs are assigned once, at [`Tracer::finish`], from that
+//! attach order, so traces from the same seed are byte-identical no
+//! matter how many worker threads ran.
+//!
+//! Spans whose shape depends on scheduling (per-worker utilization
+//! spans) are flagged *operational* ([`TraceBuilder::open_op`]); the
+//! seal sorts them after every deterministic span and
+//! [`Trace::stripped`] drops them together with the wall-clock fields,
+//! yielding the seed-reproducible view the determinism suite compares.
+
+use crate::events::FieldValue;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Sentinel index used by span handles on a disabled tracer.
+const DISABLED: usize = usize::MAX;
+
+/// One span under construction (builder-local or tracer-global; the
+/// meaning of `parent` differs — see the owning container).
+#[derive(Debug, Clone)]
+struct RawSpan {
+    /// Index of the parent span in the owning container; `None` for a
+    /// builder's root span (re-parented on attach) or a tracer-level
+    /// phase span (re-parented under the synthetic campaign root).
+    parent: Option<usize>,
+    name: String,
+    /// Operational spans depend on thread scheduling and are excluded
+    /// from the deterministic view.
+    op: bool,
+    sim_start_ms: Option<u64>,
+    sim_end_ms: Option<u64>,
+    wall_start_us: u64,
+    wall_end_us: u64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl RawSpan {
+    fn new(parent: Option<usize>, name: &str, op: bool, sim_ms: Option<u64>, wall_us: u64) -> Self {
+        RawSpan {
+            parent,
+            name: name.to_owned(),
+            op,
+            sim_start_ms: sim_ms,
+            sim_end_ms: None,
+            wall_start_us: wall_us,
+            wall_end_us: 0,
+            fields: Vec::new(),
+        }
+    }
+}
+
+/// A private, lock-free span subtree recorded by one unit of work (one
+/// visit, one attestation probe, one worker thread). Obtained from
+/// [`Tracer::visit_builder`] and handed back via [`TracerSpan::attach`].
+#[derive(Debug)]
+pub struct TraceBuilder {
+    epoch: Instant,
+    spans: Vec<RawSpan>,
+    /// Stack of open span indices; new spans become children of the
+    /// top of the stack.
+    stack: Vec<usize>,
+}
+
+impl TraceBuilder {
+    fn new(epoch: Instant) -> TraceBuilder {
+        TraceBuilder {
+            epoch,
+            spans: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn wall_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().max(1) as u64
+    }
+
+    /// Open a span as a child of the innermost open span (or as the
+    /// builder's root). Returns the index to pass to [`close`].
+    ///
+    /// [`close`]: TraceBuilder::close
+    pub fn open(&mut self, name: &str, sim_ms: Option<u64>) -> usize {
+        self.push(name, false, sim_ms)
+    }
+
+    /// Open an *operational* span — excluded from the deterministic
+    /// stripped view (used for scheduling-dependent data such as
+    /// per-worker utilization).
+    pub fn open_op(&mut self, name: &str, sim_ms: Option<u64>) -> usize {
+        self.push(name, true, sim_ms)
+    }
+
+    fn push(&mut self, name: &str, op: bool, sim_ms: Option<u64>) -> usize {
+        let idx = self.spans.len();
+        let wall = self.wall_us();
+        self.spans.push(RawSpan::new(
+            self.stack.last().copied(),
+            name,
+            op,
+            sim_ms,
+            wall,
+        ));
+        self.stack.push(idx);
+        idx
+    }
+
+    /// Record a closed point-in-time or already-finished span (e.g. a
+    /// `topics-call` or a single `retry` attempt).
+    pub fn leaf(
+        &mut self,
+        name: &str,
+        sim_start_ms: Option<u64>,
+        sim_end_ms: Option<u64>,
+    ) -> usize {
+        let idx = self.push(name, false, sim_start_ms);
+        self.close(idx, sim_end_ms.or(sim_start_ms));
+        idx
+    }
+
+    /// Attach a field to an open or closed span.
+    pub fn field(&mut self, idx: usize, key: &str, value: impl Into<FieldValue>) {
+        if let Some(span) = self.spans.get_mut(idx) {
+            span.fields.push((key.to_owned(), value.into()));
+        }
+    }
+
+    /// Close a span, recording the simulated end time (if any) and the
+    /// wall-clock end. Also closes any nested spans left open.
+    pub fn close(&mut self, idx: usize, sim_end_ms: Option<u64>) {
+        let wall = self.wall_us();
+        while let Some(top) = self.stack.pop() {
+            let span = &mut self.spans[top];
+            if span.wall_end_us == 0 {
+                span.wall_end_us = wall;
+            }
+            if top == idx {
+                span.sim_end_ms = sim_end_ms.or(span.sim_start_ms);
+                return;
+            }
+            span.sim_end_ms = span.sim_end_ms.or(span.sim_start_ms);
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Latest simulated end time across all spans (used by the campaign
+    /// to stamp deterministic phase bounds).
+    pub fn max_sim_end(&self) -> Option<u64> {
+        self.spans
+            .iter()
+            .filter_map(|s| s.sim_end_ms.or(s.sim_start_ms))
+            .max()
+    }
+
+    /// Close any spans still open (defensive; called before attach).
+    fn seal_open(&mut self) {
+        let wall = self.wall_us();
+        while let Some(top) = self.stack.pop() {
+            let span = &mut self.spans[top];
+            if span.wall_end_us == 0 {
+                span.wall_end_us = wall;
+            }
+            span.sim_end_ms = span.sim_end_ms.or(span.sim_start_ms);
+        }
+    }
+}
+
+/// The campaign-wide trace collector. Disabled by default (all methods
+/// are no-ops and [`Tracer::visit_builder`] returns `None`, so the
+/// traced code paths cost one branch); enable with [`Tracer::enabled`].
+#[derive(Debug)]
+pub struct Tracer {
+    on: bool,
+    epoch: Instant,
+    inner: Mutex<Vec<RawSpan>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default inside [`crate::Obs`]).
+    pub fn disabled() -> Tracer {
+        Tracer {
+            on: false,
+            epoch: Instant::now(),
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A live tracer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            on: true,
+            epoch: Instant::now(),
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// A private builder for one unit of work, or `None` when tracing
+    /// is off (lets hot paths skip all recording).
+    pub fn visit_builder(&self) -> Option<TraceBuilder> {
+        self.on.then(|| TraceBuilder::new(self.epoch))
+    }
+
+    /// Open a top-level phase span (a direct child of the synthetic
+    /// `campaign` root). No-op handle when disabled.
+    pub fn phase(&self, name: &str) -> TracerSpan<'_> {
+        if !self.on {
+            return TracerSpan {
+                tracer: self,
+                idx: DISABLED,
+            };
+        }
+        let wall = self.epoch.elapsed().as_micros().max(1) as u64;
+        let mut inner = self.inner.lock();
+        let idx = inner.len();
+        inner.push(RawSpan::new(None, name, false, None, wall));
+        TracerSpan { tracer: self, idx }
+    }
+
+    /// Number of spans recorded so far (excluding the synthetic root).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Seal the trace: assign stable 1-based span IDs (the synthetic
+    /// `campaign` root is ID 1), re-parent phase spans under the root,
+    /// order deterministic spans before operational ones, and compute
+    /// the root's simulated bounds from its children.
+    pub fn finish(&self) -> Trace {
+        let mut raw: Vec<RawSpan> = std::mem::take(&mut *self.inner.lock());
+        let finished_wall = self.epoch.elapsed().as_micros().max(1) as u64;
+        for span in &mut raw {
+            if span.wall_end_us == 0 {
+                span.wall_end_us = finished_wall;
+            }
+            span.sim_end_ms = span.sim_end_ms.or(span.sim_start_ms);
+        }
+        // Children are always appended after their parents, so one
+        // forward pass propagates the operational flag down subtrees.
+        for i in 0..raw.len() {
+            if let Some(p) = raw[i].parent {
+                if raw[p].op {
+                    raw[i].op = true;
+                }
+            }
+        }
+        // Stable partition: deterministic spans keep their attach order
+        // and take IDs 2..; operational spans follow.
+        let mut order: Vec<usize> = (0..raw.len()).collect();
+        order.sort_by_key(|&i| (raw[i].op, i));
+        let mut new_id = vec![0u64; raw.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            new_id[i] = pos as u64 + 2;
+        }
+        let sim_start = raw
+            .iter()
+            .filter(|s| !s.op)
+            .filter_map(|s| s.sim_start_ms)
+            .min();
+        let sim_end = raw
+            .iter()
+            .filter(|s| !s.op)
+            .filter_map(|s| s.sim_end_ms)
+            .max();
+        let mut spans = Vec::with_capacity(raw.len() + 1);
+        spans.push(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "campaign".to_owned(),
+            op: false,
+            sim_start_ms: sim_start,
+            sim_end_ms: sim_end,
+            wall_start_us: 1,
+            wall_end_us: finished_wall,
+            fields: Vec::new(),
+        });
+        for &i in &order {
+            let s = &raw[i];
+            spans.push(SpanRecord {
+                id: new_id[i],
+                parent: Some(s.parent.map(|p| new_id[p]).unwrap_or(1)),
+                name: s.name.clone(),
+                op: s.op,
+                sim_start_ms: s.sim_start_ms,
+                sim_end_ms: s.sim_end_ms,
+                wall_start_us: s.wall_start_us,
+                wall_end_us: s.wall_end_us,
+                fields: s.fields.clone(),
+            });
+        }
+        Trace { spans }
+    }
+}
+
+/// Handle to a tracer-level phase span. Close it explicitly with
+/// [`TracerSpan::end`] to stamp deterministic simulated bounds, or let
+/// it drop (wall-clock close only).
+#[derive(Debug)]
+pub struct TracerSpan<'a> {
+    tracer: &'a Tracer,
+    idx: usize,
+}
+
+impl TracerSpan<'_> {
+    /// Attach a field to the phase span.
+    pub fn field(&self, key: &str, value: impl Into<FieldValue>) {
+        if self.idx == DISABLED {
+            return;
+        }
+        let mut inner = self.tracer.inner.lock();
+        if let Some(span) = inner.get_mut(self.idx) {
+            span.fields.push((key.to_owned(), value.into()));
+        }
+    }
+
+    /// Stamp the span's simulated start time.
+    pub fn sim_start(&self, sim_ms: u64) {
+        if self.idx == DISABLED {
+            return;
+        }
+        let mut inner = self.tracer.inner.lock();
+        if let Some(span) = inner.get_mut(self.idx) {
+            span.sim_start_ms = Some(sim_ms);
+        }
+    }
+
+    /// Attach a finished builder's subtree under this span. Call in a
+    /// deterministic order (rank order for visits, slot order for
+    /// probes) — span IDs are assigned from attach order at seal time.
+    pub fn attach(&self, mut builder: TraceBuilder) {
+        if self.idx == DISABLED {
+            return;
+        }
+        builder.seal_open();
+        let mut inner = self.tracer.inner.lock();
+        let offset = inner.len();
+        for mut span in builder.spans {
+            span.parent = Some(span.parent.map(|p| p + offset).unwrap_or(self.idx));
+            inner.push(span);
+        }
+    }
+
+    /// Close the span, stamping the simulated end (and start, if given).
+    pub fn end(self, sim_bounds: Option<(u64, u64)>) {
+        if self.idx == DISABLED {
+            return;
+        }
+        let wall = self.tracer.epoch.elapsed().as_micros().max(1) as u64;
+        let mut inner = self.tracer.inner.lock();
+        if let Some(span) = inner.get_mut(self.idx) {
+            if let Some((start, end)) = sim_bounds {
+                span.sim_start_ms = Some(start);
+                span.sim_end_ms = Some(end);
+            }
+            span.wall_end_us = wall;
+        }
+    }
+}
+
+impl Drop for TracerSpan<'_> {
+    fn drop(&mut self) {
+        if self.idx == DISABLED {
+            return;
+        }
+        let wall = self.tracer.epoch.elapsed().as_micros().max(1) as u64;
+        let mut inner = self.tracer.inner.lock();
+        if let Some(span) = inner.get_mut(self.idx) {
+            if span.wall_end_us == 0 {
+                span.wall_end_us = wall;
+            }
+        }
+    }
+}
+
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
+}
+fn bool_is_false(v: &bool) -> bool {
+    !*v
+}
+
+/// One sealed span: stable ID, parent link, both clocks, fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Stable 1-based span ID (1 is always the `campaign` root).
+    pub id: u64,
+    /// Parent span ID; `None` only for the root.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub parent: Option<u64>,
+    /// Span name (`crawl`, `visit`, `fetch`, `retry`, `topics-call`, …).
+    pub name: String,
+    /// Operational (scheduling-dependent) spans are dropped from the
+    /// deterministic stripped view.
+    #[serde(skip_serializing_if = "bool_is_false", default)]
+    pub op: bool,
+    /// Simulated-clock start, ms since campaign epoch.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub sim_start_ms: Option<u64>,
+    /// Simulated-clock end.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub sim_end_ms: Option<u64>,
+    /// Wall-clock start, µs since the tracer epoch (0 when stripped).
+    #[serde(skip_serializing_if = "u64_is_zero", default)]
+    pub wall_start_us: u64,
+    /// Wall-clock end, µs since the tracer epoch (0 when stripped).
+    #[serde(skip_serializing_if = "u64_is_zero", default)]
+    pub wall_end_us: u64,
+    /// Ordered key/value payload (domain, CP, retry attempt, …).
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Value of a field, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Simulated duration in ms, when both bounds are present and
+    /// ordered.
+    pub fn sim_duration_ms(&self) -> Option<u64> {
+        match (self.sim_start_ms, self.sim_end_ms) {
+            (Some(s), Some(e)) if e >= s => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Wall-clock duration in µs (0 when stripped or inverted).
+    pub fn wall_duration_us(&self) -> u64 {
+        self.wall_end_us.saturating_sub(self.wall_start_us)
+    }
+}
+
+/// A sealed, immutable span tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Spans in sealed order: root first, then deterministic spans in
+    /// attach order, then operational spans.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Look up a span by ID.
+    pub fn span(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Number of spans with the given name.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// The deterministic view: operational spans dropped, wall-clock
+    /// fields zeroed. Two same-seed runs produce byte-identical
+    /// [`Trace::to_jsonl`] output of this view regardless of thread
+    /// counts.
+    #[must_use]
+    pub fn stripped(&self) -> Trace {
+        Trace {
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| !s.op)
+                .map(|s| SpanRecord {
+                    wall_start_us: 0,
+                    wall_end_us: 0,
+                    ..s.clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// JSONL export: one span object per line, in sealed order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str(&serde_json::to_string(span).expect("span serialises"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into a trace (the `doctor` loader).
+    pub fn from_jsonl(text: &str) -> Result<Trace, String> {
+        let mut spans = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let span: SpanRecord = serde_json::from_str(line)
+                .map_err(|e| format!("trace line {}: {e}", lineno + 1))?;
+            spans.push(span);
+        }
+        Ok(Trace { spans })
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents": […]}` format),
+    /// loadable in Perfetto / `chrome://tracing`. Spans with simulated
+    /// bounds are laid out on the simulated clock (µs = sim ms × 1000);
+    /// purely operational spans use wall time. Concurrent sibling
+    /// subtrees are fanned out over synthetic track IDs so overlapping
+    /// visits render side by side.
+    pub fn to_chrome_json(&self) -> String {
+        // Greedy lane assignment: direct children of phase spans that
+        // overlap in simulated time go to separate tracks; descendants
+        // inherit their ancestor's track.
+        let mut tid = vec![0u64; self.spans.len()];
+        let index_of: std::collections::BTreeMap<u64, usize> = self
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        let phase_ids: std::collections::BTreeSet<u64> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(1))
+            .map(|s| s.id)
+            .collect();
+        let mut lanes: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for (i, s) in self.spans.iter().enumerate() {
+            let Some(parent) = s.parent else { continue };
+            if phase_ids.contains(&parent) {
+                let start = s.sim_start_ms.unwrap_or(0);
+                let end = s.sim_end_ms.unwrap_or(start).max(start);
+                let ends = lanes.entry(parent).or_default();
+                let lane = match ends.iter().position(|&e| e <= start) {
+                    Some(l) => {
+                        ends[l] = end.max(start + 1);
+                        l
+                    }
+                    None => {
+                        ends.push(end.max(start + 1));
+                        ends.len() - 1
+                    }
+                };
+                tid[i] = lane as u64 + 1;
+            } else if let Some(&pi) = index_of.get(&parent) {
+                tid[i] = tid[pi];
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (ts, dur) = match (s.sim_start_ms, s.sim_end_ms) {
+                (Some(start), end) => {
+                    let e = end.unwrap_or(start).max(start);
+                    (start * 1000, ((e - start) * 1000).max(1))
+                }
+                _ => (s.wall_start_us, s.wall_duration_us().max(1)),
+            };
+            let track = if s.op { 900 + tid[i] } else { tid[i] };
+            out.push_str(&format!(
+                "{{\"name\":{},\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":{track},\"args\":{{\"id\":{},\"parent\":{}",
+                json_escape(&s.name),
+                s.id,
+                s.parent.unwrap_or(0),
+            ));
+            for (k, v) in &s.fields {
+                out.push(',');
+                out.push_str(&json_escape(k));
+                out.push(':');
+                match v {
+                    FieldValue::Str(t) => out.push_str(&json_escape(t)),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the Chrome exporter.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let tracer = Tracer::enabled();
+        let phase = tracer.phase("crawl");
+        let mut b = tracer.visit_builder().unwrap();
+        let visit = b.open("visit", Some(100));
+        b.field(visit, "domain", "site0.example");
+        let fetch = b.open("fetch", Some(100));
+        b.field(fetch, "host", "site0.example");
+        b.close(fetch, Some(140));
+        b.leaf("topics-call", Some(150), None);
+        b.close(visit, Some(200));
+        phase.attach(b);
+        let mut w = tracer.visit_builder().unwrap();
+        let ws = w.open_op("worker", None);
+        w.field(ws, "worker", 0usize);
+        w.close(ws, None);
+        phase.attach(w);
+        phase.end(Some((100, 200)));
+        tracer.finish()
+    }
+
+    #[test]
+    fn seal_assigns_stable_ids_and_parent_links() {
+        let t = sample_trace();
+        assert_eq!(t.spans[0].name, "campaign");
+        assert_eq!(t.spans[0].id, 1);
+        assert_eq!(t.spans[0].sim_start_ms, Some(100));
+        assert_eq!(t.spans[0].sim_end_ms, Some(200));
+        let phase = t.spans.iter().find(|s| s.name == "crawl").unwrap();
+        assert_eq!(phase.parent, Some(1));
+        let visit = t.spans.iter().find(|s| s.name == "visit").unwrap();
+        assert_eq!(visit.parent, Some(phase.id));
+        let fetch = t.spans.iter().find(|s| s.name == "fetch").unwrap();
+        assert_eq!(fetch.parent, Some(visit.id));
+        assert_eq!(fetch.sim_duration_ms(), Some(40));
+        // IDs are dense and unique.
+        let mut ids: Vec<u64> = t.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), t.spans.len());
+        assert_eq!(*ids.last().unwrap(), t.spans.len() as u64);
+    }
+
+    #[test]
+    fn operational_spans_sort_last_and_strip_out() {
+        let t = sample_trace();
+        let worker = t.spans.iter().find(|s| s.name == "worker").unwrap();
+        assert!(worker.op);
+        assert_eq!(
+            worker.id,
+            t.spans.len() as u64,
+            "op spans take the last IDs"
+        );
+        let stripped = t.stripped();
+        assert!(stripped.spans.iter().all(|s| !s.op));
+        assert!(stripped
+            .spans
+            .iter()
+            .all(|s| s.wall_start_us == 0 && s.wall_end_us == 0));
+        assert_eq!(stripped.count_named("visit"), 1);
+        assert_eq!(stripped.count_named("worker"), 0);
+    }
+
+    #[test]
+    fn stripped_jsonl_round_trips() {
+        let t = sample_trace().stripped();
+        let back = Trace::from_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(tracer.visit_builder().is_none());
+        let phase = tracer.phase("crawl");
+        phase.field("sites", 10usize);
+        phase.end(Some((0, 1)));
+        assert!(tracer.is_empty());
+        let t = tracer.finish();
+        assert_eq!(t.spans.len(), 1, "just the synthetic root");
+    }
+
+    #[test]
+    fn builder_close_also_closes_nested_spans() {
+        let tracer = Tracer::enabled();
+        let phase = tracer.phase("crawl");
+        let mut b = tracer.visit_builder().unwrap();
+        let outer = b.open("visit", Some(10));
+        b.open("fetch", Some(10)); // left open on purpose
+        b.close(outer, Some(50));
+        phase.attach(b);
+        drop(phase);
+        let t = tracer.finish();
+        let fetch = t.spans.iter().find(|s| s.name == "fetch").unwrap();
+        assert_eq!(fetch.sim_end_ms, Some(10), "auto-closed at its start");
+    }
+
+    #[test]
+    fn chrome_export_has_trace_events_with_sim_timestamps() {
+        let t = sample_trace();
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100000"), "sim ms → µs");
+        assert!(json.contains("\"domain\":\"site0.example\""));
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -28,6 +28,29 @@ cargo test -q
 echo "== chaos suite (fault injection) =="
 cargo test -q -p topics-core --test integration_faults
 
+echo "== doctor on a chaos campaign (5% fault band) =="
+# A traced crawl under faults must produce a trace the doctor can fully
+# reconcile against the metric tally: orphan spans, duplicate IDs,
+# negative durations, or span/metric count mismatches all exit non-zero.
+DOCTOR_DIR=$(mktemp -d)
+trap 'rm -rf "$DOCTOR_DIR"' EXIT
+cargo run --release -q -p topics-core --bin topics-lab -- crawl \
+    --sites 500 --seed 7 --quiet --fault-profile 0.05 \
+    --out "$DOCTOR_DIR" --trace-out trace.jsonl --metrics-out metrics.prom \
+    > /dev/null
+cargo run --release -q -p topics-core --bin topics-lab -- doctor \
+    --campaign "$DOCTOR_DIR" > /dev/null
+
+echo "== prometheus render has no duplicate headers =="
+# Each metric family must emit exactly one # HELP and one # TYPE line;
+# duplicates mean the renderer double-registered a family.
+DUPES=$(grep -E '^# (HELP|TYPE) ' "$DOCTOR_DIR/metrics.prom" | sort | uniq -d || true)
+if [ -n "$DUPES" ]; then
+    echo "error: duplicate Prometheus header lines:" >&2
+    echo "$DUPES" >&2
+    exit 1
+fi
+
 echo "== property suites =="
 cargo test -q -p topics-net --test properties
 cargo test -q -p topics-browser --test properties

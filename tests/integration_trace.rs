@@ -1,0 +1,140 @@
+//! Integration: the hierarchical trace subsystem.
+//!
+//! The trace is part of the determinism contract: with wall-clock and
+//! operational worker spans stripped, the same seed and configuration
+//! must serialize to byte-identical JSONL regardless of thread counts.
+//! On top of the trace, the doctor report must profile a real campaign
+//! and catch structural corruption.
+
+use topics_core::crawler::record::CampaignOutcome;
+use topics_core::net::fault::FaultProfile;
+use topics_core::obs::{Obs, Trace};
+use topics_core::{diagnose, Lab, LabConfig};
+
+const SITES: usize = 500;
+
+fn traced_run(config: LabConfig) -> (CampaignOutcome, Trace) {
+    let obs = Obs::new().with_trace();
+    let run = Lab::new(config).run_observed(&obs);
+    (run.outcome, obs.trace.finish())
+}
+
+fn stripped_jsonl(config: LabConfig) -> String {
+    traced_run(config).1.stripped().to_jsonl()
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical_across_runs_and_thread_counts() {
+    let config = || LabConfig::quick(23, SITES).with_threads(4);
+    let baseline = stripped_jsonl(config());
+    assert!(!baseline.is_empty());
+    assert_eq!(
+        baseline,
+        stripped_jsonl(config()),
+        "re-running the same configuration changes the stripped trace"
+    );
+    for probe_threads in [1, 4, 8] {
+        assert_eq!(
+            baseline,
+            stripped_jsonl(config().with_probe_threads(probe_threads)),
+            "--probe-threads {probe_threads} changes the stripped trace"
+        );
+    }
+    // Crawl parallelism must not leak into the trace either.
+    assert_eq!(
+        baseline,
+        stripped_jsonl(LabConfig::quick(23, SITES).with_threads(1)),
+        "crawl thread count changes the stripped trace"
+    );
+}
+
+#[test]
+fn trace_survives_a_jsonl_round_trip() {
+    let (_, trace) = traced_run(LabConfig::quick(29, 60).with_threads(2));
+    let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("round trip parses");
+    assert_eq!(trace.spans, parsed.spans);
+    // The Chrome export wraps at least one event per span in the
+    // `traceEvents` envelope Perfetto expects.
+    let chrome = trace.to_chrome_json();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.matches("\"ph\":").count() >= trace.spans.len());
+}
+
+#[test]
+fn doctor_profiles_a_faulty_campaign() {
+    let (outcome, trace) = traced_run(
+        LabConfig::quick(37, SITES)
+            .with_threads(2)
+            .with_fault_profile(FaultProfile::parse("0.05").unwrap()),
+    );
+    let report = diagnose(&outcome, &trace, 10);
+    assert!(report.is_healthy(), "violations: {:?}", report.violations());
+    assert_eq!(report.attempted, SITES);
+
+    // Critical path descends from a phase into campaign work.
+    assert!(report.profile.critical_path.len() >= 2);
+
+    // Worker utilization is present and sane for the crawl pool.
+    let idle = report.profile.idle_fractions();
+    let crawl_idle = idle
+        .iter()
+        .find(|(phase, _)| phase == "crawl")
+        .map(|(_, f)| *f)
+        .expect("crawl worker spans recorded");
+    assert!((0.0..=1.0).contains(&crawl_idle));
+
+    // Top-10 slowest visits, ranked.
+    assert_eq!(report.profile.slowest_visits.len(), 10);
+    let durations: Vec<u64> = report
+        .profile
+        .slowest_visits
+        .iter()
+        .map(|v| v.duration_ms)
+        .collect();
+    let mut sorted = durations.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(durations, sorted, "slowest visits are ordered");
+    assert!(!report.profile.slowest_visits[0].domain.is_empty());
+
+    // 5% faults produce retries, and the profiler clusters them.
+    assert!(!report.profile.retry_clusters.is_empty());
+
+    // The rendered report names every advertised section.
+    let text = report.render();
+    for needle in [
+        "Trace/metric reconciliation",
+        "Critical path",
+        "Worker utilization",
+        "Retry hot-spots",
+        "Slowest visits",
+    ] {
+        assert!(text.contains(needle), "missing section {needle}");
+    }
+}
+
+#[test]
+fn doctor_detects_an_injected_orphan_in_a_serialized_trace() {
+    let (outcome, trace) = traced_run(LabConfig::quick(41, 60).with_threads(2));
+    // Corrupt the trace the way a broken writer would: through the
+    // serialized fixture, not the in-memory structs.
+    let corrupted: String = trace
+        .to_jsonl()
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            let mut span: topics_core::obs::SpanRecord = serde_json::from_str(line).unwrap();
+            if i == 5 {
+                span.parent = Some(999_999);
+            }
+            format!("{}\n", serde_json::to_string(&span).unwrap())
+        })
+        .collect();
+    let trace = Trace::from_jsonl(&corrupted).expect("corrupted fixture still parses");
+    let report = diagnose(&outcome, &trace, 10);
+    assert!(!report.is_healthy());
+    assert!(
+        report.violations().iter().any(|v| v.contains("orphan")),
+        "violations: {:?}",
+        report.violations()
+    );
+}
