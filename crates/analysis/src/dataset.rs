@@ -43,15 +43,28 @@ pub struct CpClass {
 pub struct Datasets<'a> {
     outcome: &'a CampaignOutcome,
     index: CampaignIndex<'a>,
+    index_alloc: topics_obs::AllocDelta,
 }
 
 impl<'a> Datasets<'a> {
     /// Wrap a campaign outcome (builds the one-pass index).
     pub fn new(outcome: &'a CampaignOutcome) -> Datasets<'a> {
+        // Measure what the one-pass index costs in heap — the number the
+        // columnar-store roadmap item has to beat. Zero unless the
+        // counting allocator is enabled.
+        let aspan = topics_obs::AllocSpan::start();
+        let index = CampaignIndex::new(outcome);
         Datasets {
             outcome,
-            index: CampaignIndex::new(outcome),
+            index,
+            index_alloc: aspan.finish(),
         }
+    }
+
+    /// Heap allocated while building the one-pass index (all-zero
+    /// unless the counting allocator was enabled during construction).
+    pub fn index_alloc(&self) -> topics_obs::AllocDelta {
+        self.index_alloc
     }
 
     /// The underlying outcome.

@@ -1,91 +1,177 @@
-//! CI perf smoke for the attestation-probe phase.
+//! CI perf smoke and regression ledger.
 //!
-//! Runs one quick campaign at `TOPICS_BENCH_SITES` (CI uses 2,000) and
-//! compares the live `phase_wall_us{phase="attestation-probe"}` gauge
-//! against the committed `BENCH_summary.json` baseline. Exits non-zero
-//! when the probe phase takes more than 1.5× the recorded baseline; a
-//! missing baseline or a scale mismatch skips the check (exit 0) so the
+//! Runs a few identical campaigns at `TOPICS_BENCH_SITES` (CI uses
+//! 2,000) under the counting allocator and measures four things per
+//! run, keeping the minimum of each (single samples on busy 1-core
+//! runners vary ~2×):
+//!
+//! * `crawl_wall_ms`   — the campaign wall clock;
+//! * `probe_wall_us`   — the `phase_wall_us{phase="attestation-probe"}` gauge;
+//! * `report_wall_ms`  — full evaluation + report render;
+//! * `alloc_bytes`     — heap allocated across the run (counting allocator);
+//!
+//! plus the process peak RSS (`VmHWM`) once at the end. The current
+//! numbers are compared against the **last entry** of the append-only
+//! history in `BENCH_summary.json`: more than 30% slower on a time
+//! column or 25% heavier on a memory column exits non-zero. A missing history,
+//! scale mismatch, or zero baseline column skips that check so the
 //! smoke never blocks unrelated work.
 //!
-//! Re-record the baseline with `TOPICS_PERF_RECORD=1` (writes the
-//! summary file instead of comparing).
+//! Modes:
+//!
+//! * default                 — measure and compare against the history;
+//! * `TOPICS_PERF_RECORD=1`  — measure and append a chained entry;
+//! * `verify-history` (arg)  — no campaign: verify the hash chain, and
+//!   when `TOPICS_PERF_PREV` names a file, that the current history is
+//!   an append-only extension of it.
+//!
+//! `TOPICS_PERF_RUNS` overrides the number of runs (default 3).
 
 use std::time::Instant;
 use topics_bench::{
-    bench_sites, read_summary, summary_path, BenchSummary, BENCH_SEED, PROBE_WALL_GAUGE,
+    bench_sites, check_regression, is_append_only, read_history, summary_path, verify_history,
+    BenchSummary, BENCH_SEED, PROBE_WALL_GAUGE,
 };
-use topics_core::{Lab, LabConfig};
+use topics_core::{evaluate, Lab, LabConfig};
+use topics_obs::{alloc, CountingAlloc};
 
-/// Regression threshold: fail when current > baseline × 3/2.
-const NUM: u64 = 3;
-const DEN: u64 = 2;
+/// Every heap byte of the process goes through the counting allocator;
+/// counting is switched on at the top of `main`, so the setup noise
+/// before it stays out of the ledger.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
-/// Identical campaign runs per invocation; the minimum probe wall time
-/// is compared (single samples on busy 1-core runners vary ~2×).
-const RUNS: usize = 3;
-
-fn main() {
-    let sites = bench_sites();
+fn verify_history_mode() {
     let path = summary_path();
-    let record = std::env::var("TOPICS_PERF_RECORD").as_deref() == Ok("1");
-
-    // Wall-clock is noisy on shared runners; the best of a few identical
-    // runs is a stable estimate of what the phase actually costs.
-    let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
-    let started = Instant::now();
-    let mut run = lab.run();
-    let crawl_wall_ms = started.elapsed().as_millis() as u64;
-    let mut probe_wall_us = run.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64;
-    for _ in 1..RUNS {
-        run = lab.run();
-        probe_wall_us = probe_wall_us.min(run.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64);
-    }
-    println!(
-        "perf-smoke: sites={sites} visited={} probe_wall_us={probe_wall_us} (best of {RUNS}) crawl_wall_ms={crawl_wall_ms}",
-        run.visited_count(),
-    );
-
-    if record {
-        let summary = BenchSummary {
-            sites,
-            seed: BENCH_SEED,
-            crawl_wall_ms,
-            visited: run.visited_count(),
-            accepted: run.accepted_count(),
-            probe_wall_us,
-        };
-        let json = serde_json::to_string(&summary).expect("summary serialises");
-        std::fs::write(&path, json).expect("baseline written");
-        println!("perf-smoke: baseline recorded at {}", path.display());
-        return;
-    }
-
-    let Some(baseline) = read_summary(&path) else {
+    let Some(history) = read_history(&path) else {
         println!(
-            "perf-smoke: no baseline at {} — skipping comparison",
+            "perf-smoke: no history at {} — nothing to verify",
             path.display()
         );
         return;
     };
-    if baseline.sites != sites || baseline.probe_wall_us == 0 {
+    if let Err(e) = verify_history(&history) {
+        eprintln!("perf-smoke FAIL: {} — {e}", path.display());
+        std::process::exit(1);
+    }
+    if let Ok(prev_path) = std::env::var("TOPICS_PERF_PREV") {
+        let prev = read_history(std::path::Path::new(&prev_path)).unwrap_or_default();
+        if !is_append_only(&prev, &history) {
+            eprintln!(
+                "perf-smoke FAIL: {} is not an append-only extension of {prev_path} \
+                 (recorded entries were edited or dropped)",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "perf-smoke OK: history at {} verifies ({} entries)",
+        path.display(),
+        history.len()
+    );
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("verify-history") {
+        verify_history_mode();
+        return;
+    }
+
+    let sites = bench_sites();
+    let path = summary_path();
+    let record = std::env::var("TOPICS_PERF_RECORD").as_deref() == Ok("1");
+    let runs: usize = std::env::var("TOPICS_PERF_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3);
+
+    alloc::set_enabled(true);
+    let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
+
+    let mut crawl_wall_ms = u64::MAX;
+    let mut probe_wall_us = u64::MAX;
+    let mut report_wall_ms = u64::MAX;
+    let mut alloc_bytes = u64::MAX;
+    let mut run = None;
+    for _ in 0..runs {
+        let alloc_before = alloc::global_stats().alloc_bytes;
+        let started = Instant::now();
+        let r = lab.run();
+        crawl_wall_ms = crawl_wall_ms.min(started.elapsed().as_millis() as u64);
+        probe_wall_us = probe_wall_us.min(r.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64);
+        let report_started = Instant::now();
+        let eval = evaluate(&r.outcome);
+        let report = eval.render_report();
+        report_wall_ms = report_wall_ms.min(report_started.elapsed().as_millis() as u64);
+        std::hint::black_box(report);
+        alloc_bytes = alloc_bytes.min(alloc::global_stats().alloc_bytes - alloc_before);
+        run = Some(r);
+    }
+    let run = run.expect("at least one run");
+    let peak_rss_bytes = alloc::peak_rss_bytes().unwrap_or(0);
+    println!(
+        "perf-smoke: sites={sites} visited={} (best of {runs}) crawl_wall_ms={crawl_wall_ms} \
+         probe_wall_us={probe_wall_us} report_wall_ms={report_wall_ms} \
+         alloc_bytes={alloc_bytes} peak_rss_bytes={peak_rss_bytes}",
+        run.visited_count(),
+    );
+
+    let current = BenchSummary {
+        sites,
+        seed: BENCH_SEED,
+        crawl_wall_ms,
+        visited: run.visited_count(),
+        accepted: run.accepted_count(),
+        probe_wall_us,
+        report_wall_ms,
+        alloc_bytes,
+        peak_rss_bytes,
+        chain: 0, // assigned by append_entry
+    };
+
+    if record {
+        if let Err(e) = topics_bench::append_entry(&path, current) {
+            eprintln!("perf-smoke FAIL: recording entry: {e}");
+            std::process::exit(1);
+        }
+        println!("perf-smoke: entry appended to {}", path.display());
+        return;
+    }
+
+    let Some(history) = read_history(&path) else {
         println!(
-            "perf-smoke: baseline scale mismatch (baseline sites={}, probe_wall_us={}) — skipping",
-            baseline.sites, baseline.probe_wall_us
+            "perf-smoke: no history at {} — skipping comparison",
+            path.display()
+        );
+        return;
+    };
+    if let Err(e) = verify_history(&history) {
+        eprintln!("perf-smoke FAIL: {} — {e}", path.display());
+        std::process::exit(1);
+    }
+    let Some(baseline) = history.last() else {
+        println!("perf-smoke: empty history — skipping comparison");
+        return;
+    };
+    if baseline.sites != sites {
+        println!(
+            "perf-smoke: baseline scale mismatch (baseline sites={}, current sites={sites}) — skipping",
+            baseline.sites
         );
         return;
     }
-    let limit = baseline.probe_wall_us.saturating_mul(NUM) / DEN;
-    if probe_wall_us > limit {
-        eprintln!(
-            "perf-smoke FAIL: probe phase {probe_wall_us} µs > {limit} µs \
-             ({NUM}/{DEN} × baseline {} µs)",
-            baseline.probe_wall_us
-        );
+    let violations = check_regression(baseline, &current);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("perf-smoke FAIL: {v}");
+        }
         std::process::exit(1);
     }
     println!(
-        "perf-smoke OK: probe phase {probe_wall_us} µs ≤ {limit} µs \
-         ({NUM}/{DEN} × baseline {} µs)",
-        baseline.probe_wall_us
+        "perf-smoke OK: within 13/10 × time and 5/4 × memory of baseline entry {} of {}",
+        history.len(),
+        path.display()
     );
 }

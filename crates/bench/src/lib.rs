@@ -56,9 +56,9 @@ impl SharedCampaign {
     }
 }
 
-/// Machine-readable summary of the setup crawl, written next to the
-/// bench invocation (or to `TOPICS_BENCH_SUMMARY`) so CI can track
-/// crawl throughput across runs.
+/// Machine-readable summary of one perf-smoke run. `BENCH_summary.json`
+/// holds an append-only array of these — one entry per recorded PR —
+/// chained by [`chain_digest`] so CI can detect rewritten history.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSummary {
     /// Ranked sites crawled.
@@ -75,13 +75,157 @@ pub struct BenchSummary {
     /// ([`PROBE_WALL_GAUGE`]); 0 in summaries from older builds.
     #[serde(default)]
     pub probe_wall_us: u64,
+    /// Wall-clock milliseconds of the full evaluation + report render;
+    /// 0 in entries from older builds.
+    #[serde(default)]
+    pub report_wall_ms: u64,
+    /// Heap bytes allocated across the campaign run (counting
+    /// allocator); 0 in entries from older builds.
+    #[serde(default)]
+    pub alloc_bytes: u64,
+    /// OS peak RSS (`VmHWM`) of the recording process; 0 in entries
+    /// from older builds or off Linux.
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
+    /// Hash-chain value: [`chain_digest`] of the previous entry's chain
+    /// and this entry with `chain` zeroed. 0 only in legacy entries.
+    #[serde(default)]
+    pub chain: u64,
 }
 
-/// Read a previously written [`BenchSummary`] (e.g. the committed
-/// baseline); `None` when missing or unparsable.
-pub fn read_summary(path: &std::path::Path) -> Option<BenchSummary> {
+/// The chain value an entry must carry given its predecessor's chain.
+///
+/// FNV-1a over the predecessor chain (little-endian) followed by the
+/// entry's canonical JSON with `chain` zeroed. Serde field order is
+/// declaration order, so the encoding is deterministic.
+pub fn chain_digest(prev_chain: u64, entry: &BenchSummary) -> u64 {
+    let mut canonical = entry.clone();
+    canonical.chain = 0;
+    let json = serde_json::to_string(&canonical).expect("summary serialises");
+    let mut buf = prev_chain.to_le_bytes().to_vec();
+    buf.extend_from_slice(json.as_bytes());
+    topics_net::seed::fnv1a(&buf)
+}
+
+/// Read the perf history. A legacy file holding a single summary object
+/// is promoted to a one-entry history; `None` when missing or
+/// unparsable.
+pub fn read_history(path: &std::path::Path) -> Option<Vec<BenchSummary>> {
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    if let Ok(entries) = serde_json::from_str::<Vec<BenchSummary>>(&text) {
+        return Some(entries);
+    }
+    serde_json::from_str::<BenchSummary>(&text)
+        .ok()
+        .map(|s| vec![s])
+}
+
+/// Verify the hash chain of a history. Entry 0 may carry `chain == 0`
+/// (recorded before chaining existed); every other entry must equal
+/// [`chain_digest`] of its predecessor. Returns the first violation.
+pub fn verify_history(entries: &[BenchSummary]) -> Result<(), String> {
+    let mut prev = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        if !(i == 0 && entry.chain == 0) {
+            let want = chain_digest(prev, entry);
+            if entry.chain != want {
+                return Err(format!(
+                    "history entry {i} chain mismatch: recorded {}, expected {want} \
+                     (history rewritten or truncated?)",
+                    entry.chain
+                ));
+            }
+        }
+        prev = entry.chain;
+    }
+    Ok(())
+}
+
+/// Append an entry to the history at `path`, computing its chain value.
+/// The existing history (if any) must verify first — appending never
+/// repairs a broken chain silently.
+pub fn append_entry(path: &std::path::Path, mut entry: BenchSummary) -> Result<(), String> {
+    let mut entries = read_history(path).unwrap_or_default();
+    verify_history(&entries)?;
+    let prev = entries.last().map(|e| e.chain).unwrap_or(0);
+    entry.chain = chain_digest(prev, &entry);
+    entries.push(entry);
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&serde_json::to_string(e).expect("summary serialises"));
+    }
+    json.push_str("\n]\n");
+    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// True when `new` extends `old` without touching existing entries —
+/// the append-only contract CI enforces between the committed history
+/// and the working-tree one.
+pub fn is_append_only(old: &[BenchSummary], new: &[BenchSummary]) -> bool {
+    new.len() >= old.len() && new[..old.len()] == *old
+}
+
+/// Regression gates: >30% slower or >25% more memory than the baseline
+/// entry fails. Zero baselines (older recordings) and scale mismatches
+/// skip the corresponding gate. Returns every violation, not just the
+/// first.
+pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.sites != current.sites {
+        return violations;
+    }
+    // (label, baseline value, current value, limit numerator/denominator)
+    let gates: [(&str, u64, u64, u64, u64); 4] = [
+        (
+            "probe_wall_us",
+            baseline.probe_wall_us,
+            current.probe_wall_us,
+            13,
+            10,
+        ),
+        (
+            "report_wall_ms",
+            baseline.report_wall_ms,
+            current.report_wall_ms,
+            13,
+            10,
+        ),
+        (
+            "alloc_bytes",
+            baseline.alloc_bytes,
+            current.alloc_bytes,
+            5,
+            4,
+        ),
+        (
+            "peak_rss_bytes",
+            baseline.peak_rss_bytes,
+            current.peak_rss_bytes,
+            5,
+            4,
+        ),
+    ];
+    for (label, base, cur, num, den) in gates {
+        if base == 0 {
+            continue;
+        }
+        let limit = base.saturating_mul(num) / den;
+        if cur > limit {
+            violations.push(format!(
+                "{label} regressed: {cur} > {limit} ({num}/{den} × baseline {base})"
+            ));
+        }
+    }
+    violations
+}
+
+/// Read the newest entry of a history file (the comparison baseline);
+/// `None` when missing, unparsable, or empty.
+pub fn read_summary(path: &std::path::Path) -> Option<BenchSummary> {
+    read_history(path)?.pop()
 }
 
 /// Where the bench summary is written: `TOPICS_BENCH_SUMMARY`, or
@@ -108,33 +252,21 @@ pub fn shared() -> &'static SharedCampaign {
         let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
         let crawl_started = Instant::now();
         let run = lab.run_observed(&obs);
-        let summary = BenchSummary {
-            sites,
-            seed: BENCH_SEED,
-            crawl_wall_ms: crawl_started.elapsed().as_millis() as u64,
-            visited: run.visited_count(),
-            accepted: run.accepted_count(),
-            probe_wall_us: run.metrics.gauge(PROBE_WALL_GAUGE).max(0) as u64,
-        };
+        // The setup crawl only logs its timing. The perf-regression
+        // ledger (BENCH_summary.json) is append-only and owned by the
+        // perf_smoke binary's record mode — a cargo-bench warm-up run
+        // must never clobber recorded history.
         obs.events.info(
             "bench-crawl-done",
             vec![
-                ("visited".into(), summary.visited.into()),
-                ("accepted".into(), summary.accepted.into()),
-                ("crawl_wall_ms".into(), summary.crawl_wall_ms.into()),
+                ("visited".into(), run.visited_count().into()),
+                ("accepted".into(), run.accepted_count().into()),
+                (
+                    "crawl_wall_ms".into(),
+                    (crawl_started.elapsed().as_millis() as u64).into(),
+                ),
             ],
         );
-        let path = summary_path();
-        let json = serde_json::to_string(&summary).expect("summary serialises");
-        if let Err(e) = std::fs::write(&path, json) {
-            obs.events.error(
-                "bench-summary-write-failed",
-                vec![
-                    ("path".into(), path.display().to_string().into()),
-                    ("error".into(), e.to_string().into()),
-                ],
-            );
-        }
         SharedCampaign {
             lab,
             metrics: run.metrics,
@@ -154,6 +286,121 @@ pub fn banner(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn entry(sites: usize, probe: u64, alloc: u64) -> BenchSummary {
+        BenchSummary {
+            sites,
+            seed: BENCH_SEED,
+            crawl_wall_ms: 100,
+            visited: sites * 4 / 5,
+            accepted: sites / 4,
+            probe_wall_us: probe,
+            report_wall_ms: 20,
+            alloc_bytes: alloc,
+            peak_rss_bytes: 1 << 26,
+            chain: 0,
+        }
+    }
+
+    #[test]
+    fn history_appends_and_verifies_chain() {
+        let dir = std::env::temp_dir().join(format!("bench-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.json");
+        let _ = std::fs::remove_file(&path);
+
+        append_entry(&path, entry(2_000, 7_000, 1 << 24)).unwrap();
+        append_entry(&path, entry(2_000, 7_100, 1 << 24)).unwrap();
+        let history = read_history(&path).unwrap();
+        assert_eq!(history.len(), 2);
+        assert!(verify_history(&history).is_ok());
+        // Every appended entry carries a non-zero chain value.
+        assert!(history.iter().all(|e| e.chain != 0));
+        // read_summary returns the newest entry.
+        assert_eq!(read_summary(&path).unwrap(), history[1]);
+
+        // Tampering with a recorded value breaks the chain.
+        let mut forged = history.clone();
+        forged[0].probe_wall_us = 1;
+        let err = verify_history(&forged).unwrap_err();
+        assert!(err.contains("entry 0"), "{err}");
+
+        // Dropping an entry from the middle breaks the chain too.
+        let truncated = vec![history[1].clone()];
+        assert!(verify_history(&truncated).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_object_history_is_promoted() {
+        let dir = std::env::temp_dir().join(format!("bench-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.json");
+        // A pre-ledger file: one bare object, no chain, no memory columns.
+        std::fs::write(
+            &path,
+            r#"{"sites":2000,"seed":2024,"crawl_wall_ms":352,"visited":1737,"accepted":587,"probe_wall_us":7455}"#,
+        )
+        .unwrap();
+        let history = read_history(&path).unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].chain, 0, "legacy entries have no chain");
+        assert_eq!(history[0].report_wall_ms, 0, "missing columns default");
+        // A zero chain is tolerated at index 0 only.
+        assert!(verify_history(&history).is_ok());
+        // Appending on top of a legacy entry produces a verifiable chain.
+        append_entry(&path, entry(2_000, 7_500, 1 << 24)).unwrap();
+        let extended = read_history(&path).unwrap();
+        assert_eq!(extended.len(), 2);
+        assert!(verify_history(&extended).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_only_contract_detects_rewrites() {
+        let a = entry(2_000, 7_000, 1 << 24);
+        let b = entry(2_000, 7_100, 1 << 24);
+        let old = vec![a.clone()];
+        assert!(is_append_only(&old, &[a.clone(), b.clone()]));
+        assert!(is_append_only(&old, &old.clone()));
+        assert!(!is_append_only(&old, &[]), "truncation is a rewrite");
+        assert!(
+            !is_append_only(&old, &[b.clone(), a.clone()]),
+            "editing an existing entry is a rewrite"
+        );
+    }
+
+    #[test]
+    fn regression_gates_fire_at_the_documented_thresholds() {
+        let base = entry(2_000, 10_000, 1_000_000);
+        // At the limit: 1.30× time and 1.25× memory pass.
+        let mut at = base.clone();
+        at.probe_wall_us = 13_000;
+        at.alloc_bytes = 1_250_000;
+        assert!(check_regression(&base, &at).is_empty());
+        // One past the limit fails, naming the metric.
+        let mut over = at.clone();
+        over.probe_wall_us = 13_001;
+        let v = check_regression(&base, &over);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("probe_wall_us"), "{v:?}");
+        // Memory gate is tighter (25%).
+        let mut mem = base.clone();
+        mem.alloc_bytes = 2_000_000;
+        mem.peak_rss_bytes = base.peak_rss_bytes * 2;
+        let v = check_regression(&base, &mem);
+        assert_eq!(v.len(), 2, "{v:?}");
+        // Zero baselines (older recordings) skip their gate.
+        let mut legacy = base.clone();
+        legacy.alloc_bytes = 0;
+        legacy.peak_rss_bytes = 0;
+        legacy.report_wall_ms = 0;
+        assert!(check_regression(&legacy, &mem).is_empty());
+        // Scale mismatch skips everything.
+        let mut other_scale = over.clone();
+        other_scale.sites = 6_000;
+        assert!(check_regression(&base, &other_scale).is_empty());
+    }
 
     #[test]
     fn bench_sites_defaults() {

@@ -355,11 +355,20 @@ impl Browser {
             tb.field(idx, "phase", phase_label);
             idx
         });
+        // Thread-local allocation scope for the page load; no-op (and no
+        // fields) unless the counting allocator is enabled.
+        let aspan = topics_obs::alloc::AllocSpan::start();
         let result = self.visit_inner(service, url, now, trace.as_deref_mut());
+        let alloc = aspan.finish();
         if let (Some(tb), Some(idx)) = (trace, page_span) {
             match &result {
                 Ok(v) => {
                     tb.field(idx, "ok", true);
+                    if !alloc.is_zero() {
+                        tb.field(idx, "alloc_bytes", alloc.alloc_bytes);
+                        tb.field(idx, "alloc_count", alloc.alloc_count);
+                        tb.field(idx, "peak_bytes", alloc.peak_bytes);
+                    }
                     tb.close(idx, Some(start_ms + v.duration_ms));
                 }
                 Err(e) => {

@@ -6,7 +6,7 @@
 //!                    [--reject] [--vantage eu|us] [--quiet]
 //!                    [--metrics-out FILE] [--events-out FILE]
 //!                    [--fault-profile off|light|heavy|RATE] [--fault-seed S]
-//!                    [--probe-threads N] [--trace-out FILE]
+//!                    [--probe-threads N] [--trace-out FILE] [--alloc-stats]
 //!     Generate a synthetic web, run the Before/After-Accept campaign,
 //!     and write the artefact bundle (campaign.json, report, comparison,
 //!     per-figure CSVs) to DIR (default: ./topics-lab-out). With
@@ -21,17 +21,32 @@
 //!     value. --trace-out enables hierarchical span tracing and writes
 //!     the sealed trace: a `.json` extension selects Chrome trace-event
 //!     format (loadable in Perfetto / chrome://tracing), anything else
-//!     one span per line as JSONL (what `doctor` reads).
+//!     one span per line as JSONL (what `doctor` reads). --alloc-stats
+//!     turns on the counting allocator: phase/visit/probe spans gain
+//!     alloc_bytes/alloc_count/peak_bytes attributes (read by
+//!     `memprofile`), and the metrics snapshot gains mem_* gauges and
+//!     the alloc_size_bytes histogram. The campaign outputs stay
+//!     byte-identical with or without the flag.
 //!
 //! topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]
 //!     Run-health report over a finished campaign and its trace: outcome
 //!     partition, trace/metric reconciliation, critical path, per-phase
-//!     self/total time, worker utilization, retry hot-spots, and the
-//!     top-N slowest visits. --campaign accepts the bundle directory or
-//!     the campaign.json path; --trace defaults to trace.jsonl next to
-//!     it. Exits non-zero when the trace has integrity violations
-//!     (orphan spans, duplicate IDs, negative durations) or the trace
-//!     and the metric tally disagree.
+//!     self/total time, worker utilization, retry hot-spots, allocation
+//!     balance (phase windows vs attributed children, when the trace
+//!     carries memory attribution), and the top-N slowest visits.
+//!     --campaign accepts the bundle directory or the campaign.json
+//!     path; --trace defaults to trace.jsonl next to it. Exits non-zero
+//!     when the trace has integrity violations (orphan spans, duplicate
+//!     IDs, negative durations), the trace and the metric tally
+//!     disagree, or a phase's allocation window undercuts its children.
+//!
+//! topics-lab memprofile --trace FILE | --campaign DIR [--top N]
+//!     Memory-attribution report over a trace recorded with
+//!     `crawl --alloc-stats --trace-out`: per-phase self/total heap
+//!     allocation, the top-N allocating spans, and retry-storm
+//!     allocation clusters. --campaign resolves to trace.jsonl inside
+//!     the bundle directory. Exits non-zero when the trace carries no
+//!     allocation attribution.
 //!
 //! topics-lab report  --campaign DIR/campaign.json
 //!     Re-render the evaluation report from a dumped campaign.
@@ -59,9 +74,15 @@ use topics_core::{
     comparison_rows, diagnose, evaluate, metrics_snapshot_of, render_comparison, Lab, LabConfig,
 };
 
+/// The instrumented allocator wraps the system one for the whole
+/// binary. It is pass-through (one relaxed load) until `--alloc-stats`
+/// enables counting, so untracked runs pay nothing measurable.
+#[global_allocator]
+static ALLOC: topics_core::obs::CountingAlloc = topics_core::obs::CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]"
     );
     ExitCode::from(2)
 }
@@ -153,7 +174,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
             "--probe-threads",
             "--trace-out",
         ],
-        &["--full", "--reject", "--quiet"],
+        &["--full", "--reject", "--quiet", "--alloc-stats"],
     )?;
     let seed: u64 = args
         .value_of("--seed")?
@@ -205,6 +226,10 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         .map(parse_probe_threads)
         .transpose()?;
     let trace_out = args.value_of("--trace-out")?.map(|v| resolve_out(&out, v));
+    let alloc_stats = args.has("--alloc-stats");
+    if alloc_stats {
+        topics_core::obs::alloc::set_enabled(true);
+    }
 
     let mut obs = if args.has("--quiet") {
         Obs::new()
@@ -263,6 +288,9 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
 
     if let Some(path) = &metrics_out {
         // Snapshot at write time so every phase gauge is included.
+        if alloc_stats {
+            topics_core::obs::alloc::publish(&obs.metrics);
+        }
         let prom = obs.metrics.snapshot().render_prometheus();
         std::fs::write(path, prom)
             .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
@@ -398,6 +426,35 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_memprofile(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--trace", "--campaign", "--top"], &[])?;
+    let trace_path = match (args.value_of("--trace")?, args.value_of("--campaign")?) {
+        (Some(t), _) => PathBuf::from(t),
+        (None, Some(c)) => resolve_campaign(c).with_file_name("trace.jsonl"),
+        (None, None) => return Err("memprofile needs --trace FILE or --campaign DIR".into()),
+    };
+    let top = args
+        .value_of("--top")?
+        .map(parse_top)
+        .transpose()?
+        .unwrap_or(10);
+
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("reading trace {}: {e}", trace_path.display()))?;
+    let trace = topics_core::obs::Trace::from_jsonl(&text)
+        .map_err(|e| format!("parsing trace {}: {e}", trace_path.display()))?;
+
+    let profile = topics_core::obs::mem_profile(&trace, top);
+    if profile.is_empty() {
+        return Err(format!(
+            "trace {} carries no allocation attribution (record it with crawl --alloc-stats --trace-out)",
+            trace_path.display()
+        ));
+    }
+    print!("{}", profile.render());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
@@ -411,6 +468,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&args),
         "dossier" => cmd_dossier(&args),
         "doctor" => cmd_doctor(&args),
+        "memprofile" => cmd_memprofile(&args),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown subcommand {other:?}")),
     };
@@ -562,6 +620,46 @@ mod tests {
             resolve_campaign(dir.to_str().unwrap()),
             dir.join("campaign.json")
         );
+    }
+
+    #[test]
+    fn alloc_stats_is_a_bare_crawl_flag() {
+        let a = args(&["--alloc-stats", "--trace-out", "t.jsonl"]);
+        assert!(a
+            .reject_unknown(&["--trace-out"], &["--alloc-stats"])
+            .is_ok());
+        assert!(a.has("--alloc-stats"));
+        // A typo stays a hard error — no silent uncounted run.
+        let b = args(&["--alloc-stat"]);
+        assert!(b
+            .reject_unknown(&[], &["--alloc-stats"])
+            .unwrap_err()
+            .contains("--alloc-stat"));
+    }
+
+    #[test]
+    fn memprofile_flags_parse_strictly() {
+        let a = args(&["--trace", "t.jsonl", "--top", "7"]);
+        assert!(a
+            .reject_unknown(&["--trace", "--campaign", "--top"], &[])
+            .is_ok());
+        assert_eq!(a.value_of("--trace").unwrap(), Some("t.jsonl"));
+        assert_eq!(
+            a.value_of("--top").unwrap().map(parse_top).transpose(),
+            Ok(Some(7))
+        );
+        // --campaign DIR resolves to trace.jsonl next to campaign.json.
+        let dir = std::env::temp_dir();
+        assert_eq!(
+            resolve_campaign(dir.to_str().unwrap()).with_file_name("trace.jsonl"),
+            dir.join("trace.jsonl")
+        );
+        // Unknown flags stay hard errors.
+        let b = args(&["--trase", "t.jsonl"]);
+        assert!(b
+            .reject_unknown(&["--trace", "--campaign", "--top"], &[])
+            .unwrap_err()
+            .contains("--trase"));
     }
 
     #[test]

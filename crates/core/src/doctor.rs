@@ -27,6 +27,28 @@ pub struct Reconciliation {
     pub ok: bool,
 }
 
+/// One phase's allocation-balance check: the thread-local deltas its
+/// sealed child spans attributed to themselves must fit inside the
+/// phase's process-wide allocation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocBalance {
+    /// Phase span name.
+    pub phase: String,
+    /// Bytes the phase window recorded (process-wide, all threads).
+    pub phase_bytes: u64,
+    /// Sum of the direct children's attributed bytes.
+    pub children_bytes: u64,
+    /// True when `children_bytes` fits in `phase_bytes` within
+    /// tolerance.
+    pub ok: bool,
+}
+
+/// Slack allowed on the allocation balance: child scopes are sampled
+/// with relaxed atomics while the window is racing, so a small
+/// overshoot is measurement noise, not an accounting bug.
+const ALLOC_BALANCE_TOLERANCE: f64 = 0.02;
+const ALLOC_BALANCE_SLACK_BYTES: u64 = 64 * 1024;
+
 /// The full doctor output for one campaign + trace pair.
 #[derive(Debug, Clone)]
 pub struct DoctorReport {
@@ -38,6 +60,9 @@ pub struct DoctorReport {
     pub integrity: Integrity,
     /// Trace-vs-metric count checks.
     pub reconciliation: Vec<Reconciliation>,
+    /// Per-phase allocation-balance checks (empty when the trace has no
+    /// allocation attribution).
+    pub alloc_balance: Vec<AllocBalance>,
     /// Analyzer output: critical path, phases, workers, retries,
     /// slowest visits.
     pub profile: Profile,
@@ -101,8 +126,44 @@ pub fn diagnose(outcome: &CampaignOutcome, trace: &Trace, top_n: usize) -> Docto
         outcomes: outcome.outcome_counts(),
         integrity: integrity(trace),
         reconciliation,
+        alloc_balance: alloc_balance(trace),
         profile: profile(trace, top_n),
     }
+}
+
+/// Check, for every phase span carrying allocation attribution, that
+/// the self-attributed deltas of its direct children sum to no more
+/// than the phase's process-wide window (within tolerance). Child
+/// scopes are thread-local slices of the phase window, so a genuine
+/// overshoot means double counting or a broken seal.
+fn alloc_balance(trace: &Trace) -> Vec<AllocBalance> {
+    let alloc_of = |s: &topics_obs::SpanRecord| match s.field("alloc_bytes") {
+        Some(FieldValue::U64(v)) => Some(*v),
+        Some(FieldValue::I64(v)) => Some(*v as u64),
+        _ => None,
+    };
+    let mut out = Vec::new();
+    for phase in trace.spans.iter().filter(|s| s.parent == Some(1) && !s.op) {
+        let Some(phase_bytes) = alloc_of(phase) else {
+            continue;
+        };
+        let children_bytes: u64 = trace
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(phase.id))
+            .filter_map(alloc_of)
+            .sum();
+        let budget = phase_bytes
+            + (phase_bytes as f64 * ALLOC_BALANCE_TOLERANCE) as u64
+            + ALLOC_BALANCE_SLACK_BYTES;
+        out.push(AllocBalance {
+            phase: phase.name.clone(),
+            phase_bytes,
+            children_bytes,
+            ok: children_bytes <= budget,
+        });
+    }
+    out
 }
 
 impl DoctorReport {
@@ -116,13 +177,21 @@ impl DoctorReport {
                 r.check, r.traced, r.tallied
             ));
         }
+        for b in self.alloc_balance.iter().filter(|b| !b.ok) {
+            out.push(format!(
+                "allocation balance failed: phase {} window {} B < children {} B",
+                b.phase, b.phase_bytes, b.children_bytes
+            ));
+        }
         out
     }
 
     /// True when the trace is structurally sound and every
-    /// reconciliation check passed.
+    /// reconciliation and allocation-balance check passed.
     pub fn is_healthy(&self) -> bool {
-        self.integrity.is_clean() && self.reconciliation.iter().all(|r| r.ok)
+        self.integrity.is_clean()
+            && self.reconciliation.iter().all(|r| r.ok)
+            && self.alloc_balance.iter().all(|b| b.ok)
     }
 
     /// Render the report as plain text.
@@ -185,6 +254,22 @@ impl DoctorReport {
                 out.push_str(&format!(
                     "  {} worker {}: {} items, busy {} µs of {} µs\n",
                     w.phase, w.worker, w.items, w.busy_us, w.span_us,
+                ));
+            }
+        }
+        out.push('\n');
+
+        out.push_str("== Allocation balance ==\n");
+        if self.alloc_balance.is_empty() {
+            out.push_str("no allocation attribution in trace (run with --alloc-stats)\n");
+        } else {
+            for b in &self.alloc_balance {
+                out.push_str(&format!(
+                    "[{}] {:<18} phase window {:>12} B  children {:>12} B\n",
+                    if b.ok { "ok" } else { "FAIL" },
+                    b.phase,
+                    b.phase_bytes,
+                    b.children_bytes,
                 ));
             }
         }
@@ -276,6 +361,70 @@ mod tests {
             .iter()
             .any(|v| v.contains("orphan span")));
         assert!(report.render().contains("Violations"));
+    }
+
+    #[test]
+    fn allocation_imbalance_fails_doctor() {
+        let (outcome, mut trace) = traced_run();
+        // Without attribution the check list is empty and healthy.
+        let clean = diagnose(&outcome, &trace, 5);
+        assert!(clean.alloc_balance.is_empty());
+        assert!(clean.render().contains("no allocation attribution"));
+
+        // Forge an imbalance: the crawl window claims 1 kB while one
+        // child visit claims 10 MB.
+        let crawl_id = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "crawl")
+            .expect("crawl phase span")
+            .id;
+        let mut tagged_child = false;
+        for s in trace.spans.iter_mut() {
+            if s.name == "crawl" {
+                s.fields
+                    .push(("alloc_bytes".to_owned(), FieldValue::U64(1_000)));
+            } else if !tagged_child && s.parent == Some(crawl_id) && s.name == "visit" {
+                s.fields
+                    .push(("alloc_bytes".to_owned(), FieldValue::U64(10_000_000)));
+                tagged_child = true;
+            }
+        }
+        assert!(tagged_child, "found a visit child to tag");
+        let report = diagnose(&outcome, &trace, 5);
+        assert_eq!(report.alloc_balance.len(), 1);
+        assert!(!report.is_healthy());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.contains("allocation balance")));
+        assert!(report.render().contains("== Allocation balance =="));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn balanced_allocation_passes_doctor() {
+        let (outcome, mut trace) = traced_run();
+        let crawl_id = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "crawl")
+            .expect("crawl phase span")
+            .id;
+        // Window 1 MB, children well inside it.
+        for s in trace.spans.iter_mut() {
+            if s.name == "crawl" {
+                s.fields
+                    .push(("alloc_bytes".to_owned(), FieldValue::U64(1 << 20)));
+            } else if s.parent == Some(crawl_id) && s.name == "visit" {
+                s.fields
+                    .push(("alloc_bytes".to_owned(), FieldValue::U64(4_096)));
+            }
+        }
+        let report = diagnose(&outcome, &trace, 5);
+        assert_eq!(report.alloc_balance.len(), 1);
+        assert!(report.is_healthy(), "violations: {:?}", report.violations());
+        assert!(report.alloc_balance[0].children_bytes > 0);
     }
 
     #[test]

@@ -76,6 +76,8 @@ impl Lab {
     /// JSONL sink). Live series fill `obs.metrics` while the crawl runs;
     /// the authoritative tally is added before the snapshot is taken.
     pub fn run_observed(&self, obs: &Obs) -> CampaignRun {
+        #[cfg(feature = "mem-regression-fixture")]
+        let fixture_before = topics_obs::alloc::global_stats().alloc_bytes;
         let outcome =
             run_campaign_observed(&self.world, &self.campaign, Some(obs), |done, total| {
                 obs.events.info(
@@ -87,6 +89,15 @@ impl Lab {
                 );
             });
         tally_outcome(&outcome, &obs.metrics);
+        // CI-only regression fixture: double the run's heap footprint by
+        // allocating ballast equal to what the campaign itself used, so
+        // the perf-smoke memory gate demonstrably fires.
+        #[cfg(feature = "mem-regression-fixture")]
+        topics_obs::alloc::ballast(
+            topics_obs::alloc::global_stats()
+                .alloc_bytes
+                .saturating_sub(fixture_before),
+        );
         CampaignRun {
             metrics: obs.metrics.snapshot(),
             outcome,

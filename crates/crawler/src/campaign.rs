@@ -26,6 +26,7 @@ use topics_net::seed;
 use topics_net::service::{NetworkService, RetryPolicy};
 use topics_net::url::Url;
 use topics_net::wellknown::{attestation_url, AttestationError, AttestationFile};
+use topics_obs::alloc::{AllocDelta, AllocSpan, WindowSpan};
 use topics_obs::{FieldValue, Level, Obs, TraceBuilder, Tracer};
 use topics_taxonomy::Classifier;
 
@@ -171,6 +172,19 @@ impl CrawlTarget for topics_webgen::World {
     }
 }
 
+/// Attribute a measured allocation delta to a builder span. Nothing is
+/// attached for an empty delta (counting disabled), and the stripped
+/// trace view drops these fields regardless, so same-seed traces stay
+/// byte-identical whether or not instrumentation ran.
+fn attribute_alloc(tb: &mut TraceBuilder, idx: usize, delta: &AllocDelta) {
+    if delta.is_zero() {
+        return;
+    }
+    tb.field(idx, "alloc_bytes", delta.alloc_bytes);
+    tb.field(idx, "alloc_count", delta.alloc_count);
+    tb.field(idx, "peak_bytes", delta.peak_bytes);
+}
+
 /// Build the browser-side attestation store for a setup.
 pub fn build_store(setup: AllowListSetup, allow_list: &[Domain]) -> AttestationStore {
     match setup {
@@ -255,6 +269,10 @@ where
     // along as operational spans, excluded from the stripped view.
     let tracer: Option<&Tracer> = obs.map(|o| &o.trace).filter(|t| t.is_enabled());
     let crawl_tspan = tracer.map(|t| t.phase("crawl"));
+    // Process-wide allocation window for the whole crawl phase (all
+    // worker threads included); no-op unless the counting allocator is
+    // enabled. Phases are sequential, so the windows never overlap.
+    let crawl_window = WindowSpan::start();
     if let Some(o) = obs {
         o.metrics
             .labeled_gauge("phase_workers", "phase", "crawl")
@@ -294,6 +312,9 @@ where
                         .plus_millis(rank as u64 * config.per_site_interval_ms);
                     let mut vtrace = tracer.and_then(Tracer::visit_builder);
                     let item_started = std::time::Instant::now();
+                    // Thread-local allocation scope for this visit; the
+                    // visit root is always builder span index 0.
+                    let vspan = AllocSpan::start();
                     let outcome = run_site_traced(
                         service,
                         &targets[rank],
@@ -308,6 +329,10 @@ where
                         &policy,
                         vtrace.as_mut(),
                     );
+                    let valloc = vspan.finish();
+                    if let Some(tb) = vtrace.as_mut() {
+                        attribute_alloc(tb, 0, &valloc);
+                    }
                     busy_us += item_started.elapsed().as_micros() as u64;
                     items += 1;
                     if let Some(c) = &worker_sites {
@@ -363,11 +388,27 @@ where
         }
         sites.push(site);
     }
+    let crawl_alloc = crawl_window.finish();
+    if let Some(o) = obs {
+        if !crawl_alloc.is_zero() {
+            o.metrics
+                .labeled_gauge("mem_phase_alloc_bytes", "phase", "crawl")
+                .set(crawl_alloc.alloc_bytes as i64);
+            o.metrics
+                .labeled_gauge("mem_phase_peak_bytes", "phase", "crawl")
+                .set(crawl_alloc.peak_bytes as i64);
+        }
+    }
     if let Some(span) = crawl_tspan {
         for tb in worker_traces {
             span.attach(tb);
         }
         span.field("sites", sites.len());
+        if !crawl_alloc.is_zero() {
+            span.field("alloc_bytes", crawl_alloc.alloc_bytes);
+            span.field("alloc_count", crawl_alloc.alloc_count);
+            span.field("peak_bytes", crawl_alloc.peak_bytes);
+        }
         span.end(Some((config.start.millis(), crawl_sim_end)));
     }
     if let Some(mut span) = crawl_span {
@@ -404,6 +445,7 @@ where
     let probe_threads = config.probe_threads.unwrap_or(threads).max(1);
     let probe_span = obs.map(|o| o.events.span("attestation-probe"));
     let probe_tspan = tracer.map(|t| t.phase("attestation-probe"));
+    let probe_window = WindowSpan::start();
     if let Some(o) = obs {
         o.metrics
             .labeled_gauge("phase_workers", "phase", "attestation-probe")
@@ -470,6 +512,17 @@ where
         results[idx] = Some(probe);
         probe_traces[idx] = ptrace;
     }
+    let probe_alloc = probe_window.finish();
+    if let Some(o) = obs {
+        if !probe_alloc.is_zero() {
+            o.metrics
+                .labeled_gauge("mem_phase_alloc_bytes", "phase", "attestation-probe")
+                .set(probe_alloc.alloc_bytes as i64);
+            o.metrics
+                .labeled_gauge("mem_phase_peak_bytes", "phase", "attestation-probe")
+                .set(probe_alloc.peak_bytes as i64);
+        }
+    }
     // Attach probe span trees in slot (= sorted-domain) order so trace
     // output is independent of which worker won which domain.
     if let Some(span) = probe_tspan {
@@ -485,6 +538,11 @@ where
         }
         span.field("probes", pending.len());
         span.field("cache_hits", cache_hits);
+        if !probe_alloc.is_zero() {
+            span.field("alloc_bytes", probe_alloc.alloc_bytes);
+            span.field("alloc_count", probe_alloc.alloc_count);
+            span.field("peak_bytes", probe_alloc.peak_bytes);
+        }
         span.end(Some((probe_time.millis(), sim_end)));
     }
     let attestation_probes: Vec<AttestationProbe> = results
@@ -591,8 +649,15 @@ fn probe_indexed<S: NetworkService + Sync + ?Sized>(
             c.inc();
         }
         let mut tb = tracer.and_then(Tracer::visit_builder);
+        // Thread-local allocation scope for this probe; the probe root
+        // is always builder span index 0.
+        let aspan = AllocSpan::start();
         let probe =
             probe_attestation_traced(service, domain, probe_time, retry, net_metrics, tb.as_mut());
+        let delta = aspan.finish();
+        if let Some(tb) = tb.as_mut() {
+            attribute_alloc(tb, 0, &delta);
+        }
         (probe, tb)
     };
     let threads = threads.max(1).min(pending.len());

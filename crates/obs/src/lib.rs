@@ -15,23 +15,34 @@
 //! The two halves are bundled in [`Obs`], the handle the pipeline
 //! threads share. Determinism contract: every metric derived from the
 //! simulated world is reproducible bit-for-bit for a fixed seed; every
-//! wall-clock measurement carries `wall` in its metric name so
-//! [`MetricsSnapshot::strip_wall_clock`] can separate the two.
+//! wall-clock measurement carries `wall` in its metric name, and every
+//! memory-accounting series carries a `mem_`/`alloc_` prefix, so
+//! [`MetricsSnapshot::strip_wall_clock`] can separate operational data
+//! from the deterministic view.
+//!
+//! A third pillar, [`alloc`], adds opt-in allocation accounting: an
+//! instrumented `#[global_allocator]` wrapper whose per-thread and
+//! process-wide counters feed `alloc_bytes`/`peak_bytes` span
+//! attributes and `mem_*` gauges. It is the one module allowed to use
+//! `unsafe` (a `GlobalAlloc` impl is an unsafe trait); the rest of the
+//! crate stays deny-by-default.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod events;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use alloc::{AllocDelta, AllocSpan, AllocStats, CountingAlloc, WindowSpan};
 pub use events::{Event, EventLog, FieldValue, Level, SpanGuard};
 pub use metrics::{
     labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
-pub use profile::{profile, Integrity, Profile};
-pub use trace::{SpanRecord, Trace, TraceBuilder, Tracer, TracerSpan};
+pub use profile::{mem_profile, profile, Integrity, MemProfile, Profile};
+pub use trace::{SpanRecord, Trace, TraceBuilder, Tracer, TracerSpan, ALLOC_FIELD_KEYS};
 
 use std::time::Instant;
 
@@ -77,13 +88,19 @@ impl Obs {
     /// and sets the `phase_wall_us{phase="…"}` gauge. Wall-clock by
     /// design — phase gauges are stripped before determinism
     /// comparisons. When tracing is enabled the guard also opens a
-    /// top-level trace span of the same name.
+    /// top-level trace span of the same name, and when the counting
+    /// allocator is on ([`alloc::set_enabled`]) the guard attributes
+    /// the phase's process-wide allocation delta to that span plus a
+    /// `mem_phase_alloc_bytes{phase="…"}` gauge. `Obs::phase` guards
+    /// must not overlap (they measure a process-wide allocation
+    /// window); the pipeline's phases are sequential by construction.
     pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
         PhaseGuard {
             obs: self,
             name: name.to_owned(),
             started: Instant::now(),
-            _span: self.trace.phase(name),
+            alloc: Some(alloc::WindowSpan::start()),
+            span: self.trace.phase(name),
         }
     }
 }
@@ -93,7 +110,8 @@ pub struct PhaseGuard<'a> {
     obs: &'a Obs,
     name: String,
     started: Instant,
-    _span: TracerSpan<'a>,
+    alloc: Option<alloc::WindowSpan>,
+    span: TracerSpan<'a>,
 }
 
 impl Drop for PhaseGuard<'_> {
@@ -103,15 +121,28 @@ impl Drop for PhaseGuard<'_> {
             .metrics
             .labeled_gauge("phase_wall_us", "phase", &self.name)
             .set(us as i64);
-        self.obs.events.event(
-            Level::Info,
-            "span",
-            None,
-            vec![
-                ("phase".to_owned(), FieldValue::Str(self.name.clone())),
-                ("wall_us".to_owned(), FieldValue::U64(us)),
-            ],
-        );
+        let mut fields = vec![
+            ("phase".to_owned(), FieldValue::Str(self.name.clone())),
+            ("wall_us".to_owned(), FieldValue::U64(us)),
+        ];
+        if let Some(window) = self.alloc.take() {
+            let delta = window.finish();
+            if !delta.is_zero() {
+                self.span.field("alloc_bytes", delta.alloc_bytes);
+                self.span.field("alloc_count", delta.alloc_count);
+                self.span.field("peak_bytes", delta.peak_bytes);
+                self.obs
+                    .metrics
+                    .labeled_gauge("mem_phase_alloc_bytes", "phase", &self.name)
+                    .set(delta.alloc_bytes as i64);
+                self.obs
+                    .metrics
+                    .labeled_gauge("mem_phase_peak_bytes", "phase", &self.name)
+                    .set(delta.peak_bytes as i64);
+                fields.push(("alloc_bytes".to_owned(), FieldValue::U64(delta.alloc_bytes)));
+            }
+        }
+        self.obs.events.event(Level::Info, "span", None, fields);
     }
 }
 

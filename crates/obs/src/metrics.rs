@@ -27,6 +27,27 @@ pub const DEFAULT_LATENCY_BUCKETS_MS: &[u64] = &[
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000,
 ];
 
+/// Default histogram bucket upper bounds for allocation-size
+/// observations, in bytes: powers of two from 16 B to 1 GiB. Latency
+/// buckets top out at 30 000, so a size histogram reusing them would
+/// collapse every allocation above 30 kB into `+Inf`.
+pub const DEFAULT_SIZE_BUCKETS_BYTES: &[u64] = &[
+    1 << 4,
+    1 << 6,
+    1 << 8,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+];
+
 /// Default cap on distinct label values per `(base name, label)` pair.
 /// The first `DEFAULT_LABEL_CAP` values each get their own series;
 /// later values collapse into the [`OTHER_LABEL`] bucket, so a
@@ -118,15 +139,28 @@ impl Histogram {
 
     /// Record one observation.
     pub fn observe(&self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` observations of the same value in one update — the
+    /// bulk-transfer path for pre-aggregated counts (e.g. the
+    /// allocator's size-class counters), where calling
+    /// [`Histogram::observe`] per event would be millions of updates.
+    pub fn observe_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let inner = &self.0;
         let idx = inner
             .bounds
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(inner.bounds.len());
-        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        inner.count.fetch_add(1, Ordering::Relaxed);
-        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        inner.count.fetch_add(n, Ordering::Relaxed);
+        inner
+            .sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
     }
 
     /// Number of observations so far.
@@ -384,16 +418,22 @@ impl MetricsSnapshot {
             .sum()
     }
 
-    /// Remove every wall-clock metric (base name containing `wall`).
-    /// Everything left derives from the simulated clock and the seeded
-    /// campaign, so two same-seed runs produce byte-identical stripped
-    /// snapshots.
+    /// Remove every operational metric: wall-clock measurements (base
+    /// name containing `wall`) and memory-accounting series (base name
+    /// starting with `mem_` or `alloc_` — allocation counts depend on
+    /// thread scheduling and allocator internals, not the seeded
+    /// campaign). Everything left derives from the simulated clock and
+    /// the seeded world, so two same-seed runs produce byte-identical
+    /// stripped snapshots.
     #[must_use]
     pub fn strip_wall_clock(mut self) -> MetricsSnapshot {
-        self.counters.retain(|k, _| !base_name(k).contains("wall"));
-        self.gauges.retain(|k, _| !base_name(k).contains("wall"));
-        self.histograms
-            .retain(|k, _| !base_name(k).contains("wall"));
+        fn operational(name: &str) -> bool {
+            let base = base_name(name);
+            base.contains("wall") || base.starts_with("mem_") || base.starts_with("alloc_")
+        }
+        self.counters.retain(|k, _| !operational(k));
+        self.gauges.retain(|k, _| !operational(k));
+        self.histograms.retain(|k, _| !operational(k));
         self
     }
 
@@ -517,15 +557,46 @@ mod tests {
     }
 
     #[test]
-    fn strip_wall_clock_removes_only_wall_metrics() {
+    fn strip_wall_clock_removes_only_operational_metrics() {
         let r = MetricsRegistry::new();
         r.counter("visits_total").inc();
         r.labeled_gauge("phase_wall_us", "phase", "crawl").set(99);
         r.histogram("crawl_wall_ms").observe(1);
+        // Memory-accounting series are operational too.
+        r.gauge("mem_live_bytes").set(4096);
+        r.gauge("mem_peak_rss_bytes").set(1 << 20);
+        r.histogram_with_buckets("alloc_size_bytes", DEFAULT_SIZE_BUCKETS_BYTES)
+            .observe(64);
         let s = r.snapshot().strip_wall_clock();
         assert_eq!(s.counter("visits_total"), 1);
         assert!(s.gauges.is_empty());
         assert!(s.histograms.is_empty());
+    }
+
+    #[test]
+    fn observe_n_bulk_transfers_preaggregated_counts() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_buckets("sz", &[16, 64]);
+        h.observe_n(16, 3);
+        h.observe_n(100, 2);
+        h.observe_n(8, 0); // no-op
+        let snap = r.snapshot().histograms["sz"].clone();
+        assert_eq!(snap.buckets, vec![3, 0, 2]);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 16 * 3 + 100 * 2);
+    }
+
+    #[test]
+    fn size_buckets_resolve_large_allocations() {
+        // The regression this bucket set fixes: a 1 MiB allocation must
+        // not collapse into +Inf the way it does on latency buckets.
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_buckets("alloc_size_bytes", DEFAULT_SIZE_BUCKETS_BYTES);
+        h.observe(1 << 20);
+        let snap = r.snapshot().histograms["alloc_size_bytes"].clone();
+        assert_eq!(snap.quantile(0.5), 1 << 20);
+        let inf_bucket = snap.buckets.last().copied().unwrap();
+        assert_eq!(inf_bucket, 0);
     }
 
     #[test]

@@ -394,6 +394,255 @@ pub fn profile(trace: &Trace, top_n: usize) -> Profile {
     }
 }
 
+/// Allocation attributed to one top-level phase span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemPhase {
+    /// Phase span name (`crawl`, `attestation-probe`, …).
+    pub name: String,
+    /// Bytes allocated process-wide while the phase ran.
+    pub total_bytes: u64,
+    /// `total_bytes` minus what the phase's direct children attributed
+    /// to themselves (coordination overhead, channels, result
+    /// collection).
+    pub self_bytes: u64,
+    /// Allocation calls inside the phase.
+    pub alloc_count: u64,
+    /// Peak live-heap growth above the phase's starting level.
+    pub peak_bytes: u64,
+}
+
+/// One of the top allocating spans (visit, probe, page-load, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSpan {
+    /// Span ID in the sealed trace.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Best identifying field (domain, host, phase).
+    pub label: String,
+    /// Bytes the span allocated net of its attributed children.
+    pub self_bytes: u64,
+    /// Bytes the span allocated including children.
+    pub total_bytes: u64,
+    /// Allocation calls (including children).
+    pub alloc_count: u64,
+}
+
+/// Allocation attributed to retries inside one simulated-minute window
+/// — the memory face of a retry storm (buffers rebuilt per attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRetryCluster {
+    /// Window start on the simulated clock (ms).
+    pub window_start_ms: u64,
+    /// Retry attempts inside the window.
+    pub retries: usize,
+    /// Bytes allocated by the visits/probes doing those retries
+    /// (each retrying span counted once per window).
+    pub alloc_bytes: u64,
+    /// Up to three sample hosts seen retrying.
+    pub hosts: Vec<String>,
+}
+
+/// The memory-attribution analyzer output ([`mem_profile`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemProfile {
+    /// Per-phase allocation, in sealed span order.
+    pub phases: Vec<MemPhase>,
+    /// Top-K spans by self-allocated bytes (phases excluded).
+    pub top_spans: Vec<MemSpan>,
+    /// Retry windows ordered by attributed bytes, heaviest first.
+    pub retry_clusters: Vec<MemRetryCluster>,
+}
+
+impl MemProfile {
+    /// True when the trace carried no allocation attribution at all
+    /// (campaign ran without `--alloc-stats`, or the trace was
+    /// stripped).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty() && self.top_spans.is_empty()
+    }
+
+    /// Plain-text report (the `topics-lab memprofile` body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Per-phase allocation ==\n");
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>14} {:>12} {:>14}\n",
+            "phase", "total", "self", "allocs", "peak"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<20} {:>14} {:>14} {:>12} {:>14}\n",
+                p.name,
+                fmt_bytes(p.total_bytes),
+                fmt_bytes(p.self_bytes),
+                p.alloc_count,
+                fmt_bytes(p.peak_bytes),
+            ));
+        }
+        out.push('\n');
+        out.push_str("== Top allocating spans ==\n");
+        for (i, s) in self.top_spans.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}. {:<12} {:<28} self {:>12}  total {:>12}  allocs {}\n",
+                i + 1,
+                s.name,
+                s.label,
+                fmt_bytes(s.self_bytes),
+                fmt_bytes(s.total_bytes),
+                s.alloc_count,
+            ));
+        }
+        out.push('\n');
+        out.push_str("== Retry-storm allocation ==\n");
+        if self.retry_clusters.is_empty() {
+            out.push_str("(no retries in trace)\n");
+        }
+        for c in &self.retry_clusters {
+            out.push_str(&format!(
+                "window @{:>8} ms: {:>4} retries, {:>12} allocated by retrying spans (e.g. {})\n",
+                c.window_start_ms,
+                c.retries,
+                fmt_bytes(c.alloc_bytes),
+                c.hosts.join(", "),
+            ));
+        }
+        out
+    }
+}
+
+/// Human-readable byte count (binary units, one decimal).
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: &[&str] = &["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Analyze allocation attribution in a sealed trace: per-phase
+/// total/self bytes, the `top_k` spans by self-allocated bytes, and
+/// retry-storm allocation clusters. Spans without `alloc_bytes` fields
+/// (instrumentation off) contribute nothing; [`MemProfile::is_empty`]
+/// reports whether any attribution was found.
+pub fn mem_profile(trace: &Trace, top_k: usize) -> MemProfile {
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        index_of.insert(s.id, i);
+        if let Some(p) = s.parent {
+            children.entry(p).or_default().push(i);
+        }
+    }
+    let alloc_of = |s: &SpanRecord| u64_field(s, "alloc_bytes");
+    // Self bytes of any attributed span: its own delta minus what its
+    // direct children attributed to themselves. Children's thread-local
+    // deltas nest inside the parent's scope, so the subtraction cannot
+    // go negative on a well-formed trace; saturate anyway.
+    let self_bytes_of = |s: &SpanRecord| {
+        let kid_sum: u64 = children
+            .get(&s.id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&ci| alloc_of(&trace.spans[ci]))
+            .sum();
+        alloc_of(s).saturating_sub(kid_sum)
+    };
+
+    // Per-phase rows: direct children of the campaign root that carry
+    // allocation attribution.
+    let mut phases = Vec::new();
+    for &pi in children.get(&1).map(Vec::as_slice).unwrap_or(&[]) {
+        let p = &trace.spans[pi];
+        if p.op || p.field("alloc_bytes").is_none() {
+            continue;
+        }
+        phases.push(MemPhase {
+            name: p.name.clone(),
+            total_bytes: alloc_of(p),
+            self_bytes: self_bytes_of(p),
+            alloc_count: u64_field(p, "alloc_count"),
+            peak_bytes: u64_field(p, "peak_bytes"),
+        });
+    }
+
+    // Top-K non-phase spans by self bytes.
+    let mut ranked: Vec<MemSpan> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent != Some(1) && s.field("alloc_bytes").is_some())
+        .map(|s| MemSpan {
+            id: s.id,
+            name: s.name.clone(),
+            label: label_of(s),
+            self_bytes: self_bytes_of(s),
+            total_bytes: alloc_of(s),
+            alloc_count: u64_field(s, "alloc_count"),
+        })
+        .collect();
+    ranked.sort_by_key(|m| (std::cmp::Reverse(m.self_bytes), m.id));
+    ranked.truncate(top_k);
+
+    // Retry storms, memory edition: for each retry leaf, climb to the
+    // nearest ancestor carrying allocation attribution (the visit or
+    // probe that paid for the retries) and charge its bytes to the
+    // retry's window — once per (window, span).
+    let mut buckets: BTreeMap<u64, (usize, u64, Vec<u64>, Vec<String>)> = BTreeMap::new();
+    for s in trace.spans.iter().filter(|s| s.name == "retry") {
+        let Some(start) = s.sim_start_ms else {
+            continue;
+        };
+        let entry = buckets.entry(start / RETRY_WINDOW_MS).or_default();
+        entry.0 += 1;
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            let Some(&pi) = index_of.get(&pid) else { break };
+            let p = &trace.spans[pi];
+            if p.field("alloc_bytes").is_some() {
+                if !entry.2.contains(&p.id) {
+                    entry.2.push(p.id);
+                    entry.1 += alloc_of(p);
+                }
+                break;
+            }
+            cursor = p.parent;
+        }
+        if entry.3.len() < 3 {
+            let host = label_of(s);
+            if !host.is_empty() && !entry.3.contains(&host) {
+                entry.3.push(host);
+            }
+        }
+    }
+    let mut retry_clusters: Vec<MemRetryCluster> = buckets
+        .into_iter()
+        .map(
+            |(window, (retries, alloc_bytes, _, hosts))| MemRetryCluster {
+                window_start_ms: window * RETRY_WINDOW_MS,
+                retries,
+                alloc_bytes,
+                hosts,
+            },
+        )
+        .collect();
+    retry_clusters.sort_by_key(|c| (std::cmp::Reverse(c.alloc_bytes), c.window_start_ms));
+    retry_clusters.truncate(RETRY_CLUSTERS);
+
+    MemProfile {
+        phases,
+        top_spans: ranked,
+        retry_clusters,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +739,86 @@ mod tests {
         assert_eq!(p.retry_clusters.len(), 1);
         assert_eq!(p.retry_clusters[0].retries, 1);
         assert_eq!(p.retry_clusters[0].hosts, vec!["site1.example".to_owned()]);
+    }
+
+    fn traced_campaign_with_alloc() -> Trace {
+        let tracer = Tracer::enabled();
+        let crawl = tracer.phase("crawl");
+        for (i, bytes) in [4_096u64, 65_536, 16_384].iter().enumerate() {
+            let mut b = tracer.visit_builder().unwrap();
+            let v = b.open("visit", Some(i as u64 * 100));
+            b.field(v, "domain", format!("site{i}.example"));
+            b.field(v, "alloc_bytes", *bytes);
+            b.field(v, "alloc_count", 10u64 + i as u64);
+            b.field(v, "peak_bytes", bytes / 2);
+            let pl = b.open("page-load", Some(i as u64 * 100));
+            b.field(pl, "alloc_bytes", bytes / 4);
+            b.close(pl, Some(i as u64 * 100 + 40));
+            if i == 1 {
+                let r = b.leaf("retry", Some(110), Some(150));
+                b.field(r, "host", "site1.example");
+            }
+            b.close(v, Some(i as u64 * 100 + 80));
+            crawl.attach(b);
+        }
+        crawl.field("alloc_bytes", 100_000u64);
+        crawl.field("alloc_count", 40u64);
+        crawl.field("peak_bytes", 50_000u64);
+        crawl.end(Some((0, 280)));
+        tracer.finish()
+    }
+
+    #[test]
+    fn mem_profile_attributes_phases_spans_and_retries() {
+        let t = traced_campaign_with_alloc();
+        let m = mem_profile(&t, 2);
+        assert!(!m.is_empty());
+
+        assert_eq!(m.phases.len(), 1);
+        let crawl = &m.phases[0];
+        assert_eq!(crawl.name, "crawl");
+        assert_eq!(crawl.total_bytes, 100_000);
+        // Self = 100000 − (4096 + 65536 + 16384).
+        assert_eq!(crawl.self_bytes, 100_000 - 86_016);
+        assert_eq!(crawl.peak_bytes, 50_000);
+
+        // Visit 1 allocated the most net of its page-load child.
+        assert_eq!(m.top_spans.len(), 2);
+        assert_eq!(m.top_spans[0].name, "visit");
+        assert_eq!(m.top_spans[0].label, "site1.example");
+        assert_eq!(m.top_spans[0].total_bytes, 65_536);
+        assert_eq!(m.top_spans[0].self_bytes, 65_536 - 65_536 / 4);
+
+        // The retry window charges the retrying visit's bytes once.
+        assert_eq!(m.retry_clusters.len(), 1);
+        assert_eq!(m.retry_clusters[0].retries, 1);
+        assert_eq!(m.retry_clusters[0].alloc_bytes, 65_536);
+        assert_eq!(m.retry_clusters[0].hosts, vec!["site1.example".to_owned()]);
+
+        let text = m.render();
+        for needle in [
+            "Per-phase allocation",
+            "Top allocating spans",
+            "Retry-storm allocation",
+            "crawl",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn mem_profile_is_empty_without_attribution() {
+        let t = traced_campaign();
+        let m = mem_profile(&t, 5);
+        assert!(m.is_empty());
+        assert!(m.render().contains("no retries in trace") || !m.render().is_empty());
+    }
+
+    #[test]
+    fn fmt_bytes_uses_binary_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
     }
 
     #[test]

@@ -33,6 +33,14 @@ use std::time::Instant;
 /// Sentinel index used by span handles on a disabled tracer.
 const DISABLED: usize = usize::MAX;
 
+/// Span field keys carrying allocation-accounting data (attached when
+/// the counting allocator is enabled). Like wall clocks, allocation
+/// counts depend on thread scheduling and allocator internals, so
+/// [`Trace::stripped`] removes these fields to keep the deterministic
+/// view byte-identical whether or not instrumentation was on.
+pub const ALLOC_FIELD_KEYS: &[&str] =
+    &["alloc_bytes", "alloc_count", "dealloc_bytes", "peak_bytes"];
+
 /// One span under construction (builder-local or tracer-global; the
 /// meaning of `parent` differs — see the owning container).
 #[derive(Debug, Clone)]
@@ -491,9 +499,11 @@ impl Trace {
     }
 
     /// The deterministic view: operational spans dropped, wall-clock
-    /// fields zeroed. Two same-seed runs produce byte-identical
-    /// [`Trace::to_jsonl`] output of this view regardless of thread
-    /// counts.
+    /// fields zeroed, allocation-accounting fields
+    /// ([`ALLOC_FIELD_KEYS`]) removed. Two same-seed runs produce
+    /// byte-identical [`Trace::to_jsonl`] output of this view
+    /// regardless of thread counts or whether the counting allocator
+    /// was enabled.
     #[must_use]
     pub fn stripped(&self) -> Trace {
         Trace {
@@ -504,6 +514,12 @@ impl Trace {
                 .map(|s| SpanRecord {
                     wall_start_us: 0,
                     wall_end_us: 0,
+                    fields: s
+                        .fields
+                        .iter()
+                        .filter(|(k, _)| !ALLOC_FIELD_KEYS.contains(&k.as_str()))
+                        .cloned()
+                        .collect(),
                     ..s.clone()
                 })
                 .collect(),
@@ -698,6 +714,37 @@ mod tests {
             .all(|s| s.wall_start_us == 0 && s.wall_end_us == 0));
         assert_eq!(stripped.count_named("visit"), 1);
         assert_eq!(stripped.count_named("worker"), 0);
+    }
+
+    #[test]
+    fn stripped_drops_alloc_fields_but_keeps_payload_fields() {
+        let tracer = Tracer::enabled();
+        let phase = tracer.phase("crawl");
+        let mut b = tracer.visit_builder().unwrap();
+        let visit = b.open("visit", Some(10));
+        b.field(visit, "domain", "site0.example");
+        b.field(visit, "alloc_bytes", 4096u64);
+        b.field(visit, "alloc_count", 12u64);
+        b.field(visit, "peak_bytes", 2048u64);
+        b.close(visit, Some(20));
+        phase.attach(b);
+        phase.field("dealloc_bytes", 999u64);
+        phase.end(Some((10, 20)));
+        let t = tracer.finish();
+        let stripped = t.stripped();
+        let visit = stripped.spans.iter().find(|s| s.name == "visit").unwrap();
+        assert_eq!(
+            visit.fields,
+            vec![(
+                "domain".to_owned(),
+                FieldValue::Str("site0.example".to_owned())
+            )]
+        );
+        let phase = stripped.spans.iter().find(|s| s.name == "crawl").unwrap();
+        assert!(phase.fields.is_empty());
+        // The unstripped trace keeps the attribution.
+        let full = t.spans.iter().find(|s| s.name == "visit").unwrap();
+        assert_eq!(full.field("alloc_bytes"), Some(&FieldValue::U64(4096)));
     }
 
     #[test]

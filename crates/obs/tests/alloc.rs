@@ -1,0 +1,158 @@
+//! Integration: the counting allocator, measured for real.
+//!
+//! Unit tests inside the crate cannot observe the counters because the
+//! test binary uses the plain system allocator; this suite installs
+//! [`CountingAlloc`] as its `#[global_allocator]` and exercises the
+//! full accounting stack. Counting is a process-wide toggle, so every
+//! test serialises on one mutex and leaves counting disabled on exit.
+
+use std::sync::Mutex;
+use topics_obs::alloc::{self, AllocSpan, CountingAlloc, WindowSpan};
+use topics_obs::MetricsRegistry;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Run `f` with counting enabled, serialised against the other tests.
+fn counted<T>(f: impl FnOnce() -> T) -> T {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    alloc::set_enabled(true);
+    let out = f();
+    alloc::set_enabled(false);
+    out
+}
+
+/// An allocation the optimiser cannot elide.
+fn churn(bytes: usize) -> usize {
+    let v: Vec<u8> = vec![7; bytes];
+    std::hint::black_box(&v);
+    v.len()
+}
+
+#[test]
+fn disabled_allocator_records_nothing() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(!alloc::is_enabled());
+    let before = alloc::thread_stats();
+    churn(1 << 16);
+    let after = alloc::thread_stats();
+    assert_eq!(before, after, "counters moved while disabled");
+}
+
+#[test]
+fn enabled_allocator_counts_on_both_scopes() {
+    counted(|| {
+        let g0 = alloc::global_stats();
+        let t0 = alloc::thread_stats();
+        churn(1 << 16);
+        let g1 = alloc::global_stats();
+        let t1 = alloc::thread_stats();
+        assert!(g1.alloc_bytes - g0.alloc_bytes >= 1 << 16);
+        assert!(g1.alloc_count > g0.alloc_count);
+        assert!(g1.dealloc_bytes - g0.dealloc_bytes >= 1 << 16);
+        assert!(t1.alloc_bytes - t0.alloc_bytes >= 1 << 16);
+        assert!(g1.peak_bytes >= 1 << 16);
+    });
+}
+
+#[test]
+fn alloc_span_measures_thread_deltas_and_restores_nested_peaks() {
+    counted(|| {
+        let outer = AllocSpan::start();
+        churn(1 << 14);
+        let inner = AllocSpan::start();
+        churn(1 << 18);
+        let inner_delta = inner.finish();
+        assert!(inner_delta.alloc_bytes >= 1 << 18);
+        assert!(inner_delta.alloc_bytes < 1 << 19, "inner saw only itself");
+        assert!(inner_delta.peak_bytes >= 1 << 18);
+        let outer_delta = outer.finish();
+        assert!(
+            outer_delta.alloc_bytes >= (1 << 18) + (1 << 14),
+            "outer includes the nested span"
+        );
+        assert!(
+            outer_delta.peak_bytes >= inner_delta.peak_bytes,
+            "nested peak folds back into the parent"
+        );
+    });
+}
+
+#[test]
+fn alloc_span_is_inert_when_disabled() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let span = AllocSpan::start();
+    churn(1 << 12);
+    assert!(span.finish().is_zero());
+    let window = WindowSpan::start();
+    churn(1 << 12);
+    assert!(window.finish().is_zero());
+}
+
+#[test]
+fn window_span_sees_worker_thread_allocations() {
+    counted(|| {
+        let window = WindowSpan::start();
+        let threads: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| churn(1 << 16)))
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let delta = window.finish();
+        assert!(
+            delta.alloc_bytes >= 4 << 16,
+            "process window missed worker allocations: {delta:?}"
+        );
+        assert!(delta.alloc_count >= 4);
+    });
+}
+
+#[test]
+fn size_classes_feed_the_histogram_via_publish() {
+    counted(|| {
+        churn(100); // class 2⁷
+        churn(1 << 20); // class 2²⁰
+        let classes = alloc::size_class_counts();
+        assert!(classes.iter().any(|&(bound, n)| bound == 128 && n > 0));
+        assert!(classes.iter().any(|&(bound, n)| bound == 1 << 20 && n > 0));
+
+        let registry = MetricsRegistry::new();
+        alloc::publish(&registry);
+        let snap = registry.snapshot();
+        assert!(snap.gauge("mem_alloc_bytes") > 0);
+        assert!(snap.gauge("mem_peak_bytes") > 0);
+        let hist = &snap.histograms["alloc_size_bytes"];
+        assert!(hist.count > 0);
+        // The 1 MiB allocation resolves to a finite bucket, not +Inf.
+        assert!(hist.quantile_checked(1.0).is_some());
+        // And the whole family is operational: stripped away.
+        let stripped = snap.clone().strip_wall_clock();
+        assert!(stripped.gauges.is_empty());
+        assert!(stripped.histograms.is_empty());
+    });
+}
+
+#[test]
+fn peak_rss_is_reported_on_linux() {
+    let rss = alloc::peak_rss_bytes();
+    if cfg!(target_os = "linux") {
+        let rss = rss.expect("VmHWM available on Linux");
+        assert!(rss > 1 << 20, "peak RSS under 1 MiB is implausible: {rss}");
+    }
+}
+
+#[test]
+fn ballast_allocates_the_requested_bytes() {
+    counted(|| {
+        let span = AllocSpan::start();
+        alloc::ballast(10 << 20);
+        let delta = span.finish();
+        assert!(
+            delta.alloc_bytes >= 10 << 20,
+            "ballast under-allocated: {delta:?}"
+        );
+    });
+}

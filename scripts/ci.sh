@@ -28,17 +28,24 @@ cargo test -q
 echo "== chaos suite (fault injection) =="
 cargo test -q -p topics-core --test integration_faults
 
-echo "== doctor on a chaos campaign (5% fault band) =="
+echo "== doctor on a chaos campaign (5% fault band, alloc-counted) =="
 # A traced crawl under faults must produce a trace the doctor can fully
 # reconcile against the metric tally: orphan spans, duplicate IDs,
-# negative durations, or span/metric count mismatches all exit non-zero.
+# negative durations, span/metric count mismatches, or phase allocation
+# windows that undercut their attributed children all exit non-zero.
 DOCTOR_DIR=$(mktemp -d)
 trap 'rm -rf "$DOCTOR_DIR"' EXIT
 cargo run --release -q -p topics-core --bin topics-lab -- crawl \
-    --sites 500 --seed 7 --quiet --fault-profile 0.05 \
+    --sites 500 --seed 7 --quiet --fault-profile 0.05 --alloc-stats \
     --out "$DOCTOR_DIR" --trace-out trace.jsonl --metrics-out metrics.prom \
     > /dev/null
 cargo run --release -q -p topics-core --bin topics-lab -- doctor \
+    --campaign "$DOCTOR_DIR" > /dev/null
+
+echo "== memprofile on the chaos trace =="
+# The alloc-counted trace must yield a non-empty memory attribution
+# report (per-phase allocation, top spans, retry clusters).
+cargo run --release -q -p topics-core --bin topics-lab -- memprofile \
     --campaign "$DOCTOR_DIR" > /dev/null
 
 echo "== prometheus render has no duplicate headers =="
@@ -55,11 +62,35 @@ echo "== property suites =="
 cargo test -q -p topics-net --test properties
 cargo test -q -p topics-browser --test properties
 
-echo "== perf smoke (attestation-probe phase vs committed baseline) =="
-# Fails when the probe phase takes >1.5× the BENCH_summary.json
-# baseline at the same scale; skips itself when the baseline is missing
-# or was recorded at a different TOPICS_BENCH_SITES.
+echo "== perf ledger verifies and is append-only =="
+# BENCH_summary.json is an append-only history chained with FNV-1a:
+# editing or dropping a recorded entry breaks the chain. When the file
+# is committed, the working tree must also be a pure extension of HEAD.
+PREV_LEDGER=""
+if git cat-file -e HEAD:BENCH_summary.json 2>/dev/null; then
+    PREV_LEDGER=$(mktemp)
+    git show HEAD:BENCH_summary.json > "$PREV_LEDGER"
+fi
+TOPICS_PERF_PREV="$PREV_LEDGER" \
+    cargo run --release -q -p topics-bench --bin perf_smoke -- verify-history
+[ -n "$PREV_LEDGER" ] && rm -f "$PREV_LEDGER"
+
+echo "== perf smoke (time + memory vs last ledger entry) =="
+# Fails when the probe phase or full-report render is >1.30× the last
+# BENCH_summary.json entry, or allocated bytes / peak RSS exceed 1.25×;
+# skips itself when the history is missing or recorded at a different
+# TOPICS_BENCH_SITES.
 TOPICS_BENCH_SITES=2000 timeout 300 \
     cargo run --release -q -p topics-bench --bin perf_smoke
+
+echo "== perf smoke memory gate fires on an injected regression =="
+# The mem-regression-fixture feature makes every campaign run allocate
+# 2× its own heap; the memory gate MUST catch it, or the gate is dead.
+if TOPICS_BENCH_SITES=2000 TOPICS_PERF_RUNS=1 timeout 300 \
+    cargo run --release -q -p topics-bench --bin perf_smoke \
+    --features topics-core/mem-regression-fixture > /dev/null 2>&1; then
+    echo "error: perf smoke passed with the 2× allocation fixture — the memory gate is not firing" >&2
+    exit 1
+fi
 
 echo "CI OK"
