@@ -9,6 +9,8 @@
 //! * `probe_wall_us`   — the `phase_wall_us{phase="attestation-probe"}` gauge;
 //! * `report_wall_ms`  — full evaluation + report render;
 //! * `alloc_bytes`     — heap allocated across the run (counting allocator);
+//! * `shard_merge_wall_ms` — decode a 4-way segment split of the final
+//!   run, merge it, and re-serialise the merged campaign;
 //!
 //! plus the process peak RSS (`VmHWM`) once at the end. The current
 //! numbers are compared against the **last entry** of the append-only
@@ -32,6 +34,8 @@ use topics_bench::{
     bench_sites, check_regression, is_append_only, read_history, summary_path, verify_history,
     BenchSummary, BENCH_SEED, PROBE_WALL_GAUGE,
 };
+use topics_core::crawler::{merge_segments, split_outcome, Segment, ShardPlan};
+use topics_core::net::seed;
 use topics_core::{evaluate, Lab, LabConfig};
 use topics_obs::{alloc, CountingAlloc};
 
@@ -111,10 +115,41 @@ fn main() {
     }
     let run = run.expect("at least one run");
     let peak_rss_bytes = alloc::peak_rss_bytes().unwrap_or(0);
+
+    // Shard-merge roundtrip: encode a 4-way split of the final run once,
+    // then time decode + merge + re-serialise (the `merge` subcommand's
+    // hot path, minus disk I/O).
+    let fault_seed = lab
+        .campaign
+        .fault_seed
+        .unwrap_or_else(|| seed::derive(lab.world.seed(), "faults"));
+    let encoded: Vec<String> = split_outcome(
+        &run.outcome,
+        ShardPlan::new(4, run.outcome.sites.len()),
+        lab.world.seed(),
+        &format!("{:?}", lab.campaign.fault),
+        fault_seed,
+    )
+    .iter()
+    .map(Segment::encode)
+    .collect();
+    let mut shard_merge_wall_ms = u64::MAX;
+    for _ in 0..runs {
+        let started = Instant::now();
+        let segments: Vec<Segment> = encoded
+            .iter()
+            .map(|e| Segment::decode(e).expect("own segments decode"))
+            .collect();
+        let merged = merge_segments(&segments).expect("own segments merge");
+        std::hint::black_box(serde_json::to_string(&merged).expect("campaign serialises"));
+        shard_merge_wall_ms = shard_merge_wall_ms.min(started.elapsed().as_millis() as u64);
+    }
+
     println!(
         "perf-smoke: sites={sites} visited={} (best of {runs}) crawl_wall_ms={crawl_wall_ms} \
          probe_wall_us={probe_wall_us} report_wall_ms={report_wall_ms} \
-         alloc_bytes={alloc_bytes} peak_rss_bytes={peak_rss_bytes}",
+         alloc_bytes={alloc_bytes} peak_rss_bytes={peak_rss_bytes} \
+         shard_merge_wall_ms={shard_merge_wall_ms}",
         run.visited_count(),
     );
 
@@ -128,6 +163,7 @@ fn main() {
         report_wall_ms,
         alloc_bytes,
         peak_rss_bytes,
+        shard_merge_wall_ms,
         chain: 0, // assigned by append_entry
     };
 

@@ -87,10 +87,22 @@ pub struct BenchSummary {
     /// from older builds or off Linux.
     #[serde(default)]
     pub peak_rss_bytes: u64,
+    /// Wall-clock milliseconds to decode a 4-way segment split, merge
+    /// it, and re-serialise the merged campaign; 0 in entries from
+    /// older builds. Skipped from the encoding when zero so legacy
+    /// entries keep their recorded [`chain_digest`].
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub shard_merge_wall_ms: u64,
     /// Hash-chain value: [`chain_digest`] of the previous entry's chain
     /// and this entry with `chain` zeroed. 0 only in legacy entries.
     #[serde(default)]
     pub chain: u64,
+}
+
+/// `skip_serializing_if` predicate keeping zero-valued late-addition
+/// columns out of the canonical encoding (chain stability).
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 /// The chain value an entry must carry given its predecessor's chain.
@@ -178,7 +190,7 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
         return violations;
     }
     // (label, baseline value, current value, limit numerator/denominator)
-    let gates: [(&str, u64, u64, u64, u64); 4] = [
+    let gates: [(&str, u64, u64, u64, u64); 5] = [
         (
             "probe_wall_us",
             baseline.probe_wall_us,
@@ -206,6 +218,13 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
             current.peak_rss_bytes,
             5,
             4,
+        ),
+        (
+            "shard_merge_wall_ms",
+            baseline.shard_merge_wall_ms,
+            current.shard_merge_wall_ms,
+            13,
+            10,
         ),
     ];
     for (label, base, cur, num, den) in gates {
@@ -298,6 +317,7 @@ mod tests {
             report_wall_ms: 20,
             alloc_bytes: alloc,
             peak_rss_bytes: 1 << 26,
+            shard_merge_wall_ms: 15,
             chain: 0,
         }
     }

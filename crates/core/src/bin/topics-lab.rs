@@ -28,6 +28,32 @@
 //!     the alloc_size_bytes histogram. The campaign outputs stay
 //!     byte-identical with or without the flag.
 //!
+//! topics-lab shard   --shard K/N [--sites N] [--seed S] [--full]
+//!                    [--out DIR] [--allow-list corrupted|healthy|fail-closed]
+//!                    [--reject] [--vantage eu|us] [--quiet]
+//!                    [--fault-profile off|light|heavy|RATE] [--fault-seed S]
+//!                    [--probe-threads N]
+//!     Run shard K of N (K is 1-based) of the same campaign `crawl`
+//!     would run, as an independent process: generate the world, crawl
+//!     only the shard's site-rank stripe, probe only the parties that
+//!     stripe encountered (plus the allow-list), and write a
+//!     checksummed record segment (shard-K-of-N.seg: visits, probes,
+//!     metrics tally, stripped trace, FNV-1a trailer) to DIR (default:
+//!     ./topics-lab-shards). Per-visit seeds, timestamps, and fault
+//!     schedules are derived from the *global* rank, so the shards of a
+//!     seed reassemble byte-identically.
+//!
+//! topics-lab merge   --segments DIR [--out DIR]
+//!     Verify and merge every *.seg in DIR back into one campaign:
+//!     checks each segment's checksum, shard coverage and header
+//!     agreement, reassembles the outcome, and writes the same artefact
+//!     bundle `crawl` writes (campaign.json, report, CSVs) plus the
+//!     merged stripped trace (trace.jsonl) to DIR (default: the
+//!     segments directory). The bundle is byte-identical to a
+//!     single-process `crawl` of the same seed. Exits non-zero with a
+//!     named violation on truncated, corrupted, duplicated or missing
+//!     segments.
+//!
 //! topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]
 //!     Run-health report over a finished campaign and its trace: outcome
 //!     partition, trace/metric reconciliation, critical path, per-phase
@@ -82,7 +108,7 @@ static ALLOC: topics_core::obs::CountingAlloc = topics_core::obs::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N]\n  topics-lab merge   --segments DIR [--out DIR]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]"
     );
     ExitCode::from(2)
 }
@@ -149,6 +175,81 @@ fn parse_probe_threads(s: &str) -> Result<usize, String> {
     }
 }
 
+/// Strict `--shard K/N` parse: K is 1-based, 1 ≤ K ≤ N. Returns the
+/// 0-based shard index and the shard count.
+fn parse_shard_spec(s: &str) -> Result<(usize, usize), String> {
+    let err = || format!("bad --shard {s:?} (want K/N with 1 ≤ K ≤ N, e.g. 2/4)");
+    let (k, n) = s.split_once('/').ok_or_else(err)?;
+    let k: usize = k.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if k >= 1 && k <= n {
+        Ok((k - 1, n))
+    } else {
+        Err(err())
+    }
+}
+
+/// The campaign flags `crawl` and `shard` share — seed, scale, allow
+/// list, consent, vantage, faults, probe threads — parsed into a
+/// [`LabConfig`]. Returns the config plus the resolved site count and
+/// seed (for progress logging and the full-scale switch).
+fn parse_lab_config(args: &Args) -> Result<(LabConfig, usize, u64), String> {
+    let seed: u64 = args
+        .value_of("--seed")?
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()?
+        .unwrap_or(2024);
+    let sites: usize = if args.has("--full") {
+        50_000
+    } else {
+        args.value_of("--sites")?
+            .map(|s| s.parse().map_err(|_| format!("bad --sites {s:?}")))
+            .transpose()?
+            .unwrap_or(5_000)
+    };
+    let allow_list = match args.value_of("--allow-list")?.unwrap_or("corrupted") {
+        "corrupted" => AllowListSetup::CorruptedFailOpen,
+        "healthy" => AllowListSetup::Healthy,
+        "fail-closed" => AllowListSetup::CorruptedFailClosed,
+        other => return Err(format!("unknown --allow-list {other:?}")),
+    };
+    let vantage = match args.value_of("--vantage")?.unwrap_or("eu") {
+        "eu" => topics_core::net::http::Vantage::Europe,
+        "us" => topics_core::net::http::Vantage::UnitedStates,
+        other => return Err(format!("unknown --vantage {other:?} (eu|us)")),
+    };
+    let fault_profile = args
+        .value_of("--fault-profile")?
+        .map(topics_core::net::fault::FaultProfile::parse)
+        .transpose()?
+        .unwrap_or_else(topics_core::net::fault::FaultProfile::off);
+    let fault_seed: Option<u64> = args
+        .value_of("--fault-seed")?
+        .map(|s| s.parse().map_err(|_| format!("bad --fault-seed {s:?}")))
+        .transpose()?;
+    let probe_threads: Option<usize> = args
+        .value_of("--probe-threads")?
+        .map(parse_probe_threads)
+        .transpose()?;
+
+    let mut config = LabConfig::quick(seed, sites)
+        .with_allow_list(allow_list)
+        .with_fault_profile(fault_profile);
+    if let Some(s) = fault_seed {
+        config = config.with_fault_seed(s);
+    }
+    if let Some(n) = probe_threads {
+        config = config.with_probe_threads(n);
+    }
+    config.campaign.vantage = vantage;
+    config.campaign.consent_action = if args.has("--reject") {
+        topics_core::crawler::ConsentAction::Reject
+    } else {
+        topics_core::crawler::ConsentAction::Accept
+    };
+    Ok((config, sites, seed))
+}
+
 /// Resolve an output path: relative paths land next to the bundle.
 fn resolve_out(out_dir: &std::path::Path, value: &str) -> PathBuf {
     let p = PathBuf::from(value);
@@ -176,55 +277,12 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         ],
         &["--full", "--reject", "--quiet", "--alloc-stats"],
     )?;
-    let seed: u64 = args
-        .value_of("--seed")?
-        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
-        .transpose()?
-        .unwrap_or(2024);
-    let full = args.has("--full");
-    let sites: usize = if full {
-        50_000
-    } else {
-        args.value_of("--sites")?
-            .map(|s| s.parse().map_err(|_| format!("bad --sites {s:?}")))
-            .transpose()?
-            .unwrap_or(5_000)
-    };
+    let (config, sites, seed) = parse_lab_config(args)?;
     let out = PathBuf::from(args.value_of("--out")?.unwrap_or("topics-lab-out"));
-    let allow_list = match args.value_of("--allow-list")?.unwrap_or("corrupted") {
-        "corrupted" => AllowListSetup::CorruptedFailOpen,
-        "healthy" => AllowListSetup::Healthy,
-        "fail-closed" => AllowListSetup::CorruptedFailClosed,
-        other => return Err(format!("unknown --allow-list {other:?}")),
-    };
-
-    let vantage = match args.value_of("--vantage")?.unwrap_or("eu") {
-        "eu" => topics_core::net::http::Vantage::Europe,
-        "us" => topics_core::net::http::Vantage::UnitedStates,
-        other => return Err(format!("unknown --vantage {other:?} (eu|us)")),
-    };
-    let consent_action = if args.has("--reject") {
-        topics_core::crawler::ConsentAction::Reject
-    } else {
-        topics_core::crawler::ConsentAction::Accept
-    };
     let metrics_out = args
         .value_of("--metrics-out")?
         .map(|v| resolve_out(&out, v));
     let events_out = args.value_of("--events-out")?.map(|v| resolve_out(&out, v));
-    let fault_profile = args
-        .value_of("--fault-profile")?
-        .map(topics_core::net::fault::FaultProfile::parse)
-        .transpose()?
-        .unwrap_or_else(topics_core::net::fault::FaultProfile::off);
-    let fault_seed: Option<u64> = args
-        .value_of("--fault-seed")?
-        .map(|s| s.parse().map_err(|_| format!("bad --fault-seed {s:?}")))
-        .transpose()?;
-    let probe_threads: Option<usize> = args
-        .value_of("--probe-threads")?
-        .map(parse_probe_threads)
-        .transpose()?;
     let trace_out = args.value_of("--trace-out")?.map(|v| resolve_out(&out, v));
     let alloc_stats = args.has("--alloc-stats");
     if alloc_stats {
@@ -244,21 +302,13 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         "world-gen",
         vec![("sites".into(), sites.into()), ("seed".into(), seed.into())],
     );
-    let mut config = LabConfig::quick(seed, sites)
-        .with_allow_list(allow_list)
-        .with_fault_profile(fault_profile.clone());
-    if let Some(s) = fault_seed {
-        config = config.with_fault_seed(s);
-    }
-    if let Some(n) = probe_threads {
-        config = config.with_probe_threads(n);
-    }
-    config.campaign.vantage = vantage;
-    config.campaign.consent_action = consent_action;
-    if !fault_profile.is_off() {
+    if !config.campaign.fault.is_off() {
         obs.events.info(
             "fault-injection",
-            vec![("profile".into(), format!("{fault_profile:?}").into())],
+            vec![(
+                "profile".into(),
+                format!("{:?}", config.campaign.fault).into(),
+            )],
         );
     }
     let lab = {
@@ -321,6 +371,91 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     if let Some(p) = &trace_out {
         println!("trace written to {}", p.display());
     }
+    Ok(())
+}
+
+fn cmd_shard(args: &Args) -> Result<(), String> {
+    args.reject_unknown(
+        &[
+            "--shard",
+            "--sites",
+            "--seed",
+            "--out",
+            "--allow-list",
+            "--vantage",
+            "--fault-profile",
+            "--fault-seed",
+            "--probe-threads",
+        ],
+        &["--full", "--reject", "--quiet"],
+    )?;
+    let (shard, shards) = parse_shard_spec(
+        args.value_of("--shard")?
+            .ok_or("shard needs --shard K/N (e.g. 2/4)")?,
+    )?;
+    let (config, _, seed) = parse_lab_config(args)?;
+    let out = PathBuf::from(args.value_of("--out")?.unwrap_or("topics-lab-shards"));
+
+    // The segment carries the stripped span trace, so the shard run is
+    // always traced. No other phases may open on this handle — the
+    // merge expects exactly the campaign's phase sequence.
+    let obs = if args.has("--quiet") {
+        Obs::new()
+    } else {
+        Obs::with_stderr_echo()
+    }
+    .with_trace();
+    obs.events.info(
+        "shard-start",
+        vec![
+            ("shard".into(), (shard + 1).into()),
+            ("shards".into(), shards.into()),
+            ("seed".into(), seed.into()),
+        ],
+    );
+    let segment = topics_core::run_shard(&config, shard, shards, &obs);
+    let sites = segment.sites.len();
+    let probes = segment.probes.len();
+    let path = topics_core::write_segment(&out, &segment)
+        .map_err(|e| format!("writing segment to {}: {e}", out.display()))?;
+    println!(
+        "shard {}/{} segment written to {} ({} sites, {} probes)",
+        shard + 1,
+        shards,
+        path.display(),
+        sites,
+        probes,
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--segments", "--out"], &[])?;
+    let segments = PathBuf::from(
+        args.value_of("--segments")?
+            .ok_or("merge needs --segments DIR")?,
+    );
+    let out = args
+        .value_of("--out")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| segments.clone());
+
+    let count = topics_core::segment_paths(&segments)?.len();
+    let merged = topics_core::merge_dir(&segments)?;
+    let eval = evaluate(&merged.outcome);
+    let full_scale = merged.outcome.sites.len() >= 50_000;
+    write_bundle(&out, &merged.outcome, &eval, full_scale)
+        .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
+    let trace_path = out.join("trace.jsonl");
+    std::fs::write(&trace_path, merged.trace.to_jsonl())
+        .map_err(|e| format!("writing trace to {}: {e}", trace_path.display()))?;
+
+    println!("{}", eval.render_report());
+    println!(
+        "merged {count} segment(s) from {} into {}",
+        segments.display(),
+        out.display(),
+    );
     Ok(())
 }
 
@@ -414,7 +549,15 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
     let trace = topics_core::obs::Trace::from_jsonl(&text)
         .map_err(|e| format!("parsing trace {}: {e}", trace_path.display()))?;
 
-    let report = diagnose(&outcome, &trace, top);
+    // Shard segments next to the campaign are verified automatically:
+    // checksums, coverage, and byte-identity of their merge.
+    let mut report = diagnose(&outcome, &trace, top);
+    if let Some(dir) = campaign.parent().filter(|d| d.is_dir()) {
+        let (checked, violations) = topics_core::doctor::verify_segments(dir, &outcome);
+        if checked > 0 {
+            report = report.with_segment_checks(checked, violations);
+        }
+    }
     print!("{}", report.render());
     if report.is_healthy() {
         Ok(())
@@ -463,6 +606,8 @@ fn main() -> ExitCode {
     let args = Args::new(argv.collect());
     let result = match cmd.as_str() {
         "crawl" => cmd_crawl(&args),
+        "shard" => cmd_shard(&args),
+        "merge" => cmd_merge(&args),
         "report" => cmd_report(&args),
         "metrics" => cmd_metrics(&args),
         "compare" => cmd_compare(&args),
@@ -660,6 +805,75 @@ mod tests {
             .reject_unknown(&["--trace", "--campaign", "--top"], &[])
             .unwrap_err()
             .contains("--trase"));
+    }
+
+    #[test]
+    fn shard_spec_parses_strictly() {
+        assert_eq!(parse_shard_spec("1/1"), Ok((0, 1)));
+        assert_eq!(parse_shard_spec("2/4"), Ok((1, 4)));
+        assert_eq!(parse_shard_spec("16/16"), Ok((15, 16)));
+        // Zero-based, out-of-range, zero shards, and malformed specs
+        // are all hard errors — never a silently empty stripe.
+        for bad in [
+            "0/4", "5/4", "1/0", "0/0", "1", "1/", "/4", "a/b", "1/4/2", "-1/4", "",
+        ] {
+            let err = parse_shard_spec(bad).unwrap_err();
+            assert!(err.contains("--shard"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_flags_parse_strictly() {
+        // The shard flag set accepts the shared campaign flags.
+        let a = args(&["--shard", "2/4", "--sites", "500", "--quiet"]);
+        assert!(a
+            .reject_unknown(&["--shard", "--sites"], &["--quiet"])
+            .is_ok());
+        assert_eq!(a.value_of("--shard").unwrap(), Some("2/4"));
+        // A typo stays a hard error — no silent unsharded run.
+        let b = args(&["--shar", "2/4"]);
+        assert!(b
+            .reject_unknown(&["--shard"], &[])
+            .unwrap_err()
+            .contains("--shar"));
+        // A following flag is a missing value, not a shard spec.
+        let c = args(&["--shard", "--quiet"]);
+        assert!(c
+            .value_of("--shard")
+            .unwrap_err()
+            .contains("requires a value"));
+        // Crawl-only flags are rejected by the shard flag set.
+        let d = args(&["--shard", "1/2", "--trace-out", "t.jsonl"]);
+        assert!(d
+            .reject_unknown(&["--shard"], &[])
+            .unwrap_err()
+            .contains("--trace-out"));
+    }
+
+    #[test]
+    fn merge_flags_parse_strictly() {
+        let a = args(&["--segments", "shards", "--out", "bundle"]);
+        assert!(a.reject_unknown(&["--segments", "--out"], &[]).is_ok());
+        assert_eq!(a.value_of("--segments").unwrap(), Some("shards"));
+        assert_eq!(a.value_of("--out").unwrap(), Some("bundle"));
+        // A typo stays a hard error — no merge of the wrong directory.
+        let b = args(&["--segment", "shards"]);
+        assert!(b
+            .reject_unknown(&["--segments", "--out"], &[])
+            .unwrap_err()
+            .contains("--segment"));
+        // A following flag is a missing value, not a directory.
+        let c = args(&["--segments", "--out"]);
+        assert!(c
+            .value_of("--segments")
+            .unwrap_err()
+            .contains("requires a value"));
+        // Stray positionals are rejected, same as every subcommand.
+        let d = args(&["shards"]);
+        assert!(d
+            .reject_unknown(&["--segments", "--out"], &[])
+            .unwrap_err()
+            .contains("unexpected argument"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! non-zero on those).
 
 use crate::lab::metrics_snapshot_of;
+use std::path::Path;
 use topics_crawler::record::{CampaignOutcome, OutcomeCounts};
 use topics_obs::profile::{integrity, profile, Integrity, Profile};
 use topics_obs::{FieldValue, Trace};
@@ -66,6 +67,54 @@ pub struct DoctorReport {
     /// Analyzer output: critical path, phases, workers, retries,
     /// slowest visits.
     pub profile: Profile,
+    /// Shard-segment files verified (0 when the campaign has none).
+    pub segments_checked: usize,
+    /// Segment-integrity and shard-coverage violations (see
+    /// [`verify_segments`]).
+    pub segment_violations: Vec<String>,
+}
+
+/// Segment-integrity and shard-coverage checks over every `*.seg` file
+/// in `dir`: each segment must decode (checksum, line count, version,
+/// required sections), the set must merge (exact shard coverage of the
+/// plan's rank space, matching tokens and headers), and the merged
+/// outcome must reproduce the loaded `campaign.json` byte for byte.
+/// Returns `(files checked, violations)`.
+pub fn verify_segments(dir: &Path, outcome: &CampaignOutcome) -> (usize, Vec<String>) {
+    let paths = match crate::shard::segment_paths(dir) {
+        Ok(p) => p,
+        Err(e) => return (0, vec![e]),
+    };
+    if paths.is_empty() {
+        return (0, Vec::new());
+    }
+    let mut violations = Vec::new();
+    let mut segments = Vec::new();
+    for p in &paths {
+        match crate::shard::read_segment(p) {
+            Ok(s) => segments.push(s),
+            Err(e) => violations.push(e),
+        }
+    }
+    if !violations.is_empty() {
+        return (paths.len(), violations);
+    }
+    match topics_crawler::shard::merge_segments(&segments) {
+        Ok(merged) => {
+            if merged.sites.len() != outcome.sites.len() {
+                violations.push(format!(
+                    "shard coverage gap: segments cover {} sites, campaign has {}",
+                    merged.sites.len(),
+                    outcome.sites.len()
+                ));
+            } else if serde_json::to_string(&merged).ok() != serde_json::to_string(outcome).ok() {
+                violations
+                    .push("merged segments do not reproduce campaign.json byte-for-byte".into());
+            }
+        }
+        Err(e) => violations.push(e.to_string()),
+    }
+    (paths.len(), violations)
 }
 
 fn u64_field(trace: &Trace, span_name: &str, key: &str) -> u64 {
@@ -128,6 +177,8 @@ pub fn diagnose(outcome: &CampaignOutcome, trace: &Trace, top_n: usize) -> Docto
         reconciliation,
         alloc_balance: alloc_balance(trace),
         profile: profile(trace, top_n),
+        segments_checked: 0,
+        segment_violations: Vec::new(),
     }
 }
 
@@ -167,10 +218,20 @@ fn alloc_balance(trace: &Trace) -> Vec<AllocBalance> {
 }
 
 impl DoctorReport {
+    /// Fold in the result of [`verify_segments`] (the CLI runs it when
+    /// the campaign directory holds `*.seg` files).
+    #[must_use]
+    pub fn with_segment_checks(mut self, checked: usize, violations: Vec<String>) -> DoctorReport {
+        self.segments_checked = checked;
+        self.segment_violations = violations;
+        self
+    }
+
     /// Every violation found: structural trace problems plus failed
     /// reconciliation checks. Empty iff [`DoctorReport::is_healthy`].
     pub fn violations(&self) -> Vec<String> {
         let mut out = self.integrity.violations();
+        out.extend(self.segment_violations.iter().cloned());
         for r in self.reconciliation.iter().filter(|r| !r.ok) {
             out.push(format!(
                 "reconciliation failed: {} (trace {}, tally {})",
@@ -192,6 +253,7 @@ impl DoctorReport {
         self.integrity.is_clean()
             && self.reconciliation.iter().all(|r| r.ok)
             && self.alloc_balance.iter().all(|b| b.ok)
+            && self.segment_violations.is_empty()
     }
 
     /// Render the report as plain text.
@@ -274,6 +336,21 @@ impl DoctorReport {
             }
         }
         out.push('\n');
+
+        if self.segments_checked > 0 {
+            out.push_str("== Shard segments ==\n");
+            if self.segment_violations.is_empty() {
+                out.push_str(&format!(
+                    "[ok] {} segment file(s): checksums verified, shard coverage complete, merge reproduces campaign.json\n",
+                    self.segments_checked,
+                ));
+            } else {
+                for v in &self.segment_violations {
+                    out.push_str(&format!("[FAIL] {v}\n"));
+                }
+            }
+            out.push('\n');
+        }
 
         out.push_str("== Retry hot-spots ==\n");
         if self.profile.retry_clusters.is_empty() {
@@ -425,6 +502,61 @@ mod tests {
         assert_eq!(report.alloc_balance.len(), 1);
         assert!(report.is_healthy(), "violations: {:?}", report.violations());
         assert!(report.alloc_balance[0].children_bytes > 0);
+    }
+
+    #[test]
+    fn segment_checks_flow_into_the_report() {
+        let config = LabConfig::quick(33, 40).with_threads(2);
+        let dir = std::env::temp_dir().join(format!("topics-doctor-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut paths = Vec::new();
+        for shard in 0..2 {
+            let segment = crate::shard::run_shard(&config, shard, 2, &Obs::new().with_trace());
+            paths.push(crate::shard::write_segment(&dir, &segment).unwrap());
+        }
+        let merged = crate::shard::merge_dir(&dir).unwrap();
+
+        let (checked, violations) = verify_segments(&dir, &merged.outcome);
+        assert_eq!(checked, 2);
+        assert!(violations.is_empty(), "{violations:?}");
+        let report =
+            diagnose(&merged.outcome, &merged.trace, 5).with_segment_checks(checked, violations);
+        assert!(report.is_healthy(), "violations: {:?}", report.violations());
+        assert!(report.render().contains("== Shard segments =="));
+        assert!(report.render().contains("[ok] 2 segment file(s)"));
+
+        // A campaign that does not match the segments is a coverage gap.
+        let mut short = merged.outcome.clone();
+        short.sites.pop();
+        let (_, violations) = verify_segments(&dir, &short);
+        assert!(
+            violations.iter().any(|v| v.contains("coverage gap")),
+            "{violations:?}"
+        );
+
+        // Flip one byte in a segment (still valid JSON, so only the
+        // checksum can catch it): the check names the file.
+        let text = std::fs::read_to_string(&paths[0]).unwrap();
+        std::fs::write(&paths[0], text.replacen("\"rank\":0", "\"rank\":9", 1)).unwrap();
+        let (checked, violations) = verify_segments(&dir, &merged.outcome);
+        assert_eq!(checked, 2);
+        assert!(
+            violations.iter().any(|v| v.contains("checksum mismatch")),
+            "{violations:?}"
+        );
+        let report =
+            diagnose(&merged.outcome, &merged.trace, 5).with_segment_checks(checked, violations);
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("[FAIL]"));
+
+        // Truncation is named too.
+        std::fs::write(&paths[0], &text[..text.len() / 2]).unwrap();
+        let (_, violations) = verify_segments(&dir, &merged.outcome);
+        assert!(
+            violations.iter().any(|v| v.contains("truncated")),
+            "{violations:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   its span trace (the `topics-lab doctor` subcommand).
 //! * [`export`] — artefact bundles: campaign JSON dump plus one CSV per
 //!   table/figure (the `topics-lab` CLI writes these).
+//! * [`shard`] — sharded campaign execution (`topics-lab shard`) and
+//!   the deterministic merge (`topics-lab merge`) back into a bundle
+//!   byte-identical to a single-process run.
 //! * [`fidelity`] — crawler measurements vs generator ground truth: the
 //!   pipeline's own measurement error, quantifiable only in simulation.
 //!
@@ -35,12 +38,17 @@ pub mod doctor;
 pub mod export;
 pub mod fidelity;
 pub mod lab;
+pub mod shard;
 
 pub use compare::{comparison_rows, render_comparison, ComparisonRow};
 pub use config::LabConfig;
-pub use doctor::{diagnose, DoctorReport};
+pub use doctor::{diagnose, verify_segments, DoctorReport};
 pub use fidelity::{fidelity, FidelityReport};
 pub use lab::{evaluate, metrics_snapshot_of, CampaignRun, Evaluation, Lab};
+pub use shard::{
+    merge_dir, read_segment, run_shard, segment_file_name, segment_paths, write_segment, Merged,
+    MERGE_RULES,
+};
 
 pub use topics_analysis as analysis;
 pub use topics_baseline as baseline;

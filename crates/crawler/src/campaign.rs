@@ -233,8 +233,57 @@ where
     W: CrawlTarget + ?Sized,
     F: Fn(usize, usize) + Sync,
 {
+    run_campaign_inner(world, config, None, obs, progress)
+}
+
+/// Run one rank stripe of the campaign — the shard body.
+///
+/// The stripe only restricts which sites are *visited*: ranks, visit
+/// start times, the crawl-end timestamp and hence the probe time are
+/// all derived from the **global** target list, so every per-site
+/// record (and every probe result) is byte-identical to the one the
+/// unsharded run produces for the same rank. The probe set is the
+/// allow-list plus the parties this stripe actually encountered; since
+/// probe results are pure functions of `(domain, probe_time)` under a
+/// shared fault seed, segments from disjoint stripes merge back into
+/// the single-process outcome (see `crate::shard`).
+///
+/// # Panics
+///
+/// Panics if `stripe` is not contained in `0..targets.len()`.
+pub fn run_campaign_stripe<W, F>(
+    world: &W,
+    config: &CampaignConfig,
+    stripe: std::ops::Range<usize>,
+    obs: Option<&Obs>,
+    progress: F,
+) -> CampaignOutcome
+where
+    W: CrawlTarget + ?Sized,
+    F: Fn(usize, usize) + Sync,
+{
+    run_campaign_inner(world, config, Some(stripe), obs, progress)
+}
+
+fn run_campaign_inner<W, F>(
+    world: &W,
+    config: &CampaignConfig,
+    stripe: Option<std::ops::Range<usize>>,
+    obs: Option<&Obs>,
+    progress: F,
+) -> CampaignOutcome
+where
+    W: CrawlTarget + ?Sized,
+    F: Fn(usize, usize) + Sync,
+{
     let metrics = obs.map(|o| CrawlMetrics::new(&o.metrics));
     let targets = world.targets();
+    let stripe = stripe.unwrap_or(0..targets.len());
+    assert!(
+        stripe.start <= stripe.end && stripe.end <= targets.len(),
+        "stripe {stripe:?} outside 0..{}",
+        targets.len()
+    );
     let allow_list = world.allow_list_snapshot();
     let plan = config.fault_plan(world.campaign_seed());
     let policy = config.visit_policy(&plan);
@@ -260,6 +309,8 @@ where
     let service: &FaultyService<'_, W> = &faulty;
 
     let threads = config.threads.max(1);
+    let stripe_start = stripe.start;
+    let stripe_len = stripe.len();
     let done = std::sync::atomic::AtomicUsize::new(0);
     let crawl_span = obs.map(|o| o.events.span("crawl"));
     // Trace wiring: each worker records its visits into private builders
@@ -278,7 +329,7 @@ where
             .labeled_gauge("phase_workers", "phase", "crawl")
             .set(threads as i64);
     }
-    let mut pairs: Vec<(SiteOutcome, Option<TraceBuilder>)> = Vec::with_capacity(targets.len());
+    let mut pairs: Vec<(SiteOutcome, Option<TraceBuilder>)> = Vec::with_capacity(stripe_len);
     let mut worker_traces: Vec<TraceBuilder> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -305,8 +356,12 @@ where
                 let mut busy_us = 0u64;
                 let mut items = 0u64;
                 let mut out: Vec<(SiteOutcome, Option<TraceBuilder>)> = Vec::new();
-                let mut rank = t;
-                while rank < targets.len() {
+                // Workers stride over stripe *offsets*; the rank fed to
+                // the visit (timestamps, per-profile seeds) stays global
+                // so sharded and unsharded records coincide.
+                let mut off = t;
+                while off < stripe_len {
+                    let rank = stripe_start + off;
                     let started = config
                         .start
                         .plus_millis(rank as u64 * config.per_site_interval_ms);
@@ -356,10 +411,10 @@ where
                     }
                     out.push((outcome, vtrace));
                     let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                    if n % 500 == 0 || n == targets.len() {
-                        progress(n, targets.len());
+                    if n % 500 == 0 || n == stripe_len {
+                        progress(n, stripe_len);
                     }
-                    rank += threads;
+                    off += threads;
                 }
                 if let (Some(tb), Some(idx)) = (op.as_mut(), op_span) {
                     tb.field(idx, "busy_us", busy_us);
@@ -412,7 +467,7 @@ where
         span.end(Some((config.start.millis(), crawl_sim_end)));
     }
     if let Some(mut span) = crawl_span {
-        span.field("sites", targets.len());
+        span.field("sites", stripe_len);
         if let Some(o) = obs {
             o.metrics
                 .labeled_gauge("phase_wall_us", "phase", "crawl")

@@ -16,6 +16,8 @@
 //!   attestation prober, and repeated-visit support for the §3 A/B
 //!   alternation experiment.
 //! * [`record`] — the measurement schema handed to `topics-analysis`.
+//! * [`shard`] — rank-stripe shard planning, checksummed record
+//!   segments, and the deterministic merge back into one campaign.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,16 +26,22 @@ pub mod campaign;
 pub mod metrics;
 pub mod privaccept;
 pub mod record;
+pub mod shard;
 pub mod visit;
 
 pub use campaign::{
     probe_attestation, probe_attestation_retrying, run_campaign, run_campaign_observed,
-    run_campaign_with_progress, run_repeated, AllowListSetup, CampaignConfig, CrawlTarget,
+    run_campaign_stripe, run_campaign_with_progress, run_repeated, AllowListSetup, CampaignConfig,
+    CrawlTarget,
 };
 pub use metrics::{tally_outcome, CrawlMetrics, CALL_CLASSES};
 pub use record::{
     AttestationInfo, AttestationProbe, CampaignOutcome, FaultStats, OutcomeCounts, Phase,
     SiteOutcome, TopicsCallRecord, VisitOutcome, VisitRecord,
+};
+pub use shard::{
+    merge_segments, shard_token, split_outcome, tally_snapshot, Fnv, MergeError, Segment,
+    SegmentError, SegmentHeader, ShardPlan, SEGMENT_VERSION,
 };
 pub use visit::{
     run_site, run_site_full, run_site_instrumented, run_site_with_action, run_site_with_policy,

@@ -1,0 +1,888 @@
+//! Sharded campaigns: rank-stripe planning, the on-disk record segment
+//! a shard process writes, and the deterministic merge that reassembles
+//! segments into the single-process [`CampaignOutcome`].
+//!
+//! The contract is byte-identity: running `N` shards of the same seeded
+//! world and merging their segments must produce a `campaign.json`
+//! identical to one unsharded run. Three properties make that hold:
+//!
+//! 1. **Global ranks.** A shard visits only its stripe, but every
+//!    rank-derived quantity (visit start time, per-profile seeds, the
+//!    crawl-end timestamp and hence the probe time) comes from the
+//!    *global* target list (see
+//!    [`run_campaign_stripe`](crate::campaign::run_campaign_stripe)).
+//! 2. **Shared fault seed.** The fault plan's seed is resolved once
+//!    (`fault_seed.unwrap_or(derive(campaign_seed, "faults"))`) and
+//!    pinned into every shard header, and fault coins key on URL and
+//!    timestamp — so the fault schedule is a pure function of the work
+//!    item, not of which shard performs it.
+//! 3. **Pure probes.** An attestation probe result is a pure function
+//!    of `(domain, probe_time)` under the shared plan, so the same
+//!    domain probed by two shards yields identical records and the
+//!    merge can dedup the union back into the sorted probe vector the
+//!    unsharded run produces.
+//!
+//! A segment is a JSONL stream — header, per-site records, allow-list,
+//! probe results, the shard's tally-derived metrics snapshot, stripped
+//! trace spans — terminated by an FNV-1a checksum line over every
+//! preceding byte (same constants as [`seed::fnv1a`]) plus a line
+//! count, so truncation, bit-rot, and editing are all detected before
+//! a merge can silently produce a wrong campaign.
+
+use crate::metrics::tally_outcome;
+use crate::record::{AttestationProbe, CampaignOutcome, SiteOutcome};
+use serde::{Content, Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::Range;
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+use topics_net::seed;
+use topics_obs::{MetricsRegistry, MetricsSnapshot, SpanRecord};
+
+/// Current segment format version; bumped on incompatible change.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Incremental FNV-1a (64-bit) — the same function as [`seed::fnv1a`],
+/// but fed in chunks so a streaming segment writer can checksum as it
+/// goes.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Start a fresh digest (FNV-1a offset basis).
+    pub fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+
+    /// The digest over everything absorbed so far.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Rank-stripe assignment: shard `k` of `n` owns a contiguous range of
+/// site ranks, with the first `num_sites % n` stripes one rank longer
+/// so the stripes partition `0..num_sites` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    num_sites: usize,
+}
+
+impl ShardPlan {
+    /// Plan `shards` stripes over `num_sites` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, num_sites: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        ShardPlan { shards, num_sites }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of site ranks covered.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The rank stripe owned by shard `shard` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn stripe(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.shards, "shard {shard} of {}", self.shards);
+        let base = self.num_sites / self.shards;
+        let extra = self.num_sites % self.shards;
+        let start = shard * base + shard.min(extra);
+        let len = base + usize::from(shard < extra);
+        start..start + len
+    }
+
+    /// The shard owning rank `rank` — the inverse of [`Self::stripe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= num_sites`.
+    pub fn shard_of(&self, rank: usize) -> usize {
+        assert!(rank < self.num_sites, "rank {rank} of {}", self.num_sites);
+        let base = self.num_sites / self.shards;
+        let extra = self.num_sites % self.shards;
+        let wide = (base + 1) * extra;
+        if rank < wide {
+            rank / (base + 1)
+        } else {
+            extra + (rank - wide) / base
+        }
+    }
+}
+
+/// The per-shard derived seed recorded in the segment header: stable
+/// under shard reordering (it depends only on the campaign seed and the
+/// shard index) and distinct per shard. Shard-local randomness — and
+/// the header self-check at merge time — keys off this token; the
+/// *fault* seed is deliberately not derived per shard, because fault
+/// schedules must match the unsharded run.
+pub fn shard_token(campaign_seed: u64, shard: usize) -> u64 {
+    seed::derive_idx(seed::derive(campaign_seed, "shard"), shard as u64)
+}
+
+/// The first line of a segment: everything the merge needs to check
+/// that a set of segments belongs to the same sharded campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentHeader {
+    /// Segment format version ([`SEGMENT_VERSION`]).
+    pub version: u32,
+    /// The campaign (= world) seed.
+    pub seed: u64,
+    /// This shard's index, 0-based.
+    pub shard: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// Global site count the plan was computed over.
+    pub num_sites: usize,
+    /// First rank of this shard's stripe.
+    pub stripe_start: usize,
+    /// One past the last rank of this shard's stripe.
+    pub stripe_end: usize,
+    /// [`shard_token`] for (`seed`, `shard`) — a header self-check.
+    pub token: u64,
+    /// Campaign start time.
+    pub started: Timestamp,
+    /// The fault profile, rendered via `Debug` (compared, not parsed).
+    pub fault: String,
+    /// The resolved fault seed shared by every shard.
+    pub fault_seed: u64,
+}
+
+/// One line of a segment stream. Serialized as the payload's own
+/// object with a discriminating `"kind"` entry first — written by hand
+/// because the vendored serde stand-in has no tagged-enum support.
+#[derive(Debug, Clone)]
+enum SegmentLine {
+    Header(SegmentHeader),
+    Site(SiteOutcome),
+    AllowList { domains: Vec<Domain> },
+    Probe(AttestationProbe),
+    Metrics(MetricsSnapshot),
+    Span(SpanRecord),
+    Checksum { fnv1a: u64, lines: u64 },
+}
+
+impl Serialize for SegmentLine {
+    fn to_content(&self) -> Content {
+        let (kind, payload) = match self {
+            SegmentLine::Header(h) => ("header", h.to_content()),
+            SegmentLine::Site(s) => ("site", s.to_content()),
+            SegmentLine::AllowList { domains } => (
+                "allow_list",
+                Content::Map(vec![("domains".to_owned(), domains.to_content())]),
+            ),
+            SegmentLine::Probe(p) => ("probe", p.to_content()),
+            SegmentLine::Metrics(m) => ("metrics", m.to_content()),
+            SegmentLine::Span(s) => ("span", s.to_content()),
+            SegmentLine::Checksum { fnv1a, lines } => (
+                "checksum",
+                Content::Map(vec![
+                    ("fnv1a".to_owned(), fnv1a.to_content()),
+                    ("lines".to_owned(), lines.to_content()),
+                ]),
+            ),
+        };
+        let mut entries = vec![("kind".to_owned(), Content::Str(kind.to_owned()))];
+        entries.extend(
+            payload
+                .as_map_slice()
+                .expect("segment payloads serialize as objects")
+                .iter()
+                .cloned(),
+        );
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for SegmentLine {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        let entries = c
+            .as_map_slice()
+            .ok_or_else(|| serde::Error::msg("expected a segment line object"))?;
+        let kind = serde::map_get(entries, "kind")
+            .and_then(Content::as_str)
+            .ok_or_else(|| serde::Error::msg("segment line missing `kind`"))?;
+        // Payload fields sit beside `kind`; derived impls look fields up
+        // by name, so the extra entry is transparent to them.
+        match kind {
+            "header" => SegmentHeader::from_content(c).map(SegmentLine::Header),
+            "site" => SiteOutcome::from_content(c).map(SegmentLine::Site),
+            "allow_list" => serde::map_get(entries, "domains")
+                .ok_or_else(|| serde::Error::missing_field("domains", "allow_list line"))
+                .and_then(Vec::<Domain>::from_content)
+                .map(|domains| SegmentLine::AllowList { domains }),
+            "probe" => AttestationProbe::from_content(c).map(SegmentLine::Probe),
+            "metrics" => MetricsSnapshot::from_content(c).map(SegmentLine::Metrics),
+            "span" => SpanRecord::from_content(c).map(SegmentLine::Span),
+            "checksum" => {
+                let field = |name| {
+                    serde::map_get(entries, name)
+                        .and_then(Content::as_u64)
+                        .ok_or_else(|| serde::Error::missing_field(name, "checksum line"))
+                };
+                Ok(SegmentLine::Checksum {
+                    fnv1a: field("fnv1a")?,
+                    lines: field("lines")?,
+                })
+            }
+            other => Err(serde::Error::msg(format!(
+                "unknown segment line kind `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A decoded record segment: one shard's complete output.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Identity and plan parameters.
+    pub header: SegmentHeader,
+    /// Site outcomes for this shard's stripe, in rank order.
+    pub sites: Vec<SiteOutcome>,
+    /// The allow-list snapshot (identical across shards).
+    pub allow_list: Vec<Domain>,
+    /// Probe results for the allow-list plus this stripe's parties.
+    pub probes: Vec<AttestationProbe>,
+    /// Tally-derived metrics snapshot of this shard's outcome.
+    pub metrics: MetricsSnapshot,
+    /// Stripped trace spans of the shard run (may be empty).
+    pub trace: Vec<SpanRecord>,
+}
+
+/// Why a segment failed to decode. `Display` gives each variant a
+/// stable name that doctor and `topics-lab merge` surface verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentError {
+    /// The stream ends without (or inside) the checksum trailer.
+    Truncated,
+    /// The checksum trailer disagrees with the absorbed bytes.
+    ChecksumMismatch {
+        /// Digest recorded in the trailer.
+        expected: u64,
+        /// Digest of the bytes actually present.
+        actual: u64,
+    },
+    /// The trailer's line count disagrees with the lines present.
+    LineCountMismatch {
+        /// Count recorded in the trailer.
+        expected: u64,
+        /// Lines actually present.
+        actual: u64,
+    },
+    /// A line is not valid segment JSON.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Required section absent (header, metrics, …).
+    MissingSection(&'static str),
+    /// Bytes follow the checksum trailer.
+    TrailingData,
+    /// The header is internally inconsistent or from another version.
+    HeaderInvalid(String),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Truncated => write!(f, "truncated segment: no checksum trailer"),
+            SegmentError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "segment checksum mismatch: trailer {expected:#018x}, content {actual:#018x}"
+            ),
+            SegmentError::LineCountMismatch { expected, actual } => write!(
+                f,
+                "segment line count mismatch: trailer says {expected}, found {actual}"
+            ),
+            SegmentError::Malformed { line } => write!(f, "malformed segment line {line}"),
+            SegmentError::MissingSection(s) => write!(f, "segment missing {s}"),
+            SegmentError::TrailingData => write!(f, "data after segment checksum"),
+            SegmentError::HeaderInvalid(why) => write!(f, "segment header invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl Segment {
+    /// Serialize to the JSONL stream, checksum trailer included.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let mut hash = Fnv::new();
+        let mut lines = 0u64;
+        let mut push = |out: &mut String, line: &SegmentLine| {
+            let s = serde_json::to_string(line).expect("segment line serializes");
+            hash.update(s.as_bytes());
+            hash.update(b"\n");
+            lines += 1;
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(&mut out, &SegmentLine::Header(self.header.clone()));
+        for site in &self.sites {
+            push(&mut out, &SegmentLine::Site(site.clone()));
+        }
+        push(
+            &mut out,
+            &SegmentLine::AllowList {
+                domains: self.allow_list.clone(),
+            },
+        );
+        for probe in &self.probes {
+            push(&mut out, &SegmentLine::Probe(probe.clone()));
+        }
+        push(&mut out, &SegmentLine::Metrics(self.metrics.clone()));
+        for span in &self.trace {
+            push(&mut out, &SegmentLine::Span(span.clone()));
+        }
+        let trailer = SegmentLine::Checksum {
+            fnv1a: hash.digest(),
+            lines,
+        };
+        out.push_str(&serde_json::to_string(&trailer).expect("trailer serializes"));
+        out.push('\n');
+        out
+    }
+
+    /// Parse and verify a segment stream.
+    pub fn decode(input: &str) -> Result<Segment, SegmentError> {
+        let mut hash = Fnv::new();
+        let mut count = 0u64;
+        let mut trailer: Option<(u64, u64)> = None;
+        let mut header: Option<SegmentHeader> = None;
+        let mut sites = Vec::new();
+        let mut allow_list: Option<Vec<Domain>> = None;
+        let mut probes = Vec::new();
+        let mut metrics: Option<MetricsSnapshot> = None;
+        let mut trace = Vec::new();
+        let chunks: Vec<&str> = input.split_inclusive('\n').collect();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if trailer.is_some() {
+                return Err(SegmentError::TrailingData);
+            }
+            let line = chunk.strip_suffix('\n').unwrap_or(chunk);
+            let parsed: SegmentLine = match serde_json::from_str(line) {
+                Ok(p) => p,
+                // A cut mid-line is truncation; mid-stream garbage is not.
+                Err(_) if i + 1 == chunks.len() => return Err(SegmentError::Truncated),
+                Err(_) => return Err(SegmentError::Malformed { line: i + 1 }),
+            };
+            if let SegmentLine::Checksum { fnv1a, lines } = parsed {
+                trailer = Some((fnv1a, lines));
+                continue;
+            }
+            if !chunk.ends_with('\n') {
+                return Err(SegmentError::Truncated);
+            }
+            hash.update(chunk.as_bytes());
+            count += 1;
+            match parsed {
+                SegmentLine::Header(h) => header = Some(h),
+                SegmentLine::Site(s) => sites.push(s),
+                SegmentLine::AllowList { domains } => allow_list = Some(domains),
+                SegmentLine::Probe(p) => probes.push(p),
+                SegmentLine::Metrics(m) => metrics = Some(m),
+                SegmentLine::Span(s) => trace.push(s),
+                SegmentLine::Checksum { .. } => unreachable!("handled above"),
+            }
+        }
+        let Some((fnv1a, lines)) = trailer else {
+            return Err(SegmentError::Truncated);
+        };
+        if hash.digest() != fnv1a {
+            return Err(SegmentError::ChecksumMismatch {
+                expected: fnv1a,
+                actual: hash.digest(),
+            });
+        }
+        if count != lines {
+            return Err(SegmentError::LineCountMismatch {
+                expected: lines,
+                actual: count,
+            });
+        }
+        let header = header.ok_or(SegmentError::MissingSection("header"))?;
+        if header.version != SEGMENT_VERSION {
+            return Err(SegmentError::HeaderInvalid(format!(
+                "unsupported segment version {} (this build reads {SEGMENT_VERSION})",
+                header.version
+            )));
+        }
+        let allow_list = allow_list.ok_or(SegmentError::MissingSection("allow-list"))?;
+        let metrics = metrics.ok_or(SegmentError::MissingSection("metrics snapshot"))?;
+        Ok(Segment {
+            header,
+            sites,
+            allow_list,
+            probes,
+            metrics,
+            trace,
+        })
+    }
+}
+
+/// Why a set of segments refused to merge. `Display` gives each
+/// variant a stable name surfaced by `topics-lab merge` and doctor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Two headers disagree on a campaign-wide parameter.
+    HeaderMismatch(String),
+    /// The same shard index appears in more than one segment.
+    DuplicateShard(usize),
+    /// A shard index of the plan has no segment.
+    MissingShard(usize),
+    /// A header's stripe is not the one the plan assigns its shard.
+    StripeMismatch(usize),
+    /// A header's token is not [`shard_token`] of its shard.
+    TokenMismatch(usize),
+    /// The concatenated site ranks do not cover `0..num_sites`.
+    CoverageGap(String),
+    /// Segments carry different allow-list snapshots.
+    AllowListMismatch,
+    /// Two shards probed the same domain and disagreed.
+    ProbeConflict(Domain),
+    /// A segment's stored metrics snapshot does not reproduce from its
+    /// own records.
+    TallyMismatch(usize),
+    /// No segments were given.
+    Empty,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::HeaderMismatch(why) => write!(f, "segment header mismatch: {why}"),
+            MergeError::DuplicateShard(k) => write!(f, "duplicate shard segment: shard {k}"),
+            MergeError::MissingShard(k) => write!(f, "missing shard segment: shard {k}"),
+            MergeError::StripeMismatch(k) => {
+                write!(f, "segment stripe mismatch: shard {k} is not on plan")
+            }
+            MergeError::TokenMismatch(k) => {
+                write!(
+                    f,
+                    "segment token mismatch: shard {k} seed derivation differs"
+                )
+            }
+            MergeError::CoverageGap(why) => write!(f, "shard coverage gap: {why}"),
+            MergeError::AllowListMismatch => {
+                write!(f, "allow-list mismatch: segments snapshot different worlds")
+            }
+            MergeError::ProbeConflict(d) => {
+                write!(f, "conflicting probe results for {d}")
+            }
+            MergeError::TallyMismatch(k) => write!(
+                f,
+                "per-shard tally mismatch: shard {k} metrics do not reproduce from its records"
+            ),
+            MergeError::Empty => write!(f, "no segments to merge"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// The tally-only metrics snapshot of an outcome — what a shard stores
+/// in its segment, recomputed at merge time as an integrity check.
+pub fn tally_snapshot(outcome: &CampaignOutcome) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    tally_outcome(outcome, &registry);
+    registry.snapshot()
+}
+
+/// Reassemble segments into the unsharded [`CampaignOutcome`].
+///
+/// Verifies header agreement, exact shard coverage (each index of the
+/// plan exactly once, stripes on plan, ranks gapless), allow-list
+/// equality, probe consistency across shards, and that every segment's
+/// stored metrics snapshot reproduces from its own records. Segments
+/// may be given in any order.
+pub fn merge_segments(segments: &[Segment]) -> Result<CampaignOutcome, MergeError> {
+    let first = segments.first().ok_or(MergeError::Empty)?;
+    let h0 = &first.header;
+    for s in segments {
+        let h = &s.header;
+        let same = h.seed == h0.seed
+            && h.shards == h0.shards
+            && h.num_sites == h0.num_sites
+            && h.started == h0.started
+            && h.fault == h0.fault
+            && h.fault_seed == h0.fault_seed;
+        if !same {
+            return Err(MergeError::HeaderMismatch(format!(
+                "shard {} disagrees with shard {} on campaign parameters",
+                h.shard, h0.shard
+            )));
+        }
+    }
+    let plan = ShardPlan::new(h0.shards, h0.num_sites);
+    let mut by_shard: Vec<Option<&Segment>> = vec![None; plan.shards()];
+    for s in segments {
+        let k = s.header.shard;
+        if k >= plan.shards() {
+            return Err(MergeError::HeaderMismatch(format!(
+                "shard index {k} out of range for {} shards",
+                plan.shards()
+            )));
+        }
+        if by_shard[k].replace(s).is_some() {
+            return Err(MergeError::DuplicateShard(k));
+        }
+    }
+    let mut ordered: Vec<&Segment> = Vec::with_capacity(plan.shards());
+    for (k, slot) in by_shard.iter().enumerate() {
+        ordered.push(slot.ok_or(MergeError::MissingShard(k))?);
+    }
+
+    let mut sites: Vec<SiteOutcome> = Vec::with_capacity(plan.num_sites());
+    let mut probe_map: BTreeMap<Domain, AttestationProbe> = BTreeMap::new();
+    for (k, s) in ordered.iter().enumerate() {
+        let stripe = plan.stripe(k);
+        if s.header.stripe_start != stripe.start || s.header.stripe_end != stripe.end {
+            return Err(MergeError::StripeMismatch(k));
+        }
+        if s.header.token != shard_token(h0.seed, k) {
+            return Err(MergeError::TokenMismatch(k));
+        }
+        if s.allow_list != first.allow_list {
+            return Err(MergeError::AllowListMismatch);
+        }
+        if s.sites.len() != stripe.len() {
+            return Err(MergeError::CoverageGap(format!(
+                "shard {k} holds {} sites for a stripe of {}",
+                s.sites.len(),
+                stripe.len()
+            )));
+        }
+        for (site, rank) in s.sites.iter().zip(stripe.clone()) {
+            if site.rank != rank {
+                return Err(MergeError::CoverageGap(format!(
+                    "shard {k} records rank {} where the plan expects {rank}",
+                    site.rank
+                )));
+            }
+        }
+        // The stored snapshot must reproduce from the records alongside
+        // it; anything else means the segment was assembled from
+        // mismatched runs.
+        let shard_outcome = CampaignOutcome {
+            sites: s.sites.clone(),
+            allow_list: s.allow_list.clone(),
+            attestation_probes: s.probes.clone(),
+            started: s.header.started,
+        };
+        if tally_snapshot(&shard_outcome) != s.metrics {
+            return Err(MergeError::TallyMismatch(k));
+        }
+        sites.extend(s.sites.iter().cloned());
+        for p in &s.probes {
+            match probe_map.get(&p.domain) {
+                Some(existing) if existing != p => {
+                    return Err(MergeError::ProbeConflict(p.domain.clone()))
+                }
+                Some(_) => {}
+                None => {
+                    probe_map.insert(p.domain.clone(), p.clone());
+                }
+            }
+        }
+    }
+
+    // BTreeMap iteration is domain-sorted — exactly the order the
+    // unsharded run's BTreeSet probe collection produces.
+    Ok(CampaignOutcome {
+        sites,
+        allow_list: first.allow_list.clone(),
+        attestation_probes: probe_map.into_values().collect(),
+        started: h0.started,
+    })
+}
+
+/// Slice an unsharded outcome into the segments its sharded run would
+/// have produced (traces empty): each shard keeps its stripe's sites
+/// and the probes for the allow-list plus the parties that stripe
+/// encountered. `merge_segments(split_outcome(o, ..)) == o` — the
+/// roundtrip the `shard_merge` bench exercises.
+pub fn split_outcome(
+    outcome: &CampaignOutcome,
+    plan: ShardPlan,
+    seed: u64,
+    fault: &str,
+    fault_seed: u64,
+) -> Vec<Segment> {
+    assert_eq!(plan.num_sites(), outcome.sites.len(), "plan covers outcome");
+    let probe_index: BTreeMap<&Domain, &AttestationProbe> = outcome
+        .attestation_probes
+        .iter()
+        .map(|p| (&p.domain, p))
+        .collect();
+    (0..plan.shards())
+        .map(|k| {
+            let stripe = plan.stripe(k);
+            let sites: Vec<SiteOutcome> = outcome.sites[stripe.clone()].to_vec();
+            let mut wanted: BTreeSet<&Domain> = outcome.allow_list.iter().collect();
+            for s in &sites {
+                for v in s.before.iter().chain(s.after.iter()) {
+                    wanted.extend(v.party_domains.iter());
+                    wanted.extend(v.topics_calls.iter().map(|c| &c.caller_site));
+                }
+            }
+            let probes: Vec<AttestationProbe> = wanted
+                .iter()
+                .filter_map(|d| probe_index.get(d).map(|p| (*p).clone()))
+                .collect();
+            let shard_outcome = CampaignOutcome {
+                sites,
+                allow_list: outcome.allow_list.clone(),
+                attestation_probes: probes,
+                started: outcome.started,
+            };
+            Segment {
+                header: SegmentHeader {
+                    version: SEGMENT_VERSION,
+                    seed,
+                    shard: k,
+                    shards: plan.shards(),
+                    num_sites: plan.num_sites(),
+                    stripe_start: stripe.start,
+                    stripe_end: stripe.end,
+                    token: shard_token(seed, k),
+                    started: outcome.started,
+                    fault: fault.to_owned(),
+                    fault_seed,
+                },
+                metrics: tally_snapshot(&shard_outcome),
+                sites: shard_outcome.sites,
+                allow_list: shard_outcome.allow_list,
+                probes: shard_outcome.attestation_probes,
+                trace: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use topics_webgen::{World, WorldConfig};
+
+    fn campaign(seed: u64, n: usize) -> (World, CampaignOutcome) {
+        let world = World::generate(WorldConfig::scaled(seed, n));
+        let config = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let outcome = run_campaign(&world, &config);
+        (world, outcome)
+    }
+
+    fn split(outcome: &CampaignOutcome, seed: u64, shards: usize) -> Vec<Segment> {
+        split_outcome(
+            outcome,
+            ShardPlan::new(shards, outcome.sites.len()),
+            seed,
+            "FaultProfile::off()",
+            seed::derive(seed, "faults"),
+        )
+    }
+
+    #[test]
+    fn incremental_fnv_matches_one_shot() {
+        for input in [&b""[..], b"a", b"hello segment", b"\n\n\n"] {
+            let mut f = Fnv::new();
+            f.update(input);
+            assert_eq!(f.digest(), seed::fnv1a(input));
+        }
+        // Chunked feeding gives the same digest as one shot.
+        let mut f = Fnv::new();
+        f.update(b"hello ");
+        f.update(b"segment");
+        assert_eq!(f.digest(), seed::fnv1a(b"hello segment"));
+    }
+
+    #[test]
+    fn stripes_partition_the_rank_space() {
+        let plan = ShardPlan::new(4, 10);
+        let stripes: Vec<_> = (0..4).map(|k| plan.stripe(k)).collect();
+        assert_eq!(stripes, vec![0..3, 3..6, 6..8, 8..10]);
+        for rank in 0..10 {
+            assert_eq!(rank >= 3, plan.shard_of(rank) >= 1);
+            assert!(stripes[plan.shard_of(rank)].contains(&rank));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_sites_leaves_empty_stripes() {
+        let plan = ShardPlan::new(5, 3);
+        let lens: Vec<usize> = (0..5).map(|k| plan.stripe(k).len()).collect();
+        assert_eq!(lens, vec![1, 1, 1, 0, 0]);
+        for rank in 0..3 {
+            assert_eq!(plan.shard_of(rank), rank);
+        }
+    }
+
+    #[test]
+    fn tokens_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..8).map(|k| shard_token(42, k)).collect();
+        let b: Vec<u64> = (0..8).rev().map(|k| shard_token(42, k)).collect();
+        assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());
+        let distinct: BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn segment_roundtrips_through_encode_decode() {
+        let (world, outcome) = campaign(91, 60);
+        let segments = split(&outcome, world.seed(), 3);
+        for seg in &segments {
+            let decoded = Segment::decode(&seg.encode()).expect("decodes");
+            assert_eq!(decoded.header, seg.header);
+            assert_eq!(decoded.probes, seg.probes);
+            assert_eq!(decoded.metrics, seg.metrics);
+            assert_eq!(
+                serde_json::to_string(&decoded.sites).unwrap(),
+                serde_json::to_string(&seg.sites).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_of_split_is_the_identity() {
+        let (world, outcome) = campaign(93, 80);
+        for shards in [1usize, 2, 3, 7] {
+            let merged = merge_segments(&split(&outcome, world.seed(), shards)).expect("merges");
+            assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                serde_json::to_string(&outcome).unwrap(),
+                "{shards}-way split/merge changed the outcome"
+            );
+        }
+        // Segment order must not matter.
+        let mut segs = split(&outcome, world.seed(), 3);
+        segs.reverse();
+        let merged = merge_segments(&segs).expect("merges reversed");
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&outcome).unwrap()
+        );
+    }
+
+    #[test]
+    fn decode_names_truncation_corruption_and_trailing_data() {
+        let (world, outcome) = campaign(95, 40);
+        let seg = &split(&outcome, world.seed(), 2)[0];
+        let encoded = seg.encode();
+
+        // Whole-line truncation: drop the checksum trailer.
+        let without_trailer = &encoded[..encoded[..encoded.len() - 1].rfind('\n').unwrap() + 1];
+        assert_eq!(
+            Segment::decode(without_trailer).unwrap_err(),
+            SegmentError::Truncated
+        );
+        // Mid-line truncation.
+        assert_eq!(
+            Segment::decode(&encoded[..encoded.len() / 2]).unwrap_err(),
+            SegmentError::Truncated
+        );
+        // A flipped digit in a content line keeps JSON valid but breaks
+        // the digest.
+        let corrupted = encoded.replacen("\"rank\":0", "\"rank\":9", 1);
+        assert_ne!(corrupted, encoded, "fixture found a rank-0 site line");
+        assert!(matches!(
+            Segment::decode(&corrupted),
+            Err(SegmentError::ChecksumMismatch { .. })
+        ));
+        // Bytes after the trailer.
+        let mut trailing = encoded.clone();
+        trailing.push_str("{}\n");
+        assert_eq!(
+            Segment::decode(&trailing).unwrap_err(),
+            SegmentError::TrailingData
+        );
+        // Garbage mid-stream is malformed, not truncated.
+        let mut garbled_lines: Vec<&str> = encoded.lines().collect();
+        garbled_lines.insert(1, "not json");
+        let garbled = garbled_lines.join("\n") + "\n";
+        assert_eq!(
+            Segment::decode(&garbled).unwrap_err(),
+            SegmentError::Malformed { line: 2 }
+        );
+    }
+
+    #[test]
+    fn merge_names_duplicate_missing_and_mismatched_shards() {
+        let (world, outcome) = campaign(97, 60);
+        let segs = split(&outcome, world.seed(), 3);
+
+        let dup = vec![segs[0].clone(), segs[1].clone(), segs[1].clone()];
+        assert_eq!(
+            merge_segments(&dup).unwrap_err(),
+            MergeError::DuplicateShard(1)
+        );
+
+        let missing = vec![segs[0].clone(), segs[2].clone()];
+        assert_eq!(
+            merge_segments(&missing).unwrap_err(),
+            MergeError::MissingShard(1)
+        );
+
+        let mut wrong_stripe = segs.clone();
+        wrong_stripe[1].header.stripe_start += 1;
+        assert_eq!(
+            merge_segments(&wrong_stripe).unwrap_err(),
+            MergeError::StripeMismatch(1)
+        );
+
+        let mut wrong_token = segs.clone();
+        wrong_token[2].header.token ^= 1;
+        assert_eq!(
+            merge_segments(&wrong_token).unwrap_err(),
+            MergeError::TokenMismatch(2)
+        );
+
+        let mut wrong_seed = segs.clone();
+        wrong_seed[0].header.seed ^= 1;
+        assert!(matches!(
+            merge_segments(&wrong_seed),
+            Err(MergeError::HeaderMismatch(_))
+        ));
+
+        let mut stale_tally = segs.clone();
+        stale_tally[0].metrics = MetricsSnapshot::default();
+        assert_eq!(
+            merge_segments(&stale_tally).unwrap_err(),
+            MergeError::TallyMismatch(0)
+        );
+
+        assert_eq!(merge_segments(&[]).unwrap_err(), MergeError::Empty);
+    }
+}

@@ -110,4 +110,51 @@ proptest! {
         // Third parties exclude the ranked site (absent from objects here).
         prop_assert_eq!(v.third_parties().count(), uniq.len());
     }
+
+    #[test]
+    fn shard_stripes_tile_the_rank_space(
+        shards in 1usize..12,
+        num_sites in 0usize..500,
+    ) {
+        let plan = topics_crawler::ShardPlan::new(shards, num_sites);
+        // Stripes are contiguous, in order, and cover 0..num_sites with
+        // no gap or overlap; every rank maps back to its own stripe.
+        let mut covered = 0usize;
+        for k in 0..shards {
+            let stripe = plan.stripe(k);
+            prop_assert_eq!(stripe.start, covered);
+            prop_assert!(stripe.end >= stripe.start);
+            covered = stripe.end;
+            for rank in stripe {
+                prop_assert_eq!(plan.shard_of(rank), k);
+            }
+        }
+        prop_assert_eq!(covered, num_sites);
+        // Stripe sizes differ by at most one (balanced rank striping).
+        let sizes: Vec<usize> = (0..shards).map(|k| plan.stripe(k).len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced stripes {sizes:?}");
+    }
+
+    #[test]
+    fn shard_tokens_are_distinct_and_order_stable(
+        seed in any::<u64>(),
+        shards in 1usize..16,
+    ) {
+        // Token derivation depends only on (seed, shard index) — the
+        // order shards are scheduled or merged in cannot change it.
+        let forward: Vec<u64> = (0..shards)
+            .map(|k| topics_crawler::shard_token(seed, k))
+            .collect();
+        let mut backward: Vec<u64> = (0..shards)
+            .rev()
+            .map(|k| topics_crawler::shard_token(seed, k))
+            .collect();
+        backward.reverse();
+        prop_assert_eq!(&forward, &backward);
+        let mut uniq = forward.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), shards, "token collision across shards");
+    }
 }

@@ -42,7 +42,10 @@ pub use metrics::{
     labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use profile::{mem_profile, profile, Integrity, MemProfile, Profile};
-pub use trace::{SpanRecord, Trace, TraceBuilder, Tracer, TracerSpan, ALLOC_FIELD_KEYS};
+pub use trace::{
+    merge_stripped, MergeRule, SpanRecord, Trace, TraceBuilder, Tracer, TracerSpan,
+    ALLOC_FIELD_KEYS,
+};
 
 use std::time::Instant;
 

@@ -418,6 +418,52 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// Deterministically combine per-shard snapshots. Counters and
+    /// histogram buckets/count/sum add — disjoint shards contribute
+    /// disjoint observations — while gauges take the elementwise
+    /// maximum, the only combiner that is independent of merge order
+    /// for point-in-time values. Histograms sharing a name must agree
+    /// on bucket bounds; a series missing from a snapshot contributes
+    /// nothing. Beware that series counting *deduplicated* work (e.g.
+    /// attestation probes, which several shards may repeat) do not sum
+    /// to the unsharded value; callers cross-check those against the
+    /// merged records instead.
+    pub fn merge(snapshots: &[MetricsSnapshot]) -> Result<MetricsSnapshot, String> {
+        let mut out = MetricsSnapshot::default();
+        for s in snapshots {
+            for (k, v) in &s.counters {
+                *out.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &s.gauges {
+                out.gauges
+                    .entry(k.clone())
+                    .and_modify(|e| *e = (*e).max(*v))
+                    .or_insert(*v);
+            }
+            for (k, h) in &s.histograms {
+                match out.histograms.entry(k.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(h.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let acc = e.get_mut();
+                        if acc.bounds != h.bounds || acc.buckets.len() != h.buckets.len() {
+                            return Err(format!(
+                                "histogram {k}: bucket bounds differ across snapshots"
+                            ));
+                        }
+                        for (a, b) in acc.buckets.iter_mut().zip(&h.buckets) {
+                            *a += b;
+                        }
+                        acc.count += h.count;
+                        acc.sum += h.sum;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Remove every operational metric: wall-clock measurements (base
     /// name containing `wall`) and memory-accounting series (base name
     /// starting with `mem_` or `alloc_` — allocation counts depend on
@@ -508,6 +554,38 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.counter("calls_total{class=\"a\"}"), 2);
         assert_eq!(s.counter_sum("calls_total"), 5);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_and_maxes_gauges() {
+        let snap = |c: u64, g: i64, buckets: [u64; 3]| {
+            let r = MetricsRegistry::new();
+            r.counter("visits_total").add(c);
+            r.gauge("phase_workers").set(g);
+            let h = r.histogram_with_buckets("lat_ms", &[10, 20]);
+            for (i, &n) in buckets.iter().enumerate() {
+                for _ in 0..n {
+                    h.observe(5 + 10 * i as u64);
+                }
+            }
+            r.snapshot()
+        };
+        let a = snap(3, 2, [1, 0, 2]);
+        let b = snap(4, 8, [0, 5, 0]);
+        let merged = MetricsSnapshot::merge(&[a.clone(), b]).expect("merges");
+        assert_eq!(merged.counter("visits_total"), 7);
+        assert_eq!(merged.gauge("phase_workers"), 8);
+        let h = &merged.histograms["lat_ms"];
+        assert_eq!(h.buckets, vec![1, 5, 2]);
+        assert_eq!(h.count, 8);
+        // Merging with an empty snapshot is the identity; merge order
+        // does not matter.
+        let id = MetricsSnapshot::merge(&[a.clone(), MetricsSnapshot::default()]).unwrap();
+        assert_eq!(id, a);
+        // Mismatched bounds are refused.
+        let r = MetricsRegistry::new();
+        r.histogram_with_buckets("lat_ms", &[99]).observe(1);
+        assert!(MetricsSnapshot::merge(&[a, r.snapshot()]).is_err());
     }
 
     #[test]

@@ -630,6 +630,286 @@ impl Trace {
     }
 }
 
+/// How one phase's child subtrees combine across shard traces in
+/// [`merge_stripped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeRule {
+    /// Concatenate subtrees in input order — for work already striped
+    /// disjointly across shards (visits by rank). Numeric phase fields
+    /// sum.
+    Concat,
+    /// Subtrees may be duplicated across inputs (probes: several
+    /// shards encounter the same domain): dedup by the string field
+    /// `key` on each subtree's root, verify duplicates are structurally
+    /// identical, sort by the key — byte order, matching the sealed
+    /// slot order of the unsharded run — and set the phase field
+    /// `count_field` to the deduplicated count. Other numeric phase
+    /// fields sum.
+    DedupByField {
+        /// Root-span string field identifying a subtree.
+        key: &'static str,
+        /// Phase field overwritten with the deduplicated subtree count.
+        count_field: &'static str,
+    },
+}
+
+/// One trace's structure, decomposed for merging: phase spans (direct
+/// children of the root) and, per phase, its child subtrees as index
+/// lists into the trace's span vec (subtree root first, preorder).
+struct Decomposed<'a> {
+    root: &'a SpanRecord,
+    phases: Vec<&'a SpanRecord>,
+    subtrees: Vec<Vec<Vec<usize>>>,
+}
+
+fn decompose(trace: &Trace, which: usize) -> Result<Decomposed<'_>, String> {
+    let root = trace
+        .spans
+        .first()
+        .filter(|s| s.parent.is_none())
+        .ok_or_else(|| format!("trace {which}: missing root span"))?;
+    if trace.spans.iter().any(|s| s.op) {
+        return Err(format!(
+            "trace {which}: operational spans present — merge inputs must be stripped"
+        ));
+    }
+    let mut phases: Vec<&SpanRecord> = Vec::new();
+    let mut subtrees: Vec<Vec<Vec<usize>>> = Vec::new();
+    // id → (phase position, subtree position) of the subtree the span
+    // belongs to; phases map to themselves with no subtree.
+    let mut home: std::collections::BTreeMap<u64, (usize, Option<usize>)> = Default::default();
+    for (i, s) in trace.spans.iter().enumerate().skip(1) {
+        let parent = s
+            .parent
+            .ok_or_else(|| format!("trace {which}: span {} has no parent", s.id))?;
+        if parent == root.id {
+            home.insert(s.id, (phases.len(), None));
+            phases.push(s);
+            subtrees.push(Vec::new());
+            continue;
+        }
+        let &(phase, slot) = home
+            .get(&parent)
+            .ok_or_else(|| format!("trace {which}: span {} precedes its parent", s.id))?;
+        let slot = match slot {
+            // Direct child of a phase: a new subtree root.
+            None => {
+                subtrees[phase].push(vec![i]);
+                subtrees[phase].len() - 1
+            }
+            Some(slot) => {
+                subtrees[phase][slot].push(i);
+                slot
+            }
+        };
+        home.insert(s.id, (phase, Some(slot)));
+    }
+    Ok(Decomposed {
+        root,
+        phases,
+        subtrees,
+    })
+}
+
+/// A subtree with ids erased: local parent position, name, simulated
+/// bounds, fields — what "the same probe recorded by two shards" must
+/// agree on.
+fn normalize(trace: &Trace, subtree: &[usize]) -> Vec<(Option<usize>, SpanRecord)> {
+    let local: std::collections::BTreeMap<u64, usize> = subtree
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| (trace.spans[i].id, pos))
+        .collect();
+    subtree
+        .iter()
+        .map(|&i| {
+            let s = &trace.spans[i];
+            let mut cleaned = s.clone();
+            cleaned.id = 0;
+            cleaned.parent = None;
+            (s.parent.and_then(|p| local.get(&p).copied()), cleaned)
+        })
+        .collect()
+}
+
+/// Merge the numeric fields of per-trace phase spans: the key sequence
+/// must match the first trace's; `U64` values sum, everything else must
+/// be equal.
+fn merge_fields(phase: &str, spans: &[&SpanRecord]) -> Result<Vec<(String, FieldValue)>, String> {
+    let mut merged: Vec<(String, FieldValue)> = spans[0].fields.clone();
+    for s in &spans[1..] {
+        if s.fields.len() != merged.len() {
+            return Err(format!("phase {phase}: field sets differ across traces"));
+        }
+        for ((k, acc), (k2, v)) in merged.iter_mut().zip(&s.fields) {
+            if k != k2 {
+                return Err(format!("phase {phase}: field order differs across traces"));
+            }
+            match (acc, v) {
+                (FieldValue::U64(a), FieldValue::U64(b)) => *a += b,
+                (a, b) if *a == *b => {}
+                _ => {
+                    return Err(format!(
+                        "phase {phase}: non-summable field {k} differs across traces"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(merged)
+}
+
+/// Deterministically merge stripped per-shard traces into the span tree
+/// the unsharded run seals: one `campaign` root, the shared phase
+/// sequence, and per phase the combined child subtrees — concatenated
+/// or deduplicated per the matching [`MergeRule`] — renumbered with
+/// dense sealed-order IDs. Phase simulated bounds take the min start
+/// and max end across inputs; the root takes the min/max across input
+/// roots.
+///
+/// Inputs must be [`Trace::stripped`] views sharing the same root name
+/// and phase-name sequence, and every phase name must have a rule.
+pub fn merge_stripped(traces: &[Trace], rules: &[(&str, MergeRule)]) -> Result<Trace, String> {
+    if traces.is_empty() {
+        return Err("no traces to merge".to_owned());
+    }
+    let parts: Vec<Decomposed<'_>> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| decompose(t, i))
+        .collect::<Result<_, _>>()?;
+    let first = &parts[0];
+    for (i, p) in parts.iter().enumerate().skip(1) {
+        if p.root.name != first.root.name {
+            return Err(format!("trace {i}: root name differs"));
+        }
+        if p.root.fields != first.root.fields {
+            return Err(format!("trace {i}: root fields differ"));
+        }
+        let names = |d: &Decomposed<'_>| -> Vec<String> {
+            d.phases.iter().map(|s| s.name.clone()).collect()
+        };
+        if names(p) != names(first) {
+            return Err(format!("trace {i}: phase sequence differs"));
+        }
+    }
+
+    let mut out: Vec<SpanRecord> = Vec::new();
+    out.push(SpanRecord {
+        id: 1,
+        parent: None,
+        name: first.root.name.clone(),
+        op: false,
+        sim_start_ms: parts.iter().filter_map(|p| p.root.sim_start_ms).min(),
+        sim_end_ms: parts.iter().filter_map(|p| p.root.sim_end_ms).max(),
+        wall_start_us: 0,
+        wall_end_us: 0,
+        fields: first.root.fields.clone(),
+    });
+    let mut next_id = 2u64;
+    let emit_subtree = |out: &mut Vec<SpanRecord>,
+                        next_id: &mut u64,
+                        trace: &Trace,
+                        subtree: &[usize],
+                        phase_id: u64| {
+        let mut new_ids: std::collections::BTreeMap<u64, u64> = Default::default();
+        for &i in subtree {
+            let s = &trace.spans[i];
+            let id = *next_id;
+            *next_id += 1;
+            new_ids.insert(s.id, id);
+            out.push(SpanRecord {
+                id,
+                parent: Some(
+                    s.parent
+                        .and_then(|p| new_ids.get(&p).copied())
+                        .unwrap_or(phase_id),
+                ),
+                wall_start_us: 0,
+                wall_end_us: 0,
+                ..s.clone()
+            });
+        }
+    };
+
+    for (pos, phase) in first.phases.iter().enumerate() {
+        let rule = rules
+            .iter()
+            .find(|(name, _)| *name == phase.name)
+            .map(|&(_, r)| r)
+            .ok_or_else(|| format!("no merge rule for phase {}", phase.name))?;
+        let phase_spans: Vec<&SpanRecord> = parts.iter().map(|p| p.phases[pos]).collect();
+        let mut fields = merge_fields(&phase.name, &phase_spans)?;
+        let phase_id = next_id;
+        next_id += 1;
+        let record_at = out.len();
+        out.push(SpanRecord {
+            id: phase_id,
+            parent: Some(1),
+            name: phase.name.clone(),
+            op: false,
+            sim_start_ms: phase_spans.iter().filter_map(|s| s.sim_start_ms).min(),
+            sim_end_ms: phase_spans.iter().filter_map(|s| s.sim_end_ms).max(),
+            wall_start_us: 0,
+            wall_end_us: 0,
+            fields: Vec::new(),
+        });
+        match rule {
+            MergeRule::Concat => {
+                for (t, p) in parts.iter().enumerate() {
+                    for subtree in &p.subtrees[pos] {
+                        emit_subtree(&mut out, &mut next_id, &traces[t], subtree, phase_id);
+                    }
+                }
+            }
+            MergeRule::DedupByField { key, count_field } => {
+                // key → (normalized shape, owning trace, subtree)
+                type Entry<'a> = (Vec<(Option<usize>, SpanRecord)>, usize, &'a [usize]);
+                let mut unique: std::collections::BTreeMap<String, Entry<'_>> = Default::default();
+                for (t, p) in parts.iter().enumerate() {
+                    for subtree in &p.subtrees[pos] {
+                        let root = &traces[t].spans[subtree[0]];
+                        let Some(FieldValue::Str(k)) = root.field(key) else {
+                            return Err(format!(
+                                "phase {}: subtree root {} lacks string field {key}",
+                                phase.name, root.name
+                            ));
+                        };
+                        let shape = normalize(&traces[t], subtree);
+                        match unique.get(k) {
+                            Some((existing, _, _)) if *existing != shape => {
+                                return Err(format!(
+                                    "phase {}: divergent duplicate subtrees for {key}={k}",
+                                    phase.name
+                                ));
+                            }
+                            Some(_) => {}
+                            None => {
+                                unique.insert(k.clone(), (shape, t, subtree));
+                            }
+                        }
+                    }
+                }
+                let count = unique.len() as u64;
+                match fields.iter_mut().find(|(k, _)| k == count_field) {
+                    Some((_, v)) => *v = FieldValue::U64(count),
+                    None => {
+                        return Err(format!(
+                            "phase {}: missing count field {count_field}",
+                            phase.name
+                        ))
+                    }
+                }
+                for (_, (_, t, subtree)) in unique {
+                    emit_subtree(&mut out, &mut next_id, &traces[t], subtree, phase_id);
+                }
+            }
+        }
+        std::mem::swap(&mut out[record_at].fields, &mut fields);
+    }
+    Ok(Trace { spans: out })
+}
+
 /// Minimal JSON string escaping for the Chrome exporter.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -795,5 +1075,118 @@ mod tests {
     fn json_escape_handles_control_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    /// Attach one deterministic visit subtree for `rank`.
+    fn add_visit(tracer: &Tracer, phase: &TracerSpan<'_>, rank: u64) {
+        let mut b = tracer.visit_builder().unwrap();
+        let v = b.open("visit", Some(rank * 10));
+        b.field(v, "domain", format!("site{rank}.example"));
+        b.leaf("fetch", Some(rank * 10), Some(rank * 10 + 5));
+        b.close(v, Some(rank * 10 + 9));
+        phase.attach(b);
+    }
+
+    /// Attach one deterministic probe subtree for `domain` at `at` ms.
+    fn add_probe(tracer: &Tracer, phase: &TracerSpan<'_>, domain: &str, at: u64) {
+        let mut b = tracer.visit_builder().unwrap();
+        let p = b.open("probe", Some(at));
+        b.field(p, "domain", domain);
+        b.leaf("fetch", Some(at), Some(at + 5));
+        b.close(p, Some(at + 5));
+        phase.attach(b);
+    }
+
+    /// A sealed + stripped two-phase trace: visits for `ranks`, probes
+    /// for `(domain, at)` pairs, mimicking the campaign shape.
+    fn campaign_trace(ranks: &[u64], probes: &[(&str, u64)]) -> Trace {
+        let tracer = Tracer::enabled();
+        {
+            let phase = tracer.phase("crawl");
+            for &r in ranks {
+                add_visit(&tracer, &phase, r);
+            }
+            phase.field("sites", ranks.len());
+            let lo = ranks.iter().map(|r| r * 10).min().unwrap_or(0);
+            let hi = ranks.iter().map(|r| r * 10 + 9).max().unwrap_or(0);
+            phase.end(Some((lo, hi)));
+        }
+        {
+            let phase = tracer.phase("attestation-probe");
+            for &(d, at) in probes {
+                add_probe(&tracer, &phase, d, at);
+            }
+            phase.field("probes", probes.len());
+            phase.field("cache_hits", 0u64);
+            let lo = probes.iter().map(|&(_, at)| at).min().unwrap_or(0);
+            let hi = probes.iter().map(|&(_, at)| at + 5).max().unwrap_or(0);
+            phase.end(Some((lo, hi)));
+        }
+        tracer.finish().stripped()
+    }
+
+    const RULES: &[(&str, MergeRule)] = &[
+        ("crawl", MergeRule::Concat),
+        (
+            "attestation-probe",
+            MergeRule::DedupByField {
+                key: "domain",
+                count_field: "probes",
+            },
+        ),
+    ];
+
+    #[test]
+    fn merge_stripped_reassembles_the_unsharded_trace() {
+        // Probes sorted by domain in each input, duplicates identical —
+        // exactly what per-shard campaign runs produce.
+        let shard0 = campaign_trace(&[0, 1], &[("a.example", 100), ("b.example", 105)]);
+        let shard1 = campaign_trace(&[2, 3], &[("b.example", 105), ("c.example", 110)]);
+        let single = campaign_trace(
+            &[0, 1, 2, 3],
+            &[("a.example", 100), ("b.example", 105), ("c.example", 110)],
+        );
+        let merged = merge_stripped(&[shard0, shard1], RULES).unwrap();
+        assert_eq!(merged, single);
+        // A one-shard "merge" is the identity.
+        let alone = merge_stripped(std::slice::from_ref(&single), RULES).unwrap();
+        assert_eq!(alone, single);
+    }
+
+    #[test]
+    fn merge_stripped_handles_empty_stripes() {
+        let shard0 = campaign_trace(&[0, 1], &[("a.example", 100)]);
+        let shard1 = campaign_trace(&[], &[("a.example", 100)]);
+        let merged = merge_stripped(&[shard0.clone(), shard1], RULES).unwrap();
+        assert_eq!(merged, shard0);
+    }
+
+    #[test]
+    fn merge_stripped_rejects_bad_inputs() {
+        let t = campaign_trace(&[0], &[("a.example", 100)]);
+        let err =
+            merge_stripped(std::slice::from_ref(&t), &[("crawl", MergeRule::Concat)]).unwrap_err();
+        assert!(err.contains("no merge rule"), "{err}");
+
+        // Same domain, different payload: the duplicate check trips.
+        let conflicting = campaign_trace(&[1], &[("a.example", 101)]);
+        let err = merge_stripped(&[t.clone(), conflicting], RULES).unwrap_err();
+        assert!(err.contains("divergent duplicate"), "{err}");
+
+        // Unstripped input (op spans survive) is refused.
+        let raw = {
+            let tracer = Tracer::enabled();
+            let phase = tracer.phase("crawl");
+            let mut b = tracer.visit_builder().unwrap();
+            let w = b.open_op("worker", None);
+            b.close(w, None);
+            phase.attach(b);
+            phase.end(Some((0, 1)));
+            tracer.finish()
+        };
+        let err = merge_stripped(&[raw], RULES).unwrap_err();
+        assert!(err.contains("must be stripped"), "{err}");
+
+        assert!(merge_stripped(&[], RULES).is_err());
     }
 }

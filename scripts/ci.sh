@@ -34,7 +34,8 @@ echo "== doctor on a chaos campaign (5% fault band, alloc-counted) =="
 # negative durations, span/metric count mismatches, or phase allocation
 # windows that undercut their attributed children all exit non-zero.
 DOCTOR_DIR=$(mktemp -d)
-trap 'rm -rf "$DOCTOR_DIR"' EXIT
+SHARD_DIR=$(mktemp -d)
+trap 'rm -rf "$DOCTOR_DIR" "$SHARD_DIR"' EXIT
 cargo run --release -q -p topics-core --bin topics-lab -- crawl \
     --sites 500 --seed 7 --quiet --fault-profile 0.05 --alloc-stats \
     --out "$DOCTOR_DIR" --trace-out trace.jsonl --metrics-out metrics.prom \
@@ -57,6 +58,33 @@ if [ -n "$DUPES" ]; then
     echo "$DUPES" >&2
     exit 1
 fi
+
+echo "== shard equivalence (1-shard and 4-shard merges == single run) =="
+# The shard/merge contract: the same seeded campaign run single-process,
+# as one shard, and as four shards must yield byte-identical artefacts.
+# Any drift in visit simulation, probe dedup, metric tallies, or trace
+# reassembly shows up here as a cmp/diff failure.
+TL="cargo run --release -q -p topics-core --bin topics-lab --"
+$TL crawl --sites 500 --seed 21 --quiet --out "$SHARD_DIR/single" > /dev/null
+$TL shard --shard 1/1 --sites 500 --seed 21 --quiet --out "$SHARD_DIR/m1" > /dev/null
+$TL merge --segments "$SHARD_DIR/m1" > /dev/null
+for K in 1 2 3 4; do
+    $TL shard --shard "$K/4" --sites 500 --seed 21 --quiet --out "$SHARD_DIR/m4" > /dev/null
+done
+$TL merge --segments "$SHARD_DIR/m4" > /dev/null
+for ART in campaign.json report.txt; do
+    cmp "$SHARD_DIR/single/$ART" "$SHARD_DIR/m1/$ART"
+    cmp "$SHARD_DIR/single/$ART" "$SHARD_DIR/m4/$ART"
+done
+# Merged stripped traces must agree across shard counts.
+diff -q "$SHARD_DIR/m1/trace.jsonl" "$SHARD_DIR/m4/trace.jsonl"
+# The doctor re-verifies segment checksums, shard coverage, and that the
+# merge reproduces campaign.json, from the files on disk.
+$TL doctor --campaign "$SHARD_DIR/m4" > /dev/null
+
+echo "== shard suites (properties, byte-identity, corruption) =="
+cargo test -q -p topics-crawler --test properties
+cargo test -q -p topics-core --test integration_shard
 
 echo "== property suites =="
 cargo test -q -p topics-net --test properties
