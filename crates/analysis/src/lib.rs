@@ -8,6 +8,8 @@
 //!   classification (§2.3–2.4).
 //! * [`index`] — the shared one-pass [`CampaignIndex`] every module
 //!   reads instead of re-scanning the outcome.
+//! * [`colscan`] — the same aggregates computed straight from a
+//!   columnar store's columns, no row structs materialised.
 //! * [`mod@table1`] — Table 1, the overall usage matrix.
 //! * [`figures`] — Figures 2 (presence vs calls), 3 (enabled fractions),
 //!   5 (questionable calls per CP) and 6 (geographic breakdown).
@@ -33,6 +35,7 @@ pub mod abtest;
 pub mod anomalous;
 pub mod calltypes;
 pub mod cmp_usage;
+pub mod colscan;
 pub mod concentration;
 pub mod dataset;
 pub mod dossier;
@@ -50,6 +53,7 @@ pub use abtest::{alternation_series, clustering_share, fit_fraction, Alternation
 pub use anomalous::{anomalous_stats, AnomalousStats};
 pub use calltypes::{call_type_mix, CallTypeMix, TypeCounts};
 pub use cmp_usage::{fig7, CmpRow, Fig7};
+pub use colscan::ColumnIndex;
 pub use concentration::{concentration, gini, Concentration};
 pub use dataset::{CpClass, DatasetId, Datasets};
 pub use dossier::{dossier, Dossier};

@@ -7,7 +7,7 @@ use topics_browser::attestation::AllowDecision;
 use topics_browser::observer::CallType;
 use topics_crawler::record::{
     AttestationInfo, AttestationProbe, CampaignOutcome, FaultStats, Phase, SiteOutcome,
-    TopicsCallRecord, VisitRecord,
+    TopicsCallRecord, VisitRecord, CAMPAIGN_SCHEMA_VERSION,
 };
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
@@ -189,6 +189,7 @@ pub(crate) fn tiny_outcome() -> CampaignOutcome {
     ];
 
     CampaignOutcome {
+        schema_version: CAMPAIGN_SCHEMA_VERSION,
         sites,
         allow_list: vec![d("goodads.com"), d("violator.com"), d("unattested-ads.com")],
         attestation_probes: vec![

@@ -11,6 +11,9 @@
 //! * `alloc_bytes`     — heap allocated across the run (counting allocator);
 //! * `shard_merge_wall_ms` — decode a 4-way segment split of the final
 //!   run, merge it, and re-serialise the merged campaign;
+//! * `encode_wall_ms` / `store_bytes` / `query_wall_ms` — columnar
+//!   store encode time, encoded size, and a full column scan over a
+//!   freshly decoded store;
 //!
 //! plus the process peak RSS (`VmHWM`) once at the end. The current
 //! numbers are compared against the **last entry** of the append-only
@@ -34,6 +37,8 @@ use topics_bench::{
     bench_sites, check_regression, is_append_only, read_history, summary_path, verify_history,
     BenchSummary, BENCH_SEED, PROBE_WALL_GAUGE,
 };
+use topics_core::analysis::colscan;
+use topics_core::crawler::columnar::ColumnarCampaign;
 use topics_core::crawler::{merge_segments, split_outcome, Segment, ShardPlan};
 use topics_core::net::seed;
 use topics_core::{evaluate, Lab, LabConfig};
@@ -145,11 +150,31 @@ fn main() {
         shard_merge_wall_ms = shard_merge_wall_ms.min(started.elapsed().as_millis() as u64);
     }
 
+    // Columnar store roundtrip: time the struct-of-arrays encode, record
+    // the store size, and time a full column scan over a freshly decoded
+    // store (the zero-deserialization query path `report` uses when the
+    // bundle was written with `--store columnar`).
+    let mut encode_wall_ms = u64::MAX;
+    let mut store_bytes = 0u64;
+    let mut query_wall_ms = u64::MAX;
+    for _ in 0..runs {
+        let started = Instant::now();
+        let col = ColumnarCampaign::from_outcome(&run.outcome);
+        encode_wall_ms = encode_wall_ms.min(started.elapsed().as_millis() as u64);
+        store_bytes = col.bytes().len() as u64;
+        let decoded = ColumnarCampaign::decode(col.bytes().to_vec()).expect("own store decodes");
+        let started = Instant::now();
+        let index = colscan::scan(&decoded).expect("own store scans");
+        query_wall_ms = query_wall_ms.min(started.elapsed().as_millis() as u64);
+        std::hint::black_box(index);
+    }
+
     println!(
         "perf-smoke: sites={sites} visited={} (best of {runs}) crawl_wall_ms={crawl_wall_ms} \
          probe_wall_us={probe_wall_us} report_wall_ms={report_wall_ms} \
          alloc_bytes={alloc_bytes} peak_rss_bytes={peak_rss_bytes} \
-         shard_merge_wall_ms={shard_merge_wall_ms}",
+         shard_merge_wall_ms={shard_merge_wall_ms} encode_wall_ms={encode_wall_ms} \
+         store_bytes={store_bytes} query_wall_ms={query_wall_ms}",
         run.visited_count(),
     );
 
@@ -164,6 +189,9 @@ fn main() {
         alloc_bytes,
         peak_rss_bytes,
         shard_merge_wall_ms,
+        encode_wall_ms,
+        store_bytes,
+        query_wall_ms,
         chain: 0, // assigned by append_entry
     };
 

@@ -93,6 +93,22 @@ pub struct BenchSummary {
     /// entries keep their recorded [`chain_digest`].
     #[serde(default, skip_serializing_if = "u64_is_zero")]
     pub shard_merge_wall_ms: u64,
+    /// Wall-clock milliseconds to encode the campaign into the columnar
+    /// store (`ColumnarCampaign::from_outcome`); 0 in entries from
+    /// builds without the column store. Skipped from the encoding when
+    /// zero so legacy entries keep their recorded [`chain_digest`].
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub encode_wall_ms: u64,
+    /// Size in bytes of the encoded columnar store; 0 in entries from
+    /// builds without the column store.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub store_bytes: u64,
+    /// Wall-clock milliseconds of a full column scan
+    /// (`topics_analysis::colscan::scan`) over the decoded store — the
+    /// zero-deserialization query path; 0 in entries from builds
+    /// without the column store.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub query_wall_ms: u64,
     /// Hash-chain value: [`chain_digest`] of the previous entry's chain
     /// and this entry with `chain` zeroed. 0 only in legacy entries.
     #[serde(default)]
@@ -190,7 +206,7 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
         return violations;
     }
     // (label, baseline value, current value, limit numerator/denominator)
-    let gates: [(&str, u64, u64, u64, u64); 5] = [
+    let gates: [(&str, u64, u64, u64, u64); 8] = [
         (
             "probe_wall_us",
             baseline.probe_wall_us,
@@ -223,6 +239,27 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
             "shard_merge_wall_ms",
             baseline.shard_merge_wall_ms,
             current.shard_merge_wall_ms,
+            13,
+            10,
+        ),
+        (
+            "encode_wall_ms",
+            baseline.encode_wall_ms,
+            current.encode_wall_ms,
+            13,
+            10,
+        ),
+        (
+            "store_bytes",
+            baseline.store_bytes,
+            current.store_bytes,
+            5,
+            4,
+        ),
+        (
+            "query_wall_ms",
+            baseline.query_wall_ms,
+            current.query_wall_ms,
             13,
             10,
         ),
@@ -318,6 +355,9 @@ mod tests {
             alloc_bytes: alloc,
             peak_rss_bytes: 1 << 26,
             shard_merge_wall_ms: 15,
+            encode_wall_ms: 12,
+            store_bytes: 1 << 22,
+            query_wall_ms: 4,
             chain: 0,
         }
     }
@@ -420,6 +460,47 @@ mod tests {
         let mut other_scale = over.clone();
         other_scale.sites = 6_000;
         assert!(check_regression(&base, &other_scale).is_empty());
+    }
+
+    #[test]
+    fn columnar_store_gates_fire() {
+        let base = entry(2_000, 10_000, 1_000_000);
+        // encode/query are time gates (13/10); store_bytes is a size
+        // gate on the tighter 5/4 ratio.
+        let mut over = base.clone();
+        over.encode_wall_ms = base.encode_wall_ms * 13 / 10 + 1;
+        over.query_wall_ms = base.query_wall_ms * 13 / 10 + 1;
+        over.store_bytes = base.store_bytes * 5 / 4 + 1;
+        let v = check_regression(&base, &over);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("encode_wall_ms")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("store_bytes")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("query_wall_ms")), "{v:?}");
+        // Pre-columnar baselines (zero columns) skip the new gates.
+        let mut legacy = base.clone();
+        legacy.encode_wall_ms = 0;
+        legacy.store_bytes = 0;
+        legacy.query_wall_ms = 0;
+        assert!(check_regression(&legacy, &over)
+            .iter()
+            .all(|m| !m.contains("encode") && !m.contains("store") && !m.contains("query")));
+    }
+
+    #[test]
+    fn zero_columnar_columns_stay_out_of_the_canonical_encoding() {
+        // A legacy entry re-serialised must not gain the new columns —
+        // otherwise its recorded chain digest would stop verifying.
+        let mut legacy = entry(2_000, 7_000, 1 << 24);
+        legacy.encode_wall_ms = 0;
+        legacy.store_bytes = 0;
+        legacy.query_wall_ms = 0;
+        let json = serde_json::to_string(&legacy).unwrap();
+        assert!(!json.contains("encode_wall_ms"), "{json}");
+        assert!(!json.contains("store_bytes"), "{json}");
+        assert!(!json.contains("query_wall_ms"), "{json}");
+        let populated = entry(2_000, 7_000, 1 << 24);
+        let json = serde_json::to_string(&populated).unwrap();
+        assert!(json.contains("encode_wall_ms"), "{json}");
     }
 
     #[test]

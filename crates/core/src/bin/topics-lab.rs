@@ -7,9 +7,14 @@
 //!                    [--metrics-out FILE] [--events-out FILE]
 //!                    [--fault-profile off|light|heavy|RATE] [--fault-seed S]
 //!                    [--probe-threads N] [--trace-out FILE] [--alloc-stats]
+//!                    [--store json|columnar]
 //!     Generate a synthetic web, run the Before/After-Accept campaign,
-//!     and write the artefact bundle (campaign.json, report, comparison,
-//!     per-figure CSVs) to DIR (default: ./topics-lab-out). With
+//!     and write the artefact bundle (campaign dataset, report,
+//!     comparison, per-figure CSVs) to DIR (default: ./topics-lab-out).
+//!     --store picks the dataset backend: `json` (campaign.json, the
+//!     default row store) or `columnar` (campaign.col, the interned
+//!     struct-of-arrays store with checksummed sections). Every other
+//!     artefact is byte-identical between the two. With
 //!     --metrics-out / --events-out, also write the Prometheus-style
 //!     metrics snapshot and the JSONL event stream (relative paths land
 //!     next to campaign.json). --fault-profile injects seeded network
@@ -43,16 +48,18 @@
 //!     schedules are derived from the *global* rank, so the shards of a
 //!     seed reassemble byte-identically.
 //!
-//! topics-lab merge   --segments DIR [--out DIR]
+//! topics-lab merge   --segments DIR [--out DIR] [--store json|columnar]
 //!     Verify and merge every *.seg in DIR back into one campaign:
 //!     checks each segment's checksum, shard coverage and header
 //!     agreement, reassembles the outcome, and writes the same artefact
-//!     bundle `crawl` writes (campaign.json, report, CSVs) plus the
+//!     bundle `crawl` writes (campaign dataset, report, CSVs) plus the
 //!     merged stripped trace (trace.jsonl) to DIR (default: the
-//!     segments directory). The bundle is byte-identical to a
-//!     single-process `crawl` of the same seed. Exits non-zero with a
-//!     named violation on truncated, corrupted, duplicated or missing
-//!     segments.
+//!     segments directory). With --store columnar, segments stream one
+//!     at a time straight into the columnar writer and campaign.col is
+//!     byte-identical to a single-process `crawl --store columnar`.
+//!     The bundle is byte-identical to a single-process `crawl` of the
+//!     same seed. Exits non-zero with a named violation on truncated,
+//!     corrupted, duplicated or missing segments.
 //!
 //! topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]
 //!     Run-health report over a finished campaign and its trace: outcome
@@ -74,8 +81,11 @@
 //!     the bundle directory. Exits non-zero when the trace carries no
 //!     allocation attribution.
 //!
-//! topics-lab report  --campaign DIR/campaign.json
-//!     Re-render the evaluation report from a dumped campaign.
+//! topics-lab report  --campaign DIR|FILE [--store json|columnar]
+//!     Re-render the evaluation report from a dumped campaign. The
+//!     backend is sniffed from the file's magic bytes, so either store
+//!     loads; a directory resolves to its campaign file (--store forces
+//!     which one when both exist).
 //!
 //! topics-lab metrics --campaign DIR/campaign.json
 //!     Re-derive the metrics snapshot from a dumped campaign and print
@@ -94,7 +104,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use topics_core::crawler::campaign::AllowListSetup;
-use topics_core::export::{load_campaign, write_bundle};
+use topics_core::export::{load_campaign, write_artefacts, write_bundle, StoreKind};
 use topics_core::obs::Obs;
 use topics_core::{
     comparison_rows, diagnose, evaluate, metrics_snapshot_of, render_comparison, Lab, LabConfig,
@@ -108,7 +118,7 @@ static ALLOC: topics_core::obs::CountingAlloc = topics_core::obs::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N]\n  topics-lab merge   --segments DIR [--out DIR]\n  topics-lab report  --campaign FILE\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats] [--store json|columnar]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--store json|columnar]\n  topics-lab merge   --segments DIR [--out DIR] [--store json|columnar]\n  topics-lab report  --campaign DIR|FILE [--store json|columnar]\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]"
     );
     ExitCode::from(2)
 }
@@ -164,6 +174,16 @@ impl Args {
             }
         }
         Ok(())
+    }
+}
+
+/// Strict `--store` parse: `json` (default) or `columnar`.
+fn parse_store(args: &Args) -> Result<StoreKind, String> {
+    match args.value_of("--store")? {
+        None => Ok(StoreKind::default()),
+        Some(s) => {
+            StoreKind::parse(s).ok_or_else(|| format!("unknown --store {s:?} (json|columnar)"))
+        }
     }
 }
 
@@ -274,10 +294,12 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
             "--fault-seed",
             "--probe-threads",
             "--trace-out",
+            "--store",
         ],
         &["--full", "--reject", "--quiet", "--alloc-stats"],
     )?;
     let (config, sites, seed) = parse_lab_config(args)?;
+    let store = parse_store(args)?;
     let out = PathBuf::from(args.value_of("--out")?.unwrap_or("topics-lab-out"));
     let metrics_out = args
         .value_of("--metrics-out")?
@@ -332,7 +354,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     };
     {
         let _span = obs.phase("export");
-        write_bundle(&out, &run.outcome, &eval, sites >= 50_000)
+        write_bundle(&out, &run.outcome, &eval, sites >= 50_000, store)
             .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
     }
 
@@ -386,9 +408,14 @@ fn cmd_shard(args: &Args) -> Result<(), String> {
             "--fault-profile",
             "--fault-seed",
             "--probe-threads",
+            "--store",
         ],
         &["--full", "--reject", "--quiet"],
     )?;
+    // Segments are store-agnostic; the flag is validated here so a
+    // sharded pipeline can pass the same flag set to every stage, and
+    // `merge --store` picks the bundle backend.
+    let _ = parse_store(args)?;
     let (shard, shards) = parse_shard_spec(
         args.value_of("--shard")?
             .ok_or("shard needs --shard K/N (e.g. 2/4)")?,
@@ -430,7 +457,8 @@ fn cmd_shard(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_merge(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--segments", "--out"], &[])?;
+    args.reject_unknown(&["--segments", "--out", "--store"], &[])?;
+    let store = parse_store(args)?;
     let segments = PathBuf::from(
         args.value_of("--segments")?
             .ok_or("merge needs --segments DIR")?,
@@ -441,13 +469,33 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         .unwrap_or_else(|| segments.clone());
 
     let count = topics_core::segment_paths(&segments)?.len();
-    let merged = topics_core::merge_dir(&segments)?;
-    let eval = evaluate(&merged.outcome);
-    let full_scale = merged.outcome.sites.len() >= 50_000;
-    write_bundle(&out, &merged.outcome, &eval, full_scale)
-        .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
+    let (outcome, trace) = match store {
+        StoreKind::Json => {
+            let merged = topics_core::merge_dir(&segments)?;
+            (merged.outcome, merged.trace)
+        }
+        StoreKind::Columnar => {
+            // Stream each segment straight into the columnar writer
+            // and persist the streamed bytes — byte-identical to a
+            // single-process `crawl --store columnar`.
+            let merged = topics_core::merge_dir_columnar(&segments)?;
+            std::fs::create_dir_all(&out)
+                .map_err(|e| format!("creating {}: {e}", out.display()))?;
+            let col_path = out.join(StoreKind::Columnar.campaign_file());
+            std::fs::write(&col_path, merged.store.bytes())
+                .map_err(|e| format!("writing store to {}: {e}", col_path.display()))?;
+            (merged.outcome, merged.trace)
+        }
+    };
+    let eval = evaluate(&outcome);
+    let full_scale = outcome.sites.len() >= 50_000;
+    match store {
+        StoreKind::Json => write_bundle(&out, &outcome, &eval, full_scale, store),
+        StoreKind::Columnar => write_artefacts(&out, &outcome, &eval, full_scale),
+    }
+    .map_err(|e| format!("writing bundle to {}: {e}", out.display()))?;
     let trace_path = out.join("trace.jsonl");
-    std::fs::write(&trace_path, merged.trace.to_jsonl())
+    std::fs::write(&trace_path, trace.to_jsonl())
         .map_err(|e| format!("writing trace to {}: {e}", trace_path.display()))?;
 
     println!("{}", eval.render_report());
@@ -460,11 +508,18 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--campaign"], &[])?;
+    args.reject_unknown(&["--campaign", "--store"], &[])?;
+    let store = args
+        .value_of("--store")?
+        .map(|s| {
+            StoreKind::parse(s).ok_or_else(|| format!("unknown --store {s:?} (json|columnar)"))
+        })
+        .transpose()?;
     let path = args
         .value_of("--campaign")?
-        .ok_or("report needs --campaign FILE")?;
-    let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+        .ok_or("report needs --campaign DIR|FILE")?;
+    let campaign = resolve_campaign_with(path, store);
+    let outcome = load_campaign(&campaign).map_err(|e| e.to_string())?;
     let eval = evaluate(&outcome);
     println!("{}", eval.render_report());
     Ok(())
@@ -516,15 +571,23 @@ fn parse_top(s: &str) -> Result<usize, String> {
     }
 }
 
-/// Resolve `--campaign` for `doctor`: a bundle directory means its
-/// `campaign.json`.
-fn resolve_campaign(path: &str) -> PathBuf {
+/// Resolve `--campaign`: a bundle directory means its campaign file —
+/// the `--store` choice when given, else whichever store is present
+/// (`campaign.json` preferred, `campaign.col` as the fallback).
+fn resolve_campaign_with(path: &str, store: Option<StoreKind>) -> PathBuf {
     let p = PathBuf::from(path);
-    if p.is_dir() {
-        p.join("campaign.json")
-    } else {
-        p
+    if !p.is_dir() {
+        return p;
     }
+    if let Some(s) = store {
+        return p.join(s.campaign_file());
+    }
+    topics_core::export::resolve_campaign_file(&p).unwrap_or_else(|| p.join("campaign.json"))
+}
+
+/// [`resolve_campaign_with`] without a store preference.
+fn resolve_campaign(path: &str) -> PathBuf {
+    resolve_campaign_with(path, None)
 }
 
 fn cmd_doctor(args: &Args) -> Result<(), String> {
@@ -549,13 +612,18 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
     let trace = topics_core::obs::Trace::from_jsonl(&text)
         .map_err(|e| format!("parsing trace {}: {e}", trace_path.display()))?;
 
-    // Shard segments next to the campaign are verified automatically:
-    // checksums, coverage, and byte-identity of their merge.
+    // Shard segments and a columnar store next to the campaign are
+    // verified automatically: segment checksums, coverage, and
+    // byte-identity of their merge; campaign.col section checksums,
+    // intern referential integrity, and dataset agreement.
     let mut report = diagnose(&outcome, &trace, top);
     if let Some(dir) = campaign.parent().filter(|d| d.is_dir()) {
         let (checked, violations) = topics_core::doctor::verify_segments(dir, &outcome);
         if checked > 0 {
             report = report.with_segment_checks(checked, violations);
+        }
+        if let Some(check) = topics_core::doctor::verify_columnar(dir, &outcome) {
+            report = report.with_columnar_check(check);
         }
     }
     print!("{}", report.render());
@@ -805,6 +873,55 @@ mod tests {
             .reject_unknown(&["--trace", "--campaign", "--top"], &[])
             .unwrap_err()
             .contains("--trase"));
+    }
+
+    #[test]
+    fn store_flag_parses_strictly() {
+        assert_eq!(parse_store(&args(&[])).unwrap(), StoreKind::Json);
+        assert_eq!(
+            parse_store(&args(&["--store", "json"])).unwrap(),
+            StoreKind::Json
+        );
+        assert_eq!(
+            parse_store(&args(&["--store", "columnar"])).unwrap(),
+            StoreKind::Columnar
+        );
+        // Unknown backends and missing values are hard errors — never a
+        // silent fallback to JSON.
+        let err = parse_store(&args(&["--store", "parquet"])).unwrap_err();
+        assert!(err.contains("--store"), "{err}");
+        let err = parse_store(&args(&["--store", "--quiet"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        // A typo'd flag name is rejected by the crawl/merge flag sets.
+        let a = args(&["--stor", "columnar"]);
+        assert!(a
+            .reject_unknown(&["--store"], &[])
+            .unwrap_err()
+            .contains("--stor"));
+    }
+
+    #[test]
+    fn campaign_resolution_prefers_an_existing_store() {
+        // A file path passes through untouched.
+        assert_eq!(
+            resolve_campaign_with("bundle/campaign.col", None),
+            PathBuf::from("bundle/campaign.col")
+        );
+        // A directory with only campaign.col resolves to it...
+        let dir = std::env::temp_dir().join(format!("topics-lab-resolve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("campaign.col"), b"x").unwrap();
+        let dirs = dir.to_str().unwrap();
+        assert_eq!(resolve_campaign(dirs), dir.join("campaign.col"));
+        // ...until campaign.json appears (the compatibility default),
+        // and an explicit --store always wins.
+        std::fs::write(dir.join("campaign.json"), b"{}").unwrap();
+        assert_eq!(resolve_campaign(dirs), dir.join("campaign.json"));
+        assert_eq!(
+            resolve_campaign_with(dirs, Some(StoreKind::Columnar)),
+            dir.join("campaign.col")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

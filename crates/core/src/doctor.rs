@@ -11,6 +11,7 @@
 
 use crate::lab::metrics_snapshot_of;
 use std::path::Path;
+use topics_crawler::columnar::{ColumnarCampaign, SectionInfo};
 use topics_crawler::record::{CampaignOutcome, OutcomeCounts};
 use topics_obs::profile::{integrity, profile, Integrity, Profile};
 use topics_obs::{FieldValue, Trace};
@@ -72,6 +73,61 @@ pub struct DoctorReport {
     /// Segment-integrity and shard-coverage violations (see
     /// [`verify_segments`]).
     pub segment_violations: Vec<String>,
+    /// Columnar-store check, when `campaign.col` sits in the bundle
+    /// (see [`verify_columnar`]).
+    pub columnar: Option<ColumnarCheck>,
+}
+
+/// Integrity result of one `campaign.col` file.
+#[derive(Debug, Clone)]
+pub struct ColumnarCheck {
+    /// Store size in bytes.
+    pub bytes: u64,
+    /// Per-section directory entries (empty when the header itself is
+    /// unreadable).
+    pub sections: Vec<SectionInfo>,
+    /// Checksum, referential-integrity, and campaign-consistency
+    /// violations.
+    pub violations: Vec<String>,
+}
+
+/// Verify a `campaign.col` next to the loaded campaign, if one exists:
+/// header and per-section FNV-1a checksums, intern referential
+/// integrity (every id in range, no orphan strings, visit/call range
+/// tiling — [`ColumnarCampaign::verify`]), and agreement with the
+/// campaign the doctor loaded (the two stores must describe the same
+/// dataset). Returns `None` when the directory has no columnar store.
+pub fn verify_columnar(dir: &Path, outcome: &CampaignOutcome) -> Option<ColumnarCheck> {
+    let path = dir.join(crate::export::CAMPAIGN_COLUMNAR_FILE);
+    let bytes = std::fs::read(&path).ok()?;
+    let mut check = ColumnarCheck {
+        bytes: bytes.len() as u64,
+        sections: Vec::new(),
+        violations: Vec::new(),
+    };
+    let store = match ColumnarCampaign::decode(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            check.violations.push(format!("campaign.col: {e}"));
+            return Some(check);
+        }
+    };
+    check.sections = store.section_map();
+    if let Err(e) = store.verify() {
+        check.violations.push(format!("campaign.col: {e}"));
+        return Some(check);
+    }
+    match store.to_outcome() {
+        Ok(col_outcome) => {
+            if serde_json::to_string(&col_outcome).ok() != serde_json::to_string(outcome).ok() {
+                check.violations.push(
+                    "campaign.col does not describe the same dataset as the loaded campaign".into(),
+                );
+            }
+        }
+        Err(e) => check.violations.push(format!("campaign.col: {e}")),
+    }
+    Some(check)
 }
 
 /// Segment-integrity and shard-coverage checks over every `*.seg` file
@@ -179,6 +235,7 @@ pub fn diagnose(outcome: &CampaignOutcome, trace: &Trace, top_n: usize) -> Docto
         profile: profile(trace, top_n),
         segments_checked: 0,
         segment_violations: Vec::new(),
+        columnar: None,
     }
 }
 
@@ -227,11 +284,22 @@ impl DoctorReport {
         self
     }
 
+    /// Fold in the result of [`verify_columnar`] (the CLI runs it when
+    /// the campaign directory holds a `campaign.col`).
+    #[must_use]
+    pub fn with_columnar_check(mut self, check: ColumnarCheck) -> DoctorReport {
+        self.columnar = Some(check);
+        self
+    }
+
     /// Every violation found: structural trace problems plus failed
     /// reconciliation checks. Empty iff [`DoctorReport::is_healthy`].
     pub fn violations(&self) -> Vec<String> {
         let mut out = self.integrity.violations();
         out.extend(self.segment_violations.iter().cloned());
+        if let Some(col) = &self.columnar {
+            out.extend(col.violations.iter().cloned());
+        }
         for r in self.reconciliation.iter().filter(|r| !r.ok) {
             out.push(format!(
                 "reconciliation failed: {} (trace {}, tally {})",
@@ -254,6 +322,10 @@ impl DoctorReport {
             && self.reconciliation.iter().all(|r| r.ok)
             && self.alloc_balance.iter().all(|b| b.ok)
             && self.segment_violations.is_empty()
+            && self
+                .columnar
+                .as_ref()
+                .map_or(true, |c| c.violations.is_empty())
     }
 
     /// Render the report as plain text.
@@ -348,6 +420,27 @@ impl DoctorReport {
                 for v in &self.segment_violations {
                     out.push_str(&format!("[FAIL] {v}\n"));
                 }
+            }
+            out.push('\n');
+        }
+
+        if let Some(col) = &self.columnar {
+            out.push_str("== Columnar store ==\n");
+            if col.violations.is_empty() {
+                out.push_str(&format!(
+                    "[ok] campaign.col ({} B): header + section checksums verified, intern table referentially intact, dataset matches the loaded campaign\n",
+                    col.bytes,
+                ));
+            } else {
+                for v in &col.violations {
+                    out.push_str(&format!("[FAIL] {v}\n"));
+                }
+            }
+            for s in &col.sections {
+                out.push_str(&format!(
+                    "  section {:<8} {:>10} B  fnv1a {:016x}\n",
+                    s.name, s.len, s.fnv1a,
+                ));
             }
             out.push('\n');
         }
@@ -555,6 +648,58 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.contains("truncated")),
             "{violations:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columnar_store_checks_flow_into_the_report() {
+        let (outcome, trace) = traced_run();
+        let dir = std::env::temp_dir().join(format!("topics-doctor-col-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // No store, no check.
+        assert!(verify_columnar(&dir, &outcome).is_none());
+
+        // A healthy store validates and lists every section.
+        let store = ColumnarCampaign::from_outcome(&outcome);
+        let path = dir.join(crate::export::CAMPAIGN_COLUMNAR_FILE);
+        std::fs::write(&path, store.bytes()).unwrap();
+        let check = verify_columnar(&dir, &outcome).unwrap();
+        assert!(check.violations.is_empty(), "{:?}", check.violations);
+        assert_eq!(check.sections.len(), 8);
+        assert_eq!(check.bytes, store.bytes().len() as u64);
+        let report = diagnose(&outcome, &trace, 5).with_columnar_check(check);
+        assert!(report.is_healthy(), "violations: {:?}", report.violations());
+        let text = report.render();
+        assert!(text.contains("== Columnar store =="));
+        assert!(text.contains("[ok] campaign.col"));
+        assert!(text.contains("section strings"));
+
+        // A store describing a different campaign is a violation.
+        let mut short = outcome.clone();
+        short.sites.pop();
+        let check = verify_columnar(&dir, &short).unwrap();
+        assert!(
+            check.violations.iter().any(|v| v.contains("same dataset")),
+            "{:?}",
+            check.violations
+        );
+        let report = diagnose(&outcome, &trace, 5).with_columnar_check(check);
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("[FAIL]"));
+
+        // A flipped payload byte is a named section-checksum violation.
+        let mut bytes = store.bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let check = verify_columnar(&dir, &outcome).unwrap();
+        assert!(
+            check.violations.iter().any(|v| v.contains("checksum")),
+            "{:?}",
+            check.violations
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

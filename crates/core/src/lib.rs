@@ -19,8 +19,9 @@
 //!   comparison rows (the EXPERIMENTS.md source of truth).
 //! * [`doctor`] — run-health report reconciling a saved campaign with
 //!   its span trace (the `topics-lab doctor` subcommand).
-//! * [`export`] — artefact bundles: campaign JSON dump plus one CSV per
-//!   table/figure (the `topics-lab` CLI writes these).
+//! * [`export`] — artefact bundles: the campaign dataset (JSON row
+//!   store or columnar store, see [`export::StoreKind`]) plus one CSV
+//!   per table/figure (the `topics-lab` CLI writes these).
 //! * [`shard`] — sharded campaign execution (`topics-lab shard`) and
 //!   the deterministic merge (`topics-lab merge`) back into a bundle
 //!   byte-identical to a single-process run.
@@ -42,12 +43,13 @@ pub mod shard;
 
 pub use compare::{comparison_rows, render_comparison, ComparisonRow};
 pub use config::LabConfig;
-pub use doctor::{diagnose, verify_segments, DoctorReport};
+pub use doctor::{diagnose, verify_columnar, verify_segments, ColumnarCheck, DoctorReport};
+pub use export::{load_campaign, write_bundle, StoreKind};
 pub use fidelity::{fidelity, FidelityReport};
 pub use lab::{evaluate, metrics_snapshot_of, CampaignRun, Evaluation, Lab};
 pub use shard::{
-    merge_dir, read_segment, run_shard, segment_file_name, segment_paths, write_segment, Merged,
-    MERGE_RULES,
+    merge_dir, merge_dir_columnar, read_segment, run_shard, segment_file_name, segment_paths,
+    write_segment, Merged, MergedColumnar, MERGE_RULES,
 };
 
 pub use topics_analysis as analysis;

@@ -24,9 +24,11 @@ use crate::lab::Lab;
 use std::io;
 use std::path::{Path, PathBuf};
 use topics_crawler::campaign::{run_campaign_stripe, CrawlTarget};
-use topics_crawler::record::CampaignOutcome;
+use topics_crawler::columnar::{ColumnarBuilder, ColumnarCampaign};
+use topics_crawler::record::{CampaignOutcome, CAMPAIGN_SCHEMA_VERSION};
 use topics_crawler::shard::{
-    merge_segments, shard_token, tally_snapshot, Segment, SegmentHeader, ShardPlan, SEGMENT_VERSION,
+    merge_segments, shard_token, tally_snapshot, Segment, SegmentHeader, ShardPlan, StreamingMerge,
+    SEGMENT_VERSION,
 };
 use topics_net::seed;
 use topics_obs::{merge_stripped, MergeRule, MetricsSnapshot, Obs, Trace};
@@ -203,6 +205,65 @@ pub fn merge_dir(dir: &Path) -> Result<Merged, String> {
     })
 }
 
+/// A merge streamed straight into the columnar writer: the encoded
+/// store plus everything [`Merged`] carries.
+#[derive(Debug)]
+pub struct MergedColumnar {
+    /// The merged campaign as an encoded columnar store — byte-identical
+    /// to the store a single-process `--store columnar` crawl writes.
+    pub store: ColumnarCampaign,
+    /// The reassembled outcome (reconstructed from the store's arena,
+    /// so equal domains share storage).
+    pub outcome: CampaignOutcome,
+    /// Tally snapshot of the merged outcome.
+    pub metrics: MetricsSnapshot,
+    /// Merged stripped trace.
+    pub trace: Trace,
+}
+
+/// Merge every `*.seg` under `dir` by streaming each segment's sites
+/// directly into a [`ColumnarBuilder`] — one decoded segment in memory
+/// at a time, never the full `Vec<Segment>` that [`merge_dir`] holds.
+///
+/// Shard order is validated per segment by
+/// [`topics_crawler::shard::StreamingMerge`] (the canonical zero-padded
+/// file names make sorted directory order shard order). Because the
+/// builder interns strings in first-use order of the same rank-order
+/// site walk a single-process crawl performs, the resulting store is
+/// byte-identical to the one `--store columnar` writes without
+/// sharding.
+pub fn merge_dir_columnar(dir: &Path) -> Result<MergedColumnar, String> {
+    let paths = segment_paths(dir)?;
+    if paths.is_empty() {
+        return Err(format!("no segment files (*.seg) in {}", dir.display()));
+    }
+    let mut merge = StreamingMerge::default();
+    let mut builder = ColumnarBuilder::new();
+    let mut traces: Vec<Trace> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let mut segment = read_segment(path)?;
+        traces.push(Trace {
+            spans: std::mem::take(&mut segment.trace),
+        });
+        let sites = merge.accept(segment).map_err(|e| e.to_string())?;
+        for site in &sites {
+            builder.push_site(site);
+        }
+    }
+    let (allow_list, probes, started) = merge.finish().map_err(|e| e.to_string())?;
+    let store = builder.finish(CAMPAIGN_SCHEMA_VERSION, &allow_list, &probes, started);
+    let outcome = store.to_outcome().map_err(|e| e.to_string())?;
+    let trace =
+        merge_stripped(&traces, &MERGE_RULES).map_err(|e| format!("merging traces: {e}"))?;
+    let metrics = tally_snapshot(&outcome);
+    Ok(MergedColumnar {
+        store,
+        outcome,
+        metrics,
+        trace,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +290,34 @@ mod tests {
         assert_eq!(serde_json::to_string(&merged.outcome).unwrap(), single_json);
         assert_eq!(merged.trace, single_trace);
         assert_eq!(merged.metrics, crate::metrics_snapshot_of(&merged.outcome));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columnar_merge_streams_to_the_single_run_store() {
+        let config = LabConfig::quick(92, 60).with_threads(2);
+        let single = Lab::new(config.clone()).run().outcome;
+        let single_store = ColumnarCampaign::from_outcome(&single);
+
+        let dir = std::env::temp_dir().join(format!("topics-shard-col-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for shard in 0..3 {
+            let segment = run_shard(&config, shard, 3, &shard_obs());
+            write_segment(&dir, &segment).unwrap();
+        }
+        let merged = merge_dir_columnar(&dir).unwrap();
+        assert_eq!(
+            merged.store.bytes(),
+            single_store.bytes(),
+            "streamed merge store must be byte-identical to the single-run store"
+        );
+        assert_eq!(
+            serde_json::to_string(&merged.outcome).unwrap(),
+            serde_json::to_string(&single).unwrap()
+        );
+        let batch = merge_dir(&dir).unwrap();
+        assert_eq!(merged.metrics, batch.metrics);
+        assert_eq!(merged.trace, batch.trace);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -9,7 +9,9 @@
 //! party (plus every allow-listed domain) to assign the *Attested* label.
 
 use crate::metrics::CrawlMetrics;
-use crate::record::{AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutcome};
+use crate::record::{
+    AttestationInfo, AttestationProbe, CampaignOutcome, SiteOutcome, CAMPAIGN_SCHEMA_VERSION,
+};
 use crate::visit::{
     run_site_full, run_site_traced, ConsentAction, VisitPolicy, DEFAULT_VISIT_TIMEOUT_MS,
 };
@@ -615,6 +617,7 @@ where
     }
 
     CampaignOutcome {
+        schema_version: CAMPAIGN_SCHEMA_VERSION,
         sites,
         allow_list,
         attestation_probes,

@@ -1,0 +1,2154 @@
+//! Columnar campaign store: interned struct-of-arrays record layout.
+//!
+//! The analyses are column scans over visit/call fields, yet
+//! `campaign.json` stores row-structs — every `report` run
+//! re-deserializes the full world and re-allocates every domain string
+//! once per occurrence. This module stores a [`CampaignOutcome`] as
+//! parallel arrays with one campaign-wide string-interning table for
+//! [`Domain`]s: `party_domains` becomes a range into a shared id
+//! vector, every call's caller/caller-site/script-source a `u32`, and
+//! booleans bitsets. Rebuilding the outcome clones `Arc`s out of the
+//! arena, so equal domains share storage instead of repeating their
+//! bytes.
+//!
+//! # File layout (`campaign.col`)
+//!
+//! Everything is little-endian:
+//!
+//! ```text
+//! magic "TOPICCOL" | container version u32 | schema version u32
+//! started u64      | row counts 8 x u32    | section count u32
+//! directory: per section { tag u8, offset u64, len u64, fnv1a u64 }
+//! header checksum u64 (FNV-1a over every preceding byte)
+//! section payloads, contiguous, in directory order
+//! ```
+//!
+//! The eight sections (`strings`, `errors`, `sites`, `visits`,
+//! `parties`, `calls`, `allow`, `probes`) are length-prefixed by the
+//! directory and individually checksummed with the same FNV-1a as the
+//! shard segments ([`Fnv`]), so truncation, bit-rot, and editing are
+//! named errors ([`ColumnarError`]) in the segment taxonomy's style.
+//! Sections are decoded lazily and independently — the row counts live
+//! in the header, so a reader that only needs the call columns never
+//! touches the visit columns — and every decoded section is validated
+//! eagerly (enum bytes, id bounds, range bounds), making the scan views
+//! infallible.
+//!
+//! Writes are deterministic: the intern table assigns ids in first-use
+//! order of a rank-order walk over the outcome, so the same seed
+//! produces byte-identical files across runs, thread counts, and the
+//! crawl-vs-sharded-merge paths.
+
+use crate::record::{
+    AttestationInfo, AttestationProbe, CampaignOutcome, FaultStats, Phase, SiteOutcome,
+    TopicsCallRecord, UnknownSchemaVersion, VisitRecord, CAMPAIGN_SCHEMA_VERSION,
+};
+use crate::shard::Fnv;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::OnceLock;
+use topics_browser::attestation::AllowDecision;
+use topics_browser::observer::CallType;
+use topics_net::clock::Timestamp;
+use topics_net::domain::Domain;
+
+/// First eight bytes of every columnar campaign file.
+pub const COLUMNAR_MAGIC: [u8; 8] = *b"TOPICCOL";
+
+/// Container format version; bumped on incompatible layout change.
+/// Distinct from the record schema version, which travels alongside it.
+pub const COLUMNAR_VERSION: u32 = 1;
+
+/// Sentinel id for "absent" in optional id columns.
+const NONE_ID: u32 = u32::MAX;
+
+const TAG_STRINGS: u8 = 1;
+const TAG_ERRORS: u8 = 2;
+const TAG_SITES: u8 = 3;
+const TAG_VISITS: u8 = 4;
+const TAG_PARTIES: u8 = 5;
+const TAG_CALLS: u8 = 6;
+const TAG_ALLOW: u8 = 7;
+const TAG_PROBES: u8 = 8;
+
+/// Canonical section order: every file carries all eight sections.
+const SECTION_TAGS: [u8; 8] = [
+    TAG_STRINGS,
+    TAG_ERRORS,
+    TAG_SITES,
+    TAG_VISITS,
+    TAG_PARTIES,
+    TAG_CALLS,
+    TAG_ALLOW,
+    TAG_PROBES,
+];
+
+fn tag_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_STRINGS => "strings",
+        TAG_ERRORS => "errors",
+        TAG_SITES => "sites",
+        TAG_VISITS => "visits",
+        TAG_PARTIES => "parties",
+        TAG_CALLS => "calls",
+        TAG_ALLOW => "allow",
+        TAG_PROBES => "probes",
+        _ => "unknown",
+    }
+}
+
+/// Everything that can be wrong with a columnar file — the same spirit
+/// as the segment error taxonomy: named, typed, and specific enough to
+/// debug a corrupt store from the message alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// The buffer ends before the advertised data does.
+    Truncated {
+        /// Which region was being read.
+        section: &'static str,
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// The file does not start with [`COLUMNAR_MAGIC`].
+    BadMagic,
+    /// The container version is newer than this build.
+    UnsupportedVersion(u32),
+    /// The record schema version is newer than this build.
+    UnknownSchema(UnknownSchemaVersion),
+    /// The header/directory checksum does not match.
+    HeaderChecksum {
+        /// Digest recorded in the file.
+        expected: u64,
+        /// Digest of the bytes actually present.
+        actual: u64,
+    },
+    /// A section's payload does not match its directory checksum.
+    SectionChecksum {
+        /// Section name.
+        section: &'static str,
+        /// Digest recorded in the directory.
+        expected: u64,
+        /// Digest of the payload actually present.
+        actual: u64,
+    },
+    /// A required section is absent from the directory.
+    MissingSection(&'static str),
+    /// A section appears twice in the directory.
+    DuplicateSection(&'static str),
+    /// A directory entry names a tag this build does not know.
+    UnknownSection(u8),
+    /// A section decoded fully but left unread bytes behind.
+    TrailingData(&'static str),
+    /// An enum column holds a byte outside the known variants.
+    BadEnum {
+        /// Section name.
+        section: &'static str,
+        /// Column name.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// An id column references past the end of its target table.
+    IdOutOfRange {
+        /// Section name.
+        section: &'static str,
+        /// Column name.
+        field: &'static str,
+        /// The offending id.
+        id: u32,
+        /// Length of the table it indexes.
+        len: u32,
+    },
+    /// A (start, len) range column exceeds its target table.
+    BadRange {
+        /// Section name.
+        section: &'static str,
+        /// Column name.
+        field: &'static str,
+    },
+    /// An interned string is referenced by no column (referential
+    /// integrity: the arena must carry no dead weight).
+    OrphanString(u32),
+    /// Anything else structurally wrong, with a human-readable reason.
+    Malformed(String),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::Truncated {
+                section,
+                need,
+                have,
+            } => write!(
+                f,
+                "columnar {section}: truncated (need {need} bytes, have {have})"
+            ),
+            ColumnarError::BadMagic => write!(f, "not a columnar campaign file (bad magic)"),
+            ColumnarError::UnsupportedVersion(v) => write!(
+                f,
+                "columnar container version {v} (this build reads <= {COLUMNAR_VERSION})"
+            ),
+            ColumnarError::UnknownSchema(e) => write!(f, "{e}"),
+            ColumnarError::HeaderChecksum { expected, actual } => write!(
+                f,
+                "columnar header checksum mismatch: recorded {expected:016x}, computed {actual:016x}"
+            ),
+            ColumnarError::SectionChecksum {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "columnar section {section}: checksum mismatch (recorded {expected:016x}, computed {actual:016x})"
+            ),
+            ColumnarError::MissingSection(s) => write!(f, "columnar section {s}: missing"),
+            ColumnarError::DuplicateSection(s) => write!(f, "columnar section {s}: duplicated"),
+            ColumnarError::UnknownSection(t) => write!(f, "columnar directory: unknown section tag {t}"),
+            ColumnarError::TrailingData(s) => {
+                write!(f, "columnar section {s}: trailing bytes after payload")
+            }
+            ColumnarError::BadEnum {
+                section,
+                field,
+                value,
+            } => write!(f, "columnar {section}.{field}: invalid enum byte {value}"),
+            ColumnarError::IdOutOfRange {
+                section,
+                field,
+                id,
+                len,
+            } => write!(
+                f,
+                "columnar {section}.{field}: id {id} out of range (table holds {len})"
+            ),
+            ColumnarError::BadRange { section, field } => {
+                write!(f, "columnar {section}.{field}: range exceeds its table")
+            }
+            ColumnarError::OrphanString(id) => write!(
+                f,
+                "columnar strings: interned string {id} is referenced by no column"
+            ),
+            ColumnarError::Malformed(why) => write!(f, "columnar store malformed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives.
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// A bounds-checked reader over one section payload.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Cur<'a> {
+        Cur {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ColumnarError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ColumnarError::Truncated {
+                section: self.section,
+                need: n,
+                have: self.buf.len() - self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ColumnarError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ColumnarError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ColumnarError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u8s(&mut self, n: usize) -> Result<Vec<u8>, ColumnarError> {
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, ColumnarError> {
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, ColumnarError> {
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn bits(&mut self, n: usize) -> Result<Vec<bool>, ColumnarError> {
+        let raw = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| raw[i / 8] & (1 << (i % 8)) != 0).collect())
+    }
+
+    fn done(self) -> Result<(), ColumnarError> {
+        if self.pos != self.buf.len() {
+            return Err(ColumnarError::TrailingData(self.section));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum codes.
+
+fn phase_code(p: Phase) -> u8 {
+    match p {
+        Phase::BeforeAccept => 0,
+        Phase::AfterAccept => 1,
+        Phase::AfterReject => 2,
+    }
+}
+
+fn phase_from(b: u8) -> Option<Phase> {
+    match b {
+        0 => Some(Phase::BeforeAccept),
+        1 => Some(Phase::AfterAccept),
+        2 => Some(Phase::AfterReject),
+        _ => None,
+    }
+}
+
+fn call_type_code(c: CallType) -> u8 {
+    match c {
+        CallType::JavaScript => 0,
+        CallType::Fetch => 1,
+        CallType::Iframe => 2,
+    }
+}
+
+fn call_type_from(b: u8) -> Option<CallType> {
+    match b {
+        0 => Some(CallType::JavaScript),
+        1 => Some(CallType::Fetch),
+        2 => Some(CallType::Iframe),
+        _ => None,
+    }
+}
+
+fn decision_code(d: AllowDecision) -> u8 {
+    match d {
+        AllowDecision::AllowedEnrolled => 0,
+        AllowDecision::AllowedFailOpen => 1,
+        AllowDecision::BlockedNotEnrolled => 2,
+        AllowDecision::BlockedFailClosed => 3,
+    }
+}
+
+fn decision_from(b: u8) -> Option<AllowDecision> {
+    match b {
+        0 => Some(AllowDecision::AllowedEnrolled),
+        1 => Some(AllowDecision::AllowedFailOpen),
+        2 => Some(AllowDecision::BlockedNotEnrolled),
+        3 => Some(AllowDecision::BlockedFailClosed),
+        _ => None,
+    }
+}
+
+const FAULT_TIMED_OUT: u8 = 1;
+const FAULT_SECOND_VISIT_FAILED: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Column groups (in-memory form of the decoded sections).
+
+#[derive(Debug, Clone, Default)]
+struct SiteCols {
+    rank: Vec<u32>,
+    website: Vec<u32>,
+    before: Vec<u32>,
+    after: Vec<u32>,
+    error: Vec<u32>,
+    retries: Vec<u32>,
+    flags: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct VisitCols {
+    phase: Vec<u8>,
+    website: Vec<u32>,
+    final_website: Vec<u32>,
+    party_start: Vec<u32>,
+    party_len: Vec<u32>,
+    object_count: Vec<u32>,
+    failed_objects: Vec<u32>,
+    call_start: Vec<u32>,
+    call_len: Vec<u32>,
+    started: Vec<u64>,
+    duration_ms: Vec<u64>,
+    banner: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CallCols {
+    caller: Vec<u32>,
+    caller_site: Vec<u32>,
+    script_source: Vec<u32>,
+    call_type: Vec<u8>,
+    decision: Vec<u8>,
+    topics_returned: Vec<u32>,
+    timestamp: Vec<u64>,
+    root_context: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProbeCols {
+    domain: Vec<u32>,
+    issued: Vec<u64>,
+    valid: Vec<bool>,
+    enrollment_site: Vec<bool>,
+}
+
+fn fits_u32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| panic!("{what} count {n} exceeds the columnar u32 limit"))
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+
+/// Streams [`SiteOutcome`]s (in rank order) into column vectors and
+/// encodes the canonical byte layout. Used by both
+/// [`ColumnarCampaign::from_outcome`] and the shard merge, which feeds
+/// sites segment-by-segment without ever materialising the row-struct
+/// campaign — the two paths produce byte-identical files.
+#[derive(Debug, Default)]
+pub struct ColumnarBuilder {
+    intern: HashMap<Domain, u32>,
+    arena: Vec<Domain>,
+    error_ids: HashMap<String, u32>,
+    errors: Vec<String>,
+    sites: SiteCols,
+    visits: VisitCols,
+    parties: Vec<u32>,
+    calls: CallCols,
+}
+
+impl ColumnarBuilder {
+    /// An empty builder.
+    pub fn new() -> ColumnarBuilder {
+        ColumnarBuilder::default()
+    }
+
+    fn intern(&mut self, d: &Domain) -> u32 {
+        if let Some(&id) = self.intern.get(d) {
+            return id;
+        }
+        let id = fits_u32(self.arena.len(), "interned string");
+        self.arena.push(d.clone());
+        self.intern.insert(d.clone(), id);
+        id
+    }
+
+    fn intern_error(&mut self, e: &str) -> u32 {
+        if let Some(&id) = self.error_ids.get(e) {
+            return id;
+        }
+        let id = fits_u32(self.errors.len(), "error string");
+        self.errors.push(e.to_owned());
+        self.error_ids.insert(e.to_owned(), id);
+        id
+    }
+
+    fn push_visit(&mut self, v: &VisitRecord) -> u32 {
+        let idx = fits_u32(self.visits.phase.len(), "visit");
+        self.visits.phase.push(phase_code(v.phase));
+        let website = self.intern(&v.website);
+        self.visits.website.push(website);
+        let final_website = self.intern(&v.final_website);
+        self.visits.final_website.push(final_website);
+        self.visits
+            .party_start
+            .push(fits_u32(self.parties.len(), "party id"));
+        self.visits
+            .party_len
+            .push(fits_u32(v.party_domains.len(), "party range"));
+        for d in &v.party_domains {
+            let id = self.intern(d);
+            self.parties.push(id);
+        }
+        self.visits
+            .object_count
+            .push(fits_u32(v.object_count, "object"));
+        self.visits
+            .failed_objects
+            .push(fits_u32(v.failed_objects, "failed object"));
+        self.visits
+            .call_start
+            .push(fits_u32(self.calls.caller.len(), "call"));
+        self.visits
+            .call_len
+            .push(fits_u32(v.topics_calls.len(), "call range"));
+        for c in &v.topics_calls {
+            self.push_call(c);
+        }
+        self.visits.started.push(v.started.0);
+        self.visits.duration_ms.push(v.duration_ms);
+        self.visits.banner.push(v.banner_found);
+        idx
+    }
+
+    fn push_call(&mut self, c: &TopicsCallRecord) {
+        let caller = self.intern(&c.caller);
+        self.calls.caller.push(caller);
+        let caller_site = self.intern(&c.caller_site);
+        self.calls.caller_site.push(caller_site);
+        let script_source = match &c.script_source {
+            Some(d) => self.intern(d),
+            None => NONE_ID,
+        };
+        self.calls.script_source.push(script_source);
+        self.calls.call_type.push(call_type_code(c.call_type));
+        self.calls.decision.push(decision_code(c.decision));
+        self.calls
+            .topics_returned
+            .push(fits_u32(c.topics_returned, "topics_returned"));
+        self.calls.timestamp.push(c.timestamp.0);
+        self.calls.root_context.push(c.root_context);
+    }
+
+    /// Append one site's rows. Call in rank order: the intern table
+    /// assigns ids first-use-first, so the push order is part of the
+    /// byte-identity contract.
+    pub fn push_site(&mut self, site: &SiteOutcome) {
+        self.sites.rank.push(fits_u32(site.rank, "rank"));
+        let website = self.intern(&site.website);
+        self.sites.website.push(website);
+        let before = site.before.as_ref().map(|v| self.push_visit(v));
+        self.sites.before.push(before.unwrap_or(NONE_ID));
+        let after = site.after.as_ref().map(|v| self.push_visit(v));
+        self.sites.after.push(after.unwrap_or(NONE_ID));
+        let error = site.error.as_deref().map(|e| self.intern_error(e));
+        self.sites.error.push(error.unwrap_or(NONE_ID));
+        self.sites.retries.push(site.faults.retries);
+        let mut flags = 0u8;
+        if site.faults.timed_out {
+            flags |= FAULT_TIMED_OUT;
+        }
+        if site.faults.second_visit_failed {
+            flags |= FAULT_SECOND_VISIT_FAILED;
+        }
+        self.sites.flags.push(flags);
+    }
+
+    /// Encode the finished campaign. `allow_list` and `probes` arrive
+    /// last because the merge only has the full probe set once every
+    /// segment has streamed through.
+    pub fn finish(
+        mut self,
+        schema_version: u32,
+        allow_list: &[Domain],
+        probes: &[AttestationProbe],
+        started: Timestamp,
+    ) -> ColumnarCampaign {
+        let allow: Vec<u32> = allow_list.iter().map(|d| self.intern(d)).collect();
+        let mut probe_cols = ProbeCols::default();
+        for p in probes {
+            let id = self.intern(&p.domain);
+            probe_cols.domain.push(id);
+            match &p.valid {
+                Some(info) => {
+                    probe_cols.issued.push(info.issued.0);
+                    probe_cols.valid.push(true);
+                    probe_cols.enrollment_site.push(info.has_enrollment_site);
+                }
+                None => {
+                    probe_cols.issued.push(0);
+                    probe_cols.valid.push(false);
+                    probe_cols.enrollment_site.push(false);
+                }
+            }
+        }
+        let counts = [
+            fits_u32(self.arena.len(), "string"),
+            fits_u32(self.errors.len(), "error"),
+            fits_u32(self.sites.rank.len(), "site"),
+            fits_u32(self.visits.phase.len(), "visit"),
+            fits_u32(self.parties.len(), "party"),
+            fits_u32(self.calls.caller.len(), "call"),
+            fits_u32(allow.len(), "allow-list entry"),
+            fits_u32(probe_cols.domain.len(), "probe"),
+        ];
+        let sections = vec![
+            (TAG_STRINGS, encode_strings(&self.arena)),
+            (TAG_ERRORS, encode_errors(&self.errors)),
+            (TAG_SITES, encode_sites(&self.sites)),
+            (TAG_VISITS, encode_visits(&self.visits)),
+            (TAG_PARTIES, encode_u32s(&self.parties)),
+            (TAG_CALLS, encode_calls(&self.calls)),
+            (TAG_ALLOW, encode_u32s(&allow)),
+            (TAG_PROBES, encode_probes(&probe_cols)),
+        ];
+        let bytes = assemble(schema_version, started.0, counts, &sections);
+        ColumnarCampaign::decode(bytes)
+            .expect("a freshly assembled columnar campaign always decodes")
+    }
+}
+
+fn encode_strings(arena: &[Domain]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for d in arena {
+        put_u32(&mut buf, fits_u32(d.as_str().len(), "string length"));
+        buf.extend_from_slice(d.as_str().as_bytes());
+    }
+    buf
+}
+
+fn encode_errors(errors: &[String]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for e in errors {
+        put_u32(&mut buf, fits_u32(e.len(), "error length"));
+        buf.extend_from_slice(e.as_bytes());
+    }
+    buf
+}
+
+fn encode_u32s(ids: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(ids.len() * 4);
+    for &id in ids {
+        put_u32(&mut buf, id);
+    }
+    buf
+}
+
+fn encode_u64s(vals: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(vals.len() * 8);
+    for &v in vals {
+        put_u64(&mut buf, v);
+    }
+    buf
+}
+
+fn encode_sites(s: &SiteCols) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&encode_u32s(&s.rank));
+    buf.extend_from_slice(&encode_u32s(&s.website));
+    buf.extend_from_slice(&encode_u32s(&s.before));
+    buf.extend_from_slice(&encode_u32s(&s.after));
+    buf.extend_from_slice(&encode_u32s(&s.error));
+    buf.extend_from_slice(&encode_u32s(&s.retries));
+    buf.extend_from_slice(&s.flags);
+    buf
+}
+
+fn encode_visits(v: &VisitCols) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&v.phase);
+    buf.extend_from_slice(&encode_u32s(&v.website));
+    buf.extend_from_slice(&encode_u32s(&v.final_website));
+    buf.extend_from_slice(&encode_u32s(&v.party_start));
+    buf.extend_from_slice(&encode_u32s(&v.party_len));
+    buf.extend_from_slice(&encode_u32s(&v.object_count));
+    buf.extend_from_slice(&encode_u32s(&v.failed_objects));
+    buf.extend_from_slice(&encode_u32s(&v.call_start));
+    buf.extend_from_slice(&encode_u32s(&v.call_len));
+    buf.extend_from_slice(&encode_u64s(&v.started));
+    buf.extend_from_slice(&encode_u64s(&v.duration_ms));
+    buf.extend_from_slice(&pack_bits(&v.banner));
+    buf
+}
+
+fn encode_calls(c: &CallCols) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&encode_u32s(&c.caller));
+    buf.extend_from_slice(&encode_u32s(&c.caller_site));
+    buf.extend_from_slice(&encode_u32s(&c.script_source));
+    buf.extend_from_slice(&c.call_type);
+    buf.extend_from_slice(&c.decision);
+    buf.extend_from_slice(&encode_u32s(&c.topics_returned));
+    buf.extend_from_slice(&encode_u64s(&c.timestamp));
+    buf.extend_from_slice(&pack_bits(&c.root_context));
+    buf
+}
+
+fn encode_probes(p: &ProbeCols) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&encode_u32s(&p.domain));
+    buf.extend_from_slice(&encode_u64s(&p.issued));
+    buf.extend_from_slice(&pack_bits(&p.valid));
+    buf.extend_from_slice(&pack_bits(&p.enrollment_site));
+    buf
+}
+
+/// Assemble header + directory + payloads into the canonical file bytes.
+fn assemble(
+    schema_version: u32,
+    started: u64,
+    counts: [u32; 8],
+    sections: &[(u8, Vec<u8>)],
+) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&COLUMNAR_MAGIC);
+    put_u32(&mut bytes, COLUMNAR_VERSION);
+    put_u32(&mut bytes, schema_version);
+    put_u64(&mut bytes, started);
+    for c in counts {
+        put_u32(&mut bytes, c);
+    }
+    put_u32(&mut bytes, fits_u32(sections.len(), "section"));
+    // Payloads sit back to back, right after the directory + checksum.
+    let dir_len = sections.len() * (1 + 8 + 8 + 8);
+    let mut offset = (bytes.len() + dir_len + 8) as u64;
+    for (tag, payload) in sections {
+        bytes.push(*tag);
+        put_u64(&mut bytes, offset);
+        put_u64(&mut bytes, payload.len() as u64);
+        let mut fnv = Fnv::new();
+        fnv.update(payload);
+        put_u64(&mut bytes, fnv.digest());
+        offset += payload.len() as u64;
+    }
+    let mut fnv = Fnv::new();
+    fnv.update(&bytes);
+    put_u64(&mut bytes, fnv.digest());
+    for (_, payload) in sections {
+        bytes.extend_from_slice(payload);
+    }
+    bytes
+}
+
+// ---------------------------------------------------------------------------
+// The decoded store.
+
+/// One directory entry, as reported by [`ColumnarCampaign::section_map`]
+/// (the doctor's section-by-section integrity rendering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name (`strings`, `sites`, ...).
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a digest recorded in the directory.
+    pub fnv1a: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    tag: u8,
+    offset: u64,
+    len: u64,
+    fnv1a: u64,
+}
+
+// Indexes into the header's row-count array.
+const C_STRINGS: usize = 0;
+const C_ERRORS: usize = 1;
+const C_SITES: usize = 2;
+const C_VISITS: usize = 3;
+const C_PARTIES: usize = 4;
+const C_CALLS: usize = 5;
+const C_ALLOW: usize = 6;
+const C_PROBES: usize = 7;
+
+type Lazy<T> = OnceLock<Result<T, ColumnarError>>;
+
+/// A campaign in columnar form: the raw file bytes plus lazily decoded,
+/// eagerly validated column groups. Section checksums are verified on
+/// first touch, so a reader that only scans the call columns never pays
+/// for (or trusts) the visit columns.
+pub struct ColumnarCampaign {
+    bytes: Vec<u8>,
+    schema_version: u32,
+    started: Timestamp,
+    counts: [u32; 8],
+    dir: Vec<DirEntry>,
+    arena: Lazy<Vec<Domain>>,
+    errors: Lazy<Vec<String>>,
+    sites: Lazy<SiteCols>,
+    visits: Lazy<VisitCols>,
+    parties: Lazy<Vec<u32>>,
+    calls: Lazy<CallCols>,
+    allow: Lazy<Vec<u32>>,
+    probes: Lazy<ProbeCols>,
+}
+
+impl fmt::Debug for ColumnarCampaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ColumnarCampaign")
+            .field("bytes", &self.bytes.len())
+            .field("schema_version", &self.schema_version)
+            .field("sites", &self.counts[C_SITES])
+            .field("visits", &self.counts[C_VISITS])
+            .field("calls", &self.counts[C_CALLS])
+            .field("strings", &self.counts[C_STRINGS])
+            .finish()
+    }
+}
+
+impl ColumnarCampaign {
+    /// Build the columnar form of an outcome (the `crawl --store
+    /// columnar` path). Deterministic: same outcome, same bytes.
+    pub fn from_outcome(outcome: &CampaignOutcome) -> ColumnarCampaign {
+        let mut b = ColumnarBuilder::new();
+        for site in &outcome.sites {
+            b.push_site(site);
+        }
+        b.finish(
+            outcome.schema_version,
+            &outcome.allow_list,
+            &outcome.attestation_probes,
+            outcome.started,
+        )
+    }
+
+    /// Parse and validate the header + directory of an encoded file.
+    /// Section payloads stay raw until first use.
+    pub fn decode(bytes: Vec<u8>) -> Result<ColumnarCampaign, ColumnarError> {
+        let fixed = 8 + 4 + 4 + 8 + 8 * 4 + 4;
+        if bytes.len() < fixed {
+            return Err(ColumnarError::Truncated {
+                section: "header",
+                need: fixed,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..8] != COLUMNAR_MAGIC {
+            return Err(ColumnarError::BadMagic);
+        }
+        let mut cur = Cur::new(&bytes[8..], "header");
+        let version = cur.u32()?;
+        if version > COLUMNAR_VERSION {
+            return Err(ColumnarError::UnsupportedVersion(version));
+        }
+        let schema_version = cur.u32()?;
+        if schema_version > CAMPAIGN_SCHEMA_VERSION {
+            return Err(ColumnarError::UnknownSchema(UnknownSchemaVersion {
+                found: schema_version,
+                supported: CAMPAIGN_SCHEMA_VERSION,
+            }));
+        }
+        let started = Timestamp(cur.u64()?);
+        let mut counts = [0u32; 8];
+        for c in counts.iter_mut() {
+            *c = cur.u32()?;
+        }
+        let section_count = cur.u32()? as usize;
+        let mut dir = Vec::with_capacity(section_count);
+        {
+            let dir_cur = &mut cur;
+            for _ in 0..section_count {
+                let tag = dir_cur.u8()?;
+                let offset = dir_cur.u64()?;
+                let len = dir_cur.u64()?;
+                let fnv1a = dir_cur.u64()?;
+                dir.push(DirEntry {
+                    tag,
+                    offset,
+                    len,
+                    fnv1a,
+                });
+            }
+        }
+        let dir_end = 8 + cur.pos;
+        let mut fnv = Fnv::new();
+        fnv.update(&bytes[..dir_end]);
+        let actual = fnv.digest();
+        let expected = {
+            let mut c = Cur::new(&bytes[dir_end..], "header");
+            c.u64()?
+        };
+        if expected != actual {
+            return Err(ColumnarError::HeaderChecksum { expected, actual });
+        }
+
+        // The directory must name each known section exactly once, and
+        // payloads must tile the rest of the file contiguously in
+        // directory order — anything else is trailing or missing data.
+        let mut offset = (dir_end + 8) as u64;
+        for e in &dir {
+            if !SECTION_TAGS.contains(&e.tag) {
+                return Err(ColumnarError::UnknownSection(e.tag));
+            }
+            if dir.iter().filter(|o| o.tag == e.tag).count() > 1 {
+                return Err(ColumnarError::DuplicateSection(tag_name(e.tag)));
+            }
+            if e.offset != offset {
+                return Err(ColumnarError::Malformed(format!(
+                    "section {} at offset {} where {} was expected",
+                    tag_name(e.tag),
+                    e.offset,
+                    offset
+                )));
+            }
+            offset += e.len;
+        }
+        for tag in SECTION_TAGS {
+            if !dir.iter().any(|e| e.tag == tag) {
+                return Err(ColumnarError::MissingSection(tag_name(tag)));
+            }
+        }
+        match offset.cmp(&(bytes.len() as u64)) {
+            std::cmp::Ordering::Less => return Err(ColumnarError::TrailingData("file")),
+            std::cmp::Ordering::Greater => {
+                return Err(ColumnarError::Truncated {
+                    section: "file",
+                    need: offset as usize,
+                    have: bytes.len(),
+                })
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+
+        Ok(ColumnarCampaign {
+            bytes,
+            schema_version,
+            started,
+            counts,
+            dir,
+            arena: OnceLock::new(),
+            errors: OnceLock::new(),
+            sites: OnceLock::new(),
+            visits: OnceLock::new(),
+            parties: OnceLock::new(),
+            calls: OnceLock::new(),
+            allow: OnceLock::new(),
+            probes: OnceLock::new(),
+        })
+    }
+
+    /// The canonical encoded bytes (what `campaign.col` holds).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Record schema version from the header.
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    /// Campaign start time from the header.
+    pub fn started(&self) -> Timestamp {
+        self.started
+    }
+
+    /// Number of ranked sites.
+    pub fn site_count(&self) -> usize {
+        self.counts[C_SITES] as usize
+    }
+
+    /// Number of visit rows.
+    pub fn visit_count(&self) -> usize {
+        self.counts[C_VISITS] as usize
+    }
+
+    /// Number of topics-call rows.
+    pub fn call_count(&self) -> usize {
+        self.counts[C_CALLS] as usize
+    }
+
+    /// Number of interned domain strings.
+    pub fn domain_count(&self) -> usize {
+        self.counts[C_STRINGS] as usize
+    }
+
+    /// The section directory (name, payload length, checksum).
+    pub fn section_map(&self) -> Vec<SectionInfo> {
+        self.dir
+            .iter()
+            .map(|e| SectionInfo {
+                name: tag_name(e.tag),
+                len: e.len,
+                fnv1a: e.fnv1a,
+            })
+            .collect()
+    }
+
+    /// Checksum-verified raw payload of one section.
+    fn section(&self, tag: u8) -> Result<&[u8], ColumnarError> {
+        let e = self
+            .dir
+            .iter()
+            .find(|e| e.tag == tag)
+            .ok_or(ColumnarError::MissingSection(tag_name(tag)))?;
+        let payload = &self.bytes[e.offset as usize..(e.offset + e.len) as usize];
+        let mut fnv = Fnv::new();
+        fnv.update(payload);
+        if fnv.digest() != e.fnv1a {
+            return Err(ColumnarError::SectionChecksum {
+                section: tag_name(tag),
+                expected: e.fnv1a,
+                actual: fnv.digest(),
+            });
+        }
+        Ok(payload)
+    }
+
+    fn check_id(
+        section: &'static str,
+        field: &'static str,
+        id: u32,
+        len: u32,
+        optional: bool,
+    ) -> Result<(), ColumnarError> {
+        if optional && id == NONE_ID {
+            return Ok(());
+        }
+        if id >= len {
+            return Err(ColumnarError::IdOutOfRange {
+                section,
+                field,
+                id,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// The interning arena: every distinct domain, in first-use order.
+    pub fn domains(&self) -> Result<&[Domain], ColumnarError> {
+        self.arena
+            .get_or_init(|| {
+                let payload = self.section(TAG_STRINGS)?;
+                let n = self.counts[C_STRINGS] as usize;
+                let mut cur = Cur::new(payload, "strings");
+                let mut arena = Vec::with_capacity(n);
+                for i in 0..n {
+                    let len = cur.u32()? as usize;
+                    let raw = cur.take(len)?;
+                    let s = std::str::from_utf8(raw).map_err(|_| {
+                        ColumnarError::Malformed(format!("interned string {i} is not UTF-8"))
+                    })?;
+                    let d = Domain::parse(s).map_err(|e| {
+                        ColumnarError::Malformed(format!(
+                            "interned string {i} is not a valid domain: {e}"
+                        ))
+                    })?;
+                    arena.push(d);
+                }
+                cur.done()?;
+                Ok(arena)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(Clone::clone)
+    }
+
+    fn error_table(&self) -> Result<&[String], ColumnarError> {
+        self.errors
+            .get_or_init(|| {
+                let payload = self.section(TAG_ERRORS)?;
+                let n = self.counts[C_ERRORS] as usize;
+                let mut cur = Cur::new(payload, "errors");
+                let mut errors = Vec::with_capacity(n);
+                for i in 0..n {
+                    let len = cur.u32()? as usize;
+                    let raw = cur.take(len)?;
+                    let s = std::str::from_utf8(raw).map_err(|_| {
+                        ColumnarError::Malformed(format!("error string {i} is not UTF-8"))
+                    })?;
+                    errors.push(s.to_owned());
+                }
+                cur.done()?;
+                Ok(errors)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(Clone::clone)
+    }
+
+    fn site_cols(&self) -> Result<&SiteCols, ColumnarError> {
+        self.sites
+            .get_or_init(|| {
+                let payload = self.section(TAG_SITES)?;
+                let n = self.counts[C_SITES] as usize;
+                let mut cur = Cur::new(payload, "sites");
+                let cols = SiteCols {
+                    rank: cur.u32s(n)?,
+                    website: cur.u32s(n)?,
+                    before: cur.u32s(n)?,
+                    after: cur.u32s(n)?,
+                    error: cur.u32s(n)?,
+                    retries: cur.u32s(n)?,
+                    flags: cur.u8s(n)?,
+                };
+                cur.done()?;
+                for &id in &cols.website {
+                    Self::check_id("sites", "website", id, self.counts[C_STRINGS], false)?;
+                }
+                for &v in cols.before.iter().chain(&cols.after) {
+                    Self::check_id("sites", "visit", v, self.counts[C_VISITS], true)?;
+                }
+                for &e in &cols.error {
+                    Self::check_id("sites", "error", e, self.counts[C_ERRORS], true)?;
+                }
+                for &f in &cols.flags {
+                    if f & !(FAULT_TIMED_OUT | FAULT_SECOND_VISIT_FAILED) != 0 {
+                        return Err(ColumnarError::BadEnum {
+                            section: "sites",
+                            field: "flags",
+                            value: f,
+                        });
+                    }
+                }
+                Ok(cols)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn visit_cols(&self) -> Result<&VisitCols, ColumnarError> {
+        self.visits
+            .get_or_init(|| {
+                let payload = self.section(TAG_VISITS)?;
+                let n = self.counts[C_VISITS] as usize;
+                let mut cur = Cur::new(payload, "visits");
+                let cols = VisitCols {
+                    phase: cur.u8s(n)?,
+                    website: cur.u32s(n)?,
+                    final_website: cur.u32s(n)?,
+                    party_start: cur.u32s(n)?,
+                    party_len: cur.u32s(n)?,
+                    object_count: cur.u32s(n)?,
+                    failed_objects: cur.u32s(n)?,
+                    call_start: cur.u32s(n)?,
+                    call_len: cur.u32s(n)?,
+                    started: cur.u64s(n)?,
+                    duration_ms: cur.u64s(n)?,
+                    banner: cur.bits(n)?,
+                };
+                cur.done()?;
+                for &p in &cols.phase {
+                    phase_from(p).ok_or(ColumnarError::BadEnum {
+                        section: "visits",
+                        field: "phase",
+                        value: p,
+                    })?;
+                }
+                for &id in cols.website.iter().chain(&cols.final_website) {
+                    Self::check_id("visits", "website", id, self.counts[C_STRINGS], false)?;
+                }
+                for i in 0..n {
+                    let pe = u64::from(cols.party_start[i]) + u64::from(cols.party_len[i]);
+                    if pe > u64::from(self.counts[C_PARTIES]) {
+                        return Err(ColumnarError::BadRange {
+                            section: "visits",
+                            field: "parties",
+                        });
+                    }
+                    let ce = u64::from(cols.call_start[i]) + u64::from(cols.call_len[i]);
+                    if ce > u64::from(self.counts[C_CALLS]) {
+                        return Err(ColumnarError::BadRange {
+                            section: "visits",
+                            field: "calls",
+                        });
+                    }
+                }
+                Ok(cols)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn party_ids(&self) -> Result<&[u32], ColumnarError> {
+        self.parties
+            .get_or_init(|| {
+                let payload = self.section(TAG_PARTIES)?;
+                let n = self.counts[C_PARTIES] as usize;
+                let mut cur = Cur::new(payload, "parties");
+                let ids = cur.u32s(n)?;
+                cur.done()?;
+                for &id in &ids {
+                    Self::check_id("parties", "domain", id, self.counts[C_STRINGS], false)?;
+                }
+                Ok(ids)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(Clone::clone)
+    }
+
+    fn call_cols(&self) -> Result<&CallCols, ColumnarError> {
+        self.calls
+            .get_or_init(|| {
+                let payload = self.section(TAG_CALLS)?;
+                let n = self.counts[C_CALLS] as usize;
+                let mut cur = Cur::new(payload, "calls");
+                let cols = CallCols {
+                    caller: cur.u32s(n)?,
+                    caller_site: cur.u32s(n)?,
+                    script_source: cur.u32s(n)?,
+                    call_type: cur.u8s(n)?,
+                    decision: cur.u8s(n)?,
+                    topics_returned: cur.u32s(n)?,
+                    timestamp: cur.u64s(n)?,
+                    root_context: cur.bits(n)?,
+                };
+                cur.done()?;
+                for &id in cols.caller.iter().chain(&cols.caller_site) {
+                    Self::check_id("calls", "caller", id, self.counts[C_STRINGS], false)?;
+                }
+                for &id in &cols.script_source {
+                    Self::check_id("calls", "script_source", id, self.counts[C_STRINGS], true)?;
+                }
+                for &t in &cols.call_type {
+                    call_type_from(t).ok_or(ColumnarError::BadEnum {
+                        section: "calls",
+                        field: "call_type",
+                        value: t,
+                    })?;
+                }
+                for &d in &cols.decision {
+                    decision_from(d).ok_or(ColumnarError::BadEnum {
+                        section: "calls",
+                        field: "decision",
+                        value: d,
+                    })?;
+                }
+                Ok(cols)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Allow-list intern ids, in list order — indexes into
+    /// [`ColumnarCampaign::domains`].
+    pub fn allow_ids(&self) -> Result<&[u32], ColumnarError> {
+        self.allow
+            .get_or_init(|| {
+                let payload = self.section(TAG_ALLOW)?;
+                let n = self.counts[C_ALLOW] as usize;
+                let mut cur = Cur::new(payload, "allow");
+                let ids = cur.u32s(n)?;
+                cur.done()?;
+                for &id in &ids {
+                    Self::check_id("allow", "domain", id, self.counts[C_STRINGS], false)?;
+                }
+                Ok(ids)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(Clone::clone)
+    }
+
+    fn probe_cols(&self) -> Result<&ProbeCols, ColumnarError> {
+        self.probes
+            .get_or_init(|| {
+                let payload = self.section(TAG_PROBES)?;
+                let n = self.counts[C_PROBES] as usize;
+                let mut cur = Cur::new(payload, "probes");
+                let cols = ProbeCols {
+                    domain: cur.u32s(n)?,
+                    issued: cur.u64s(n)?,
+                    valid: cur.bits(n)?,
+                    enrollment_site: cur.bits(n)?,
+                };
+                cur.done()?;
+                for &id in &cols.domain {
+                    Self::check_id("probes", "domain", id, self.counts[C_STRINGS], false)?;
+                }
+                Ok(cols)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query layer: zero-copy scans over the validated columns.
+
+impl ColumnarCampaign {
+    /// Scan handle over the visit columns (decodes `strings`, `visits`,
+    /// `parties` on first use; never touches calls/sites/probes).
+    pub fn visits(&self) -> Result<VisitScan<'_>, ColumnarError> {
+        Ok(VisitScan {
+            arena: self.domains()?,
+            v: self.visit_cols()?,
+            parties: self.party_ids()?,
+        })
+    }
+
+    /// Scan handle over the call columns (decodes `strings`, `calls`).
+    pub fn calls(&self) -> Result<CallScan<'_>, ColumnarError> {
+        Ok(CallScan {
+            arena: self.domains()?,
+            c: self.call_cols()?,
+        })
+    }
+
+    /// Scan handle over the per-site columns (decodes `strings`,
+    /// `sites`, `errors`).
+    pub fn sites(&self) -> Result<SiteScan<'_>, ColumnarError> {
+        Ok(SiteScan {
+            arena: self.domains()?,
+            s: self.site_cols()?,
+            errors: self.error_table()?,
+        })
+    }
+
+    /// The allow-list, resolved through the arena.
+    pub fn allow_list(&self) -> Result<Vec<&Domain>, ColumnarError> {
+        let arena = self.domains()?;
+        Ok(self
+            .allow_ids()?
+            .iter()
+            .map(|&id| &arena[id as usize])
+            .collect())
+    }
+
+    /// Attestation probes, resolved through the arena.
+    pub fn probe_scan(&self) -> Result<ProbeScan<'_>, ColumnarError> {
+        Ok(ProbeScan {
+            arena: self.domains()?,
+            p: self.probe_cols()?,
+        })
+    }
+}
+
+/// Borrowed scan over the visit columns.
+#[derive(Debug, Clone, Copy)]
+pub struct VisitScan<'a> {
+    arena: &'a [Domain],
+    v: &'a VisitCols,
+    parties: &'a [u32],
+}
+
+impl<'a> VisitScan<'a> {
+    /// Number of visit rows.
+    pub fn len(self) -> usize {
+        self.v.phase.len()
+    }
+
+    /// True when the campaign recorded no visits.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// One row.
+    pub fn get(self, idx: usize) -> VisitView<'a> {
+        VisitView { scan: self, idx }
+    }
+
+    /// Every visit row, in site-rank order (before-visit then
+    /// after-visit per site).
+    pub fn iter(self) -> impl Iterator<Item = VisitView<'a>> {
+        (0..self.len()).map(move |idx| self.get(idx))
+    }
+
+    /// Filtered range scan: only visits in `phase`.
+    pub fn in_phase(self, phase: Phase) -> impl Iterator<Item = VisitView<'a>> {
+        let code = phase_code(phase);
+        (0..self.len())
+            .filter(move |&i| self.v.phase[i] == code)
+            .map(move |idx| self.get(idx))
+    }
+}
+
+/// One visit row, read straight out of the columns.
+#[derive(Debug, Clone, Copy)]
+pub struct VisitView<'a> {
+    scan: VisitScan<'a>,
+    idx: usize,
+}
+
+impl<'a> VisitView<'a> {
+    /// Row index (the id site rows reference).
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Which visit this is.
+    pub fn phase(&self) -> Phase {
+        phase_from(self.scan.v.phase[self.idx]).expect("validated at decode")
+    }
+
+    /// The ranked website.
+    pub fn website(&self) -> &'a Domain {
+        &self.scan.arena[self.scan.v.website[self.idx] as usize]
+    }
+
+    /// The registrable domain that served the page.
+    pub fn final_website(&self) -> &'a Domain {
+        &self.scan.arena[self.scan.v.final_website[self.idx] as usize]
+    }
+
+    /// Arena ids of the parties present on the page.
+    pub fn party_ids(&self) -> &'a [u32] {
+        let start = self.scan.v.party_start[self.idx] as usize;
+        let len = self.scan.v.party_len[self.idx] as usize;
+        &self.scan.parties[start..start + len]
+    }
+
+    /// The parties present on the page, in first-seen order.
+    pub fn parties(&self) -> impl Iterator<Item = &'a Domain> + '_ {
+        let arena = self.scan.arena;
+        self.party_ids().iter().map(move |&id| &arena[id as usize])
+    }
+
+    /// Total objects requested.
+    pub fn object_count(&self) -> usize {
+        self.scan.v.object_count[self.idx] as usize
+    }
+
+    /// Objects that failed to load.
+    pub fn failed_objects(&self) -> usize {
+        self.scan.v.failed_objects[self.idx] as usize
+    }
+
+    /// Row range of this visit's calls in the call columns.
+    pub fn call_range(&self) -> Range<usize> {
+        let start = self.scan.v.call_start[self.idx] as usize;
+        start..start + self.scan.v.call_len[self.idx] as usize
+    }
+
+    /// A privacy banner was detected.
+    pub fn banner_found(&self) -> bool {
+        self.scan.v.banner[self.idx]
+    }
+
+    /// When the visit started.
+    pub fn started(&self) -> Timestamp {
+        Timestamp(self.scan.v.started[self.idx])
+    }
+
+    /// Simulated page-load duration.
+    pub fn duration_ms(&self) -> u64 {
+        self.scan.v.duration_ms[self.idx]
+    }
+}
+
+/// Borrowed scan over the call columns.
+#[derive(Debug, Clone, Copy)]
+pub struct CallScan<'a> {
+    arena: &'a [Domain],
+    c: &'a CallCols,
+}
+
+impl<'a> CallScan<'a> {
+    /// Number of call rows.
+    pub fn len(self) -> usize {
+        self.c.caller.len()
+    }
+
+    /// True when the campaign recorded no calls.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// One row.
+    pub fn get(self, idx: usize) -> CallView<'a> {
+        CallView { scan: self, idx }
+    }
+
+    /// Every call row, in visit order.
+    pub fn iter(self) -> impl Iterator<Item = CallView<'a>> {
+        (0..self.len()).map(move |idx| self.get(idx))
+    }
+
+    /// Range scan — pair with [`VisitView::call_range`].
+    pub fn range(self, r: Range<usize>) -> impl Iterator<Item = CallView<'a>> {
+        r.map(move |idx| self.get(idx))
+    }
+}
+
+/// One topics call, read straight out of the columns.
+#[derive(Debug, Clone, Copy)]
+pub struct CallView<'a> {
+    scan: CallScan<'a>,
+    idx: usize,
+}
+
+impl<'a> CallView<'a> {
+    /// Full host attributed as the calling party.
+    pub fn caller(&self) -> &'a Domain {
+        &self.scan.arena[self.scan.c.caller[self.idx] as usize]
+    }
+
+    /// The CP at registrable-domain granularity.
+    pub fn caller_site(&self) -> &'a Domain {
+        &self.scan.arena[self.scan.c.caller_site[self.idx] as usize]
+    }
+
+    /// Intern id of the CP — an index into [`ColumnarCampaign::domains`].
+    /// Lets aggregations run in id space and defer string work to the end.
+    pub fn caller_site_id(&self) -> u32 {
+        self.scan.c.caller_site[self.idx]
+    }
+
+    /// Host that served the calling script, if external.
+    pub fn script_source(&self) -> Option<&'a Domain> {
+        match self.scan.c.script_source[self.idx] {
+            NONE_ID => None,
+            id => Some(&self.scan.arena[id as usize]),
+        }
+    }
+
+    /// Call type.
+    pub fn call_type(&self) -> CallType {
+        call_type_from(self.scan.c.call_type[self.idx]).expect("validated at decode")
+    }
+
+    /// The browser's allow-list decision.
+    pub fn decision(&self) -> AllowDecision {
+        decision_from(self.scan.c.decision[self.idx]).expect("validated at decode")
+    }
+
+    /// Whether the call was executed.
+    pub fn permitted(&self) -> bool {
+        self.decision().permits()
+    }
+
+    /// True when the call came from the root context.
+    pub fn root_context(&self) -> bool {
+        self.scan.c.root_context[self.idx]
+    }
+
+    /// Topics returned to the caller.
+    pub fn topics_returned(&self) -> usize {
+        self.scan.c.topics_returned[self.idx] as usize
+    }
+
+    /// Timestamp of the call.
+    pub fn timestamp(&self) -> Timestamp {
+        Timestamp(self.scan.c.timestamp[self.idx])
+    }
+}
+
+/// Borrowed scan over the per-site columns.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteScan<'a> {
+    arena: &'a [Domain],
+    s: &'a SiteCols,
+    errors: &'a [String],
+}
+
+impl<'a> SiteScan<'a> {
+    /// Number of ranked sites.
+    pub fn len(self) -> usize {
+        self.s.rank.len()
+    }
+
+    /// True when the campaign covered no sites.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// One row.
+    pub fn get(self, idx: usize) -> SiteRow<'a> {
+        let s = self.s;
+        SiteRow {
+            rank: s.rank[idx] as usize,
+            website: &self.arena[s.website[idx] as usize],
+            before: (s.before[idx] != NONE_ID).then_some(s.before[idx] as usize),
+            after: (s.after[idx] != NONE_ID).then_some(s.after[idx] as usize),
+            error: (s.error[idx] != NONE_ID).then(|| self.errors[s.error[idx] as usize].as_str()),
+            faults: FaultStats {
+                retries: s.retries[idx],
+                timed_out: s.flags[idx] & FAULT_TIMED_OUT != 0,
+                second_visit_failed: s.flags[idx] & FAULT_SECOND_VISIT_FAILED != 0,
+            },
+        }
+    }
+
+    /// Every site row, in rank order.
+    pub fn iter(self) -> impl Iterator<Item = SiteRow<'a>> {
+        (0..self.len()).map(move |idx| self.get(idx))
+    }
+}
+
+/// One site row: visit references are row indexes into the visit
+/// columns ([`VisitScan::get`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SiteRow<'a> {
+    /// 0-based Tranco rank.
+    pub rank: usize,
+    /// The ranked domain.
+    pub website: &'a Domain,
+    /// Visit-row index of the Before-Accept visit.
+    pub before: Option<usize>,
+    /// Visit-row index of the second visit.
+    pub after: Option<usize>,
+    /// Failure message, if the site could not be visited.
+    pub error: Option<&'a str>,
+    /// Fault-layer bookkeeping.
+    pub faults: FaultStats,
+}
+
+/// Borrowed scan over the attestation-probe columns.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeScan<'a> {
+    arena: &'a [Domain],
+    p: &'a ProbeCols,
+}
+
+impl<'a> ProbeScan<'a> {
+    /// Number of probes.
+    pub fn len(self) -> usize {
+        self.p.domain.len()
+    }
+
+    /// True when nothing was probed.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern id of the `i`th probe's domain — an index into
+    /// [`ColumnarCampaign::domains`].
+    pub fn domain_id(self, i: usize) -> u32 {
+        self.p.domain[i]
+    }
+
+    /// Every probe, in sorted-domain order: `(domain, valid info)`.
+    pub fn iter(self) -> impl Iterator<Item = (&'a Domain, Option<AttestationInfo>)> {
+        (0..self.len()).map(move |i| {
+            let domain = &self.arena[self.p.domain[i] as usize];
+            let valid = self.p.valid[i].then_some(AttestationInfo {
+                issued: Timestamp(self.p.issued[i]),
+                has_enrollment_site: self.p.enrollment_site[i],
+            });
+            (domain, valid)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction and whole-file verification.
+
+impl ColumnarCampaign {
+    fn build_visit(&self, idx: usize) -> Result<VisitRecord, ColumnarError> {
+        let arena = self.domains()?;
+        let v = self.visit_cols()?;
+        let parties = self.party_ids()?;
+        let calls = self.call_cols()?;
+        let pr = v.party_start[idx] as usize..(v.party_start[idx] + v.party_len[idx]) as usize;
+        let cr = v.call_start[idx] as usize..(v.call_start[idx] + v.call_len[idx]) as usize;
+        Ok(VisitRecord {
+            phase: phase_from(v.phase[idx]).expect("validated at decode"),
+            website: arena[v.website[idx] as usize].clone(),
+            final_website: arena[v.final_website[idx] as usize].clone(),
+            party_domains: parties[pr]
+                .iter()
+                .map(|&id| arena[id as usize].clone())
+                .collect(),
+            object_count: v.object_count[idx] as usize,
+            failed_objects: v.failed_objects[idx] as usize,
+            topics_calls: cr
+                .map(|c| TopicsCallRecord {
+                    caller: arena[calls.caller[c] as usize].clone(),
+                    caller_site: arena[calls.caller_site[c] as usize].clone(),
+                    call_type: call_type_from(calls.call_type[c]).expect("validated at decode"),
+                    root_context: calls.root_context[c],
+                    script_source: match calls.script_source[c] {
+                        NONE_ID => None,
+                        id => Some(arena[id as usize].clone()),
+                    },
+                    decision: decision_from(calls.decision[c]).expect("validated at decode"),
+                    topics_returned: calls.topics_returned[c] as usize,
+                    timestamp: Timestamp(calls.timestamp[c]),
+                })
+                .collect(),
+            banner_found: v.banner[idx],
+            started: Timestamp(v.started[idx]),
+            duration_ms: v.duration_ms[idx],
+        })
+    }
+
+    /// Rebuild the row-struct [`CampaignOutcome`]. Domain strings are
+    /// `Arc`-cloned out of the arena, so — unlike the JSON reader —
+    /// every repeated domain shares one allocation.
+    pub fn to_outcome(&self) -> Result<CampaignOutcome, ColumnarError> {
+        let arena = self.domains()?;
+        let s = self.site_cols()?;
+        let errors = self.error_table()?;
+        let mut sites = Vec::with_capacity(self.site_count());
+        for i in 0..self.site_count() {
+            let before = match s.before[i] {
+                NONE_ID => None,
+                idx => Some(self.build_visit(idx as usize)?),
+            };
+            let after = match s.after[i] {
+                NONE_ID => None,
+                idx => Some(self.build_visit(idx as usize)?),
+            };
+            sites.push(SiteOutcome {
+                rank: s.rank[i] as usize,
+                website: arena[s.website[i] as usize].clone(),
+                before,
+                after,
+                error: match s.error[i] {
+                    NONE_ID => None,
+                    e => Some(errors[e as usize].clone()),
+                },
+                faults: FaultStats {
+                    retries: s.retries[i],
+                    timed_out: s.flags[i] & FAULT_TIMED_OUT != 0,
+                    second_visit_failed: s.flags[i] & FAULT_SECOND_VISIT_FAILED != 0,
+                },
+            });
+        }
+        let allow_list: Vec<Domain> = self
+            .allow_ids()?
+            .iter()
+            .map(|&id| arena[id as usize].clone())
+            .collect();
+        let p = self.probe_cols()?;
+        let attestation_probes: Vec<AttestationProbe> = (0..p.domain.len())
+            .map(|i| AttestationProbe {
+                domain: arena[p.domain[i] as usize].clone(),
+                valid: p.valid[i].then_some(AttestationInfo {
+                    issued: Timestamp(p.issued[i]),
+                    has_enrollment_site: p.enrollment_site[i],
+                }),
+            })
+            .collect();
+        Ok(CampaignOutcome {
+            schema_version: self.schema_version,
+            sites,
+            allow_list,
+            attestation_probes,
+            started: self.started,
+        })
+    }
+
+    /// Full integrity check: every section checksum, every column
+    /// validation, plus the cross-section invariants the lazy decoders
+    /// cannot see — visit ownership, range tiling, and intern-table
+    /// referential integrity (every id in range, no orphan strings).
+    pub fn verify(&self) -> Result<(), ColumnarError> {
+        let arena = self.domains()?;
+        let errors = self.error_table()?;
+        let s = self.site_cols()?;
+        let v = self.visit_cols()?;
+        let parties = self.party_ids()?;
+        let c = self.call_cols()?;
+        let allow = self.allow_ids()?;
+        let p = self.probe_cols()?;
+
+        // Every visit row belongs to exactly one site slot.
+        let mut owned = vec![0u32; v.phase.len()];
+        for &idx in s.before.iter().chain(&s.after) {
+            if idx != NONE_ID {
+                owned[idx as usize] += 1;
+            }
+        }
+        if let Some(idx) = owned.iter().position(|&n| n != 1) {
+            return Err(ColumnarError::Malformed(format!(
+                "visit {idx} is referenced by {} site slots (expected exactly 1)",
+                owned[idx]
+            )));
+        }
+
+        // Party and call ranges tile their tables contiguously in
+        // visit order — no gaps, no overlaps, no tail.
+        let mut party_cursor = 0u32;
+        let mut call_cursor = 0u32;
+        for i in 0..v.phase.len() {
+            if v.party_start[i] != party_cursor || v.call_start[i] != call_cursor {
+                return Err(ColumnarError::Malformed(format!(
+                    "visit {i}'s ranges do not tile the party/call tables"
+                )));
+            }
+            party_cursor += v.party_len[i];
+            call_cursor += v.call_len[i];
+        }
+        if party_cursor as usize != parties.len() || call_cursor as usize != c.caller.len() {
+            return Err(ColumnarError::Malformed(
+                "party/call tables extend past the last visit's range".to_owned(),
+            ));
+        }
+
+        // Error strings must all be referenced.
+        let mut error_used = vec![false; errors.len()];
+        for &e in &s.error {
+            if e != NONE_ID {
+                error_used[e as usize] = true;
+            }
+        }
+        if let Some(idx) = error_used.iter().position(|&u| !u) {
+            return Err(ColumnarError::Malformed(format!(
+                "error string {idx} is referenced by no site"
+            )));
+        }
+
+        // Intern-table referential integrity: no orphan strings.
+        let mut used = vec![false; arena.len()];
+        let mut mark = |id: u32| {
+            if id != NONE_ID {
+                used[id as usize] = true;
+            }
+        };
+        for &id in &s.website {
+            mark(id);
+        }
+        for &id in v.website.iter().chain(&v.final_website) {
+            mark(id);
+        }
+        for &id in parties {
+            mark(id);
+        }
+        for &id in c
+            .caller
+            .iter()
+            .chain(&c.caller_site)
+            .chain(&c.script_source)
+        {
+            mark(id);
+        }
+        for &id in allow.iter().chain(&p.domain) {
+            mark(id);
+        }
+        if let Some(id) = used.iter().position(|&u| !u) {
+            return Err(ColumnarError::OrphanString(id as u32));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    fn call(caller: &str, ct: CallType, decision: AllowDecision, root: bool) -> TopicsCallRecord {
+        TopicsCallRecord {
+            caller: d(caller),
+            caller_site: topics_net::psl::registrable_domain(&d(caller)),
+            call_type: ct,
+            root_context: root,
+            script_source: (caller == "tag.ads.com").then(|| d("cdn.ads.com")),
+            decision,
+            topics_returned: 3,
+            timestamp: Timestamp(42),
+        }
+    }
+
+    fn visit(
+        phase: Phase,
+        site: &str,
+        parties: &[&str],
+        calls: Vec<TopicsCallRecord>,
+    ) -> VisitRecord {
+        VisitRecord {
+            phase,
+            website: d(site),
+            final_website: d(site),
+            party_domains: parties.iter().map(|p| d(p)).collect(),
+            object_count: 7,
+            failed_objects: 1,
+            topics_calls: calls,
+            banner_found: phase == Phase::BeforeAccept,
+            started: Timestamp(1_000),
+            duration_ms: 640,
+        }
+    }
+
+    fn outcome() -> CampaignOutcome {
+        CampaignOutcome {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            sites: vec![
+                SiteOutcome {
+                    rank: 0,
+                    website: d("site-a.com"),
+                    before: Some(visit(
+                        Phase::BeforeAccept,
+                        "site-a.com",
+                        &["site-a.com", "ads.com"],
+                        vec![call(
+                            "tag.ads.com",
+                            CallType::JavaScript,
+                            AllowDecision::AllowedFailOpen,
+                            true,
+                        )],
+                    )),
+                    after: Some(visit(
+                        Phase::AfterAccept,
+                        "site-a.com",
+                        &["site-a.com", "ads.com", "cdn.net"],
+                        vec![
+                            call(
+                                "tag.ads.com",
+                                CallType::Fetch,
+                                AllowDecision::AllowedEnrolled,
+                                false,
+                            ),
+                            call(
+                                "frame.rogue.net",
+                                CallType::Iframe,
+                                AllowDecision::BlockedNotEnrolled,
+                                false,
+                            ),
+                        ],
+                    )),
+                    error: None,
+                    faults: FaultStats {
+                        retries: 2,
+                        timed_out: true,
+                        second_visit_failed: false,
+                    },
+                },
+                SiteOutcome {
+                    rank: 1,
+                    website: d("dead.com"),
+                    before: None,
+                    after: None,
+                    error: Some("NXDOMAIN".into()),
+                    faults: FaultStats::default(),
+                },
+                SiteOutcome {
+                    rank: 2,
+                    website: d("site-b.de"),
+                    before: Some(visit(
+                        Phase::BeforeAccept,
+                        "site-b.de",
+                        &["site-b.de"],
+                        vec![],
+                    )),
+                    after: None,
+                    error: None,
+                    faults: FaultStats::default(),
+                },
+            ],
+            allow_list: vec![d("ads.com"), d("unused-allowed.com")],
+            attestation_probes: vec![
+                AttestationProbe {
+                    domain: d("ads.com"),
+                    valid: Some(AttestationInfo {
+                        issued: Timestamp(7),
+                        has_enrollment_site: true,
+                    }),
+                },
+                AttestationProbe {
+                    domain: d("rogue.net"),
+                    valid: None,
+                },
+            ],
+            started: Timestamp(500),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let original = outcome();
+        let store = ColumnarCampaign::from_outcome(&original);
+        let reread = ColumnarCampaign::decode(store.bytes().to_vec()).unwrap();
+        let back = reread.to_outcome().unwrap();
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&original).unwrap()
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let original = outcome();
+        let a = ColumnarCampaign::from_outcome(&original);
+        let b = ColumnarCampaign::from_outcome(&original);
+        assert_eq!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn builder_streams_sites_like_from_outcome() {
+        let original = outcome();
+        let mut b = ColumnarBuilder::new();
+        for site in &original.sites {
+            b.push_site(site);
+        }
+        let streamed = b.finish(
+            original.schema_version,
+            &original.allow_list,
+            &original.attestation_probes,
+            original.started,
+        );
+        assert_eq!(
+            streamed.bytes(),
+            ColumnarCampaign::from_outcome(&original).bytes()
+        );
+    }
+
+    #[test]
+    fn scans_expose_the_columns() {
+        let original = outcome();
+        let store = ColumnarCampaign::from_outcome(&original);
+        assert_eq!(store.site_count(), 3);
+        assert_eq!(store.visit_count(), 3);
+        assert_eq!(store.call_count(), 3);
+        assert_eq!(store.started(), Timestamp(500));
+        assert_eq!(store.schema_version(), CAMPAIGN_SCHEMA_VERSION);
+
+        let visits = store.visits().unwrap();
+        assert_eq!(visits.len(), 3);
+        let ba: Vec<_> = visits.in_phase(Phase::BeforeAccept).collect();
+        assert_eq!(ba.len(), 2);
+        assert_eq!(ba[0].website().as_str(), "site-a.com");
+        assert!(ba[0].banner_found());
+        assert_eq!(ba[0].party_ids().len(), 2);
+        let parties: Vec<&str> = ba[0].parties().map(|p| p.as_str()).collect();
+        assert_eq!(parties, vec!["site-a.com", "ads.com"]);
+
+        let calls = store.calls().unwrap();
+        let in_visit: Vec<_> = calls.range(visits.get(1).call_range()).collect();
+        assert_eq!(in_visit.len(), 2);
+        assert_eq!(in_visit[0].caller().as_str(), "tag.ads.com");
+        assert_eq!(in_visit[0].caller_site().as_str(), "ads.com");
+        assert_eq!(in_visit[0].call_type(), CallType::Fetch);
+        assert!(in_visit[0].permitted());
+        assert!(!in_visit[1].permitted());
+        assert_eq!(in_visit[1].script_source(), None);
+
+        let sites = store.sites().unwrap();
+        let dead = sites.get(1);
+        assert_eq!(dead.error, Some("NXDOMAIN"));
+        assert_eq!(dead.before, None);
+        let first = sites.get(0);
+        assert_eq!(first.faults.retries, 2);
+        assert!(first.faults.timed_out);
+
+        let allow = store.allow_list().unwrap();
+        assert_eq!(allow.len(), 2);
+        let probes: Vec<_> = store.probe_scan().unwrap().iter().collect();
+        assert_eq!(probes[0].0.as_str(), "ads.com");
+        assert!(probes[0].1.as_ref().unwrap().has_enrollment_site);
+        assert!(probes[1].1.is_none());
+    }
+
+    #[test]
+    fn verify_accepts_a_healthy_store() {
+        let store = ColumnarCampaign::from_outcome(&outcome());
+        store.verify().unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_orphan_strings() {
+        let original = outcome();
+        let mut b = ColumnarBuilder::new();
+        for site in &original.sites {
+            b.push_site(site);
+        }
+        b.intern(&d("orphan.example.com"));
+        let store = b.finish(
+            original.schema_version,
+            &original.allow_list,
+            &original.attestation_probes,
+            original.started,
+        );
+        assert!(matches!(
+            store.verify(),
+            Err(ColumnarError::OrphanString(_))
+        ));
+    }
+
+    #[test]
+    fn corruption_is_a_named_error() {
+        let good = ColumnarCampaign::from_outcome(&outcome()).bytes().to_vec();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            ColumnarCampaign::decode(bad_magic).unwrap_err(),
+            ColumnarError::BadMagic
+        );
+
+        let mut future_container = good.clone();
+        future_container[8..12].copy_from_slice(&(COLUMNAR_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            ColumnarCampaign::decode(future_container).unwrap_err(),
+            ColumnarError::UnsupportedVersion(COLUMNAR_VERSION + 1)
+        );
+
+        let mut future_schema = good.clone();
+        future_schema[12..16].copy_from_slice(&(CAMPAIGN_SCHEMA_VERSION + 9).to_le_bytes());
+        assert!(matches!(
+            ColumnarCampaign::decode(future_schema).unwrap_err(),
+            ColumnarError::UnknownSchema(UnknownSchemaVersion { found, .. })
+                if found == CAMPAIGN_SCHEMA_VERSION + 9
+        ));
+
+        let mut flipped_count = good.clone();
+        flipped_count[24] ^= 0x01; // a row count inside the checksummed header
+        assert!(matches!(
+            ColumnarCampaign::decode(flipped_count).unwrap_err(),
+            ColumnarError::HeaderChecksum { .. }
+        ));
+
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 3);
+        assert!(matches!(
+            ColumnarCampaign::decode(truncated).unwrap_err(),
+            ColumnarError::Truncated { .. }
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            ColumnarCampaign::decode(trailing).unwrap_err(),
+            ColumnarError::TrailingData("file")
+        );
+    }
+
+    #[test]
+    fn section_checksums_are_lazy_and_independent() {
+        let mut bytes = ColumnarCampaign::from_outcome(&outcome()).bytes().to_vec();
+        // The probes section is last; corrupt its final byte.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let store = ColumnarCampaign::decode(bytes).unwrap();
+        // Untouched sections still read fine (laziness), ...
+        assert_eq!(store.calls().unwrap().len(), 3);
+        assert_eq!(store.visits().unwrap().len(), 3);
+        // ... the corrupted one is a named checksum error, ...
+        assert!(matches!(
+            store.probe_scan().unwrap_err(),
+            ColumnarError::SectionChecksum {
+                section: "probes",
+                ..
+            }
+        ));
+        // ... and verify refuses the store as a whole.
+        assert!(store.verify().is_err());
+    }
+
+    #[test]
+    fn section_map_names_every_section() {
+        let store = ColumnarCampaign::from_outcome(&outcome());
+        let names: Vec<&str> = store.section_map().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["strings", "errors", "sites", "visits", "parties", "calls", "allow", "probes"]
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //!   attestation prober, and repeated-visit support for the §3 A/B
 //!   alternation experiment.
 //! * [`record`] — the measurement schema handed to `topics-analysis`.
+//! * [`columnar`] — the interned struct-of-arrays campaign store and
+//!   its zero-deserialization query layer.
 //! * [`shard`] — rank-stripe shard planning, checksummed record
 //!   segments, and the deterministic merge back into one campaign.
 
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod columnar;
 pub mod metrics;
 pub mod privaccept;
 pub mod record;
@@ -34,14 +37,18 @@ pub use campaign::{
     run_campaign_stripe, run_campaign_with_progress, run_repeated, AllowListSetup, CampaignConfig,
     CrawlTarget,
 };
+pub use columnar::{
+    ColumnarBuilder, ColumnarCampaign, ColumnarError, COLUMNAR_MAGIC, COLUMNAR_VERSION,
+};
 pub use metrics::{tally_outcome, CrawlMetrics, CALL_CLASSES};
 pub use record::{
     AttestationInfo, AttestationProbe, CampaignOutcome, FaultStats, OutcomeCounts, Phase,
-    SiteOutcome, TopicsCallRecord, VisitOutcome, VisitRecord,
+    SiteOutcome, TopicsCallRecord, UnknownSchemaVersion, VisitOutcome, VisitRecord,
+    CAMPAIGN_SCHEMA_VERSION,
 };
 pub use shard::{
     merge_segments, shard_token, split_outcome, tally_snapshot, Fnv, MergeError, Segment,
-    SegmentError, SegmentHeader, ShardPlan, SEGMENT_VERSION,
+    SegmentError, SegmentHeader, ShardPlan, StreamingMerge, SEGMENT_VERSION,
 };
 pub use visit::{
     run_site, run_site_full, run_site_instrumented, run_site_with_action, run_site_with_policy,

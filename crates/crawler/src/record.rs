@@ -12,7 +12,7 @@ use topics_browser::observer::{CallType, ObjectEvent, TopicsCallEvent};
 use topics_net::clock::Timestamp;
 use topics_net::domain::Domain;
 use topics_net::http::ResourceKind;
-use topics_net::psl::registrable_domain;
+use topics_net::psl::RegDomainMemo;
 
 /// Which of the two visits a record belongs to (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -51,9 +51,18 @@ pub struct TopicsCallRecord {
 impl TopicsCallRecord {
     /// Build from a browser instrumentation event.
     pub fn from_event(e: &TopicsCallEvent) -> TopicsCallRecord {
+        Self::from_event_memo(e, &mut RegDomainMemo::new())
+    }
+
+    /// Build from an event, resolving the caller's registrable domain
+    /// through `memo` — the hot path on every topics call. Callers that
+    /// repeat within a visit (the common case: one tag fires on every
+    /// page region) cost one hash lookup instead of a suffix scan, and
+    /// equal `caller_site` values share one `Arc` allocation.
+    pub fn from_event_memo(e: &TopicsCallEvent, memo: &mut RegDomainMemo) -> TopicsCallRecord {
         TopicsCallRecord {
             caller: e.caller.clone(),
-            caller_site: registrable_domain(&e.caller),
+            caller_site: memo.resolve(&e.caller),
             call_type: e.call_type,
             root_context: e.root_context,
             script_source: e.script_source.clone(),
@@ -111,13 +120,14 @@ impl VisitRecord {
         started: Timestamp,
         duration_ms: u64,
     ) -> VisitRecord {
+        let mut memo = RegDomainMemo::new();
         let mut party_domains: Vec<Domain> = Vec::new();
         let mut failed = 0usize;
         for o in objects {
             if !o.ok {
                 failed += 1;
             }
-            let reg = registrable_domain(o.url.host());
+            let reg = memo.resolve(o.url.host());
             if !party_domains.contains(&reg) {
                 party_domains.push(reg);
             }
@@ -129,7 +139,10 @@ impl VisitRecord {
             party_domains,
             object_count: objects.len(),
             failed_objects: failed,
-            topics_calls: calls.iter().map(TopicsCallRecord::from_event).collect(),
+            topics_calls: calls
+                .iter()
+                .map(|e| TopicsCallRecord::from_event_memo(e, &mut memo))
+                .collect(),
             banner_found,
             started,
             duration_ms,
@@ -273,9 +286,42 @@ pub struct AttestationInfo {
     pub has_enrollment_site: bool,
 }
 
+/// Version of the campaign record schema, stamped into every store
+/// (the JSON header field and the columnar file header). Bump it when
+/// a field changes meaning — additive `#[serde(default)]` evolution
+/// (like `duration_ms`) stays within one version.
+pub const CAMPAIGN_SCHEMA_VERSION: u32 = 1;
+
+/// A store was written by a schema this build does not understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownSchemaVersion {
+    /// The version found in the store header.
+    pub found: u32,
+    /// The newest version this build reads ([`CAMPAIGN_SCHEMA_VERSION`]).
+    pub supported: u32,
+}
+
+impl std::fmt::Display for UnknownSchemaVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown campaign schema version {} (this build reads <= {})",
+            self.found, self.supported
+        )
+    }
+}
+
+impl std::error::Error for UnknownSchemaVersion {}
+
 /// Everything a campaign produces — the input to `topics-analysis`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignOutcome {
+    /// Schema version the store was written with. `0` marks a legacy
+    /// file from before versioning existed (the field defaults when
+    /// absent); anything above [`CAMPAIGN_SCHEMA_VERSION`] is rejected
+    /// with a typed [`UnknownSchemaVersion`] at load time.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Per-site outcomes in rank order.
     pub sites: Vec<SiteOutcome>,
     /// The allow-list snapshot, when the crawler's browser had a healthy
@@ -310,6 +356,20 @@ impl OutcomeCounts {
 }
 
 impl CampaignOutcome {
+    /// Check that this build understands the store's schema version.
+    /// `0` (legacy, pre-versioning) and every version up to
+    /// [`CAMPAIGN_SCHEMA_VERSION`] pass.
+    pub fn check_schema(&self) -> Result<(), UnknownSchemaVersion> {
+        if self.schema_version <= CAMPAIGN_SCHEMA_VERSION {
+            Ok(())
+        } else {
+            Err(UnknownSchemaVersion {
+                found: self.schema_version,
+                supported: CAMPAIGN_SCHEMA_VERSION,
+            })
+        }
+    }
+
     /// Number of successfully visited sites (|D_BA|).
     pub fn visited_count(&self) -> usize {
         self.sites.iter().filter(|s| s.visited()).count()
@@ -430,6 +490,7 @@ mod tests {
             0,
         );
         let outcome = CampaignOutcome {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
             sites: vec![
                 SiteOutcome {
                     rank: 0,
@@ -531,5 +592,29 @@ mod tests {
         let back: TopicsCallRecord = serde_json::from_str(&j).unwrap();
         assert_eq!(back, rec);
         assert!(back.permitted());
+    }
+
+    #[test]
+    fn schema_version_gates_unknown_futures() {
+        // Legacy files carry no version field and deserialize to 0,
+        // which is accepted.
+        let legacy = r#"{"sites":[],"allow_list":[],"attestation_probes":[],"started":0}"#;
+        let outcome: CampaignOutcome = serde_json::from_str(legacy).unwrap();
+        assert_eq!(outcome.schema_version, 0);
+        assert!(outcome.check_schema().is_ok());
+
+        // Current files lead with the version and pass.
+        let mut current = outcome.clone();
+        current.schema_version = CAMPAIGN_SCHEMA_VERSION;
+        let json = serde_json::to_string(&current).unwrap();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(current.check_schema().is_ok());
+
+        // A future version is a typed error, not a silent best-effort read.
+        current.schema_version = CAMPAIGN_SCHEMA_VERSION + 1;
+        let err = current.check_schema().unwrap_err();
+        assert_eq!(err.found, CAMPAIGN_SCHEMA_VERSION + 1);
+        assert_eq!(err.supported, CAMPAIGN_SCHEMA_VERSION);
+        assert!(err.to_string().contains("unknown campaign schema version"));
     }
 }

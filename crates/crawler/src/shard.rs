@@ -30,7 +30,7 @@
 //! a merge can silently produce a wrong campaign.
 
 use crate::metrics::tally_outcome;
-use crate::record::{AttestationProbe, CampaignOutcome, SiteOutcome};
+use crate::record::{AttestationProbe, CampaignOutcome, SiteOutcome, CAMPAIGN_SCHEMA_VERSION};
 use serde::{Content, Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -594,6 +594,7 @@ pub fn merge_segments(segments: &[Segment]) -> Result<CampaignOutcome, MergeErro
         // it; anything else means the segment was assembled from
         // mismatched runs.
         let shard_outcome = CampaignOutcome {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
             sites: s.sites.clone(),
             allow_list: s.allow_list.clone(),
             attestation_probes: s.probes.clone(),
@@ -619,11 +620,142 @@ pub fn merge_segments(segments: &[Segment]) -> Result<CampaignOutcome, MergeErro
     // BTreeMap iteration is domain-sorted — exactly the order the
     // unsharded run's BTreeSet probe collection produces.
     Ok(CampaignOutcome {
+        schema_version: CAMPAIGN_SCHEMA_VERSION,
         sites,
         allow_list: first.allow_list.clone(),
         attestation_probes: probe_map.into_values().collect(),
         started: h0.started,
     })
+}
+
+/// Segment-at-a-time variant of [`merge_segments`] for consumers that
+/// can stream sites as they arrive — the columnar writer pushes each
+/// accepted stripe straight into its column vectors, so the merge never
+/// holds more than one decoded segment plus the growing columns (the
+/// row-struct path holds every segment *and* the full outcome at once).
+///
+/// Segments must arrive in shard order — exactly what iterating the
+/// canonical `shard-K-of-N.seg` file names in sorted order yields.
+/// Every per-segment check of [`merge_segments`] runs in
+/// [`StreamingMerge::accept`]; [`StreamingMerge::finish`] performs the
+/// whole-campaign ones and releases the merged probe set in the sorted
+/// order the unsharded run produces.
+#[derive(Debug, Default)]
+pub struct StreamingMerge {
+    first: Option<(SegmentHeader, Vec<Domain>)>,
+    next_shard: usize,
+    probe_map: BTreeMap<Domain, AttestationProbe>,
+}
+
+impl StreamingMerge {
+    /// A merge expecting shard 0 first.
+    pub fn new() -> StreamingMerge {
+        StreamingMerge::default()
+    }
+
+    /// Validate one segment and hand back its sites (moved, in rank
+    /// order) for the caller to consume.
+    pub fn accept(&mut self, segment: Segment) -> Result<Vec<SiteOutcome>, MergeError> {
+        let h = &segment.header;
+        match &self.first {
+            None => {
+                if h.shard != 0 {
+                    return Err(MergeError::MissingShard(0));
+                }
+                self.first = Some((h.clone(), segment.allow_list.clone()));
+            }
+            Some((h0, allow)) => {
+                let same = h.seed == h0.seed
+                    && h.shards == h0.shards
+                    && h.num_sites == h0.num_sites
+                    && h.started == h0.started
+                    && h.fault == h0.fault
+                    && h.fault_seed == h0.fault_seed;
+                if !same {
+                    return Err(MergeError::HeaderMismatch(format!(
+                        "shard {} disagrees with shard {} on campaign parameters",
+                        h.shard, h0.shard
+                    )));
+                }
+                if segment.allow_list != *allow {
+                    return Err(MergeError::AllowListMismatch);
+                }
+            }
+        }
+        let (h0, _) = self.first.as_ref().expect("set above");
+        let plan = ShardPlan::new(h0.shards, h0.num_sites);
+        let k = h.shard;
+        if k >= plan.shards() {
+            return Err(MergeError::HeaderMismatch(format!(
+                "shard index {k} out of range for {} shards",
+                plan.shards()
+            )));
+        }
+        if k < self.next_shard {
+            return Err(MergeError::DuplicateShard(k));
+        }
+        if k > self.next_shard {
+            return Err(MergeError::MissingShard(self.next_shard));
+        }
+        let stripe = plan.stripe(k);
+        if h.stripe_start != stripe.start || h.stripe_end != stripe.end {
+            return Err(MergeError::StripeMismatch(k));
+        }
+        if h.token != shard_token(h0.seed, k) {
+            return Err(MergeError::TokenMismatch(k));
+        }
+        if segment.sites.len() != stripe.len() {
+            return Err(MergeError::CoverageGap(format!(
+                "shard {k} holds {} sites for a stripe of {}",
+                segment.sites.len(),
+                stripe.len()
+            )));
+        }
+        for (site, rank) in segment.sites.iter().zip(stripe.clone()) {
+            if site.rank != rank {
+                return Err(MergeError::CoverageGap(format!(
+                    "shard {k} records rank {} where the plan expects {rank}",
+                    site.rank
+                )));
+            }
+        }
+        // Tally check without cloning the sites: build the shard's
+        // outcome around the moved vector, verify, then hand it on.
+        let shard_outcome = CampaignOutcome {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            sites: segment.sites,
+            allow_list: segment.allow_list,
+            attestation_probes: segment.probes,
+            started: h.started,
+        };
+        if tally_snapshot(&shard_outcome) != segment.metrics {
+            return Err(MergeError::TallyMismatch(k));
+        }
+        for p in shard_outcome.attestation_probes {
+            match self.probe_map.get(&p.domain) {
+                Some(existing) if *existing != p => {
+                    return Err(MergeError::ProbeConflict(p.domain));
+                }
+                Some(_) => {}
+                None => {
+                    self.probe_map.insert(p.domain.clone(), p);
+                }
+            }
+        }
+        self.next_shard += 1;
+        Ok(shard_outcome.sites)
+    }
+
+    /// Verify every shard arrived and release the campaign-wide pieces:
+    /// `(allow list, probes in sorted-domain order, start time)`.
+    #[allow(clippy::type_complexity)]
+    pub fn finish(self) -> Result<(Vec<Domain>, Vec<AttestationProbe>, Timestamp), MergeError> {
+        let (h0, allow) = self.first.ok_or(MergeError::Empty)?;
+        if self.next_shard != h0.shards {
+            return Err(MergeError::MissingShard(self.next_shard));
+        }
+        Ok((allow, self.probe_map.into_values().collect(), h0.started))
+    }
 }
 
 /// Slice an unsharded outcome into the segments its sharded run would
@@ -660,6 +792,7 @@ pub fn split_outcome(
                 .filter_map(|d| probe_index.get(d).map(|p| (*p).clone()))
                 .collect();
             let shard_outcome = CampaignOutcome {
+                schema_version: CAMPAIGN_SCHEMA_VERSION,
                 sites,
                 allow_list: outcome.allow_list.clone(),
                 attestation_probes: probes,
@@ -713,6 +846,69 @@ mod tests {
             "FaultProfile::off()",
             seed::derive(seed, "faults"),
         )
+    }
+
+    #[test]
+    fn streaming_merge_matches_batch_merge() {
+        let (world, outcome) = campaign(57, 40);
+        let segments = split(&outcome, world.seed(), 4);
+        let batch = merge_segments(&segments).unwrap();
+
+        let mut sm = StreamingMerge::new();
+        let mut sites: Vec<SiteOutcome> = Vec::new();
+        for seg in segments {
+            sites.extend(sm.accept(seg).unwrap());
+        }
+        let (allow_list, probes, started) = sm.finish().unwrap();
+        let streamed = CampaignOutcome {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            sites,
+            allow_list,
+            attestation_probes: probes,
+            started,
+        };
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_merge_demands_shard_order() {
+        let (world, outcome) = campaign(58, 12);
+        let segments = split(&outcome, world.seed(), 3);
+
+        // Starting anywhere but shard 0 is a missing-shard error.
+        let mut sm = StreamingMerge::new();
+        assert_eq!(
+            sm.accept(segments[1].clone()).unwrap_err(),
+            MergeError::MissingShard(0)
+        );
+
+        // Skipping a shard names the one that was expected.
+        let mut sm = StreamingMerge::new();
+        sm.accept(segments[0].clone()).unwrap();
+        assert_eq!(
+            sm.accept(segments[2].clone()).unwrap_err(),
+            MergeError::MissingShard(1)
+        );
+
+        // Replays are duplicates.
+        let mut sm = StreamingMerge::new();
+        sm.accept(segments[0].clone()).unwrap();
+        assert_eq!(
+            sm.accept(segments[0].clone()).unwrap_err(),
+            MergeError::DuplicateShard(0)
+        );
+
+        // Finishing early names the missing shard; an empty merge is Empty.
+        let mut sm = StreamingMerge::new();
+        sm.accept(segments[0].clone()).unwrap();
+        assert_eq!(sm.finish().unwrap_err(), MergeError::MissingShard(1));
+        assert_eq!(
+            StreamingMerge::new().finish().unwrap_err(),
+            MergeError::Empty
+        );
     }
 
     #[test]

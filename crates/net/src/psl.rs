@@ -98,6 +98,47 @@ pub fn registrable_domain(domain: &Domain) -> Domain {
     Domain::parse(&reg).expect("labels of a valid domain recombine validly")
 }
 
+/// Memoized [`registrable_domain`] resolution, keyed by full host.
+///
+/// A crawl resolves the registrable domain of the same handful of hosts
+/// over and over (every object load, every Topics call). The suffix
+/// scan is cheap but allocates a fresh `Domain` per call; the memo
+/// returns an `Arc`-shared clone of the first resolution instead, so
+/// repeated hosts cost a hash lookup and every equal registrable domain
+/// within one memo's lifetime shares storage — the seed of the
+/// columnar store's intern table.
+#[derive(Debug, Default)]
+pub struct RegDomainMemo {
+    map: std::collections::HashMap<Domain, Domain>,
+}
+
+impl RegDomainMemo {
+    /// An empty memo.
+    pub fn new() -> RegDomainMemo {
+        RegDomainMemo::default()
+    }
+
+    /// The registrable domain of `host`, computed once per distinct host.
+    pub fn resolve(&mut self, host: &Domain) -> Domain {
+        if let Some(reg) = self.map.get(host) {
+            return reg.clone();
+        }
+        let reg = registrable_domain(host);
+        self.map.insert(host.clone(), reg.clone());
+        reg
+    }
+
+    /// Number of distinct hosts resolved so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no host has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// True when two hosts share the same *second-level label* even across
 /// different suffixes — the paper's §4 notion of "the website and CP
 /// second-level domains are the same, e.g. `www.foo.com` and `ad.foo.net`".
@@ -181,6 +222,18 @@ mod tests {
     fn same_site_matches_registrable() {
         assert!(same_site(&d("a.foo.com"), &d("b.foo.com")));
         assert!(!same_site(&d("a.foo.com"), &d("foo.net")));
+    }
+
+    #[test]
+    fn memo_matches_direct_resolution() {
+        let mut memo = RegDomainMemo::new();
+        assert!(memo.is_empty());
+        let hosts = ["www.example.com", "a.b.example.co.uk", "www.example.com"];
+        for h in hosts {
+            let host = d(h);
+            assert_eq!(memo.resolve(&host), registrable_domain(&host));
+        }
+        assert_eq!(memo.len(), 2, "repeat hosts hit the cache");
     }
 
     #[test]

@@ -82,9 +82,32 @@ diff -q "$SHARD_DIR/m1/trace.jsonl" "$SHARD_DIR/m4/trace.jsonl"
 # merge reproduces campaign.json, from the files on disk.
 $TL doctor --campaign "$SHARD_DIR/m4" > /dev/null
 
+echo "== store equivalence (columnar vs JSON backends) =="
+# The same crawl written through both store backends must render
+# byte-identical artefacts, `report` must print the same text from
+# either bundle, a merge streamed into the columnar writer must
+# reproduce the crawl-written campaign.col byte for byte, and the
+# doctor must verify the store (section checksums, intern referential
+# integrity, dataset agreement with the loaded campaign).
+$TL crawl --sites 500 --seed 21 --quiet --store columnar \
+    --out "$SHARD_DIR/col" > /dev/null
+for ART in report.txt comparison.txt table1.csv fig2_presence.csv \
+    fig3_fractions.csv fig5_questionable.csv fig6_geo.csv fig7_cmp.csv \
+    sec3_timeline.csv sec4_anomalous.csv calls.csv sites.csv; do
+    cmp "$SHARD_DIR/single/$ART" "$SHARD_DIR/col/$ART"
+done
+$TL report --campaign "$SHARD_DIR/single" > "$SHARD_DIR/report-json.txt"
+$TL report --campaign "$SHARD_DIR/col" > "$SHARD_DIR/report-col.txt"
+diff -q "$SHARD_DIR/report-json.txt" "$SHARD_DIR/report-col.txt"
+$TL merge --segments "$SHARD_DIR/m4" --store columnar \
+    --out "$SHARD_DIR/colmerge" > /dev/null
+cmp "$SHARD_DIR/col/campaign.col" "$SHARD_DIR/colmerge/campaign.col"
+$TL doctor --campaign "$SHARD_DIR/colmerge" > /dev/null
+
 echo "== shard suites (properties, byte-identity, corruption) =="
 cargo test -q -p topics-crawler --test properties
 cargo test -q -p topics-core --test integration_shard
+cargo test -q -p topics-core --test integration_store
 
 echo "== property suites =="
 cargo test -q -p topics-net --test properties

@@ -1,0 +1,347 @@
+//! Integration: the two campaign stores are interchangeable.
+//!
+//! The store contract: a bundle written with `--store columnar` holds
+//! the identical dataset as the JSON default — every rendered artefact
+//! (report, comparison, table/figure CSVs) is **byte-identical**, the
+//! loaded `CampaignOutcome` serialises identically, and the column-scan
+//! index agrees with the row-struct `CampaignIndex` field for field —
+//! under fault injection and across 1/2/4-shard merges. The columnar
+//! bytes themselves are deterministic: same seed → same file,
+//! regardless of thread count, run repetition, or whether the store was
+//! written by a single crawl or streamed out of a segment merge.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use topics_core::analysis::colscan::{self, ColumnIndex};
+use topics_core::analysis::dataset::DatasetId;
+use topics_core::analysis::index::{CampaignIndex, PresenceCount};
+use topics_core::crawler::columnar::ColumnarCampaign;
+use topics_core::crawler::record::CampaignOutcome;
+use topics_core::export::BUNDLE_FILES;
+use topics_core::net::domain::Domain;
+use topics_core::net::fault::FaultProfile;
+use topics_core::obs::Obs;
+use topics_core::{
+    evaluate, load_campaign, merge_dir_columnar, run_shard, write_bundle, write_segment, Lab,
+    LabConfig, StoreKind,
+};
+
+const SITES: usize = 200;
+
+/// Unique temp dir per test (tests run concurrently in one process).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("topics-istore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const DATASETS: [DatasetId; 3] = [
+    DatasetId::BeforeAccept,
+    DatasetId::AfterAccept,
+    DatasetId::AfterReject,
+];
+
+/// Every aggregate of the column scan must equal the row-struct index.
+fn assert_index_equiv(outcome: &CampaignOutcome, col: &ColumnIndex, tag: &str) {
+    let idx = CampaignIndex::new(outcome);
+    let want_candidates: Vec<Domain> = idx.candidates().iter().map(|d| (*d).clone()).collect();
+    assert_eq!(col.candidates, want_candidates, "{tag}: candidates");
+    for (slot, id) in DATASETS.into_iter().enumerate() {
+        assert_eq!(
+            col.visit_counts[slot],
+            idx.visits(id).len(),
+            "{tag}: {id:?} visits"
+        );
+        assert_eq!(
+            col.call_counts[slot],
+            idx.calls(id).len(),
+            "{tag}: {id:?} calls"
+        );
+        let want_parties: BTreeSet<Domain> = idx
+            .calling_parties(id)
+            .iter()
+            .map(|d| (*d).clone())
+            .collect();
+        assert_eq!(
+            col.calling_parties[slot], want_parties,
+            "{tag}: {id:?} parties"
+        );
+        let want_presence: BTreeMap<Domain, PresenceCount> = idx
+            .presence(id)
+            .iter()
+            .map(|(d, c)| ((*d).clone(), *c))
+            .collect();
+        assert_eq!(col.presence[slot], want_presence, "{tag}: {id:?} presence");
+        let want_sites: BTreeMap<Domain, BTreeSet<Domain>> = idx
+            .calling_sites(id)
+            .iter()
+            .map(|(d, s)| ((*d).clone(), s.iter().map(|w| (*w).clone()).collect()))
+            .collect();
+        assert_eq!(
+            col.calling_sites[slot], want_sites,
+            "{tag}: {id:?} calling sites"
+        );
+    }
+    assert_eq!(
+        col.unique_third_parties,
+        idx.unique_third_parties(),
+        "{tag}: third parties"
+    );
+    assert_eq!(
+        col.questionable_ba_visits,
+        idx.ba_tags().iter().filter(|t| t.questionable).count(),
+        "{tag}: questionable visits"
+    );
+    assert_eq!(
+        col.outcome_counts,
+        outcome.outcome_counts(),
+        "{tag}: outcome counts"
+    );
+}
+
+/// Write both bundles for one outcome and assert every rendered
+/// artefact is byte-identical, both stores load back the same dataset,
+/// and the column scan matches the row index.
+fn assert_stores_equivalent(outcome: &CampaignOutcome, tag: &str) {
+    let eval = evaluate(outcome);
+    let dir_json = temp_dir(&format!("{tag}-json"));
+    let dir_col = temp_dir(&format!("{tag}-col"));
+    write_bundle(&dir_json, outcome, &eval, false, StoreKind::Json).unwrap();
+    write_bundle(&dir_col, outcome, &eval, false, StoreKind::Columnar).unwrap();
+
+    assert!(dir_col.join("campaign.col").is_file(), "{tag}: no .col");
+    assert!(
+        !dir_col.join("campaign.json").exists(),
+        "{tag}: columnar bundle must not write campaign.json"
+    );
+    for artefact in BUNDLE_FILES.iter().filter(|f| **f != "campaign.json") {
+        assert_eq!(
+            std::fs::read(dir_json.join(artefact)).unwrap(),
+            std::fs::read(dir_col.join(artefact)).unwrap(),
+            "{tag}: {artefact} differs between stores"
+        );
+    }
+
+    let from_json = load_campaign(&dir_json.join("campaign.json")).unwrap();
+    let from_col = load_campaign(&dir_col.join("campaign.col")).unwrap();
+    assert_eq!(
+        serde_json::to_string(&from_json).unwrap(),
+        serde_json::to_string(&from_col).unwrap(),
+        "{tag}: loaded datasets differ between stores"
+    );
+
+    let store =
+        ColumnarCampaign::decode(std::fs::read(dir_col.join("campaign.col")).unwrap()).unwrap();
+    store.verify().unwrap();
+    let col = colscan::scan(&store).unwrap();
+    assert_index_equiv(&from_json, &col, tag);
+
+    std::fs::remove_dir_all(&dir_json).unwrap();
+    std::fs::remove_dir_all(&dir_col).unwrap();
+}
+
+#[test]
+fn both_stores_render_identical_artefacts() {
+    let outcome = Lab::new(LabConfig::quick(67, SITES).with_threads(2))
+        .run()
+        .outcome;
+    assert_stores_equivalent(&outcome, "plain");
+}
+
+#[test]
+fn both_stores_agree_under_fault_injection() {
+    let config = LabConfig::quick(73, SITES)
+        .with_threads(2)
+        .with_fault_profile(FaultProfile::parse("0.05").unwrap());
+    let outcome = Lab::new(config).run().outcome;
+    let counts = outcome.outcome_counts();
+    assert!(
+        counts.degraded + counts.failed > 0,
+        "fault profile must actually degrade some sites"
+    );
+    assert_stores_equivalent(&outcome, "faulted");
+}
+
+#[test]
+fn columnar_bytes_are_identical_across_runs_and_thread_counts() {
+    let reference = ColumnarCampaign::from_outcome(
+        &Lab::new(LabConfig::quick(71, 150).with_threads(1))
+            .run()
+            .outcome,
+    );
+    for threads in [1, 2, 4] {
+        let outcome = Lab::new(LabConfig::quick(71, 150).with_threads(threads))
+            .run()
+            .outcome;
+        let store = ColumnarCampaign::from_outcome(&outcome);
+        assert_eq!(
+            store.bytes(),
+            reference.bytes(),
+            "{threads}-thread store bytes differ"
+        );
+    }
+}
+
+#[test]
+fn sharded_columnar_merge_reproduces_the_single_run_store() {
+    for (tag, config) in [
+        ("plain", LabConfig::quick(79, SITES).with_threads(2)),
+        (
+            "faulted",
+            LabConfig::quick(83, SITES)
+                .with_threads(2)
+                .with_fault_profile(FaultProfile::parse("0.05").unwrap()),
+        ),
+    ] {
+        let outcome = Lab::new(config.clone()).run().outcome;
+        let single = ColumnarCampaign::from_outcome(&outcome);
+        let report = evaluate(&outcome).render_report();
+        for shards in [1, 2, 4] {
+            let dir = temp_dir(&format!("merge-{tag}-{shards}"));
+            for shard in 0..shards {
+                let segment = run_shard(&config, shard, shards, &Obs::new().with_trace());
+                write_segment(&dir, &segment).unwrap();
+            }
+            let merged = merge_dir_columnar(&dir).unwrap();
+            assert_eq!(
+                merged.store.bytes(),
+                single.bytes(),
+                "{tag}: {shards}-shard merged store differs from the single-run store"
+            );
+            assert_eq!(
+                evaluate(&merged.outcome).render_report(),
+                report,
+                "{tag}: {shards}-shard report differs"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+fn lab(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_topics-lab"))
+        .args(args)
+        .output()
+        .expect("topics-lab runs")
+}
+
+fn read(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("reading {name}: {e}"))
+}
+
+#[test]
+fn cli_store_flag_equivalence_and_doctor() {
+    let dir = temp_dir("cli");
+    let json_dir = dir.join("json");
+    let col_dir = dir.join("col");
+    let segs = dir.join("segs");
+
+    // The same crawl through both backends.
+    for (out, extra) in [(&json_dir, None), (&col_dir, Some("columnar"))] {
+        let mut args = vec!["crawl", "--sites", "60", "--seed", "13", "--quiet", "--out"];
+        args.push(out.to_str().unwrap());
+        if let Some(store) = extra {
+            args.extend(["--store", store]);
+        }
+        let out = lab(&args);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Every rendered artefact byte-identical; only the store differs.
+    for artefact in BUNDLE_FILES.iter().filter(|f| **f != "campaign.json") {
+        assert_eq!(
+            read(&json_dir, artefact),
+            read(&col_dir, artefact),
+            "{artefact} differs between --store backends"
+        );
+    }
+    assert!(col_dir.join("campaign.col").is_file());
+    assert!(!col_dir.join("campaign.json").exists());
+
+    // `report` renders the same text from either bundle.
+    let report_json = lab(&["report", "--campaign", json_dir.to_str().unwrap()]);
+    let report_col = lab(&["report", "--campaign", col_dir.to_str().unwrap()]);
+    assert!(report_json.status.success() && report_col.status.success());
+    assert_eq!(report_json.stdout, report_col.stdout);
+
+    // A merged columnar bundle reproduces the crawl-written store byte
+    // for byte.
+    for spec in ["1/2", "2/2"] {
+        let out = lab(&[
+            "shard",
+            "--shard",
+            spec,
+            "--sites",
+            "60",
+            "--seed",
+            "13",
+            "--quiet",
+            "--out",
+            segs.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = lab(&[
+        "merge",
+        "--segments",
+        segs.to_str().unwrap(),
+        "--store",
+        "columnar",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        read(&segs, "campaign.col"),
+        read(&col_dir, "campaign.col"),
+        "merge --store columnar must stream the same bytes the crawl wrote"
+    );
+    assert!(!segs.join("campaign.json").exists());
+
+    // Doctor on the merged bundle verifies segments AND the columnar
+    // store (checksums, intern integrity, dataset agreement).
+    let out = lab(&["doctor", "--campaign", segs.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("== Shard segments =="), "{stdout}");
+    assert!(stdout.contains("== Columnar store =="), "{stdout}");
+    assert!(stdout.contains("[ok] campaign.col"), "{stdout}");
+
+    // Corrupting the store is caught at load time: the checksum fails
+    // before anything downstream can misread the bytes.
+    let mut bytes = read(&segs, "campaign.col");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(segs.join("campaign.col"), &bytes).unwrap();
+    let out = lab(&["doctor", "--campaign", segs.to_str().unwrap()]);
+    assert!(!out.status.success(), "doctor must fail on a corrupt store");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("campaign.col"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An explicit `--store json` against a columnar-only bundle is a
+    // clean load error, not a misparse.
+    let out = lab(&[
+        "report",
+        "--campaign",
+        col_dir.to_str().unwrap(),
+        "--store",
+        "json",
+    ]);
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
