@@ -1,0 +1,173 @@
+//! Typed per-figure queries over a [`ColumnIndex`] — the live-serving
+//! counterpart of [`figures`](crate::figures).
+//!
+//! The batch path materialises row structs (`Datasets` → `CampaignIndex`)
+//! and computes each figure from them. A long-running query service
+//! holds only the columnar store and its scanned [`ColumnIndex`]; this
+//! module answers the column-computable figures (2, 3 and 5) straight
+//! from those aggregates, with **zero row-struct materialisation per
+//! query**. Each function replicates its `figures` twin exactly —
+//! same filters, same sort keys, same tie-breaks — and the tests prove
+//! row-for-row equality against the batch path, so a server using
+//! these queries serves bytes identical to the offline CSVs.
+
+use crate::dataset::DatasetId;
+use crate::figures::{PresenceRow, QuestionableRow};
+use crate::ColumnIndex;
+
+/// Per-figure query handles over one scanned column index.
+///
+/// Construction is free (the index is moved in, not copied); every
+/// query allocates only its result rows — domains are `Arc` clones out
+/// of the store's interned arena.
+#[derive(Debug, Clone)]
+pub struct ColumnQueries {
+    index: ColumnIndex,
+}
+
+/// Dataset → slot mapping shared with `colscan` (D_BA, D_AA, D_AR).
+fn slot(id: DatasetId) -> usize {
+    match id {
+        DatasetId::BeforeAccept => 0,
+        DatasetId::AfterAccept => 1,
+        DatasetId::AfterReject => 2,
+    }
+}
+
+impl ColumnQueries {
+    /// Wrap a scanned index.
+    pub fn new(index: ColumnIndex) -> ColumnQueries {
+        ColumnQueries { index }
+    }
+
+    /// The underlying index (summary counts, candidate set, …).
+    pub fn index(&self) -> &ColumnIndex {
+        &self.index
+    }
+
+    /// Presence/called counts for every Allowed∧Attested CP in one
+    /// dataset — the column twin of `figures::presence_rows`: same
+    /// `present > 0` filter, same presence-desc-then-domain sort.
+    pub fn presence_rows(&self, id: DatasetId) -> Vec<PresenceRow> {
+        let counts = &self.index.presence[slot(id)];
+        let mut rows: Vec<PresenceRow> = self
+            .index
+            .candidates
+            .iter()
+            .map(|cp| {
+                let c = counts.get(cp).copied().unwrap_or_default();
+                PresenceRow {
+                    cp: cp.clone(),
+                    present: c.present,
+                    called: c.called,
+                }
+            })
+            .filter(|r| r.present > 0)
+            .collect();
+        rows.sort_by(|a, b| b.present.cmp(&a.present).then(a.cp.cmp(&b.cp)));
+        rows
+    }
+
+    /// Figure 2 off the columns: top-N most pervasive Allowed∧Attested
+    /// CPs in D_AA.
+    pub fn fig2(&self, top: usize) -> Vec<PresenceRow> {
+        self.presence_rows(DatasetId::AfterAccept)
+            .into_iter()
+            .take(top)
+            .collect()
+    }
+
+    /// Figure 3 off the columns: CPs ranked by enabled fraction, same
+    /// `called > 0 && present >= 20` noise guard as the batch path.
+    pub fn fig3(&self, top: usize) -> Vec<PresenceRow> {
+        let mut rows: Vec<PresenceRow> = self
+            .presence_rows(DatasetId::AfterAccept)
+            .into_iter()
+            .filter(|r| r.called > 0 && r.present >= 20)
+            .collect();
+        rows.sort_by(|a, b| {
+            b.enabled_fraction()
+                .partial_cmp(&a.enabled_fraction())
+                .expect("fractions are finite")
+                .then(a.cp.cmp(&b.cp))
+        });
+        rows.truncate(top);
+        rows
+    }
+
+    /// Figure 5 off the columns: Allowed∧Attested CPs calling in D_BA
+    /// by distinct-website count. The batch path filters
+    /// `classify(cp).allowed && .attested`; in id space that predicate
+    /// is exactly membership in the candidate set.
+    pub fn fig5(&self, top: usize) -> Vec<QuestionableRow> {
+        let mut rows: Vec<QuestionableRow> = self.index.calling_sites
+            [slot(DatasetId::BeforeAccept)]
+        .iter()
+        .filter(|(cp, _)| self.index.candidates.contains(cp))
+        .map(|(cp, sites)| QuestionableRow {
+            cp: cp.clone(),
+            websites: sites.len(),
+        })
+        .collect();
+        rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.cp.cmp(&b.cp)));
+        rows.truncate(top);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Datasets;
+    use crate::testutil::tiny_outcome;
+    use crate::{colscan, figures};
+    use topics_crawler::columnar::ColumnarCampaign;
+
+    fn queries() -> (ColumnQueries, topics_crawler::record::CampaignOutcome) {
+        let outcome = tiny_outcome();
+        let store = ColumnarCampaign::from_outcome(&outcome);
+        let q = ColumnQueries::new(colscan::scan(&store).unwrap());
+        (q, outcome)
+    }
+
+    #[test]
+    fn column_figures_equal_the_batch_path_row_for_row() {
+        let (q, outcome) = queries();
+        let ds = Datasets::new(&outcome);
+        for id in [
+            DatasetId::BeforeAccept,
+            DatasetId::AfterAccept,
+            DatasetId::AfterReject,
+        ] {
+            assert_eq!(
+                q.presence_rows(id),
+                figures::presence_rows(&ds, id),
+                "{id:?} presence rows"
+            );
+        }
+        for top in [0, 1, 2, 15] {
+            assert_eq!(q.fig2(top), figures::fig2(&ds, top), "fig2 top={top}");
+            assert_eq!(q.fig3(top), figures::fig3(&ds, top), "fig3 top={top}");
+            assert_eq!(q.fig5(top), figures::fig5(&ds, top), "fig5 top={top}");
+        }
+    }
+
+    #[test]
+    fn fig5_candidate_filter_matches_classification() {
+        // The fixture's unattested-ads.com calls in D_BA but fails
+        // attestation — it must be filtered out, same as the batch
+        // path's allowed∧attested classification.
+        let (q, _) = queries();
+        let rows = q.fig5(10);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cp.as_str(), "violator.com");
+        assert_eq!(rows[0].websites, 2);
+    }
+
+    #[test]
+    fn queries_expose_the_index_summary() {
+        let (q, _) = queries();
+        assert_eq!(q.index().visit_counts, [3, 2, 0]);
+        assert_eq!(q.index().candidates.len(), 2);
+    }
+}

@@ -14,6 +14,9 @@
 //! * `encode_wall_ms` / `store_bytes` / `query_wall_ms` — columnar
 //!   store encode time, encoded size, and a full column scan over a
 //!   freshly decoded store;
+//! * `serve_query_wall_ms` — 64 sequential `/api/report` fetches
+//!   against an in-process `topics-lab serve` holding the store
+//!   resident (the live service's steady-state query latency);
 //!
 //! plus the process peak RSS (`VmHWM`) once at the end. The current
 //! numbers are compared against the **last entry** of the append-only
@@ -169,12 +172,46 @@ fn main() {
         std::hint::black_box(index);
     }
 
+    // Live-serving latency: persist the store once, bind an in-process
+    // server over it (load + scan + pre-render happen in bind), and
+    // time 64 sequential /api/report fetches per run — the same request
+    // path a scraping client sees, minus network distance.
+    let serve_dir = std::env::temp_dir().join(format!("topics-perf-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&serve_dir).expect("temp dir");
+    let col_path = serve_dir.join("campaign.col");
+    std::fs::write(
+        &col_path,
+        ColumnarCampaign::from_outcome(&run.outcome).bytes(),
+    )
+    .expect("store persists");
+    let config = topics_core::ServeConfig::new(col_path);
+    let server = topics_core::Server::bind(&config, std::sync::Arc::new(topics_obs::Obs::new()))
+        .expect("server binds");
+    let addr = server.local_addr().to_string();
+    let mut serve_query_wall_ms = u64::MAX;
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run());
+        for _ in 0..runs {
+            let started = Instant::now();
+            for _ in 0..64 {
+                let resp =
+                    topics_core::http_fetch(&addr, "GET", "/api/report").expect("report fetches");
+                assert_eq!(resp.status, 200);
+                std::hint::black_box(resp.body);
+            }
+            serve_query_wall_ms = serve_query_wall_ms.min(started.elapsed().as_millis() as u64);
+        }
+        server.handle().stop();
+    });
+    std::fs::remove_dir_all(&serve_dir).expect("temp dir cleanup");
+
     println!(
         "perf-smoke: sites={sites} visited={} (best of {runs}) crawl_wall_ms={crawl_wall_ms} \
          probe_wall_us={probe_wall_us} report_wall_ms={report_wall_ms} \
          alloc_bytes={alloc_bytes} peak_rss_bytes={peak_rss_bytes} \
          shard_merge_wall_ms={shard_merge_wall_ms} encode_wall_ms={encode_wall_ms} \
-         store_bytes={store_bytes} query_wall_ms={query_wall_ms}",
+         store_bytes={store_bytes} query_wall_ms={query_wall_ms} \
+         serve_query_wall_ms={serve_query_wall_ms}",
         run.visited_count(),
     );
 
@@ -192,6 +229,7 @@ fn main() {
         encode_wall_ms,
         store_bytes,
         query_wall_ms,
+        serve_query_wall_ms,
         chain: 0, // assigned by append_entry
     };
 

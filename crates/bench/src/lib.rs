@@ -109,6 +109,14 @@ pub struct BenchSummary {
     /// without the column store.
     #[serde(default, skip_serializing_if = "u64_is_zero")]
     pub query_wall_ms: u64,
+    /// Wall-clock milliseconds for 64 sequential `/api/report` fetches
+    /// against an in-process `topics-lab serve` holding the store
+    /// resident (steady-state query latency of the live service); 0 in
+    /// entries from builds without the server. Skipped from the
+    /// encoding when zero so legacy entries keep their recorded
+    /// [`chain_digest`].
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub serve_query_wall_ms: u64,
     /// Hash-chain value: [`chain_digest`] of the previous entry's chain
     /// and this entry with `chain` zeroed. 0 only in legacy entries.
     #[serde(default)]
@@ -206,7 +214,7 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
         return violations;
     }
     // (label, baseline value, current value, limit numerator/denominator)
-    let gates: [(&str, u64, u64, u64, u64); 8] = [
+    let gates: [(&str, u64, u64, u64, u64); 9] = [
         (
             "probe_wall_us",
             baseline.probe_wall_us,
@@ -260,6 +268,13 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
             "query_wall_ms",
             baseline.query_wall_ms,
             current.query_wall_ms,
+            13,
+            10,
+        ),
+        (
+            "serve_query_wall_ms",
+            baseline.serve_query_wall_ms,
+            current.serve_query_wall_ms,
             13,
             10,
         ),
@@ -358,6 +373,7 @@ mod tests {
             encode_wall_ms: 12,
             store_bytes: 1 << 22,
             query_wall_ms: 4,
+            serve_query_wall_ms: 6,
             chain: 0,
         }
     }
@@ -470,17 +486,24 @@ mod tests {
         let mut over = base.clone();
         over.encode_wall_ms = base.encode_wall_ms * 13 / 10 + 1;
         over.query_wall_ms = base.query_wall_ms * 13 / 10 + 1;
+        over.serve_query_wall_ms = base.serve_query_wall_ms * 13 / 10 + 1;
         over.store_bytes = base.store_bytes * 5 / 4 + 1;
         let v = check_regression(&base, &over);
-        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!(v.len(), 4, "{v:?}");
         assert!(v.iter().any(|m| m.contains("encode_wall_ms")), "{v:?}");
         assert!(v.iter().any(|m| m.contains("store_bytes")), "{v:?}");
-        assert!(v.iter().any(|m| m.contains("query_wall_ms")), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|m| m.contains("query_wall_ms") && !m.contains("serve_query_wall_ms")),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|m| m.contains("serve_query_wall_ms")), "{v:?}");
         // Pre-columnar baselines (zero columns) skip the new gates.
         let mut legacy = base.clone();
         legacy.encode_wall_ms = 0;
         legacy.store_bytes = 0;
         legacy.query_wall_ms = 0;
+        legacy.serve_query_wall_ms = 0;
         assert!(check_regression(&legacy, &over)
             .iter()
             .all(|m| !m.contains("encode") && !m.contains("store") && !m.contains("query")));
@@ -494,10 +517,12 @@ mod tests {
         legacy.encode_wall_ms = 0;
         legacy.store_bytes = 0;
         legacy.query_wall_ms = 0;
+        legacy.serve_query_wall_ms = 0;
         let json = serde_json::to_string(&legacy).unwrap();
         assert!(!json.contains("encode_wall_ms"), "{json}");
         assert!(!json.contains("store_bytes"), "{json}");
         assert!(!json.contains("query_wall_ms"), "{json}");
+        assert!(!json.contains("serve_query_wall_ms"), "{json}");
         let populated = entry(2_000, 7_000, 1 << 24);
         let json = serde_json::to_string(&populated).unwrap();
         assert!(json.contains("encode_wall_ms"), "{json}");

@@ -96,7 +96,28 @@
 //!
 //! topics-lab dossier --campaign DIR/campaign.json --cp DOMAIN
 //!     Print everything the campaign knows about one calling party.
+//!
+//! topics-lab serve   --campaign DIR|FILE [--addr HOST:PORT] [--threads N]
+//!                    [--trace FILE] [--addr-file FILE]
+//!                    [--store json|columnar] [--quiet]
+//!     Hold the campaign resident and answer per-figure queries over
+//!     HTTP: `/api/report`, `/api/table1`, `/api/fig2`…`/api/fig7`,
+//!     `/api/anomalous` (each byte-identical to the offline artefact),
+//!     plus `/api/doctor` and `/api/profile` when a trace is found,
+//!     `/metrics` (live Prometheus self-telemetry), `/healthz` and
+//!     `/readyz`. --addr defaults to 127.0.0.1:0 (ephemeral port;
+//!     --addr-file writes the bound address for scripts). Serves until
+//!     `POST /shutdown`, then drains gracefully.
+//!
+//! topics-lab fetch   --addr HOST:PORT [--path /api/report] [--out FILE]
+//!                    [--post]
+//!     The in-repo HTTP client: one request against a running `serve`,
+//!     body to stdout (or --out FILE). Exits 0 on 2xx, 1 otherwise.
 //! ```
+//!
+//! Failures exit with a typed code scripts can branch on: 2 for usage
+//! errors, 3 when a named campaign/trace input does not exist, 4 when
+//! a campaign store exists but fails validation, 1 otherwise.
 //!
 //! Progress logging goes through the structured event log (echoed to
 //! stderr); `--quiet` or `TOPICS_LOG=off` silences it.
@@ -118,7 +139,7 @@ static ALLOC: topics_core::obs::CountingAlloc = topics_core::obs::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats] [--store json|columnar]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--store json|columnar]\n  topics-lab merge   --segments DIR [--out DIR] [--store json|columnar]\n  topics-lab report  --campaign DIR|FILE [--store json|columnar]\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats] [--store json|columnar]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--store json|columnar]\n  topics-lab merge   --segments DIR [--out DIR] [--store json|columnar]\n  topics-lab report  --campaign DIR|FILE [--store json|columnar]\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]\n  topics-lab serve   --campaign DIR|FILE [--addr HOST:PORT] [--threads N] [--trace FILE] [--addr-file FILE] [--store json|columnar] [--quiet]\n  topics-lab fetch   --addr HOST:PORT [--path /api/report] [--out FILE] [--post]"
     );
     ExitCode::from(2)
 }
@@ -175,6 +196,66 @@ impl Args {
         }
         Ok(())
     }
+}
+
+/// A failure with its exit code attached: missing campaign/trace
+/// inputs exit 3, a store that exists but fails validation exits 4,
+/// everything else 1 (usage errors exit 2 via [`usage`]). Scripts can
+/// branch on the class without parsing stderr.
+#[derive(Debug, PartialEq, Eq)]
+enum CliError {
+    /// A named input file does not exist (exit 3).
+    Missing(String),
+    /// A campaign store exists but fails validation (exit 4).
+    Corrupt(String),
+    /// Any other failure (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Missing(_) => 3,
+            CliError::Corrupt(_) => 4,
+            CliError::Other(_) => 1,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Missing(m) | CliError::Corrupt(m) | CliError::Other(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Other(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Other(m.to_owned())
+    }
+}
+
+/// [`load_campaign`] with the error classified for exit codes: the
+/// `io::ErrorKind` distinction the loader already makes (NotFound for
+/// an absent file, InvalidData for a store that fails decode or
+/// schema validation) becomes [`CliError::Missing`] vs
+/// [`CliError::Corrupt`].
+fn load_campaign_cli(
+    path: &std::path::Path,
+) -> Result<topics_core::crawler::record::CampaignOutcome, CliError> {
+    load_campaign(path).map_err(|e| {
+        let msg = format!("campaign {}: {e}", path.display());
+        match e.kind() {
+            std::io::ErrorKind::NotFound => CliError::Missing(msg),
+            std::io::ErrorKind::InvalidData => CliError::Corrupt(msg),
+            _ => CliError::Other(msg),
+        }
+    })
 }
 
 /// Strict `--store` parse: `json` (default) or `columnar`.
@@ -507,7 +588,7 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(args: &Args) -> Result<(), String> {
+fn cmd_report(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["--campaign", "--store"], &[])?;
     let store = args
         .value_of("--store")?
@@ -519,18 +600,18 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         .value_of("--campaign")?
         .ok_or("report needs --campaign DIR|FILE")?;
     let campaign = resolve_campaign_with(path, store);
-    let outcome = load_campaign(&campaign).map_err(|e| e.to_string())?;
+    let outcome = load_campaign_cli(&campaign)?;
     let eval = evaluate(&outcome);
     println!("{}", eval.render_report());
     Ok(())
 }
 
-fn cmd_metrics(args: &Args) -> Result<(), String> {
+fn cmd_metrics(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["--campaign"], &[])?;
     let path = args
         .value_of("--campaign")?
         .ok_or("metrics needs --campaign FILE")?;
-    let outcome = load_campaign(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    let outcome = load_campaign_cli(&PathBuf::from(path))?;
     print!("{}", metrics_snapshot_of(&outcome).render_prometheus());
     Ok(())
 }
@@ -590,7 +671,7 @@ fn resolve_campaign(path: &str) -> PathBuf {
     resolve_campaign_with(path, None)
 }
 
-fn cmd_doctor(args: &Args) -> Result<(), String> {
+fn cmd_doctor(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["--campaign", "--trace", "--top"], &[])?;
     let campaign = resolve_campaign(
         args.value_of("--campaign")?
@@ -606,9 +687,14 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10);
 
-    let outcome = load_campaign(&campaign).map_err(|e| e.to_string())?;
-    let text = std::fs::read_to_string(&trace_path)
-        .map_err(|e| format!("reading trace {}: {e}", trace_path.display()))?;
+    let outcome = load_campaign_cli(&campaign)?;
+    let text = std::fs::read_to_string(&trace_path).map_err(|e| {
+        let msg = format!("reading trace {}: {e}", trace_path.display());
+        match e.kind() {
+            std::io::ErrorKind::NotFound => CliError::Missing(msg),
+            _ => CliError::Other(msg),
+        }
+    })?;
     let trace = topics_core::obs::Trace::from_jsonl(&text)
         .map_err(|e| format!("parsing trace {}: {e}", trace_path.display()))?;
 
@@ -630,10 +716,7 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
     if report.is_healthy() {
         Ok(())
     } else {
-        Err(format!(
-            "doctor found {} violation(s)",
-            report.violations().len()
-        ))
+        Err(format!("doctor found {} violation(s)", report.violations().len()).into())
     }
 }
 
@@ -666,6 +749,99 @@ fn cmd_memprofile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Strict `--threads` parse: a positive integer, nothing else.
+fn parse_threads(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --threads {s:?} (want an integer ≥ 1)")),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(
+        &[
+            "--campaign",
+            "--addr",
+            "--threads",
+            "--trace",
+            "--addr-file",
+            "--store",
+        ],
+        &["--quiet"],
+    )?;
+    let store = args
+        .value_of("--store")?
+        .map(|s| {
+            StoreKind::parse(s).ok_or_else(|| format!("unknown --store {s:?} (json|columnar)"))
+        })
+        .transpose()?;
+    let path = args
+        .value_of("--campaign")?
+        .ok_or("serve needs --campaign DIR|FILE")?;
+    let mut config = topics_core::ServeConfig::new(resolve_campaign_with(path, store));
+    if let Some(addr) = args.value_of("--addr")? {
+        config.addr = addr.to_owned();
+    }
+    if let Some(threads) = args.value_of("--threads")? {
+        config.threads = parse_threads(threads)?;
+    }
+    if let Some(trace) = args.value_of("--trace")? {
+        config.trace = Some(PathBuf::from(trace));
+    }
+
+    let obs = std::sync::Arc::new(if args.has("--quiet") {
+        Obs::new()
+    } else {
+        Obs::with_stderr_echo()
+    });
+    let server = topics_core::Server::bind(&config, obs).map_err(|e| {
+        let msg = e.to_string();
+        match e {
+            topics_core::ServeError::Missing(_) => CliError::Missing(msg),
+            topics_core::ServeError::Corrupt(..) => CliError::Corrupt(msg),
+            _ => CliError::Other(msg),
+        }
+    })?;
+    let addr = server.local_addr();
+    if let Some(addr_file) = args.value_of("--addr-file")? {
+        std::fs::write(addr_file, format!("{addr}\n"))
+            .map_err(|e| format!("writing {addr_file}: {e}"))?;
+    }
+    eprintln!(
+        "serving {} on http://{addr} ({} API endpoints; POST /shutdown to drain)",
+        config.campaign.display(),
+        server.service().api_paths().len(),
+    );
+    let served = server.run();
+    eprintln!("drained after {served} request(s)");
+    Ok(())
+}
+
+fn cmd_fetch(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["--addr", "--path", "--out"], &["--post"])?;
+    let addr = args
+        .value_of("--addr")?
+        .ok_or("fetch needs --addr HOST:PORT")?;
+    let path = args.value_of("--path")?.unwrap_or("/api/report");
+    let method = if args.has("--post") { "POST" } else { "GET" };
+    let resp = topics_core::http_fetch(addr, method, path)
+        .map_err(|e| format!("fetch {method} http://{addr}{path}: {e}"))?;
+    match args.value_of("--out")? {
+        Some(out) => std::fs::write(out, &resp.body).map_err(|e| format!("writing {out}: {e}"))?,
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&resp.body)
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        }
+    }
+    if (200..300).contains(&resp.status) {
+        Ok(())
+    } else {
+        Err(format!("HTTP {} for {path}", resp.status).into())
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
@@ -673,23 +849,25 @@ fn main() -> ExitCode {
     };
     let args = Args::new(argv.collect());
     let result = match cmd.as_str() {
-        "crawl" => cmd_crawl(&args),
-        "shard" => cmd_shard(&args),
-        "merge" => cmd_merge(&args),
+        "crawl" => cmd_crawl(&args).map_err(CliError::from),
+        "shard" => cmd_shard(&args).map_err(CliError::from),
+        "merge" => cmd_merge(&args).map_err(CliError::from),
         "report" => cmd_report(&args),
         "metrics" => cmd_metrics(&args),
-        "compare" => cmd_compare(&args),
-        "dossier" => cmd_dossier(&args),
+        "compare" => cmd_compare(&args).map_err(CliError::from),
+        "dossier" => cmd_dossier(&args).map_err(CliError::from),
         "doctor" => cmd_doctor(&args),
-        "memprofile" => cmd_memprofile(&args),
+        "memprofile" => cmd_memprofile(&args).map_err(CliError::from),
+        "serve" => cmd_serve(&args),
+        "fetch" => cmd_fetch(&args),
         "--help" | "-h" | "help" => return usage(),
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(format!("unknown subcommand {other:?}").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -798,6 +976,96 @@ mod tests {
             resolve_out(out, "/tmp/t.json"),
             PathBuf::from("/tmp/t.json")
         );
+    }
+
+    #[test]
+    fn serve_flags_parse_strictly() {
+        let a = args(&[
+            "--campaign",
+            "out",
+            "--addr",
+            "127.0.0.1:8080",
+            "--threads",
+            "2",
+            "--addr-file",
+            "addr.txt",
+            "--quiet",
+        ]);
+        assert!(a
+            .reject_unknown(
+                &[
+                    "--campaign",
+                    "--addr",
+                    "--threads",
+                    "--trace",
+                    "--addr-file",
+                    "--store"
+                ],
+                &["--quiet"],
+            )
+            .is_ok());
+        assert_eq!(a.value_of("--addr").unwrap(), Some("127.0.0.1:8080"));
+        assert_eq!(
+            a.value_of("--threads").unwrap().map(parse_threads),
+            Some(Ok(2))
+        );
+        // --threads rejects zero, words and fractions.
+        for bad in ["0", "-1", "1.5", "lots", ""] {
+            assert!(
+                parse_threads(bad).unwrap_err().contains("--threads"),
+                "{bad:?}"
+            );
+        }
+        // A typo stays a hard error — no silently ignored flag.
+        let b = args(&["--campaign", "out", "--adr", "x"]);
+        assert!(b
+            .reject_unknown(&["--campaign", "--addr"], &[])
+            .unwrap_err()
+            .contains("--adr"));
+    }
+
+    #[test]
+    fn fetch_flags_parse_strictly() {
+        let a = args(&["--addr", "127.0.0.1:9", "--path", "/metrics", "--post"]);
+        assert!(a
+            .reject_unknown(&["--addr", "--path", "--out"], &["--post"])
+            .is_ok());
+        assert_eq!(a.value_of("--path").unwrap(), Some("/metrics"));
+        assert!(a.has("--post"));
+        // Default path when the flag is absent.
+        assert_eq!(args(&[]).value_of("--path").unwrap(), None);
+    }
+
+    #[test]
+    fn cli_errors_carry_their_exit_codes() {
+        assert_eq!(CliError::Missing("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Corrupt("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Other("x".into()).exit_code(), 1);
+        // Plain strings classify as Other — the pre-existing exit 1.
+        let e: CliError = "boom".into();
+        assert_eq!(e, CliError::Other("boom".into()));
+        assert_eq!(e.message(), "boom");
+    }
+
+    #[test]
+    fn load_campaign_cli_classifies_missing_and_corrupt() {
+        let missing = load_campaign_cli(std::path::Path::new("/nonexistent/campaign.json"));
+        assert!(
+            matches!(missing, Err(CliError::Missing(_))),
+            "missing file classifies as Missing"
+        );
+        let dir = std::env::temp_dir().join(format!("topics-cli-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        std::fs::write(&path, "not a campaign").unwrap();
+        let corrupt = load_campaign_cli(&path);
+        match corrupt {
+            Err(CliError::Corrupt(msg)) => {
+                assert!(msg.contains("campaign.json"), "{msg}");
+            }
+            other => panic!("corrupt store must classify as Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! * [`shard`] — sharded campaign execution (`topics-lab shard`) and
 //!   the deterministic merge (`topics-lab merge`) back into a bundle
 //!   byte-identical to a single-process run.
+//! * [`serve`] — the live query + observability service
+//!   (`topics-lab serve`): a dependency-free HTTP server answering
+//!   per-figure queries off the resident columnar store, responses
+//!   byte-identical to the offline artefacts, self-observed at
+//!   `/metrics`.
 //! * [`fidelity`] — crawler measurements vs generator ground truth: the
 //!   pipeline's own measurement error, quantifiable only in simulation.
 //!
@@ -39,6 +44,7 @@ pub mod doctor;
 pub mod export;
 pub mod fidelity;
 pub mod lab;
+pub mod serve;
 pub mod shard;
 
 pub use compare::{comparison_rows, render_comparison, ComparisonRow};
@@ -47,6 +53,10 @@ pub use doctor::{diagnose, verify_columnar, verify_segments, ColumnarCheck, Doct
 pub use export::{load_campaign, write_bundle, StoreKind};
 pub use fidelity::{fidelity, FidelityReport};
 pub use lab::{evaluate, metrics_snapshot_of, CampaignRun, Evaluation, Lab};
+pub use serve::{
+    http_fetch, HttpResponse, QueryService, ServeConfig, ServeError, Server, ServerHandle,
+    API_ENDPOINTS,
+};
 pub use shard::{
     merge_dir, merge_dir_columnar, read_segment, run_shard, segment_file_name, segment_paths,
     write_segment, Merged, MergedColumnar, MERGE_RULES,

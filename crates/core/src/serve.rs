@@ -1,0 +1,724 @@
+//! `topics-lab serve` — a live query + observability service over a
+//! campaign store.
+//!
+//! The batch pipeline renders every artefact once and exits; this
+//! module keeps a campaign resident and answers per-figure queries
+//! over HTTP/1.1 — dependency-free, `std::net::TcpListener` plus a
+//! small scoped worker pool. At startup the store is loaded **once**:
+//! the interned [`ColumnarCampaign`] arena and its scanned
+//! [`ColumnIndex`](topics_analysis::ColumnIndex) stay in memory (a
+//! JSON campaign is encoded into the same columnar form first), every
+//! endpoint body is rendered into an immutable cache, and the row
+//! structs are dropped. From then on a request is a map lookup — zero
+//! row-struct materialisation per query — and the column-computable
+//! figures (2, 3, 5) are rendered through
+//! [`ColumnQueries`](topics_analysis::ColumnQueries), the typed query
+//! API over the scanned columns. Every `/api/*` response is
+//! byte-identical to the artefact the offline `crawl`/`merge`
+//! pipeline writes for the same store (`tests/integration_serve.rs`
+//! proves it).
+//!
+//! The server is observed with the repo's own stack: per-endpoint
+//! request counters, an in-flight gauge and a latency histogram live
+//! in a [`MetricsRegistry`](topics_obs::MetricsRegistry) exported at
+//! `/metrics` (Prometheus text), every request is an `http-access`
+//! event through the structured [`EventLog`](topics_obs::EventLog),
+//! and `POST /shutdown` drains gracefully: the accept loop stops,
+//! queued connections finish, workers join.
+//!
+//! | Path              | Body (byte-identical artefact)         |
+//! |-------------------|----------------------------------------|
+//! | `/api/report`     | `report.txt`                           |
+//! | `/api/table1`     | `table1.csv`                           |
+//! | `/api/fig2`       | `fig2_presence.csv`                    |
+//! | `/api/fig3`       | `fig3_fractions.csv`                   |
+//! | `/api/fig5`       | `fig5_questionable.csv`                |
+//! | `/api/fig6`       | `fig6_geo.csv`                         |
+//! | `/api/fig7`       | `fig7_cmp.csv`                         |
+//! | `/api/anomalous`  | `sec4_anomalous.csv`                   |
+//! | `/api/doctor`     | the `doctor` subcommand's report       |
+//! | `/api/profile`    | the trace profile (`topics_obs::profile`) |
+//! | `/metrics`        | live Prometheus exposition             |
+//! | `/healthz` `/readyz` | liveness / readiness probes         |
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use topics_analysis::export as csv;
+use topics_analysis::{colscan, ColumnQueries};
+use topics_crawler::columnar::{ColumnarCampaign, COLUMNAR_MAGIC};
+use topics_crawler::record::CampaignOutcome;
+use topics_obs::{FieldValue, Obs, Trace};
+
+/// The eight artefact-backed API endpoints: URL path → the bundle file
+/// whose bytes the endpoint serves. `/api/doctor` and `/api/profile`
+/// are served too but render from the trace, not a bundle file.
+pub const API_ENDPOINTS: &[(&str, &str)] = &[
+    ("/api/report", "report.txt"),
+    ("/api/table1", "table1.csv"),
+    ("/api/fig2", "fig2_presence.csv"),
+    ("/api/fig3", "fig3_fractions.csv"),
+    ("/api/fig5", "fig5_questionable.csv"),
+    ("/api/fig6", "fig6_geo.csv"),
+    ("/api/fig7", "fig7_cmp.csv"),
+    ("/api/anomalous", "sec4_anomalous.csv"),
+];
+
+/// Request header cap: anything larger is a 400, not a buffer grown
+/// at a hostile client's pace.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket read timeout — a stalled client cannot pin a
+/// worker past this.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// What can go wrong binding and loading the service, kept typed so
+/// the CLI maps each case to a distinct exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The campaign path does not exist.
+    Missing(PathBuf),
+    /// The campaign file exists but does not decode/validate.
+    Corrupt(PathBuf, String),
+    /// Reading the campaign failed for another I/O reason.
+    Io(PathBuf, String),
+    /// Binding the listen address failed.
+    Bind(String, String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Missing(p) => write!(f, "campaign {} not found", p.display()),
+            ServeError::Corrupt(p, e) => write!(f, "campaign {} is corrupt: {e}", p.display()),
+            ServeError::Io(p, e) => write!(f, "reading campaign {}: {e}", p.display()),
+            ServeError::Bind(addr, e) => write!(f, "binding {addr}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The campaign file (either store; a directory must be resolved
+    /// by the caller, the CLI does).
+    pub campaign: PathBuf,
+    /// The span trace backing `/api/doctor` and `/api/profile`.
+    /// `None` means "try `trace.jsonl` next to the campaign"; the two
+    /// endpoints answer 404 when no trace is readable.
+    pub trace: Option<PathBuf>,
+    /// Listen address; port 0 picks an ephemeral port (read it back
+    /// with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: ephemeral loopback port, 4 workers, trace discovered
+    /// next to the campaign.
+    pub fn new(campaign: PathBuf) -> ServeConfig {
+        ServeConfig {
+            campaign,
+            trace: None,
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+        }
+    }
+}
+
+/// The immutable query state built once at startup: the resident
+/// columnar store (interned arena), the scanned column index wrapped
+/// in its typed query API, and every endpoint body pre-rendered.
+pub struct QueryService {
+    store: ColumnarCampaign,
+    queries: ColumnQueries,
+    bodies: BTreeMap<&'static str, (&'static str, Arc<[u8]>)>,
+    build_wall_ms: u64,
+}
+
+impl QueryService {
+    /// Load a campaign file (either store) and build the service: the
+    /// rows are materialised once here to render the row-dependent
+    /// artefacts (report, table 1, figures 6/7, anomalous), then
+    /// dropped — queries never touch row structs again. The
+    /// column-computable figures (2, 3, 5) are rendered through
+    /// [`ColumnQueries`] so the serving path exercises the same code a
+    /// live per-request query would.
+    pub fn build(campaign: &Path, trace: Option<&Path>) -> Result<QueryService, ServeError> {
+        let started = Instant::now();
+        let bytes = std::fs::read(campaign).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => ServeError::Missing(campaign.to_path_buf()),
+            _ => ServeError::Io(campaign.to_path_buf(), e.to_string()),
+        })?;
+        let corrupt = |e: String| -> ServeError { ServeError::Corrupt(campaign.to_path_buf(), e) };
+        let (store, outcome) = if bytes.starts_with(&COLUMNAR_MAGIC) {
+            let store = ColumnarCampaign::decode(bytes).map_err(|e| corrupt(e.to_string()))?;
+            let outcome = store.to_outcome().map_err(|e| corrupt(e.to_string()))?;
+            (store, outcome)
+        } else {
+            let json = String::from_utf8(bytes).map_err(|e| corrupt(e.to_string()))?;
+            let outcome: CampaignOutcome =
+                serde_json::from_str(&json).map_err(|e| corrupt(e.to_string()))?;
+            outcome.check_schema().map_err(|e| corrupt(e.to_string()))?;
+            (ColumnarCampaign::from_outcome(&outcome), outcome)
+        };
+        let queries =
+            ColumnQueries::new(colscan::scan(&store).map_err(|e| corrupt(e.to_string()))?);
+
+        let eval = crate::evaluate(&outcome);
+        let mut bodies: BTreeMap<&'static str, (&'static str, Arc<[u8]>)> = BTreeMap::new();
+        let mut put = |path: &'static str, content_type: &'static str, body: String| {
+            bodies.insert(path, (content_type, body.into_bytes().into()));
+        };
+        const TEXT: &str = "text/plain; charset=utf-8";
+        const CSV: &str = "text/csv; charset=utf-8";
+        put("/api/report", TEXT, eval.render_report());
+        put("/api/table1", CSV, csv::table1_csv(&eval.table1));
+        put("/api/fig2", CSV, csv::presence_csv(&queries.fig2(15)));
+        put("/api/fig3", CSV, csv::presence_csv(&queries.fig3(15)));
+        put("/api/fig5", CSV, csv::questionable_csv(&queries.fig5(15)));
+        put("/api/fig6", CSV, csv::geo_csv(&eval.fig6));
+        put("/api/fig7", CSV, csv::cmp_csv(&eval.fig7));
+        put("/api/anomalous", CSV, csv::anomalous_csv(&eval.anomalous));
+
+        // The doctor/profile endpoints mirror the subcommands byte for
+        // byte, including the segment/columnar directory checks.
+        let trace_path = trace
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| campaign.with_file_name("trace.jsonl"));
+        if let Ok(text) = std::fs::read_to_string(&trace_path) {
+            let trace = Trace::from_jsonl(&text)
+                .map_err(|e| corrupt(format!("trace {}: {e}", trace_path.display())))?;
+            let mut report = crate::diagnose(&outcome, &trace, 10);
+            if let Some(dir) = campaign.parent().filter(|d| d.is_dir()) {
+                let (checked, violations) = crate::doctor::verify_segments(dir, &outcome);
+                if checked > 0 {
+                    report = report.with_segment_checks(checked, violations);
+                }
+                if let Some(check) = crate::doctor::verify_columnar(dir, &outcome) {
+                    report = report.with_columnar_check(check);
+                }
+            }
+            put("/api/doctor", TEXT, report.render());
+            put(
+                "/api/profile",
+                TEXT,
+                topics_obs::profile(&trace, 10).render(),
+            );
+        }
+
+        let build_wall_ms = started.elapsed().as_millis() as u64;
+        // `outcome` and `eval` drop here: the resident state is the
+        // columnar arena, the scanned index, and the body cache.
+        Ok(QueryService {
+            store,
+            queries,
+            bodies,
+            build_wall_ms,
+        })
+    }
+
+    /// The resident store (interned arena; `bytes().len()` is the
+    /// store footprint).
+    pub fn store(&self) -> &ColumnarCampaign {
+        &self.store
+    }
+
+    /// The typed column queries over the resident index.
+    pub fn queries(&self) -> &ColumnQueries {
+        &self.queries
+    }
+
+    /// Milliseconds the one-time load + scan + render took (the cold
+    /// cost a first query would otherwise pay).
+    pub fn build_wall_ms(&self) -> u64 {
+        self.build_wall_ms
+    }
+
+    /// The pre-rendered body for an API path, if the path exists.
+    pub fn body(&self, path: &str) -> Option<&(&'static str, Arc<[u8]>)> {
+        self.bodies.get(path)
+    }
+
+    /// Every served API path (the artefact endpoints plus
+    /// doctor/profile when a trace was found).
+    pub fn api_paths(&self) -> Vec<&'static str> {
+        self.bodies.keys().copied().collect()
+    }
+}
+
+/// One parsed response, as [`http_fetch`] returns it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+/// The in-repo test client: one blocking HTTP/1.1 request over a
+/// fresh connection (`Connection: close`), used by the CI smoke, the
+/// integration suite, and the `fetch` subcommand. Deliberately
+/// minimal — it only understands what [`Server`] emits.
+pub fn http_fetch(addr: &str, method: &str, path: &str) -> std::io::Result<HttpResponse> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(READ_TIMEOUT))?;
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: topics-lab\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw)?;
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| bad("non-UTF-8 header"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok(HttpResponse {
+        status,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+/// A closed-over stop switch: flips the shutdown flag and pokes the
+/// accept loop awake so [`Server::run`] can drain and return.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Request a graceful drain: stop accepting, finish queued and
+    /// in-flight requests, join the workers.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; the connection is dropped unread.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Connection hand-off queue between the accept loop and the workers.
+#[derive(Default)]
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: TcpStream) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.0.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Next connection; `None` once closed **and** drained, so a
+    /// graceful shutdown still serves everything already accepted.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(conn) = state.0.pop_front() {
+                return Some(conn);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+}
+
+/// The HTTP server: a bound listener plus the immutable
+/// [`QueryService`] and the live observability handle.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    obs: Arc<Obs>,
+    threads: usize,
+    shutdown: Arc<AtomicBool>,
+    served: AtomicU64,
+}
+
+impl Server {
+    /// Load the campaign and bind the listen address. The service is
+    /// fully built (store decoded, index scanned, bodies rendered)
+    /// before this returns, so `/readyz` is truthful immediately; the
+    /// one-time cost is published as `serve_build_wall_ms`.
+    pub fn bind(config: &ServeConfig, obs: Arc<Obs>) -> Result<Server, ServeError> {
+        let service = Arc::new(QueryService::build(
+            &config.campaign,
+            config.trace.as_deref(),
+        )?);
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Bind(config.addr.clone(), e.to_string()))?;
+        obs.metrics
+            .gauge("serve_build_wall_ms")
+            .set(service.build_wall_ms() as i64);
+        obs.metrics
+            .gauge("serve_store_bytes")
+            .set(service.store().bytes().len() as i64);
+        obs.metrics
+            .gauge("serve_sites")
+            .set(service.store().site_count() as i64);
+        obs.metrics.gauge("serve_ready").set(1);
+        Ok(Server {
+            listener,
+            service,
+            obs,
+            threads: config.threads.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            served: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// A stop switch usable from other threads (tests, signal hooks).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// The service this server answers from.
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// Serve until a shutdown is requested (`POST /shutdown` or
+    /// [`ServerHandle::stop`]), then drain: accepted connections are
+    /// finished, the workers join, and the total request count is
+    /// returned. The worker pool is scoped — no detached threads
+    /// survive this call.
+    pub fn run(&self) -> u64 {
+        let queue = ConnQueue::default();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    while let Some(conn) = queue.pop() {
+                        self.handle_conn(conn);
+                    }
+                });
+            }
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((conn, _)) => {
+                        // The shutdown poke (and anything racing it)
+                        // is dropped, not served.
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        queue.push(conn);
+                    }
+                    Err(e) => {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        self.obs.events.error(
+                            "http-accept-error",
+                            vec![("error".to_owned(), FieldValue::Str(e.to_string()))],
+                        );
+                    }
+                }
+            }
+            queue.close();
+        });
+        self.obs.metrics.gauge("serve_ready").set(0);
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Route one request path to `(status, endpoint label, content
+    /// type, body)`. The label is the path for known routes and
+    /// `"other"` for everything else, so the request-counter
+    /// cardinality is bounded by the route table.
+    fn route(&self, method: &str, path: &str) -> (u16, &'static str, &'static str, Arc<[u8]>) {
+        const TEXT: &str = "text/plain; charset=utf-8";
+        let body = |s: &str| -> Arc<[u8]> { s.as_bytes().to_vec().into() };
+        if method == "POST" && path == "/shutdown" {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Poke the accept loop awake so the drain starts now, not
+            // at the next client connection.
+            let _ = TcpStream::connect(self.local_addr());
+            return (200, "/shutdown", TEXT, body("draining\n"));
+        }
+        if method != "GET" {
+            return (405, "other", TEXT, body("method not allowed\n"));
+        }
+        match path {
+            "/healthz" => (200, "/healthz", TEXT, body("ok\n")),
+            "/readyz" => (200, "/readyz", TEXT, body("ready\n")),
+            "/metrics" => {
+                // Rendered after the request counter increment, so a
+                // scrape observes itself — counters reconcile exactly
+                // against requests issued.
+                (200, "/metrics", TEXT, body(""))
+            }
+            _ => match self.service.body(path) {
+                Some((content_type, b)) => {
+                    let label = API_ENDPOINTS
+                        .iter()
+                        .map(|(p, _)| *p)
+                        .chain(["/api/doctor", "/api/profile"])
+                        .find(|p| *p == path)
+                        .unwrap_or("other");
+                    (200, label, content_type, Arc::clone(b))
+                }
+                None if path == "/api/doctor" || path == "/api/profile" => (
+                    404,
+                    "other",
+                    TEXT,
+                    body("no trace.jsonl next to the campaign\n"),
+                ),
+                None => (404, "other", TEXT, body("not found\n")),
+            },
+        }
+    }
+
+    /// Handle one connection: parse, count, answer, log.
+    fn handle_conn(&self, mut conn: TcpStream) {
+        let started = Instant::now();
+        let _ = conn.set_read_timeout(Some(READ_TIMEOUT));
+        let inflight = self.obs.metrics.gauge("http_inflight_requests");
+        inflight.add(1);
+        let parsed = read_request(&mut conn);
+        let (method, path) = match &parsed {
+            Ok((m, p)) => (m.as_str(), p.as_str()),
+            Err(_) => ("", ""),
+        };
+        let (status, label, content_type, mut response_body) = if parsed.is_ok() {
+            self.route(method, path)
+        } else {
+            (
+                400,
+                "other",
+                "text/plain; charset=utf-8",
+                b"bad request\n".to_vec().into(),
+            )
+        };
+        self.obs
+            .metrics
+            .labeled_counter("http_requests_total", "path", label)
+            .inc();
+        self.obs
+            .metrics
+            .labeled_counter("http_responses_total", "status", &status.to_string())
+            .inc();
+        if status == 200 && path == "/metrics" {
+            response_body = self
+                .obs
+                .metrics
+                .snapshot()
+                .render_prometheus()
+                .into_bytes()
+                .into();
+        }
+        let wrote = write_response(&mut conn, status, content_type, &response_body);
+        let wall_us = started.elapsed().as_micros() as u64;
+        self.obs
+            .metrics
+            .histogram("http_request_wall_ms")
+            .observe(wall_us / 1_000);
+        inflight.add(-1);
+        self.served.fetch_add(1, Ordering::SeqCst);
+        self.obs.events.info(
+            "http-access",
+            vec![
+                (
+                    "method".to_owned(),
+                    FieldValue::Str(if method.is_empty() {
+                        "?".to_owned()
+                    } else {
+                        method.to_owned()
+                    }),
+                ),
+                (
+                    "path".to_owned(),
+                    FieldValue::Str(if path.is_empty() {
+                        "?".to_owned()
+                    } else {
+                        path.to_owned()
+                    }),
+                ),
+                ("status".to_owned(), FieldValue::U64(status as u64)),
+                (
+                    "bytes".to_owned(),
+                    FieldValue::U64(response_body.len() as u64),
+                ),
+                ("wall_us".to_owned(), FieldValue::U64(wall_us)),
+                (
+                    "write_ok".to_owned(),
+                    FieldValue::Str(wrote.is_ok().to_string()),
+                ),
+            ],
+        );
+    }
+}
+
+/// Read and parse the request line; headers are consumed and ignored
+/// (no endpoint takes a body).
+fn read_request(conn: &mut TcpStream) -> std::io::Result<(String, String)> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request header too large",
+            ));
+        }
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    parse_request_line(&buf)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad request line"))
+}
+
+/// `METHOD PATH HTTP/…` → `(METHOD, PATH)`; anything else is `None`.
+fn parse_request_line(raw: &[u8]) -> Option<(String, String)> {
+    let line_end = raw.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&raw[..line_end]).ok()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?.to_owned();
+    let path = parts.next()?.to_owned();
+    let version = parts.next()?;
+    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/") {
+        return None;
+    }
+    Some((method, path))
+}
+
+/// Write a complete `Connection: close` response.
+fn write_response(
+    conn: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        conn,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    conn.write_all(body)?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_strictly() {
+        let ok = parse_request_line(b"GET /api/report HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(ok, ("GET".to_owned(), "/api/report".to_owned()));
+        let post = parse_request_line(b"POST /shutdown HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(post.0, "POST");
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"/x GET\r\n",
+            b"",
+            b"no crlf at all",
+        ] {
+            assert!(parse_request_line(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn endpoint_table_matches_bundle_files() {
+        // Every artefact-backed endpoint must point at a real bundle
+        // file name — the byte-identity contract depends on it.
+        for (path, artefact) in API_ENDPOINTS {
+            assert!(path.starts_with("/api/"), "{path}");
+            assert!(
+                crate::export::BUNDLE_FILES.contains(artefact),
+                "{artefact} is not a bundle file"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_drains_after_close() {
+        let q = ConnQueue::default();
+        q.close();
+        assert!(q.pop().is_none(), "closed empty queue yields None");
+    }
+
+    #[test]
+    fn serve_error_display_names_the_path() {
+        let p = PathBuf::from("/tmp/x/campaign.col");
+        assert!(ServeError::Missing(p.clone())
+            .to_string()
+            .contains("not found"));
+        assert!(ServeError::Corrupt(p.clone(), "bad magic".into())
+            .to_string()
+            .contains("corrupt"));
+        assert!(ServeError::Bind("127.0.0.1:1".into(), "denied".into())
+            .to_string()
+            .contains("127.0.0.1:1"));
+        let _ = ServeError::Io(p, "weird".into()).to_string();
+    }
+
+    fn build_err(path: &Path) -> ServeError {
+        match QueryService::build(path, None) {
+            Ok(_) => panic!("expected an error for {}", path.display()),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn missing_campaign_is_typed() {
+        let err = build_err(Path::new("/nonexistent/campaign.col"));
+        assert!(matches!(err, ServeError::Missing(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_campaign_is_typed() {
+        let dir = std::env::temp_dir().join(format!("topics-serve-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        std::fs::write(&path, "definitely not json").unwrap();
+        let err = build_err(&path);
+        assert!(matches!(err, ServeError::Corrupt(..)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

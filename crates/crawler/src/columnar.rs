@@ -949,6 +949,23 @@ impl ColumnarCampaign {
         })
     }
 
+    /// Load an encoded store from disk — [`ColumnarCampaign::decode`]
+    /// over the file's bytes, with I/O errors kept distinct from
+    /// corruption: a missing file surfaces as `io::ErrorKind::NotFound`,
+    /// a failed decode as `InvalidData` carrying the typed
+    /// [`ColumnarError`] message. This is the long-running-service load
+    /// path (`topics-lab serve`), which reads the store once and then
+    /// answers every query from the decoded arena.
+    pub fn read_from(path: &std::path::Path) -> std::io::Result<ColumnarCampaign> {
+        let bytes = std::fs::read(path)?;
+        ColumnarCampaign::decode(bytes).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad {}: {e}", path.display()),
+            )
+        })
+    }
+
     /// The canonical encoded bytes (what `campaign.col` holds).
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
@@ -1971,6 +1988,28 @@ mod tests {
             serde_json::to_string(&back).unwrap(),
             serde_json::to_string(&original).unwrap()
         );
+    }
+
+    #[test]
+    fn read_from_loads_a_file_and_keeps_error_kinds_distinct() {
+        let dir = std::env::temp_dir().join(format!("topics-colread-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.col");
+        let store = ColumnarCampaign::from_outcome(&outcome());
+        std::fs::write(&path, store.bytes()).unwrap();
+        let loaded = ColumnarCampaign::read_from(&path).unwrap();
+        assert_eq!(loaded.bytes(), store.bytes());
+        // Missing file → NotFound; corrupt payload → InvalidData with
+        // the typed decode error in the message.
+        let missing = ColumnarCampaign::read_from(&dir.join("absent.col")).unwrap_err();
+        assert_eq!(missing.kind(), std::io::ErrorKind::NotFound);
+        // Truncation is detected eagerly (section payloads must tile
+        // the file), so a clipped store fails at load, not first use.
+        let corrupt = &store.bytes()[..store.bytes().len() - 1];
+        std::fs::write(&path, corrupt).unwrap();
+        let err = ColumnarCampaign::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

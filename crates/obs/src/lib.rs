@@ -39,7 +39,8 @@ pub mod trace;
 pub use alloc::{AllocDelta, AllocSpan, AllocStats, CountingAlloc, WindowSpan};
 pub use events::{Event, EventLog, FieldValue, Level, SpanGuard};
 pub use metrics::{
-    labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    escape_label_value, labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot,
 };
 pub use profile::{mem_profile, profile, Integrity, MemProfile, Profile};
 pub use trace::{

@@ -58,9 +58,32 @@ pub const DEFAULT_LABEL_CAP: usize = 64;
 /// Overflow bucket used once a label exceeds the cardinality cap.
 pub const OTHER_LABEL: &str = "other";
 
-/// Build a labelled metric name: `name{label="value"}`.
+/// Build a labelled metric name: `name{label="value"}`. The value is
+/// escaped with [`escape_label_value`], so arbitrary strings (domains
+/// with quotes, multi-line phase names) stay within one well-formed
+/// exposition line.
 pub fn labeled(name: &str, label: &str, value: &str) -> String {
-    format!("{name}{{{label}=\"{value}\"}}")
+    format!("{name}{{{label}=\"{}\"}}", escape_label_value(value))
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+/// Values without those characters are returned borrowed (no
+/// allocation on the common path).
+pub fn escape_label_value(value: &str) -> std::borrow::Cow<'_, str> {
+    if !value.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(value);
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
 }
 
 /// The base name of a possibly-labelled metric (the part before `{`).
@@ -534,6 +557,42 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn label_values_are_escaped_per_the_exposition_format() {
+        // Regression: a backslash, quote or newline in a label value
+        // used to land verbatim in the series name and corrupt the
+        // /metrics payload (the quote ended the value early; the
+        // newline split the sample across two lines).
+        assert_eq!(escape_label_value("plain.example"), "plain.example");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        assert_eq!(
+            labeled("calls_total", "cp", "evil\"\n\\.example"),
+            "calls_total{cp=\"evil\\\"\\n\\\\.example\"}"
+        );
+        // Through the registry: the rendered exposition stays one
+        // sample per line and parseable.
+        let r = MetricsRegistry::new();
+        r.labeled_counter("calls_total", "cp", "evil\"cp\n.example")
+            .inc();
+        let text = r.snapshot().render_prometheus();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.ends_with(" 1"),
+                "sample line split by an unescaped newline: {line:?}"
+            );
+            let quotes_unescaped = line
+                .as_bytes()
+                .windows(2)
+                .filter(|w| w[1] == b'"' && w[0] != b'\\')
+                .count()
+                + usize::from(line.as_bytes().first() == Some(&b'"'));
+            assert_eq!(quotes_unescaped, 2, "stray quote in {line:?}");
+        }
+        assert!(text.contains("calls_total{cp=\"evil\\\"cp\\n.example\"} 1"));
+    }
 
     #[test]
     fn counters_share_state_by_name() {

@@ -221,6 +221,72 @@ impl Profile {
             })
             .collect()
     }
+
+    /// Plain-text report (the `topics-lab serve` `/api/profile` body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Per-phase time ==\n");
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>10}  clock\n",
+            "phase", "total ms", "self ms"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<20} {:>10} {:>10}  {}\n",
+                p.name,
+                p.total_ms,
+                p.self_ms,
+                if p.simulated { "sim" } else { "wall" },
+            ));
+        }
+        out.push('\n');
+        out.push_str("== Critical path (simulated clock) ==\n");
+        if self.critical_path.is_empty() {
+            out.push_str("(no simulated spans in trace)\n");
+        }
+        for h in &self.critical_path {
+            out.push_str(&format!(
+                "{:<16} {:<28} {:>8} → {:>8} ms\n",
+                h.name, h.label, h.start_ms, h.end_ms
+            ));
+        }
+        out.push('\n');
+        out.push_str("== Worker idle fractions ==\n");
+        let idle = self.idle_fractions();
+        if idle.is_empty() {
+            out.push_str("(no worker spans in trace)\n");
+        }
+        for (phase, frac) in &idle {
+            out.push_str(&format!("{phase:<20} {:>6.1}% idle\n", frac * 100.0));
+        }
+        out.push('\n');
+        out.push_str("== Retry clusters ==\n");
+        if self.retry_clusters.is_empty() {
+            out.push_str("(no retries in trace)\n");
+        }
+        for c in &self.retry_clusters {
+            out.push_str(&format!(
+                "window @{:>8} ms: {:>4} retries (e.g. {})\n",
+                c.window_start_ms,
+                c.retries,
+                c.hosts.join(", "),
+            ));
+        }
+        out.push('\n');
+        out.push_str("== Slowest visits ==\n");
+        for (i, v) in self.slowest_visits.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}. {:<28} rank {:>6}  {:>8} ms (dominant: {} {} ms)\n",
+                i + 1,
+                v.domain,
+                v.rank,
+                v.duration_ms,
+                v.dominant,
+                v.dominant_ms,
+            ));
+        }
+        out
+    }
 }
 
 fn label_of(s: &SpanRecord) -> String {

@@ -1,0 +1,126 @@
+//! Concurrent scrape coverage: the live registry is rendered to
+//! Prometheus text while other threads mutate counters, gauges and
+//! histograms — the exact access pattern of `topics-lab serve`, where
+//! `/metrics` is scraped mid-request. Every render must be well-formed
+//! (one sample per line, unique HELP/TYPE headers, cumulative buckets)
+//! and counter values must be monotone across successive renders.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use topics_obs::metrics::base_name;
+use topics_obs::MetricsRegistry;
+
+/// Parse a rendered exposition into (series name, value) pairs,
+/// asserting structural well-formedness along the way.
+fn parse_render(text: &str) -> Vec<(String, i64)> {
+    let mut samples = Vec::new();
+    let mut meta: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if line.starts_with("# HELP") || line.starts_with("# TYPE") {
+            meta.push(line);
+            continue;
+        }
+        assert!(!line.is_empty(), "blank line in exposition");
+        let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            !name.is_empty() && !name.starts_with(' '),
+            "malformed sample line {line:?}"
+        );
+        let value: i64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+        samples.push((name.to_owned(), value));
+    }
+    let total = meta.len();
+    meta.sort_unstable();
+    meta.dedup();
+    assert_eq!(meta.len(), total, "duplicate HELP/TYPE lines");
+    samples
+}
+
+#[test]
+fn concurrent_scrapes_are_well_formed_and_monotone() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers: counters, a labelled counter family, a gauge, and a
+    // histogram, all hammered concurrently.
+    let mut writers = Vec::new();
+    for w in 0..3 {
+        let r = Arc::clone(&registry);
+        let s = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !s.load(Ordering::Relaxed) {
+                r.counter("scrape_test_total").inc();
+                r.labeled_counter("scrape_requests_total", "path", "/api/report")
+                    .inc();
+                r.labeled_counter("scrape_requests_total", "path", "/metrics")
+                    .add(2);
+                r.gauge("scrape_inflight").set((w * 100 + i % 7) as i64);
+                r.histogram_with_buckets("scrape_wall_ms", &[1, 5, 25, 100])
+                    .observe(i % 130);
+                i += 1;
+            }
+        }));
+    }
+
+    // Scrapers: render repeatedly while the writers run; each scraper
+    // checks well-formedness per render and monotonicity against its
+    // own previous render.
+    let mut scrapers = Vec::new();
+    for _ in 0..2 {
+        let r = Arc::clone(&registry);
+        scrapers.push(std::thread::spawn(move || {
+            let mut last_total = 0i64;
+            let mut last_count = 0i64;
+            let mut renders = 0usize;
+            for _ in 0..200 {
+                let samples = parse_render(&r.snapshot().render_prometheus());
+                let mut bucket_cumulative = -1i64;
+                for (name, value) in &samples {
+                    if name == "scrape_test_total" {
+                        assert!(
+                            *value >= last_total,
+                            "counter went backwards: {value} < {last_total}"
+                        );
+                        last_total = *value;
+                    }
+                    if name == "scrape_wall_ms_count" {
+                        assert!(*value >= last_count, "histogram count shrank");
+                        last_count = *value;
+                    }
+                    if name.starts_with("scrape_wall_ms_bucket") {
+                        assert!(
+                            *value >= bucket_cumulative,
+                            "buckets must be cumulative: {name} {value}"
+                        );
+                        bucket_cumulative = *value;
+                    }
+                    assert!(
+                        !base_name(name).is_empty(),
+                        "sample without a base name: {name}"
+                    );
+                }
+                renders += 1;
+            }
+            renders
+        }));
+    }
+
+    let renders: usize = scrapers.into_iter().map(|s| s.join().unwrap()).sum();
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(renders, 400, "every render completed");
+
+    // Quiescent reconciliation: the final render agrees with the
+    // handles' own values exactly.
+    let final_samples = parse_render(&registry.snapshot().render_prometheus());
+    let total = registry.counter("scrape_test_total").get() as i64;
+    assert!(total > 0, "writers made progress");
+    assert!(final_samples
+        .iter()
+        .any(|(n, v)| n == "scrape_test_total" && *v == total));
+}

@@ -35,7 +35,8 @@ echo "== doctor on a chaos campaign (5% fault band, alloc-counted) =="
 # windows that undercut their attributed children all exit non-zero.
 DOCTOR_DIR=$(mktemp -d)
 SHARD_DIR=$(mktemp -d)
-trap 'rm -rf "$DOCTOR_DIR" "$SHARD_DIR"' EXIT
+SERVE_PID=""
+trap 'rm -rf "$DOCTOR_DIR" "$SHARD_DIR"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cargo run --release -q -p topics-core --bin topics-lab -- crawl \
     --sites 500 --seed 7 --quiet --fault-profile 0.05 --alloc-stats \
     --out "$DOCTOR_DIR" --trace-out trace.jsonl --metrics-out metrics.prom \
@@ -103,6 +104,39 @@ $TL merge --segments "$SHARD_DIR/m4" --store columnar \
     --out "$SHARD_DIR/colmerge" > /dev/null
 cmp "$SHARD_DIR/col/campaign.col" "$SHARD_DIR/colmerge/campaign.col"
 $TL doctor --campaign "$SHARD_DIR/colmerge" > /dev/null
+
+echo "== serve smoke (live query service over the chaos campaign) =="
+# `topics-lab serve` holds the campaign resident and must answer every
+# endpoint, serve /api/report byte-identical to the offline artefact,
+# count its own requests exactly at /metrics, and drain cleanly on
+# POST /shutdown. The chaos campaign has a trace next to it, so
+# /api/doctor and /api/profile are exercised too.
+$TL serve --campaign "$DOCTOR_DIR" --quiet \
+    --addr-file "$DOCTOR_DIR/addr.txt" 2> /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$DOCTOR_DIR/addr.txt" ] && break
+    sleep 0.1
+done
+ADDR=$(cat "$DOCTOR_DIR/addr.txt")
+for EP in /healthz /readyz /api/table1 /api/fig2 /api/fig3 /api/fig5 \
+    /api/fig6 /api/fig7 /api/anomalous /api/doctor /api/profile; do
+    $TL fetch --addr "$ADDR" --path "$EP" > /dev/null
+done
+$TL fetch --addr "$ADDR" --path /api/report --out "$DOCTOR_DIR/served-report.txt"
+cmp "$DOCTOR_DIR/served-report.txt" "$DOCTOR_DIR/report.txt"
+# 12 requests so far; the scrape counts itself before rendering, so the
+# exposition must account for exactly 13.
+$TL fetch --addr "$ADDR" --path /metrics --out "$DOCTOR_DIR/served-metrics.prom"
+TOTAL=$(grep -E '^http_requests_total\{' "$DOCTOR_DIR/served-metrics.prom" \
+    | awk '{s+=$2} END {print s}')
+if [ "$TOTAL" != "13" ]; then
+    echo "error: /metrics counted $TOTAL requests, expected 13" >&2
+    exit 1
+fi
+$TL fetch --addr "$ADDR" --path /shutdown --post > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
 
 echo "== shard suites (properties, byte-identity, corruption) =="
 cargo test -q -p topics-crawler --test properties

@@ -1,0 +1,343 @@
+//! Integration: `topics-lab serve` answers the offline artefacts.
+//!
+//! The serving contract: every `/api/*` response is **byte-identical**
+//! to the artefact the offline pipeline writes for the same campaign
+//! store — for a plain campaign, under fault injection, and for a
+//! 4-shard-merged columnar store — including under concurrent clients.
+//! The server's own telemetry reconciles exactly: after a known set of
+//! requests, the `/metrics` counters sum to the requests issued. The
+//! CLI front end exits with typed codes (3 missing, 4 corrupt) instead
+//! of a catch-all 1.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+use topics_core::net::fault::FaultProfile;
+use topics_core::obs::Obs;
+use topics_core::{
+    evaluate, http_fetch, merge_dir_columnar, run_shard, write_segment, Lab, LabConfig,
+    ServeConfig, Server, StoreKind, API_ENDPOINTS,
+};
+
+const SITES: usize = 150;
+
+/// Unique temp dir per test (tests run concurrently in one process).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("topics-iserve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bind a server over `dir`'s campaign.col, run it on a background
+/// thread, and hand the bound address to `f`; drains via the handle
+/// afterwards and returns the served-request count.
+fn with_server(dir: &Path, threads: usize, f: impl FnOnce(&str, &Server)) -> u64 {
+    let config = ServeConfig {
+        campaign: dir.join("campaign.col"),
+        trace: None,
+        addr: "127.0.0.1:0".to_owned(),
+        threads,
+    };
+    let server = Server::bind(&config, Arc::new(Obs::new())).expect("server binds");
+    let addr = server.local_addr().to_string();
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        f(&addr, &server);
+        server.handle().stop();
+        runner.join().expect("server thread")
+    })
+}
+
+/// Fetch every artefact endpoint and assert the bytes equal the files
+/// the offline pipeline wrote into `dir`.
+fn assert_endpoints_match_artefacts(addr: &str, dir: &Path, tag: &str) {
+    for (path, artefact) in API_ENDPOINTS {
+        let resp = http_fetch(addr, "GET", path).expect("fetch succeeds");
+        assert_eq!(resp.status, 200, "{tag}: {path}");
+        let want = std::fs::read(dir.join(artefact))
+            .unwrap_or_else(|e| panic!("{tag}: reading {artefact}: {e}"));
+        assert_eq!(resp.body, want, "{tag}: {path} differs from {artefact}");
+    }
+}
+
+#[test]
+fn serve_answers_byte_identical_artefacts_plain_and_faulted() {
+    for (tag, config) in [
+        ("plain", LabConfig::quick(41, SITES).with_threads(2)),
+        (
+            "faulted",
+            LabConfig::quick(43, SITES)
+                .with_threads(2)
+                .with_fault_profile(FaultProfile::parse("0.05").unwrap()),
+        ),
+    ] {
+        let dir = temp_dir(tag);
+        let outcome = Lab::new(config).run().outcome;
+        let eval = evaluate(&outcome);
+        topics_core::write_bundle(&dir, &outcome, &eval, false, StoreKind::Columnar).unwrap();
+
+        with_server(&dir, 2, |addr, server| {
+            assert_endpoints_match_artefacts(addr, &dir, tag);
+
+            // Probes answer; no trace next to the store → doctor and
+            // profile are a clean 404, not a panic.
+            assert_eq!(http_fetch(addr, "GET", "/healthz").unwrap().status, 200);
+            assert_eq!(http_fetch(addr, "GET", "/readyz").unwrap().status, 200);
+            assert_eq!(http_fetch(addr, "GET", "/api/doctor").unwrap().status, 404);
+            assert_eq!(http_fetch(addr, "GET", "/api/profile").unwrap().status, 404);
+            assert_eq!(http_fetch(addr, "GET", "/nope").unwrap().status, 404);
+            assert_eq!(
+                http_fetch(addr, "DELETE", "/api/report").unwrap().status,
+                405
+            );
+
+            // The build published its one-time cost and footprint.
+            let snap = server.service();
+            assert!(!snap.store().bytes().is_empty(), "{tag}: resident store");
+            assert_eq!(snap.api_paths().len(), API_ENDPOINTS.len(), "{tag}");
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn serve_answers_the_merged_store_with_doctor_and_profile() {
+    let config = LabConfig::quick(47, SITES).with_threads(2);
+    let dir = temp_dir("merged");
+    for shard in 0..4 {
+        let segment = run_shard(&config, shard, 4, &Obs::new().with_trace());
+        write_segment(&dir, &segment).unwrap();
+    }
+    let merged = merge_dir_columnar(&dir).unwrap();
+    std::fs::write(dir.join("campaign.col"), merged.store.bytes()).unwrap();
+    std::fs::write(dir.join("trace.jsonl"), merged.trace.to_jsonl()).unwrap();
+    let eval = evaluate(&merged.outcome);
+    topics_core::export::write_artefacts(&dir, &merged.outcome, &eval, false).unwrap();
+
+    // The offline doctor body, straight from the subcommand.
+    let doctor = Command::new(env!("CARGO_BIN_EXE_topics-lab"))
+        .args(["doctor", "--campaign", dir.to_str().unwrap()])
+        .output()
+        .expect("doctor runs");
+    assert!(
+        doctor.status.success(),
+        "{}",
+        String::from_utf8_lossy(&doctor.stderr)
+    );
+
+    with_server(&dir, 4, |addr, _| {
+        assert_endpoints_match_artefacts(addr, &dir, "merged");
+
+        // With a trace next to the store, /api/doctor replicates the
+        // doctor subcommand byte for byte (segment + columnar checks
+        // included) and /api/profile renders the span profile.
+        let api_doctor = http_fetch(addr, "GET", "/api/doctor").unwrap();
+        assert_eq!(api_doctor.status, 200);
+        assert_eq!(
+            api_doctor.body, doctor.stdout,
+            "/api/doctor differs from the doctor subcommand"
+        );
+        let profile = http_fetch(addr, "GET", "/api/profile").unwrap();
+        assert_eq!(profile.status, 200);
+        let text = String::from_utf8(profile.body).unwrap();
+        assert!(text.contains("== Per-phase time =="), "{text}");
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_identical_bytes_and_metrics_reconcile() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 5;
+    let dir = temp_dir("concurrent");
+    let outcome = Lab::new(LabConfig::quick(53, SITES).with_threads(2))
+        .run()
+        .outcome;
+    let eval = evaluate(&outcome);
+    topics_core::write_bundle(&dir, &outcome, &eval, false, StoreKind::Columnar).unwrap();
+
+    let served = with_server(&dir, 4, |addr, _| {
+        // 8 clients, each fetching every artefact endpoint 5 times;
+        // every response must equal the offline artefact bytes.
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        assert_endpoints_match_artefacts(addr, &dir, "concurrent");
+                    }
+                });
+            }
+        });
+
+        // Quiescent now: one /metrics scrape must account for every
+        // request issued — including itself, since the counter is
+        // incremented before the exposition is rendered.
+        let scrape = http_fetch(addr, "GET", "/metrics").unwrap();
+        assert_eq!(scrape.status, 200);
+        let text = String::from_utf8(scrape.body).unwrap();
+        let mut by_path: BTreeMap<String, u64> = BTreeMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            if let Some(rest) = line.strip_prefix("http_requests_total{path=\"") {
+                let (path, value) = rest.split_once("\"} ").expect("well-formed sample");
+                by_path.insert(path.to_owned(), value.parse().expect("numeric counter"));
+            }
+        }
+        let per_endpoint = (CLIENTS * ROUNDS) as u64;
+        for (path, _) in API_ENDPOINTS {
+            assert_eq!(
+                by_path.get(*path).copied(),
+                Some(per_endpoint),
+                "{path} counter"
+            );
+        }
+        assert_eq!(by_path.get("/metrics").copied(), Some(1), "self-scrape");
+        let total: u64 = by_path.values().sum();
+        assert_eq!(
+            total,
+            per_endpoint * API_ENDPOINTS.len() as u64 + 1,
+            "every request accounted for: {by_path:?}"
+        );
+        assert!(
+            text.contains("serve_ready 1"),
+            "readiness gauge exported: {text}"
+        );
+    });
+    // The drain served everything: the clients' requests, the scrape,
+    // and nothing else (the stop poke is dropped unserved).
+    assert_eq!(served, (CLIENTS * ROUNDS * API_ENDPOINTS.len()) as u64 + 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn lab(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_topics-lab"))
+        .args(args)
+        .output()
+        .expect("topics-lab runs")
+}
+
+#[test]
+fn cli_exit_codes_distinguish_missing_from_corrupt() {
+    let dir = temp_dir("exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corrupt = dir.join("campaign.json");
+    std::fs::write(&corrupt, "not a campaign at all").unwrap();
+    let missing = dir.join("no-such-campaign.json");
+
+    for cmd in ["report", "metrics", "doctor", "serve"] {
+        let out = lab(&[cmd, "--campaign", missing.to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "{cmd} on a missing campaign: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let out = lab(&[cmd, "--campaign", corrupt.to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(4),
+            "{cmd} on a corrupt campaign: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // A truncated columnar store is caught by its checksums → exit 4.
+    let outcome = Lab::new(LabConfig::quick(59, 40).with_threads(2))
+        .run()
+        .outcome;
+    let store = topics_core::crawler::columnar::ColumnarCampaign::from_outcome(&outcome);
+    let col = dir.join("campaign.col");
+    std::fs::write(&col, &store.bytes()[..store.bytes().len() - 1]).unwrap();
+    let out = lab(&["report", "--campaign", col.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Usage errors stay exit 2; other failures stay exit 1.
+    assert_eq!(lab(&[]).status.code(), Some(2), "bare invocation is usage");
+    let out = lab(&["report"]);
+    assert_eq!(out.status.code(), Some(1), "missing flag is a plain error");
+    let out = lab(&["fetch", "--addr", "127.0.0.1:1", "--path", "/healthz"]);
+    assert_eq!(out.status.code(), Some(1), "unreachable server is exit 1");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cli_serve_and_fetch_round_trip() {
+    let dir = temp_dir("cli-serve");
+    let outcome = Lab::new(LabConfig::quick(61, 60).with_threads(2))
+        .run()
+        .outcome;
+    let eval = evaluate(&outcome);
+    topics_core::write_bundle(&dir, &outcome, &eval, false, StoreKind::Columnar).unwrap();
+
+    let addr_file = dir.join("addr.txt");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_topics-lab"))
+        .args([
+            "serve",
+            "--campaign",
+            dir.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--quiet",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("serve starts");
+
+    // The addr file appears once the listener is bound and the service
+    // is built (bind is eager, so the server is ready by then).
+    let mut addr = String::new();
+    for _ in 0..600 {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if s.ends_with('\n') {
+                addr = s.trim().to_owned();
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(!addr.is_empty(), "server never wrote its address");
+
+    // fetch writes the report body; it must equal the offline file.
+    let report_out = dir.join("fetched-report.txt");
+    let out = lab(&[
+        "fetch",
+        "--addr",
+        &addr,
+        "--path",
+        "/api/report",
+        "--out",
+        report_out.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&report_out).unwrap(),
+        std::fs::read(dir.join("report.txt")).unwrap(),
+        "fetched report differs from the offline artefact"
+    );
+
+    // A 404 path is a non-zero fetch exit.
+    let out = lab(&["fetch", "--addr", &addr, "--path", "/nope"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // POST /shutdown drains the server to a clean exit.
+    let out = lab(&["fetch", "--addr", &addr, "--path", "/shutdown", "--post"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "serve exited {status:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
