@@ -10,22 +10,33 @@
 //!   cross-site profiles and near-total fingerprint uniqueness;
 //! * [`reident`] — the Topics re-identification attack: per-context
 //!   topic histograms and nearest-neighbour linkage, measured against
-//!   the cookie baseline's trivially perfect linkage.
+//!   the cookie baseline's trivially perfect linkage;
+//! * [`arena`] — the same population semantics at 10⁵–10⁶ users: one
+//!   epoch-major arena of packed top-5 slots plus per-user taxonomy
+//!   bitsets, advanced in parallel with byte-identical results for any
+//!   thread count;
+//! * [`simulate`] — population-scale k-anonymity and re-identification
+//!   curves over the arena, with sparse CSR profiles and an
+//!   inverted-index attack kernel (the `topics-lab simulate` engine).
 //!
-//! The `baseline_reident` and `ablation_noise` benches build on these to
-//! chart profiling power versus population size and versus the 5% noise
-//! mechanism.
+//! The `baseline_reident`, `ablation_noise` and `sim_engine` benches
+//! build on these to chart profiling power versus population size,
+//! versus the 5% noise mechanism, and versus the legacy dense path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod population;
 pub mod reident;
+pub mod simulate;
 pub mod tracker;
 
+pub use arena::{PopulationArena, TopicBitset};
 pub use population::{generate_population, generate_population_with_noise, SiteUniverse, User};
 pub use reident::{
     collect_profiles, cookie_match, isolated_fraction, match_profiles, match_profiles_top_k,
     profile_entropy, MatchResult, TopicProfile,
 };
+pub use simulate::{KanonRow, ReidentRow, SimConfig, SimRun, SimStats};
 pub use tracker::CookieTracker;

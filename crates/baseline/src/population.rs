@@ -26,17 +26,33 @@ pub struct SiteUniverse {
 
 impl SiteUniverse {
     /// Build a universe of `n` sites classified by `classifier`.
+    ///
+    /// Generated domains are guaranteed pairwise distinct: a colliding
+    /// name would silently alias two site indices onto one registrable
+    /// domain and shrink the effective universe, so collisions are
+    /// disambiguated with a deterministic retry suffix. First-attempt
+    /// names are unchanged, keeping existing seeds' universes stable.
     pub fn generate(seed_val: u64, n: usize, classifier: &Classifier) -> SiteUniverse {
         let mut domains = Vec::with_capacity(n);
         let mut topics = Vec::with_capacity(n);
         let mut by_topic: Vec<Vec<usize>> = vec![Vec::new(); TAXONOMY_SIZE + 1];
+        let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
         for i in 0..n {
-            let d = Domain::parse(&format!(
-                "pop{:03x}-{i}.com",
-                seed::derive_idx(seed_val, i as u64) % 0x1000
-            ))
-            .expect("valid generated domain");
-            let reg = topics_net::psl::registrable_domain(&d);
+            let prefix = seed::derive_idx(seed_val, i as u64) % 0x1000;
+            let mut attempt = 0u32;
+            let reg = loop {
+                let name = if attempt == 0 {
+                    format!("pop{prefix:03x}-{i}.com")
+                } else {
+                    format!("pop{prefix:03x}-{i}-r{attempt}.com")
+                };
+                let d = Domain::parse(&name).expect("valid generated domain");
+                let reg = topics_net::psl::registrable_domain(&d);
+                if taken.insert(reg.as_str().to_string()) {
+                    break reg;
+                }
+                attempt += 1;
+            };
             let t = match classifier.classify(&reg) {
                 Classification::Topics(t) => t,
                 Classification::Unclassifiable => Vec::new(),
@@ -234,6 +250,21 @@ mod tests {
             assert_eq!(user.engine.epochs_with_data(), vec![0, 1, 2, 3]);
             assert!(user.engine.sites_in_epoch(0) > 5);
         }
+    }
+
+    #[test]
+    fn generated_domains_are_unique_even_past_the_prefix_space() {
+        // 8192 sites overflow the 0x1000 prefix space twice over; every
+        // registrable domain must still be distinct or sites alias.
+        let classifier = Classifier::new(3);
+        let u = SiteUniverse::generate(3, 0x2000, &classifier);
+        let mut names: Vec<String> = (0..u.len())
+            .map(|i| u.site(i).domain().as_str().to_string())
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "colliding generated domains");
     }
 
     #[test]

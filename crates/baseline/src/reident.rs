@@ -16,30 +16,57 @@ use topics_net::domain::Domain;
 use topics_taxonomy::TAXONOMY_SIZE;
 
 /// A per-user topic histogram collected by an adversary in one context.
+///
+/// The Euclidean norm is computed once at construction and cached —
+/// the matcher compares every profile against the whole population, so
+/// recomputing both norms inside every [`TopicProfile::cosine`] call
+/// was the dominant cost of the O(N²) linkage loop. The histogram is
+/// private to keep the cache honest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopicProfile {
     /// The user the profile belongs to (ground truth, used for scoring).
     pub user_id: usize,
-    /// Topic counts indexed by topic id.
-    pub histogram: Vec<f32>,
+    histogram: Vec<f32>,
+    norm: f64,
 }
 
 impl TopicProfile {
-    /// Cosine similarity with another profile.
+    /// Build a profile, caching its Euclidean norm.
+    pub fn new(user_id: usize, histogram: Vec<f32>) -> TopicProfile {
+        let norm = histogram
+            .iter()
+            .map(|&a| f64::from(a) * f64::from(a))
+            .sum::<f64>()
+            .sqrt();
+        TopicProfile {
+            user_id,
+            histogram,
+            norm,
+        }
+    }
+
+    /// Topic counts indexed by topic id.
+    pub fn histogram(&self) -> &[f32] {
+        &self.histogram
+    }
+
+    /// The cached Euclidean norm of the histogram.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Cosine similarity with another profile, using both cached norms.
     pub fn cosine(&self, other: &TopicProfile) -> f64 {
-        let mut dot = 0.0f64;
-        let mut na = 0.0f64;
-        let mut nb = 0.0f64;
-        for (a, b) in self.histogram.iter().zip(&other.histogram) {
-            dot += f64::from(*a) * f64::from(*b);
-            na += f64::from(*a) * f64::from(*a);
-            nb += f64::from(*b) * f64::from(*b);
+        if self.norm == 0.0 || other.norm == 0.0 {
+            return 0.0;
         }
-        if na == 0.0 || nb == 0.0 {
-            0.0
-        } else {
-            dot / (na.sqrt() * nb.sqrt())
-        }
+        let dot: f64 = self
+            .histogram
+            .iter()
+            .zip(&other.histogram)
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum();
+        dot / (self.norm * other.norm)
     }
 }
 
@@ -74,10 +101,7 @@ pub fn collect_profiles(
                 }
             }
         }
-        out.push(TopicProfile {
-            user_id: user.id,
-            histogram,
-        });
+        out.push(TopicProfile::new(user.id, histogram));
     }
     out
 }
@@ -115,15 +139,18 @@ impl MatchResult {
 pub fn match_profiles(a: &[TopicProfile], b: &[TopicProfile]) -> MatchResult {
     let mut correct = 0;
     for pb in b {
-        let best = a
-            .iter()
-            .max_by(|x, y| {
-                pb.cosine(x)
-                    .partial_cmp(&pb.cosine(y))
-                    .expect("cosine is finite")
-            })
-            .map(|p| p.user_id);
-        if best == Some(pb.user_id) {
+        // One cosine per candidate (the old `max_by` evaluated two per
+        // comparison); `>=` keeps `max_by`'s last-maximum tie behaviour.
+        let mut best = f64::NEG_INFINITY;
+        let mut best_id = None;
+        for p in a {
+            let s = pb.cosine(p);
+            if s >= best {
+                best = s;
+                best_id = Some(p.user_id);
+            }
+        }
+        if best_id == Some(pb.user_id) {
             correct += 1;
         }
     }
@@ -225,25 +252,16 @@ mod tests {
 
     #[test]
     fn cosine_properties() {
-        let a = TopicProfile {
-            user_id: 0,
-            histogram: vec![1.0, 0.0, 2.0],
-        };
-        let b = TopicProfile {
-            user_id: 1,
-            histogram: vec![2.0, 0.0, 4.0],
-        };
+        let a = TopicProfile::new(0, vec![1.0, 0.0, 2.0]);
+        let b = TopicProfile::new(1, vec![2.0, 0.0, 4.0]);
         assert!((a.cosine(&b) - 1.0).abs() < 1e-9, "colinear");
-        let c = TopicProfile {
-            user_id: 2,
-            histogram: vec![0.0, 5.0, 0.0],
-        };
+        let c = TopicProfile::new(2, vec![0.0, 5.0, 0.0]);
         assert_eq!(a.cosine(&c), 0.0, "orthogonal");
-        let zero = TopicProfile {
-            user_id: 3,
-            histogram: vec![0.0; 3],
-        };
+        let zero = TopicProfile::new(3, vec![0.0; 3]);
         assert_eq!(a.cosine(&zero), 0.0, "degenerate");
+        assert!((a.norm() - 5.0f64.sqrt()).abs() < 1e-12, "cached norm");
+        assert_eq!(zero.norm(), 0.0);
+        assert_eq!(a.histogram(), &[1.0, 0.0, 2.0]);
     }
 
     #[test]
@@ -298,20 +316,11 @@ mod tests {
 
     #[test]
     fn entropy_behaves() {
-        let uniform = TopicProfile {
-            user_id: 0,
-            histogram: vec![1.0; 8],
-        };
+        let uniform = TopicProfile::new(0, vec![1.0; 8]);
         assert!((profile_entropy(&uniform) - 3.0).abs() < 1e-9, "log2(8)");
-        let point = TopicProfile {
-            user_id: 1,
-            histogram: vec![0.0, 9.0, 0.0],
-        };
+        let point = TopicProfile::new(1, vec![0.0, 9.0, 0.0]);
         assert_eq!(profile_entropy(&point), 0.0);
-        let empty = TopicProfile {
-            user_id: 2,
-            histogram: vec![0.0; 4],
-        };
+        let empty = TopicProfile::new(2, vec![0.0; 4]);
         assert_eq!(profile_entropy(&empty), 0.0);
     }
 
@@ -320,10 +329,7 @@ mod tests {
         let spike = |id: usize, at: usize| {
             let mut h = vec![0.0f32; 6];
             h[at] = 1.0;
-            TopicProfile {
-                user_id: id,
-                histogram: h,
-            }
+            TopicProfile::new(id, h)
         };
         // Three orthogonal profiles: all isolated at any threshold > 0.
         let set = vec![spike(0, 0), spike(1, 1), spike(2, 2)];

@@ -1,0 +1,1071 @@
+//! Population-scale Topics simulation: k-anonymity and
+//! re-identification curves over the arena.
+//!
+//! [`crate::reident`] demonstrates the attack mechanics at toy scale
+//! with real per-user `TopicsEngine`s. This module re-runs the same
+//! experiment against the [`crate::arena::PopulationArena`] so the
+//! curves the paper's references report (k-anonymity of the exposed
+//! top-5 sets, cross-context re-identification rate versus epochs
+//! observed) can be measured at 10⁵–10⁶ users:
+//!
+//! * Two disjoint context panels (A and B) of embedded-caller sites
+//!   each call the API once per user per site per collection epoch,
+//!   reproducing the engine's answer path slot-for-slot: per-epoch
+//!   uniform noise, pads, and the witness rule (a real topic is only
+//!   returned if the caller observed the user on a matching site in
+//!   that epoch).
+//! * Returned topics accumulate into **sparse CSR profiles** — one
+//!   `(topic, count)` run per user — instead of the dense
+//!   `TAXONOMY_SIZE` histograms `reident.rs` uses.
+//! * After every collection epoch the adversary links a user sample's
+//!   context-B profiles against all context-A profiles by cosine,
+//!   using per-profile norms computed once and per-topic **inverted
+//!   candidate lists** so each query only touches users it shares a
+//!   topic with — no all-pairs scan.
+//!
+//! Everything is a pure function of `(seed, config)`: collection
+//!   fans out over user blocks through the same claim-queue pool as
+//!   arena advancement, and ties break toward the smallest user id,
+//!   so the CSV artefacts are byte-identical for any `--threads`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use topics_net::seed;
+use topics_taxonomy::{Taxonomy, TAXONOMY_SIZE};
+
+use crate::arena::{
+    self, run_jobs, slot_topic, user_seed, visits_for, PopulationArena, TopicBitset, SLOT_EMPTY,
+    TOP_N,
+};
+use crate::population::SiteUniverse;
+use topics_taxonomy::Classifier;
+
+/// Users per parallel collection/attack block.
+const BLOCK: usize = 2048;
+
+/// How far back one API call reaches (the engine's epoch window).
+const WINDOW_BACK: u64 = topics_browser::topics::EPOCH_WINDOW;
+
+/// Simulation shape: everything the curves depend on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Root seed; every derived quantity flows from it.
+    pub seed: u64,
+    /// Population size.
+    pub users: usize,
+    /// Epochs of browsing to advance.
+    pub epochs: u64,
+    /// Sites in the browsable universe.
+    pub sites: usize,
+    /// Visit budget per user per epoch (pre-dedup).
+    pub visits_per_epoch: usize,
+    /// Sites per adversary context panel (two disjoint panels).
+    pub context_sites: usize,
+    /// Trailing collection window: the adversary observes the last
+    /// `window` epochs.
+    pub window: u64,
+    /// Users sampled as re-identification queries per checkpoint.
+    pub sample: usize,
+    /// Per-slot uniform-noise probability (the API's is 0.05).
+    pub noise: f64,
+}
+
+impl SimConfig {
+    /// A config with the defaults the `simulate` subcommand documents.
+    pub fn new(seed: u64, users: usize, epochs: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            users,
+            epochs,
+            sites: 5000,
+            visits_per_epoch: 20,
+            context_sites: 20,
+            window: default_window(epochs),
+            sample: 10_000,
+            noise: topics_browser::topics::NOISE_PROBABILITY,
+        }
+    }
+
+    /// Check the shape is simulatable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users < 2 {
+            return Err("simulate needs --users ≥ 2".into());
+        }
+        if self.epochs == 0 {
+            return Err("simulate needs --epochs ≥ 1".into());
+        }
+        if self.visits_per_epoch == 0 {
+            return Err("simulate needs --visits ≥ 1".into());
+        }
+        if self.context_sites == 0 {
+            return Err("simulate needs --context ≥ 1".into());
+        }
+        if self.sites < self.context_sites * 2 {
+            return Err(format!(
+                "simulate needs --sites ≥ 2 × --context ({} < {})",
+                self.sites,
+                self.context_sites * 2
+            ));
+        }
+        if self.window == 0 || self.window > self.epochs {
+            return Err(format!(
+                "simulate needs 1 ≤ --window ≤ --epochs (window {}, epochs {})",
+                self.window, self.epochs
+            ));
+        }
+        if self.sample == 0 {
+            return Err("simulate needs --sample ≥ 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.noise) {
+            return Err(format!("--noise must be in [0, 1], got {}", self.noise));
+        }
+        Ok(())
+    }
+}
+
+/// The default trailing observation window: everything after warm-up
+/// (the engine answers from the previous [`WINDOW_BACK`] epochs, so
+/// earlier collection sees mostly empty history), capped at 12 so
+/// giant `--epochs` runs don't collect forever.
+pub fn default_window(epochs: u64) -> u64 {
+    epochs.saturating_sub(WINDOW_BACK).clamp(1, 12)
+}
+
+/// Aggregate API/attack counters, exposed as metrics by the CLI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// `browsing_topics` calls issued (user × context site × epoch).
+    pub api_calls: u64,
+    /// Topics returned across all calls, post-dedup.
+    pub topics_returned: u64,
+    /// Returned topics that were noise or padding.
+    pub noised_topics: u64,
+    /// Re-identification queries evaluated across all checkpoints.
+    pub queries: u64,
+    /// Queries whose best cosine match was the true user.
+    pub correct: u64,
+}
+
+/// One epoch of the k-anonymity curve: users grouped by their exact
+/// exposed (real) top-5 topic set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KanonRow {
+    /// Epoch the groups are computed over.
+    pub epoch: u64,
+    /// Population size.
+    pub users: u64,
+    /// Distinct real-topic-set groups.
+    pub groups: u64,
+    /// Users alone in their group (k = 1: fully identified by the set).
+    pub unique_users: u64,
+    /// Group size of the median user (user-weighted).
+    pub median_group: u64,
+    /// Group size of the 10th-percentile user (user-weighted).
+    pub p10_group: u64,
+}
+
+/// One checkpoint of the re-identification curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReidentRow {
+    /// Collection epochs observed so far.
+    pub epochs_observed: u64,
+    /// Queries evaluated at this checkpoint.
+    pub queries: u64,
+    /// Correct top-1 matches.
+    pub correct: u64,
+    /// Candidate population size.
+    pub population: u64,
+}
+
+impl ReidentRow {
+    /// Fraction of queries linked to the right user.
+    pub fn accuracy(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.queries as f64
+        }
+    }
+
+    /// Random-guessing baseline.
+    pub fn random_floor(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            1.0 / self.population as f64
+        }
+    }
+}
+
+/// Everything a finished simulation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRun {
+    /// The config the run used.
+    pub config: SimConfig,
+    /// Per-epoch k-anonymity of the exposed top-5 sets.
+    pub kanon: Vec<KanonRow>,
+    /// Re-identification rate per collection checkpoint.
+    pub reident: Vec<ReidentRow>,
+    /// API/attack counters.
+    pub stats: SimStats,
+    /// Deduplicated site visits simulated.
+    pub visits_total: u64,
+    /// Arena heap footprint in bytes.
+    pub arena_bytes: u64,
+}
+
+/// Build the site universe the population browses — derived from the
+/// root seed, classified at the classifier's default unclassifiable
+/// rate.
+pub fn build_universe(cfg: &SimConfig) -> SiteUniverse {
+    let s = seed::derive(cfg.seed, "sim-universe");
+    SiteUniverse::generate(s, cfg.sites, &Classifier::new(s))
+}
+
+/// Advance the whole population — see [`PopulationArena::build`].
+pub fn build_arena(
+    cfg: &SimConfig,
+    universe: &SiteUniverse,
+    threads: usize,
+) -> Result<PopulationArena, String> {
+    PopulationArena::build(
+        cfg.seed,
+        cfg.users,
+        cfg.epochs,
+        cfg.visits_per_epoch,
+        universe,
+        threads,
+    )
+}
+
+/// The per-epoch k-anonymity curve: group users by their exact set of
+/// *real* (organic) top-5 topics — what an observer who strips the
+/// uniform noise would learn — and report how identifying that set is.
+pub fn kanon_curve(arena: &PopulationArena, threads: usize) -> Vec<KanonRow> {
+    let out = Mutex::new(Vec::with_capacity(arena.epochs() as usize));
+    let jobs: Vec<u64> = (0..arena.epochs()).collect();
+    run_jobs(jobs, threads, |e| {
+        // Real topic ids are ≤ 469 < 2^12 and arrive ranked; re-sorting
+        // ascending makes the 12-bit-packed key canonical per set.
+        let mut groups: HashMap<u64, u64> = HashMap::new();
+        let mut ids = [0u16; TOP_N];
+        for u in 0..arena.users() {
+            let mut n = 0;
+            for &v in arena.slot(e, u) {
+                if let Some((t, true)) = slot_topic(v) {
+                    ids[n] = t.get();
+                    n += 1;
+                }
+            }
+            ids[..n].sort_unstable();
+            let mut key = 1u64;
+            for &id in &ids[..n] {
+                key = key << 12 | id as u64;
+            }
+            *groups.entry(key).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u64> = groups.values().copied().collect();
+        sizes.sort_unstable();
+        let users = arena.users() as u64;
+        let unique_users = sizes.iter().filter(|&&s| s == 1).count() as u64;
+        let row = KanonRow {
+            epoch: e,
+            users,
+            groups: sizes.len() as u64,
+            unique_users,
+            median_group: weighted_percentile(&sizes, users, 50),
+            p10_group: weighted_percentile(&sizes, users, 10),
+        };
+        out.lock().expect("kanon rows lock").push(row);
+    });
+    let mut rows = out.into_inner().expect("kanon rows lock");
+    rows.sort_unstable_by_key(|r| r.epoch);
+    rows
+}
+
+/// The group size of the `pct`-th percentile **user** (not group):
+/// walk group sizes ascending until `pct`% of users are covered.
+fn weighted_percentile(sorted_sizes: &[u64], users: u64, pct: u64) -> u64 {
+    let threshold = (users * pct).div_ceil(100).max(1);
+    let mut covered = 0u64;
+    for &s in sorted_sizes {
+        covered += s;
+        if covered >= threshold {
+            return s;
+        }
+    }
+    sorted_sizes.last().copied().unwrap_or(0)
+}
+
+/// An adversary context panel: an ordered set of embedding sites.
+struct ContextPanel {
+    sites: Vec<u32>,
+    member: Vec<bool>,
+}
+
+/// Draw two disjoint context panels from the universe.
+fn pick_contexts(cfg: &SimConfig, n_sites: usize) -> (ContextPanel, ContextPanel) {
+    let s = seed::derive(cfg.seed, "ctx");
+    let want = cfg.context_sites * 2;
+    let mut picked: Vec<u32> = Vec::with_capacity(want);
+    let mut taken = vec![false; n_sites];
+    let mut j = 0u64;
+    while picked.len() < want {
+        let idx = (seed::derive_idx(s, j) % n_sites as u64) as usize;
+        j += 1;
+        if !taken[idx] {
+            taken[idx] = true;
+            picked.push(idx as u32);
+        }
+    }
+    let make = |sites: &[u32]| {
+        let mut member = vec![false; n_sites];
+        for &i in sites {
+            member[i as usize] = true;
+        }
+        ContextPanel {
+            sites: sites.to_vec(),
+            member,
+        }
+    };
+    (
+        make(&picked[..cfg.context_sites]),
+        make(&picked[cfg.context_sites..]),
+    )
+}
+
+/// Sparse per-user topic profiles in CSR form: user `u`'s
+/// `(topic, count)` run is `offsets[u]..offsets[u + 1]`, topics
+/// ascending.
+struct Csr {
+    offsets: Vec<u64>,
+    topics: Vec<u16>,
+    counts: Vec<u16>,
+}
+
+impl Csr {
+    fn empty(users: usize) -> Csr {
+        Csr {
+            offsets: vec![0; users + 1],
+            topics: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    fn row(&self, u: usize) -> (&[u16], &[u16]) {
+        let at = self.offsets[u] as usize..self.offsets[u + 1] as usize;
+        (&self.topics[at.clone()], &self.counts[at])
+    }
+}
+
+/// Merge per-user sorted runs of `inc` into `cum` (two-pointer,
+/// saturating counts).
+fn merge_csr(cum: &Csr, inc: &Csr) -> Csr {
+    let users = cum.offsets.len() - 1;
+    let mut out = Csr {
+        offsets: Vec::with_capacity(users + 1),
+        topics: Vec::with_capacity(cum.topics.len() + inc.topics.len()),
+        counts: Vec::with_capacity(cum.counts.len() + inc.counts.len()),
+    };
+    out.offsets.push(0);
+    for u in 0..users {
+        let (at, ac) = cum.row(u);
+        let (bt, bc) = inc.row(u);
+        let (mut i, mut j) = (0, 0);
+        while i < at.len() || j < bt.len() {
+            if j >= bt.len() || (i < at.len() && at[i] < bt[j]) {
+                out.topics.push(at[i]);
+                out.counts.push(ac[i]);
+                i += 1;
+            } else if i >= at.len() || bt[j] < at[i] {
+                out.topics.push(bt[j]);
+                out.counts.push(bc[j]);
+                j += 1;
+            } else {
+                out.topics.push(at[i]);
+                out.counts.push(ac[i].saturating_add(bc[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+        out.offsets.push(out.topics.len() as u64);
+    }
+    out
+}
+
+/// Counters one collection epoch produces.
+#[derive(Default)]
+struct CollectStats {
+    api_calls: u64,
+    topics_returned: u64,
+    noised: u64,
+}
+
+/// One block's worth of freshly collected profiles.
+struct BlockOut {
+    first_user: usize,
+    lens: Vec<u32>,
+    topics: Vec<u16>,
+    counts: Vec<u16>,
+}
+
+/// Run one collection epoch `e` for one context panel: every panel
+/// site calls the API once per user, answers are reproduced
+/// slot-for-slot from the arena (noise → replacement topic; real
+/// topics gated on the witness rule; pads always returnable), and the
+/// per-call engine dedup (smallest epoch wins per topic) is applied
+/// before topics land in the epoch's CSR increment.
+fn collect_epoch(
+    cfg: &SimConfig,
+    universe: &SiteUniverse,
+    arena: &PopulationArena,
+    ctx: &ContextPanel,
+    e: u64,
+    first: u64,
+    threads: usize,
+) -> (Csr, CollectStats) {
+    let taxonomy = Taxonomy::global();
+    let users = cfg.users;
+    let outputs: Mutex<Vec<BlockOut>> = Mutex::new(Vec::with_capacity(users.div_ceil(BLOCK)));
+    let api_calls = AtomicU64::new(0);
+    let topics_returned = AtomicU64::new(0);
+    let noised_total = AtomicU64::new(0);
+
+    let jobs: Vec<usize> = (0..users.div_ceil(BLOCK)).collect();
+    run_jobs(jobs, threads, |block| {
+        let lo = block * BLOCK;
+        let hi = (lo + BLOCK).min(users);
+        let mut out = BlockOut {
+            first_user: lo,
+            lens: Vec::with_capacity(hi - lo),
+            topics: Vec::new(),
+            counts: Vec::new(),
+        };
+        let mut counts = vec![0u16; TAXONOMY_SIZE + 1];
+        let mut touched: Vec<u16> = Vec::with_capacity(64);
+        let mut visits: Vec<u32> = Vec::with_capacity(cfg.visits_per_epoch);
+        let mut wit = [TopicBitset::new(); WINDOW_BACK as usize];
+        let mut cand: Vec<(u16, u64, bool)> = Vec::with_capacity(WINDOW_BACK as usize);
+        let (mut calls, mut returned, mut noised) = (0u64, 0u64, 0u64);
+        for u in lo..hi {
+            let us = user_seed(arena.seed(), u);
+            let slot_root = seed::derive(us, "slot");
+            // Witness sets: topics the panel observed the user on in
+            // each reachable back-epoch (only epochs the adversary was
+            // actually collecting in).
+            for back in 1..=WINDOW_BACK {
+                let w = &mut wit[back as usize - 1];
+                w.clear();
+                let Some(pe) = e.checked_sub(back) else {
+                    continue;
+                };
+                if pe < first {
+                    continue;
+                }
+                visits_for(
+                    us,
+                    arena.interests_of(u),
+                    universe,
+                    pe,
+                    cfg.visits_per_epoch,
+                    &mut visits,
+                );
+                for &si in &visits {
+                    if ctx.member[si as usize] {
+                        for &t in universe.topics(si as usize) {
+                            w.insert(t);
+                        }
+                    }
+                }
+            }
+            for &site in &ctx.sites {
+                calls += 1;
+                cand.clear();
+                for back in 1..=WINDOW_BACK {
+                    let Some(pe) = e.checked_sub(back) else {
+                        continue;
+                    };
+                    let slot = arena.slot(pe, u);
+                    if slot[0] == SLOT_EMPTY {
+                        // Epoch with no classifiable browsing: the
+                        // engine answers nothing, not even noise.
+                        continue;
+                    }
+                    let slot_seed = seed::derive_idx(seed::derive_idx(slot_root, pe), site as u64);
+                    if seed::unit_f64(seed::derive(slot_seed, "noise")) < cfg.noise {
+                        let t = arena::random_returnable(
+                            taxonomy,
+                            seed::derive(slot_seed, "replacement"),
+                        );
+                        cand.push((t.get(), pe, true));
+                        continue;
+                    }
+                    let idx = (seed::derive(slot_seed, "pick") % TOP_N as u64) as usize;
+                    let Some((t, real)) = slot_topic(slot[idx]) else {
+                        continue;
+                    };
+                    if real {
+                        // Real topics need a witness: the caller saw
+                        // the user on a matching site in that epoch.
+                        if pe >= first && wit[back as usize - 1].contains(t) {
+                            cand.push((t.get(), pe, false));
+                        }
+                    } else {
+                        cand.push((t.get(), pe, true));
+                    }
+                }
+                // Engine dedup: one result per topic, oldest epoch wins.
+                cand.sort_unstable_by_key(|&(t, pe, _)| (t, pe));
+                cand.dedup_by_key(|&mut (t, _, _)| t);
+                for &(t, _, n) in cand.iter() {
+                    returned += 1;
+                    if n {
+                        noised += 1;
+                    }
+                    if counts[t as usize] == 0 {
+                        touched.push(t);
+                    }
+                    counts[t as usize] = counts[t as usize].saturating_add(1);
+                }
+            }
+            touched.sort_unstable();
+            out.lens.push(touched.len() as u32);
+            for &t in &touched {
+                out.topics.push(t);
+                out.counts.push(counts[t as usize]);
+                counts[t as usize] = 0;
+            }
+            touched.clear();
+        }
+        api_calls.fetch_add(calls, Ordering::Relaxed);
+        topics_returned.fetch_add(returned, Ordering::Relaxed);
+        noised_total.fetch_add(noised, Ordering::Relaxed);
+        outputs.lock().expect("collect outputs lock").push(out);
+    });
+
+    let mut blocks = outputs.into_inner().expect("collect outputs lock");
+    blocks.sort_unstable_by_key(|b| b.first_user);
+    let mut csr = Csr {
+        offsets: Vec::with_capacity(users + 1),
+        topics: Vec::with_capacity(blocks.iter().map(|b| b.topics.len()).sum()),
+        counts: Vec::with_capacity(blocks.iter().map(|b| b.counts.len()).sum()),
+    };
+    csr.offsets.push(0);
+    for b in blocks {
+        for len in b.lens {
+            csr.offsets
+                .push(csr.offsets.last().expect("non-empty offsets") + len as u64);
+        }
+        csr.topics.extend_from_slice(&b.topics);
+        csr.counts.extend_from_slice(&b.counts);
+    }
+    (
+        csr,
+        CollectStats {
+            api_calls: api_calls.into_inner(),
+            topics_returned: topics_returned.into_inner(),
+            noised: noised_total.into_inner(),
+        },
+    )
+}
+
+/// Per-topic inverted candidate lists over a CSR profile set:
+/// `(user, count)` pairs for every user carrying the topic, users
+/// ascending.
+struct Inverted {
+    offsets: Vec<u64>,
+    user: Vec<u32>,
+    count: Vec<u16>,
+}
+
+fn invert(csr: &Csr) -> Inverted {
+    let mut sizes = vec![0u64; TAXONOMY_SIZE + 2];
+    for &t in &csr.topics {
+        sizes[t as usize + 1] += 1;
+    }
+    let mut offsets = sizes;
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut user = vec![0u32; csr.topics.len()];
+    let mut count = vec![0u16; csr.topics.len()];
+    let mut cursor = offsets.clone();
+    for u in 0..csr.offsets.len() - 1 {
+        let (ts, cs) = csr.row(u);
+        for (t, c) in ts.iter().zip(cs) {
+            let at = cursor[*t as usize] as usize;
+            user[at] = u as u32;
+            count[at] = *c;
+            cursor[*t as usize] += 1;
+        }
+    }
+    Inverted {
+        offsets,
+        user,
+        count,
+    }
+}
+
+/// Euclidean norm of every profile row.
+fn norms(csr: &Csr) -> Vec<f64> {
+    (0..csr.offsets.len() - 1)
+        .map(|u| {
+            csr.row(u)
+                .1
+                .iter()
+                .map(|&c| c as f64 * c as f64)
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+/// Link each sampled user's context-B profile against all context-A
+/// profiles; returns how many best-cosine matches hit the true user.
+/// Only users sharing at least one topic with the query are scored
+/// (via the inverted lists); ties break toward the smallest user id.
+fn eval_checkpoint(cum_a: &Csr, cum_b: &Csr, sample: &[u32], threads: usize) -> u64 {
+    let users = cum_a.offsets.len() - 1;
+    let inv = invert(cum_a);
+    let norm_a = norms(cum_a);
+    let correct = AtomicU64::new(0);
+    let q_blocks: Vec<usize> = (0..sample.len().div_ceil(512)).collect();
+    run_jobs(q_blocks, threads, |qb| {
+        let mut score = vec![0f64; users];
+        let mut tag = vec![u32::MAX; users];
+        let mut touched: Vec<u32> = Vec::with_capacity(4096);
+        let mut hits = 0u64;
+        for (qi, &q) in sample
+            .iter()
+            .enumerate()
+            .skip(qb * 512)
+            .take(512.min(sample.len() - qb * 512))
+        {
+            let qtag = qi as u32;
+            touched.clear();
+            let (qt, qc) = cum_b.row(q as usize);
+            for (t, c) in qt.iter().zip(qc) {
+                let at = inv.offsets[*t as usize] as usize..inv.offsets[*t as usize + 1] as usize;
+                let qc = *c as f64;
+                for (u, ac) in inv.user[at.clone()].iter().zip(&inv.count[at]) {
+                    let u = *u as usize;
+                    if tag[u] != qtag {
+                        tag[u] = qtag;
+                        score[u] = 0.0;
+                        touched.push(u as u32);
+                    }
+                    score[u] += qc * *ac as f64;
+                }
+            }
+            let mut best = f64::NEG_INFINITY;
+            let mut best_u = u32::MAX;
+            for &u in &touched {
+                let s = score[u as usize] / norm_a[u as usize];
+                if s > best || (s == best && u < best_u) {
+                    best = s;
+                    best_u = u;
+                }
+            }
+            if best_u == q {
+                hits += 1;
+            }
+        }
+        correct.fetch_add(hits, Ordering::Relaxed);
+    });
+    correct.into_inner()
+}
+
+/// The deterministic user sample the adversary queries at every
+/// checkpoint (partial Fisher–Yates; all users when `sample` covers
+/// the population).
+pub fn sample_users(cfg: &SimConfig) -> Vec<u32> {
+    let n = cfg.users;
+    if cfg.sample >= n {
+        return (0..n as u32).collect();
+    }
+    let s = seed::derive(cfg.seed, "sample");
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    for i in 0..cfg.sample {
+        let j = i + (seed::derive_idx(s, i as u64) % (n - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(cfg.sample);
+    idx
+}
+
+/// The re-identification curve: collect both context panels epoch by
+/// epoch over the trailing window, and after each epoch link the
+/// sampled users' B-profiles against all A-profiles.
+pub fn reident_curve(
+    cfg: &SimConfig,
+    universe: &SiteUniverse,
+    arena: &PopulationArena,
+    threads: usize,
+) -> (Vec<ReidentRow>, SimStats) {
+    let (ctx_a, ctx_b) = pick_contexts(cfg, universe.len());
+    let sample = sample_users(cfg);
+    let first = cfg.epochs - cfg.window;
+    let mut cum_a = Csr::empty(cfg.users);
+    let mut cum_b = Csr::empty(cfg.users);
+    let mut stats = SimStats::default();
+    let mut rows = Vec::with_capacity(cfg.window as usize);
+    for e in first..cfg.epochs {
+        for (ctx, cum) in [(&ctx_a, &mut cum_a), (&ctx_b, &mut cum_b)] {
+            let (inc, cs) = collect_epoch(cfg, universe, arena, ctx, e, first, threads);
+            *cum = merge_csr(cum, &inc);
+            stats.api_calls += cs.api_calls;
+            stats.topics_returned += cs.topics_returned;
+            stats.noised_topics += cs.noised;
+        }
+        let correct = eval_checkpoint(&cum_a, &cum_b, &sample, threads);
+        stats.queries += sample.len() as u64;
+        stats.correct += correct;
+        rows.push(ReidentRow {
+            epochs_observed: e - first + 1,
+            queries: sample.len() as u64,
+            correct,
+            population: cfg.users as u64,
+        });
+    }
+    (rows, stats)
+}
+
+/// Run the whole simulation: universe → arena → curves.
+pub fn run(cfg: &SimConfig, threads: usize) -> Result<SimRun, String> {
+    cfg.validate()?;
+    let universe = build_universe(cfg);
+    let arena = build_arena(cfg, &universe, threads)?;
+    let kanon = kanon_curve(&arena, threads);
+    let (reident, stats) = reident_curve(cfg, &universe, &arena, threads);
+    Ok(SimRun {
+        config: *cfg,
+        kanon,
+        reident,
+        stats,
+        visits_total: arena.visits_total(),
+        arena_bytes: arena.heap_bytes(),
+    })
+}
+
+/// Render the k-anonymity curve as CSV.
+pub fn kanon_csv(rows: &[KanonRow]) -> String {
+    let mut out =
+        String::from("epoch,users,groups,unique_users,frac_unique,median_group,p10_group\n");
+    for r in rows {
+        let frac = if r.users == 0 {
+            0.0
+        } else {
+            r.unique_users as f64 / r.users as f64
+        };
+        writeln!(
+            out,
+            "{},{},{},{},{frac:.6},{},{}",
+            r.epoch, r.users, r.groups, r.unique_users, r.median_group, r.p10_group
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Render the re-identification curve as CSV.
+pub fn reident_csv(rows: &[ReidentRow]) -> String {
+    let mut out = String::from("epochs_observed,queries,correct,accuracy,random_floor\n");
+    for r in rows {
+        writeln!(
+            out,
+            "{},{},{},{:.6},{:.9}",
+            r.epochs_observed,
+            r.queries,
+            r.correct,
+            r.accuracy(),
+            r.random_floor()
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Render the human-readable simulation report (deterministic: no
+/// wall times or host facts).
+pub fn render_sim_report(run: &SimRun) -> String {
+    let c = &run.config;
+    let mut out = String::new();
+    let _ = writeln!(out, "topics simulation report");
+    let _ = writeln!(out, "========================");
+    let _ = writeln!(
+        out,
+        "population: {} users × {} epochs ({} visits/epoch over {} sites), seed {}",
+        c.users, c.epochs, c.visits_per_epoch, c.sites, c.seed
+    );
+    let _ = writeln!(
+        out,
+        "adversary: 2 × {}-site context panels, trailing window {} epochs, sample {} queries, noise {:.3}",
+        c.context_sites, c.window, c.sample, c.noise
+    );
+    let _ = writeln!(
+        out,
+        "arena: {} bytes for {} simulated visits",
+        run.arena_bytes, run.visits_total
+    );
+    let _ = writeln!(
+        out,
+        "api: {} calls, {} topics returned ({} noised, {:.4} noise share)",
+        run.stats.api_calls,
+        run.stats.topics_returned,
+        run.stats.noised_topics,
+        if run.stats.topics_returned == 0 {
+            0.0
+        } else {
+            run.stats.noised_topics as f64 / run.stats.topics_returned as f64
+        }
+    );
+    if let Some(k) = run.kanon.last() {
+        let _ = writeln!(
+            out,
+            "k-anonymity (final epoch): {} groups, {} unique users ({:.4}), median group {}, p10 group {}",
+            k.groups,
+            k.unique_users,
+            k.unique_users as f64 / k.users.max(1) as f64,
+            k.median_group,
+            k.p10_group
+        );
+    }
+    if let Some(r) = run.reident.last() {
+        let _ = writeln!(
+            out,
+            "re-identification (after {} epochs): {}/{} correct = {:.4} (random floor {:.6})",
+            r.epochs_observed,
+            r.correct,
+            r.queries,
+            r.accuracy(),
+            r.random_floor()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimConfig {
+        SimConfig {
+            sites: 300,
+            visits_per_epoch: 15,
+            context_sites: 10,
+            sample: 200,
+            ..SimConfig::new(11, 200, 6)
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(small().validate().is_ok());
+        assert!(SimConfig {
+            users: 1,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            epochs: 0,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            visits_per_epoch: 0,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            context_sites: 0,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            sites: 19,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            window: 0,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            window: 7,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            sample: 0,
+            ..small()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            noise: 1.5,
+            ..small()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn default_window_tracks_epochs() {
+        assert_eq!(default_window(1), 1);
+        assert_eq!(default_window(4), 1);
+        assert_eq!(default_window(8), 5);
+        assert_eq!(default_window(30), 12);
+        assert_eq!(default_window(100), 12);
+    }
+
+    #[test]
+    fn run_is_identical_for_any_thread_count() {
+        let cfg = small();
+        let one = run(&cfg, 1).unwrap();
+        let three = run(&cfg, 3).unwrap();
+        assert_eq!(one, three);
+        assert_eq!(kanon_csv(&one.kanon), kanon_csv(&three.kanon));
+        assert_eq!(reident_csv(&one.reident), reident_csv(&three.reident));
+    }
+
+    #[test]
+    fn run_depends_on_the_seed() {
+        let a = run(&small(), 2).unwrap();
+        let b = run(
+            &SimConfig {
+                seed: 12,
+                ..small()
+            },
+            2,
+        )
+        .unwrap();
+        assert_ne!(a.kanon, b.kanon);
+        assert_ne!(a.reident, b.reident);
+    }
+
+    #[test]
+    fn api_calls_reconcile_exactly() {
+        let cfg = small();
+        let r = run(&cfg, 2).unwrap();
+        let expect = cfg.users as u64 * cfg.context_sites as u64 * cfg.window * 2;
+        assert_eq!(r.stats.api_calls, expect);
+        assert_eq!(
+            r.stats.queries,
+            cfg.sample.min(cfg.users) as u64 * cfg.window
+        );
+        assert_eq!(
+            r.stats.correct,
+            r.reident.iter().map(|row| row.correct).sum::<u64>()
+        );
+        assert!(r.stats.noised_topics <= r.stats.topics_returned);
+        assert_eq!(r.kanon.len(), cfg.epochs as usize);
+        assert_eq!(r.reident.len(), cfg.window as usize);
+    }
+
+    #[test]
+    fn kanon_rows_are_internally_consistent() {
+        let r = run(&small(), 2).unwrap();
+        for k in &r.kanon {
+            assert_eq!(k.users, 200);
+            assert!(k.groups >= 1 && k.groups <= k.users);
+            assert!(k.unique_users <= k.users);
+            assert!(k.median_group >= 1);
+            assert!(k.p10_group >= 1);
+            assert!(k.p10_group <= k.median_group);
+        }
+    }
+
+    #[test]
+    fn attack_beats_the_random_floor() {
+        // A stronger adversary than `small()`: wider panels and a
+        // longer window, since the witness rule keeps single-epoch
+        // 10-site panels close to noise-only.
+        let cfg = SimConfig {
+            sites: 300,
+            visits_per_epoch: 20,
+            context_sites: 40,
+            sample: 200,
+            ..SimConfig::new(11, 200, 9)
+        };
+        let r = run(&cfg, 4).unwrap();
+        let last = r.reident.last().unwrap();
+        // 200 users, stable interests: after the full window the
+        // linker should do far better than 1/200 random guessing.
+        // (The witness rule caps how far: only topics carried by some
+        // panel site are ever returned as real.)
+        assert!(
+            last.accuracy() > 8.0 * last.random_floor(),
+            "accuracy {} vs floor {}",
+            last.accuracy(),
+            last.random_floor()
+        );
+        // And accuracy should not degrade with more observation.
+        assert!(r.reident.last().unwrap().correct >= r.reident[0].correct / 2);
+    }
+
+    #[test]
+    fn merge_csr_merges_sorted_runs() {
+        let a = Csr {
+            offsets: vec![0, 2, 2],
+            topics: vec![3, 9 /* user 1 empty */],
+            counts: vec![1, 2],
+        };
+        let b = Csr {
+            offsets: vec![0, 2, 3],
+            topics: vec![3, 5, 7],
+            counts: vec![4, 1, 9],
+        };
+        let m = merge_csr(&a, &b);
+        assert_eq!(m.offsets, vec![0, 3, 4]);
+        assert_eq!(m.topics, vec![3, 5, 9, 7]);
+        assert_eq!(m.counts, vec![5, 1, 2, 9]);
+    }
+
+    #[test]
+    fn sample_users_is_a_deterministic_subset() {
+        let cfg = SimConfig {
+            sample: 50,
+            ..small()
+        };
+        let a = sample_users(&cfg);
+        let b = sample_users(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50, "samples are distinct users");
+        assert!(dedup.iter().all(|&u| (u as usize) < cfg.users));
+        let all = sample_users(&SimConfig {
+            sample: 500,
+            ..small()
+        });
+        assert_eq!(all.len(), 200, "sample beyond population takes everyone");
+    }
+
+    #[test]
+    fn csv_renders_with_headers() {
+        let r = run(&small(), 2).unwrap();
+        let k = kanon_csv(&r.kanon);
+        assert!(
+            k.starts_with("epoch,users,groups,unique_users,frac_unique,median_group,p10_group\n")
+        );
+        assert_eq!(k.lines().count(), 1 + r.kanon.len());
+        let re = reident_csv(&r.reident);
+        assert!(re.starts_with("epochs_observed,queries,correct,accuracy,random_floor\n"));
+        assert_eq!(re.lines().count(), 1 + r.reident.len());
+        let report = render_sim_report(&r);
+        assert!(report.contains("200 users × 6 epochs"));
+        assert!(report.contains("re-identification"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Population engine — arena simulate vs the dense per-user baseline.
+//!
+//! The `simulate` engine replaces the dense re-identification path of
+//! `topics_core::baseline::reident` (one boxed `User` per person, one
+//! `TAXONOMY_SIZE`-float histogram per profile, O(A × B) cosine
+//! matching) with an epoch-major arena, sparse CSR profiles, and
+//! inverted candidate lists. This bench runs **both** pipelines at
+//! scales the dense path can still finish, prints the honest wall-clock
+//! ratio, and then Criterion-times the engine's stages. The dense path
+//! is quadratic in users, so the ratio grows with scale — the committed
+//! EXPERIMENTS.md table carries the engine-only absolutes at 100k/1M
+//! users where the dense path cannot run at all.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use topics_bench::{banner, BENCH_SEED};
+use topics_core::baseline::{
+    collect_profiles, generate_population, match_profiles, simulate, SimConfig, SiteUniverse,
+};
+use topics_core::net::domain::Domain;
+use topics_core::taxonomy::Classifier;
+
+/// One dense-path run: population + two panel collections + matching.
+fn dense_wall_ms(users: usize, epochs: u64, universe: &SiteUniverse, cls: &Arc<Classifier>) -> u64 {
+    let started = Instant::now();
+    let mut pop = generate_population(BENCH_SEED, users, universe, cls.clone(), epochs, 15);
+    let ctx_a: Vec<usize> = (0..universe.len()).step_by(5).collect();
+    let ctx_b: Vec<usize> = (2..universe.len()).step_by(7).collect();
+    let first = epochs.saturating_sub(3);
+    let a = collect_profiles(
+        &mut pop,
+        universe,
+        &ctx_a,
+        &Domain::parse("adv-a.com").unwrap(),
+        first..epochs,
+    );
+    let b = collect_profiles(
+        &mut pop,
+        universe,
+        &ctx_b,
+        &Domain::parse("adv-b.com").unwrap(),
+        first..epochs,
+    );
+    black_box(match_profiles(&a, &b));
+    started.elapsed().as_millis() as u64
+}
+
+/// One engine run at the same shape: arena advancement + both panels +
+/// every checkpoint of the linkage attack.
+fn engine_wall_ms(users: usize, epochs: u64, threads: usize) -> u64 {
+    let cfg = SimConfig {
+        sites: 1_000,
+        visits_per_epoch: 15,
+        sample: users,
+        ..SimConfig::new(BENCH_SEED, users, epochs)
+    };
+    let universe = simulate::build_universe(&cfg);
+    let started = Instant::now();
+    let arena = simulate::build_arena(&cfg, &universe, threads).expect("bench config validates");
+    black_box(simulate::reident_curve(&cfg, &universe, &arena, threads));
+    started.elapsed().as_millis() as u64
+}
+
+fn main() {
+    banner("Population engine — arena simulate vs dense per-user baseline");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cls = Arc::new(Classifier::new(BENCH_SEED).with_unclassifiable_rate(0.0));
+    let universe = SiteUniverse::generate(BENCH_SEED, 1_000, &cls);
+    let epochs = 8u64;
+    eprintln!(
+        "{:>8} {:>12} {:>14} {:>9}  ({threads} threads, {epochs} epochs)",
+        "users", "dense ms", "engine ms", "speedup"
+    );
+    for &users in &[500usize, 2_000, 5_000] {
+        let dense = dense_wall_ms(users, epochs, &universe, &cls).max(1);
+        let engine = engine_wall_ms(users, epochs, threads).max(1);
+        eprintln!(
+            "{users:>8} {dense:>12} {engine:>14} {:>8.1}×",
+            dense as f64 / engine as f64
+        );
+    }
+    eprintln!("shape: the dense path is O(users²) in matching alone; the gap widens with scale\n");
+
+    let cfg = SimConfig {
+        sites: 1_000,
+        visits_per_epoch: 15,
+        sample: 2_000,
+        ..SimConfig::new(BENCH_SEED, 10_000, 8)
+    };
+    let sim_universe = simulate::build_universe(&cfg);
+    let arena = simulate::build_arena(&cfg, &sim_universe, threads).expect("config validates");
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("sim/advance_10k_users_8_epochs", |b| {
+        b.iter(|| black_box(simulate::build_arena(&cfg, &sim_universe, threads).unwrap()))
+    });
+    c.bench_function("sim/kanon_10k_users", |b| {
+        b.iter(|| black_box(simulate::kanon_curve(&arena, threads)))
+    });
+    c.bench_function("sim/attack_10k_users_2k_sample", |b| {
+        b.iter(|| {
+            black_box(simulate::reident_curve(
+                &cfg,
+                &sim_universe,
+                &arena,
+                threads,
+            ))
+        })
+    });
+    c.final_summary();
+}

@@ -17,6 +17,10 @@
 //! * `serve_query_wall_ms` — 64 sequential `/api/report` fetches
 //!   against an in-process `topics-lab serve` holding the store
 //!   resident (the live service's steady-state query latency);
+//! * `simulate_wall_ms` / `simulate_peak_rss` — one population-engine
+//!   run (arena advancement + k-anonymity + re-identification) at
+//!   `sites × 10` users over 10 epochs, measured **first** so the RSS
+//!   reading bounds the engine rather than the later crawl;
 //!
 //! plus the process peak RSS (`VmHWM`) once at the end. The current
 //! numbers are compared against the **last entry** of the append-only
@@ -100,6 +104,38 @@ fn main() {
         .unwrap_or(3);
 
     alloc::set_enabled(true);
+
+    // Population engine first: at this point the process has allocated
+    // almost nothing, so VmHWM right after the run is an honest upper
+    // bound on the simulate footprint (the crawl below would otherwise
+    // dominate the peak). Scale tracks the crawl scale: sites × 10
+    // users over 10 epochs keeps CI at ~20k users.
+    let sim_cfg = topics_core::baseline::SimConfig {
+        sites: sites.max(500),
+        sample: 2_000,
+        ..topics_core::baseline::SimConfig::new(BENCH_SEED, sites * 10, 10)
+    };
+    let sim_universe = topics_core::baseline::simulate::build_universe(&sim_cfg);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut simulate_wall_ms = u64::MAX;
+    for _ in 0..runs {
+        let started = Instant::now();
+        let arena = topics_core::baseline::simulate::build_arena(&sim_cfg, &sim_universe, threads)
+            .expect("smoke config validates");
+        let kanon = topics_core::baseline::simulate::kanon_curve(&arena, threads);
+        let (reident, _) = topics_core::baseline::simulate::reident_curve(
+            &sim_cfg,
+            &sim_universe,
+            &arena,
+            threads,
+        );
+        simulate_wall_ms = simulate_wall_ms.min(started.elapsed().as_millis() as u64);
+        std::hint::black_box((kanon, reident));
+    }
+    let simulate_peak_rss = alloc::peak_rss_bytes().unwrap_or(0);
+
     let lab = Lab::new(LabConfig::quick(BENCH_SEED, sites));
 
     let mut crawl_wall_ms = u64::MAX;
@@ -211,7 +247,8 @@ fn main() {
          alloc_bytes={alloc_bytes} peak_rss_bytes={peak_rss_bytes} \
          shard_merge_wall_ms={shard_merge_wall_ms} encode_wall_ms={encode_wall_ms} \
          store_bytes={store_bytes} query_wall_ms={query_wall_ms} \
-         serve_query_wall_ms={serve_query_wall_ms}",
+         serve_query_wall_ms={serve_query_wall_ms} simulate_wall_ms={simulate_wall_ms} \
+         simulate_peak_rss={simulate_peak_rss}",
         run.visited_count(),
     );
 
@@ -230,6 +267,8 @@ fn main() {
         store_bytes,
         query_wall_ms,
         serve_query_wall_ms,
+        simulate_wall_ms,
+        simulate_peak_rss,
         chain: 0, // assigned by append_entry
     };
 

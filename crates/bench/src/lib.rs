@@ -117,6 +117,20 @@ pub struct BenchSummary {
     /// [`chain_digest`].
     #[serde(default, skip_serializing_if = "u64_is_zero")]
     pub serve_query_wall_ms: u64,
+    /// Wall-clock milliseconds of one `simulate` engine run (arena
+    /// advancement + k-anonymity + re-identification attack) at the
+    /// smoke scale (`sites × 10` users, 10 epochs); 0 in entries from
+    /// builds without the population engine. Skipped from the encoding
+    /// when zero so legacy entries keep their recorded [`chain_digest`].
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub simulate_wall_ms: u64,
+    /// OS peak RSS (`VmHWM`) read right after the simulate run — an
+    /// upper bound on the engine's resident footprint (the crawl runs
+    /// later in the same process); 0 in entries from builds without the
+    /// population engine or off Linux. Skipped from the encoding when
+    /// zero so legacy entries keep their recorded [`chain_digest`].
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub simulate_peak_rss: u64,
     /// Hash-chain value: [`chain_digest`] of the previous entry's chain
     /// and this entry with `chain` zeroed. 0 only in legacy entries.
     #[serde(default)]
@@ -214,7 +228,7 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
         return violations;
     }
     // (label, baseline value, current value, limit numerator/denominator)
-    let gates: [(&str, u64, u64, u64, u64); 9] = [
+    let gates: [(&str, u64, u64, u64, u64); 11] = [
         (
             "probe_wall_us",
             baseline.probe_wall_us,
@@ -277,6 +291,20 @@ pub fn check_regression(baseline: &BenchSummary, current: &BenchSummary) -> Vec<
             current.serve_query_wall_ms,
             13,
             10,
+        ),
+        (
+            "simulate_wall_ms",
+            baseline.simulate_wall_ms,
+            current.simulate_wall_ms,
+            13,
+            10,
+        ),
+        (
+            "simulate_peak_rss",
+            baseline.simulate_peak_rss,
+            current.simulate_peak_rss,
+            5,
+            4,
         ),
     ];
     for (label, base, cur, num, den) in gates {
@@ -374,6 +402,8 @@ mod tests {
             store_bytes: 1 << 22,
             query_wall_ms: 4,
             serve_query_wall_ms: 6,
+            simulate_wall_ms: 800,
+            simulate_peak_rss: 1 << 27,
             chain: 0,
         }
     }
@@ -507,6 +537,39 @@ mod tests {
         assert!(check_regression(&legacy, &over)
             .iter()
             .all(|m| !m.contains("encode") && !m.contains("store") && !m.contains("query")));
+    }
+
+    #[test]
+    fn simulate_gates_fire() {
+        let base = entry(2_000, 10_000, 1_000_000);
+        // simulate_wall_ms is a time gate (13/10); simulate_peak_rss a
+        // memory gate on the tighter 5/4 ratio.
+        let mut over = base.clone();
+        over.simulate_wall_ms = base.simulate_wall_ms * 13 / 10 + 1;
+        over.simulate_peak_rss = base.simulate_peak_rss * 5 / 4 + 1;
+        let v = check_regression(&base, &over);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("simulate_wall_ms")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("simulate_peak_rss")), "{v:?}");
+        // At the limit passes.
+        let mut at = base.clone();
+        at.simulate_wall_ms = base.simulate_wall_ms * 13 / 10;
+        at.simulate_peak_rss = base.simulate_peak_rss * 5 / 4;
+        assert!(check_regression(&base, &at).is_empty());
+        // Pre-engine baselines (zero columns) skip the new gates.
+        let mut legacy = base.clone();
+        legacy.simulate_wall_ms = 0;
+        legacy.simulate_peak_rss = 0;
+        assert!(check_regression(&legacy, &over)
+            .iter()
+            .all(|m| !m.contains("simulate")));
+        // Zero-valued simulate columns stay out of the encoding so
+        // legacy chain digests keep verifying.
+        let json = serde_json::to_string(&legacy).unwrap();
+        assert!(!json.contains("simulate_wall_ms"), "{json}");
+        assert!(!json.contains("simulate_peak_rss"), "{json}");
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(json.contains("simulate_wall_ms"), "{json}");
     }
 
     #[test]

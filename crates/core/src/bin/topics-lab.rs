@@ -61,6 +61,25 @@
 //!     same seed. Exits non-zero with a named violation on truncated,
 //!     corrupted, duplicated or missing segments.
 //!
+//! topics-lab simulate [--users N] [--epochs N] [--sites N] [--visits N]
+//!                    [--context N] [--window N] [--sample N]
+//!                    [--noise RATE] [--seed S] [--threads N] [--out DIR]
+//!                    [--metrics-out FILE] [--events-out FILE]
+//!                    [--trace-out FILE] [--alloc-stats] [--quiet]
+//!     Run the population-scale privacy testbed: advance a synthetic
+//!     population's Topics histories in one epoch-major arena (parallel
+//!     over --threads workers, default: all cores), then measure
+//!     k-anonymity of the exposed top-5 sets per epoch and the
+//!     cross-context re-identification rate per collection epoch.
+//!     Writes sim_kanon.csv, sim_reident.csv and sim_report.txt to DIR
+//!     (default: ./topics-sim-out). The CSVs are byte-identical for any
+//!     --threads value and depend only on the config. Defaults: 100k
+//!     users, 30 epochs, 5000 sites, 20 visits/epoch, 2 × 20-site
+//!     context panels, trailing window auto-sized from --epochs, 10k
+//!     query sample, API noise 0.05. --metrics-out / --events-out /
+//!     --trace-out / --alloc-stats behave as in `crawl` (phase spans:
+//!     sim-universe, sim-advance, sim-kanon, sim-attack).
+//!
 //! topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]
 //!     Run-health report over a finished campaign and its trace: outcome
 //!     partition, trace/metric reconciliation, critical path, per-phase
@@ -68,10 +87,14 @@
 //!     balance (phase windows vs attributed children, when the trace
 //!     carries memory attribution), and the top-N slowest visits.
 //!     --campaign accepts the bundle directory or the campaign.json
-//!     path; --trace defaults to trace.jsonl next to it. Exits non-zero
-//!     when the trace has integrity violations (orphan spans, duplicate
-//!     IDs, negative durations), the trace and the metric tally
-//!     disagree, or a phase's allocation window undercuts its children.
+//!     path; --trace defaults to trace.jsonl next to it. With --trace
+//!     and no --campaign, runs in trace-only mode: integrity,
+//!     phases and allocation balance without campaign reconciliation
+//!     (e.g. over a `simulate` trace, which has no campaign). Exits
+//!     non-zero when the trace has integrity violations (orphan spans,
+//!     duplicate IDs, negative durations), the trace and the metric
+//!     tally disagree, or a phase's allocation window undercuts its
+//!     children.
 //!
 //! topics-lab memprofile --trace FILE | --campaign DIR [--top N]
 //!     Memory-attribution report over a trace recorded with
@@ -139,7 +162,7 @@ static ALLOC: topics_core::obs::CountingAlloc = topics_core::obs::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats] [--store json|columnar]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--store json|columnar]\n  topics-lab merge   --segments DIR [--out DIR] [--store json|columnar]\n  topics-lab report  --campaign DIR|FILE [--store json|columnar]\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]\n  topics-lab serve   --campaign DIR|FILE [--addr HOST:PORT] [--threads N] [--trace FILE] [--addr-file FILE] [--store json|columnar] [--quiet]\n  topics-lab fetch   --addr HOST:PORT [--path /api/report] [--out FILE] [--post]"
+        "usage:\n  topics-lab crawl   [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--metrics-out FILE] [--events-out FILE] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--trace-out FILE] [--alloc-stats] [--store json|columnar]\n  topics-lab shard   --shard K/N [--sites N] [--seed S] [--full] [--out DIR] [--allow-list corrupted|healthy|fail-closed] [--reject] [--vantage eu|us] [--quiet] [--fault-profile off|light|heavy|RATE] [--fault-seed S] [--probe-threads N] [--store json|columnar]\n  topics-lab merge   --segments DIR [--out DIR] [--store json|columnar]\n  topics-lab simulate [--users N] [--epochs N] [--sites N] [--visits N] [--context N] [--window N] [--sample N] [--noise RATE] [--seed S] [--threads N] [--out DIR] [--metrics-out FILE] [--events-out FILE] [--trace-out FILE] [--alloc-stats] [--quiet]\n  topics-lab report  --campaign DIR|FILE [--store json|columnar]\n  topics-lab metrics --campaign FILE\n  topics-lab compare --campaign FILE [--full-scale]\n  topics-lab dossier --campaign FILE --cp DOMAIN\n  topics-lab doctor  --campaign DIR|FILE [--trace FILE] [--top N] | --trace FILE [--top N]\n  topics-lab memprofile --trace FILE | --campaign DIR [--top N]\n  topics-lab serve   --campaign DIR|FILE [--addr HOST:PORT] [--threads N] [--trace FILE] [--addr-file FILE] [--store json|columnar] [--quiet]\n  topics-lab fetch   --addr HOST:PORT [--path /api/report] [--out FILE] [--post]"
     );
     ExitCode::from(2)
 }
@@ -671,32 +694,50 @@ fn resolve_campaign(path: &str) -> PathBuf {
     resolve_campaign_with(path, None)
 }
 
-fn cmd_doctor(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["--campaign", "--trace", "--top"], &[])?;
-    let campaign = resolve_campaign(
-        args.value_of("--campaign")?
-            .ok_or("doctor needs --campaign DIR|FILE")?,
-    );
-    let trace_path = match args.value_of("--trace")? {
-        Some(p) => PathBuf::from(p),
-        None => campaign.with_file_name("trace.jsonl"),
-    };
-    let top = args
-        .value_of("--top")?
-        .map(parse_top)
-        .transpose()?
-        .unwrap_or(10);
-
-    let outcome = load_campaign_cli(&campaign)?;
-    let text = std::fs::read_to_string(&trace_path).map_err(|e| {
+/// Read and parse a span trace, classifying a missing file as exit 3.
+fn load_trace_cli(trace_path: &std::path::Path) -> Result<topics_core::obs::Trace, CliError> {
+    let text = std::fs::read_to_string(trace_path).map_err(|e| {
         let msg = format!("reading trace {}: {e}", trace_path.display());
         match e.kind() {
             std::io::ErrorKind::NotFound => CliError::Missing(msg),
             _ => CliError::Other(msg),
         }
     })?;
-    let trace = topics_core::obs::Trace::from_jsonl(&text)
-        .map_err(|e| format!("parsing trace {}: {e}", trace_path.display()))?;
+    topics_core::obs::Trace::from_jsonl(&text)
+        .map_err(|e| CliError::Other(format!("parsing trace {}: {e}", trace_path.display())))
+}
+
+fn cmd_doctor(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["--campaign", "--trace", "--top"], &[])?;
+    let top = args
+        .value_of("--top")?
+        .map(parse_top)
+        .transpose()?
+        .unwrap_or(10);
+    let Some(campaign) = args.value_of("--campaign")? else {
+        // Trace-only mode: no campaign to reconcile against — e.g. a
+        // `simulate` trace, which has no campaign dataset at all.
+        let trace_path = PathBuf::from(
+            args.value_of("--trace")?
+                .ok_or("doctor needs --campaign DIR|FILE (or --trace FILE for trace-only mode)")?,
+        );
+        let trace = load_trace_cli(&trace_path)?;
+        let report = topics_core::diagnose_trace(&trace, top);
+        print!("{}", report.render());
+        return if report.is_healthy() {
+            Ok(())
+        } else {
+            Err(format!("doctor found {} violation(s)", report.violations().len()).into())
+        };
+    };
+    let campaign = resolve_campaign(campaign);
+    let trace_path = match args.value_of("--trace")? {
+        Some(p) => PathBuf::from(p),
+        None => campaign.with_file_name("trace.jsonl"),
+    };
+
+    let outcome = load_campaign_cli(&campaign)?;
+    let trace = load_trace_cli(&trace_path)?;
 
     // Shard segments and a columnar store next to the campaign are
     // verified automatically: segment checksums, coverage, and
@@ -755,6 +796,163 @@ fn parse_threads(s: &str) -> Result<usize, String> {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(format!("bad --threads {s:?} (want an integer ≥ 1)")),
     }
+}
+
+/// Strict parse for the simulate shape flags: a positive integer.
+fn parse_sim_count(flag: &str, s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad {flag} {s:?} (want an integer ≥ 1)")),
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(
+        &[
+            "--users",
+            "--epochs",
+            "--sites",
+            "--visits",
+            "--context",
+            "--window",
+            "--sample",
+            "--noise",
+            "--seed",
+            "--threads",
+            "--out",
+            "--metrics-out",
+            "--events-out",
+            "--trace-out",
+        ],
+        &["--alloc-stats", "--quiet"],
+    )?;
+    let seed: u64 = args
+        .value_of("--seed")?
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()?
+        .unwrap_or(42);
+    let users = args
+        .value_of("--users")?
+        .map(|s| parse_sim_count("--users", s))
+        .transpose()?
+        .unwrap_or(100_000);
+    let epochs = args
+        .value_of("--epochs")?
+        .map(|s| parse_sim_count("--epochs", s))
+        .transpose()?
+        .unwrap_or(30) as u64;
+    let mut cfg = topics_core::baseline::SimConfig::new(seed, users, epochs);
+    if let Some(s) = args.value_of("--sites")? {
+        cfg.sites = parse_sim_count("--sites", s)?;
+    }
+    if let Some(s) = args.value_of("--visits")? {
+        cfg.visits_per_epoch = parse_sim_count("--visits", s)?;
+    }
+    if let Some(s) = args.value_of("--context")? {
+        cfg.context_sites = parse_sim_count("--context", s)?;
+    }
+    if let Some(s) = args.value_of("--window")? {
+        cfg.window = parse_sim_count("--window", s)? as u64;
+    }
+    if let Some(s) = args.value_of("--sample")? {
+        cfg.sample = parse_sim_count("--sample", s)?;
+    }
+    if let Some(s) = args.value_of("--noise")? {
+        cfg.noise = s
+            .parse::<f64>()
+            .ok()
+            .filter(|n| (0.0..=1.0).contains(n))
+            .ok_or_else(|| format!("bad --noise {s:?} (want a rate in [0, 1])"))?;
+    }
+    cfg.validate()?;
+    let threads = args
+        .value_of("--threads")?
+        .map(parse_threads)
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+
+    let out = PathBuf::from(args.value_of("--out")?.unwrap_or("topics-sim-out"));
+    let metrics_out = args
+        .value_of("--metrics-out")?
+        .map(|v| resolve_out(&out, v));
+    let events_out = args.value_of("--events-out")?.map(|v| resolve_out(&out, v));
+    let trace_out = args.value_of("--trace-out")?.map(|v| resolve_out(&out, v));
+    let alloc_stats = args.has("--alloc-stats");
+    if alloc_stats {
+        topics_core::obs::alloc::set_enabled(true);
+    }
+
+    let mut obs = if args.has("--quiet") {
+        Obs::new()
+    } else {
+        Obs::with_stderr_echo()
+    };
+    if trace_out.is_some() {
+        obs = obs.with_trace();
+    }
+
+    obs.events.info(
+        "sim-start",
+        vec![
+            ("users".into(), cfg.users.into()),
+            ("epochs".into(), cfg.epochs.into()),
+            ("seed".into(), cfg.seed.into()),
+            ("threads".into(), threads.into()),
+        ],
+    );
+    let run = topics_core::run_simulation(&cfg, threads, &obs)?;
+    obs.events.info(
+        "sim-done",
+        vec![
+            ("visits".into(), run.visits_total.into()),
+            ("api_calls".into(), run.stats.api_calls.into()),
+        ],
+    );
+    topics_core::publish_sim_metrics(&run, &obs.metrics);
+    topics_core::write_sim_artefacts(&out, &run)?;
+
+    if let Some(path) = &metrics_out {
+        if alloc_stats {
+            topics_core::obs::alloc::publish(&obs.metrics);
+        }
+        let prom = obs.metrics.snapshot().render_prometheus();
+        std::fs::write(path, prom)
+            .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &events_out {
+        std::fs::write(path, obs.events.to_jsonl())
+            .map_err(|e| format!("writing events to {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &trace_out {
+        let trace = obs.trace.finish();
+        let body = if path.extension().is_some_and(|e| e == "json") {
+            trace.to_chrome_json()
+        } else {
+            trace.to_jsonl()
+        };
+        std::fs::write(path, body)
+            .map_err(|e| format!("writing trace to {}: {e}", path.display()))?;
+    }
+
+    print!(
+        "{}",
+        topics_core::baseline::simulate::render_sim_report(&run)
+    );
+    println!("simulation artefacts written to {}", out.display());
+    if let Some(p) = &metrics_out {
+        println!("metrics snapshot written to {}", p.display());
+    }
+    if let Some(p) = &events_out {
+        println!("event stream written to {}", p.display());
+    }
+    if let Some(p) = &trace_out {
+        println!("trace written to {}", p.display());
+    }
+    Ok(())
 }
 
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
@@ -856,6 +1054,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&args),
         "compare" => cmd_compare(&args).map_err(CliError::from),
         "dossier" => cmd_dossier(&args).map_err(CliError::from),
+        "simulate" => cmd_simulate(&args).map_err(CliError::from),
         "doctor" => cmd_doctor(&args),
         "memprofile" => cmd_memprofile(&args).map_err(CliError::from),
         "serve" => cmd_serve(&args),
@@ -1259,6 +1458,32 @@ mod tests {
             .reject_unknown(&["--segments", "--out"], &[])
             .unwrap_err()
             .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn simulate_flags_parse_strictly() {
+        let a = args(&["--users", "5000", "--epochs", "12", "--noise", "0.1"]);
+        assert_eq!(
+            a.value_of("--users")
+                .unwrap()
+                .map(|s| parse_sim_count("--users", s))
+                .transpose()
+                .unwrap(),
+            Some(5000)
+        );
+        assert_eq!(a.value_of("--epochs").unwrap(), Some("12"));
+        // Shape flags reject zero and garbage — a zero-user simulation
+        // must fail at the flag, not deep inside the engine.
+        assert!(parse_sim_count("--users", "0")
+            .unwrap_err()
+            .contains("--users"));
+        assert!(parse_sim_count("--sample", "lots").is_err());
+        // A typo'd flag is a hard error, same as every subcommand.
+        let b = args(&["--user", "5000"]);
+        assert!(b
+            .reject_unknown(&["--users", "--epochs"], &[])
+            .unwrap_err()
+            .contains("--user"));
     }
 
     #[test]

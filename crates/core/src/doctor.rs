@@ -274,6 +274,104 @@ fn alloc_balance(trace: &Trace) -> Vec<AllocBalance> {
     out
 }
 
+/// A trace-only health report: the structural and allocation checks of
+/// [`diagnose`] without a campaign to reconcile against. This is what
+/// `topics-lab doctor --trace FILE` (no `--campaign`) runs — e.g. over
+/// a `simulate` trace, which has no campaign dataset at all.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Structural trace checks (orphans, duplicates, negative spans).
+    pub integrity: Integrity,
+    /// Per-phase allocation-balance checks (empty when the trace has no
+    /// allocation attribution).
+    pub alloc_balance: Vec<AllocBalance>,
+    /// Analyzer output: critical path, phases, workers, retries.
+    pub profile: Profile,
+}
+
+/// Diagnose a trace on its own: integrity, allocation balance, and the
+/// span profile. `top_n` bounds the analyzer's slowest-span lists.
+pub fn diagnose_trace(trace: &Trace, top_n: usize) -> TraceReport {
+    TraceReport {
+        integrity: integrity(trace),
+        alloc_balance: alloc_balance(trace),
+        profile: profile(trace, top_n),
+    }
+}
+
+impl TraceReport {
+    /// Every violation found: structural trace problems plus failed
+    /// allocation-balance checks. Empty iff [`TraceReport::is_healthy`].
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = self.integrity.violations();
+        for b in self.alloc_balance.iter().filter(|b| !b.ok) {
+            out.push(format!(
+                "allocation balance failed: phase {} window {} B < children {} B",
+                b.phase, b.phase_bytes, b.children_bytes
+            ));
+        }
+        out
+    }
+
+    /// True when the trace is structurally sound and every
+    /// allocation-balance check passed.
+    pub fn is_healthy(&self) -> bool {
+        self.integrity.is_clean() && self.alloc_balance.iter().all(|b| b.ok)
+    }
+
+    /// Render the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Doctor: trace health (no campaign) ==\n");
+        out.push_str(&format!(
+            "integrity: {}\n",
+            if self.integrity.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            }
+        ));
+        out.push('\n');
+
+        out.push_str("== Phases (simulated unless noted) ==\n");
+        for p in &self.profile.phases {
+            out.push_str(&format!(
+                "{:<18} total {:>9} ms  self {:>9} ms{}\n",
+                p.name,
+                p.total_ms,
+                p.self_ms,
+                if p.simulated { "" } else { "  (wall)" },
+            ));
+        }
+        out.push('\n');
+
+        out.push_str("== Allocation balance ==\n");
+        if self.alloc_balance.is_empty() {
+            out.push_str("no allocation attribution in trace (record with --alloc-stats)\n");
+        } else {
+            for b in &self.alloc_balance {
+                out.push_str(&format!(
+                    "[{}] {:<18} phase window {:>12} B  children {:>12} B\n",
+                    if b.ok { "ok" } else { "FAIL" },
+                    b.phase,
+                    b.phase_bytes,
+                    b.children_bytes,
+                ));
+            }
+        }
+
+        let violations = self.violations();
+        if !violations.is_empty() {
+            out.push('\n');
+            out.push_str("== Violations ==\n");
+            for v in &violations {
+                out.push_str(&format!("- {v}\n"));
+            }
+        }
+        out
+    }
+}
+
 impl DoctorReport {
     /// Fold in the result of [`verify_segments`] (the CLI runs it when
     /// the campaign directory holds `*.seg` files).

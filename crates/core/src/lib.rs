@@ -30,6 +30,10 @@
 //!   per-figure queries off the resident columnar store, responses
 //!   byte-identical to the offline artefacts, self-observed at
 //!   `/metrics`.
+//! * [`sim`] — the population-scale privacy testbed
+//!   (`topics-lab simulate`): arena-backed million-user simulation with
+//!   k-anonymity and re-identification curve artefacts, observed phase
+//!   by phase.
 //! * [`fidelity`] — crawler measurements vs generator ground truth: the
 //!   pipeline's own measurement error, quantifiable only in simulation.
 //!
@@ -46,10 +50,14 @@ pub mod fidelity;
 pub mod lab;
 pub mod serve;
 pub mod shard;
+pub mod sim;
 
 pub use compare::{comparison_rows, render_comparison, ComparisonRow};
 pub use config::LabConfig;
-pub use doctor::{diagnose, verify_columnar, verify_segments, ColumnarCheck, DoctorReport};
+pub use doctor::{
+    diagnose, diagnose_trace, verify_columnar, verify_segments, ColumnarCheck, DoctorReport,
+    TraceReport,
+};
 pub use export::{load_campaign, write_bundle, StoreKind};
 pub use fidelity::{fidelity, FidelityReport};
 pub use lab::{evaluate, metrics_snapshot_of, CampaignRun, Evaluation, Lab};
@@ -60,6 +68,10 @@ pub use serve::{
 pub use shard::{
     merge_dir, merge_dir_columnar, read_segment, run_shard, segment_file_name, segment_paths,
     write_segment, Merged, MergedColumnar, MERGE_RULES,
+};
+pub use sim::{
+    publish_sim_metrics, run_simulation, write_sim_artefacts, SIM_KANON_FILE, SIM_REIDENT_FILE,
+    SIM_REPORT_FILE,
 };
 
 pub use topics_analysis as analysis;

@@ -35,8 +35,9 @@ echo "== doctor on a chaos campaign (5% fault band, alloc-counted) =="
 # windows that undercut their attributed children all exit non-zero.
 DOCTOR_DIR=$(mktemp -d)
 SHARD_DIR=$(mktemp -d)
+SIM_DIR=""
 SERVE_PID=""
-trap 'rm -rf "$DOCTOR_DIR" "$SHARD_DIR"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$DOCTOR_DIR" "$SHARD_DIR" "$SIM_DIR"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cargo run --release -q -p topics-core --bin topics-lab -- crawl \
     --sites 500 --seed 7 --quiet --fault-profile 0.05 --alloc-stats \
     --out "$DOCTOR_DIR" --trace-out trace.jsonl --metrics-out metrics.prom \
@@ -146,6 +147,28 @@ cargo test -q -p topics-core --test integration_store
 echo "== property suites =="
 cargo test -q -p topics-net --test properties
 cargo test -q -p topics-browser --test properties
+
+echo "== simulate smoke (population engine vs committed goldens) =="
+# The population engine's determinism contract at smoke scale: the
+# curve CSVs must be byte-identical across thread counts AND match the
+# committed goldens — any drift in the arena advancement, the epoch
+# collection, or the attack kernel shows up here as a cmp failure.
+# The run is traced + alloc-counted so the trace-only doctor gate runs
+# on a real simulate trace.
+SIM_DIR=$(mktemp -d)
+$TL simulate --users 2000 --epochs 8 --sites 800 --sample 500 --seed 7 \
+    --threads 4 --quiet --out "$SIM_DIR/t4" --alloc-stats \
+    --trace-out trace.jsonl > /dev/null
+$TL simulate --users 2000 --epochs 8 --sites 800 --sample 500 --seed 7 \
+    --threads 1 --quiet --out "$SIM_DIR/t1" > /dev/null
+for ART in sim_kanon.csv sim_reident.csv sim_report.txt; do
+    cmp "$SIM_DIR/t4/$ART" "$SIM_DIR/t1/$ART"
+done
+cmp "$SIM_DIR/t4/sim_kanon.csv" tests/golden/sim_kanon_smoke.csv
+cmp "$SIM_DIR/t4/sim_reident.csv" tests/golden/sim_reident_smoke.csv
+# Trace-only doctor over the simulate trace (no campaign to load).
+$TL doctor --trace "$SIM_DIR/t4/trace.jsonl" > /dev/null
+rm -rf "$SIM_DIR"
 
 echo "== perf ledger verifies and is append-only =="
 # BENCH_summary.json is an append-only history chained with FNV-1a:
